@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Baselines Chg Format Hiergen List Lookup_core Timing

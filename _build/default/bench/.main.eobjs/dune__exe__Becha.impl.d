@@ -1,0 +1,1 @@
+bench/becha.ml: Analyze Baselines Bechamel Benchmark Chg Format Hashtbl Hiergen List Lookup_core Measure Printf Staged Test Time Toolkit

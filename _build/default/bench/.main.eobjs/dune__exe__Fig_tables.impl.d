@@ -1,0 +1,1 @@
+bench/fig_tables.ml: Array Baselines Chg Format Hiergen List Lookup_core String Subobject

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Becha Fig_tables Format Matchup Printf Scaling

@@ -1,0 +1,1 @@
+bench/matchup.ml: Baselines Chg Fig_tables Format Hiergen Lazy List Lookup_core Subobject

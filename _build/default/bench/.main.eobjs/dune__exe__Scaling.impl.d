@@ -1,0 +1,1 @@
+bench/scaling.ml: Baselines Chg Fig_tables Format Hiergen List Lookup_core Printf Subobject Timing

@@ -1,0 +1,1 @@
+bench/timing.ml: Format Sys Unix

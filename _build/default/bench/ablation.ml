@@ -1,0 +1,65 @@
+(* Ablation experiments for the two design choices the paper argues for
+   in Section 4:
+
+   A1 — killing dominated definitions ("One advantage of killing
+   definitions is immediately obvious: the propagation phase itself has
+   to do less work"): count the definitions the naive propagation
+   materializes with and without the kill rule.
+
+   A2 — abstracting paths ("The above abstraction of blue definitions is
+   a critical step in improving the efficiency of the algorithm"):
+   even WITH killing, full-path propagation explodes on replicated
+   hierarchies (incomparable definitions survive and multiply); the
+   Red/Blue abstraction collapses them to at most |N|+1 values. *)
+
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+module Families = Hiergen.Families
+
+let defs_count table =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 table
+
+let a1 () =
+  Format.printf "@.---- A1: ablation - killing dominated definitions ----@.";
+  Format.printf "  %-40s %12s %12s@." "family" "no-kill defs" "killed defs";
+  let run member (i : Families.instance) =
+    let unpruned = defs_count (Baselines.Naive.propagate i.graph member) in
+    let pruned =
+      defs_count (Baselines.Naive.propagate_pruned i.graph member)
+    in
+    Format.printf "  %-40s %12d %12d@." i.description unpruned pruned
+  in
+  run "m" (Families.redeclared_diamond_stack ~levels:7 ~kind:G.Non_virtual);
+  run "m" (Families.redeclared_diamond_stack ~levels:7 ~kind:G.Virtual);
+  run "foo"
+    { Families.graph = Hiergen.Figures.fig3 ();
+      probe = 0;
+      description = "figure 3 (member foo)" };
+  Format.printf
+    "  (redeclaring classes kill inherited defs: pruned counts stay linear)@."
+
+let a2 () =
+  Format.printf
+    "@.---- A2: ablation - path abstraction (Red/Blue) vs full paths ----@.";
+  Format.printf "  %-9s %14s %14s %14s@." "levels" "no-kill defs"
+    "killed defs" "engine time";
+  (* plain diamond stacks: the two definitions reaching each join are
+     incomparable, so killing does NOT help — only abstraction does *)
+  List.iter
+    (fun levels ->
+      let i = Families.diamond_stack ~levels ~kind:G.Non_virtual in
+      let unpruned = defs_count (Baselines.Naive.propagate i.graph "m") in
+      let pruned = defs_count (Baselines.Naive.propagate_pruned i.graph "m") in
+      let cl = Chg.Closure.compute i.graph in
+      let t = Timing.seconds_per_call (fun () -> Engine.build_member cl "m") in
+      Format.printf "  %-9d %14d %14d %a@." levels unpruned pruned
+        Timing.pp_time t)
+    [ 2; 4; 6; 8; 10 ];
+  Format.printf
+    "  (killing saves nothing here - the defs are incomparable; the\n\
+    \   engine's abstraction keeps the blue sets at {Ω} regardless)@."
+
+let run () =
+  Format.printf "@.==== Ablation experiments (A1-A2) ====@.";
+  a1 ();
+  a2 ()

@@ -1,0 +1,87 @@
+(* Bechamel microbenchmarks: one Test.make per experiment artifact
+   (figures F1-F9 and complexity experiments C1-C5), analyzed with OLS
+   against the run count and printed as ns/run. *)
+
+open Bechamel
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+
+let figure_test name mk member =
+  let g = mk () in
+  let cl = Chg.Closure.compute g in
+  Test.make ~name (Staged.stage (fun () -> Engine.build_member cl member))
+
+let tests () =
+  let nv = G.Non_virtual in
+  let chain = Hiergen.Families.chain ~n:1024 ~kind:nv in
+  let chain_cl = Chg.Closure.compute chain.graph in
+  let fence = Hiergen.Families.fence ~width:8 ~levels:8 in
+  let fence_cl = Chg.Closure.compute fence.graph in
+  let diamond = Hiergen.Families.diamond_stack ~levels:8 ~kind:nv in
+  let diamond_cl = Chg.Closure.compute diamond.graph in
+  let table_i =
+    Hiergen.Families.random_dag ~n:256 ~max_bases:3 ~virtual_prob:0.3
+      ~declare_prob:0.3
+      ~members:(List.init 10 (fun k -> Printf.sprintf "m%d" k))
+      ~seed:42
+  in
+  let table_cl = Chg.Closure.compute table_i.graph in
+  let topo_i =
+    Hiergen.Families.redeclared_diamond_stack ~levels:64 ~kind:G.Virtual
+  in
+  let topo = Baselines.Topo_lookup.prepare topo_i.graph in
+  [ figure_test "F1:fig1-lookup-m" Hiergen.Figures.fig1 "m";
+    figure_test "F2:fig2-lookup-m" Hiergen.Figures.fig2 "m";
+    figure_test "F3-F6:fig3-lookup-foo" Hiergen.Figures.fig3 "foo";
+    figure_test "F5-F7:fig3-lookup-bar" Hiergen.Figures.fig3 "bar";
+    figure_test "F9:fig9-lookup-m" Hiergen.Figures.fig9 "m";
+    Test.make ~name:"F9:fig9-gxx-scan"
+      (Staged.stage
+         (let g = Hiergen.Figures.fig9 () in
+          let e = G.find g "E" in
+          fun () -> Baselines.Gxx.lookup ~mode:Baselines.Gxx.Buggy g e "m"));
+    Test.make ~name:"C1:chain-1024-member-column"
+      (Staged.stage (fun () -> Engine.build_member chain_cl "m"));
+    Test.make ~name:"C2:fence-8x8-member-column"
+      (Staged.stage (fun () -> Engine.build_member fence_cl "m"));
+    Test.make ~name:"C3:diamond-8-engine"
+      (Staged.stage (fun () -> Engine.build_member diamond_cl "m"));
+    Test.make ~name:"C3:diamond-8-rf-lookup"
+      (Staged.stage (fun () ->
+           Baselines.Rf_lookup.lookup diamond.graph diamond.probe "m"));
+    Test.make ~name:"C4:table-random-256"
+      (Staged.stage (fun () -> Engine.build table_cl));
+    Test.make ~name:"C5:topo-shortcut-query"
+      (Staged.stage (fun () ->
+           Baselines.Topo_lookup.resolve topo topo_i.probe "m")) ]
+
+let run () =
+  Format.printf "@.==== Bechamel microbenchmarks (ns/run, OLS) ====@.";
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~kde:None
+      ~stabilize:false ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results =
+    List.concat_map
+      (fun test ->
+        let raw = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance raw in
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) analyzed [])
+      (tests ())
+  in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      Format.printf "  %-32s %14.1f ns/run%s@." name ns
+        (match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "   (r^2 %.3f)" r
+        | None -> ""))
+    (List.sort compare results)

@@ -1,0 +1,22 @@
+(* Benchmark harness: regenerates every figure of the paper (F1-F9),
+   runs the complexity experiments (C1-C5), the engine matchup (C6), and
+   Bechamel microbenchmarks.  See DESIGN.md for the experiment index and
+   EXPERIMENTS.md for paper-vs-measured notes.
+
+   Run with: dune exec bench/main.exe *)
+
+let () =
+  Format.printf "cxxlookup benchmark harness — ";
+  Format.printf "A Member Lookup Algorithm for C++ (PLDI 1997)@.";
+  Fig_tables.run ();
+  Scaling.run ();
+  Ablation.run ();
+  Matchup.run ();
+  Becha.run ();
+  Format.printf "@.%s@."
+    (if !Fig_tables.checks_failed = 0 then
+       "All figure/experiment checks passed."
+     else
+       Printf.sprintf "%d CHECKS FAILED — see MISMATCH lines above."
+         !Fig_tables.checks_failed);
+  exit (if !Fig_tables.checks_failed = 0 then 0 else 1)

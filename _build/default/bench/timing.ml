@@ -1,0 +1,23 @@
+(* Small wall-clock timing helper for the parameter sweeps.  Bechamel is
+   used for the headline per-experiment microbenchmarks (see becha.ml);
+   the sweeps need hundreds of (size, time) points where a fixed-budget
+   repetition loop is the right tool. *)
+
+(* Seconds per call, repeating until at least [min_time] has elapsed. *)
+let seconds_per_call ?(min_time = 0.02) f =
+  let rec calibrate n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= min_time then dt /. float_of_int n
+    else calibrate (n * 4)
+  in
+  calibrate 1
+
+let pp_time ppf s =
+  if s < 1e-6 then Format.fprintf ppf "%7.1f ns" (s *. 1e9)
+  else if s < 1e-3 then Format.fprintf ppf "%7.2f us" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf ppf "%7.2f ms" (s *. 1e3)
+  else Format.fprintf ppf "%7.2f s " s

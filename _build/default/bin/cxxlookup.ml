@@ -1,0 +1,305 @@
+(* Command-line driver: compile a C++-subset translation unit and query
+   member lookups, layouts, vtables, graphs and slices.
+
+   Examples:
+     cxxlookup check file.cpp
+     cxxlookup lookup file.cpp E m
+     cxxlookup table file.cpp
+     cxxlookup dot file.cpp            # CHG in Graphviz syntax
+     cxxlookup dot file.cpp --subobjects E
+     cxxlookup layout file.cpp E
+     cxxlookup vtable file.cpp E
+     cxxlookup slice file.cpp E::m D::n *)
+
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+
+let read_file path =
+  if path = "-" then In_channel.input_all stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+(* Load and analyze, failing the command on parse/sema errors unless
+   [tolerant]. *)
+let load ?(tolerant = false) path =
+  let r = Frontend.Sema.analyze_source (read_file path) in
+  List.iter
+    (fun d -> prerr_endline (Frontend.Diagnostic.to_string d))
+    r.diagnostics;
+  if (not tolerant) && not (Frontend.Sema.ok r) then exit 1;
+  r
+
+let find_class g name =
+  match G.find_opt g name with
+  | Some c -> c
+  | None ->
+    Printf.eprintf "error: unknown class '%s'\n" name;
+    exit 1
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Input translation unit ('-' for stdin).")
+
+let class_arg n =
+  Arg.(required & pos n (some string) None & info [] ~docv:"CLASS")
+
+let member_arg n =
+  Arg.(required & pos n (some string) None & info [] ~docv:"MEMBER")
+
+let check_cmd =
+  let run file =
+    let r = load ~tolerant:true file in
+    List.iter
+      (fun res ->
+        Format.printf "%a@." (Frontend.Sema.pp_resolution r.graph) res)
+      r.resolutions;
+    if Frontend.Sema.ok r then print_endline "ok" else exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Compile FILE and statically resolve every member access.")
+    Term.(const run $ file_arg)
+
+let lookup_cmd =
+  let run file cls member =
+    let r = load file in
+    let c = find_class r.graph cls in
+    match Engine.lookup r.engine c member with
+    | None ->
+      Format.printf "no member '%s' in any subobject of '%s'@." member cls
+    | Some v ->
+      Format.printf "lookup(%s, %s) = %a@." cls member
+        (Engine.pp_verdict r.graph) v;
+      (match Engine.witness r.engine c member with
+      | Some p ->
+        Format.printf "definition path: %a@." (Subobject.Path.pp r.graph) p
+      | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "lookup" ~doc:"Resolve MEMBER in the context of CLASS.")
+    Term.(const run $ file_arg $ class_arg 1 $ member_arg 2)
+
+let table_cmd =
+  let run file =
+    let r = load file in
+    let g = r.graph in
+    G.iter_classes g (fun c ->
+        List.iter
+          (fun m ->
+            match Engine.lookup r.engine c m with
+            | None -> ()
+            | Some v ->
+              Format.printf "%-14s %-10s %a@." (G.name g c) m
+                (Engine.pp_verdict g) v)
+          (G.member_names g))
+  in
+  Cmd.v
+    (Cmd.info "table"
+       ~doc:"Print the whole lookup table (every class x member).")
+    Term.(const run $ file_arg)
+
+let dot_cmd =
+  let sub =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "subobjects" ] ~docv:"CLASS"
+          ~doc:"Emit the subobject graph of CLASS instead of the CHG.")
+  in
+  let run file sub =
+    let r = load file in
+    match sub with
+    | None -> print_string (Chg.Dot.to_dot r.graph)
+    | Some cls ->
+      let c = find_class r.graph cls in
+      print_string (Subobject.Sgraph.to_dot (Subobject.Sgraph.build r.graph c))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz for the class hierarchy graph.")
+    Term.(const run $ file_arg $ sub)
+
+let layout_cmd =
+  let run file cls =
+    let r = load file in
+    let c = find_class r.graph cls in
+    Format.printf "%a@." Layout.Object_layout.pp
+      (Layout.Object_layout.of_class r.graph c)
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Print the object layout of CLASS.")
+    Term.(const run $ file_arg $ class_arg 1)
+
+let vtable_cmd =
+  let run file cls =
+    let r = load file in
+    let c = find_class r.graph cls in
+    Format.printf "%a@." (Layout.Vtable.pp r.graph)
+      (Layout.Vtable.build r.engine c)
+  in
+  Cmd.v
+    (Cmd.info "vtable" ~doc:"Print the virtual function table of CLASS.")
+    Term.(const run $ file_arg $ class_arg 1)
+
+let slice_cmd =
+  let seeds_arg =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"CLASS::MEMBER" ~doc:"Seed lookups.")
+  in
+  let run file seeds =
+    let r = load file in
+    let parse_seed s =
+      match String.index_opt s ':' with
+      | Some i
+        when i + 1 < String.length s
+             && s.[i + 1] = ':' ->
+        let cls = String.sub s 0 i in
+        let m = String.sub s (i + 2) (String.length s - i - 2) in
+        { Slicing.sd_class = find_class r.graph cls; sd_member = m }
+      | _ ->
+        Printf.eprintf "error: seed '%s' is not of the form CLASS::MEMBER\n" s;
+        exit 1
+    in
+    let s = Slicing.slice r.graph (List.map parse_seed seeds) in
+    Format.printf "%a@." Slicing.pp_stats s;
+    Format.printf "%a" G.pp s.Slicing.sliced
+  in
+  Cmd.v
+    (Cmd.info "slice"
+       ~doc:"Slice the hierarchy to the classes relevant to the given lookups.")
+    Term.(const run $ file_arg $ seeds_arg)
+
+let export_cmd =
+  let pretty =
+    Arg.(value & flag & info [ "pretty" ] ~doc:"Indent the output.")
+  in
+  let run file pretty =
+    let r = load file in
+    print_endline (Chg.Serialize.to_string ~pretty r.graph)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Emit the class hierarchy graph as JSON (cxxlookup-chg v1).")
+    Term.(const run $ file_arg $ pretty)
+
+let import_cmd =
+  let cpp =
+    Arg.(
+      value & flag
+      & info [ "cpp" ] ~doc:"Emit C++ source instead of the lookup table.")
+  in
+  let run file cpp =
+    match Chg.Serialize.of_string (read_file file) with
+    | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+    | Ok g ->
+      if cpp then print_string (Frontend.Emit.to_source g)
+      else begin
+        let engine = Engine.build (Chg.Closure.compute g) in
+        G.iter_classes g (fun c ->
+            List.iter
+              (fun m ->
+                match Engine.lookup engine c m with
+                | None -> ()
+                | Some v ->
+                  Format.printf "%-14s %-10s %a@." (G.name g c) m
+                    (Engine.pp_verdict g) v)
+              (G.member_names g))
+      end
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:
+         "Read a JSON hierarchy (as produced by export) and print its \
+          lookup table (or --cpp source).")
+    Term.(const run $ file_arg $ cpp)
+
+let run_cmd =
+  let entry =
+    Arg.(
+      value & opt string "main"
+      & info [ "entry" ] ~docv:"FUNC" ~doc:"Entry function.")
+  in
+  let run file entry =
+    let o = Runtime.run_source ~entry (read_file file) in
+    List.iter
+      (fun e -> Format.printf "%a@." Runtime.pp_event e)
+      o.Runtime.trace;
+    if o.Runtime.runtime_errors <> [] then begin
+      List.iter
+        (fun d -> prerr_endline (Frontend.Diagnostic.to_string d))
+        o.Runtime.runtime_errors;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute the program with the staged-lookup runtime and print           the trace (allocations, member reads/writes, dispatches).")
+    Term.(const run $ file_arg $ entry)
+
+let audit_cmd =
+  let run file =
+    let r = load file in
+    let g = r.graph in
+    let found = ref 0 in
+    G.iter_classes g (fun c ->
+        List.iter
+          (fun m ->
+            match Engine.lookup r.engine c m with
+            | Some (Engine.Blue _) ->
+              incr found;
+              Format.printf "%s::%s is ambiguous@." (G.name g c) m
+            | Some (Engine.Red _) | None -> ())
+          (G.member_names g));
+    if !found = 0 then print_endline "no ambiguous lookups"
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "List every (class, member) pair whose lookup is ambiguous —           latent errors a use would trigger.")
+    Term.(const run $ file_arg)
+
+let count_cmd =
+  let run file =
+    let r = load file in
+    let g = r.graph in
+    let cl = Chg.Closure.compute g in
+    G.iter_classes g (fun c ->
+        Format.printf "%-20s %d subobjects@." (G.name g c)
+          (Subobject.Count.subobjects cl c))
+  in
+  Cmd.v
+    (Cmd.info "count"
+       ~doc:
+         "Print the number of subobjects of each class (closed form, no           exponential construction).")
+    Term.(const run $ file_arg)
+
+let stats_cmd =
+  let run file =
+    let r = load file in
+    let t = Analysis.run (Chg.Closure.compute r.graph) in
+    Format.printf "%a@." Analysis.pp_summary t;
+    G.iter_classes r.graph (fun c ->
+        Format.printf "%a@." (Analysis.pp_class t) (Analysis.report t c))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Per-class hierarchy analysis: depth, bases, subobject counts,           replicated bases, ambiguous members.")
+    Term.(const run $ file_arg)
+
+let () =
+  let doc = "C++ member lookup (Ramalingam & Srinivasan, PLDI 1997)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "cxxlookup" ~version:"1.0.0" ~doc)
+          [ check_cmd; lookup_cmd; table_cmd; dot_cmd; layout_cmd; vtable_cmd;
+            slice_cmd; export_cmd; import_cmd; run_cmd; audit_cmd; count_cmd;
+            stats_cmd ]))

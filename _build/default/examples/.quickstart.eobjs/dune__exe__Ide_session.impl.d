@@ -1,0 +1,1 @@
+examples/ide_session.ml: Chg Format List Lookup_core

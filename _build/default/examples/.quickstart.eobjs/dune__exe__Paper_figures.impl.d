@@ -1,0 +1,1 @@
+examples/paper_figures.ml: Array Baselines Chg Format Hiergen List Lookup_core String Subobject

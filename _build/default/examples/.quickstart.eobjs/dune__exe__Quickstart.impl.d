@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chg Format List Lookup_core Subobject

@@ -1,0 +1,1 @@
+examples/slicing_demo.ml: Chg Format List Slicing Subobject

@@ -1,0 +1,1 @@
+examples/vtable_demo.ml: Chg Format Layout List Lookup_core Subobject

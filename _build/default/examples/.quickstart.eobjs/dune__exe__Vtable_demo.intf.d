@@ -1,0 +1,1 @@
+examples/vtable_demo.mli:

@@ -1,0 +1,48 @@
+(* An IDE-style session: classes arrive one declaration at a time and
+   member lookups are answered after every keystroke-equivalent — the
+   scenario the incremental table (and the paper's remark about a
+   memoising lazy algorithm) serve.
+
+   Run with: dune exec examples/ide_session.exe *)
+
+module G = Chg.Graph
+module Inc = Lookup_core.Incremental
+
+let show inc cls m =
+  match Inc.lookup inc (Inc.find inc cls) m with
+  | Some (Lookup_core.Engine.Red r) ->
+    Format.printf "  lookup(%s, %s) -> declared in %s@." cls m
+      (G.name (Inc.snapshot inc) r.Lookup_core.Abstraction.r_ldc)
+  | Some (Lookup_core.Engine.Blue _) ->
+    Format.printf "  lookup(%s, %s) -> AMBIGUOUS@." cls m
+  | None -> Format.printf "  lookup(%s, %s) -> no such member@." cls m
+
+let () =
+  let inc = Inc.create () in
+  let declare name bases members =
+    Format.printf "declare %s@." name;
+    ignore
+      (Inc.add_class inc name
+         ~bases:(List.map (fun (b, k) -> (b, k, G.Public)) bases)
+         ~members:(List.map G.member members))
+  in
+  (* The user types the paper's Figure 9 program, class by class; after
+     each declaration the lookup table is extended by just that class's
+     row, and earlier answers never need recomputation. *)
+  declare "S" [] [ "m" ];
+  show inc "S" "m";
+  declare "A" [ ("S", G.Virtual) ] [ "m" ];
+  show inc "A" "m";
+  declare "B" [ ("S", G.Virtual) ] [ "m" ];
+  declare "C" [ ("A", G.Virtual); ("B", G.Virtual) ] [ "m" ];
+  show inc "C" "m";
+  declare "D" [ ("C", G.Non_virtual) ] [];
+  show inc "D" "m";
+  declare "E" [ ("A", G.Virtual); ("B", G.Virtual); ("D", G.Non_virtual) ] [];
+  show inc "E" "m";
+
+  (* A mistake: the user adds a conflicting mixin... *)
+  declare "Logger" [] [ "m" ];
+  declare "Oops" [ ("E", G.Non_virtual); ("Logger", G.Non_virtual) ] [];
+  show inc "Oops" "m";
+  Format.printf "(%d classes live in the session)@." (Inc.num_classes inc)

@@ -1,0 +1,57 @@
+(* The whole pipeline end to end: parse a C++-subset program, resolve
+   every access with the paper's lookup algorithm, and EXECUTE it with
+   the staged-lookup runtime — real layouts, this-pointer adjustments,
+   shared virtual bases and vtable dispatch, all visible in the trace.
+
+   Run with: dune exec examples/interpreter_demo.exe *)
+
+let program = {|
+// A tiny document-model hierarchy with a virtual diamond.
+struct Node {
+  int refs;
+  virtual void describe();
+};
+
+struct Text : virtual Node {
+  int length;
+  virtual void describe() { refs = 1; length = 5; }
+};
+
+struct Styled : virtual Node {
+  int style;
+};
+
+struct RichText : Text, Styled {
+  virtual void describe() {
+    refs = 2;          // through the shared virtual Node subobject
+    length = 12;       // Text subobject
+    style = 7;         // Styled subobject
+  }
+  void redo() { Text::describe(); }  // qualified => static dispatch
+};
+
+int main() {
+  RichText rt;
+  Node* n;
+  n = &rt;             // pointer adjustment to the virtual Node subobject
+  n->describe();       // virtual dispatch: runs RichText::describe
+  rt.redo();           // runs Text::describe non-virtually
+  rt.length;           // reads what Text::describe wrote last
+}
+|}
+
+let () =
+  print_endline "--- program ----------------------------------------------";
+  print_string program;
+  print_endline "--- static resolutions ------------------------------------";
+  let sema = Frontend.Sema.analyze_source program in
+  List.iter
+    (fun r -> Format.printf "  %a@." (Frontend.Sema.pp_resolution sema.graph) r)
+    sema.resolutions;
+  assert (Frontend.Sema.ok sema);
+  print_endline "--- execution trace ---------------------------------------";
+  let outcome = Runtime.run_source program in
+  List.iter (fun e -> Format.printf "  %a@." Runtime.pp_event e) outcome.trace;
+  List.iter
+    (fun d -> Format.printf "  error: %s@." (Frontend.Diagnostic.to_string d))
+    outcome.runtime_errors

@@ -1,0 +1,65 @@
+(* Object layout and virtual-function-table construction — the paper's
+   "constructing virtual-function tables" application.  The final
+   overrider of every vtable slot of class C is exactly lookup(C, f).
+
+   Run with: dune exec examples/vtable_demo.exe *)
+
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+
+let () =
+  (* The classic iostream-style diamond:
+
+       ios { int state; virtual void tie(); }
+        |         |
+     istream   ostream       (both virtual)
+     { virtual get }  { virtual put, virtual flush }
+        \         /
+        iostream { flush overridden }
+  *)
+  let b = G.create_builder () in
+  ignore
+    (G.add_class b "ios" ~bases:[]
+       ~members:
+         [ G.member "state"; G.member ~kind:G.Function ~virtual_:true "tie" ]);
+  ignore
+    (G.add_class b "istream"
+       ~bases:[ ("ios", G.Virtual, G.Public) ]
+       ~members:
+         [ G.member "gcount"; G.member ~kind:G.Function ~virtual_:true "get" ]);
+  ignore
+    (G.add_class b "ostream"
+       ~bases:[ ("ios", G.Virtual, G.Public) ]
+       ~members:
+         [ G.member ~kind:G.Function ~virtual_:true "put";
+           G.member ~kind:G.Function ~virtual_:true "flush" ]);
+  ignore
+    (G.add_class b "iostream"
+       ~bases:
+         [ ("istream", G.Non_virtual, G.Public);
+           ("ostream", G.Non_virtual, G.Public) ]
+       ~members:[ G.member ~kind:G.Function ~virtual_:true "flush" ]);
+  let g = G.freeze b in
+
+  let engine = Engine.build (Chg.Closure.compute g) in
+
+  G.iter_classes g (fun c ->
+      Format.printf "@.%a@." Layout.Object_layout.pp (Layout.Object_layout.of_class g c);
+      Format.printf "%a@." (Layout.Vtable.pp g) (Layout.Vtable.build engine c));
+
+  (* Virtual dispatch through the Rossie-Friedman dyn/stat operations. *)
+  let eng_w = Engine.build ~witnesses:true (Chg.Closure.compute g) in
+  let io = G.find g "iostream" in
+  let sg = Subobject.Sgraph.build g io in
+  Format.printf "@.dyn(flush) on a complete iostream: %a@."
+    (Lookup_core.Rf_ops.pp_result sg)
+    (Lookup_core.Rf_ops.dyn eng_w sg "flush");
+  (* stat through the ostream subobject: the non-virtual resolution. *)
+  let ostream_sub =
+    List.find
+      (fun s -> G.name g (Subobject.Sgraph.ldc sg s) = "ostream")
+      (Subobject.Sgraph.subobjects sg)
+  in
+  Format.printf "stat(flush) through the ostream subobject: %a@."
+    (Lookup_core.Rf_ops.pp_result sg)
+    (Lookup_core.Rf_ops.stat eng_w sg ostream_sub "flush")

@@ -1,0 +1,97 @@
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+
+type class_report = {
+  cr_class : G.class_id;
+  cr_direct_bases : int;
+  cr_all_bases : int;
+  cr_virtual_bases : int;
+  cr_depth : int;
+  cr_subobjects : int;
+  cr_replicated : (G.class_id * int) list;
+  cr_ambiguous : string list;
+}
+
+type t = {
+  graph : G.t;
+  reports : class_report array;
+  max_depth : int;
+  ambiguous_pairs : int;
+  classes_with_replication : int;
+}
+
+let run cl =
+  let g = Chg.Closure.graph cl in
+  let n = G.num_classes g in
+  let engine = Engine.build cl in
+  let counts = Subobject.Count.table cl in
+  (* depth: longest chain above each class, one topological pass *)
+  let depth = Array.make n 0 in
+  for c = 0 to n - 1 do
+    List.iter
+      (fun (b : G.base) -> depth.(c) <- max depth.(c) (depth.(b.b_class) + 1))
+      (G.bases g c)
+  done;
+  let reports =
+    Array.init n (fun c ->
+        let replicated =
+          Chg.Bitset.fold
+            (fun x acc ->
+              let copies = Subobject.Count.copies_of cl ~base:x ~within:c in
+              if copies > 1 then (x, copies) :: acc else acc)
+            (Chg.Closure.bases_of cl c)
+            []
+          |> List.rev
+        in
+        let ambiguous =
+          List.filter
+            (fun m ->
+              match Engine.lookup engine c m with
+              | Some (Engine.Blue _) -> true
+              | Some (Engine.Red _) | None -> false)
+            (Engine.members engine c)
+        in
+        { cr_class = c;
+          cr_direct_bases = List.length (G.bases g c);
+          cr_all_bases = Chg.Bitset.cardinal (Chg.Closure.bases_of cl c);
+          cr_virtual_bases =
+            Chg.Bitset.cardinal (Chg.Closure.virtual_bases_of cl c);
+          cr_depth = depth.(c);
+          cr_subobjects = counts.(c);
+          cr_replicated = replicated;
+          cr_ambiguous = ambiguous })
+  in
+  { graph = g;
+    reports;
+    max_depth = Array.fold_left (fun acc d -> max acc d) 0 depth;
+    ambiguous_pairs =
+      Array.fold_left
+        (fun acc r -> acc + List.length r.cr_ambiguous)
+        0 reports;
+    classes_with_replication =
+      Array.fold_left
+        (fun acc r -> if r.cr_replicated = [] then acc else acc + 1)
+        0 reports }
+
+let report t c = t.reports.(c)
+
+let pp_class t ppf r =
+  let g = t.graph in
+  Format.fprintf ppf "@[<v>%s: depth %d, %d direct / %d total bases (%d virtual), %d subobjects@,"
+    (G.name g r.cr_class) r.cr_depth r.cr_direct_bases r.cr_all_bases
+    r.cr_virtual_bases r.cr_subobjects;
+  List.iter
+    (fun (x, k) ->
+      Format.fprintf ppf "  replicated base %s: %d copies@," (G.name g x) k)
+    r.cr_replicated;
+  List.iter
+    (fun m -> Format.fprintf ppf "  ambiguous member: %s@," m)
+    r.cr_ambiguous;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "%d classes, max depth %d, %d with replicated bases, %d ambiguous \
+     (class, member) pairs"
+    (G.num_classes t.graph) t.max_depth t.classes_with_replication
+    t.ambiguous_pairs

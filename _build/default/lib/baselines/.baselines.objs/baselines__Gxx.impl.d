@@ -1,0 +1,1 @@
+lib/baselines/gxx.ml: Chg Format List Subobject

@@ -1,0 +1,1 @@
+lib/baselines/gxx.mli: Chg Format Subobject

@@ -1,0 +1,1 @@
+lib/baselines/naive.ml: Array Chg Hashtbl List Subobject

@@ -1,0 +1,1 @@
+lib/baselines/rf_lookup.ml: Chg List Subobject

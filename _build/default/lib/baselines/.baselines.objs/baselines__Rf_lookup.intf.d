@@ -1,0 +1,1 @@
+lib/baselines/rf_lookup.mli: Chg Subobject

@@ -1,0 +1,1 @@
+lib/baselines/topo_lookup.ml: Array Chg

@@ -1,0 +1,1 @@
+lib/baselines/topo_lookup.mli: Chg

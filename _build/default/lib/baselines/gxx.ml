@@ -1,0 +1,69 @@
+module Sgraph = Subobject.Sgraph
+
+type mode = Buggy | Fixed
+
+type verdict =
+  | Resolved of Sgraph.subobject
+  | Ambiguous
+  | Undeclared
+
+exception Ambiguity_reported
+
+let lookup_in ~mode sg m =
+  let g = Sgraph.graph sg in
+  (* If the class itself declares m, the complete object wins outright
+     (the paper: "if class X itself does not have a member called m, the
+     algorithm performs a scan ..."). *)
+  let root = Sgraph.complete_object sg in
+  if Chg.Graph.declares g (Sgraph.ldc sg root) m then Resolved root
+  else begin
+    (* Sgraph.subobjects is BFS order from the complete object, ties in
+       base declaration order — the order the g++ scan visits. *)
+    let scan = Sgraph.subobjects sg in
+    match mode with
+    | Buggy -> (
+      let best = ref None in
+      try
+        List.iter
+          (fun s ->
+            if Chg.Graph.declares g (Sgraph.ldc sg s) m then
+              match !best with
+              | None -> best := Some s
+              | Some b ->
+                if Sgraph.dominates sg b s then ()
+                else if Sgraph.dominates sg s b then best := Some s
+                else
+                  (* Neither dominates: g++ reports ambiguity and quits,
+                     even though a later definition may dominate both. *)
+                  raise Ambiguity_reported)
+          scan;
+        match !best with None -> Undeclared | Some b -> Resolved b
+      with Ambiguity_reported -> Ambiguous)
+    | Fixed -> (
+      (* Keep all incomparable candidates; a later dominating definition
+         may still prune the whole set down to itself. *)
+      let candidates = ref [] in
+      List.iter
+        (fun s ->
+          if Chg.Graph.declares g (Sgraph.ldc sg s) m then
+            if List.exists (fun b -> Sgraph.dominates sg b s) !candidates
+            then ()
+            else
+              candidates :=
+                s
+                :: List.filter
+                     (fun b -> not (Sgraph.dominates sg s b))
+                     !candidates)
+        scan;
+      match !candidates with
+      | [] -> Undeclared
+      | [ b ] -> Resolved b
+      | _ -> Ambiguous)
+  end
+
+let lookup ~mode g c m = lookup_in ~mode (Sgraph.build g c) m
+
+let pp_verdict sg ppf = function
+  | Undeclared -> Format.pp_print_string ppf "undeclared"
+  | Ambiguous -> Format.pp_print_string ppf "ambiguous"
+  | Resolved s -> Format.fprintf ppf "resolved %a" (Sgraph.pp_subobject sg) s

@@ -1,0 +1,33 @@
+(** The member lookup algorithm of GNU g++ 2.7.2.1 as described in paper
+    Section 7.1, including its documented bug, plus a corrected variant.
+
+    The g++ algorithm breadth-first scans the subobject graph from the
+    complete object, keeping a single "most dominant member found so far".
+    When it encounters a definition incomparable with the current best it
+    {e immediately} reports ambiguity — which is wrong, because a later
+    definition may dominate both (the paper's Figure 9 counterexample,
+    which "3 of the 7 compilers we tried" got wrong).
+
+    [Buggy] mode reproduces that behaviour precisely; [Fixed] mode keeps
+    every incomparable candidate and lets later definitions prune the set,
+    reporting ambiguity only if more than one candidate survives the whole
+    scan — demonstrating the flaw is the pruning strategy, not the
+    subobject-graph traversal as such. *)
+
+type mode = Buggy | Fixed
+
+type verdict =
+  | Resolved of Subobject.Sgraph.subobject
+  | Ambiguous
+  | Undeclared
+
+(** [lookup ~mode g c m] performs the breadth-first scan.  Exponential
+    worst case (it materializes the subobject graph, as g++'s
+    representation did). *)
+val lookup :
+  mode:mode -> Chg.Graph.t -> Chg.Graph.class_id -> string -> verdict
+
+(** [lookup_in ~mode sg m] reuses a prebuilt subobject graph. *)
+val lookup_in : mode:mode -> Subobject.Sgraph.t -> string -> verdict
+
+val pp_verdict : Subobject.Sgraph.t -> Format.formatter -> verdict -> unit

@@ -1,0 +1,90 @@
+module Path = Subobject.Path
+module Spec = Subobject.Spec
+
+type reaching = { path : Path.t; killed : bool }
+
+(* Phase one of the naive algorithm: full-path reaching definitions.
+   [prune] controls whether killed definitions are propagated further
+   (the Corollary 1 optimization).  Kill marks are computed either way so
+   the bench harness can print Figures 4 and 5. *)
+let propagate_internal g m ~prune =
+  let cl = Chg.Closure.compute g in
+  let n = Chg.Graph.num_classes g in
+  let out : reaching list array = Array.make n [] in
+  (* Class ids are topological: bases before derived. *)
+  for c = 0 to n - 1 do
+    let generated =
+      if Chg.Graph.declares g c m then [ Path.trivial c ] else []
+    in
+    let inherited =
+      List.concat_map
+        (fun (b : Chg.Graph.base) ->
+          List.filter_map
+            (fun r ->
+              if prune && r.killed then None
+              else Some (Path.extend r.path b.b_kind c))
+            out.(b.b_class))
+        (Chg.Graph.bases g c)
+    in
+    let defs = generated @ inherited in
+    let strictly_dominated p =
+      List.exists
+        (fun q ->
+          (not (Path.equiv p q)) && Path.dominates_via_closure cl q p)
+        defs
+    in
+    out.(c) <-
+      List.map (fun p -> { path = p; killed = strictly_dominated p }) defs
+  done;
+  out
+
+let propagate g m = propagate_internal g m ~prune:false
+let propagate_pruned g m = propagate_internal g m ~prune:true
+
+(* Phase two: pick the most-dominant reaching definition, Definition 8
+   lifted to the representatives of the equivalence classes present. *)
+let verdict_of_defs cl defs =
+  match defs with
+  | [] -> Spec.Undeclared
+  | _ ->
+    let reps =
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun p ->
+          let k = Path.key p in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+        defs
+    in
+    let dominates_all u =
+      List.for_all (fun v -> Path.dominates_via_closure cl u v) reps
+    in
+    (match List.find_opt dominates_all reps with
+    | Some u -> Spec.Resolved u
+    | None ->
+      let maximal =
+        List.filter
+          (fun u ->
+            not
+              (List.exists
+                 (fun v ->
+                   (not (Path.equiv u v))
+                   && Path.dominates_via_closure cl v u)
+                 reps))
+          reps
+      in
+      Spec.Ambiguous maximal)
+
+let lookup_with g c m ~prune =
+  let cl = Chg.Closure.compute g in
+  let defs = propagate_internal g m ~prune in
+  verdict_of_defs cl
+    (List.filter_map
+       (fun r -> if prune && r.killed then None else Some r.path)
+       defs.(c))
+
+let lookup g c m = lookup_with g c m ~prune:false
+let lookup_killing g c m = lookup_with g c m ~prune:true

@@ -1,0 +1,41 @@
+(** The naive two-phase lookup of paper Section 4 ("the outline of a
+    simple, but inefficient, algorithm that follows directly from the
+    definition of lookup"): propagate {e full paths} as reaching
+    definitions through the CHG, then select the most-dominant reaching
+    definition at each node.
+
+    [propagate] exposes phase one so the per-node reaching-definition sets
+    of Figures 4 and 5 — including which definitions the optimized variant
+    kills — can be printed by the bench harness.
+
+    Worst-case exponential (the number of definition paths reaching a node
+    can equal the number of CHG paths); kept as a baseline and as a second
+    independent oracle. *)
+
+(** A reaching definition of member [m] at some class: a CHG path from a
+    declaring class.  [killed] marks definitions that the kill
+    optimization (Corollary 1) would not propagate further: they are
+    strictly dominated by another definition reaching the same node. *)
+type reaching = { path : Subobject.Path.t; killed : bool }
+
+(** [propagate g m] computes, for every class, all reaching definitions of
+    [m] (phase one), with kill marks.  Definitions are in propagation
+    order. *)
+val propagate : Chg.Graph.t -> string -> reaching list array
+
+(** [propagate_pruned g m] is phase one with the kill optimization
+    applied: killed definitions are not propagated further.  Used by the
+    ablation bench to quantify how many definitions the kill rule
+    saves. *)
+val propagate_pruned : Chg.Graph.t -> string -> reaching list array
+
+(** [lookup g c m] runs both phases for one query.  Verdicts follow
+    {!Subobject.Spec.verdict} semantics (no static-member rule). *)
+val lookup : Chg.Graph.t -> Chg.Graph.class_id -> string -> Subobject.Spec.verdict
+
+(** [lookup_killing g c m] is [lookup] but with phase one pruned by the
+    kill rule: at every node only the definitions not strictly dominated
+    there are propagated (still full paths, unlike the real algorithm's
+    abstractions).  Same verdicts, often far fewer paths. *)
+val lookup_killing :
+  Chg.Graph.t -> Chg.Graph.class_id -> string -> Subobject.Spec.verdict

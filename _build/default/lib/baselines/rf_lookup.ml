@@ -1,0 +1,45 @@
+module Sgraph = Subobject.Sgraph
+
+type verdict =
+  | Resolved of Sgraph.subobject
+  | Ambiguous of Sgraph.subobject list
+  | Undeclared
+
+let lookup_in ?(static_rule = false) sg m =
+  match Sgraph.defns sg m with
+  | [] -> Undeclared
+  | defs ->
+    let dominates_all u =
+      List.for_all (fun v -> Sgraph.dominates sg u v) defs
+    in
+    (match List.find_opt dominates_all defs with
+    | Some u -> Resolved u
+    | None ->
+      let maximal =
+        List.filter
+          (fun u ->
+            not (List.exists (fun v -> v != u && Sgraph.dominates sg v u) defs))
+          defs
+      in
+      let statically_resolved =
+        static_rule
+        &&
+        match maximal with
+        | [] -> false
+        | first :: rest ->
+          let l = Sgraph.ldc sg first in
+          List.for_all (fun s -> Sgraph.ldc sg s = l) rest
+          &&
+          (match Chg.Graph.find_member (Sgraph.graph sg) l m with
+          | Some mem -> Chg.Graph.member_is_static_like mem
+          | None -> false)
+      in
+      if statically_resolved then Resolved (List.hd maximal)
+      else Ambiguous maximal)
+
+let lookup ?static_rule g c m = lookup_in ?static_rule (Sgraph.build g c) m
+
+let to_spec sg = function
+  | Undeclared -> Subobject.Spec.Undeclared
+  | Resolved s -> Subobject.Spec.Resolved (Sgraph.a_path sg s)
+  | Ambiguous ss -> Subobject.Spec.Ambiguous (List.map (Sgraph.a_path sg) ss)

@@ -1,0 +1,28 @@
+(** Member lookup by direct traversal of the Rossie–Friedman subobject
+    graph (paper Section 7.1: "their specification of the lookup
+    operation, being executable, is itself an algorithm.  However, it is a
+    potentially inefficient one since the subobject graph's size can be
+    exponential in the size of the class hierarchy graph").
+
+    This is the correct (non-g++) subobject-graph algorithm: collect every
+    subobject declaring the member, compute the maximal elements under the
+    containment order, and resolve iff a unique most-dominant one exists
+    (with the optional static-member refinement of Definition 17). *)
+
+type verdict =
+  | Resolved of Subobject.Sgraph.subobject
+  | Ambiguous of Subobject.Sgraph.subobject list  (** the maximal set *)
+  | Undeclared
+
+(** [lookup ?static_rule g c m] builds the subobject graph of [c]
+    (exponential worst case) and resolves [m]. *)
+val lookup :
+  ?static_rule:bool -> Chg.Graph.t -> Chg.Graph.class_id -> string -> verdict
+
+(** [lookup_in ?static_rule sg m] reuses a prebuilt subobject graph. *)
+val lookup_in :
+  ?static_rule:bool -> Subobject.Sgraph.t -> string -> verdict
+
+(** [to_spec sg v] maps the verdict onto {!Subobject.Spec.verdict} via
+    representative paths, for oracle comparisons. *)
+val to_spec : Subobject.Sgraph.t -> verdict -> Subobject.Spec.verdict

@@ -1,0 +1,20 @@
+type t = {
+  g : Chg.Graph.t;
+  cl : Chg.Closure.t;
+  numbers : int array;
+}
+
+let prepare g =
+  { g; cl = Chg.Closure.compute g; numbers = Chg.Topo.numbers g }
+
+let resolve t c m =
+  let best = ref None in
+  let consider x =
+    if Chg.Graph.declares t.g x m then
+      match !best with
+      | None -> best := Some x
+      | Some b -> if t.numbers.(x) > t.numbers.(b) then best := Some x
+  in
+  consider c;
+  Chg.Bitset.iter consider (Chg.Closure.bases_of t.cl c);
+  !best

@@ -1,0 +1,22 @@
+(** The "assume the program is unambiguous" shortcut of paper Section 7.2
+    (the Attali et al. Eiffel setting): if a lookup is known to be
+    unambiguous, the resolving class is simply the declaring base class
+    with the largest topological number.
+
+    The paper: "much of the complexity of member lookup in C++ is in
+    identifying ambiguous lookups.  If one assumes that a particular
+    lookup is unambiguous, then the lookup can be done very simply."
+
+    On ambiguous lookups this algorithm silently returns a wrong answer —
+    the comparison bench (experiment C6) quantifies how often. *)
+
+type t
+
+(** [prepare g] precomputes topological numbers and the base closure. *)
+val prepare : Chg.Graph.t -> t
+
+(** [resolve t c m] is the declaring class of [m] with maximal topological
+    number among [c] and its bases, or [None] when no such class exists.
+    Sound only when [lookup (c, m)] is unambiguous (then it agrees with
+    the real algorithm's resolving class). *)
+val resolve : t -> Chg.Graph.class_id -> string -> Chg.Graph.class_id option

@@ -1,0 +1,1 @@
+lib/chg/bitset.ml: Array Format List Sys

@@ -1,0 +1,1 @@
+lib/chg/bitset.mli: Format

@@ -1,0 +1,1 @@
+lib/chg/closure.ml: Array Bitset Graph List

@@ -1,0 +1,1 @@
+lib/chg/closure.mli: Bitset Graph

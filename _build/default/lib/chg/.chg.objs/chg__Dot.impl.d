@@ -1,0 +1,1 @@
+lib/chg/dot.ml: Buffer Graph List Printf String

@@ -1,0 +1,1 @@
+lib/chg/dot.mli: Graph

@@ -1,0 +1,1 @@
+lib/chg/graph.ml: Array Format Fun Hashtbl List Option Result String

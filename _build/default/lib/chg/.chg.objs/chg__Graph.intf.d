@@ -1,0 +1,1 @@
+lib/chg/graph.mli: Format

@@ -1,0 +1,1 @@
+lib/chg/json.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/chg/serialize.ml: Graph Json List Printf Result

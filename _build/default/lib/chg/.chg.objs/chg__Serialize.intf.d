@@ -1,0 +1,1 @@
+lib/chg/serialize.mli: Graph Json

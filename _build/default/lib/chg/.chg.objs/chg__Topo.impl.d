@@ -1,0 +1,1 @@
+lib/chg/topo.ml: Array Graph Int List Set

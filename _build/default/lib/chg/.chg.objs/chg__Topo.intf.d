@@ -1,0 +1,1 @@
+lib/chg/topo.mli: Graph

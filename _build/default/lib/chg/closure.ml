@@ -1,0 +1,57 @@
+type t = {
+  g : Graph.t;
+  bases : Bitset.t array;  (* bases.(y) = strict bases of y *)
+  vbases : Bitset.t array;  (* vbases.(y) = virtual bases of y *)
+  derived : Bitset.t array;  (* derived.(x) = strict derived classes of x *)
+}
+
+let compute g =
+  let n = Graph.num_classes g in
+  let bases = Array.init n (fun _ -> Bitset.create n) in
+  let vbases = Array.init n (fun _ -> Bitset.create n) in
+  let derived = Array.init n (fun _ -> Bitset.create n) in
+  (* Class ids are a topological order (bases before derived), so one pass
+     in increasing order suffices for [bases]:
+       bases(y) = U_{x direct base of y} ({x} U bases(x)).                 *)
+  for y = 0 to n - 1 do
+    List.iter
+      (fun (b : Graph.base) ->
+        Bitset.add bases.(y) b.b_class;
+        ignore (Bitset.union_into ~into:bases.(y) bases.(b.b_class)))
+      (Graph.bases g y)
+  done;
+  (* x is a virtual base of y iff some path x => y starts with a virtual
+     edge x -> z, i.e. there is a virtual edge x -> z with z = y or z a
+     base of y.  Equivalently, for every virtual edge x -> z:
+       x is a virtual base of z and of everything derived from z.         *)
+  for y = 0 to n - 1 do
+    List.iter
+      (fun (b : Graph.base) ->
+        match b.b_kind with
+        | Graph.Virtual ->
+          (* b.b_class -> y is virtual: b.b_class is a virtual base of y
+             and of all classes derived from y; rather than iterate over
+             derived sets (not yet complete), propagate below. *)
+          Bitset.add vbases.(y) b.b_class
+        | Graph.Non_virtual -> ())
+      (Graph.bases g y);
+    (* Inherit the virtual bases of every direct base: if x is a virtual
+       base of z and z is a base (or self) of y then x is a virtual base
+       of y, because the witness path x -> ... -> z extends to y. *)
+    List.iter
+      (fun (b : Graph.base) ->
+        ignore (Bitset.union_into ~into:vbases.(y) vbases.(b.b_class)))
+      (Graph.bases g y)
+  done;
+  for y = 0 to n - 1 do
+    Bitset.iter (fun x -> Bitset.add derived.(x) y) bases.(y)
+  done;
+  { g; bases; vbases; derived }
+
+let graph t = t.g
+let is_base t x y = Bitset.mem t.bases.(y) x
+let is_base_or_self t x y = x = y || is_base t x y
+let is_virtual_base t x y = Bitset.mem t.vbases.(y) x
+let bases_of t y = t.bases.(y)
+let virtual_bases_of t y = t.vbases.(y)
+let derived_of t x = t.derived.(x)

@@ -1,0 +1,38 @@
+(** Transitive-closure information over a class hierarchy graph.
+
+    The lookup algorithm's dominance test (paper Lemma 4 and lines [1]-[3]
+    of Figure 8) requires a constant-time "is [X] a virtual base of [Y]"
+    probe.  As the paper notes, a compiler needs this information anyway;
+    we compute it once per graph with a bitset-based closure in
+    [O(|N| * (|N| + |E|))] word operations. *)
+
+type t
+
+(** [compute g] builds the closure tables for [g]. *)
+val compute : Graph.t -> t
+
+(** [graph t] is the graph the closure was computed from. *)
+val graph : t -> Graph.t
+
+(** [is_base t x y] is [true] iff [x] is a (strict, possibly indirect)
+    base class of [y] — i.e. there is a non-empty CHG path from [x] to
+    [y]. *)
+val is_base : t -> Graph.class_id -> Graph.class_id -> bool
+
+(** [is_base_or_self t x y] is [is_base t x y || x = y]. *)
+val is_base_or_self : t -> Graph.class_id -> Graph.class_id -> bool
+
+(** [is_virtual_base t x y] is [true] iff there is a path from [x] to [y]
+    whose {e first} edge is virtual (the paper's definition of virtual
+    base, Section 2). *)
+val is_virtual_base : t -> Graph.class_id -> Graph.class_id -> bool
+
+(** [bases_of t y] is the set of strict bases of [y]. *)
+val bases_of : t -> Graph.class_id -> Bitset.t
+
+(** [virtual_bases_of t y] is the set of virtual bases of [y]. *)
+val virtual_bases_of : t -> Graph.class_id -> Bitset.t
+
+(** [derived_of t x] is the set of classes [y] such that [x] is a strict
+    base of [y]. *)
+val derived_of : t -> Graph.class_id -> Bitset.t

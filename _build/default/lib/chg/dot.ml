@@ -1,0 +1,34 @@
+let to_dot ?(highlight = []) g =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph chg {\n";
+  pf "  rankdir=BT;\n  node [shape=record, fontname=\"Helvetica\"];\n";
+  Graph.iter_classes g (fun c ->
+      let members =
+        Graph.members g c
+        |> List.map (fun (m : Graph.member) -> m.m_name)
+        |> String.concat "\\n"
+      in
+      let label =
+        if members = "" then Graph.name g c
+        else Printf.sprintf "{%s|%s}" (Graph.name g c) members
+      in
+      let fill =
+        if List.mem c highlight then ", style=filled, fillcolor=lightgray"
+        else ""
+      in
+      pf "  n%d [label=\"%s\"%s];\n" c label fill);
+  Graph.iter_classes g (fun c ->
+      List.iter
+        (fun (b : Graph.base) ->
+          let style =
+            match b.b_kind with
+            | Graph.Virtual -> " [style=dashed]"
+            | Graph.Non_virtual -> ""
+          in
+          (* Edges drawn derived -> base pointing up (rankdir=BT) keeps
+             bases at the top, like the paper's figures. *)
+          pf "  n%d -> n%d%s;\n" c b.b_class style)
+        (Graph.bases g c));
+  pf "}\n";
+  Buffer.contents buf

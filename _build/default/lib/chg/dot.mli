@@ -1,0 +1,9 @@
+(** Graphviz export of class hierarchy graphs, matching the paper's
+    figures: solid edges denote non-virtual inheritance, dashed edges
+    denote virtual inheritance, and members declared in a class are listed
+    in its node label. *)
+
+(** [to_dot ?highlight g] renders [g] as a Graphviz [digraph].
+    Edges point from base to derived, as in the paper's CHG drawings.
+    Classes in [highlight] are drawn filled. *)
+val to_dot : ?highlight:Graph.class_id list -> Graph.t -> string

@@ -1,0 +1,241 @@
+type edge_kind = Virtual | Non_virtual
+type access = Public | Protected | Private
+type member_kind = Data | Function | Type | Enumerator
+
+type member = {
+  m_name : string;
+  m_kind : member_kind;
+  m_static : bool;
+  m_virtual : bool;
+  m_access : access;
+}
+
+let member_is_static_like m =
+  m.m_static || (match m.m_kind with
+                | Type | Enumerator -> true
+                | Data | Function -> false)
+
+type base = { b_class : int; b_kind : edge_kind; b_access : access }
+type class_id = int
+
+type t = {
+  names : string array;
+  ids : (string, int) Hashtbl.t;
+  base_edges : base array array;
+  derived_edges : (int * edge_kind) list array;  (* reversed adjacency *)
+  member_arrays : member array array;
+  num_edges : int;
+}
+
+type error =
+  | Duplicate_class of string
+  | Unknown_base of { cls : string; base : string }
+  | Duplicate_base of { cls : string; base : string }
+  | Duplicate_member of { cls : string; member : string }
+  | Cyclic_hierarchy of string list
+
+let pp_error ppf = function
+  | Duplicate_class c -> Format.fprintf ppf "class %s is declared twice" c
+  | Unknown_base { cls; base } ->
+    Format.fprintf ppf "class %s inherits from undeclared class %s" cls base
+  | Duplicate_base { cls; base } ->
+    Format.fprintf ppf "class %s lists direct base %s twice" cls base
+  | Duplicate_member { cls; member } ->
+    Format.fprintf ppf "class %s declares member %s twice" cls member
+  | Cyclic_hierarchy cycle ->
+    Format.fprintf ppf "inheritance cycle: %s"
+      (String.concat " -> " cycle)
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Error of error
+
+type class_rec = {
+  r_name : string;
+  r_bases : base list;
+  r_members : member list;
+}
+
+type builder = {
+  mutable rev_classes : class_rec list;
+  b_ids : (string, int) Hashtbl.t;
+  mutable count : int;
+}
+
+let create_builder () = { rev_classes = []; b_ids = Hashtbl.create 16; count = 0 }
+
+let check_members cls members =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem seen m.m_name then
+        raise (Error (Duplicate_member { cls; member = m.m_name }));
+      Hashtbl.add seen m.m_name ())
+    members
+
+let add_class b name ~bases ~members =
+  if Hashtbl.mem b.b_ids name then raise (Error (Duplicate_class name));
+  check_members name members;
+  let seen_bases = Hashtbl.create 4 in
+  let resolve (base_name, kind, acc) =
+    match Hashtbl.find_opt b.b_ids base_name with
+    | None -> raise (Error (Unknown_base { cls = name; base = base_name }))
+    | Some id ->
+      if Hashtbl.mem seen_bases base_name then
+        raise (Error (Duplicate_base { cls = name; base = base_name }));
+      Hashtbl.add seen_bases base_name ();
+      { b_class = id; b_kind = kind; b_access = acc }
+  in
+  let resolved = List.map resolve bases in
+  let id = b.count in
+  Hashtbl.add b.b_ids name id;
+  b.count <- b.count + 1;
+  b.rev_classes <-
+    { r_name = name; r_bases = resolved; r_members = members } :: b.rev_classes;
+  id
+
+let freeze b =
+  let recs = Array.of_list (List.rev b.rev_classes) in
+  let n = Array.length recs in
+  let names = Array.map (fun r -> r.r_name) recs in
+  let ids = Hashtbl.copy b.b_ids in
+  let base_edges = Array.map (fun r -> Array.of_list r.r_bases) recs in
+  let member_arrays = Array.map (fun r -> Array.of_list r.r_members) recs in
+  let derived_edges = Array.make n [] in
+  let num_edges = ref 0 in
+  (* Walk derived classes in reverse so each adjacency list ends up in
+     declaration order of the derived classes. *)
+  for c = n - 1 downto 0 do
+    Array.iter
+      (fun e ->
+        incr num_edges;
+        derived_edges.(e.b_class) <- (c, e.b_kind) :: derived_edges.(e.b_class))
+      base_edges.(c)
+  done;
+  { names; ids; base_edges; derived_edges; member_arrays; num_edges = !num_edges }
+
+type decl = {
+  d_name : string;
+  d_bases : (string * edge_kind * access) list;
+  d_members : member list;
+}
+
+let of_decls decls =
+  (* Topologically sort the declarations (bases first) with an explicit
+     DFS so we can report a cycle as a witness path. *)
+  let by_name = Hashtbl.create 16 in
+  match
+    List.iter
+      (fun d ->
+        if Hashtbl.mem by_name d.d_name then
+          raise (Error (Duplicate_class d.d_name));
+        Hashtbl.add by_name d.d_name d)
+      decls
+  with
+  | exception Error e -> Result.Error e
+  | () ->
+    let state = Hashtbl.create 16 in
+    (* state: 0 = in progress, 1 = done *)
+    let order = ref [] in
+    let rec visit stack name =
+      match Hashtbl.find_opt state name with
+      | Some 1 -> ()
+      | Some _ ->
+        let cycle =
+          let rec take = function
+            | [] -> []
+            | x :: rest -> if x = name then [ x ] else x :: take rest
+          in
+          name :: List.rev (take stack)
+        in
+        raise (Error (Cyclic_hierarchy cycle))
+      | None ->
+        (match Hashtbl.find_opt by_name name with
+        | None -> ()  (* unknown base: reported by the builder below *)
+        | Some d ->
+          Hashtbl.add state name 0;
+          List.iter (fun (b, _, _) -> visit (name :: stack) b) d.d_bases;
+          Hashtbl.replace state name 1;
+          order := d :: !order)
+    in
+    (match List.iter (fun d -> visit [] d.d_name) decls with
+    | exception Error e -> Result.Error e
+    | () ->
+      let b = create_builder () in
+      (match
+         List.iter
+           (fun d ->
+             ignore (add_class b d.d_name ~bases:d.d_bases ~members:d.d_members))
+           (List.rev !order)
+       with
+      | exception Error e -> Result.Error e
+      | () -> Ok (freeze b)))
+
+let member ?(kind = Data) ?(static = false) ?(virtual_ = false)
+    ?(access = Public) name =
+  { m_name = name; m_kind = kind; m_static = static; m_virtual = virtual_;
+    m_access = access }
+
+let num_classes g = Array.length g.names
+let num_edges g = g.num_edges
+let name g c = g.names.(c)
+let find g n = Hashtbl.find g.ids n
+let find_opt g n = Hashtbl.find_opt g.ids n
+let bases g c = Array.to_list g.base_edges.(c)
+let derived g c = g.derived_edges.(c)
+let members g c = Array.to_list g.member_arrays.(c)
+
+let find_member g c m =
+  Array.find_opt (fun mem -> String.equal mem.m_name m) g.member_arrays.(c)
+
+let declares g c m = Option.is_some (find_member g c m)
+
+let member_names g =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun ms ->
+      Array.iter
+        (fun m ->
+          if not (Hashtbl.mem seen m.m_name) then begin
+            Hashtbl.add seen m.m_name ();
+            out := m.m_name :: !out
+          end)
+        ms)
+    g.member_arrays;
+  List.rev !out
+
+let classes g = List.init (num_classes g) Fun.id
+
+let iter_classes g f =
+  for c = 0 to num_classes g - 1 do
+    f c
+  done
+
+let pp ppf g =
+  iter_classes g (fun c ->
+      let pp_base ppf b =
+        Format.fprintf ppf "%s%s"
+          (match b.b_kind with Virtual -> "virtual " | Non_virtual -> "")
+          g.names.(b.b_class)
+      in
+      let pp_member ppf m =
+        Format.fprintf ppf "%s%s%s"
+          (if m.m_static then "static " else "")
+          (if m.m_virtual then "virtual " else "")
+          m.m_name
+      in
+      Format.fprintf ppf "@[<h>class %s" g.names.(c);
+      (match bases g c with
+      | [] -> ()
+      | bs ->
+        Format.fprintf ppf " : %a"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+             pp_base)
+          bs);
+      Format.fprintf ppf " { %a }@]@."
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           pp_member)
+        (members g c))

@@ -1,0 +1,109 @@
+let access_to_string = function
+  | Graph.Public -> "public"
+  | Graph.Protected -> "protected"
+  | Graph.Private -> "private"
+
+let access_of_string = function
+  | "public" -> Ok Graph.Public
+  | "protected" -> Ok Graph.Protected
+  | "private" -> Ok Graph.Private
+  | s -> Error (Printf.sprintf "unknown access %S" s)
+
+let kind_to_string = function
+  | Graph.Data -> "data"
+  | Graph.Function -> "function"
+  | Graph.Type -> "type"
+  | Graph.Enumerator -> "enumerator"
+
+let kind_of_string = function
+  | "data" -> Ok Graph.Data
+  | "function" -> Ok Graph.Function
+  | "type" -> Ok Graph.Type
+  | "enumerator" -> Ok Graph.Enumerator
+  | s -> Error (Printf.sprintf "unknown member kind %S" s)
+
+let to_json g =
+  let base_json (b : Graph.base) =
+    Json.Obj
+      [ ("class", Json.String (Graph.name g b.b_class));
+        ("virtual", Json.Bool (b.b_kind = Graph.Virtual));
+        ("access", Json.String (access_to_string b.b_access)) ]
+  in
+  let member_json (m : Graph.member) =
+    Json.Obj
+      [ ("name", Json.String m.m_name);
+        ("kind", Json.String (kind_to_string m.m_kind));
+        ("static", Json.Bool m.m_static);
+        ("virtual", Json.Bool m.m_virtual);
+        ("access", Json.String (access_to_string m.m_access)) ]
+  in
+  let class_json c =
+    Json.Obj
+      [ ("name", Json.String (Graph.name g c));
+        ("bases", Json.List (List.map base_json (Graph.bases g c)));
+        ("members", Json.List (List.map member_json (Graph.members g c))) ]
+  in
+  Json.Obj
+    [ ("format", Json.String "cxxlookup-chg");
+      ("version", Json.Int 1);
+      ("classes", Json.List (List.map class_json (Graph.classes g))) ]
+
+let ( let* ) = Result.bind
+
+let base_of_json j =
+  let* cls = Result.bind (Json.member "class" j) Json.to_str in
+  let* virt = Result.bind (Json.member "virtual" j) Json.to_bool in
+  let* acc_s = Result.bind (Json.member "access" j) Json.to_str in
+  let* acc = access_of_string acc_s in
+  Ok (cls, (if virt then Graph.Virtual else Graph.Non_virtual), acc)
+
+let member_of_json j =
+  let* name = Result.bind (Json.member "name" j) Json.to_str in
+  let* kind_s = Result.bind (Json.member "kind" j) Json.to_str in
+  let* kind = kind_of_string kind_s in
+  let* static = Result.bind (Json.member "static" j) Json.to_bool in
+  let* virt = Result.bind (Json.member "virtual" j) Json.to_bool in
+  let* acc_s = Result.bind (Json.member "access" j) Json.to_str in
+  let* access = access_of_string acc_s in
+  Ok
+    { Graph.m_name = name;
+      m_kind = kind;
+      m_static = static;
+      m_virtual = virt;
+      m_access = access }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let class_of_json j =
+  let* name = Result.bind (Json.member "name" j) Json.to_str in
+  let* bases_j = Result.bind (Json.member "bases" j) Json.to_list in
+  let* bases = map_result base_of_json bases_j in
+  let* members_j = Result.bind (Json.member "members" j) Json.to_list in
+  let* members = map_result member_of_json members_j in
+  Ok { Graph.d_name = name; d_bases = bases; d_members = members }
+
+let of_json j =
+  let* fmt = Result.bind (Json.member "format" j) Json.to_str in
+  if fmt <> "cxxlookup-chg" then
+    Error (Printf.sprintf "unknown format %S" fmt)
+  else
+    let* version = Result.bind (Json.member "version" j) Json.to_int in
+    if version <> 1 then
+      Error (Printf.sprintf "unsupported version %d" version)
+    else
+      let* classes_j = Result.bind (Json.member "classes" j) Json.to_list in
+      let* decls = map_result class_of_json classes_j in
+      (match Graph.of_decls decls with
+      | Ok g -> Ok g
+      | Error e -> Error (Graph.error_to_string e))
+
+let to_string ?pretty g = Json.to_string ?pretty (to_json g)
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j

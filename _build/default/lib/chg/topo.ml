@@ -1,0 +1,44 @@
+let order g =
+  let n = Graph.num_classes g in
+  let indegree = Array.make n 0 in
+  Graph.iter_classes g (fun c ->
+      indegree.(c) <- List.length (Graph.bases g c));
+  let module H = Set.Make (Int) in
+  let ready = ref H.empty in
+  Graph.iter_classes g (fun c ->
+      if indegree.(c) = 0 then ready := H.add c !ready);
+  let out = Array.make n (-1) in
+  let next = ref 0 in
+  while not (H.is_empty !ready) do
+    let c = H.min_elt !ready in
+    ready := H.remove c !ready;
+    out.(!next) <- c;
+    incr next;
+    List.iter
+      (fun (d, _) ->
+        indegree.(d) <- indegree.(d) - 1;
+        if indegree.(d) = 0 then ready := H.add d !ready)
+      (Graph.derived g c)
+  done;
+  assert (!next = n);  (* builder graphs are acyclic by construction *)
+  out
+
+let numbers g =
+  let ord = order g in
+  let num = Array.make (Array.length ord) 0 in
+  Array.iteri (fun pos c -> num.(c) <- pos) ord;
+  num
+
+let is_topological g ord =
+  let n = Graph.num_classes g in
+  Array.length ord = n
+  &&
+  let pos = Array.make n (-1) in
+  Array.iteri (fun i c -> if c >= 0 && c < n then pos.(c) <- i) ord;
+  Array.for_all (fun p -> p >= 0) pos
+  && List.for_all
+       (fun c ->
+         List.for_all
+           (fun (b : Graph.base) -> pos.(b.b_class) < pos.(c))
+           (Graph.bases g c))
+       (Graph.classes g)

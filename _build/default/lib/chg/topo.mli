@@ -1,0 +1,22 @@
+(** Topological orders over class hierarchy graphs.
+
+    Builder insertion order is already topological (bases before derived);
+    this module makes that order explicit, provides topological numbers for
+    the Eiffel-style lookup shortcut of paper Section 7.2, and offers an
+    independent Kahn's-algorithm computation used to cross-check the
+    builder's invariant in tests. *)
+
+(** [order g] is a topological order of the classes of [g] (every base
+    precedes every class derived from it).  This is Kahn's algorithm over
+    the inheritance edges, tie-broken by class id, so the result is
+    deterministic. *)
+val order : Graph.t -> Graph.class_id array
+
+(** [numbers g] maps each class id to its position in [order g];
+    [numbers g].(base) < [numbers g].(derived) for every base/derived
+    pair.  These are the [top_sort] numbers of paper Section 7.2. *)
+val numbers : Graph.t -> int array
+
+(** [is_topological g ord] checks that [ord] is a permutation of the
+    classes in which bases precede derived classes. *)
+val is_topological : Graph.t -> Graph.class_id array -> bool

@@ -1,0 +1,1 @@
+lib/core/abstraction.ml: Chg Format List Subobject

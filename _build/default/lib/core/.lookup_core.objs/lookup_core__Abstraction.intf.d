@@ -1,0 +1,1 @@
+lib/core/abstraction.mli: Chg Format Subobject

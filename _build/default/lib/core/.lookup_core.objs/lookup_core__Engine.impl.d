@@ -1,0 +1,1 @@
+lib/core/engine.ml: Abstraction Array Chg Format Hashtbl List Option String Subobject

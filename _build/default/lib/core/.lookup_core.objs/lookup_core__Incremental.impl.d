@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Abstraction Array Chg Engine Hashtbl List

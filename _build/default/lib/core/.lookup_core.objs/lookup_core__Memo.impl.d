@@ -1,0 +1,1 @@
+lib/core/memo.ml: Abstraction Chg Engine Hashtbl List

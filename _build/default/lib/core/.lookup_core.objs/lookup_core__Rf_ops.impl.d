@@ -1,0 +1,1 @@
+lib/core/rf_ops.ml: Engine Format Subobject

@@ -1,0 +1,1 @@
+lib/core/rf_ops.mli: Engine Format Subobject

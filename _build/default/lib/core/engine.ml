@@ -1,0 +1,254 @@
+open Abstraction
+
+type verdict = Red of Abstraction.red | Blue of Abstraction.lv list
+
+type entry = Absent | Verdict of verdict
+
+type t = {
+  g : Chg.Graph.t;
+  cl : Chg.Closure.t;
+  member_ids : (string, int) Hashtbl.t;
+  member_names : string array;
+  table : entry array array;  (* table.(c).(mid) *)
+  witness_table : Subobject.Path.t option array array;  (* empty if disabled *)
+  member_sets : Chg.Bitset.t array;  (* Members[C] as member-id sets *)
+}
+
+let blue_union s1 s2 = List.sort_uniq lv_compare (List.rev_append s1 s2)
+
+(* One combine step: the verdict for a class from its direct bases'
+   verdicts, already pushed through their edges.
+
+   This is Figure 8 lines [14]-[44] reformulated as an explicit
+   maximal-set computation, which both matches the paper's candidate scan
+   when no static members are involved and handles the Section 6
+   extension correctly.  The reformulation is needed because a
+   statically-resolved lookup stands for a *group* of subobjects (same
+   ldc, different leastVirtual); a definition arriving later may dominate
+   some group members and not others, so a single representative (as a
+   literal reading of Section 6 would keep) is unsound — the test suite's
+   random-static oracle property exposes this.
+
+   Incoming red verdicts are expanded into individual (ldc, lv) dominance
+   atoms.  Two atoms with equal (L, V), V ≠ Ω, denote the same subobject
+   (their fixed parts are maximal definitions in lookup(V, m) sharing the
+   ldc L, hence the same static entity) and are merged; equal (L, Ω)
+   atoms from different edges denote distinct subobjects and are kept.
+
+   The verdict is Red iff the maximal atoms all share one ldc L, the
+   group is a singleton or m is static in L, and every blue abstraction
+   is dominated by some maximal atom.  Otherwise Blue carries the lvs of
+   the maximal atoms plus the undominated blues (dominated definitions
+   may be dropped by Corollary 1). *)
+let combine ~vbase ~is_static_at incoming =
+  let atoms = ref [] in  (* (ldc, lv, witness) with (l, v<>Ω) deduped *)
+  let blues = ref [] in
+  List.iter
+    (fun (v, w) ->
+      match v with
+      | Red r ->
+        List.iter
+          (fun lv ->
+            let duplicate =
+              lv <> Omega
+              && List.exists
+                   (fun (l', lv', _) -> l' = r.r_ldc && lv_equal lv' lv)
+                   !atoms
+            in
+            if not duplicate then atoms := (r.r_ldc, lv, w) :: !atoms)
+          r.r_lvs
+      | Blue s -> blues := blue_union !blues s)
+    incoming;
+  let atoms = List.rev !atoms in
+  let strictly_dominated (l, v, _) =
+    List.exists
+      (fun (l', v', _) ->
+        dominates1 vbase (l', v') (l, v) && not (dominates1 vbase (l, v) (l', v')))
+      atoms
+  in
+  let maximal = List.filter (fun a -> not (strictly_dominated a)) atoms in
+  let resolved =
+    match maximal with
+    | [] -> None
+    | (l, _, w) :: rest ->
+      if not (List.for_all (fun (l', _, _) -> l' = l) rest) then None
+      else if rest <> [] && not (is_static_at l) then None
+      else begin
+        let lvs =
+          List.sort_uniq lv_compare (List.map (fun (_, v, _) -> v) maximal)
+        in
+        if List.for_all (dominates_blue vbase (l, lvs)) !blues then
+          Some ({ r_ldc = l; r_lvs = lvs }, w)
+        else None
+      end
+  in
+  match resolved with
+  | Some (r, w) -> (Red r, w)
+  | None ->
+    let max_lvs = List.map (fun (_, v, _) -> v) maximal in
+    let undominated_blues =
+      List.filter
+        (fun b ->
+          not
+            (List.exists
+               (fun (l, v, _) -> dominates_blue vbase (l, [ v ]) b)
+               maximal))
+        !blues
+    in
+    (Blue (blue_union max_lvs undominated_blues), None)
+
+let combine_incoming = combine
+
+let build_general ?(static_rule = true) ?(witnesses = false) cl ~only =
+  let g = Chg.Closure.graph cl in
+  let n = Chg.Graph.num_classes g in
+  (* Intern member names.  When [only] restricts to a single member, the
+     universe is that one name. *)
+  let member_ids = Hashtbl.create 64 in
+  let rev_names = ref [] in
+  let intern name =
+    match Hashtbl.find_opt member_ids name with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length member_ids in
+      Hashtbl.add member_ids name id;
+      rev_names := name :: !rev_names;
+      id
+  in
+  (match only with
+  | Some m -> ignore (intern m)
+  | None ->
+    Chg.Graph.iter_classes g (fun c ->
+        List.iter
+          (fun (mem : Chg.Graph.member) -> ignore (intern mem.m_name))
+          (Chg.Graph.members g c)));
+  let num_members = Hashtbl.length member_ids in
+  let member_names = Array.of_list (List.rev !rev_names) in
+  let member_sets = Array.init n (fun _ -> Chg.Bitset.create num_members) in
+  let table = Array.init n (fun _ -> Array.make num_members Absent) in
+  let witness_table =
+    if witnesses then Array.init n (fun _ -> Array.make num_members None)
+    else [||]
+  in
+  let wanted name =
+    match only with None -> true | Some m -> String.equal m name
+  in
+  let is_static_at mid l =
+    static_rule
+    &&
+    match Chg.Graph.find_member g l member_names.(mid) with
+    | Some mem -> Chg.Graph.member_is_static_like mem
+    | None -> false
+  in
+  (* Class ids are topological (bases before derived): one increasing
+     pass implements the paper's traversal. *)
+  for c = 0 to n - 1 do
+    (* Members[C] := M[C] ∪ (∪_X Members[X])   (Figure 8 lines [7]-[9]) *)
+    List.iter
+      (fun (mem : Chg.Graph.member) ->
+        if wanted mem.m_name then
+          Chg.Bitset.add member_sets.(c) (intern mem.m_name))
+      (Chg.Graph.members g c);
+    List.iter
+      (fun (b : Chg.Graph.base) ->
+        ignore
+          (Chg.Bitset.union_into ~into:member_sets.(c)
+             member_sets.(b.b_class)))
+      (Chg.Graph.bases g c);
+    Chg.Bitset.iter
+      (fun mid ->
+        let name = member_names.(mid) in
+        if Chg.Graph.declares g c name then begin
+          (* Lines [11]-[12]: a generated definition kills everything. *)
+          table.(c).(mid) <- Verdict (Red { r_ldc = c; r_lvs = [ Omega ] });
+          if witnesses then
+            witness_table.(c).(mid) <- Some (Subobject.Path.trivial c)
+        end
+        else begin
+          let incoming =
+            List.concat_map
+              (fun (b : Chg.Graph.base) ->
+                let x = b.b_class in
+                if not (Chg.Bitset.mem member_sets.(x) mid) then []
+                else
+                  match table.(x).(mid) with
+                  | Absent -> []
+                  | Verdict (Red r) ->
+                    let w =
+                      if witnesses then
+                        Option.map
+                          (fun p -> Subobject.Path.extend p b.b_kind c)
+                          witness_table.(x).(mid)
+                      else None
+                    in
+                    [ (Red (extend_red r x b.b_kind), w) ]
+                  | Verdict (Blue s) ->
+                    [ (Blue (List.map (fun v -> o v x b.b_kind) s), None) ])
+              (Chg.Graph.bases g c)
+          in
+          let v, w =
+            combine ~vbase:(Chg.Closure.is_virtual_base cl)
+              ~is_static_at:(is_static_at mid) incoming
+          in
+          table.(c).(mid) <- Verdict v;
+          if witnesses then witness_table.(c).(mid) <- w
+        end)
+      member_sets.(c)
+  done;
+  { g; cl; member_ids; member_names; table; witness_table; member_sets }
+
+let build ?static_rule ?witnesses cl =
+  build_general ?static_rule ?witnesses cl ~only:None
+
+let build_member ?static_rule ?witnesses cl m =
+  build_general ?static_rule ?witnesses cl ~only:(Some m)
+
+let lookup t c m =
+  match Hashtbl.find_opt t.member_ids m with
+  | None -> None
+  | Some mid ->
+    (match t.table.(c).(mid) with Absent -> None | Verdict v -> Some v)
+
+let witness t c m =
+  if Array.length t.witness_table = 0 then None
+  else
+    match Hashtbl.find_opt t.member_ids m with
+    | None -> None
+    | Some mid -> t.witness_table.(c).(mid)
+
+let resolves_to t c m =
+  match lookup t c m with
+  | Some (Red r) -> Some r.r_ldc
+  | Some (Blue _) | None -> None
+
+let members t c =
+  List.map (fun mid -> t.member_names.(mid))
+    (Chg.Bitset.elements t.member_sets.(c))
+
+let graph t = t.g
+let closure t = t.cl
+
+let agrees_with_spec t ~spec_verdict c m =
+  match (lookup t c m, spec_verdict) with
+  | None, Subobject.Spec.Undeclared -> true
+  | Some (Red r), Subobject.Spec.Resolved p ->
+    let l = Subobject.Path.ldc p in
+    let spec_lv =
+      match Subobject.Path.least_virtual p with
+      | None -> Omega
+      | Some v -> Lv v
+    in
+    (* The spec returns one representative of the winning group; the
+       engine's group must contain its abstraction. *)
+    r.r_ldc = l && List.exists (lv_equal spec_lv) r.r_lvs
+  | Some (Blue _), Subobject.Spec.Ambiguous _ -> true
+  | _ -> false
+
+let pp_verdict g ppf = function
+  | Red r -> Format.fprintf ppf "red %a" (pp_red g) r
+  | Blue s ->
+    Format.fprintf ppf "blue {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (pp_lv g))
+      s

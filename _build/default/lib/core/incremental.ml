@@ -1,0 +1,153 @@
+open Abstraction
+
+type row = {
+  r_bases : (int * Chg.Graph.edge_kind) list;  (* resolved direct bases *)
+  r_members : (string, Chg.Graph.member) Hashtbl.t;  (* declared here *)
+  r_verdicts : (string, Engine.verdict) Hashtbl.t;  (* Members[C] keyed *)
+  r_vbases : Chg.Bitset.t;  (* virtual bases of this class *)
+  r_bases_set : Chg.Bitset.t;  (* strict bases *)
+}
+
+type t = {
+  static_rule : bool;
+  builder : Chg.Graph.builder;  (* kept in lockstep for snapshots *)
+  mutable rows : row array;  (* grow-doubling; first [count] are live *)
+  mutable count : int;
+  ids : (string, int) Hashtbl.t;
+  mutable capacity : int;
+}
+
+let create ?(static_rule = true) () =
+  { static_rule;
+    builder = Chg.Graph.create_builder ();
+    rows = [||];
+    count = 0;
+    ids = Hashtbl.create 16;
+    capacity = 0 }
+
+let num_classes t = t.count
+let find t name = Hashtbl.find t.ids name
+
+let row t c =
+  if c < 0 || c >= t.count then invalid_arg "Incremental: bad class id";
+  t.rows.(c)
+
+(* Bitsets are fixed-capacity; classes only ever refer to earlier classes,
+   so per-row sets sized to the row's own id suffice: row i's sets live in
+   universe [0..i]. *)
+let is_virtual_base t x y =
+  if y >= t.count || x >= t.count then false
+  else x < Chg.Bitset.length (row t y).r_vbases
+       && Chg.Bitset.mem (row t y).r_vbases x
+
+let ensure_capacity t =
+  if t.count = t.capacity then begin
+    let cap = max 8 (t.capacity * 2) in
+    let fresh = Array.make cap None in
+    Array.iteri (fun i r -> fresh.(i) <- Some r) (Array.sub t.rows 0 t.count);
+    t.rows <-
+      Array.map
+        (function
+          | Some r -> r
+          | None ->
+            (* placeholder rows beyond [count] are never read *)
+            { r_bases = [];
+              r_members = Hashtbl.create 1;
+              r_verdicts = Hashtbl.create 1;
+              r_vbases = Chg.Bitset.create 0;
+              r_bases_set = Chg.Bitset.create 0 })
+        fresh;
+    t.capacity <- cap
+  end
+
+let add_class t name ~bases ~members =
+  (* Validate + record through the ordinary builder so all Graph.Error
+     cases behave identically. *)
+  let id = Chg.Graph.add_class t.builder name ~bases ~members in
+  assert (id = t.count);
+  ensure_capacity t;
+  Hashtbl.add t.ids name id;
+  let resolved_bases =
+    List.map (fun (bname, kind, _) -> (Hashtbl.find t.ids bname, kind)) bases
+  in
+  (* closure rows, universe [0..id] *)
+  let vbases = Chg.Bitset.create (id + 1) in
+  let bases_set = Chg.Bitset.create (id + 1) in
+  List.iter
+    (fun (b, kind) ->
+      Chg.Bitset.add bases_set b;
+      Chg.Bitset.iter (fun x -> Chg.Bitset.add bases_set x)
+        (row t b).r_bases_set;
+      (match kind with
+      | Chg.Graph.Virtual -> Chg.Bitset.add vbases b
+      | Chg.Graph.Non_virtual -> ());
+      Chg.Bitset.iter (fun x -> Chg.Bitset.add vbases x) (row t b).r_vbases)
+    resolved_bases;
+  let member_tbl = Hashtbl.create (max 4 (List.length members)) in
+  List.iter (fun (m : Chg.Graph.member) ->
+      Hashtbl.replace member_tbl m.m_name m)
+    members;
+  (* Members[C] = M[C] ∪ bases' Members; one combine per member name. *)
+  let verdicts = Hashtbl.create 16 in
+  let member_names = Hashtbl.create 16 in
+  List.iter (fun (m : Chg.Graph.member) ->
+      Hashtbl.replace member_names m.m_name ())
+    members;
+  List.iter
+    (fun (b, _) ->
+      Hashtbl.iter
+        (fun mname _ -> Hashtbl.replace member_names mname ())
+        (row t b).r_verdicts)
+    resolved_bases;
+  let vbase = is_virtual_base t in
+  Hashtbl.iter
+    (fun mname () ->
+      let verdict =
+        if Hashtbl.mem member_tbl mname then
+          Engine.Red { r_ldc = id; r_lvs = [ Omega ] }
+        else begin
+          let incoming =
+            List.filter_map
+              (fun (x, kind) ->
+                match Hashtbl.find_opt (row t x).r_verdicts mname with
+                | None -> None
+                | Some (Engine.Red r) ->
+                  Some (Engine.Red (extend_red r x kind), None)
+                | Some (Engine.Blue s) ->
+                  Some (Engine.Blue (List.map (fun v -> o v x kind) s), None))
+              resolved_bases
+          in
+          (* is_static_at is only ever called with ldcs of incoming
+             definitions, which are earlier (live) classes *)
+          let is_static_at l =
+            t.static_rule
+            &&
+            match Hashtbl.find_opt (row t l).r_members mname with
+            | Some mem -> Chg.Graph.member_is_static_like mem
+            | None -> false
+          in
+          let v, _ = Engine.combine_incoming ~vbase ~is_static_at incoming in
+          v
+        end
+      in
+      Hashtbl.replace verdicts mname verdict)
+    member_names;
+  let r =
+    { r_bases = resolved_bases;
+      r_members = member_tbl;
+      r_verdicts = verdicts;
+      r_vbases = vbases;
+      r_bases_set = bases_set }
+  in
+  t.rows.(id) <- r;
+  t.count <- t.count + 1;
+  id
+
+let lookup t c m = Hashtbl.find_opt (row t c).r_verdicts m
+
+let resolves_to t c m =
+  match lookup t c m with
+  | Some (Engine.Red r) -> Some r.r_ldc
+  | Some (Engine.Blue _) | None -> None
+
+let snapshot t = Chg.Graph.freeze t.builder

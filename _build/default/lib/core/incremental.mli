@@ -1,0 +1,44 @@
+(** An incrementally maintained lookup table.
+
+    The eager algorithm processes classes in topological order, and a
+    class's verdicts depend only on its direct bases' verdicts — so when
+    a program is processed declaration by declaration (as a compiler or
+    an IDE does), each new class costs only its own row:
+    [O(Members[C] * (1 + indegree))] amortized, never recomputing earlier
+    classes.  The closure information the dominance test needs (the
+    virtual-bases sets) is equally monotone and is grown in place.
+
+    The table agrees with {!Engine.build} on the frozen graph after every
+    insertion (property-tested). *)
+
+type t
+
+(** [create ?static_rule ()] is an empty hierarchy. *)
+val create : ?static_rule:bool -> unit -> t
+
+(** [add_class t name ~bases ~members] declares a class (bases must
+    already be declared, as in C++) and computes its lookup-table row.
+    @raise Chg.Graph.Error like the graph builder on ill-formed input. *)
+val add_class :
+  t ->
+  string ->
+  bases:(string * Chg.Graph.edge_kind * Chg.Graph.access) list ->
+  members:Chg.Graph.member list ->
+  Chg.Graph.class_id
+
+(** [lookup t c m] — same verdicts as the eager engine. *)
+val lookup : t -> Chg.Graph.class_id -> string -> Engine.verdict option
+
+(** [resolves_to t c m] is the declaring class of an unambiguous lookup. *)
+val resolves_to : t -> Chg.Graph.class_id -> string -> Chg.Graph.class_id option
+
+(** [num_classes t] is the number of classes added so far. *)
+val num_classes : t -> int
+
+(** [find t name] is the id of a declared class.
+    @raise Not_found if absent. *)
+val find : t -> string -> Chg.Graph.class_id
+
+(** [snapshot t] freezes the current hierarchy as a plain graph (used by
+    tests to compare against the batch engine). *)
+val snapshot : t -> Chg.Graph.t

@@ -1,0 +1,54 @@
+open Abstraction
+
+type t = {
+  g : Chg.Graph.t;
+  cl : Chg.Closure.t;
+  static_rule : bool;
+  cache : (Chg.Graph.class_id * string, Engine.verdict option) Hashtbl.t;
+}
+
+let create ?(static_rule = true) cl =
+  { g = Chg.Closure.graph cl; cl; static_rule; cache = Hashtbl.create 64 }
+
+let rec lookup t c m =
+  match Hashtbl.find_opt t.cache (c, m) with
+  | Some v -> v
+  | None ->
+    let v = compute t c m in
+    Hashtbl.add t.cache (c, m) v;
+    v
+
+and compute t c m =
+  if Chg.Graph.declares t.g c m then
+    Some (Engine.Red { r_ldc = c; r_lvs = [ Omega ] })
+  else begin
+    let incoming =
+      List.concat_map
+        (fun (b : Chg.Graph.base) ->
+          let x = b.b_class in
+          match lookup t x m with
+          | None -> []
+          | Some (Engine.Red r) ->
+            [ (Engine.Red (extend_red r x b.b_kind), None) ]
+          | Some (Engine.Blue s) ->
+            [ (Engine.Blue (List.map (fun v -> o v x b.b_kind) s), None) ])
+        (Chg.Graph.bases t.g c)
+    in
+    match incoming with
+    | [] -> None
+    | _ ->
+      let is_static_at l =
+        t.static_rule
+        &&
+        match Chg.Graph.find_member t.g l m with
+        | Some mem -> Chg.Graph.member_is_static_like mem
+        | None -> false
+      in
+      let v, _w =
+        Engine.combine_incoming ~vbase:(Chg.Closure.is_virtual_base t.cl)
+          ~is_static_at incoming
+      in
+      Some v
+  end
+
+let cached_entries t = Hashtbl.length t.cache

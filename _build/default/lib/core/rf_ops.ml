@@ -1,0 +1,35 @@
+type result =
+  | Resolved of Subobject.Sgraph.subobject
+  | Ambiguous
+  | Undeclared
+
+
+let resolve_with_witness eng c m =
+  match Engine.lookup eng c m with
+  | None -> `Undeclared
+  | Some (Engine.Blue _) -> `Ambiguous
+  | Some (Engine.Red _) ->
+    (match Engine.witness eng c m with
+    | Some p -> `Path p
+    | None ->
+      invalid_arg "Rf_ops: engine must be built with ~witnesses:true")
+
+let dyn eng sg m =
+  match resolve_with_witness eng (Subobject.Sgraph.most_derived sg) m with
+  | `Undeclared -> Undeclared
+  | `Ambiguous -> Ambiguous
+  | `Path p -> Resolved (Subobject.Sgraph.of_path sg p)
+
+let stat eng sg s m =
+  match resolve_with_witness eng (Subobject.Sgraph.ldc sg s) m with
+  | `Undeclared -> Undeclared
+  | `Ambiguous -> Ambiguous
+  | `Path p ->
+    (* [α] ∘ [σ] = [α . β] for any representative β of σ. *)
+    let beta = Subobject.Sgraph.a_path sg s in
+    Resolved (Subobject.Sgraph.of_path sg (Subobject.Path.concat p beta))
+
+let pp_result sg ppf = function
+  | Undeclared -> Format.pp_print_string ppf "undeclared"
+  | Ambiguous -> Format.pp_print_string ppf "ambiguous"
+  | Resolved s -> Format.fprintf ppf "resolved %a" (Subobject.Sgraph.pp_subobject sg) s

@@ -1,0 +1,35 @@
+(** The Rossie–Friedman lookup operations [dyn] and [stat] (paper Section
+    7.1), staged through this library's compile-time lookup.
+
+    Rossie and Friedman define member lookup as partial functions from
+    subobjects to subobjects: [dyn m σ] models the lookup performed for a
+    {e virtual} member access (resolved against the complete object) and
+    [stat m σ] the lookup for a {e non-virtual} access (resolved against
+    the static type, then re-based into the complete object).  The paper
+    shows both reduce to the class-level [lookup]:
+
+    {v dyn(m, σ)  = lookup(mdc σ, m)
+ stat(m, σ) = lookup(ldc σ, m) ∘ σ        where [α] ∘ [β] = [α.β] v}
+
+    staging the expensive part at compile time exactly as real C++
+    implementations do (the run-time part is a constant-time vtable or
+    offset operation). *)
+
+type result =
+  | Resolved of Subobject.Sgraph.subobject
+  | Ambiguous
+  | Undeclared
+
+(** [dyn eng sg m] resolves a virtual access to member [m] on the complete
+    object of [sg].  [eng] must be an {!Engine.t} built with
+    [~witnesses:true] over the same graph.  Every subobject of the same
+    complete object yields the same answer, so the subobject argument of
+    the formal definition is implied by [sg]. *)
+val dyn : Engine.t -> Subobject.Sgraph.t -> string -> result
+
+(** [stat eng sg s m] resolves a non-virtual access to member [m] through
+    subobject [s] of [sg]'s complete object: lookup in [ldc s]'s class
+    context, then compose the witness path onto a path representing [s]. *)
+val stat : Engine.t -> Subobject.Sgraph.t -> Subobject.Sgraph.subobject -> string -> result
+
+val pp_result : Subobject.Sgraph.t -> Format.formatter -> result -> unit

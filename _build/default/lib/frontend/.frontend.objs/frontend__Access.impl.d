@@ -1,0 +1,1 @@
+lib/frontend/access.ml: Array Chg Format List Option Subobject

@@ -1,0 +1,1 @@
+lib/frontend/access.mli: Chg Format Subobject

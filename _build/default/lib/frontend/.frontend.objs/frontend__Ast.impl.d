@@ -1,0 +1,1 @@
+lib/frontend/ast.ml: Chg Loc

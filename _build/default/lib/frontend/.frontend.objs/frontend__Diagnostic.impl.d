@@ -1,0 +1,1 @@
+lib/frontend/diagnostic.ml: Format List Loc

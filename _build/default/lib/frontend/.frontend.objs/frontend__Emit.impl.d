@@ -1,0 +1,1 @@
+lib/frontend/emit.ml: Buffer Chg List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Lexing List Loc Printf Token

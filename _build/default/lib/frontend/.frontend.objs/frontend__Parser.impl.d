@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Chg Diagnostic Format Lexer List Loc Printf Result Token

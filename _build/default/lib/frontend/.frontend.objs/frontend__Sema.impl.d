@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Access Ast Chg Diagnostic Format Hashtbl List Loc Lookup_core Option Parser Subobject

@@ -1,0 +1,1 @@
+lib/frontend/sema.mli: Access Ast Chg Diagnostic Format Loc Lookup_core Subobject

@@ -1,0 +1,105 @@
+type visibility =
+  | Accessible of Chg.Graph.access
+  | Inaccessible
+
+let rank = function
+  | Chg.Graph.Public -> 2
+  | Chg.Graph.Protected -> 1
+  | Chg.Graph.Private -> 0
+
+let min_access a b = if rank a <= rank b then a else b
+
+let along_path g path ~member =
+  let nodes = Subobject.Path.nodes path in
+  let find_edge_access base derived =
+    match
+      List.find_opt
+        (fun (b : Chg.Graph.base) -> b.b_class = base)
+        (Chg.Graph.bases g derived)
+    with
+    | Some b -> b.b_access
+    | None -> assert false  (* the path is a real path of g *)
+  in
+  let rec walk cur = function
+    | [] | [ _ ] -> Accessible cur
+    | base :: (derived :: _ as rest) ->
+      (* A private member of the base is not accessible in the derived
+         class at all. *)
+      if cur = Chg.Graph.Private then Inaccessible
+      else walk (min_access cur (find_edge_access base derived)) rest
+  in
+  walk member.Chg.Graph.m_access nodes
+
+let vis_rank = function
+  | Inaccessible -> -1
+  | Accessible a -> rank a
+
+let best v1 v2 = if vis_rank v1 >= vis_rank v2 then v1 else v2
+
+(* One inheritance step: a member with visibility [v] in the base seen
+   through an edge with access specifier [e].  Private members are not
+   accessible in derived classes at all. *)
+let step v e =
+  match v with
+  | Inaccessible | Accessible Chg.Graph.Private -> Inaccessible
+  | Accessible a -> Accessible (min_access a e)
+
+let best_effective cl path ~member =
+  let g = Chg.Closure.graph cl in
+  let fixed = Subobject.Path.fixed path in
+  let a0 = along_path g fixed ~member in
+  if not (Subobject.Path.is_v_path path) then a0
+  else begin
+    (* DP over the classes from F = mdc fixed to C = mdc path: v.(y) is
+       the best visibility over virtual-first paths F => y.  Class ids
+       are topological, so one increasing sweep suffices. *)
+    let f = Subobject.Path.mdc fixed in
+    let c = Subobject.Path.mdc path in
+    let v = Array.make (Chg.Graph.num_classes g) None in
+    for y = f + 1 to c do
+      List.iter
+        (fun (b : Chg.Graph.base) ->
+          let x = b.b_class in
+          let from_x =
+            if x = f then
+              (* the first edge of the continuation must be virtual, or
+                 the fixed part would extend through it *)
+              if b.b_kind = Chg.Graph.Virtual then Some (step a0 b.b_access)
+              else None
+            else Option.map (fun vx -> step vx b.b_access) v.(x)
+          in
+          match from_x with
+          | None -> ()
+          | Some vis ->
+            v.(y) <-
+              Some (match v.(y) with None -> vis | Some w -> best vis w))
+        (Chg.Graph.bases g y)
+    done;
+    match v.(c) with
+    | Some vis -> vis
+    | None -> assert false  (* path is a real v-path of g *)
+  end
+
+let best_effective_spec g path ~member =
+  let equivalent =
+    List.filter
+      (Subobject.Path.equiv path)
+      (Subobject.Path.all_to g (Subobject.Path.mdc path))
+  in
+  List.fold_left
+    (fun acc p -> best acc (along_path g p ~member))
+    Inaccessible equivalent
+
+let accessible_from_outside = function
+  | Accessible Chg.Graph.Public -> true
+  | Accessible (Chg.Graph.Protected | Chg.Graph.Private) | Inaccessible ->
+    false
+
+let pp ppf = function
+  | Inaccessible -> Format.pp_print_string ppf "inaccessible"
+  | Accessible a ->
+    Format.pp_print_string ppf
+      (match a with
+      | Chg.Graph.Public -> "public"
+      | Chg.Graph.Protected -> "protected"
+      | Chg.Graph.Private -> "private")

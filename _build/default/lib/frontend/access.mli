@@ -1,0 +1,58 @@
+(** Access-rights computation (paper Section 6: "The access rights do not
+    affect the member lookup process in any way; they are applied only
+    after a successful member lookup to determine if that particular
+    member access is legal", with the algorithmic details deferred to the
+    companion technical report).
+
+    We compute the effective access of a resolved member along the
+    witness path returned by the lookup engine: starting from the
+    member's declared access in its declaring class, each inheritance
+    edge caps the access at the edge's access specifier, and a member
+    that has become private in some class is not accessible in classes
+    derived from it.
+
+    Simplification (documented in DESIGN.md): C++ grants access if {e
+    some} path to the resolved subobject grants it; we evaluate the
+    single witness path.  For hierarchies without access-specifier
+    asymmetry between equivalent paths the two coincide. *)
+
+type visibility =
+  | Accessible of Chg.Graph.access
+      (** effective access in the scope of the path's most derived class:
+          [Public] members are usable from anywhere, [Protected] from
+          derived classes, [Private] from the class itself *)
+  | Inaccessible
+      (** the member became private somewhere strictly above the most
+          derived class, so even the class itself cannot name it *)
+
+(** [along_path g path ~member] is the visibility of [member] (declared
+    in [Path.ldc path]) when reached through [path]. *)
+val along_path :
+  Chg.Graph.t -> Subobject.Path.t -> member:Chg.Graph.member -> visibility
+
+(** [best_effective cl path ~member] is the C++-exact rule: the {e best}
+    visibility over {e every} path denoting the same subobject as [path]
+    (the whole [≈]-class).  The equivalence class of a v-path [p] with
+    fixed part [f] ending at class [F] is exactly
+    [{ f . δ | δ a virtual-first path from F to mdc p }], so the best is
+    computed by one dynamic-programming sweep over the classes between
+    [F] and [mdc p] in topological order — [O(|N| + |E|)] — rather than
+    by path enumeration.  Property-tested against {!best_effective_spec}. *)
+val best_effective :
+  Chg.Closure.t -> Subobject.Path.t -> member:Chg.Graph.member -> visibility
+
+(** [best_effective_spec g path ~member] is the same quantity by explicit
+    enumeration of the equivalence class (worst-case exponential; the
+    testing oracle). *)
+val best_effective_spec :
+  Chg.Graph.t -> Subobject.Path.t -> member:Chg.Graph.member -> visibility
+
+(** [accessible_from_outside v] — usable in a non-member function such as
+    [main], i.e. effectively public. *)
+val accessible_from_outside : visibility -> bool
+
+(** [best v1 v2] — the more permissive of two visibilities
+    (Inaccessible < private < protected < public). *)
+val best : visibility -> visibility -> visibility
+
+val pp : Format.formatter -> visibility -> unit

@@ -1,0 +1,78 @@
+(** Abstract syntax for the C++ subset.
+
+    The subset is exactly what the member lookup problem needs end to end:
+    class definitions (inheritance lists with [virtual] and access
+    specifiers; data/function members, possibly [static] or [virtual]) and
+    function bodies whose statements declare variables of class type and
+    access their members with [.], [->], or qualified [X::m] syntax. *)
+
+type type_name =
+  | Builtin of string  (** [int], [void], ... *)
+  | Named of string  (** a class name *)
+
+type ty = { t_base : type_name; t_pointer : bool }
+
+type base_spec = {
+  b_virtual : bool;
+  b_access : Chg.Graph.access option;  (** [None]: the class-kind default *)
+  b_name : string;
+  b_loc : Loc.t;
+}
+
+(** A member access expression: a variable followed by a chain of [.] or
+    [->] selections, e.g. [p->next.value]. *)
+type selector = { s_arrow : bool; s_member : string; s_loc : Loc.t }
+
+type expr =
+  | Var of string * Loc.t
+  | Select of expr * selector
+  | Qualified of string * string * Loc.t  (** [X::m] *)
+  | Call of expr * Loc.t
+      (** a postfix expression followed by [()]: a nullary member-function
+          call; the callee is a [Var] (implicit this), [Select] chain or
+          [Qualified] name resolving to a function member *)
+
+(** Right-hand side of an assignment statement. *)
+type rhs =
+  | Rint of int  (** [lhs = 42;] *)
+  | Raddr of expr  (** [lhs = &expr;] *)
+
+type stmt =
+  | Var_decl of { v_type : ty; v_name : string; v_loc : Loc.t }
+  | Expr of expr  (** an access evaluated for its effect *)
+  | Assign of expr * rhs
+
+type member_decl = {
+  md_name : string;
+  md_type : ty;
+  md_static : bool;
+  md_virtual : bool;
+  md_kind : Chg.Graph.member_kind;
+  md_access : Chg.Graph.access;  (** resolved from the enclosing section *)
+  md_body : stmt list option;
+      (** member-function body, when present: its statements are resolved
+          with unqualified-name lookup through the class scope *)
+  md_loc : Loc.t;
+}
+
+type class_decl = {
+  c_name : string;
+  c_kind : [ `Class | `Struct ];
+  c_bases : base_spec list;
+  c_members : member_decl list;
+  c_loc : Loc.t;
+}
+
+type func = {
+  f_name : string;
+  f_body : stmt list;
+  f_loc : Loc.t;
+}
+
+type program = { classes : class_decl list; funcs : func list }
+
+let rec expr_loc = function
+  | Var (_, l) -> l
+  | Select (_, s) -> s.s_loc
+  | Qualified (_, _, l) -> l
+  | Call (e, _) -> expr_loc e

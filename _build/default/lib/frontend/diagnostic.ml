@@ -1,0 +1,28 @@
+(** Compiler diagnostics with source positions. *)
+
+type severity = Error | Warning | Note
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+let error ?(loc = Loc.dummy) fmt =
+  Format.kasprintf (fun message -> { severity = Error; loc; message }) fmt
+
+let warning ?(loc = Loc.dummy) fmt =
+  Format.kasprintf (fun message -> { severity = Warning; loc; message }) fmt
+
+let note ?(loc = Loc.dummy) fmt =
+  Format.kasprintf (fun message -> { severity = Note; loc; message }) fmt
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp ppf d =
+  Format.fprintf ppf "%a: %s: %s" Loc.pp d.loc (severity_string d.severity)
+    d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds

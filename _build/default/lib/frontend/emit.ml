@@ -1,0 +1,49 @@
+module G = Chg.Graph
+
+let access_label = function
+  | G.Public -> "public"
+  | G.Protected -> "protected"
+  | G.Private -> "private"
+
+let member_line (m : G.member) =
+  match m.m_kind with
+  | G.Type -> Printf.sprintf "typedef int %s;" m.m_name
+  | G.Enumerator -> Printf.sprintf "enum { %s };" m.m_name
+  | G.Data ->
+    Printf.sprintf "%sint %s;" (if m.m_static then "static " else "") m.m_name
+  | G.Function ->
+    Printf.sprintf "%s%svoid %s();"
+      (if m.m_static then "static " else "")
+      (if m.m_virtual then "virtual " else "")
+      m.m_name
+
+let to_source g =
+  let buf = Buffer.create 1024 in
+  G.iter_classes g (fun c ->
+      (* "struct" with explicit access specifiers everywhere keeps the
+         defaults out of the picture *)
+      Buffer.add_string buf ("struct " ^ G.name g c);
+      (match G.bases g c with
+      | [] -> ()
+      | bases ->
+        Buffer.add_string buf " : ";
+        Buffer.add_string buf
+          (String.concat ", "
+             (List.map
+                (fun (b : G.base) ->
+                  Printf.sprintf "%s%s %s"
+                    (match b.b_kind with
+                    | G.Virtual -> "virtual "
+                    | G.Non_virtual -> "")
+                    (access_label b.b_access)
+                    (G.name g b.b_class))
+                bases)));
+      Buffer.add_string buf " {\n";
+      List.iter
+        (fun (m : G.member) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s:\n  %s\n" (access_label m.m_access)
+               (member_line m)))
+        (G.members g c);
+      Buffer.add_string buf "};\n\n");
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Emit a class hierarchy graph back as C++-subset source text — the
+    inverse of the front end, closing the loop
+    [source -> graph -> source]:
+
+    - [Sema.analyze_source (to_source g)] rebuilds a graph isomorphic to
+      [g] (property-tested), and
+    - imported JSON hierarchies can be materialized as compilable-looking
+      C++ for inspection or for feeding other tools.
+
+    Member types are not stored in the graph, so data members are
+    emitted as [int]; enumeration constants are emitted as one anonymous
+    [enum] per constant (grouping is not recorded either); nested type
+    names become [typedef int T;].  None of this affects lookup, which
+    is name-based. *)
+
+val to_source : Chg.Graph.t -> string

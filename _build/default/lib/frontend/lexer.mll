@@ -1,0 +1,79 @@
+{
+(* Lexer for the C++ subset.  Produces Token.t values; raises
+   [Error (msg, loc)] on malformed input. *)
+
+exception Error of string * Loc.t
+
+let keywords =
+  [ ("class", Token.KW_class);
+    ("struct", Token.KW_struct);
+    ("virtual", Token.KW_virtual);
+    ("public", Token.KW_public);
+    ("protected", Token.KW_protected);
+    ("private", Token.KW_private);
+    ("static", Token.KW_static);
+    ("enum", Token.KW_enum);
+    ("typedef", Token.KW_typedef);
+    ("int", Token.KW_int);
+    ("void", Token.KW_void);
+    ("char", Token.KW_char);
+    ("bool", Token.KW_bool);
+    ("float", Token.KW_float);
+    ("double", Token.KW_double);
+    ("long", Token.KW_long) ]
+}
+
+let blank = [' ' '\t' '\r']
+let digit = ['0'-'9']
+let alpha = ['a'-'z' 'A'-'Z' '_']
+let ident = alpha (alpha | digit)*
+
+rule token = parse
+  | blank+            { token lexbuf }
+  | '\n'              { Lexing.new_line lexbuf; token lexbuf }
+  | "//" [^ '\n']*    { token lexbuf }
+  | "/*"              { comment (Loc.of_lexbuf lexbuf) lexbuf; token lexbuf }
+  | ident as s        { match List.assoc_opt s keywords with
+                        | Some kw -> kw
+                        | None -> Token.IDENT s }
+  | digit+ as s       { Token.INT_LIT (int_of_string s) }
+  | "::"              { Token.COLONCOLON }
+  | "->"              { Token.ARROW }
+  | '{'               { Token.LBRACE }
+  | '}'               { Token.RBRACE }
+  | '('               { Token.LPAREN }
+  | ')'               { Token.RPAREN }
+  | ':'               { Token.COLON }
+  | ';'               { Token.SEMI }
+  | ','               { Token.COMMA }
+  | '.'               { Token.DOT }
+  | '*'               { Token.STAR }
+  | '&'               { Token.AMP }
+  | '='               { Token.EQUAL }
+  | eof               { Token.EOF }
+  | _ as c            { raise (Error (Printf.sprintf "unexpected character %C" c,
+                                      Loc.of_lexbuf lexbuf)) }
+
+and comment start = parse
+  | "*/"              { () }
+  | '\n'              { Lexing.new_line lexbuf; comment start lexbuf }
+  | eof               { raise (Error ("unterminated comment", start)) }
+  | _                 { comment start lexbuf }
+
+{
+(* [tokenize src] lexes a whole string into (token, location) pairs,
+   ending with EOF. *)
+let tokenize src =
+  let lexbuf = Lexing.from_string src in
+  let rec loop acc =
+    let loc = Loc.of_lexbuf lexbuf in
+    (* lexeme_start_p before reading gives the position of skipped
+       blanks; read first, then take the start of the lexeme. *)
+    ignore loc;
+    let tok = token lexbuf in
+    let loc = Loc.of_lexbuf lexbuf in
+    if tok = Token.EOF then List.rev ((tok, loc) :: acc)
+    else loop ((tok, loc) :: acc)
+  in
+  loop []
+}

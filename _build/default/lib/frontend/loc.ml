@@ -1,0 +1,11 @@
+(** Source positions for diagnostics. *)
+
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+
+let of_lexbuf lexbuf =
+  let p = Lexing.lexeme_start_p lexbuf in
+  { line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1 }
+
+let pp ppf { line; col } = Format.fprintf ppf "%d:%d" line col

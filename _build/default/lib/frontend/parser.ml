@@ -1,0 +1,365 @@
+exception Error of string * Loc.t
+
+type state = { toks : (Token.t * Loc.t) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let peek_loc st = snd st.toks.(st.pos)
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1)
+  else Token.EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = st.toks.(st.pos) in
+  advance st;
+  t
+
+let fail st fmt =
+  Format.kasprintf (fun msg -> raise (Error (msg, peek_loc st))) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let expect_ident st =
+  match next st with
+  | Token.IDENT s, loc -> (s, loc)
+  | t, loc ->
+    raise
+      (Error
+         (Printf.sprintf "expected identifier but found '%s'"
+            (Token.to_string t), loc))
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+(* type ::= builtin | IDENT, returning the base type name *)
+let parse_type_base st =
+  match next st with
+  | Token.IDENT s, _ -> Ast.Named s
+  | t, _ when Token.is_builtin_type t -> Ast.Builtin (Token.to_string t)
+  | t, loc ->
+    raise
+      (Error
+         (Printf.sprintf "expected a type but found '%s'" (Token.to_string t),
+          loc))
+
+let is_type_start = function
+  | Token.IDENT _ -> true
+  | t -> Token.is_builtin_type t
+
+(* -- statements (used both by free functions and member-function
+      bodies) ----------------------------------------------------------- *)
+
+(* postfix ::= IDENT ("(" ")")? (("." | "->") IDENT ("(" ")")?)*
+             | IDENT "::" IDENT ("(" ")")? *)
+let parse_postfix st =
+  let name, loc = expect_ident st in
+  let call e l =
+    if peek st = Token.LPAREN then begin
+      advance st;
+      expect st Token.RPAREN;
+      Ast.Call (e, l)
+    end
+    else e
+  in
+  if accept st Token.COLONCOLON then begin
+    let m, mloc = expect_ident st in
+    call (Ast.Qualified (name, m, loc)) mloc
+  end
+  else begin
+    let e = ref (call (Ast.Var (name, loc)) loc) in
+    let rec selectors () =
+      match peek st with
+      | Token.DOT | Token.ARROW ->
+        let arrow = peek st = Token.ARROW in
+        advance st;
+        let m, mloc = expect_ident st in
+        e := Ast.Select (!e, { Ast.s_arrow = arrow; s_member = m; s_loc = mloc });
+        e := call !e mloc;
+        selectors ()
+      | Token.LBRACE | Token.RBRACE | Token.LPAREN | Token.RPAREN
+      | Token.COLON | Token.COLONCOLON | Token.SEMI | Token.COMMA
+      | Token.STAR | Token.AMP | Token.EQUAL | Token.EOF | Token.IDENT _
+      | Token.INT_LIT _ | Token.KW_class | Token.KW_struct | Token.KW_virtual
+      | Token.KW_public | Token.KW_protected | Token.KW_private
+      | Token.KW_static | Token.KW_enum | Token.KW_typedef | Token.KW_int
+      | Token.KW_void | Token.KW_char | Token.KW_bool | Token.KW_float
+      | Token.KW_double | Token.KW_long -> ()
+    in
+    selectors ();
+    !e
+  end
+
+let rec parse_stmt st =
+  match (peek st, peek2 st) with
+  | Token.IDENT _, Token.COLON ->
+    (* a label, as in Figure 9's "s1: E e;" *)
+    advance st;
+    advance st;
+    parse_stmt st
+  | t, _ when Token.is_builtin_type t -> parse_var_decl st
+  | Token.IDENT _, Token.IDENT _ | Token.IDENT _, Token.STAR ->
+    (* "E e;" or "E *p;": a declaration, not an access *)
+    parse_var_decl st
+  | Token.IDENT _, _ ->
+    let e = parse_postfix st in
+    let stmt =
+      if accept st Token.EQUAL then begin
+        match peek st with
+        | Token.INT_LIT n ->
+          advance st;
+          Ast.Assign (e, Ast.Rint n)
+        | Token.AMP ->
+          advance st;
+          Ast.Assign (e, Ast.Raddr (parse_postfix st))
+        | _ -> fail st "expected an integer literal or '&'"
+      end
+      else Ast.Expr e
+    in
+    expect st Token.SEMI;
+    stmt
+  | t, _ ->
+    fail st "expected a statement but found '%s'" (Token.to_string t)
+
+and parse_var_decl st =
+  let base = parse_type_base st in
+  let pointer = accept st Token.STAR in
+  let name, loc = expect_ident st in
+  expect st Token.SEMI;
+  Ast.Var_decl
+    { v_type = { Ast.t_base = base; t_pointer = pointer }; v_name = name;
+      v_loc = loc }
+
+let parse_stmt_block st =
+  expect st Token.LBRACE;
+  let stmts = ref [] in
+  while peek st <> Token.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st Token.RBRACE;
+  List.rev !stmts
+
+(* -- class members ------------------------------------------------------ *)
+
+(* base-spec ::= ("virtual" | access)* IDENT *)
+let parse_base_spec st =
+  let virt = ref false and access = ref None in
+  let rec quals () =
+    match peek st with
+    | Token.KW_virtual ->
+      advance st;
+      virt := true;
+      quals ()
+    | Token.KW_public ->
+      advance st;
+      access := Some Chg.Graph.Public;
+      quals ()
+    | Token.KW_protected ->
+      advance st;
+      access := Some Chg.Graph.Protected;
+      quals ()
+    | Token.KW_private ->
+      advance st;
+      access := Some Chg.Graph.Private;
+      quals ()
+    | _ -> ()
+  in
+  quals ();
+  let name, loc = expect_ident st in
+  { Ast.b_virtual = !virt; b_access = !access; b_name = name; b_loc = loc }
+
+let mk_member ?(static = false) ?(virtual_ = false) ?body ~kind ~access ~ty
+    ~loc name =
+  { Ast.md_name = name;
+    md_type = ty;
+    md_static = static;
+    md_virtual = virtual_;
+    md_kind = kind;
+    md_access = access;
+    md_body = body;
+    md_loc = loc }
+
+let int_ty = { Ast.t_base = Ast.Builtin "int"; t_pointer = false }
+
+(* enum-decl ::= "enum" IDENT? "{" IDENT ("," IDENT)* ","? "}" ";"
+   The enum name (if any) becomes a Type member; each enumerator an
+   Enumerator member — paper Section 6: both "are treated exactly like
+   static members" by lookup. *)
+let parse_enum st ~access =
+  expect st Token.KW_enum;
+  let name =
+    match peek st with
+    | Token.IDENT _ -> Some (expect_ident st)
+    | _ -> None
+  in
+  expect st Token.LBRACE;
+  let enumerators = ref [] in
+  let rec loop () =
+    match peek st with
+    | Token.RBRACE -> ()
+    | Token.IDENT _ ->
+      let n, loc = expect_ident st in
+      (* optional "= literal" initializer *)
+      if accept st Token.EQUAL then begin
+        match next st with
+        | Token.INT_LIT _, _ -> ()
+        | _, l -> raise (Error ("expected an integer literal", l))
+      end;
+      enumerators := (n, loc) :: !enumerators;
+      if accept st Token.COMMA then loop ()
+    | t ->
+      fail st "expected an enumerator but found '%s'" (Token.to_string t)
+  in
+  loop ();
+  expect st Token.RBRACE;
+  expect st Token.SEMI;
+  let type_member =
+    match name with
+    | Some (n, loc) ->
+      [ mk_member ~kind:Chg.Graph.Type ~access ~ty:int_ty ~loc n ]
+    | None -> []
+  in
+  type_member
+  @ List.rev_map
+      (fun (n, loc) ->
+        mk_member ~kind:Chg.Graph.Enumerator ~access ~ty:int_ty ~loc n)
+      !enumerators
+
+(* typedef-decl ::= "typedef" type "*"? IDENT ";" *)
+let parse_typedef st ~access =
+  expect st Token.KW_typedef;
+  let base = parse_type_base st in
+  let pointer = accept st Token.STAR in
+  let name, loc = expect_ident st in
+  expect st Token.SEMI;
+  [ mk_member ~kind:Chg.Graph.Type ~access
+      ~ty:{ Ast.t_base = base; t_pointer = pointer }
+      ~loc name ]
+
+(* member ::= access ":" | enum-decl | typedef-decl
+            | "static"? "virtual"? type declarator ";" *)
+let parse_member st ~current_access =
+  match peek st with
+  | Token.KW_public | Token.KW_protected | Token.KW_private ->
+    let acc =
+      match peek st with
+      | Token.KW_public -> Chg.Graph.Public
+      | Token.KW_protected -> Chg.Graph.Protected
+      | _ -> Chg.Graph.Private
+    in
+    advance st;
+    expect st Token.COLON;
+    `Access acc
+  | Token.KW_enum -> `Members (parse_enum st ~access:current_access)
+  | Token.KW_typedef -> `Members (parse_typedef st ~access:current_access)
+  | _ ->
+    let is_static = accept st Token.KW_static in
+    let is_virtual = accept st Token.KW_virtual in
+    (* allow the order "virtual static" too, though C++ forbids the
+       combination; sema rejects it with a clean diagnostic *)
+    let is_static = is_static || accept st Token.KW_static in
+    let base = parse_type_base st in
+    let pointer = accept st Token.STAR in
+    let name, loc = expect_ident st in
+    let kind =
+      if accept st Token.LPAREN then begin
+        (* parameters are not part of the subset: empty list only *)
+        expect st Token.RPAREN;
+        Chg.Graph.Function
+      end
+      else Chg.Graph.Data
+    in
+    (* pure-virtual marker "= 0" *)
+    if accept st Token.EQUAL then begin
+      match next st with
+      | Token.INT_LIT 0, _ -> ()
+      | _, l -> raise (Error ("only '= 0' is allowed after a declarator", l))
+    end;
+    let body =
+      if peek st = Token.LBRACE then Some (parse_stmt_block st) else None
+    in
+    if body = None then expect st Token.SEMI
+    else ignore (accept st Token.SEMI);
+    `Members
+      [ mk_member ~static:is_static ~virtual_:is_virtual ?body ~kind
+          ~access:current_access
+          ~ty:{ Ast.t_base = base; t_pointer = pointer }
+          ~loc name ]
+
+let parse_class st =
+  let kind =
+    match next st with
+    | Token.KW_class, _ -> `Class
+    | Token.KW_struct, _ -> `Struct
+    | _, loc -> raise (Error ("expected 'class' or 'struct'", loc))
+  in
+  let name, loc = expect_ident st in
+  let bases =
+    if accept st Token.COLON then begin
+      let first = parse_base_spec st in
+      let rec more acc =
+        if accept st Token.COMMA then more (parse_base_spec st :: acc)
+        else List.rev acc
+      in
+      more [ first ]
+    end
+    else []
+  in
+  expect st Token.LBRACE;
+  let default_access =
+    match kind with `Class -> Chg.Graph.Private | `Struct -> Chg.Graph.Public
+  in
+  let members = ref [] in
+  let access = ref default_access in
+  while peek st <> Token.RBRACE do
+    match parse_member st ~current_access:!access with
+    | `Access a -> access := a
+    | `Members ms -> members := List.rev_append ms !members
+  done;
+  expect st Token.RBRACE;
+  expect st Token.SEMI;
+  { Ast.c_name = name;
+    c_kind = kind;
+    c_bases = bases;
+    c_members = List.rev !members;
+    c_loc = loc }
+
+let parse_function st =
+  let _ret = parse_type_base st in
+  let name, loc = expect_ident st in
+  expect st Token.LPAREN;
+  expect st Token.RPAREN;
+  let body = parse_stmt_block st in
+  ignore (accept st Token.SEMI);
+  { Ast.f_name = name; f_body = body; f_loc = loc }
+
+let parse_program st =
+  let classes = ref [] and funcs = ref [] in
+  let rec loop () =
+    match peek st with
+    | Token.EOF -> ()
+    | Token.KW_class | Token.KW_struct ->
+      classes := parse_class st :: !classes;
+      loop ()
+    | t when is_type_start t ->
+      funcs := parse_function st :: !funcs;
+      loop ()
+    | t -> fail st "expected a declaration but found '%s'" (Token.to_string t)
+  in
+  loop ();
+  { Ast.classes = List.rev !classes; funcs = List.rev !funcs }
+
+let parse_exn src =
+  let toks =
+    try Array.of_list (Lexer.tokenize src)
+    with Lexer.Error (msg, loc) -> raise (Error (msg, loc))
+  in
+  parse_program { toks; pos = 0 }
+
+let parse src =
+  match parse_exn src with
+  | program -> Ok program
+  | exception Error (msg, loc) -> Result.Error (Diagnostic.error ~loc "%s" msg)

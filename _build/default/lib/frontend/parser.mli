@@ -1,0 +1,36 @@
+(** Hand-written recursive-descent parser for the C++ subset.
+
+    Grammar (informally):
+    {v
+    program     ::= (class-def | function-def)* EOF
+    class-def   ::= ("class" | "struct") IDENT base-clause? "{" member* "}" ";"
+    base-clause ::= ":" base-spec ("," base-spec)*
+    base-spec   ::= ("virtual" | access-spec)* IDENT
+    member      ::= access-spec ":"
+                  | "enum" IDENT? "{" enumerator ("," enumerator)* "}" ";"
+                  | "typedef" type "*"? IDENT ";"
+                  | "static"? "virtual"? type declarator ";"
+    enumerator  ::= IDENT ("=" INT)?
+    declarator  ::= "*"? IDENT ("(" ")")? ("=" INT)? ("{" stmt* "}")?
+    function-def::= type IDENT "(" ")" "{" stmt* "}"
+    stmt        ::= IDENT ":" stmt                      (labels, as in Fig. 9)
+                  | type "*"? IDENT ";"                 (variable declaration)
+                  | postfix ("=" INT)? ";"              (member access)
+    postfix     ::= IDENT (("." | "->") IDENT)*
+                  | IDENT "::" IDENT
+    type        ::= builtin | IDENT
+    v}
+
+    The ambiguity between a variable declaration [E e;] and an access
+    expression [e.m;] is resolved with one token of lookahead, as the
+    paper's Figure 9 program requires (it contains labelled statements
+    [s1: E e; s2: e.m = 10;]). *)
+
+exception Error of string * Loc.t
+
+(** [parse src] parses a whole translation unit.  Returns the program or
+    a diagnostic for the first syntax (or lexical) error. *)
+val parse : string -> (Ast.program, Diagnostic.t) result
+
+(** [parse_exn src] is [parse] but raising {!Error}. *)
+val parse_exn : string -> Ast.program

@@ -1,0 +1,301 @@
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+
+type resolution = {
+  res_loc : Loc.t;
+  res_context : G.class_id;
+  res_member : string;
+  res_target : G.class_id;
+  res_path : Subobject.Path.t option;
+  res_visibility : Access.visibility;
+}
+
+type t = {
+  graph : G.t;
+  engine : Engine.t;
+  resolutions : resolution list;
+  diagnostics : Diagnostic.t list;
+}
+
+type state = {
+  mutable diags : Diagnostic.t list;  (* reversed *)
+  mutable resols : resolution list;  (* reversed *)
+  member_types : (string * string, Ast.ty) Hashtbl.t;
+      (* (class, member) -> declared type, for resolving selection chains *)
+}
+
+let add_diag st d = st.diags <- d :: st.diags
+
+(* Pass 1: build the CHG from class declarations, validating as C++
+   does (a base class must be completely declared before use). *)
+let build_graph st (program : Ast.program) =
+  let builder = G.create_builder () in
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      let default_base_access =
+        match c.c_kind with `Class -> G.Private | `Struct -> G.Public
+      in
+      let bases =
+        List.map
+          (fun (b : Ast.base_spec) ->
+            ( b.b_name,
+              (if b.b_virtual then G.Virtual else G.Non_virtual),
+              Option.value b.b_access ~default:default_base_access ))
+          c.c_bases
+      in
+      let members =
+        List.filter_map
+          (fun (m : Ast.member_decl) ->
+            if m.md_virtual && m.md_kind = G.Data then begin
+              add_diag st
+                (Diagnostic.error ~loc:m.md_loc
+                   "data member '%s' cannot be virtual" m.md_name);
+              None
+            end
+            else if m.md_virtual && m.md_static then begin
+              add_diag st
+                (Diagnostic.error ~loc:m.md_loc
+                   "member '%s' cannot be both static and virtual" m.md_name);
+              None
+            end
+            else begin
+              Hashtbl.replace st.member_types (c.c_name, m.md_name) m.md_type;
+              Some
+                { G.m_name = m.md_name;
+                  m_kind = m.md_kind;
+                  m_static = m.md_static;
+                  m_virtual = m.md_virtual;
+                  m_access = m.md_access }
+            end)
+          c.c_members
+      in
+      match G.add_class builder c.c_name ~bases ~members with
+      | _id -> ()
+      | exception G.Error e ->
+        add_diag st (Diagnostic.error ~loc:c.c_loc "%s" (G.error_to_string e)))
+    program.classes;
+  G.freeze builder
+
+(* Pass 2: resolve member accesses in function and member-function
+   bodies.  [enclosing] is the class whose member function we are in
+   ([None] for free functions): it provides the implicit class scope for
+   unqualified names (paper Section 6) and relaxes access checking. *)
+
+let class_of_type g st loc (ty : Ast.ty) =
+  match ty.t_base with
+  | Ast.Builtin b ->
+    add_diag st
+      (Diagnostic.error ~loc "'%s' is not a class type; it has no members" b);
+    None
+  | Ast.Named n ->
+    (match G.find_opt g n with
+    | Some id -> Some id
+    | None ->
+      add_diag st (Diagnostic.error ~loc "unknown class '%s'" n);
+      None)
+
+let resolve_member graph engine st loc ~enclosing cls member =
+  match Engine.lookup engine cls member with
+  | None ->
+    add_diag st
+      (Diagnostic.error ~loc "class '%s' has no member named '%s'"
+         (G.name graph cls) member);
+    None
+  | Some (Engine.Blue _) ->
+    add_diag st
+      (Diagnostic.error ~loc "request for member '%s' is ambiguous in '%s'"
+         member (G.name graph cls));
+    None
+  | Some (Engine.Red r) ->
+    let path = Engine.witness engine cls member in
+    let target = r.Lookup_core.Abstraction.r_ldc in
+    let visibility =
+      (* C++ grants access if any path to the resolved subobject does:
+         evaluate the best visibility over the whole ≈-class. *)
+      match (path, G.find_member graph target member) with
+      | Some p, Some mem ->
+        Access.best_effective (Engine.closure engine) p ~member:mem
+      | _ -> Access.Inaccessible
+    in
+    let allowed =
+      (* Inside a member function of the accessed class, private and
+         protected members are usable; from a free function only public
+         ones are. *)
+      match enclosing with
+      | Some encl when encl = cls -> visibility <> Access.Inaccessible
+      | Some _ | None -> Access.accessible_from_outside visibility
+    in
+    if not allowed then begin
+      match visibility with
+      | Access.Inaccessible ->
+        add_diag st
+          (Diagnostic.error ~loc
+             "member '%s::%s' is not accessible (private in a base class)"
+             (G.name graph target) member)
+      | Access.Accessible a ->
+        add_diag st
+          (Diagnostic.error ~loc "member '%s::%s' is %s within this context"
+             (G.name graph target) member
+             (match a with
+             | G.Private -> "private"
+             | G.Protected -> "protected"
+             | G.Public -> "public"))
+    end;
+    let resolution =
+      { res_loc = loc;
+        res_context = cls;
+        res_member = member;
+        res_target = target;
+        res_path = path;
+        res_visibility = visibility }
+    in
+    st.resols <- resolution :: st.resols;
+    Some (target, resolution)
+
+(* Resolve an expression to its static type (when it has a class-relevant
+   one); records resolutions and diagnostics as side effects. *)
+let rec type_of_expr graph engine st ~enclosing env (e : Ast.expr) :
+    Ast.ty option =
+  match e with
+  | Ast.Var (name, loc) ->
+    (match Hashtbl.find_opt env name with
+    | Some ty -> Some ty
+    | None ->
+      (* Unqualified-name lookup (Section 6): not a local, so try the
+         enclosing class scope — an implicit this-> access. *)
+      (match enclosing with
+      | Some cls when Engine.lookup engine cls name <> None ->
+        (match resolve_member graph engine st loc ~enclosing cls name with
+        | None -> None
+        | Some (target, _) ->
+          Hashtbl.find_opt st.member_types (G.name graph target, name))
+      | Some _ | None ->
+        add_diag st (Diagnostic.error ~loc "unknown variable '%s'" name);
+        None))
+  | Ast.Qualified (cls_name, member, loc) ->
+    (match G.find_opt graph cls_name with
+    | None ->
+      add_diag st (Diagnostic.error ~loc "unknown class '%s'" cls_name);
+      None
+    | Some cls ->
+      (match resolve_member graph engine st loc ~enclosing cls member with
+      | None -> None
+      | Some (target, _) ->
+        Hashtbl.find_opt st.member_types (G.name graph target, member)))
+  | Ast.Call (callee, loc) ->
+    let callee_member =
+      match callee with
+      | Ast.Var (n, _) -> Some n
+      | Ast.Select (_, sel) -> Some sel.s_member
+      | Ast.Qualified (_, m, _) -> Some m
+      | Ast.Call _ -> None
+    in
+    let ty = type_of_expr graph engine st ~enclosing env callee in
+    (* the freshest resolution, if it is the callee's member, must be
+       callable *)
+    (match (st.resols, callee_member) with
+    | res :: _, Some m when res.res_member = m ->
+      (match G.find_member graph res.res_target res.res_member with
+      | Some mem when mem.G.m_kind <> G.Function ->
+        add_diag st
+          (Diagnostic.error ~loc "'%s::%s' is not a function"
+             (G.name graph res.res_target) res.res_member)
+      | Some _ | None -> ())
+    | _ -> ());
+    ty
+  | Ast.Select (base, sel) ->
+    (match type_of_expr graph engine st ~enclosing env base with
+    | None -> None
+    | Some ty ->
+      if sel.s_arrow && not ty.Ast.t_pointer then
+        add_diag st
+          (Diagnostic.error ~loc:sel.s_loc
+             "'->' used on a non-pointer (did you mean '.'?)")
+      else if (not sel.s_arrow) && ty.Ast.t_pointer then
+        add_diag st
+          (Diagnostic.error ~loc:sel.s_loc
+             "'.' used on a pointer (did you mean '->'?)");
+      (match class_of_type graph st sel.s_loc ty with
+      | None -> None
+      | Some cls ->
+        (match
+           resolve_member graph engine st sel.s_loc ~enclosing cls
+             sel.s_member
+         with
+        | None -> None
+        | Some (target, _) ->
+          Hashtbl.find_opt st.member_types (G.name graph target, sel.s_member))))
+
+let analyze_body graph engine st ~enclosing stmts =
+  let env : (string, Ast.ty) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.Var_decl { v_type; v_name; v_loc } ->
+        (match v_type.Ast.t_base with
+        | Ast.Named n when G.find_opt graph n = None ->
+          add_diag st
+            (Diagnostic.error ~loc:v_loc
+               "variable '%s' has unknown class type '%s'" v_name n)
+        | Ast.Named _ | Ast.Builtin _ -> Hashtbl.replace env v_name v_type)
+      | Ast.Expr e -> ignore (type_of_expr graph engine st ~enclosing env e)
+      | Ast.Assign (lhs, rhs) ->
+        ignore (type_of_expr graph engine st ~enclosing env lhs);
+        (match rhs with
+        | Ast.Rint _ -> ()
+        | Ast.Raddr e -> ignore (type_of_expr graph engine st ~enclosing env e)))
+    stmts
+
+let analyze_funcs graph engine st (program : Ast.program) =
+  List.iter
+    (fun (f : Ast.func) ->
+      analyze_body graph engine st ~enclosing:None f.f_body)
+    program.funcs
+
+let analyze_methods graph engine st (program : Ast.program) =
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      match G.find_opt graph c.c_name with
+      | None -> ()  (* the class failed to build; already diagnosed *)
+      | Some cls ->
+        List.iter
+          (fun (m : Ast.member_decl) ->
+            match m.md_body with
+            | Some body ->
+              analyze_body graph engine st ~enclosing:(Some cls) body
+            | None -> ())
+          c.c_members)
+    program.classes
+
+let analyze (program : Ast.program) =
+  let st =
+    { diags = []; resols = []; member_types = Hashtbl.create 32 }
+  in
+  let graph = build_graph st program in
+  let engine =
+    Engine.build ~static_rule:true ~witnesses:true (Chg.Closure.compute graph)
+  in
+  analyze_methods graph engine st program;
+  analyze_funcs graph engine st program;
+  { graph;
+    engine;
+    resolutions = List.rev st.resols;
+    diagnostics = List.rev st.diags }
+
+let analyze_source src =
+  match Parser.parse src with
+  | Ok program -> analyze program
+  | Error d ->
+    let graph = G.freeze (G.create_builder ()) in
+    let engine = Engine.build (Chg.Closure.compute graph) in
+    { graph; engine; resolutions = []; diagnostics = [ d ] }
+
+let ok t = not (Diagnostic.has_errors t.diagnostics)
+
+let pp_resolution g ppf r =
+  Format.fprintf ppf "%a: %s::%s -> %s::%s%a" Loc.pp r.res_loc
+    (G.name g r.res_context) r.res_member (G.name g r.res_target) r.res_member
+    (fun ppf -> function
+      | Some p -> Format.fprintf ppf " via %a" (Subobject.Path.pp g) p
+      | None -> ())
+    r.res_path

@@ -1,0 +1,40 @@
+(** Semantic analysis: elaborate a parsed translation unit into a class
+    hierarchy graph, then statically resolve every member access with the
+    paper's lookup algorithm, applying access control afterwards (Section
+    6).  This is the "compiler front end" end-to-end driver the paper's
+    introduction motivates: the compiler analyzing [x.m] must resolve [m]
+    in the context of the static type of [x]. *)
+
+(** The outcome of resolving one member access expression. *)
+type resolution = {
+  res_loc : Loc.t;
+  res_context : Chg.Graph.class_id;  (** static class the lookup ran in *)
+  res_member : string;
+  res_target : Chg.Graph.class_id;  (** declaring class of the winner *)
+  res_path : Subobject.Path.t option;  (** witness definition path *)
+  res_visibility : Access.visibility;
+}
+
+type t = {
+  graph : Chg.Graph.t;
+  engine : Lookup_core.Engine.t;
+  resolutions : resolution list;  (** in source order *)
+  diagnostics : Diagnostic.t list;  (** in source order *)
+}
+
+(** [analyze program] runs both passes.  Ill-formed classes (unknown or
+    duplicate bases, duplicate members) are reported and dropped;
+    analysis of the remaining program continues, like a real compiler
+    recovering from errors.  Ambiguous lookups, unknown members, unknown
+    variables or classes, [.]/[->] misuse, and inaccessible members all
+    produce diagnostics. *)
+val analyze : Ast.program -> t
+
+(** [analyze_source src] parses then analyzes.  A parse error yields an
+    empty graph and that single diagnostic. *)
+val analyze_source : string -> t
+
+(** [ok t] — no error-severity diagnostics. *)
+val ok : t -> bool
+
+val pp_resolution : Chg.Graph.t -> Format.formatter -> resolution -> unit

@@ -1,0 +1,77 @@
+(** Tokens of the C++ subset.  The subset covers what member lookup
+    needs: class definitions with inheritance lists (virtual and access
+    specifiers), member declarations (data, functions, static, virtual),
+    and function bodies with variable declarations and member accesses. *)
+
+type t =
+  | KW_class
+  | KW_struct
+  | KW_virtual
+  | KW_public
+  | KW_protected
+  | KW_private
+  | KW_static
+  | KW_enum
+  | KW_typedef
+  | KW_int
+  | KW_void
+  | KW_char
+  | KW_bool
+  | KW_float
+  | KW_double
+  | KW_long
+  | IDENT of string
+  | INT_LIT of int
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COLON
+  | COLONCOLON
+  | SEMI
+  | COMMA
+  | DOT
+  | ARROW
+  | STAR
+  | AMP
+  | EQUAL
+  | EOF
+
+let to_string = function
+  | KW_class -> "class"
+  | KW_struct -> "struct"
+  | KW_virtual -> "virtual"
+  | KW_public -> "public"
+  | KW_protected -> "protected"
+  | KW_private -> "private"
+  | KW_static -> "static"
+  | KW_enum -> "enum"
+  | KW_typedef -> "typedef"
+  | KW_int -> "int"
+  | KW_void -> "void"
+  | KW_char -> "char"
+  | KW_bool -> "bool"
+  | KW_float -> "float"
+  | KW_double -> "double"
+  | KW_long -> "long"
+  | IDENT s -> s
+  | INT_LIT n -> string_of_int n
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COLON -> ":"
+  | COLONCOLON -> "::"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | ARROW -> "->"
+  | STAR -> "*"
+  | AMP -> "&"
+  | EQUAL -> "="
+  | EOF -> "<eof>"
+
+let is_builtin_type = function
+  | KW_int | KW_void | KW_char | KW_bool | KW_float | KW_double | KW_long ->
+    true
+  | _ -> false

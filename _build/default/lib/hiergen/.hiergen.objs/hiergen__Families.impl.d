@@ -1,0 +1,1 @@
+lib/hiergen/families.ml: Chg Hashtbl List Printf Random

@@ -1,0 +1,1 @@
+lib/hiergen/families.mli: Chg

@@ -1,0 +1,1 @@
+lib/hiergen/figures.mli: Chg

@@ -1,0 +1,1 @@
+lib/hiergen/workload.ml: Array Chg List Lookup_core Random

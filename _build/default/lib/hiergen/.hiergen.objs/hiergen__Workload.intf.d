@@ -1,0 +1,1 @@
+lib/hiergen/workload.mli: Chg Lookup_core

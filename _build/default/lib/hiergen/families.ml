@@ -1,0 +1,181 @@
+module G = Chg.Graph
+
+type instance = {
+  graph : G.t;
+  probe : G.class_id;
+  description : string;
+}
+
+let kind_name = function G.Virtual -> "virtual" | G.Non_virtual -> "non-virtual"
+
+let chain ~n ~kind =
+  if n < 1 then invalid_arg "Families.chain: n must be >= 1";
+  let b = G.create_builder () in
+  let first = G.add_class b "C0" ~bases:[] ~members:[ G.member "m" ] in
+  ignore first;
+  let prev = ref "C0" in
+  for i = 1 to n - 1 do
+    let name = Printf.sprintf "C%d" i in
+    ignore (G.add_class b name ~bases:[ (!prev, kind, G.Public) ] ~members:[]);
+    prev := name
+  done;
+  let graph = G.freeze b in
+  { graph;
+    probe = n - 1;
+    description = Printf.sprintf "chain n=%d (%s)" n (kind_name kind) }
+
+let diamond_stack_gen ~levels ~kind ~redeclare =
+  if levels < 0 then invalid_arg "Families.diamond_stack";
+  let b = G.create_builder () in
+  ignore (G.add_class b "A0" ~bases:[] ~members:[ G.member "m" ]);
+  for i = 1 to levels do
+    let a = Printf.sprintf "A%d" (i - 1) in
+    let l = Printf.sprintf "L%d" i and r = Printf.sprintf "R%d" i in
+    ignore (G.add_class b l ~bases:[ (a, kind, G.Public) ] ~members:[]);
+    ignore (G.add_class b r ~bases:[ (a, kind, G.Public) ] ~members:[]);
+    ignore
+      (G.add_class b
+         (Printf.sprintf "A%d" i)
+         ~bases:[ (l, kind, G.Public); (r, kind, G.Public) ]
+         ~members:(if redeclare then [ G.member "m" ] else []))
+  done;
+  let graph = G.freeze b in
+  { graph;
+    probe = G.find graph (Printf.sprintf "A%d" levels);
+    description =
+      Printf.sprintf "%sdiamond stack levels=%d (%s)"
+        (if redeclare then "redeclared " else "")
+        levels (kind_name kind) }
+
+let diamond_stack ~levels ~kind =
+  diamond_stack_gen ~levels ~kind ~redeclare:false
+
+let redeclared_diamond_stack ~levels ~kind =
+  diamond_stack_gen ~levels ~kind ~redeclare:true
+
+let fence ~width ~levels =
+  if width < 1 || levels < 1 then invalid_arg "Families.fence";
+  let b = G.create_builder () in
+  let level_names l = List.init width (fun i -> Printf.sprintf "F%d_%d" l i) in
+  List.iter
+    (fun name -> ignore (G.add_class b name ~bases:[] ~members:[ G.member "m" ]))
+    (level_names 0);
+  for l = 1 to levels - 1 do
+    let bases =
+      List.map (fun n -> (n, G.Non_virtual, G.Public)) (level_names (l - 1))
+    in
+    List.iter
+      (fun name -> ignore (G.add_class b name ~bases ~members:[]))
+      (level_names l)
+  done;
+  let graph = G.freeze b in
+  { graph;
+    probe = G.num_classes graph - 1;
+    description = Printf.sprintf "fence width=%d levels=%d" width levels }
+
+let wide_tree ~fanout ~depth =
+  if fanout < 1 || depth < 0 then invalid_arg "Families.wide_tree";
+  let b = G.create_builder () in
+  ignore (G.add_class b "T" ~bases:[] ~members:[ G.member "m" ]);
+  (* children of node named p are p_0 .. p_{fanout-1} *)
+  let rec grow parent d =
+    if d < depth then
+      for i = 0 to fanout - 1 do
+        let name = Printf.sprintf "%s_%d" parent i in
+        ignore
+          (G.add_class b name ~bases:[ (parent, G.Non_virtual, G.Public) ]
+             ~members:[]);
+        grow name (d + 1)
+      done
+  in
+  grow "T" 0;
+  let graph = G.freeze b in
+  { graph;
+    probe = G.num_classes graph - 1;
+    description = Printf.sprintf "wide tree fanout=%d depth=%d" fanout depth }
+
+let blue_chain ~width ~depth =
+  if width < 1 || depth < 0 then invalid_arg "Families.blue_chain";
+  let b = G.create_builder () in
+  for i = 0 to width - 1 do
+    ignore
+      (G.add_class b
+         (Printf.sprintf "W%d" i)
+         ~bases:[] ~members:[ G.member "m" ]);
+    ignore
+      (G.add_class b
+         (Printf.sprintf "M%d" i)
+         ~bases:[ (Printf.sprintf "W%d" i, G.Virtual, G.Public) ]
+         ~members:[])
+  done;
+  ignore
+    (G.add_class b "C0"
+       ~bases:
+         (List.init width (fun i ->
+              (Printf.sprintf "M%d" i, G.Non_virtual, G.Public)))
+       ~members:[]);
+  for j = 1 to depth do
+    ignore
+      (G.add_class b
+         (Printf.sprintf "C%d" j)
+         ~bases:[ (Printf.sprintf "C%d" (j - 1), G.Non_virtual, G.Public) ]
+         ~members:[])
+  done;
+  let graph = G.freeze b in
+  { graph;
+    probe = G.find graph (Printf.sprintf "C%d" depth);
+    description = Printf.sprintf "blue chain width=%d depth=%d" width depth }
+
+let random_members st ~members ~declare_prob ~static_prob =
+  List.filter_map
+    (fun name ->
+      if Random.State.float st 1.0 < declare_prob then
+        Some (G.member ~static:(Random.State.float st 1.0 < static_prob) name)
+      else None)
+    members
+
+let random_dag_gen ~n ~max_bases ~virtual_prob ~declare_prob ~static_prob
+    ~members ~seed =
+  if n < 1 then invalid_arg "Families.random_dag";
+  let st = Random.State.make [| seed; n; max_bases |] in
+  let b = G.create_builder () in
+  for i = 0 to n - 1 do
+    let bases =
+      if i = 0 then []
+      else begin
+        let wanted = 1 + Random.State.int st max_bases in
+        let chosen = Hashtbl.create 4 in
+        let out = ref [] in
+        for _ = 1 to wanted do
+          let base = Random.State.int st i in
+          if not (Hashtbl.mem chosen base) then begin
+            Hashtbl.add chosen base ();
+            let kind =
+              if Random.State.float st 1.0 < virtual_prob then G.Virtual
+              else G.Non_virtual
+            in
+            out := (Printf.sprintf "K%d" base, kind, G.Public) :: !out
+          end
+        done;
+        List.rev !out
+      end
+    in
+    let ms = random_members st ~members ~declare_prob ~static_prob in
+    ignore (G.add_class b (Printf.sprintf "K%d" i) ~bases ~members:ms)
+  done;
+  let graph = G.freeze b in
+  { graph;
+    probe = n - 1;
+    description =
+      Printf.sprintf
+        "random dag n=%d max_bases=%d vprob=%.2f dprob=%.2f seed=%d" n
+        max_bases virtual_prob declare_prob seed }
+
+let random_dag ~n ~max_bases ~virtual_prob ~declare_prob ~members ~seed =
+  random_dag_gen ~n ~max_bases ~virtual_prob ~declare_prob ~static_prob:0.0
+    ~members ~seed
+
+let random_static_dag ~n ~max_bases ~virtual_prob ~declare_prob ~static_prob
+    ~members ~seed =
+  random_dag_gen ~n ~max_bases ~virtual_prob ~declare_prob ~static_prob
+    ~members ~seed

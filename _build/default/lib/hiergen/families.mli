@@ -1,0 +1,83 @@
+(** Parameterized hierarchy families for benchmarks and property tests.
+
+    Each generator returns a {!Chg.Graph.t} plus a designated {e probe}
+    class (usually the most derived one) on which lookups are interesting.
+    All generators are deterministic given their parameters (and seed,
+    where applicable). *)
+
+type instance = {
+  graph : Chg.Graph.t;
+  probe : Chg.Graph.class_id;  (** the class benchmarks query *)
+  description : string;
+}
+
+(** [chain ~n ~kind] — single inheritance chain [C0 <- C1 <- ... <- Cn-1];
+    [C0] declares member ["m"].  Unambiguous everywhere; the simplest
+    linear-time case. *)
+val chain : n:int -> kind:Chg.Graph.edge_kind -> instance
+
+(** [diamond_stack ~levels ~kind] — stacked diamonds
+    [A0; Li : A(i-1); Ri : A(i-1); Ai : Li, Ri].  With non-virtual edges
+    the bottom class has [2^levels] subobjects of class [A0] (the
+    exponential subobject-graph family, experiment C3); with virtual edges
+    all paths collapse onto shared subobjects.  [A0] declares ["m"];
+    lookups of ["m"] at the bottom are ambiguous in the non-virtual case
+    and resolve in the virtual case. *)
+val diamond_stack : levels:int -> kind:Chg.Graph.edge_kind -> instance
+
+(** [redeclared_diamond_stack ~levels ~kind] — like {!diamond_stack} but
+    every join class [Ai] redeclares ["m"], so every lookup is
+    unambiguous: the paper's "common case" on a dense DAG. *)
+val redeclared_diamond_stack :
+  levels:int -> kind:Chg.Graph.edge_kind -> instance
+
+(** [fence ~width ~levels] — each level has [width] classes all deriving
+    (non-virtually) from every class of the previous level; classes of the
+    first level all declare ["m"].  Lookups at lower levels see
+    [width]-way ambiguity with many blue definitions: the quadratic
+    worst-case driver (experiment C2). *)
+val fence : width:int -> levels:int -> instance
+
+(** [wide_tree ~fanout ~depth] — single-inheritance complete tree, root
+    declares ["m"]; probe is a deepest leaf.  [n = (fanout^(depth+1)-1) /
+    (fanout-1)] classes. *)
+val wide_tree : fanout:int -> depth:int -> instance
+
+(** [blue_chain ~width ~depth] — the general-case (quadratic) driver: for
+    each [i < width] a class [Wi] declaring ["m"] and a mixin
+    [Mi : virtual Wi]; then [C0 : M0, ..., M(width-1)] and a chain
+    [Cj : C(j-1)] of length [depth].  At [C0] the incoming definitions
+    abstract to [width] pairwise-incomparable [(Wi, Wi)] reds, so a blue
+    set of [width] {e distinct} leastVirtual values flows down the whole
+    chain — O(width) work per edge, the paper's [O(|N| * (|N|+|E|))]
+    general case (a plain {!fence} does not trigger it: its blue sets
+    collapse to [{Ω}]). *)
+val blue_chain : width:int -> depth:int -> instance
+
+(** [random_dag ~n ~max_bases ~virtual_prob ~declare_prob ~members ~seed]
+    — class [i] draws up to [max_bases] distinct bases among earlier
+    classes, each edge virtual with probability [virtual_prob]; each class
+    declares each name of [members] with probability [declare_prob].
+    Probe is the last class.  Used by the property tests to compare all
+    engines against the oracle. *)
+val random_dag :
+  n:int ->
+  max_bases:int ->
+  virtual_prob:float ->
+  declare_prob:float ->
+  members:string list ->
+  seed:int ->
+  instance
+
+(** [random_static_dag] — like {!random_dag} but each declaration is
+    static with probability [static_prob], to exercise the Section 6
+    extension. *)
+val random_static_dag :
+  n:int ->
+  max_bases:int ->
+  virtual_prob:float ->
+  declare_prob:float ->
+  static_prob:float ->
+  members:string list ->
+  seed:int ->
+  instance

@@ -1,0 +1,52 @@
+module G = Chg.Graph
+
+let nv = G.Non_virtual
+let v = G.Virtual
+let pub = G.Public
+
+let build decls =
+  let b = G.create_builder () in
+  List.iter
+    (fun (name, bases, members) ->
+      ignore
+        (G.add_class b name
+           ~bases:(List.map (fun (bn, k) -> (bn, k, pub)) bases)
+           ~members:(List.map G.member members)))
+    decls;
+  G.freeze b
+
+let fig1 () =
+  build
+    [ ("A", [], [ "m" ]);
+      ("B", [ ("A", nv) ], []);
+      ("C", [ ("B", nv) ], []);
+      ("D", [ ("B", nv) ], [ "m" ]);
+      ("E", [ ("C", nv); ("D", nv) ], []) ]
+
+let fig2 () =
+  build
+    [ ("A", [], [ "m" ]);
+      ("B", [ ("A", nv) ], []);
+      ("C", [ ("B", v) ], []);
+      ("D", [ ("B", v) ], [ "m" ]);
+      ("E", [ ("C", nv); ("D", nv) ], []) ]
+
+let fig3 () =
+  build
+    [ ("A", [], [ "foo" ]);
+      ("B", [ ("A", nv) ], []);
+      ("C", [ ("A", nv) ], []);
+      ("D", [ ("B", nv); ("C", nv) ], [ "bar" ]);
+      ("E", [], [ "bar" ]);
+      ("F", [ ("D", v); ("E", nv) ], []);
+      ("G", [ ("D", v) ], [ "foo"; "bar" ]);
+      ("H", [ ("F", nv); ("G", nv) ], []) ]
+
+let fig9 () =
+  build
+    [ ("S", [], [ "m" ]);
+      ("A", [ ("S", v) ], [ "m" ]);
+      ("B", [ ("S", v) ], [ "m" ]);
+      ("C", [ ("A", v); ("B", v) ], [ "m" ]);
+      ("D", [ ("C", nv) ], []);
+      ("E", [ ("A", v); ("B", v); ("D", nv) ], []) ]

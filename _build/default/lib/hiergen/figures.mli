@@ -1,0 +1,35 @@
+(** The class hierarchies of the paper's figures, used by the test suite,
+    the examples and the bench harness.
+
+    Class and member names follow the paper exactly. *)
+
+(** Figure 1: non-virtual inheritance.
+    [A {m}; B : A; C : B; D : B {m}; E : C, D].
+    An [E] object has {e two} [A] subobjects; [lookup (E, m)] is
+    ambiguous. *)
+val fig1 : unit -> Chg.Graph.t
+
+(** Figure 2: the same program with virtual inheritance.
+    [A {m}; B : A; C : virtual B; D : virtual B {m}; E : C, D].
+    An [E] object has one shared [A] subobject; [lookup (E, m)] resolves
+    to [D::m]. *)
+val fig2 : unit -> Chg.Graph.t
+
+(** Figure 3 (and 4-7): the running 8-class example.
+    [A {foo}; B : A; C : A; D : B, C; E {bar}; F : virtual D, E;
+     G : virtual D {foo, bar}; H : F, G; D also declares bar.]
+
+    Known facts from the paper:
+    - four paths from [A] to [H] in two [≈]-classes
+      ([ABDFH ≈ ABDGH], [ACDFH ≈ ACDGH]);
+    - [Defns (H, foo)] has three subobjects, [lookup (H, foo) = [GH]];
+    - [Defns (H, bar)] has three subobjects, [lookup (H, bar) = ⊥];
+    - [lookup (F, foo)] and [lookup (F, bar)] are both ambiguous. *)
+val fig3 : unit -> Chg.Graph.t
+
+(** Figure 9: the g++ counterexample.
+    [S {m}; A : virtual S {m}; B : virtual S {m};
+     C : virtual A, virtual B {m}; D : C; E : virtual A, virtual B, D].
+    [lookup (E, m)] is unambiguous (resolves to [C::m]) but the g++ scan
+    reports ambiguity. *)
+val fig9 : unit -> Chg.Graph.t

@@ -1,0 +1,39 @@
+type query = { q_class : Chg.Graph.class_id; q_member : string }
+
+let sparse g ~queries ~classes ~seed =
+  let st = Random.State.make [| seed; queries; classes |] in
+  let n = Chg.Graph.num_classes g in
+  let members = Array.of_list (Chg.Graph.member_names g) in
+  if n = 0 || Array.length members = 0 then []
+  else begin
+    let pool =
+      Array.init (min classes n) (fun _ -> Random.State.int st n)
+    in
+    List.init queries (fun _ ->
+        { q_class = pool.(Random.State.int st (Array.length pool));
+          q_member = members.(Random.State.int st (Array.length members)) })
+  end
+
+let exhaustive g =
+  List.concat_map
+    (fun c ->
+      List.map
+        (fun m -> { q_class = c; q_member = m })
+        (Chg.Graph.member_names g))
+    (Chg.Graph.classes g)
+
+let run_memo memo ws =
+  List.fold_left
+    (fun acc q ->
+      match Lookup_core.Memo.lookup memo q.q_class q.q_member with
+      | Some (Lookup_core.Engine.Red _) -> acc + 1
+      | Some (Lookup_core.Engine.Blue _) | None -> acc)
+    0 ws
+
+let run_engine eng ws =
+  List.fold_left
+    (fun acc q ->
+      match Lookup_core.Engine.lookup eng q.q_class q.q_member with
+      | Some (Lookup_core.Engine.Red _) -> acc + 1
+      | Some (Lookup_core.Engine.Blue _) | None -> acc)
+    0 ws

@@ -1,0 +1,21 @@
+(** Query workloads over a hierarchy: sequences of (class, member)
+    lookups with controllable locality, for comparing the eager table
+    against the lazy memoising variant (paper Section 5: a compiler
+    resolving only a few accesses should not tabulate everything). *)
+
+type query = { q_class : Chg.Graph.class_id; q_member : string }
+
+(** [sparse g ~queries ~classes ~seed] — [queries] lookups drawn from a
+    random subset of [classes] classes (locality: real translation units
+    touch few classes), members drawn from the program's member names. *)
+val sparse :
+  Chg.Graph.t -> queries:int -> classes:int -> seed:int -> query list
+
+(** [exhaustive g] — every (class, member-name) pair once, in order: the
+    whole-program static analysis workload. *)
+val exhaustive : Chg.Graph.t -> query list
+
+(** [run_memo memo ws] / [run_engine eng ws] — drive a workload, returning
+    how many lookups resolved (a checksum so the work isn't dead code). *)
+val run_memo : Lookup_core.Memo.t -> query list -> int
+val run_engine : Lookup_core.Engine.t -> query list -> int

@@ -1,0 +1,1 @@
+lib/layout/object_layout.ml: Array Chg Format List Subobject

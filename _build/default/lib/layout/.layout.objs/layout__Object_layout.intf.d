@@ -1,0 +1,1 @@
+lib/layout/object_layout.mli: Chg Format Subobject

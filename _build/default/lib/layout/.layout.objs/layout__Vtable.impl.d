@@ -1,0 +1,1 @@
+lib/layout/vtable.ml: Chg Format Hashtbl List Lookup_core String

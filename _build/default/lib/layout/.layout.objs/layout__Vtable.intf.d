@@ -1,0 +1,1 @@
+lib/layout/vtable.mli: Chg Format Lookup_core

@@ -1,0 +1,121 @@
+module G = Chg.Graph
+module Sgraph = Subobject.Sgraph
+
+type slot = { sl_subobject : Sgraph.subobject; sl_offset : int }
+
+type t = {
+  sgraph : Sgraph.t;
+  slots : slot list;
+  size : int;
+}
+
+let word = 8
+
+let data_member_count g c =
+  List.length
+    (List.filter
+       (fun (m : G.member) -> m.m_kind = G.Data && not m.m_static)
+       (G.members g c))
+
+let has_vptr_table g =
+  let n = G.num_classes g in
+  let table = Array.make n false in
+  for c = 0 to n - 1 do
+    let own =
+      List.exists (fun (m : G.member) -> m.m_virtual) (G.members g c)
+    in
+    table.(c) <-
+      own
+      || List.exists
+           (fun (b : G.base) -> b.b_kind = G.Virtual || table.(b.b_class))
+           (G.bases g c)
+  done;
+  table
+
+let has_vptr g c = (has_vptr_table g).(c)
+
+(* Size of the non-virtual region of a class: vptr, embedded non-virtual
+   base regions, own data members.  Virtual bases live elsewhere. *)
+let nv_size_table g vptr =
+  let n = G.num_classes g in
+  let table = Array.make n 0 in
+  for c = 0 to n - 1 do
+    let base_part =
+      List.fold_left
+        (fun acc (b : G.base) ->
+          match b.b_kind with
+          | G.Non_virtual -> acc + table.(b.b_class)
+          | G.Virtual -> acc)
+        0 (G.bases g c)
+    in
+    table.(c) <-
+      (if vptr.(c) then word else 0) + base_part + (word * data_member_count g c)
+  done;
+  table
+
+let of_class g c =
+  let sg = Sgraph.build g c in
+  let vptr = has_vptr_table g in
+  let nv_size = nv_size_table g vptr in
+  let offsets = Array.make (Sgraph.count sg) (-1) in
+  (* Place the non-virtual region of [sub] at [off]; virtual-base children
+     are skipped here and placed once, at the end of the object. *)
+  let rec place sub off =
+    offsets.(Sgraph.id_of sub) <- off;
+    let l = Sgraph.ldc sg sub in
+    let cur = ref (off + if vptr.(l) then word else 0) in
+    List.iter2
+      (fun (b : G.base) child ->
+        match b.b_kind with
+        | G.Non_virtual ->
+          place child !cur;
+          cur := !cur + nv_size.(b.b_class)
+        | G.Virtual -> ())
+      (G.bases g l) (Sgraph.contained sg sub)
+  in
+  let root = Sgraph.complete_object sg in
+  place root 0;
+  (* Virtual-base subobjects are exactly the non-root subobjects whose
+     canonical fixed part is a single class; append them in discovery
+     order. *)
+  let tail = ref nv_size.(c) in
+  List.iter
+    (fun sub ->
+      if Sgraph.id_of sub <> Sgraph.id_of root && offsets.(Sgraph.id_of sub) < 0
+      then begin
+        let l = Sgraph.ldc sg sub in
+        (* only virtual-base subobjects remain unplaced after [place] *)
+        place sub !tail;
+        tail := !tail + nv_size.(l)
+      end)
+    (Sgraph.subobjects sg);
+  let size = max !tail word in
+  let slots =
+    List.map
+      (fun sub -> { sl_subobject = sub; sl_offset = offsets.(Sgraph.id_of sub) })
+      (Sgraph.subobjects sg)
+  in
+  { sgraph = sg; slots; size }
+
+let offset_of t s =
+  match
+    List.find_opt
+      (fun sl -> Sgraph.id_of sl.sl_subobject = Sgraph.id_of s)
+      t.slots
+  with
+  | Some sl -> sl.sl_offset
+  | None -> raise Not_found
+
+let sizeof g c = (of_class g c).size
+
+let pp ppf t =
+  let g = Sgraph.graph t.sgraph in
+  Format.fprintf ppf "@[<v>object %s: %d bytes@,"
+    (G.name g (Sgraph.most_derived t.sgraph))
+    t.size;
+  List.iter
+    (fun sl ->
+      Format.fprintf ppf "  +%-4d %a@," sl.sl_offset
+        (Sgraph.pp_subobject t.sgraph) sl.sl_subobject)
+    (List.sort (fun a b -> compare a.sl_offset b.sl_offset) t.slots);
+  Format.fprintf ppf "@]"

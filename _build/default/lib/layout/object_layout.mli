@@ -1,0 +1,47 @@
+(** Object layout for complete objects: byte offsets for every subobject
+    of the Rossie–Friedman subobject graph.
+
+    This is the "static analysis and constructing virtual-function
+    tables" application of the paper's introduction: a compiler needs to
+    place each subobject at an offset, with non-virtual base subobjects
+    embedded recursively and each virtual base allocated exactly once in
+    the complete object, shared by all paths that reach it.
+
+    The scheme is a simplified but faithful Itanium-style layout:
+    - a class with virtual member functions or virtual bases gets one
+      pointer-sized vptr slot at offset 0 of its non-virtual part;
+    - non-virtual base subobjects are embedded first, in declaration
+      order, followed by the class's own (non-static) data members
+      (each a pointer-sized slot — the subset has no sub-word types);
+    - virtual base subobjects are appended once at the end of the
+      complete object, in inheritance-graph discovery order. *)
+
+type slot = {
+  sl_subobject : Subobject.Sgraph.subobject;
+  sl_offset : int;  (** byte offset of the subobject within the object *)
+}
+
+type t = {
+  sgraph : Subobject.Sgraph.t;
+  slots : slot list;  (** one per subobject, complete object first *)
+  size : int;  (** total object size in bytes *)
+}
+
+val word : int
+(** slot size (8) *)
+
+(** [of_class g c] lays out a complete [c] object. *)
+val of_class : Chg.Graph.t -> Chg.Graph.class_id -> t
+
+(** [offset_of t s] is the byte offset of subobject [s].
+    @raise Not_found if [s] is not of this object. *)
+val offset_of : t -> Subobject.Sgraph.subobject -> int
+
+(** [sizeof g c] is the byte size of a complete [c] object. *)
+val sizeof : Chg.Graph.t -> Chg.Graph.class_id -> int
+
+(** [has_vptr g c] — class [c] needs a vptr: it declares a virtual
+    function, or a base subobject does, or it has virtual bases. *)
+val has_vptr : Chg.Graph.t -> Chg.Graph.class_id -> bool
+
+val pp : Format.formatter -> t -> unit

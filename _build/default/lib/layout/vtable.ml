@@ -1,0 +1,57 @@
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+
+type entry = {
+  e_slot : string;
+  e_introduced_by : G.class_id;
+  e_overrider : G.class_id option;
+}
+
+type t = { vt_class : G.class_id; vt_entries : entry list }
+
+let build engine c =
+  let g = Engine.graph engine in
+  let cl = Engine.closure engine in
+  (* Slots: virtual member functions declared in c or any of its bases,
+     keyed by name, keeping the first introducing class in topological
+     (= id) order. *)
+  let introduced = Hashtbl.create 8 in
+  let order = ref [] in
+  let scan x =
+    List.iter
+      (fun (m : G.member) ->
+        if m.m_virtual && not (Hashtbl.mem introduced m.m_name) then begin
+          Hashtbl.add introduced m.m_name x;
+          order := m.m_name :: !order
+        end)
+      (G.members g x)
+  in
+  (* iterate bases-or-self in increasing id order = topological *)
+  G.iter_classes g (fun x ->
+      if x = c || Chg.Closure.is_base cl x c then scan x);
+  let entries =
+    List.rev_map
+      (fun slot ->
+        { e_slot = slot;
+          e_introduced_by = Hashtbl.find introduced slot;
+          e_overrider = Engine.resolves_to engine c slot })
+      !order
+  in
+  { vt_class = c; vt_entries = entries }
+
+let dispatch t f =
+  match List.find_opt (fun e -> String.equal e.e_slot f) t.vt_entries with
+  | Some e -> e.e_overrider
+  | None -> None
+
+let pp g ppf t =
+  Format.fprintf ppf "@[<v>vtable for %s:@," (G.name g t.vt_class);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %-12s (introduced by %s) -> %s@," e.e_slot
+        (G.name g e.e_introduced_by)
+        (match e.e_overrider with
+        | Some c -> G.name g c ^ "::" ^ e.e_slot
+        | None -> "<ambiguous>"))
+    t.vt_entries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** Virtual function table construction — the paper's motivating
+    compiler application ("in performing static analysis and in
+    constructing virtual-function tables").
+
+    The final overrider of each virtual function slot of a class [C] is
+    precisely [lookup (C, f)]: the Rossie–Friedman [dyn] operation staged
+    at compile time (Section 7.1).  A class whose lookup for some
+    inherited virtual function is ambiguous has no valid vtable entry for
+    that slot — the C++ rule that such a class cannot call (or override)
+    the function without further disambiguation. *)
+
+type entry = {
+  e_slot : string;  (** the virtual function name *)
+  e_introduced_by : Chg.Graph.class_id;
+      (** the topologically-least class that declared the slot virtual *)
+  e_overrider : Chg.Graph.class_id option;
+      (** declaring class of [lookup (C, slot)]; [None] if ambiguous *)
+}
+
+type t = { vt_class : Chg.Graph.class_id; vt_entries : entry list }
+
+(** [build engine c] computes [c]'s vtable.  [engine] must be an
+    {!Lookup_core.Engine.t} over the graph (any witness setting).
+    Slots appear in introduction order (topological, then declaration
+    order within a class), each name once. *)
+val build : Lookup_core.Engine.t -> Chg.Graph.class_id -> t
+
+(** [dispatch t f] is the class whose implementation runs for a virtual
+    call of [f] on a complete object of this vtable's class, if
+    unambiguous. *)
+val dispatch : t -> string -> Chg.Graph.class_id option
+
+val pp : Chg.Graph.t -> Format.formatter -> t -> unit

@@ -1,0 +1,562 @@
+module G = Chg.Graph
+module Sgraph = Subobject.Sgraph
+module Path = Subobject.Path
+module Engine = Lookup_core.Engine
+module OL = Layout.Object_layout
+module Ast = Frontend.Ast
+module Diagnostic = Frontend.Diagnostic
+
+type value = Vint of int | Vptr of pointer | Vundef
+and pointer = { p_obj : int; p_sub : int }
+
+type event =
+  | Alloc of { obj : int; cls : string; bytes : int }
+  | Write of {
+      obj : int;
+      subobject : string;
+      target : string;
+      value : value;
+    }
+  | Read of {
+      obj : int;
+      subobject : string;
+      target : string;
+      value : value;
+    }
+  | Dispatch of {
+      obj : int;
+      slot : string;
+      static_context : string;
+      impl : string;
+      virtual_dispatch : bool;
+    }
+
+type outcome = {
+  trace : event list;
+  runtime_errors : Diagnostic.t list;
+}
+
+type obj = {
+  o_cls : G.class_id;
+  o_sg : Sgraph.t;
+  o_layout : OL.t;
+  o_mem : value array;
+}
+
+(* Raised to abandon the current statement after a runtime error. *)
+exception Stop_stmt
+
+type ctx = {
+  g : G.t;
+  engine : Engine.t;
+  bodies : (string * string, Ast.stmt list) Hashtbl.t;
+  decl_types : (string * string, Ast.ty) Hashtbl.t;
+      (* (class name, member) -> declared type *)
+  class_cache : (G.class_id, Sgraph.t * OL.t) Hashtbl.t;
+  statics : (string, value ref) Hashtbl.t;  (* "C::m" -> cell *)
+  objs : (int, obj) Hashtbl.t;
+  mutable next_obj : int;
+  mutable rev_trace : event list;
+  mutable rev_errors : Diagnostic.t list;
+  mutable depth : int;
+}
+
+let emit ctx e = ctx.rev_trace <- e :: ctx.rev_trace
+
+let error ctx loc fmt =
+  Format.kasprintf
+    (fun msg ->
+      ctx.rev_errors <- Diagnostic.error ~loc "%s" msg :: ctx.rev_errors;
+      raise Stop_stmt)
+    fmt
+
+let class_info ctx cls =
+  match Hashtbl.find_opt ctx.class_cache cls with
+  | Some info -> info
+  | None ->
+    let info = (Sgraph.build ctx.g cls, OL.of_class ctx.g cls) in
+    Hashtbl.add ctx.class_cache cls info;
+    info
+
+let obj ctx id = Hashtbl.find ctx.objs id
+
+let sub_of ctx (p : pointer) =
+  let o = obj ctx p.p_obj in
+  List.nth (Sgraph.subobjects o.o_sg) p.p_sub
+
+let sub_name ctx (p : pointer) =
+  (* canonical fixed-part name, least derived class first *)
+  String.concat "-"
+    (List.map (G.name ctx.g) (sub_of ctx p).Sgraph.fixed)
+
+let static_class ctx p = Sgraph.ldc (obj ctx p.p_obj).o_sg (sub_of ctx p)
+
+let alloc ctx cls =
+  let sg, layout = class_info ctx cls in
+  let id = ctx.next_obj in
+  ctx.next_obj <- id + 1;
+  let words = max 1 (layout.OL.size / OL.word) in
+  Hashtbl.add ctx.objs id
+    { o_cls = cls; o_sg = sg; o_layout = layout; o_mem = Array.make words Vundef };
+  emit ctx
+    (Alloc { obj = id; cls = G.name ctx.g cls; bytes = layout.OL.size });
+  id
+
+(* Word index of data member [mem] of the subobject [p] points to. *)
+let word_of ctx loc (p : pointer) (mem : G.member) =
+  let o = obj ctx p.p_obj in
+  let s = sub_of ctx p in
+  let l = Sgraph.ldc o.o_sg s in
+  let data_members =
+    List.filter
+      (fun (m : G.member) -> m.m_kind = G.Data && not m.m_static)
+      (G.members ctx.g l)
+  in
+  let rec index i = function
+    | [] -> error ctx loc "internal: member %s not in layout" mem.m_name
+    | (m : G.member) :: rest ->
+      if String.equal m.m_name mem.m_name then i else index (i + 1) rest
+  in
+  let idx = index 0 data_members in
+  let base = OL.offset_of o.o_layout s in
+  let vptr = if OL.has_vptr ctx.g l then OL.word else 0 in
+  (base + vptr + (OL.word * idx)) / OL.word
+
+(* Resolve member [m] against static class [cls] and re-base the winning
+   subobject onto receiver pointer [p] — the stat operation. *)
+let stat_target ctx loc (p : pointer) cls m =
+  match Engine.lookup ctx.engine cls m with
+  | None -> error ctx loc "no member %s in %s" m (G.name ctx.g cls)
+  | Some (Engine.Blue _) ->
+    error ctx loc "ambiguous member %s in %s" m (G.name ctx.g cls)
+  | Some (Engine.Red r) ->
+    let target = r.Lookup_core.Abstraction.r_ldc in
+    let o = obj ctx p.p_obj in
+    let witness =
+      match Engine.witness ctx.engine cls m with
+      | Some w -> w
+      | None -> error ctx loc "internal: engine built without witnesses"
+    in
+    let beta = Sgraph.a_path o.o_sg (sub_of ctx p) in
+    let composed = Path.concat witness beta in
+    let target_sub = Sgraph.of_path o.o_sg composed in
+    (target, { p_obj = p.p_obj; p_sub = Sgraph.id_of target_sub })
+
+(* Evaluation results. *)
+type res =
+  | Robj of pointer  (* a class-typed lvalue *)
+  | Rfield of pointer * G.class_id * G.member  (* owner subobj, decl class *)
+  | Rstatic of G.class_id * G.member
+  | Rvar of value ref * Ast.ty option  (* local variable and declared type *)
+  | Rval of value
+
+(* Derived-to-base pointer conversion: adjust [p] to the unique [tname]
+   base subobject of the subobject it points to — exactly what a C++
+   compiler compiles a [Base* b = &derived] initialization into. *)
+let convert_ptr ctx loc (p : pointer) tname =
+  match G.find_opt ctx.g tname with
+  | None -> error ctx loc "unknown class '%s'" tname
+  | Some t ->
+    let o = obj ctx p.p_obj in
+    let s = sub_of ctx p in
+    if Sgraph.ldc o.o_sg s = t then p
+    else begin
+      let hits = Hashtbl.create 8 in
+      let visited = Hashtbl.create 8 in
+      let rec walk s =
+        let id = Sgraph.id_of s in
+        if not (Hashtbl.mem visited id) then begin
+          Hashtbl.add visited id ();
+          if Sgraph.ldc o.o_sg s = t then Hashtbl.replace hits id ();
+          List.iter walk (Sgraph.contained o.o_sg s)
+        end
+      in
+      walk s;
+      match Hashtbl.fold (fun id () acc -> id :: acc) hits [] with
+      | [ id ] -> { p_obj = p.p_obj; p_sub = id }
+      | [] ->
+        error ctx loc "cannot convert %s* to %s*"
+          (G.name ctx.g (Sgraph.ldc o.o_sg s))
+          tname
+      | _ ->
+        error ctx loc "conversion to %s* is ambiguous (duplicated base)"
+          tname
+    end
+
+let declared_ty ctx target m =
+  Hashtbl.find_opt ctx.decl_types (G.name ctx.g target, m)
+
+let is_class_valued ctx target (mem : G.member) =
+  match declared_ty ctx target mem.m_name with
+  | Some { Ast.t_base = Ast.Named _; t_pointer = false } -> true
+  | Some _ | None -> false
+
+(* Read a result as a value, emitting Read events for field reads. *)
+let read ctx loc = function
+  | Rval v -> v
+  | Rvar (r, _) -> !r
+  | Robj p -> Vptr p  (* an object decays to its address when read *)
+  | Rstatic (target, mem) ->
+    let key = G.name ctx.g target ^ "::" ^ mem.m_name in
+    let v =
+      match mem.m_kind with
+      | G.Enumerator ->
+        (* ordinal among the class's enumerators; initializers are not
+           modeled *)
+        let rec ord i = function
+          | [] -> Vundef
+          | (m : G.member) :: rest ->
+            if String.equal m.m_name mem.m_name then Vint i
+            else ord (if m.m_kind = G.Enumerator then i + 1 else i) rest
+        in
+        ord 0 (G.members ctx.g target)
+      | G.Type -> error ctx loc "'%s' is a type, not a value" key
+      | G.Data | G.Function ->
+        (match Hashtbl.find_opt ctx.statics key with
+        | Some cell -> !cell
+        | None -> Vundef)
+    in
+    v
+  | Rfield (p, target, mem) ->
+    if is_class_valued ctx target mem then
+      error ctx loc
+        "embedded class-typed member '%s' is not modeled (use a pointer)"
+        mem.m_name;
+    let w = word_of ctx loc p mem in
+    let v = (obj ctx p.p_obj).o_mem.(w) in
+    emit ctx
+      (Read
+         { obj = p.p_obj;
+           subobject = sub_name ctx p;
+           target = G.name ctx.g target ^ "::" ^ mem.m_name;
+           value = v });
+    v
+
+let write ctx loc res v =
+  match res with
+  | Rvar (r, _) -> r := v
+  | Rstatic (target, mem) ->
+    (match mem.m_kind with
+    | G.Enumerator | G.Type ->
+      error ctx loc "cannot assign to '%s'" mem.m_name
+    | G.Data | G.Function ->
+      let key = G.name ctx.g target ^ "::" ^ mem.m_name in
+      (match Hashtbl.find_opt ctx.statics key with
+      | Some cell -> cell := v
+      | None -> Hashtbl.add ctx.statics key (ref v));
+      emit ctx
+        (Write { obj = -1; subobject = "<static>"; target = key; value = v }))
+  | Rfield (p, target, mem) ->
+    if is_class_valued ctx target mem then
+      error ctx loc
+        "embedded class-typed member '%s' is not modeled (use a pointer)"
+        mem.m_name;
+    let w = word_of ctx loc p mem in
+    (obj ctx p.p_obj).o_mem.(w) <- v;
+    emit ctx
+      (Write
+         { obj = p.p_obj;
+           subobject = sub_name ctx p;
+           target = G.name ctx.g target ^ "::" ^ mem.m_name;
+           value = v })
+  | Robj _ -> error ctx loc "cannot assign to an object"
+  | Rval _ -> error ctx loc "cannot assign to an rvalue"
+
+(* Member access through a receiver: classify as field / static /
+   method-ish result. *)
+let access_member ctx loc (p : pointer) ~context m =
+  let target, tp = stat_target ctx loc p context m in
+  match G.find_member ctx.g target m with
+  | None -> error ctx loc "internal: resolved member vanished"
+  | Some mem ->
+    if G.member_is_static_like mem || (mem.m_static && mem.m_kind = G.Data)
+    then Rstatic (target, mem)
+    else if mem.m_kind = G.Function then
+      (* method value: remember the receiver and static context via a
+         closure-ish encoding below (calls re-resolve) *)
+      Rfield (tp, target, mem)
+    else Rfield (tp, target, mem)
+
+type env = (string, res) Hashtbl.t
+
+let rec eval ctx env ~this (e : Ast.expr) : res =
+  match e with
+  | Ast.Var (name, loc) ->
+    (match Hashtbl.find_opt env name with
+    | Some r -> r
+    | None ->
+      (* implicit this-> member *)
+      (match this with
+      | Some p -> access_member ctx loc p ~context:(static_class ctx p) name
+      | None -> error ctx loc "unknown variable '%s'" name))
+  | Ast.Qualified (cls_name, m, loc) ->
+    (match G.find_opt ctx.g cls_name with
+    | None -> error ctx loc "unknown class '%s'" cls_name
+    | Some cls ->
+      (* resolve in cls's context; static-like members need no receiver,
+         others use this (qualified = non-virtual access) *)
+      (match Engine.lookup ctx.engine cls m with
+        | None -> error ctx loc "no member %s in %s" m cls_name
+        | Some (Engine.Blue _) ->
+          error ctx loc "ambiguous member %s in %s" m cls_name
+        | Some (Engine.Red r) ->
+          let target = r.Lookup_core.Abstraction.r_ldc in
+          (match G.find_member ctx.g target m with
+          | Some mem when G.member_is_static_like mem ->
+            Rstatic (target, mem)
+          | Some mem -> (
+            match this with
+            | Some p ->
+              let p =
+                if static_class ctx p = cls then p
+                else convert_ptr ctx loc p cls_name
+              in
+              let target', tp = stat_target ctx loc p cls m in
+              Rfield (tp, target', mem)
+            | None ->
+              error ctx loc
+                "'%s::%s' is not static and there is no object" cls_name m)
+          | None -> error ctx loc "internal: resolved member vanished")))
+  | Ast.Select (base, sel) ->
+    let recv =
+      let r = eval ctx env ~this base in
+      if sel.s_arrow then
+        match read ctx sel.s_loc r with
+        | Vptr p -> p
+        | Vundef ->
+          error ctx sel.s_loc "dereference of an uninitialized pointer"
+        | Vint _ -> error ctx sel.s_loc "dereference of a non-pointer"
+      else
+        match r with
+        | Robj p -> p
+        | Rfield _ | Rstatic _ | Rvar _ | Rval _ -> (
+          (* e.g. (x.ptrfield).m with '.': follow the pointer anyway
+             would be wrong; sema rejects this, so just fail *)
+          match read ctx sel.s_loc r with
+          | Vptr p -> p
+          | _ -> error ctx sel.s_loc "'.' applied to a non-object")
+    in
+    access_member ctx sel.s_loc recv
+      ~context:(static_class ctx recv)
+      sel.s_member
+  | Ast.Call (callee, loc) -> eval_call ctx env ~this callee loc
+
+and eval_call ctx env ~this callee loc : res =
+  (* Work out receiver, static context and slot name from the callee
+     shape, then dispatch. *)
+  let dispatch ~recv ~context ~slot ~force_non_virtual =
+    (* an explicitly qualified context requires a receiver adjustment
+       first, like any derived-to-base conversion *)
+    let recv =
+      if static_class ctx recv = context then recv
+      else convert_ptr ctx loc recv (G.name ctx.g context)
+    in
+    let target, _ = stat_target ctx loc recv context slot in
+    let mem =
+      match G.find_member ctx.g target slot with
+      | Some mem -> mem
+      | None -> error ctx loc "internal: resolved member vanished"
+    in
+    if mem.m_kind <> G.Function then
+      error ctx loc "'%s' is not a function" slot;
+    let virtual_dispatch = mem.m_virtual && not force_non_virtual in
+    let impl, this_sub =
+      if virtual_dispatch then begin
+        (* dyn: resolve against the complete object's class *)
+        let o = obj ctx recv.p_obj in
+        match Engine.lookup ctx.engine o.o_cls slot with
+        | Some (Engine.Red r) ->
+          let w =
+            match Engine.witness ctx.engine o.o_cls slot with
+            | Some w -> w
+            | None -> error ctx loc "internal: no witness"
+          in
+          ( r.Lookup_core.Abstraction.r_ldc,
+            { p_obj = recv.p_obj;
+              p_sub = Sgraph.id_of (Sgraph.of_path o.o_sg w) } )
+        | Some (Engine.Blue _) ->
+          error ctx loc "virtual call to '%s' is ambiguous in %s" slot
+            (G.name ctx.g o.o_cls)
+        | None -> error ctx loc "internal: slot vanished"
+      end
+      else
+        let target, tp = stat_target ctx loc recv context slot in
+        (target, tp)
+    in
+    emit ctx
+      (Dispatch
+         { obj = recv.p_obj;
+           slot;
+           static_context = G.name ctx.g context;
+           impl = G.name ctx.g impl;
+           virtual_dispatch });
+    (match Hashtbl.find_opt ctx.bodies (G.name ctx.g impl, slot) with
+    | Some body ->
+      if ctx.depth > 200 then error ctx loc "call depth exceeded";
+      ctx.depth <- ctx.depth + 1;
+      let inner_env : env = Hashtbl.create 8 in
+      exec_body ctx inner_env ~this:(Some this_sub) body;
+      ctx.depth <- ctx.depth - 1
+    | None -> ());  (* declared without a body: dispatch is the effect *)
+    Rval Vundef
+  in
+  match callee with
+  | Ast.Var (slot, vloc) -> (
+    match this with
+    | Some p ->
+      dispatch ~recv:p ~context:(static_class ctx p) ~slot
+        ~force_non_virtual:false
+    | None -> error ctx vloc "call of '%s' outside a member function" slot)
+  | Ast.Select (base, sel) ->
+    let recv =
+      let r = eval ctx env ~this base in
+      if sel.s_arrow then
+        match read ctx sel.s_loc r with
+        | Vptr p -> p
+        | Vundef ->
+          error ctx sel.s_loc "dereference of an uninitialized pointer"
+        | Vint _ -> error ctx sel.s_loc "dereference of a non-pointer"
+      else
+        match r with
+        | Robj p -> p
+        | r -> (
+          match read ctx sel.s_loc r with
+          | Vptr p -> p
+          | _ -> error ctx sel.s_loc "'.' applied to a non-object")
+    in
+    dispatch ~recv ~context:(static_class ctx recv) ~slot:sel.s_member
+      ~force_non_virtual:false
+  | Ast.Qualified (cls_name, slot, qloc) -> (
+    (* X::f() — an explicitly qualified, hence non-virtual, call *)
+    match (G.find_opt ctx.g cls_name, this) with
+    | Some cls, Some p ->
+      dispatch ~recv:p ~context:cls ~slot ~force_non_virtual:true
+    | Some _, None ->
+      error ctx qloc "qualified call '%s::%s' needs an object" cls_name slot
+    | None, _ -> error ctx qloc "unknown class '%s'" cls_name)
+  | Ast.Call _ -> error ctx loc "cannot call the result of a call"
+
+and exec_body ctx env ~this stmts =
+  List.iter
+    (fun (s : Ast.stmt) ->
+      try exec_stmt ctx env ~this s with Stop_stmt -> ())
+    stmts
+
+and exec_stmt ctx env ~this (s : Ast.stmt) =
+  match s with
+  | Ast.Var_decl { v_type; v_name; v_loc } -> (
+    match v_type.Ast.t_base with
+    | Ast.Named cls_name when not v_type.Ast.t_pointer -> (
+      match G.find_opt ctx.g cls_name with
+      | Some cls ->
+        let id = alloc ctx cls in
+        Hashtbl.replace env v_name (Robj { p_obj = id; p_sub = 0 })
+      | None -> error ctx v_loc "unknown class '%s'" cls_name)
+    | Ast.Named _ | Ast.Builtin _ ->
+      Hashtbl.replace env v_name (Rvar (ref Vundef, Some v_type)))
+  | Ast.Expr e ->
+    let r = eval ctx env ~this e in
+    (* evaluating for effect: force field reads to hit memory *)
+    (match r with
+    | Rfield _ | Rstatic _ -> ignore (read ctx (Ast.expr_loc e) r)
+    | Robj _ | Rvar _ | Rval _ -> ())
+  | Ast.Assign (lhs, rhs) ->
+    let v =
+      match rhs with
+      | Ast.Rint n -> Vint n
+      | Ast.Raddr e -> (
+        let r = eval ctx env ~this e in
+        match r with
+        | Robj p -> Vptr p
+        | Rfield _ | Rstatic _ | Rvar _ | Rval _ -> (
+          match read ctx (Ast.expr_loc e) r with
+          | Vptr p -> Vptr p
+          | _ ->
+            error ctx (Ast.expr_loc e)
+              "can only take the address of an object"))
+    in
+    let place = eval ctx env ~this lhs in
+    (* implicit derived-to-base conversion against the destination's
+       declared pointer type *)
+    let declared =
+      match place with
+      | Rvar (_, ty) -> ty
+      | Rfield (_, target, mem) -> declared_ty ctx target mem.m_name
+      | Robj _ | Rstatic _ | Rval _ -> None
+    in
+    let v =
+      match (v, declared) with
+      | Vptr p, Some { Ast.t_base = Ast.Named tname; t_pointer = true } ->
+        Vptr (convert_ptr ctx (Ast.expr_loc lhs) p tname)
+      | _ -> v
+    in
+    write ctx (Ast.expr_loc lhs) place v
+
+let collect_bodies (program : Ast.program) =
+  let bodies = Hashtbl.create 16 in
+  let decl_types = Hashtbl.create 32 in
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      List.iter
+        (fun (m : Ast.member_decl) ->
+          Hashtbl.replace decl_types (c.c_name, m.md_name) m.md_type;
+          match m.md_body with
+          | Some body -> Hashtbl.replace bodies (c.c_name, m.md_name) body
+          | None -> ())
+        c.c_members)
+    program.classes;
+  (bodies, decl_types)
+
+let run ?(entry = "main") (sema : Frontend.Sema.t) (program : Ast.program) =
+  let bodies, decl_types = collect_bodies program in
+  let ctx =
+    { g = sema.graph;
+      engine = sema.engine;
+      bodies;
+      decl_types;
+      class_cache = Hashtbl.create 8;
+      statics = Hashtbl.create 8;
+      objs = Hashtbl.create 8;
+      next_obj = 0;
+      rev_trace = [];
+      rev_errors = [];
+      depth = 0 }
+  in
+  (match List.find_opt (fun (f : Ast.func) -> f.f_name = entry) program.funcs
+   with
+  | Some f ->
+    let env : env = Hashtbl.create 8 in
+    exec_body ctx env ~this:None f.f_body
+  | None ->
+    ctx.rev_errors <-
+      Diagnostic.error "no function named '%s'" entry :: ctx.rev_errors);
+  { trace = List.rev ctx.rev_trace;
+    runtime_errors = List.rev ctx.rev_errors }
+
+let run_source ?entry src =
+  match Frontend.Parser.parse src with
+  | Error d -> { trace = []; runtime_errors = [ d ] }
+  | Ok program ->
+    let sema = Frontend.Sema.analyze program in
+    if not (Frontend.Sema.ok sema) then
+      { trace = []; runtime_errors = sema.diagnostics }
+    else run ?entry sema program
+
+let pp_value ppf = function
+  | Vint n -> Format.fprintf ppf "%d" n
+  | Vptr { p_obj; p_sub } -> Format.fprintf ppf "&obj%d.sub%d" p_obj p_sub
+  | Vundef -> Format.pp_print_string ppf "undef"
+
+let pp_event ppf = function
+  | Alloc { obj; cls; bytes } ->
+    Format.fprintf ppf "alloc   obj%d : %s (%d bytes)" obj cls bytes
+  | Write { obj; subobject; target; value } ->
+    Format.fprintf ppf "write   obj%d.[%s] %s = %a" obj subobject target
+      pp_value value
+  | Read { obj; subobject; target; value } ->
+    Format.fprintf ppf "read    obj%d.[%s] %s -> %a" obj subobject target
+      pp_value value
+  | Dispatch { obj; slot; static_context; impl; virtual_dispatch } ->
+    Format.fprintf ppf "call    obj%d.%s (static %s) -> %s::%s%s" obj slot
+      static_context impl slot
+      (if virtual_dispatch then " [virtual]" else "")

@@ -1,0 +1,73 @@
+(** A miniature runtime for the C++ subset: the end of the pipeline the
+    paper's algorithm feeds.
+
+    The paper stages member lookup so that "most of the work is done at
+    compile time, with the run-time operation being a constant-time
+    operation (as is done in typical C++ implementations)" (Section 7.1).
+    This interpreter executes programs accordingly:
+
+    - objects are allocated with the real {!Layout.Object_layout} (one
+      memory word per data-member slot, vptr slots, shared virtual
+      bases);
+    - every member access is resolved {e statically} through the lookup
+      engine against the expression's static type, then composed onto the
+      receiver subobject — the [stat] operation;
+    - virtual member-function calls dispatch on the {e complete object}'s
+      class — the [dyn] operation / a vtable hit — and run the final
+      overrider's body with [this] adjusted to the overrider's subobject.
+
+    Pointers carry a subobject, so a derived-to-base conversion is an
+    actual this-pointer adjustment, observable in the trace.
+
+    Execution produces a trace of events (allocations, reads, writes,
+    dispatches), which the tests compare against expectations and against
+    the specification's verdicts. *)
+
+type value =
+  | Vint of int
+  | Vptr of pointer
+  | Vundef
+and pointer = {
+  p_obj : int;  (** object id *)
+  p_sub : int;  (** subobject id within the object's subobject graph *)
+}
+
+type event =
+  | Alloc of { obj : int; cls : string; bytes : int }
+  | Write of {
+      obj : int;
+      subobject : string;  (** canonical name, e.g. ["C-D-E"] *)
+      target : string;  (** ["C::m"] — declaring class and member *)
+      value : value;
+    }
+  | Read of {
+      obj : int;
+      subobject : string;
+      target : string;
+      value : value;
+    }
+  | Dispatch of {
+      obj : int;
+      slot : string;
+      static_context : string;  (** class the call was resolved against *)
+      impl : string;  (** class whose body runs — [lookup] / vtable hit *)
+      virtual_dispatch : bool;
+    }
+
+type outcome = {
+  trace : event list;  (** in execution order *)
+  runtime_errors : Frontend.Diagnostic.t list;
+      (** dereferencing undefined pointers, unsupported constructs, ... *)
+}
+
+(** [run sema program ?entry] executes function [entry] (default
+    ["main"]).  [sema] must be the analysis of [program] and must be
+    error-free; [program]'s method bodies provide the code. *)
+val run : ?entry:string -> Frontend.Sema.t -> Frontend.Ast.program -> outcome
+
+(** [run_source src] parses, analyzes and runs.  Compile-time errors are
+    returned as [runtime_errors] with an empty trace. *)
+val run_source : ?entry:string -> string -> outcome
+
+val pp_event : Format.formatter -> event -> unit
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,50 @@
+module Engine = Lookup_core.Engine
+
+type binding =
+  | Variable of string
+  | Function_decl
+  | Type_alias
+
+type scope =
+  | Block of (string * binding) list
+  | Namespace of string * (string * binding) list
+  | Class_scope of Chg.Graph.class_id
+
+type result =
+  | Found of binding
+  | Found_member of {
+      context : Chg.Graph.class_id;
+      target : Chg.Graph.class_id;
+    }
+  | Ambiguous_member of Chg.Graph.class_id
+  | Unbound
+
+let lookup engine stack name =
+  let rec search = function
+    | [] -> Unbound
+    | Block bindings :: outer | Namespace (_, bindings) :: outer ->
+      (match List.assoc_opt name bindings with
+      | Some b -> Found b
+      | None -> search outer)
+    | Class_scope c :: outer ->
+      (* The local lookup within a class scope is exactly the member
+         lookup problem; a hit (even an ambiguous one) ends the search. *)
+      (match Engine.lookup engine c name with
+      | Some (Engine.Red r) ->
+        Found_member
+          { context = c; target = r.Lookup_core.Abstraction.r_ldc }
+      | Some (Engine.Blue _) -> Ambiguous_member c
+      | None -> search outer)
+  in
+  search stack
+
+let pp_result g ppf = function
+  | Unbound -> Format.pp_print_string ppf "unbound"
+  | Found (Variable ty) -> Format.fprintf ppf "variable of type %s" ty
+  | Found Function_decl -> Format.pp_print_string ppf "function"
+  | Found Type_alias -> Format.pp_print_string ppf "type alias"
+  | Found_member { context; target } ->
+    Format.fprintf ppf "member declared in %s (searched in class scope %s)"
+      (Chg.Graph.name g target) (Chg.Graph.name g context)
+  | Ambiguous_member c ->
+    Format.fprintf ppf "ambiguous member of %s" (Chg.Graph.name g c)

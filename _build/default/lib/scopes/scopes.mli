@@ -1,0 +1,40 @@
+(** Unqualified-name lookup (paper Section 6): "The resolution of an
+    unqualified name in C++ is essentially the same as the traditional
+    name lookup process in the presence of nested scopes.  The only
+    complication is that any of these nested scopes may itself be a
+    class, and the local lookup within a class scope itself reduces to
+    the member lookup problem addressed in this paper."
+
+    A scope stack is searched innermost-first.  Block and namespace
+    scopes hold plain bindings; a class scope delegates to the member
+    lookup engine, and an ambiguous member lookup poisons the whole
+    resolution (it does {e not} fall through to an outer scope, matching
+    C++: name lookup stops at the first scope containing the name). *)
+
+type binding =
+  | Variable of string  (** declared type, informally *)
+  | Function_decl
+  | Type_alias
+
+type scope =
+  | Block of (string * binding) list
+  | Namespace of string * (string * binding) list
+  | Class_scope of Chg.Graph.class_id
+      (** e.g. the body of a member function of that class *)
+
+type result =
+  | Found of binding  (** bound in a block or namespace scope *)
+  | Found_member of {
+      context : Chg.Graph.class_id;  (** the class scope that matched *)
+      target : Chg.Graph.class_id;  (** declaring class of the member *)
+    }
+  | Ambiguous_member of Chg.Graph.class_id
+      (** the innermost class scope containing the name has an ambiguous
+          lookup for it *)
+  | Unbound
+
+(** [lookup engine stack name] searches [stack] (innermost scope first).
+    [engine] must cover the graph the class scopes refer to. *)
+val lookup : Lookup_core.Engine.t -> scope list -> string -> result
+
+val pp_result : Chg.Graph.t -> Format.formatter -> result -> unit

@@ -1,0 +1,100 @@
+module G = Chg.Graph
+
+type seed = { sd_class : G.class_id; sd_member : string }
+
+type t = {
+  sliced : G.t;
+  kept : (G.class_id * G.class_id) list;
+  dropped_classes : int;
+  dropped_members : int;
+  dropped_edges : int;
+}
+
+let slice g seeds =
+  let cl = Chg.Closure.compute g in
+  let n = G.num_classes g in
+  let keep_class = Array.make n false in
+  let keep_member : (G.class_id * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let keep_edge : (G.class_id * G.class_id, unit) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun { sd_class = c; sd_member = m } ->
+      (* classes declaring m somewhere at or above c *)
+      let declaring =
+        List.filter
+          (fun x -> G.declares g x m && Chg.Closure.is_base_or_self cl x c)
+          (G.classes g)
+      in
+      (* R = classes lying on a declaring-class => c path *)
+      let relevant = Chg.Bitset.create n in
+      List.iter
+        (fun y ->
+          if
+            Chg.Closure.is_base_or_self cl y c
+            && List.exists
+                 (fun x -> Chg.Closure.is_base_or_self cl x y)
+                 declaring
+          then Chg.Bitset.add relevant y)
+        (G.classes g);
+      Chg.Bitset.iter
+        (fun y ->
+          keep_class.(y) <- true;
+          if G.declares g y m then Hashtbl.replace keep_member (y, m) ();
+          List.iter
+            (fun (b : G.base) ->
+              if Chg.Bitset.mem relevant b.b_class then
+                Hashtbl.replace keep_edge (b.b_class, y) ())
+            (G.bases g y))
+        relevant)
+    seeds;
+  (* Rebuild in original id order (a topological order). *)
+  let builder = G.create_builder () in
+  let mapping = ref [] in
+  let dropped_members = ref 0 and dropped_edges = ref 0 in
+  G.iter_classes g (fun c ->
+      if keep_class.(c) then begin
+        let bases =
+          List.filter_map
+            (fun (b : G.base) ->
+              if Hashtbl.mem keep_edge (b.b_class, c) then
+                Some (G.name g b.b_class, b.b_kind, b.b_access)
+              else begin
+                incr dropped_edges;
+                None
+              end)
+            (G.bases g c)
+        in
+        let members =
+          List.filter
+            (fun (m : G.member) ->
+              if Hashtbl.mem keep_member (c, m.m_name) then true
+              else begin
+                incr dropped_members;
+                false
+              end)
+            (G.members g c)
+        in
+        let id = G.add_class builder (G.name g c) ~bases ~members in
+        mapping := (c, id) :: !mapping
+      end
+      else begin
+        dropped_members := !dropped_members + List.length (G.members g c);
+        dropped_edges := !dropped_edges + List.length (G.bases g c)
+      end);
+  let sliced = G.freeze builder in
+  { sliced;
+    kept = List.rev !mapping;
+    dropped_classes = n - G.num_classes sliced;
+    dropped_members = !dropped_members;
+    dropped_edges = !dropped_edges }
+
+let to_sliced t c = List.assoc_opt c t.kept
+let of_sliced t c =
+  fst (List.find (fun (_, s) -> s = c) t.kept)
+
+let pp_stats ppf t =
+  Format.fprintf ppf
+    "kept %d classes (dropped %d), dropped %d member decls, %d edges"
+    (G.num_classes t.sliced) t.dropped_classes t.dropped_members
+    t.dropped_edges

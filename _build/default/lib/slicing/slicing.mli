@@ -1,0 +1,42 @@
+(** Class hierarchy slicing in the style of Tip, Choi, Field and
+    Ramalingam (OOPSLA 1996), which the paper names as a client of its
+    lookup algorithm ("our lookup algorithm is also useful in efficiently
+    implementing class hierarchy slicing").
+
+    Given a set of {e seed} lookups — the (class, member) pairs a program
+    actually performs — the slice keeps only the classes, inheritance
+    edges and member declarations that can influence those lookups:
+
+    - for every seed [(c, m)], every class on a CHG path from a class
+      declaring [m] to [c] (such classes carry the definition paths whose
+      [≈]-classes and dominance relations decide the verdict);
+    - every declaration of [m] in those classes (other declarations in
+      kept classes are dropped; they cannot affect a lookup of [m]);
+    - every inheritance edge between two kept classes that lies on such a
+      path.
+
+    The guarantee (property-tested against the oracle): every seed lookup
+    has the same verdict — same resolving class and subobject for
+    resolved lookups, ambiguity preserved — in the sliced hierarchy. *)
+
+type seed = { sd_class : Chg.Graph.class_id; sd_member : string }
+
+type t = {
+  sliced : Chg.Graph.t;  (** the reduced hierarchy *)
+  kept : (Chg.Graph.class_id * Chg.Graph.class_id) list;
+      (** (original id, sliced id) for every kept class *)
+  dropped_classes : int;
+  dropped_members : int;
+  dropped_edges : int;
+}
+
+(** [slice g seeds] computes the slice. *)
+val slice : Chg.Graph.t -> seed list -> t
+
+(** [to_sliced t c] is the sliced id of original class [c], if kept. *)
+val to_sliced : t -> Chg.Graph.class_id -> Chg.Graph.class_id option
+
+(** [of_sliced t c] is the original id of sliced class [c]. *)
+val of_sliced : t -> Chg.Graph.class_id -> Chg.Graph.class_id
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/subobject/count.ml: Array Chg List

@@ -1,0 +1,1 @@
+lib/subobject/count.mli: Chg

@@ -1,0 +1,1 @@
+lib/subobject/path.ml: Array Chg Format List

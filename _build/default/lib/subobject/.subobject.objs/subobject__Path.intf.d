@@ -1,0 +1,1 @@
+lib/subobject/path.mli: Chg Format

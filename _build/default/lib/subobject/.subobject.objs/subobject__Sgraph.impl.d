@@ -1,0 +1,1 @@
+lib/subobject/sgraph.ml: Array Buffer Chg Format Hashtbl List Path Printf Queue String

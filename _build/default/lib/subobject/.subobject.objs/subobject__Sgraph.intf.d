@@ -1,0 +1,1 @@
+lib/subobject/sgraph.mli: Chg Format Path

@@ -1,0 +1,1 @@
+lib/subobject/spec.ml: Chg Format Hashtbl List Path

@@ -1,0 +1,1 @@
+lib/subobject/spec.mli: Chg Format Path

@@ -1,0 +1,58 @@
+(* Saturating arithmetic: diamond stacks double counts per level, so a
+   few hundred classes overflow 63-bit ints. *)
+let sat_add a b =
+  let s = a + b in
+  if s < a || s < b then max_int else s
+
+let nv_path_counts g =
+  let n = Chg.Graph.num_classes g in
+  let nv = Array.make n 1 in
+  (* class ids are topological: bases before derived *)
+  for f = 0 to n - 1 do
+    List.iter
+      (fun (b : Chg.Graph.base) ->
+        match b.b_kind with
+        | Chg.Graph.Non_virtual -> nv.(f) <- sat_add nv.(f) nv.(b.b_class)
+        | Chg.Graph.Virtual -> ())
+      (Chg.Graph.bases g f)
+  done;
+  nv
+
+let subobjects cl c =
+  let g = Chg.Closure.graph cl in
+  let nv = nv_path_counts g in
+  Chg.Bitset.fold
+    (fun f acc -> sat_add acc nv.(f))
+    (Chg.Closure.virtual_bases_of cl c)
+    nv.(c)
+
+let table cl =
+  let g = Chg.Closure.graph cl in
+  let nv = nv_path_counts g in
+  Array.init (Chg.Graph.num_classes g) (fun c ->
+      Chg.Bitset.fold
+        (fun f acc -> sat_add acc nv.(f))
+        (Chg.Closure.virtual_bases_of cl c)
+        nv.(c))
+
+let max_over_classes cl =
+  Array.fold_left max 0 (table cl)
+
+let copies_of cl ~base ~within =
+  let g = Chg.Closure.graph cl in
+  let n = Chg.Graph.num_classes g in
+  (* nv.(f) = # non-virtual-only paths from [base] to f *)
+  let nv = Array.make n 0 in
+  nv.(base) <- 1;
+  for f = base + 1 to n - 1 do
+    List.iter
+      (fun (b : Chg.Graph.base) ->
+        match b.b_kind with
+        | Chg.Graph.Non_virtual -> nv.(f) <- sat_add nv.(f) nv.(b.b_class)
+        | Chg.Graph.Virtual -> ())
+      (Chg.Graph.bases g f)
+  done;
+  Chg.Bitset.fold
+    (fun f acc -> sat_add acc nv.(f))
+    (Chg.Closure.virtual_bases_of cl within)
+    nv.(within)

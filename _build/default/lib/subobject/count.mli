@@ -1,0 +1,49 @@
+(** Polynomial subobject counting.
+
+    Building the Rossie–Friedman subobject graph to know its size is
+    exponential; but the formalism gives a closed form.  A subobject of a
+    complete [C] object is named by [(fixed part, C)] (Definition 3),
+    and a non-virtual-only path [f] ending at class [F] is the fixed part
+    of some path to [C] iff [F = C] or [F] is a virtual base of [C]
+    (the continuation must start with a virtual edge, or the fixed part
+    would extend through it).  Hence
+
+    {v #subobjects(C)  =  nv(C) + Σ_{F a virtual base of C} nv(F) v}
+
+    where [nv(F)], the number of non-virtual-only paths ending at [F],
+    satisfies the linear recurrence [nv(F) = 1 + Σ nv(B)] over the
+    non-virtual in-edges [B -> F].
+
+    This makes the exponential-blowup experiment (C3) checkable without
+    materializing the graph, and is property-tested against both
+    {!Sgraph.count} and {!Spec.subobject_count}. *)
+
+(** [nv_path_counts g] is the [nv] table: [nv.(f)] counts the
+    non-virtual-only CHG paths (including the trivial one) ending at
+    class [f].  Counts can be astronomically large; they saturate at
+    [max_int] instead of overflowing. *)
+val nv_path_counts : Chg.Graph.t -> int array
+
+(** [subobjects cl c] is the number of subobjects of a complete [c]
+    object, in [O(|N| + |E|)] after the closure. *)
+val subobjects : Chg.Closure.t -> Chg.Graph.class_id -> int
+
+(** [table cl] is [subobjects] for every class. *)
+val table : Chg.Closure.t -> int array
+
+(** [max_over_classes cl] is the largest subobject count of any class —
+    a hierarchy "health" metric: if this equals [num_classes + #virtual
+    sharing] the hierarchy is replication-free. *)
+val max_over_classes : Chg.Closure.t -> int
+
+(** [copies_of cl ~base ~within] counts the subobjects of class [base] in
+    a complete [within] object — by the same closed form restricted to
+    fixed parts starting at [base]:
+    [Σ_{F ∈ {within} ∪ vbases(within)} nv_from_base(F)].  A count above 1
+    means [base] is {e replicated} (the Figure 1 situation); 0 means
+    [base] is unrelated to [within]. *)
+val copies_of :
+  Chg.Closure.t ->
+  base:Chg.Graph.class_id ->
+  within:Chg.Graph.class_id ->
+  int

@@ -1,0 +1,140 @@
+type step = { via : Chg.Graph.edge_kind; target : Chg.Graph.class_id }
+type t = { ldc : Chg.Graph.class_id; steps : step list }
+
+let trivial c = { ldc = c; steps = [] }
+let extend p via target = { p with steps = p.steps @ [ { via; target } ] }
+
+let mdc p =
+  match List.rev p.steps with [] -> p.ldc | last :: _ -> last.target
+
+let ldc p = p.ldc
+
+let concat a b =
+  if mdc a <> b.ldc then invalid_arg "Path.concat: mdc a <> ldc b";
+  { a with steps = a.steps @ b.steps }
+
+let nodes p = p.ldc :: List.map (fun s -> s.target) p.steps
+let edge_count p = List.length p.steps
+
+let fixed p =
+  let rec take = function
+    | [] -> []
+    | s :: rest ->
+      (match s.via with
+      | Chg.Graph.Virtual -> []
+      | Chg.Graph.Non_virtual -> s :: take rest)
+  in
+  { p with steps = take p.steps }
+
+let is_v_path p =
+  List.exists (fun s -> s.via = Chg.Graph.Virtual) p.steps
+
+let least_virtual p = if is_v_path p then Some (mdc (fixed p)) else None
+
+let key p = (nodes (fixed p), mdc p)
+let equiv p q = key p = key q
+
+let equal a b =
+  a.ldc = b.ldc
+  && List.length a.steps = List.length b.steps
+  && List.for_all2 (fun x y -> x.via = y.via && x.target = y.target) a.steps
+       b.steps
+
+let compare a b =
+  compare
+    (a.ldc, List.map (fun s -> (s.via, s.target)) a.steps)
+    (b.ldc, List.map (fun s -> (s.via, s.target)) b.steps)
+
+(* a hides b iff a is a suffix of b. *)
+let hides a b =
+  let la = List.length a.steps and lb = List.length b.steps in
+  if la > lb then false
+  else begin
+    let dropped = ref b.steps in
+    for _ = 1 to lb - la do
+      match !dropped with [] -> assert false | _ :: tl -> dropped := tl
+    done;
+    let tail_start =
+      (* ldc of the suffix of b with la steps *)
+      if lb = la then b.ldc
+      else (List.nth b.steps (lb - la - 1)).target
+    in
+    tail_start = a.ldc
+    && List.for_all2
+         (fun x y -> x.via = y.via && x.target = y.target)
+         a.steps !dropped
+  end
+
+let of_names g names ~kinds =
+  match names with
+  | [] -> invalid_arg "Path.of_names: empty"
+  | first :: rest ->
+    if List.length rest <> List.length kinds then
+      invalid_arg "Path.of_names: kinds arity mismatch";
+    let p = ref (trivial (Chg.Graph.find g first)) in
+    List.iter2
+      (fun n k -> p := extend !p k (Chg.Graph.find g n))
+      rest kinds;
+    !p
+
+let in_graph g p =
+  let ok = ref true in
+  let cur = ref p.ldc in
+  List.iter
+    (fun s ->
+      let here = !cur in
+      if
+        not
+          (List.exists
+             (fun (b : Chg.Graph.base) ->
+               b.b_class = here && b.b_kind = s.via)
+             (Chg.Graph.bases g s.target))
+      then ok := false;
+      cur := s.target)
+    p.steps;
+  !ok
+
+let all_to g =
+  let n = Chg.Graph.num_classes g in
+  let memo : t list option array = Array.make n None in
+  let rec go c =
+    match memo.(c) with
+    | Some ps -> ps
+    | None ->
+      let inherited =
+        List.concat_map
+          (fun (b : Chg.Graph.base) ->
+            List.map (fun p -> extend p b.b_kind c) (go b.b_class))
+          (Chg.Graph.bases g c)
+      in
+      let ps = trivial c :: inherited in
+      memo.(c) <- Some ps;
+      ps
+  in
+  go
+
+(* See the interface for the derivation: with mdc a = mdc b,
+   a dominates b  iff  fixed a is a suffix of fixed b
+                   or  mdc (fixed b) is a virtual base of ldc a.
+   [hides] on the fixed parts is exactly path-suffix (fixed parts carry
+   only non-virtual edges, so kinds always match). *)
+let dominates_via_closure cl a b =
+  mdc a = mdc b
+  &&
+  let fa = fixed a and fb = fixed b in
+  hides fa fb || Chg.Closure.is_virtual_base cl (mdc fb) a.ldc
+
+let dominates g a b =
+  mdc a = mdc b
+  && List.exists (fun b' -> equiv b' b && hides a b') (all_to g (mdc b))
+
+let pp g ppf p =
+  Format.pp_print_string ppf (Chg.Graph.name g p.ldc);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%s%s"
+        (match s.via with Chg.Graph.Virtual -> "=" | Chg.Graph.Non_virtual -> "-")
+        (Chg.Graph.name g s.target))
+    p.steps
+
+let to_string g p = Format.asprintf "%a" (pp g) p

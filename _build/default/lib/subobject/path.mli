@@ -1,0 +1,122 @@
+(** Paths in the class hierarchy graph and the paper's path formalism
+    (Section 3): [ldc], [mdc], [fixed], the [≈] equivalence that names
+    subobjects, and the {e hides} / {e dominates} relations.
+
+    A path runs from its least derived class (ldc, the source) to its most
+    derived class (mdc, the target), following inheritance edges.  A
+    single-node path (no edges) is allowed and denotes the complete object
+    of that class.
+
+    Everything in this module is a direct executable transcription of the
+    paper's definitions; it is deliberately unoptimized (path enumeration
+    is worst-case exponential) and serves as the specification/oracle the
+    efficient algorithm of {!Lookup_core} is tested against. *)
+
+type step = { via : Chg.Graph.edge_kind; target : Chg.Graph.class_id }
+
+type t = private {
+  ldc : Chg.Graph.class_id;  (** the source: least derived class *)
+  steps : step list;  (** edges in order from [ldc] towards [mdc] *)
+}
+
+(** {1 Construction} *)
+
+(** [trivial c] is the single-node path at class [c]. *)
+val trivial : Chg.Graph.class_id -> t
+
+(** [extend p via target] appends the edge [mdc p -> target] (of kind
+    [via]) at the derived end. *)
+val extend : t -> Chg.Graph.edge_kind -> Chg.Graph.class_id -> t
+
+(** [concat a b] is the paper's [a . b]; requires [mdc a = ldc b].
+    @raise Invalid_argument otherwise. *)
+val concat : t -> t -> t
+
+(** [of_names g names ~kinds] builds the path visiting [names] in order,
+    with [kinds] giving each edge's kind; convenience for tests.
+    @raise Invalid_argument on arity mismatch or unknown class. *)
+val of_names : Chg.Graph.t -> string list -> kinds:Chg.Graph.edge_kind list -> t
+
+(** [in_graph g p] checks that every step of [p] is an actual edge of
+    [g] with the right kind. *)
+val in_graph : Chg.Graph.t -> t -> bool
+
+(** {1 Observers (paper Definitions 1-3)} *)
+
+val ldc : t -> Chg.Graph.class_id
+val mdc : t -> Chg.Graph.class_id
+
+(** [nodes p] lists the classes on [p] from ldc to mdc (length ≥ 1). *)
+val nodes : t -> Chg.Graph.class_id list
+
+(** [edge_count p] is the number of edges of [p]. *)
+val edge_count : t -> int
+
+(** [fixed p] is the longest prefix of [p] that contains no virtual edge
+    (Definition 2), as a path. *)
+val fixed : t -> t
+
+(** [is_v_path p] is [true] iff [p] contains at least one virtual edge
+    (Definition 13). *)
+val is_v_path : t -> bool
+
+(** [least_virtual p] is [mdc (fixed p)] if [p] is a v-path, and [None]
+    (the paper's Ω) otherwise (Definition 14). *)
+val least_virtual : t -> Chg.Graph.class_id option
+
+(** {1 Relations} *)
+
+(** [equiv p q] is the paper's [p ≈ q] (Definition 3): same [fixed] part
+    and same [mdc].  Two paths denote the same subobject iff [equiv]. *)
+val equiv : t -> t -> bool
+
+(** [key p] is a value characterizing the [≈]-class of [p]: equal keys
+    iff equivalent paths.  The key is the node list of [fixed p] paired
+    with [mdc p]. *)
+val key : t -> Chg.Graph.class_id list * Chg.Graph.class_id
+
+(** [hides a b] is [true] iff [a] is a suffix of [b] (Definition 5). *)
+val hides : t -> t -> bool
+
+(** [equal a b] is structural path equality (same nodes and edge kinds). *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** {1 Enumeration} *)
+
+(** [all_to g c] enumerates every CHG path whose mdc is [c], including the
+    trivial path.  Worst-case exponential in the size of [g]; for the
+    specification only. *)
+val all_to : Chg.Graph.t -> Chg.Graph.class_id -> t list
+
+(** [dominates g a b] is the paper's Definition 5: [a] dominates [b] iff
+    [a] hides some path [b'] with [b' ≈ b].  Requires [mdc a = mdc b] to
+    be meaningful (returns [false] otherwise).  Spec-level: enumerates the
+    equivalence class of [b]. *)
+val dominates : Chg.Graph.t -> t -> t -> bool
+
+(** [dominates_via_closure cl a b] is an [O(|path|)] dominance test
+    equivalent to {!dominates} (for paths of [Closure.graph cl] with equal
+    mdc), derived from the formalism: [a] dominates [b] iff some [γ . a ≈ b],
+    and case analysis on whether [γ] contains a virtual edge gives
+
+    - [γ] virtual-free: then [fixed (γ . a) = γ . fixed a], so the
+      condition is [fixed a] is a suffix of [fixed b] ([γ] being the
+      complementary prefix of [fixed b]); or
+    - [γ] contains a virtual edge: then [fixed γ = fixed b], so
+      [γ = fixed b . δ] with [δ] a path from [mdc (fixed b)] to [ldc a]
+      whose first edge is virtual — such a [δ] exists iff
+      [mdc (fixed b)] is a virtual base of [ldc a].
+
+    This generalizes the paper's Lemma 4 beyond red definitions; it is
+    property-tested against {!dominates} in the test suite. *)
+val dominates_via_closure : Chg.Closure.t -> t -> t -> bool
+
+(** [pp g] prints a path as e.g. [A-B=C] where [-] is a non-virtual and
+    [=] a virtual edge (the paper writes paths as node strings, e.g.
+    [ABDFH]; we add the edge kinds for clarity). *)
+val pp : Chg.Graph.t -> Format.formatter -> t -> unit
+
+(** [to_string g p] is [pp] to a string. *)
+val to_string : Chg.Graph.t -> t -> string

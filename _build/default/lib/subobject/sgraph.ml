@@ -1,0 +1,119 @@
+type subobject = { id : int; fixed : Chg.Graph.class_id list }
+
+type t = {
+  g : Chg.Graph.t;
+  mdc : Chg.Graph.class_id;
+  nodes : subobject array;  (* indexed by id, in BFS discovery order *)
+  children : int array array;  (* containment edges, base decl order *)
+  reps : Path.t array;  (* a representative CHG path per subobject *)
+  by_fixed : (Chg.Graph.class_id list, int) Hashtbl.t;
+}
+
+let build g c =
+  let by_fixed = Hashtbl.create 64 in
+  let node_tbl : (int, subobject) Hashtbl.t = Hashtbl.create 64 in
+  let rep_tbl : (int, Path.t) Hashtbl.t = Hashtbl.create 64 in
+  let child_tbl : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let queue = Queue.create () in
+  let intern fixed rep =
+    match Hashtbl.find_opt by_fixed fixed with
+    | Some id -> id
+    | None ->
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.add by_fixed fixed id;
+      let s = { id; fixed } in
+      Hashtbl.add node_tbl id s;
+      Hashtbl.add rep_tbl id rep;
+      Queue.add s queue;
+      id
+  in
+  ignore (intern [ c ] (Path.trivial c));
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let l = List.hd s.fixed in
+    let rep = Hashtbl.find rep_tbl s.id in
+    let kids =
+      List.map
+        (fun (b : Chg.Graph.base) ->
+          let fixed', rep' =
+            match b.b_kind with
+            | Chg.Graph.Non_virtual ->
+              ( b.b_class :: s.fixed,
+                Path.concat
+                  (Path.extend (Path.trivial b.b_class) Chg.Graph.Non_virtual l)
+                  rep )
+            | Chg.Graph.Virtual ->
+              ( [ b.b_class ],
+                Path.concat
+                  (Path.extend (Path.trivial b.b_class) Chg.Graph.Virtual l)
+                  rep )
+          in
+          intern fixed' rep')
+        (Chg.Graph.bases g l)
+    in
+    Hashtbl.add child_tbl s.id (Array.of_list kids)
+  done;
+  let n = !next_id in
+  let nodes = Array.init n (fun id -> Hashtbl.find node_tbl id) in
+  let reps = Array.init n (fun id -> Hashtbl.find rep_tbl id) in
+  let children = Array.init n (fun id -> Hashtbl.find child_tbl id) in
+  { g; mdc = c; nodes; children; reps; by_fixed }
+
+let complete_object t = t.nodes.(0)
+let most_derived t = t.mdc
+let graph t = t.g
+let count t = Array.length t.nodes
+let subobjects t = Array.to_list t.nodes
+let id_of s = s.id
+let ldc _t s = List.hd s.fixed
+
+let contained t s =
+  Array.to_list (Array.map (fun id -> t.nodes.(id)) t.children.(s.id))
+
+let contains t a b =
+  let visited = Hashtbl.create 16 in
+  let rec go id =
+    id = b.id
+    || (not (Hashtbl.mem visited id))
+       && begin
+            Hashtbl.add visited id ();
+            Array.exists go t.children.(id)
+          end
+  in
+  go a.id
+
+let dominates = contains
+
+let of_path t p =
+  if Path.mdc p <> t.mdc then raise Not_found;
+  let fixed_nodes = Path.nodes (Path.fixed p) in
+  match Hashtbl.find_opt t.by_fixed fixed_nodes with
+  | Some id -> t.nodes.(id)
+  | None -> raise Not_found
+
+let a_path t s = t.reps.(s.id)
+
+let defns t m =
+  List.filter (fun s -> Chg.Graph.declares t.g (ldc t s) m) (subobjects t)
+
+let pp_subobject t ppf s =
+  Format.fprintf ppf "[%s]"
+    (String.concat "-" (List.map (Chg.Graph.name t.g) s.fixed))
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph subobjects {\n  rankdir=BT;\n  node [fontname=\"Helvetica\"];\n";
+  Array.iter
+    (fun s ->
+      pf "  s%d [label=\"%s\\n%s\"];\n" s.id
+        (Chg.Graph.name t.g (ldc t s))
+        (String.concat "." (List.map (Chg.Graph.name t.g) s.fixed)))
+    t.nodes;
+  Array.iteri
+    (fun id kids -> Array.iter (fun k -> pf "  s%d -> s%d;\n" k id) kids)
+    t.children;
+  pf "}\n";
+  Buffer.contents buf

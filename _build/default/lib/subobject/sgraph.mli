@@ -1,0 +1,88 @@
+(** The Rossie–Friedman subobject graph of a complete object (OOPSLA 1995,
+    as recapped in paper Sections 1-3 and 7.1).
+
+    For a fixed most-derived class [C], the nodes are the subobjects that
+    constitute a complete [C] object — exactly the [≈]-equivalence classes
+    of CHG paths ending at [C] (Theorem 1) — and each subobject has a
+    containment edge to the subobject it directly contains for every
+    direct base of its least derived class.  Non-virtual bases yield a
+    distinct contained subobject per containing subobject; virtual bases
+    yield one shared subobject per base class.
+
+    The graph's size can be exponential in the CHG's size (e.g. stacked
+    non-virtual diamonds double it per level); this is the structure the
+    pre-paper algorithms traverse and the reason the paper's CHG-based
+    algorithm wins asymptotically. *)
+
+type subobject = private {
+  id : int;  (** dense id within this subobject graph *)
+  fixed : Chg.Graph.class_id list;
+      (** nodes of the [fixed] part of any representing path, least
+          derived class first; this plus the complete-object class is the
+          canonical name of the [≈]-class (Definition 3) *)
+}
+
+type t
+
+(** [build g c] constructs the subobject graph of a complete [c] object.
+    Beware: worst-case exponential in [Chg.Graph.num_classes g]. *)
+val build : Chg.Graph.t -> Chg.Graph.class_id -> t
+
+(** [complete_object t] is the subobject representing the whole object
+    (the trivial path at the most-derived class). *)
+val complete_object : t -> subobject
+
+(** [most_derived t] is the class the graph was built for. *)
+val most_derived : t -> Chg.Graph.class_id
+
+(** [graph t] is the class hierarchy graph [t] was built from. *)
+val graph : t -> Chg.Graph.t
+
+(** [count t] is the number of subobjects. *)
+val count : t -> int
+
+(** [subobjects t] lists all subobjects in BFS order from the complete
+    object (ties broken by base declaration order — the order a
+    breadth-first compiler scan visits them, used by the g++ baseline). *)
+val subobjects : t -> subobject list
+
+(** [id_of s] is the dense id of [s] within its graph. *)
+val id_of : subobject -> int
+
+(** [ldc t s] is the least derived class of [s] — the class whose declared
+    members [s] contains. *)
+val ldc : t -> subobject -> Chg.Graph.class_id
+
+(** [contained t s] are the immediate base-class subobjects of [s], one
+    per direct base of [ldc t s], in base declaration order. *)
+val contained : t -> subobject -> subobject list
+
+(** [contains t a b] is [true] iff [b] is reachable from [a] by
+    containment edges ([b] is a base-class subobject of [a], reflexively).
+    This is the Rossie–Friedman partial order, and by Theorem 1 the
+    dominance order: a member of [a] dominates a member of [b]. *)
+val contains : t -> subobject -> subobject -> bool
+
+(** [dominates t a b] is strict-or-equal dominance of subobject [a] over
+    [b]: [contains t a b]. *)
+val dominates : t -> subobject -> subobject -> bool
+
+(** [of_path t p] is the subobject denoted by CHG path [p] (which must end
+    at [most_derived t]).
+    @raise Not_found if [p] does not denote a subobject of this object
+    (e.g. not a real path). *)
+val of_path : t -> Path.t -> subobject
+
+(** [a_path t s] is some CHG path representing [s]: the fixed part
+    extended along virtual edges down to the most derived class.  Its
+    [Path.key] names [s]. *)
+val a_path : t -> subobject -> Path.t
+
+(** [defns t m] are the subobjects whose ldc declares [m], in BFS order. *)
+val defns : t -> string -> subobject list
+
+(** [to_dot t] renders the subobject graph (node label = ldc class name,
+    full fixed part in tooltip-style second line). *)
+val to_dot : t -> string
+
+val pp_subobject : t -> Format.formatter -> subobject -> unit

@@ -1,0 +1,86 @@
+type verdict =
+  | Resolved of Path.t
+  | Ambiguous of Path.t list
+  | Undeclared
+
+let defns_path g c m =
+  List.filter (fun p -> Chg.Graph.declares g (Path.ldc p) m) (Path.all_to g c)
+
+(* One representative per equivalence class, keeping the first path
+   enumerated for each key, in enumeration order (deterministic). *)
+let representatives paths =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let k = Path.key p in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    paths
+
+let defns g c m = representatives (defns_path g c m)
+
+let most_dominant g paths =
+  List.find_opt
+    (fun u -> List.for_all (fun v -> Path.dominates g u v) paths)
+    paths
+
+let maximal g paths =
+  List.filter
+    (fun u ->
+      not
+        (List.exists
+           (fun v -> (not (Path.equiv u v)) && Path.dominates g v u)
+           paths))
+    paths
+
+let lookup g c m =
+  match defns g c m with
+  | [] -> Undeclared
+  | reps ->
+    (match most_dominant g reps with
+    | Some p -> Resolved p
+    | None -> Ambiguous (maximal g reps))
+
+let lookup_static g c m =
+  match lookup g c m with
+  | (Resolved _ | Undeclared) as v -> v
+  | Ambiguous reps as v ->
+    (* Definition 17(2): all maximal elements share an ldc that declares
+       [m] as a static member.  Any representative may then be returned. *)
+    (match reps with
+    | [] -> v
+    | first :: rest ->
+      let l = Path.ldc first in
+      let same_ldc = List.for_all (fun p -> Path.ldc p = l) rest in
+      let static_there =
+        match Chg.Graph.find_member g l m with
+        | Some mem -> Chg.Graph.member_is_static_like mem
+        | None -> false
+      in
+      if same_ldc && static_there then Resolved first else v)
+
+let subobject_count g c = List.length (representatives (Path.all_to g c))
+
+let verdict_equal g a b =
+  match (a, b) with
+  | Undeclared, Undeclared -> true
+  | Resolved p, Resolved q -> Path.equiv p q
+  | Ambiguous ps, Ambiguous qs ->
+    let keys l =
+      List.sort_uniq compare (List.map Path.key l)
+    in
+    keys ps = keys qs
+  | _ -> ignore g; false
+
+let pp_verdict g ppf = function
+  | Undeclared -> Format.pp_print_string ppf "undeclared"
+  | Resolved p -> Format.fprintf ppf "resolved %a" (Path.pp g) p
+  | Ambiguous ps ->
+    Format.fprintf ppf "ambiguous {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (Path.pp g))
+      ps

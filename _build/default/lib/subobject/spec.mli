@@ -1,0 +1,56 @@
+(** The paper's formal definition of member lookup, executed literally
+    (Definitions 7-11 and, for static members, Definitions 16-17).
+
+    This is the specification/oracle: correct by construction, worst-case
+    exponential.  The efficient algorithm in [lookup_core] is
+    property-tested against it. *)
+
+(** Result of a lookup.  [Resolved p] returns one representative path of
+    the most-dominant equivalence class — matching the paper's remark that
+    "rather than return an equivalence class of paths, [the algorithm]
+    will return an arbitrary element of the equivalence class".
+    [Ambiguous reps] carries one representative per maximal equivalence
+    class.  [Undeclared] means no subobject of the class contains the
+    member. *)
+type verdict =
+  | Resolved of Path.t
+  | Ambiguous of Path.t list
+  | Undeclared
+
+(** [defns_path g c m] is DefnsPath(c, m) (Definition 10): every path [a]
+    with [mdc a = c] and [m ∈ M[ldc a]]. *)
+val defns_path : Chg.Graph.t -> Chg.Graph.class_id -> string -> Path.t list
+
+(** [defns g c m] is Defns(c, m) (Definition 7) with one representative
+    path per equivalence class, in deterministic order. *)
+val defns : Chg.Graph.t -> Chg.Graph.class_id -> string -> Path.t list
+
+(** [most_dominant g paths] is Definition 8 lifted to representatives: the
+    unique element dominating all others, if it exists. *)
+val most_dominant : Chg.Graph.t -> Path.t list -> Path.t option
+
+(** [maximal g paths] is Definition 16: the representatives not strictly
+    dominated by any other. *)
+val maximal : Chg.Graph.t -> Path.t list -> Path.t list
+
+(** [lookup g c m] is Definition 9: [most_dominant (defns g c m)], or
+    [Ambiguous] with the maximal set when no most-dominant element exists,
+    or [Undeclared] when Defns is empty. *)
+val lookup : Chg.Graph.t -> Chg.Graph.class_id -> string -> verdict
+
+(** [lookup_static g c m] is Definition 17, the refinement used when [m]
+    may be a static member (or a nested type / enumerator, which C++
+    treats alike): a lookup whose maximal set has several elements still
+    resolves if all of them share the same least derived class and [m] is
+    declared static there. *)
+val lookup_static : Chg.Graph.t -> Chg.Graph.class_id -> string -> verdict
+
+(** [subobject_count g c] is the number of subobjects of a complete [c]
+    object, i.e. the number of [≈]-classes of paths with mdc [c]. *)
+val subobject_count : Chg.Graph.t -> Chg.Graph.class_id -> int
+
+(** [verdict_equal g a b] compares verdicts up to [≈] on paths (the
+    algorithm may return any representative of the winning class). *)
+val verdict_equal : Chg.Graph.t -> verdict -> verdict -> bool
+
+val pp_verdict : Chg.Graph.t -> Format.formatter -> verdict -> unit

@@ -1,0 +1,39 @@
+  $ cat > fig9.cpp <<'CPP'
+  > struct S  { int m; };
+  > struct A : virtual S { int m; };
+  > struct B : virtual S { int m; };
+  > struct C : virtual A, virtual B { int m; };
+  > struct D : C {};
+  > struct E : virtual A, virtual B, D {};
+  > int main() { E e; e.m = 10; }
+  > CPP
+  $ cxxlookup lookup fig9.cpp E m
+  $ cxxlookup check fig9.cpp
+  $ cxxlookup table fig9.cpp
+  $ cxxlookup run fig9.cpp
+  $ cxxlookup count fig9.cpp
+  $ cxxlookup audit fig9.cpp
+  $ cxxlookup export fig9.cpp > fig9.json
+  $ cxxlookup import fig9.json
+  $ cat > amb.cpp <<'CPP'
+  > struct T { int pos; };
+  > struct D1 : T {};
+  > struct D2 : T {};
+  > struct DD : D1, D2 {};
+  > int main() { DD d; d.pos; }
+  > CPP
+  $ cxxlookup check amb.cpp
+  $ echo "class {" > bad.cpp
+  $ cxxlookup lookup bad.cpp X m
+  $ cxxlookup slice fig9.cpp D::m
+  $ cat > streams.cpp <<'CPP'
+  > struct ios { int state; virtual void tie(); };
+  > struct istream : virtual ios { int gcount; virtual void get(); };
+  > struct ostream : virtual ios { virtual void put(); virtual void flush(); };
+  > struct iostream : istream, ostream { virtual void flush(); };
+  > CPP
+  $ cxxlookup layout streams.cpp iostream
+  $ cxxlookup vtable streams.cpp iostream
+  $ cxxlookup stats streams.cpp | head -2
+  $ cxxlookup dot streams.cpp | grep -c "style=dashed"
+  $ cxxlookup import --cpp fig9.json | head -8

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Chg Hiergen List Printf Subobject

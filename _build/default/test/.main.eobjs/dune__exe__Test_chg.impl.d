@@ -1,0 +1,1 @@
+test/test_chg.ml: Alcotest Array Chg Hiergen List String

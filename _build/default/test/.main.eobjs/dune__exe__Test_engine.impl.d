@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Chg Hiergen List Lookup_core Option Printf Subobject

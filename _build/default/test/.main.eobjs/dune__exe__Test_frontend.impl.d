@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Chg Frontend List String

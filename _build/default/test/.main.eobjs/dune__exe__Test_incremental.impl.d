@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Chg Hiergen List Lookup_core Printf

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Chg Hiergen Layout List Lookup_core Option Subobject

@@ -1,0 +1,1 @@
+test/test_more_frontend.ml: Alcotest Chg Frontend Hiergen List String

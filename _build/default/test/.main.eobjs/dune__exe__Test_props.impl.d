@@ -1,0 +1,1 @@
+test/test_props.ml: Baselines Chg Format Frontend Hiergen Layout List Lookup_core QCheck QCheck_alcotest Random Slicing Subobject

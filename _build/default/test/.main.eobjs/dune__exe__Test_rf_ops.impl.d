@@ -1,0 +1,1 @@
+test/test_rf_ops.ml: Alcotest Chg List Lookup_core Subobject

@@ -1,0 +1,1 @@
+test/test_scopes.ml: Alcotest Chg Format Lookup_core Scopes

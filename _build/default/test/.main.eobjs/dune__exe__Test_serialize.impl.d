@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Chg Hiergen List Lookup_core Option String

@@ -1,0 +1,1 @@
+test/test_sgraph.ml: Alcotest Chg Hiergen List Printf String Subobject

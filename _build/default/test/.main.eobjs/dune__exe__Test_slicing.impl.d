@@ -1,0 +1,1 @@
+test/test_slicing.ml: Alcotest Chg Hiergen List Printf Slicing Subobject

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Chg Hiergen List Lookup_core

@@ -1,0 +1,141 @@
+CLI integration tests over the paper's Figure 9 program.
+
+  $ cat > fig9.cpp <<'CPP'
+  > struct S  { int m; };
+  > struct A : virtual S { int m; };
+  > struct B : virtual S { int m; };
+  > struct C : virtual A, virtual B { int m; };
+  > struct D : C {};
+  > struct E : virtual A, virtual B, D {};
+  > int main() { E e; e.m = 10; }
+  > CPP
+
+The headline lookup: unambiguous, resolves to C::m (g++ 2.7 got this wrong).
+
+  $ cxxlookup lookup fig9.cpp E m
+  lookup(E, m) = red (C, Ω)
+  definition path: C-D-E
+
+Static resolution of every access in the program.
+
+  $ cxxlookup check fig9.cpp
+  7:21: E::m -> C::m via C-D-E
+  ok
+
+The whole lookup table.
+
+  $ cxxlookup table fig9.cpp
+  S              m          red (S, Ω)
+  A              m          red (A, Ω)
+  B              m          red (B, Ω)
+  C              m          red (C, Ω)
+  D              m          red (C, Ω)
+  E              m          red (C, Ω)
+
+Execution through the staged-lookup runtime.
+
+  $ cxxlookup run fig9.cpp
+  alloc   obj0 : E (72 bytes)
+  write   obj0.[C-D-E] C::m = 10
+
+Subobject counts from the closed form.
+
+  $ cxxlookup count fig9.cpp
+  S                    1 subobjects
+  A                    2 subobjects
+  B                    2 subobjects
+  C                    4 subobjects
+  D                    5 subobjects
+  E                    6 subobjects
+
+No ambiguous lookups anywhere in this hierarchy.
+
+  $ cxxlookup audit fig9.cpp
+  no ambiguous lookups
+
+JSON export/import roundtrip preserves the lookup table.
+
+  $ cxxlookup export fig9.cpp > fig9.json
+  $ cxxlookup import fig9.json
+  S              m          red (S, Ω)
+  A              m          red (A, Ω)
+  B              m          red (B, Ω)
+  C              m          red (C, Ω)
+  D              m          red (C, Ω)
+  E              m          red (C, Ω)
+
+An ambiguous program is rejected with a located diagnostic.
+
+  $ cat > amb.cpp <<'CPP'
+  > struct T { int pos; };
+  > struct D1 : T {};
+  > struct D2 : T {};
+  > struct DD : D1, D2 {};
+  > int main() { DD d; d.pos; }
+  > CPP
+  $ cxxlookup check amb.cpp
+  5:22: error: request for member 'pos' is ambiguous in 'DD'
+  [1]
+
+A parse error reports its position.
+
+  $ echo "class {" > bad.cpp
+  $ cxxlookup lookup bad.cpp X m
+  1:7: error: expected identifier but found '{'
+  [1]
+
+Slicing keeps only what the seed lookups need.
+
+  $ cxxlookup slice fig9.cpp D::m
+  kept 5 classes (dropped 1), dropped 0 member decls, 3 edges
+  class S { m }
+  class A : virtual S { m }
+  class B : virtual S { m }
+  class C : virtual A, virtual B { m }
+  class D : C {  }
+
+Object layout and vtable of a polymorphic diamond.
+
+  $ cat > streams.cpp <<'CPP'
+  > struct ios { int state; virtual void tie(); };
+  > struct istream : virtual ios { int gcount; virtual void get(); };
+  > struct ostream : virtual ios { virtual void put(); virtual void flush(); };
+  > struct iostream : istream, ostream { virtual void flush(); };
+  > CPP
+  $ cxxlookup layout streams.cpp iostream
+  object iostream: 48 bytes
+    +0    [iostream]
+    +8    [istream-iostream]
+    +24   [ostream-iostream]
+    +32   [ios]
+  
+  $ cxxlookup vtable streams.cpp iostream
+  vtable for iostream:
+    tie          (introduced by ios) -> ios::tie
+    get          (introduced by istream) -> istream::get
+    put          (introduced by ostream) -> ostream::put
+    flush        (introduced by ostream) -> iostream::flush
+  
+
+Hierarchy statistics.
+
+  $ cxxlookup stats streams.cpp | head -2
+  4 classes, max depth 2, 0 with replicated bases, 0 ambiguous (class, member) pairs
+  ios: depth 0, 0 direct / 0 total bases (0 virtual), 1 subobjects
+
+Graphviz export mentions every class and dashes virtual edges.
+
+  $ cxxlookup dot streams.cpp | grep -c "style=dashed"
+  2
+
+Imported JSON can be materialized back as C++ source.
+
+  $ cxxlookup import --cpp fig9.json | head -8
+  struct S {
+  public:
+    int m;
+  };
+  
+  struct A : virtual public S {
+  public:
+    int m;

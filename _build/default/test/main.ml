@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "cxxlookup"
+    [ ("bitset", Test_bitset.suite);
+      ("chg", Test_chg.suite);
+      ("path", Test_path.suite);
+      ("spec", Test_spec.suite);
+      ("sgraph", Test_sgraph.suite);
+      ("engine", Test_engine.suite);
+      ("baselines", Test_baselines.suite);
+      ("frontend", Test_frontend.suite);
+      ("frontend-more", Test_more_frontend.suite);
+      ("scopes", Test_scopes.suite);
+      ("layout", Test_layout.suite);
+      ("rf_ops", Test_rf_ops.suite);
+      ("incremental", Test_incremental.suite);
+      ("serialize", Test_serialize.suite);
+      ("runtime", Test_runtime.suite);
+      ("analysis", Test_analysis.suite);
+      ("workload", Test_workload.suite);
+      ("slicing", Test_slicing.suite);
+      ("properties", Test_props.suite) ]

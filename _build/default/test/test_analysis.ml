@@ -1,0 +1,105 @@
+(* Tests for the hierarchy analysis pass. *)
+
+module G = Chg.Graph
+
+let analyze g = Analysis.run (Chg.Closure.compute g)
+
+let test_fig1_replication () =
+  let g = Hiergen.Figures.fig1 () in
+  let t = analyze g in
+  let e = Analysis.report t (G.find g "E") in
+  Alcotest.(check int) "E depth" 3 e.cr_depth;
+  Alcotest.(check int) "E direct bases" 2 e.cr_direct_bases;
+  Alcotest.(check int) "E all bases" 4 e.cr_all_bases;
+  Alcotest.(check int) "E virtual bases" 0 e.cr_virtual_bases;
+  Alcotest.(check int) "E subobjects" 7 e.cr_subobjects;
+  (* A and B are both replicated in E *)
+  Alcotest.(check (list (pair string int)))
+    "replicated bases"
+    [ ("A", 2); ("B", 2) ]
+    (List.map (fun (x, k) -> (G.name g x, k)) e.cr_replicated);
+  Alcotest.(check (list string)) "ambiguous member" [ "m" ] e.cr_ambiguous;
+  Alcotest.(check int) "summary pairs" 1 t.ambiguous_pairs;
+  Alcotest.(check int) "classes with replication" 1
+    t.classes_with_replication
+
+let test_fig2_no_replication () =
+  let g = Hiergen.Figures.fig2 () in
+  let t = analyze g in
+  let e = Analysis.report t (G.find g "E") in
+  Alcotest.(check (list (pair string int))) "no replication" []
+    (List.map (fun (x, k) -> (G.name g x, k)) e.cr_replicated);
+  (* only B: a virtual base needs a path STARTING with a virtual edge
+     (paper sec. 2); A's paths start with the non-virtual A->B *)
+  Alcotest.(check int) "one virtual base (B)" 1 e.cr_virtual_bases;
+  Alcotest.(check (list string)) "no ambiguity" [] e.cr_ambiguous;
+  Alcotest.(check int) "summary" 0 t.ambiguous_pairs
+
+let test_fig3_summary () =
+  let g = Hiergen.Figures.fig3 () in
+  let t = analyze g in
+  (* ambiguous pairs: (D,foo), (F,foo), (F,bar), (H,bar) *)
+  Alcotest.(check int) "ambiguous pairs" 4 t.ambiguous_pairs;
+  Alcotest.(check int) "max depth (A..H)" 4 t.max_depth;
+  let h = Analysis.report t (G.find g "H") in
+  Alcotest.(check (list (pair string int)))
+    "A replicated below the virtual D" [ ("A", 2) ]
+    (List.map (fun (x, k) -> (G.name g x, k)) h.cr_replicated);
+  Alcotest.(check (list string)) "H ambiguous members" [ "bar" ]
+    h.cr_ambiguous
+
+let test_roots () =
+  let g = Hiergen.Figures.fig3 () in
+  let t = analyze g in
+  let a = Analysis.report t (G.find g "A") in
+  Alcotest.(check int) "root depth" 0 a.cr_depth;
+  Alcotest.(check int) "root subobjects" 1 a.cr_subobjects;
+  Alcotest.(check (list string)) "root no ambiguity" [] a.cr_ambiguous
+
+let test_copies_of () =
+  let g = Hiergen.Figures.fig1 () in
+  let cl = Chg.Closure.compute g in
+  let id = G.find g in
+  Alcotest.(check int) "A in E" 2
+    (Subobject.Count.copies_of cl ~base:(id "A") ~within:(id "E"));
+  Alcotest.(check int) "A in C" 1
+    (Subobject.Count.copies_of cl ~base:(id "A") ~within:(id "C"));
+  Alcotest.(check int) "E in A (unrelated)" 0
+    (Subobject.Count.copies_of cl ~base:(id "E") ~within:(id "A"));
+  let g2 = Hiergen.Figures.fig2 () in
+  let cl2 = Chg.Closure.compute g2 in
+  Alcotest.(check int) "fig2: one shared A in E" 1
+    (Subobject.Count.copies_of cl2 ~base:(G.find g2 "A")
+       ~within:(G.find g2 "E"))
+
+let test_copies_sum_to_count () =
+  (* Σ_base copies_of(base, C) + 1 = subobject count of C *)
+  List.iter
+    (fun mk ->
+      let g = mk () in
+      let cl = Chg.Closure.compute g in
+      G.iter_classes g (fun c ->
+          let total =
+            Chg.Bitset.fold
+              (fun x acc ->
+                acc + Subobject.Count.copies_of cl ~base:x ~within:c)
+              (Chg.Closure.bases_of cl c)
+              1
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "at %s" (G.name g c))
+            (Subobject.Count.subobjects cl c)
+            total))
+    [ Hiergen.Figures.fig1; Hiergen.Figures.fig2; Hiergen.Figures.fig3;
+      Hiergen.Figures.fig9 ]
+
+let suite =
+  [ Alcotest.test_case "fig1: replication & ambiguity" `Quick
+      test_fig1_replication;
+    Alcotest.test_case "fig2: virtual sharing" `Quick
+      test_fig2_no_replication;
+    Alcotest.test_case "fig3: summary" `Quick test_fig3_summary;
+    Alcotest.test_case "root classes" `Quick test_roots;
+    Alcotest.test_case "per-base copy counts" `Quick test_copies_of;
+    Alcotest.test_case "copies sum to the subobject count" `Quick
+      test_copies_sum_to_count ]

@@ -1,0 +1,217 @@
+(* Tests for the baseline algorithms: the naive two-phase propagation,
+   the Rossie-Friedman subobject-graph lookup, the bug-compatible g++
+   scan (including the Figure 9 counterexample), and the Eiffel-style
+   topological shortcut. *)
+
+module G = Chg.Graph
+module Path = Subobject.Path
+module Spec = Subobject.Spec
+module Sgraph = Subobject.Sgraph
+
+let figures =
+  [ ("fig1", Hiergen.Figures.fig1 ());
+    ("fig2", Hiergen.Figures.fig2 ());
+    ("fig3", Hiergen.Figures.fig3 ());
+    ("fig9", Hiergen.Figures.fig9 ()) ]
+
+let test_naive_matches_spec () =
+  List.iter
+    (fun (tag, g) ->
+      G.iter_classes g (fun c ->
+          List.iter
+            (fun m ->
+              let expected = Spec.lookup g c m in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s::%s" tag (G.name g c) m)
+                true
+                (Spec.verdict_equal g expected (Baselines.Naive.lookup g c m));
+              Alcotest.(check bool)
+                (Printf.sprintf "%s killing %s::%s" tag (G.name g c) m)
+                true
+                (Spec.verdict_equal g expected
+                   (Baselines.Naive.lookup_killing g c m)))
+            (G.member_names g)))
+    figures
+
+let test_naive_propagation_fig4 () =
+  (* Figure 4: reaching definitions of foo.  At H five definitions
+     arrive; ABDFH and ACDFH (via F) are killed by GH, and GH survives.
+     At G the two incoming definitions are killed by the generated
+     G::foo. *)
+  let g = Hiergen.Figures.fig3 () in
+  let defs = Baselines.Naive.propagate g "foo" in
+  let at name = defs.(G.find g name) in
+  let surviving rs =
+    List.filter_map
+      (fun (r : Baselines.Naive.reaching) ->
+        if r.killed then None else Some (Path.to_string g r.path))
+      rs
+  in
+  let killed rs =
+    List.filter_map
+      (fun (r : Baselines.Naive.reaching) ->
+        if r.killed then Some (Path.to_string g r.path) else None)
+      rs
+  in
+  Alcotest.(check int) "5 definitions reach H" 5 (List.length (at "H"));
+  Alcotest.(check (list string)) "GH survives at H" [ "G-H" ]
+    (surviving (at "H"));
+  Alcotest.(check int) "4 killed at H" 4 (List.length (killed (at "H")));
+  Alcotest.(check (list string)) "generated G::foo survives at G" [ "G" ]
+    (surviving (at "G"));
+  Alcotest.(check int) "2 killed at G" 2 (List.length (killed (at "G")));
+  (* At D both definitions survive (mutually incomparable). *)
+  Alcotest.(check int) "2 survive at D" 2 (List.length (surviving (at "D")))
+
+let test_naive_propagation_fig5 () =
+  (* Figure 5: definitions of bar.  The blue EF definition must reach H
+     (it is not killed anywhere), which keeps lookup(H,bar) ambiguous. *)
+  let g = Hiergen.Figures.fig3 () in
+  let defs = Baselines.Naive.propagate g "bar" in
+  let at_h = defs.(G.find g "H") in
+  let paths =
+    List.map
+      (fun (r : Baselines.Naive.reaching) -> Path.to_string g r.path)
+      at_h
+  in
+  Alcotest.(check bool) "E-F-H reaches H" true
+    (List.mem "E-F-H" paths);
+  let e_def =
+    List.find
+      (fun (r : Baselines.Naive.reaching) ->
+        Path.to_string g r.path = "E-F-H")
+      at_h
+  in
+  Alcotest.(check bool) "E-F-H not killed" false e_def.killed
+
+let test_rf_matches_spec () =
+  List.iter
+    (fun (tag, g) ->
+      G.iter_classes g (fun c ->
+          let sg = Sgraph.build g c in
+          List.iter
+            (fun m ->
+              let expected = Spec.lookup g c m in
+              let got =
+                Baselines.Rf_lookup.to_spec sg
+                  (Baselines.Rf_lookup.lookup_in sg m)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s::%s" tag (G.name g c) m)
+                true
+                (Spec.verdict_equal g expected got))
+            (G.member_names g)))
+    figures
+
+let test_gxx_bug_fig9 () =
+  (* The headline reproduction: lookup(E, m) is unambiguous but the g++
+     scan reports ambiguity; the fixed scan and the paper's algorithm
+     both resolve it to C::m. *)
+  let g = Hiergen.Figures.fig9 () in
+  let e = G.find g "E" in
+  (match Baselines.Gxx.lookup ~mode:Baselines.Gxx.Buggy g e "m" with
+  | Baselines.Gxx.Ambiguous -> ()
+  | _ -> Alcotest.fail "g++ scan should (wrongly) report ambiguity");
+  let sg = Sgraph.build g e in
+  (match Baselines.Gxx.lookup_in ~mode:Baselines.Gxx.Fixed sg "m" with
+  | Baselines.Gxx.Resolved s ->
+    Alcotest.(check string) "fixed scan resolves to C" "C"
+      (G.name g (Sgraph.ldc sg s))
+  | _ -> Alcotest.fail "fixed scan should resolve");
+  match Spec.lookup g e "m" with
+  | Spec.Resolved p ->
+    Alcotest.(check string) "spec resolves to C" "C" (G.name g (Path.ldc p))
+  | _ -> Alcotest.fail "spec should resolve"
+
+let test_gxx_correct_on_simple () =
+  (* Where no dominance-after-incomparable pattern occurs, the buggy scan
+     agrees with the spec. *)
+  List.iter
+    (fun (tag, g) ->
+      G.iter_classes g (fun c ->
+          List.iter
+            (fun m ->
+              let spec = Spec.lookup g c m in
+              let gxx = Baselines.Gxx.lookup ~mode:Baselines.Gxx.Buggy g c m in
+              let agree =
+                match (spec, gxx) with
+                | Spec.Undeclared, Baselines.Gxx.Undeclared -> true
+                | Spec.Resolved _, Baselines.Gxx.Resolved _ -> true
+                | Spec.Ambiguous _, Baselines.Gxx.Ambiguous -> true
+                | _ -> false
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s::%s" tag (G.name g c) m)
+                true agree)
+            (G.member_names g)))
+    [ ("fig1", Hiergen.Figures.fig1 ()); ("fig2", Hiergen.Figures.fig2 ()) ]
+
+let test_gxx_fixed_matches_spec_everywhere () =
+  List.iter
+    (fun (tag, g) ->
+      G.iter_classes g (fun c ->
+          let sg = Sgraph.build g c in
+          List.iter
+            (fun m ->
+              let spec = Spec.lookup g c m in
+              let gxx = Baselines.Gxx.lookup_in ~mode:Baselines.Gxx.Fixed sg m in
+              let agree =
+                match (spec, gxx) with
+                | Spec.Undeclared, Baselines.Gxx.Undeclared -> true
+                | Spec.Resolved p, Baselines.Gxx.Resolved s ->
+                  Path.ldc p = Sgraph.ldc sg s
+                | Spec.Ambiguous _, Baselines.Gxx.Ambiguous -> true
+                | _ -> false
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s::%s" tag (G.name g c) m)
+                true agree)
+            (G.member_names g)))
+    figures
+
+let test_gxx_self_declared () =
+  (* If the queried class itself declares m the scan resolves to the
+     complete object without traversal. *)
+  let g = Hiergen.Figures.fig3 () in
+  let sg = Sgraph.build g (G.find g "G") in
+  match Baselines.Gxx.lookup_in ~mode:Baselines.Gxx.Buggy sg "foo" with
+  | Baselines.Gxx.Resolved s ->
+    Alcotest.(check string) "self" "G" (G.name g (Sgraph.ldc sg s))
+  | _ -> Alcotest.fail "should resolve to the class itself"
+
+let test_topo_shortcut () =
+  (* On unambiguous lookups the shortcut agrees with the real algorithm;
+     on fig1's ambiguous lookup it silently returns something. *)
+  let g = Hiergen.Figures.fig2 () in
+  let t = Baselines.Topo_lookup.prepare g in
+  Alcotest.(check (option string)) "fig2 E::m -> D" (Some "D")
+    (Option.map (G.name g) (Baselines.Topo_lookup.resolve t (G.find g "E") "m"));
+  Alcotest.(check (option string)) "fig2 C::m -> A" (Some "A")
+    (Option.map (G.name g) (Baselines.Topo_lookup.resolve t (G.find g "C") "m"));
+  Alcotest.(check (option string)) "absent member" None
+    (Option.map (G.name g)
+       (Baselines.Topo_lookup.resolve t (G.find g "E") "zzz"));
+  let g1 = Hiergen.Figures.fig1 () in
+  let t1 = Baselines.Topo_lookup.prepare g1 in
+  (* Ambiguous lookup: the shortcut picks D silently — documented unsound
+     behaviour we rely on in the matchup bench. *)
+  Alcotest.(check (option string)) "fig1 E::m picks D (unsound)" (Some "D")
+    (Option.map (G.name g1)
+       (Baselines.Topo_lookup.resolve t1 (G.find g1 "E") "m"))
+
+let suite =
+  [ Alcotest.test_case "naive = spec on figures" `Quick test_naive_matches_spec;
+    Alcotest.test_case "figure 4 propagation/kills" `Quick
+      test_naive_propagation_fig4;
+    Alcotest.test_case "figure 5 blue propagation" `Quick
+      test_naive_propagation_fig5;
+    Alcotest.test_case "RF lookup = spec on figures" `Quick
+      test_rf_matches_spec;
+    Alcotest.test_case "g++ bug on figure 9" `Quick test_gxx_bug_fig9;
+    Alcotest.test_case "g++ correct elsewhere" `Quick
+      test_gxx_correct_on_simple;
+    Alcotest.test_case "fixed g++ = spec" `Quick
+      test_gxx_fixed_matches_spec_everywhere;
+    Alcotest.test_case "g++ self-declared shortcut" `Quick
+      test_gxx_self_declared;
+    Alcotest.test_case "topological shortcut" `Quick test_topo_shortcut ]

@@ -1,0 +1,211 @@
+(* Tests for the Figure 8 algorithm: verdicts and abstractions on the
+   paper's figures (including the exact Red/Blue tags of Figures 6-7),
+   the static-member extension, witnesses, and the lazy variant. *)
+
+module G = Chg.Graph
+module A = Lookup_core.Abstraction
+module Engine = Lookup_core.Engine
+module Memo = Lookup_core.Memo
+module Path = Subobject.Path
+
+let engine_for g = Engine.build ~witnesses:true (Chg.Closure.compute g)
+
+let check_red g eng cls m ~ldc ~lv =
+  let c = G.find g cls in
+  match Engine.lookup eng c m with
+  | Some (Engine.Red r) ->
+    Alcotest.(check string)
+      (Printf.sprintf "lookup(%s,%s) ldc" cls m)
+      ldc
+      (G.name g r.A.r_ldc);
+    let got_lv =
+      match r.A.r_lvs with
+      | [ A.Omega ] -> "Ω"
+      | [ A.Lv v ] -> G.name g v
+      | _ -> "group"
+    in
+    Alcotest.(check string) (Printf.sprintf "lookup(%s,%s) lv" cls m) lv got_lv
+  | Some (Engine.Blue _) ->
+    Alcotest.failf "lookup(%s,%s): unexpectedly ambiguous" cls m
+  | None -> Alcotest.failf "lookup(%s,%s): unexpectedly absent" cls m
+
+let check_blue g eng cls m ~set =
+  let c = G.find g cls in
+  match Engine.lookup eng c m with
+  | Some (Engine.Blue s) ->
+    let got =
+      List.map (function A.Omega -> "Ω" | A.Lv v -> G.name g v) s
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "lookup(%s,%s) blue set" cls m)
+      set got
+  | Some (Engine.Red _) ->
+    Alcotest.failf "lookup(%s,%s): unexpectedly resolved" cls m
+  | None -> Alcotest.failf "lookup(%s,%s): unexpectedly absent" cls m
+
+let test_fig1 () =
+  let g = Hiergen.Figures.fig1 () in
+  let eng = engine_for g in
+  check_red g eng "A" "m" ~ldc:"A" ~lv:"Ω";
+  check_red g eng "C" "m" ~ldc:"A" ~lv:"Ω";
+  check_red g eng "D" "m" ~ldc:"D" ~lv:"Ω";
+  (* Two distinct non-virtual A (resp. B) subobjects reach E. *)
+  check_blue g eng "E" "m" ~set:[ "Ω" ]
+
+let test_fig2 () =
+  let g = Hiergen.Figures.fig2 () in
+  let eng = engine_for g in
+  check_red g eng "E" "m" ~ldc:"D" ~lv:"Ω";
+  check_red g eng "C" "m" ~ldc:"A" ~lv:"B"
+
+let test_fig6_abstractions () =
+  (* Figure 6, propagation of foo:
+     - at D the two (A, Ω) reds collide: blue {Ω};
+     - at F the blue is pushed through the virtual edge D -> F: blue {D};
+     - at G a generated definition: red (G, Ω);
+     - at H red (G, Ω) dominates the blue D (D is a virtual base of G). *)
+  let g = Hiergen.Figures.fig3 () in
+  let eng = engine_for g in
+  check_red g eng "B" "foo" ~ldc:"A" ~lv:"Ω";
+  check_red g eng "C" "foo" ~ldc:"A" ~lv:"Ω";
+  check_blue g eng "D" "foo" ~set:[ "Ω" ];
+  check_blue g eng "F" "foo" ~set:[ "D" ];
+  check_red g eng "G" "foo" ~ldc:"G" ~lv:"Ω";
+  check_red g eng "H" "foo" ~ldc:"G" ~lv:"Ω"
+
+let test_fig7_abstractions () =
+  (* Figure 7, propagation of bar:
+     - at F, reds (D, D) (via the virtual edge) and (E, Ω) are
+       incomparable: blue {Ω, D};
+     - at G, red (D, D) is killed by the generated bar: red (G, Ω);
+     - at H, the candidate (G, Ω) dominates blue D but not blue Ω:
+       blue {Ω}. *)
+  let g = Hiergen.Figures.fig3 () in
+  let eng = engine_for g in
+  check_red g eng "D" "bar" ~ldc:"D" ~lv:"Ω";
+  check_red g eng "E" "bar" ~ldc:"E" ~lv:"Ω";
+  check_blue g eng "F" "bar" ~set:[ "Ω"; "D" ];
+  check_red g eng "G" "bar" ~ldc:"G" ~lv:"Ω";
+  check_blue g eng "H" "bar" ~set:[ "Ω" ]
+
+let test_fig9 () =
+  let g = Hiergen.Figures.fig9 () in
+  let eng = engine_for g in
+  check_red g eng "E" "m" ~ldc:"C" ~lv:"Ω";
+  check_red g eng "D" "m" ~ldc:"C" ~lv:"Ω";
+  check_red g eng "C" "m" ~ldc:"C" ~lv:"Ω"
+
+let test_witnesses () =
+  let g = Hiergen.Figures.fig3 () in
+  let eng = engine_for g in
+  let h = G.find g "H" in
+  (match Engine.witness eng h "foo" with
+  | Some p ->
+    Alcotest.(check string) "witness ldc" "G" (G.name g (Path.ldc p));
+    Alcotest.(check string) "witness mdc" "H" (G.name g (Path.mdc p));
+    Alcotest.(check bool) "witness is a real path" true (Path.in_graph g p);
+    (* The witness must actually be a most-dominant defining path. *)
+    (match Subobject.Spec.lookup g h "foo" with
+    | Subobject.Spec.Resolved q ->
+      Alcotest.(check bool) "witness ≈ spec winner" true (Path.equiv p q)
+    | _ -> Alcotest.fail "spec disagrees")
+  | None -> Alcotest.fail "no witness for resolved lookup");
+  Alcotest.(check bool) "no witness for ambiguous" true
+    (Engine.witness eng h "bar" = None)
+
+let test_members_sets () =
+  let g = Hiergen.Figures.fig3 () in
+  let eng = engine_for g in
+  Alcotest.(check (list string)) "Members[H]" [ "foo"; "bar" ]
+    (Engine.members eng (G.find g "H"));
+  Alcotest.(check (list string)) "Members[E]" [ "bar" ]
+    (Engine.members eng (G.find g "E"));
+  Alcotest.(check (list string)) "Members[B]" [ "foo" ]
+    (Engine.members eng (G.find g "B"))
+
+let test_static_rule_engine () =
+  let b = G.create_builder () in
+  ignore (G.add_class b "S" ~bases:[] ~members:[ G.member ~static:true "m" ]);
+  ignore
+    (G.add_class b "A" ~bases:[ ("S", G.Non_virtual, G.Public) ] ~members:[]);
+  ignore
+    (G.add_class b "B" ~bases:[ ("S", G.Non_virtual, G.Public) ] ~members:[]);
+  ignore
+    (G.add_class b "C"
+       ~bases:
+         [ ("A", G.Non_virtual, G.Public); ("B", G.Non_virtual, G.Public) ]
+       ~members:[]);
+  let g = G.freeze b in
+  let cl = Chg.Closure.compute g in
+  let with_rule = Engine.build ~static_rule:true cl in
+  let without = Engine.build ~static_rule:false cl in
+  let c = G.find g "C" in
+  (match Engine.lookup with_rule c "m" with
+  | Some (Engine.Red r) ->
+    Alcotest.(check string) "static resolves to S" "S" (G.name g r.A.r_ldc)
+  | _ -> Alcotest.fail "static rule should resolve");
+  match Engine.lookup without c "m" with
+  | Some (Engine.Blue _) -> ()
+  | _ -> Alcotest.fail "without the rule it must stay ambiguous"
+
+let test_memo_matches_eager () =
+  List.iter
+    (fun mk ->
+      let g = mk () in
+      let cl = Chg.Closure.compute g in
+      let eager = Engine.build cl in
+      let lazy_t = Memo.create cl in
+      G.iter_classes g (fun c ->
+          List.iter
+            (fun m ->
+              let a = Engine.lookup eager c m in
+              let b = Memo.lookup lazy_t c m in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s::%s" (G.name g c) m)
+                true (a = b))
+            (G.member_names g)))
+    [ Hiergen.Figures.fig1; Hiergen.Figures.fig2; Hiergen.Figures.fig3;
+      Hiergen.Figures.fig9 ]
+
+let test_memo_is_lazy () =
+  (* Querying a mid-chain class must not compute entries for classes
+     above it. *)
+  let { Hiergen.Families.graph = g; _ } =
+    Hiergen.Families.chain ~n:100 ~kind:G.Non_virtual
+  in
+  let t = Memo.create (Chg.Closure.compute g) in
+  ignore (Memo.lookup t (G.find g "C9") "m");
+  Alcotest.(check int) "only 10 entries" 10 (Memo.cached_entries t);
+  ignore (Memo.lookup t (G.find g "C9") "m");
+  Alcotest.(check int) "cache hit adds nothing" 10 (Memo.cached_entries t)
+
+let test_build_member_single () =
+  let g = Hiergen.Figures.fig3 () in
+  let cl = Chg.Closure.compute g in
+  let eng = Engine.build_member cl "foo" in
+  let h = G.find g "H" in
+  (match Engine.lookup eng h "foo" with
+  | Some (Engine.Red _) -> ()
+  | _ -> Alcotest.fail "foo should resolve at H");
+  Alcotest.(check bool) "bar not tabulated" true
+    (Engine.lookup eng h "bar" = None)
+
+let test_resolves_to () =
+  let g = Hiergen.Figures.fig9 () in
+  let eng = engine_for g in
+  Alcotest.(check (option string)) "resolves_to" (Some "C")
+    (Option.map (G.name g) (Engine.resolves_to eng (G.find g "E") "m"))
+
+let suite =
+  [ Alcotest.test_case "figure 1" `Quick test_fig1;
+    Alcotest.test_case "figure 2" `Quick test_fig2;
+    Alcotest.test_case "figure 6 abstractions" `Quick test_fig6_abstractions;
+    Alcotest.test_case "figure 7 abstractions" `Quick test_fig7_abstractions;
+    Alcotest.test_case "figure 9" `Quick test_fig9;
+    Alcotest.test_case "witness paths" `Quick test_witnesses;
+    Alcotest.test_case "Members[] sets" `Quick test_members_sets;
+    Alcotest.test_case "static member rule" `Quick test_static_rule_engine;
+    Alcotest.test_case "memo = eager" `Quick test_memo_matches_eager;
+    Alcotest.test_case "memo is lazy" `Quick test_memo_is_lazy;
+    Alcotest.test_case "single-member build" `Quick test_build_member_single;
+    Alcotest.test_case "resolves_to" `Quick test_resolves_to ]

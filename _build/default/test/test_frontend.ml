@@ -1,0 +1,432 @@
+(* Tests for the C++-subset front end: lexer, parser, semantic analysis,
+   diagnostics and access control. *)
+
+module G = Chg.Graph
+
+let analyze = Frontend.Sema.analyze_source
+
+let errors r =
+  List.filter_map
+    (fun (d : Frontend.Diagnostic.t) ->
+      if Frontend.Diagnostic.is_error d then Some d.message else None)
+    r.Frontend.Sema.diagnostics
+
+let has_error_containing r needle =
+  List.exists
+    (fun msg ->
+      let rec contains i =
+        i + String.length needle <= String.length msg
+        && (String.sub msg i (String.length needle) = needle || contains (i + 1))
+      in
+      contains 0)
+    (errors r)
+
+let check_error r needle =
+  if not (has_error_containing r needle) then
+    Alcotest.failf "expected an error containing %S, got: %s" needle
+      (String.concat " | " (errors r))
+
+(* -- lexer ------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Frontend.Lexer.tokenize "class X :: -> { } ; 42") in
+  Alcotest.(check bool) "token stream" true
+    (toks
+    = [ Frontend.Token.KW_class; Frontend.Token.IDENT "X";
+        Frontend.Token.COLONCOLON; Frontend.Token.ARROW;
+        Frontend.Token.LBRACE; Frontend.Token.RBRACE; Frontend.Token.SEMI;
+        Frontend.Token.INT_LIT 42; Frontend.Token.EOF ])
+
+let test_lexer_comments () =
+  let toks =
+    List.map fst
+      (Frontend.Lexer.tokenize
+         "// line comment\nint /* block\n comment */ x")
+  in
+  Alcotest.(check bool) "comments skipped" true
+    (toks = [ Frontend.Token.KW_int; Frontend.Token.IDENT "x";
+              Frontend.Token.EOF ])
+
+let test_lexer_error () =
+  match Frontend.Lexer.tokenize "int @ x" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Frontend.Lexer.Error (msg, loc) ->
+    Alcotest.(check bool) "message" true
+      (String.length msg > 0 && loc.Frontend.Loc.line = 1)
+
+(* -- parser ------------------------------------------------------------ *)
+
+let test_parse_fig9_verbatim () =
+  (* The paper's Figure 9 program, labels included. *)
+  let src =
+    "struct S { int m; };\n\
+     struct A : virtual S { int m; };\n\
+     struct B : virtual S { int m; };\n\
+     struct C : virtual A, virtual B { int m; };\n\
+     struct D : C {};\n\
+     struct E : virtual A, virtual B, D {};\n\
+     int main() { s1: E e; s2: e.m = 10; }\n"
+  in
+  let p = Frontend.Parser.parse_exn src in
+  Alcotest.(check int) "six classes" 6 (List.length p.classes);
+  Alcotest.(check int) "one function" 1 (List.length p.funcs);
+  let e = List.nth p.classes 5 in
+  Alcotest.(check string) "E" "E" e.c_name;
+  Alcotest.(check (list string)) "E bases" [ "A"; "B"; "D" ]
+    (List.map (fun (b : Frontend.Ast.base_spec) -> b.b_name) e.c_bases);
+  Alcotest.(check (list bool)) "virtual flags" [ true; true; false ]
+    (List.map (fun (b : Frontend.Ast.base_spec) -> b.b_virtual) e.c_bases)
+
+let test_parse_member_forms () =
+  let src =
+    "class X {\n\
+     public:\n\
+     \  int data;\n\
+     \  static int counter;\n\
+     \  virtual void draw();\n\
+     \  virtual void pure() = 0;\n\
+     \  void inline_body() {}\n\
+     \  X* next;\n\
+     private:\n\
+     \  int hidden;\n\
+     };\n"
+  in
+  let p = Frontend.Parser.parse_exn src in
+  let x = List.hd p.classes in
+  let find n =
+    List.find
+      (fun (m : Frontend.Ast.member_decl) -> m.md_name = n)
+      x.c_members
+  in
+  Alcotest.(check int) "member count" 7 (List.length x.c_members);
+  Alcotest.(check bool) "static" true (find "counter").md_static;
+  Alcotest.(check bool) "virtual" true (find "draw").md_virtual;
+  Alcotest.(check bool) "function kind" true
+    ((find "pure").md_kind = G.Function);
+  Alcotest.(check bool) "pointer member" true
+    (find "next").md_type.Frontend.Ast.t_pointer;
+  Alcotest.(check bool) "private section" true
+    ((find "hidden").md_access = G.Private);
+  Alcotest.(check bool) "public section" true
+    ((find "data").md_access = G.Public)
+
+let test_parse_error_position () =
+  match Frontend.Parser.parse "class {" with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error d ->
+    Alcotest.(check bool) "error severity" true (Frontend.Diagnostic.is_error d);
+    Alcotest.(check int) "line 1" 1 d.loc.Frontend.Loc.line
+
+let test_parse_chained_access () =
+  let p = Frontend.Parser.parse_exn "int main() { a.b->c.d; }" in
+  match (List.hd p.funcs).f_body with
+  | [ Frontend.Ast.Expr e ] ->
+    let rec depth = function
+      | Frontend.Ast.Select (inner, _) -> 1 + depth inner
+      | Frontend.Ast.Call (inner, _) -> depth inner
+      | Frontend.Ast.Var _ -> 0
+      | Frontend.Ast.Qualified _ -> 0
+    in
+    Alcotest.(check int) "three selectors" 3 (depth e)
+  | _ -> Alcotest.fail "expected a single expression statement"
+
+(* -- sema: resolutions ------------------------------------------------- *)
+
+let test_fig9_end_to_end () =
+  let src =
+    "struct S { int m; };\n\
+     struct A : virtual S { int m; };\n\
+     struct B : virtual S { int m; };\n\
+     struct C : virtual A, virtual B { int m; };\n\
+     struct D : C {};\n\
+     struct E : virtual A, virtual B, D {};\n\
+     int main() { E e; e.m = 10; }\n"
+  in
+  let r = analyze src in
+  Alcotest.(check bool) "compiles cleanly" true (Frontend.Sema.ok r);
+  match r.resolutions with
+  | [ res ] ->
+    Alcotest.(check string) "context" "E" (G.name r.graph res.res_context);
+    Alcotest.(check string) "target" "C" (G.name r.graph res.res_target)
+  | rs -> Alcotest.failf "expected 1 resolution, got %d" (List.length rs)
+
+let test_ambiguous_access () =
+  let r =
+    analyze
+      "struct T { int pos; };\n\
+       struct D1 : T {};\n\
+       struct D2 : T {};\n\
+       struct DD : D1, D2 {};\n\
+       int main() { DD d; d.pos; }\n"
+  in
+  check_error r "ambiguous"
+
+let test_unknown_member () =
+  let r = analyze "struct X { int a; }; int main() { X x; x.b; }" in
+  check_error r "no member named 'b'"
+
+let test_unknown_variable () =
+  let r = analyze "int main() { y.m; }" in
+  check_error r "unknown variable 'y'"
+
+let test_unknown_class_var () =
+  let r = analyze "int main() { Nope n; }" in
+  check_error r "unknown class type 'Nope'"
+
+let test_arrow_dot_confusion () =
+  let r = analyze "struct X { int a; }; int main() { X x; x->a; }" in
+  check_error r "'->' used on a non-pointer";
+  let r2 = analyze "struct X { int a; }; int main() { X* p; p.a; }" in
+  check_error r2 "'.' used on a pointer"
+
+let test_qualified_access () =
+  let r =
+    analyze
+      "struct B { static int n; };\n\
+       struct D : B {};\n\
+       int main() { D::n; }\n"
+  in
+  Alcotest.(check bool) "ok" true (Frontend.Sema.ok r);
+  match r.resolutions with
+  | [ res ] -> Alcotest.(check string) "target" "B" (G.name r.graph res.res_target)
+  | _ -> Alcotest.fail "expected one resolution"
+
+let test_chain_through_member_types () =
+  (* resolving x.a.b requires the declared type of member a *)
+  let r =
+    analyze
+      "struct Leaf { int v; };\n\
+       struct Node { Leaf leaf; Node* next; };\n\
+       int main() { Node n; n.leaf.v; n.next->leaf; }\n"
+  in
+  Alcotest.(check bool) "ok" true (Frontend.Sema.ok r);
+  Alcotest.(check int) "four resolutions" 4 (List.length r.resolutions)
+
+let test_static_member_through_diamond () =
+  (* Definition 17 end to end: static member reached through two paths *)
+  let r =
+    analyze
+      "struct S { static int k; };\n\
+       struct A : S {};\n\
+       struct B : S {};\n\
+       struct C : A, B {};\n\
+       int main() { C c; c.k; }\n"
+  in
+  Alcotest.(check bool) "static resolves" true (Frontend.Sema.ok r)
+
+let test_duplicate_base_diagnostic () =
+  let r = analyze "struct A {}; struct B : A, A {};" in
+  check_error r "lists direct base A twice"
+
+let test_virtual_data_member () =
+  let r = analyze "struct X { virtual int bad; };" in
+  check_error r "cannot be virtual"
+
+(* -- sema: access control ---------------------------------------------- *)
+
+let test_private_member () =
+  let r = analyze "class X { int secret; }; int main() { X x; x.secret; }" in
+  check_error r "private"
+
+let test_protected_member () =
+  let r =
+    analyze
+      "class X { protected: int p; }; int main() { X x; x.p; }"
+  in
+  check_error r "protected"
+
+let test_private_inheritance_blocks () =
+  (* public member, but inherited privately: inaccessible below *)
+  let r =
+    analyze
+      "struct B { int v; };\n\
+       class M : private B {};\n\
+       struct D : M {};\n\
+       int main() { D d; d.v; }\n"
+  in
+  check_error r "not accessible"
+
+let test_class_default_private_base () =
+  (* 'class D : B' defaults to private inheritance *)
+  let r =
+    analyze
+      "struct B { int v; };\n\
+       class D : B {};\n\
+       struct E : D {};\n\
+       int main() { E e; e.v; }\n"
+  in
+  check_error r "not accessible"
+
+let test_public_inheritance_ok () =
+  let r =
+    analyze
+      "struct B { int v; };\n\
+       struct D : B {};\n\
+       int main() { D d; d.v; }\n"
+  in
+  Alcotest.(check bool) "ok" true (Frontend.Sema.ok r)
+
+(* -- enums, typedefs, member-function bodies (paper Section 6) --------- *)
+
+let test_enum_members () =
+  let r =
+    analyze
+      "struct Color { enum Kind { red, green, blue }; };\n\
+       int main() { Color::red; Color::Kind; }\n"
+  in
+  Alcotest.(check bool) "ok" true (Frontend.Sema.ok r);
+  let kinds =
+    List.map
+      (fun (m : G.member) -> (m.m_name, m.m_kind))
+      (G.members r.graph (G.find r.graph "Color"))
+  in
+  Alcotest.(check bool) "enum type + enumerators" true
+    (kinds
+    = [ ("Kind", G.Type); ("red", G.Enumerator); ("green", G.Enumerator);
+        ("blue", G.Enumerator) ])
+
+let test_enumerators_are_static_like () =
+  (* Section 6: enumeration constants behave like static members for the
+     Definition 17 ambiguity rule — same enumerator through two paths is
+     fine. *)
+  let r =
+    analyze
+      "struct S { enum { flag }; };\n\
+       struct A : S {};\n\
+       struct B : S {};\n\
+       struct C : A, B {};\n\
+       int main() { C::flag; }\n"
+  in
+  Alcotest.(check bool) "enumerator resolves through a diamond" true
+    (Frontend.Sema.ok r)
+
+let test_typedef_member () =
+  let r =
+    analyze
+      "struct T1 { typedef int word; };\n\
+       struct T2 { typedef int word; };\n\
+       struct J : T1, T2 {};\n\
+       int main() { J::word; }\n"
+  in
+  (* distinct ldcs: two different type names -> still ambiguous *)
+  check_error r "ambiguous";
+  let r2 =
+    analyze
+      "struct S { typedef int word; };\n\
+       struct A : S {};\n\
+       struct B : S {};\n\
+       struct C : A, B {};\n\
+       int main() { C::word; }\n"
+  in
+  Alcotest.(check bool) "same typedef through two paths ok" true
+    (Frontend.Sema.ok r2)
+
+let test_method_body_unqualified () =
+  (* Unqualified names in a member function resolve through the class
+     scope: an implicit this-> member access. *)
+  let r =
+    analyze
+      "struct Base { int counter; };\n\
+       struct Derived : Base {\n\
+       \  int own;\n\
+       \  void tick() { counter; own; }\n\
+       };\n"
+  in
+  Alcotest.(check bool) "ok" true (Frontend.Sema.ok r);
+  let targets =
+    List.map
+      (fun res -> G.name r.graph res.Frontend.Sema.res_target)
+      r.resolutions
+  in
+  Alcotest.(check (list string)) "implicit this accesses"
+    [ "Base"; "Derived" ] targets
+
+let test_method_body_locals_shadow () =
+  let r =
+    analyze
+      "struct X {\n\
+       \  int v;\n\
+       \  void f() { int v; v; }\n\
+       };\n"
+  in
+  Alcotest.(check bool) "ok" true (Frontend.Sema.ok r);
+  Alcotest.(check int) "local shadows the member: no member resolution" 0
+    (List.length r.resolutions)
+
+let test_method_body_private_ok () =
+  (* Inside a member function of the same class, private members are
+     accessible; from main they are not. *)
+  let r =
+    analyze
+      "class X {\n\
+       \  int secret;\n\
+       public:\n\
+       \  void poke() { secret; }\n\
+       };\n"
+  in
+  Alcotest.(check bool) "private ok inside" true (Frontend.Sema.ok r)
+
+let test_method_body_ambiguous_member () =
+  let r =
+    analyze
+      "struct L { int k; };\n\
+       struct R { int k; };\n\
+       struct J : L, R { void f() { k; } };\n"
+  in
+  check_error r "ambiguous"
+
+let test_method_body_unknown_name () =
+  let r = analyze "struct X { void f() { nothing; } };" in
+  check_error r "unknown variable 'nothing'"
+
+let suite =
+  [ Alcotest.test_case "lexer: tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "enum members (sec. 6)" `Quick test_enum_members;
+    Alcotest.test_case "enumerators are static-like (defn. 17)" `Quick
+      test_enumerators_are_static_like;
+    Alcotest.test_case "typedef members (sec. 6)" `Quick test_typedef_member;
+    Alcotest.test_case "method body: unqualified lookup" `Quick
+      test_method_body_unqualified;
+    Alcotest.test_case "method body: locals shadow members" `Quick
+      test_method_body_locals_shadow;
+    Alcotest.test_case "method body: private accessible" `Quick
+      test_method_body_private_ok;
+    Alcotest.test_case "method body: ambiguous member" `Quick
+      test_method_body_ambiguous_member;
+    Alcotest.test_case "method body: unknown name" `Quick
+      test_method_body_unknown_name;
+    Alcotest.test_case "lexer: comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer: error" `Quick test_lexer_error;
+    Alcotest.test_case "parser: figure 9 verbatim" `Quick
+      test_parse_fig9_verbatim;
+    Alcotest.test_case "parser: member forms" `Quick test_parse_member_forms;
+    Alcotest.test_case "parser: error position" `Quick
+      test_parse_error_position;
+    Alcotest.test_case "parser: chained access" `Quick
+      test_parse_chained_access;
+    Alcotest.test_case "sema: figure 9 end to end" `Quick
+      test_fig9_end_to_end;
+    Alcotest.test_case "sema: ambiguous access" `Quick test_ambiguous_access;
+    Alcotest.test_case "sema: unknown member" `Quick test_unknown_member;
+    Alcotest.test_case "sema: unknown variable" `Quick test_unknown_variable;
+    Alcotest.test_case "sema: unknown class" `Quick test_unknown_class_var;
+    Alcotest.test_case "sema: arrow/dot confusion" `Quick
+      test_arrow_dot_confusion;
+    Alcotest.test_case "sema: qualified X::m" `Quick test_qualified_access;
+    Alcotest.test_case "sema: chained member types" `Quick
+      test_chain_through_member_types;
+    Alcotest.test_case "sema: static member diamond" `Quick
+      test_static_member_through_diamond;
+    Alcotest.test_case "sema: duplicate base" `Quick
+      test_duplicate_base_diagnostic;
+    Alcotest.test_case "sema: virtual data member" `Quick
+      test_virtual_data_member;
+    Alcotest.test_case "access: private member" `Quick test_private_member;
+    Alcotest.test_case "access: protected member" `Quick
+      test_protected_member;
+    Alcotest.test_case "access: private inheritance" `Quick
+      test_private_inheritance_blocks;
+    Alcotest.test_case "access: class default base access" `Quick
+      test_class_default_private_base;
+    Alcotest.test_case "access: public inheritance ok" `Quick
+      test_public_inheritance_ok ]

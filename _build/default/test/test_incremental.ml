@@ -1,0 +1,132 @@
+(* Tests for the incrementally maintained lookup table: it must agree
+   with the batch engine after every single insertion. *)
+
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+module Inc = Lookup_core.Incremental
+
+let agree_with_batch inc =
+  let g = Inc.snapshot inc in
+  let eng = Engine.build (Chg.Closure.compute g) in
+  G.iter_classes g (fun c ->
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s::%s" (G.name g c) m)
+            true
+            (Engine.lookup eng c m = Inc.lookup inc c m))
+        (G.member_names g))
+
+let feed decls =
+  let inc = Inc.create () in
+  List.iter
+    (fun (name, bases, members) ->
+      ignore
+        (Inc.add_class inc name
+           ~bases:(List.map (fun (b, k) -> (b, k, G.Public)) bases)
+           ~members:(List.map G.member members));
+      agree_with_batch inc)
+    decls;
+  inc
+
+let nv = G.Non_virtual
+let v = G.Virtual
+
+let test_fig9_stepwise () =
+  let inc =
+    feed
+      [ ("S", [], [ "m" ]);
+        ("A", [ ("S", v) ], [ "m" ]);
+        ("B", [ ("S", v) ], [ "m" ]);
+        ("C", [ ("A", v); ("B", v) ], [ "m" ]);
+        ("D", [ ("C", nv) ], []);
+        ("E", [ ("A", v); ("B", v); ("D", nv) ], []) ]
+  in
+  Alcotest.(check (option int)) "E::m -> C"
+    (Some (Inc.find inc "C"))
+    (Inc.resolves_to inc (Inc.find inc "E") "m")
+
+let test_fig3_stepwise () =
+  let inc =
+    feed
+      [ ("A", [], [ "foo" ]);
+        ("B", [ ("A", nv) ], []);
+        ("C", [ ("A", nv) ], []);
+        ("D", [ ("B", nv); ("C", nv) ], [ "bar" ]);
+        ("E", [], [ "bar" ]);
+        ("F", [ ("D", v); ("E", nv) ], []);
+        ("G", [ ("D", v) ], [ "foo"; "bar" ]);
+        ("H", [ ("F", nv); ("G", nv) ], []) ]
+  in
+  Alcotest.(check (option int)) "H::foo -> G"
+    (Some (Inc.find inc "G"))
+    (Inc.resolves_to inc (Inc.find inc "H") "foo");
+  (match Inc.lookup inc (Inc.find inc "H") "bar" with
+  | Some (Engine.Blue _) -> ()
+  | _ -> Alcotest.fail "H::bar must stay ambiguous");
+  Alcotest.(check int) "count" 8 (Inc.num_classes inc)
+
+let test_static_groups_stepwise () =
+  (* The static-group regression case found by the oracle property. *)
+  let inc = Inc.create () in
+  List.iter
+    (fun (name, bases, statics, plains) ->
+      ignore
+        (Inc.add_class inc name
+           ~bases:(List.map (fun (b, k) -> (b, k, G.Public)) bases)
+           ~members:
+             (List.map (G.member ~static:true) statics
+             @ List.map G.member plains));
+      agree_with_batch inc)
+    [ ("K0", [], [ "p" ], []);
+      ("K1", [ ("K0", v) ], [], [ "m" ]);
+      ("K2", [ ("K0", v); ("K1", nv) ], [], [ "p" ]);
+      ("K3", [ ("K0", nv); ("K1", nv) ], [], [ "m" ]);
+      ("K4", [ ("K3", nv) ], [], [ "m" ]);
+      ("K5", [ ("K4", nv); ("K2", nv); ("K1", nv) ], [], [ "m"; "n" ]);
+      ("K6", [ ("K5", nv); ("K2", v) ], [], [ "p" ]) ]
+
+let test_validation_mirrors_builder () =
+  let inc = Inc.create () in
+  ignore (Inc.add_class inc "A" ~bases:[] ~members:[]);
+  (match Inc.add_class inc "A" ~bases:[] ~members:[] with
+  | _ -> Alcotest.fail "duplicate accepted"
+  | exception G.Error (G.Duplicate_class "A") -> ());
+  match
+    Inc.add_class inc "B" ~bases:[ ("Zed", nv, G.Public) ] ~members:[]
+  with
+  | _ -> Alcotest.fail "unknown base accepted"
+  | exception G.Error (G.Unknown_base _) -> ()
+
+let test_random_stepwise () =
+  (* Rebuild random hierarchies class by class and compare at the end
+     (agree_with_batch at every step is O(n^2); sample a few sizes). *)
+  List.iter
+    (fun seed ->
+      let { Hiergen.Families.graph = g; _ } =
+        Hiergen.Families.random_static_dag ~n:20 ~max_bases:3
+          ~virtual_prob:0.4 ~declare_prob:0.4 ~static_prob:0.3
+          ~members:[ "m"; "n"; "p" ] ~seed
+      in
+      let inc = Inc.create () in
+      G.iter_classes g (fun c ->
+          ignore
+            (Inc.add_class inc (G.name g c)
+               ~bases:
+                 (List.map
+                    (fun (b : G.base) ->
+                      (G.name g b.b_class, b.b_kind, b.b_access))
+                    (G.bases g c))
+               ~members:(G.members g c)));
+      agree_with_batch inc)
+    [ 1; 7; 42; 1337; 9001 ]
+
+let suite =
+  [ Alcotest.test_case "figure 9 stepwise" `Quick test_fig9_stepwise;
+    Alcotest.test_case "figure 3 stepwise" `Quick test_fig3_stepwise;
+    Alcotest.test_case "static groups stepwise" `Quick
+      test_static_groups_stepwise;
+    Alcotest.test_case "validation mirrors the builder" `Quick
+      test_validation_mirrors_builder;
+    Alcotest.test_case "random hierarchies stepwise" `Quick
+      test_random_stepwise ]

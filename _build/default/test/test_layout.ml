@@ -1,0 +1,191 @@
+(* Tests for object layout and vtable construction. *)
+
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+module OL = Layout.Object_layout
+module Sgraph = Subobject.Sgraph
+
+let iostream_graph () =
+  let b = G.create_builder () in
+  ignore
+    (G.add_class b "ios" ~bases:[]
+       ~members:
+         [ G.member "state"; G.member ~kind:G.Function ~virtual_:true "tie" ]);
+  ignore
+    (G.add_class b "istream"
+       ~bases:[ ("ios", G.Virtual, G.Public) ]
+       ~members:
+         [ G.member "gcount"; G.member ~kind:G.Function ~virtual_:true "get" ]);
+  ignore
+    (G.add_class b "ostream"
+       ~bases:[ ("ios", G.Virtual, G.Public) ]
+       ~members:
+         [ G.member ~kind:G.Function ~virtual_:true "put";
+           G.member ~kind:G.Function ~virtual_:true "flush" ]);
+  ignore
+    (G.add_class b "iostream"
+       ~bases:
+         [ ("istream", G.Non_virtual, G.Public);
+           ("ostream", G.Non_virtual, G.Public) ]
+       ~members:[ G.member ~kind:G.Function ~virtual_:true "flush" ]);
+  G.freeze b
+
+let offset_of_ldc t name =
+  let sg = t.OL.sgraph in
+  let g = Sgraph.graph sg in
+  List.filter_map
+    (fun (sl : OL.slot) ->
+      if G.name g (Sgraph.ldc sg sl.sl_subobject) = name then
+        Some sl.sl_offset
+      else None)
+    t.OL.slots
+
+let test_plain_struct () =
+  let b = G.create_builder () in
+  ignore (G.add_class b "P" ~bases:[] ~members:[ G.member "a"; G.member "b" ]);
+  let g = G.freeze b in
+  Alcotest.(check int) "two words" 16 (OL.sizeof g 0);
+  Alcotest.(check bool) "no vptr" false (OL.has_vptr g 0)
+
+let test_static_members_take_no_space () =
+  let b = G.create_builder () in
+  ignore
+    (G.add_class b "P" ~bases:[]
+       ~members:[ G.member "a"; G.member ~static:true "s" ]);
+  let g = G.freeze b in
+  Alcotest.(check int) "one word" 8 (OL.sizeof g 0)
+
+let test_empty_class_nonzero () =
+  let b = G.create_builder () in
+  ignore (G.add_class b "Empty" ~bases:[] ~members:[]);
+  let g = G.freeze b in
+  Alcotest.(check bool) "nonzero size" true (OL.sizeof g 0 > 0)
+
+let test_vptr_rules () =
+  let g = iostream_graph () in
+  Alcotest.(check bool) "ios polymorphic" true (OL.has_vptr g (G.find g "ios"));
+  Alcotest.(check bool) "iostream polymorphic" true
+    (OL.has_vptr g (G.find g "iostream"));
+  let b = G.create_builder () in
+  ignore (G.add_class b "Plain" ~bases:[] ~members:[ G.member "x" ]);
+  ignore
+    (G.add_class b "WithVBase" ~bases:[ ("Plain", G.Virtual, G.Public) ]
+       ~members:[]);
+  let g2 = G.freeze b in
+  Alcotest.(check bool) "plain not polymorphic" false
+    (OL.has_vptr g2 (G.find g2 "Plain"));
+  Alcotest.(check bool) "virtual base implies vptr" true
+    (OL.has_vptr g2 (G.find g2 "WithVBase"))
+
+let test_iostream_layout () =
+  let g = iostream_graph () in
+  let t = OL.of_class g (G.find g "iostream") in
+  (* nv regions: iostream vptr(8) + istream(vptr8+gcount8=16) +
+     ostream(vptr8) = 32; shared virtual ios (vptr8+state8=16) at the
+     end: total 48. *)
+  Alcotest.(check int) "size" 48 t.OL.size;
+  Alcotest.(check (list int)) "complete object at 0" [ 0 ]
+    (offset_of_ldc t "iostream");
+  Alcotest.(check (list int)) "istream embedded at 8" [ 8 ]
+    (offset_of_ldc t "istream");
+  Alcotest.(check (list int)) "ostream embedded at 24" [ 24 ]
+    (offset_of_ldc t "ostream");
+  Alcotest.(check (list int)) "one shared ios at 32" [ 32 ]
+    (offset_of_ldc t "ios")
+
+let test_duplicated_base_offsets_distinct () =
+  (* Figure 1's hierarchy: two A subobjects must get distinct offsets. *)
+  let g = Hiergen.Figures.fig1 () in
+  let t = OL.of_class g (G.find g "E") in
+  let offsets = offset_of_ldc t "A" in
+  Alcotest.(check int) "two A subobjects" 2 (List.length offsets);
+  Alcotest.(check bool) "distinct offsets" true
+    (List.sort_uniq compare offsets = List.sort compare offsets
+    && List.length (List.sort_uniq compare offsets) = 2)
+
+let test_all_offsets_within_object () =
+  List.iter
+    (fun mk ->
+      let g = mk () in
+      G.iter_classes g (fun c ->
+          let t = OL.of_class g c in
+          List.iter
+            (fun (sl : OL.slot) ->
+              Alcotest.(check bool) "offset in range" true
+                (sl.OL.sl_offset >= 0 && sl.OL.sl_offset <= t.OL.size))
+            t.OL.slots))
+    [ Hiergen.Figures.fig1; Hiergen.Figures.fig2; Hiergen.Figures.fig3;
+      Hiergen.Figures.fig9 ]
+
+let test_vtable_overriding () =
+  let g = iostream_graph () in
+  let engine = Engine.build (Chg.Closure.compute g) in
+  let vt = Layout.Vtable.build engine (G.find g "iostream") in
+  Alcotest.(check int) "four slots" 4 (List.length vt.Layout.Vtable.vt_entries);
+  let dispatch f = Option.map (G.name g) (Layout.Vtable.dispatch vt f) in
+  Alcotest.(check (option string)) "tie from ios" (Some "ios") (dispatch "tie");
+  Alcotest.(check (option string)) "get from istream" (Some "istream")
+    (dispatch "get");
+  Alcotest.(check (option string)) "put from ostream" (Some "ostream")
+    (dispatch "put");
+  Alcotest.(check (option string)) "flush overridden" (Some "iostream")
+    (dispatch "flush");
+  Alcotest.(check (option string)) "absent slot" None (dispatch "nope")
+
+let test_vtable_ambiguous_slot () =
+  (* Two unrelated bases both introduce virtual f: the lookup in the
+     join class is ambiguous, so the slot has no overrider. *)
+  let b = G.create_builder () in
+  ignore
+    (G.add_class b "L" ~bases:[]
+       ~members:[ G.member ~kind:G.Function ~virtual_:true "f" ]);
+  ignore
+    (G.add_class b "R" ~bases:[]
+       ~members:[ G.member ~kind:G.Function ~virtual_:true "f" ]);
+  ignore
+    (G.add_class b "J"
+       ~bases:[ ("L", G.Non_virtual, G.Public); ("R", G.Non_virtual, G.Public) ]
+       ~members:[]);
+  ignore
+    (G.add_class b "K"
+       ~bases:[ ("J", G.Non_virtual, G.Public) ]
+       ~members:[ G.member ~kind:G.Function ~virtual_:true "f" ]);
+  let g = G.freeze b in
+  let engine = Engine.build (Chg.Closure.compute g) in
+  let vt_j = Layout.Vtable.build engine (G.find g "J") in
+  Alcotest.(check (option string)) "ambiguous slot" None
+    (Option.map (G.name g) (Layout.Vtable.dispatch vt_j "f"));
+  (* K overrides f: the ambiguity is resolved below J. *)
+  let vt_k = Layout.Vtable.build engine (G.find g "K") in
+  Alcotest.(check (option string)) "override resolves" (Some "K")
+    (Option.map (G.name g) (Layout.Vtable.dispatch vt_k "f"))
+
+let test_vtable_introduced_by () =
+  let g = iostream_graph () in
+  let engine = Engine.build (Chg.Closure.compute g) in
+  let vt = Layout.Vtable.build engine (G.find g "iostream") in
+  let entry f =
+    List.find
+      (fun (e : Layout.Vtable.entry) -> e.e_slot = f)
+      vt.Layout.Vtable.vt_entries
+  in
+  Alcotest.(check string) "flush introduced by ostream" "ostream"
+    (G.name g (entry "flush").Layout.Vtable.e_introduced_by)
+
+let suite =
+  [ Alcotest.test_case "plain struct size" `Quick test_plain_struct;
+    Alcotest.test_case "static members take no space" `Quick
+      test_static_members_take_no_space;
+    Alcotest.test_case "empty class has nonzero size" `Quick
+      test_empty_class_nonzero;
+    Alcotest.test_case "vptr rules" `Quick test_vptr_rules;
+    Alcotest.test_case "iostream diamond layout" `Quick test_iostream_layout;
+    Alcotest.test_case "duplicated bases get distinct offsets" `Quick
+      test_duplicated_base_offsets_distinct;
+    Alcotest.test_case "offsets within object" `Quick
+      test_all_offsets_within_object;
+    Alcotest.test_case "vtable overriding" `Quick test_vtable_overriding;
+    Alcotest.test_case "vtable ambiguous slot" `Quick
+      test_vtable_ambiguous_slot;
+    Alcotest.test_case "vtable slot introduction" `Quick
+      test_vtable_introduced_by ]

@@ -1,0 +1,160 @@
+(* Additional front-end coverage: parse errors with recovery-free
+   positions, enum/typedef corner cases, call checking. *)
+
+module G = Chg.Graph
+
+let analyze = Frontend.Sema.analyze_source
+
+let parse_fails src needle =
+  match Frontend.Parser.parse src with
+  | Ok _ -> Alcotest.failf "accepted %S" src
+  | Error d ->
+    let msg = d.Frontend.Diagnostic.message in
+    let contains =
+      let n = String.length needle and m = String.length msg in
+      let rec go i =
+        i + n <= m && (String.sub msg i n = needle || go (i + 1))
+      in
+      go 0
+    in
+    if not contains then
+      Alcotest.failf "error %S does not mention %S" msg needle
+
+let test_parse_errors () =
+  parse_fails "class X { int a }" "expected ';'";
+  parse_fails "class X : {};" "expected identifier";
+  parse_fails "class X {} " "expected ';'";
+  parse_fails "struct S { enum { 1 }; };" "expected an enumerator";
+  parse_fails "struct S { virtual int f() = 1; };" "only '= 0'";
+  parse_fails "int main() { x = y; }" "expected an integer literal or '&'";
+  parse_fails "int main() { 42; }" "expected a statement";
+  parse_fails "@" "unexpected character"
+
+let test_enum_anonymous () =
+  let p = Frontend.Parser.parse_exn "struct S { enum { a, b, }; };" in
+  let s = List.hd p.classes in
+  Alcotest.(check (list string)) "enumerators only (trailing comma ok)"
+    [ "a"; "b" ]
+    (List.map (fun (m : Frontend.Ast.member_decl) -> m.md_name) s.c_members)
+
+let test_enum_with_values () =
+  let p =
+    Frontend.Parser.parse_exn "struct S { enum E { a = 1, b = 2 }; };"
+  in
+  Alcotest.(check int) "type + two enumerators" 3
+    (List.length (List.hd p.classes).c_members)
+
+let test_typedef_pointer () =
+  let p = Frontend.Parser.parse_exn "struct S { typedef S* self; };" in
+  let m = List.hd (List.hd p.classes).c_members in
+  Alcotest.(check bool) "kind Type" true (m.md_kind = G.Type);
+  Alcotest.(check bool) "pointer type" true m.md_type.Frontend.Ast.t_pointer
+
+let test_call_non_function () =
+  let r =
+    analyze "struct X { int d; }; int main() { X x; x.d(); }"
+  in
+  Alcotest.(check bool) "diag" true
+    (List.exists
+       (fun (d : Frontend.Diagnostic.t) ->
+         Frontend.Diagnostic.is_error d
+         && String.length d.message > 0
+         &&
+         let needle = "not a function" in
+         let n = String.length needle and m = String.length d.message in
+         let rec go i =
+           i + n <= m && (String.sub d.message i n = needle || go (i + 1))
+         in
+         go 0)
+       r.diagnostics)
+
+let test_method_call_resolution () =
+  let r =
+    analyze
+      "struct B { void f(); };\n\
+       struct D : B {};\n\
+       int main() { D d; d.f(); }\n"
+  in
+  Alcotest.(check bool) "ok" true (Frontend.Sema.ok r);
+  match r.resolutions with
+  | [ res ] ->
+    Alcotest.(check string) "resolved to B" "B" (G.name r.graph res.res_target)
+  | _ -> Alcotest.fail "expected one resolution"
+
+let test_protected_ok_from_derived_method () =
+  (* protected members are usable from methods of the same class (our
+     model relaxes access for enclosing = accessed class) *)
+  let r =
+    analyze
+      "class B { protected: int p; public: void touch() { p; } };\n\
+       int main() { B b; b.touch(); }\n"
+  in
+  Alcotest.(check bool) "ok" true (Frontend.Sema.ok r)
+
+let test_struct_vs_class_base_defaults () =
+  (* struct D : B is public inheritance: accessible; class D : B is
+     private: not *)
+  let ok =
+    analyze
+      "struct B { int v; };\nstruct D : B {};\nint main() { D d; d.v; }\n"
+  in
+  Alcotest.(check bool) "struct default public" true (Frontend.Sema.ok ok)
+
+let test_diagnostics_positions () =
+  let r = analyze "struct X { int a; };\nint main() {\n  X x;\n  x.b;\n}\n" in
+  match
+    List.find_opt
+      (fun (d : Frontend.Diagnostic.t) -> Frontend.Diagnostic.is_error d)
+      r.diagnostics
+  with
+  | Some d -> Alcotest.(check int) "error on line 4" 4 d.loc.Frontend.Loc.line
+  | None -> Alcotest.fail "expected a diagnostic"
+
+let test_emit_figures_roundtrip () =
+  List.iter
+    (fun mk ->
+      let g = mk () in
+      let r = Frontend.Sema.analyze_source (Frontend.Emit.to_source g) in
+      Alcotest.(check bool) "compiles" true (Frontend.Sema.ok r);
+      Alcotest.(check string) "same graph" (Chg.Serialize.to_string g)
+        (Chg.Serialize.to_string r.graph))
+    [ Hiergen.Figures.fig1; Hiergen.Figures.fig2; Hiergen.Figures.fig3;
+      Hiergen.Figures.fig9 ]
+
+let test_emit_rich_members_roundtrip () =
+  let b = G.create_builder () in
+  ignore
+    (G.add_class b "X" ~bases:[]
+       ~members:
+         [ G.member ~access:G.Private "a";
+           G.member ~kind:G.Function ~virtual_:true ~access:G.Protected "f";
+           G.member ~static:true "s";
+           G.member ~kind:G.Type "T";
+           G.member ~kind:G.Enumerator "red" ]);
+  ignore
+    (G.add_class b "Y" ~bases:[ ("X", G.Virtual, G.Protected) ] ~members:[]);
+  let g = G.freeze b in
+  let r = Frontend.Sema.analyze_source (Frontend.Emit.to_source g) in
+  Alcotest.(check bool) "compiles" true (Frontend.Sema.ok r);
+  Alcotest.(check string) "same graph" (Chg.Serialize.to_string g)
+    (Chg.Serialize.to_string r.graph)
+
+let suite =
+  [ Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "anonymous enum, trailing comma" `Quick
+      test_enum_anonymous;
+    Alcotest.test_case "enum with initializers" `Quick test_enum_with_values;
+    Alcotest.test_case "typedef pointer" `Quick test_typedef_pointer;
+    Alcotest.test_case "calling a data member" `Quick test_call_non_function;
+    Alcotest.test_case "method call resolution" `Quick
+      test_method_call_resolution;
+    Alcotest.test_case "protected from own method" `Quick
+      test_protected_ok_from_derived_method;
+    Alcotest.test_case "struct/class base defaults" `Quick
+      test_struct_vs_class_base_defaults;
+    Alcotest.test_case "diagnostic positions" `Quick
+      test_diagnostics_positions;
+    Alcotest.test_case "emit: figures roundtrip" `Quick
+      test_emit_figures_roundtrip;
+    Alcotest.test_case "emit: rich members roundtrip" `Quick
+      test_emit_rich_members_roundtrip ]

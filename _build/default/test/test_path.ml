@@ -1,0 +1,161 @@
+(* Tests for the path formalism: fixed parts, the ≈ equivalence, hides,
+   dominates — checked against the facts the paper states for its running
+   example (Figure 3 and Section 3's worked examples). *)
+
+module G = Chg.Graph
+module Path = Subobject.Path
+
+let nv = G.Non_virtual
+let v = G.Virtual
+
+let fig3 = Hiergen.Figures.fig3 ()
+
+(* Path helpers over fig3: in that hierarchy D -> F and D -> G are
+   virtual, everything else non-virtual. *)
+let p names =
+  let kinds =
+    (* edge kind from consecutive node names *)
+    let rec pair = function
+      | a :: (b :: _ as rest) ->
+        let kind =
+          match (a, b) with "D", "F" | "D", "G" -> v | _ -> nv
+        in
+        kind :: pair rest
+      | _ -> []
+    in
+    pair names
+  in
+  Path.of_names fig3 names ~kinds
+
+let path_t = Alcotest.testable (Path.pp fig3) Path.equal
+
+let test_ldc_mdc () =
+  let abdfh = p [ "A"; "B"; "D"; "F"; "H" ] in
+  Alcotest.(check string) "ldc" "A" (G.name fig3 (Path.ldc abdfh));
+  Alcotest.(check string) "mdc" "H" (G.name fig3 (Path.mdc abdfh));
+  Alcotest.(check int) "edges" 4 (Path.edge_count abdfh);
+  let triv = Path.trivial (G.find fig3 "A") in
+  Alcotest.(check string) "trivial ldc=mdc" "A" (G.name fig3 (Path.mdc triv))
+
+let test_fixed_parts () =
+  (* Paper, Section 3 example: fixed(ABDFH) = ABD, fixed(ABDGH) = ABD,
+     fixed(ACDFH) = ACD, fixed(ACDGH) = ACD. *)
+  let check_fixed names expect =
+    Alcotest.check path_t
+      (Printf.sprintf "fixed %s" (String.concat "" names))
+      (p expect) (Path.fixed (p names))
+  in
+  check_fixed [ "A"; "B"; "D"; "F"; "H" ] [ "A"; "B"; "D" ];
+  check_fixed [ "A"; "B"; "D"; "G"; "H" ] [ "A"; "B"; "D" ];
+  check_fixed [ "A"; "C"; "D"; "F"; "H" ] [ "A"; "C"; "D" ];
+  check_fixed [ "A"; "C"; "D"; "G"; "H" ] [ "A"; "C"; "D" ];
+  (* A path with no virtual edge is its own fixed part. *)
+  let abd = p [ "A"; "B"; "D" ] in
+  Alcotest.check path_t "fixed of v-free path" abd (Path.fixed abd)
+
+let test_equivalence () =
+  (* Paper: ABDFH ≈ ABDGH, ACDFH ≈ ACDGH, ABDFH ≉ ACDFH. *)
+  let abdfh = p [ "A"; "B"; "D"; "F"; "H" ]
+  and abdgh = p [ "A"; "B"; "D"; "G"; "H" ]
+  and acdfh = p [ "A"; "C"; "D"; "F"; "H" ]
+  and acdgh = p [ "A"; "C"; "D"; "G"; "H" ] in
+  Alcotest.(check bool) "ABDFH ≈ ABDGH" true (Path.equiv abdfh abdgh);
+  Alcotest.(check bool) "ACDFH ≈ ACDGH" true (Path.equiv acdfh acdgh);
+  Alcotest.(check bool) "ABDFH ≉ ACDFH" false (Path.equiv abdfh acdfh);
+  (* Same fixed part but different mdc: not equivalent. *)
+  let abd = p [ "A"; "B"; "D" ] in
+  Alcotest.(check bool) "prefix not equivalent" false (Path.equiv abd abdfh)
+
+let test_hides () =
+  (* Paper: GH hides ABDGH but not ABDFH. *)
+  let gh = p [ "G"; "H" ]
+  and abdgh = p [ "A"; "B"; "D"; "G"; "H" ]
+  and abdfh = p [ "A"; "B"; "D"; "F"; "H" ] in
+  Alcotest.(check bool) "GH hides ABDGH" true (Path.hides gh abdgh);
+  Alcotest.(check bool) "GH does not hide ABDFH" false (Path.hides gh abdfh);
+  Alcotest.(check bool) "path hides itself" true (Path.hides gh gh);
+  (* Suffix with same node names but different edge kind must not match:
+     D=G-H (virtual then non-virtual) vs a hypothetical D-G. *)
+  let dgh = p [ "D"; "G"; "H" ] in
+  Alcotest.(check bool) "DGH hides ABDGH" true (Path.hides dgh abdgh)
+
+let test_dominates () =
+  (* Paper: GH dominates ABDFH (because GH hides ABDGH ≈ ABDFH);
+     FH dominates ABDGH. *)
+  let gh = p [ "G"; "H" ]
+  and fh = p [ "F"; "H" ]
+  and abdfh = p [ "A"; "B"; "D"; "F"; "H" ]
+  and abdgh = p [ "A"; "B"; "D"; "G"; "H" ]
+  and acdfh = p [ "A"; "C"; "D"; "F"; "H" ] in
+  Alcotest.(check bool) "GH dominates ABDFH" true
+    (Path.dominates fig3 gh abdfh);
+  Alcotest.(check bool) "FH dominates ABDGH" true
+    (Path.dominates fig3 fh abdgh);
+  Alcotest.(check bool) "GH dominates ACDFH" true
+    (Path.dominates fig3 gh acdfh);
+  Alcotest.(check bool) "ABDFH does not dominate ACDFH" false
+    (Path.dominates fig3 abdfh acdfh);
+  Alcotest.(check bool) "reflexive" true (Path.dominates fig3 gh gh)
+
+let test_dominates_via_closure_matches () =
+  let cl = Chg.Closure.compute fig3 in
+  let h = G.find fig3 "H" in
+  let all = Path.all_to fig3 h in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s dom %s" (Path.to_string fig3 a)
+               (Path.to_string fig3 b))
+            (Path.dominates fig3 a b)
+            (Path.dominates_via_closure cl a b))
+        all)
+    all
+
+let test_concat () =
+  let abd = p [ "A"; "B"; "D" ] and dfh = p [ "D"; "F"; "H" ] in
+  Alcotest.check path_t "concat" (p [ "A"; "B"; "D"; "F"; "H" ])
+    (Path.concat abd dfh);
+  Alcotest.check_raises "mismatched concat"
+    (Invalid_argument "Path.concat: mdc a <> ldc b") (fun () ->
+      ignore (Path.concat dfh abd))
+
+let test_all_to_counts () =
+  (* Paths ending at H: enumerate and check the A-to-H count the paper
+     gives (four paths from A to H). *)
+  let h = G.find fig3 "H" in
+  let a = G.find fig3 "A" in
+  let from_a =
+    List.filter (fun q -> Path.ldc q = a) (Path.all_to fig3 h)
+  in
+  Alcotest.(check int) "four A=>H paths" 4 (List.length from_a);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in graph" (Path.to_string fig3 q))
+        true (Path.in_graph fig3 q))
+    (Path.all_to fig3 h)
+
+let test_least_virtual () =
+  let abdfh = p [ "A"; "B"; "D"; "F"; "H" ] in
+  (match Path.least_virtual abdfh with
+  | Some c -> Alcotest.(check string) "leastVirtual ABDFH" "D" (G.name fig3 c)
+  | None -> Alcotest.fail "expected v-path");
+  let abd = p [ "A"; "B"; "D" ] in
+  Alcotest.(check bool) "Ω for v-free path" true
+    (Path.least_virtual abd = None);
+  Alcotest.(check bool) "v-path" true (Path.is_v_path abdfh);
+  Alcotest.(check bool) "not v-path" false (Path.is_v_path abd)
+
+let suite =
+  [ Alcotest.test_case "ldc/mdc" `Quick test_ldc_mdc;
+    Alcotest.test_case "fixed parts (paper sec. 3)" `Quick test_fixed_parts;
+    Alcotest.test_case "≈ equivalence (paper sec. 3)" `Quick test_equivalence;
+    Alcotest.test_case "hides (paper sec. 3)" `Quick test_hides;
+    Alcotest.test_case "dominates (paper sec. 3)" `Quick test_dominates;
+    Alcotest.test_case "closure-based dominance = spec" `Quick
+      test_dominates_via_closure_matches;
+    Alcotest.test_case "concat" `Quick test_concat;
+    Alcotest.test_case "path enumeration counts" `Quick test_all_to_counts;
+    Alcotest.test_case "leastVirtual" `Quick test_least_virtual ]

@@ -1,0 +1,119 @@
+(* Tests for the Rossie-Friedman dyn/stat staging operations (paper
+   Section 7.1). *)
+
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+module Sgraph = Subobject.Sgraph
+module Rf_ops = Lookup_core.Rf_ops
+
+let graph () =
+  (* base { virtual f }  <=virtual=  mid_l, mid_r;  top : mid_l, mid_r
+     { f } — classic virtual override. *)
+  let b = G.create_builder () in
+  ignore
+    (G.add_class b "base" ~bases:[]
+       ~members:[ G.member ~kind:G.Function ~virtual_:true "f";
+                  G.member "data" ]);
+  ignore
+    (G.add_class b "mid_l" ~bases:[ ("base", G.Virtual, G.Public) ]
+       ~members:[]);
+  ignore
+    (G.add_class b "mid_r" ~bases:[ ("base", G.Virtual, G.Public) ]
+       ~members:[ G.member ~kind:G.Function ~virtual_:true "g" ]);
+  ignore
+    (G.add_class b "top"
+       ~bases:
+         [ ("mid_l", G.Non_virtual, G.Public);
+           ("mid_r", G.Non_virtual, G.Public) ]
+       ~members:[ G.member ~kind:G.Function ~virtual_:true "f" ]);
+  G.freeze b
+
+let setup () =
+  let g = graph () in
+  let eng = Engine.build ~witnesses:true (Chg.Closure.compute g) in
+  let sg = Sgraph.build g (G.find g "top") in
+  (g, eng, sg)
+
+let sub_named g sg name =
+  List.find
+    (fun s -> G.name g (Sgraph.ldc sg s) = name)
+    (Sgraph.subobjects sg)
+
+let test_dyn_override () =
+  let g, eng, sg = setup () in
+  match Rf_ops.dyn eng sg "f" with
+  | Rf_ops.Resolved s ->
+    Alcotest.(check string) "dyn resolves to the override" "top"
+      (G.name g (Sgraph.ldc sg s))
+  | _ -> Alcotest.fail "dyn should resolve"
+
+let test_stat_through_subobject () =
+  let g, eng, sg = setup () in
+  (* stat(f, base-subobject): the non-virtual resolution in base's own
+     context is base::f, re-based into the complete object. *)
+  let base_sub = sub_named g sg "base" in
+  (match Rf_ops.stat eng sg base_sub "f" with
+  | Rf_ops.Resolved s ->
+    Alcotest.(check string) "stat stays at base" "base"
+      (G.name g (Sgraph.ldc sg s));
+    Alcotest.(check int) "same shared subobject" (Sgraph.id_of base_sub)
+      (Sgraph.id_of s)
+  | _ -> Alcotest.fail "stat should resolve");
+  (* stat(g, mid_r-subobject) resolves within mid_r. *)
+  let midr = sub_named g sg "mid_r" in
+  match Rf_ops.stat eng sg midr "g" with
+  | Rf_ops.Resolved s ->
+    Alcotest.(check string) "mid_r::g" "mid_r" (G.name g (Sgraph.ldc sg s))
+  | _ -> Alcotest.fail "stat should resolve g"
+
+let test_stat_composition_rebases () =
+  let g, eng, sg = setup () in
+  (* stat(data, mid_l-subobject): lookup(mid_l, data) = base::data; the
+     composition must land on the shared virtual base subobject of the
+     COMPLETE object. *)
+  let midl = sub_named g sg "mid_l" in
+  match Rf_ops.stat eng sg midl "data" with
+  | Rf_ops.Resolved s ->
+    Alcotest.(check int) "lands on the shared base subobject"
+      (Sgraph.id_of (sub_named g sg "base"))
+      (Sgraph.id_of s)
+  | _ -> Alcotest.fail "stat should resolve data"
+
+let test_undeclared_and_ambiguous () =
+  let g, eng, sg = setup () in
+  Alcotest.(check bool) "undeclared" true
+    (Rf_ops.dyn eng sg "zzz" = Rf_ops.Undeclared);
+  (* An ambiguous case: two unrelated bases declaring h. *)
+  let b = G.create_builder () in
+  ignore (G.add_class b "P" ~bases:[] ~members:[ G.member "h" ]);
+  ignore (G.add_class b "Q" ~bases:[] ~members:[ G.member "h" ]);
+  ignore
+    (G.add_class b "PQ"
+       ~bases:[ ("P", G.Non_virtual, G.Public); ("Q", G.Non_virtual, G.Public) ]
+       ~members:[]);
+  let g2 = G.freeze b in
+  let eng2 = Engine.build ~witnesses:true (Chg.Closure.compute g2) in
+  let sg2 = Sgraph.build g2 (G.find g2 "PQ") in
+  Alcotest.(check bool) "ambiguous" true
+    (Rf_ops.dyn eng2 sg2 "h" = Rf_ops.Ambiguous);
+  ignore g
+
+let test_requires_witnesses () =
+  let g = graph () in
+  let eng = Engine.build (Chg.Closure.compute g) in
+  let sg = Sgraph.build g (G.find g "top") in
+  Alcotest.check_raises "needs witnesses"
+    (Invalid_argument "Rf_ops: engine must be built with ~witnesses:true")
+    (fun () -> ignore (Rf_ops.dyn eng sg "f"))
+
+let suite =
+  [ Alcotest.test_case "dyn resolves to the final overrider" `Quick
+      test_dyn_override;
+    Alcotest.test_case "stat resolves in the subobject's context" `Quick
+      test_stat_through_subobject;
+    Alcotest.test_case "stat composition re-bases" `Quick
+      test_stat_composition_rebases;
+    Alcotest.test_case "undeclared and ambiguous" `Quick
+      test_undeclared_and_ambiguous;
+    Alcotest.test_case "requires witness engine" `Quick
+      test_requires_witnesses ]

@@ -1,0 +1,371 @@
+(* Tests for the mini runtime: layouts, stat/dyn staging, pointer
+   adjustment, shared virtual bases, static storage. *)
+
+module R = Runtime
+
+let run src =
+  let o = R.run_source src in
+  List.iter
+    (fun d ->
+      Alcotest.failf "runtime error: %s" (Frontend.Diagnostic.to_string d))
+    o.R.runtime_errors;
+  o.R.trace
+
+let run_expect_error src needle =
+  let o = R.run_source src in
+  let msgs =
+    List.map (fun (d : Frontend.Diagnostic.t) -> d.message) o.R.runtime_errors
+  in
+  let contains msg =
+    let rec go i =
+      i + String.length needle <= String.length msg
+      && (String.sub msg i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  if not (List.exists contains msgs) then
+    Alcotest.failf "expected runtime error containing %S, got: %s" needle
+      (String.concat " | " msgs)
+
+let writes trace =
+  List.filter_map
+    (function
+      | R.Write { target; subobject; value = R.Vint v; _ } ->
+        Some (target, subobject, v)
+      | _ -> None)
+    trace
+
+let dispatches trace =
+  List.filter_map
+    (function
+      | R.Dispatch { slot; impl; virtual_dispatch; _ } ->
+        Some (slot, impl, virtual_dispatch)
+      | _ -> None)
+    trace
+
+let test_fig9_write () =
+  (* The paper's Figure 9 program actually executed: the write lands in
+     the C subobject. *)
+  let trace =
+    run
+      "struct S { int m; };\n\
+       struct A : virtual S { int m; };\n\
+       struct B : virtual S { int m; };\n\
+       struct C : virtual A, virtual B { int m; };\n\
+       struct D : C {};\n\
+       struct E : virtual A, virtual B, D {};\n\
+       int main() { E e; e.m = 10; }\n"
+  in
+  Alcotest.(check (list (triple string string int)))
+    "write to C::m in the C-D-E subobject"
+    [ ("C::m", "C-D-E", 10) ]
+    (writes trace)
+
+let test_distinct_subobjects_distinct_memory () =
+  (* Figure 1: two A subobjects; writes through different paths must not
+     alias. *)
+  let trace =
+    run
+      "struct A { int m; };\n\
+       struct B : A {};\n\
+       struct C : B {};\n\
+       struct D : B { int dm; };\n\
+       struct E : C, D {};\n\
+       int main() {\n\
+       \  E e;\n\
+       \  C* pc;\n\
+       \  D* pd;\n\
+       \  pc = &e;\n\
+       \  pd = &e;\n\
+       \  pc->m = 1;\n\
+       \  pd->m = 2;\n\
+       \  pc->m;\n\
+       \  pd->m;\n\
+       }\n"
+  in
+  (* both writes retain their own value: reads see 1 then 2 *)
+  let reads =
+    List.filter_map
+      (function
+        | R.Read { value = R.Vint v; subobject; _ } -> Some (subobject, v)
+        | _ -> None)
+      trace
+  in
+  Alcotest.(check (list (pair string int)))
+    "distinct A subobjects hold distinct values"
+    [ ("A-B-C-E", 1); ("A-B-D-E", 2) ]
+    reads
+
+let test_shared_virtual_base_aliases () =
+  (* Figure 2-style: with virtual inheritance both paths reach the same
+     storage. *)
+  let trace =
+    run
+      "struct A { int m; };\n\
+       struct B : virtual A {};\n\
+       struct C : virtual A {};\n\
+       struct E : B, C {};\n\
+       int main() {\n\
+       \  E e;\n\
+       \  B* pb;\n\
+       \  C* pc;\n\
+       \  pb = &e;\n\
+       \  pc = &e;\n\
+       \  pb->m = 7;\n\
+       \  pc->m;\n\
+       }\n"
+  in
+  (match
+     List.filter_map
+       (function R.Read { value; _ } -> Some value | _ -> None)
+       trace
+   with
+  | [ R.Vint 7 ] -> ()
+  | other ->
+    Alcotest.failf "expected to read 7 through the other path, got %d reads"
+      (List.length other))
+
+let test_virtual_dispatch () =
+  (* dyn: a virtual call through a base pointer runs the override. *)
+  let trace =
+    run
+      "struct Base { virtual void f(); int x; };\n\
+       struct Derived : Base {\n\
+       \  virtual void f() { x = 42; }\n\
+       };\n\
+       int main() {\n\
+       \  Derived d;\n\
+       \  Base* p;\n\
+       \  p = &d;\n\
+       \  p->f();\n\
+       }\n"
+  in
+  Alcotest.(check (list (triple string string bool)))
+    "dispatched to Derived::f virtually"
+    [ ("f", "Derived", true) ]
+    (dispatches trace);
+  Alcotest.(check (list (triple string string int)))
+    "the body wrote through this"
+    [ ("Base::x", "Base-Derived", 42) ]
+    (writes trace)
+
+let test_qualified_call_is_non_virtual () =
+  (* X::f() suppresses the virtual dispatch — the stat operation. *)
+  let trace =
+    run
+      "struct Base { virtual void f(); int x; };\n\
+       struct Derived : Base {\n\
+       \  virtual void f() { x = 1; }\n\
+       \  void g() { Base::f(); }\n\
+       };\n\
+       int main() { Derived d; d.g(); }\n"
+  in
+  Alcotest.(check (list (triple string string bool)))
+    "g non-virtual (declared plain), then Base::f statically"
+    [ ("g", "Derived", false); ("f", "Base", false) ]
+    (dispatches trace)
+
+let test_pointer_adjustment () =
+  (* Assigning &derived to a second-base pointer adjusts the address. *)
+  let trace =
+    run
+      "struct L { int a; };\n\
+       struct R { int b; };\n\
+       struct D : L, R {};\n\
+       int main() {\n\
+       \  D d;\n\
+       \  R* pr;\n\
+       \  pr = &d;\n\
+       \  pr->b = 5;\n\
+       }\n"
+  in
+  Alcotest.(check (list (triple string string int)))
+    "write lands in the R subobject"
+    [ ("R::b", "R-D", 5) ]
+    (writes trace)
+
+let test_static_member_shared () =
+  (* A static member is one cell regardless of objects. *)
+  let trace =
+    run
+      "struct S { static int k; };\n\
+       struct A : S {};\n\
+       struct B : S {};\n\
+       struct C : A, B {};\n\
+       int main() {\n\
+       \  C c;\n\
+       \  c.k = 3;\n\
+       \  C::k;\n\
+       \  S s;\n\
+       \  s.k;\n\
+       }\n"
+  in
+  let static_events =
+    List.filter_map
+      (function
+        | R.Write { target; subobject = "<static>"; value = R.Vint v; _ } ->
+          Some (`W (target, v))
+        | R.Read _ -> None  (* static reads are not traced as reads *)
+        | _ -> None)
+      trace
+  in
+  Alcotest.(check bool) "one static write" true
+    (static_events = [ `W ("S::k", 3) ])
+
+let test_enumerator_value () =
+  let trace =
+    run
+      "struct Color { enum K { red, green, blue }; void f() { } };\n\
+       int main() { Color c; c.f(); }\n"
+  in
+  Alcotest.(check int) "alloc + dispatch" 2 (List.length trace)
+
+let test_uninitialized_deref () =
+  run_expect_error
+    "struct X { int a; };\n\
+     int main() { X* p; p->a = 1; }\n"
+    "uninitialized pointer"
+
+let test_ambiguous_conversion () =
+  run_expect_error
+    "struct A { int m; };\n\
+     struct B : A {};\n\
+     struct C : A {};\n\
+     struct D : B, C {};\n\
+     int main() { D d; A* pa; pa = &d; }\n"
+    "ambiguous"
+
+let test_embedded_member_rejected () =
+  run_expect_error
+    "struct Inner { int v; };\n\
+     struct Outer { Inner inner; void f() { } };\n\
+     int main() { Outer o; o.inner = 1; }\n"
+    "not modeled"
+
+let test_recursion_guard () =
+  run_expect_error
+    "struct X { void f() { f(); } };\n\
+     int main() { X x; x.f(); }\n"
+    "call depth exceeded"
+
+let test_chained_pointer_traversal () =
+  (* follow pointer members through a two-node list *)
+  let trace =
+    run
+      "struct Node { int v; Node* next; };\n\
+       int main() {\n\
+       \  Node a;\n\
+       \  Node b;\n\
+       \  a.next = &b;\n\
+       \  a.next->v = 9;\n\
+       \  b.v;\n\
+       }\n"
+  in
+  (* reads: the pointer-field read during traversal, then b.v *)
+  let int_reads =
+    List.filter_map
+      (function
+        | R.Read { obj; value = R.Vint v; _ } -> Some (obj, v)
+        | _ -> None)
+      trace
+  in
+  (match int_reads with
+  | [ (1, 9) ] -> ()
+  | _ -> Alcotest.fail "write through a.next must land in b");
+  Alcotest.(check int) "two allocations" 2
+    (List.length
+       (List.filter (function R.Alloc _ -> true | _ -> false) trace))
+
+let test_dispatch_through_deep_base () =
+  (* virtual dispatch works from a pointer to a grandparent subobject,
+     with this re-adjusted to the overrider's subobject *)
+  let trace =
+    run
+      "struct Root { virtual void go(); };\n\
+       struct Mid : Root { int mv; };\n\
+       struct Leaf : Mid {\n\
+       \  virtual void go() { mv = 3; }\n\
+       };\n\
+       int main() {\n\
+       \  Leaf l;\n\
+       \  Root* r;\n\
+       \  r = &l;\n\
+       \  r->go();\n\
+       }\n"
+  in
+  Alcotest.(check (list (triple string string bool)))
+    "dispatch from Root* to Leaf::go"
+    [ ("go", "Leaf", true) ]
+    (dispatches trace);
+  Alcotest.(check (list (triple string string int)))
+    "this re-adjusted: write hits Mid subobject"
+    [ ("Mid::mv", "Mid-Leaf", 3) ]
+    (writes trace)
+
+let test_methods_calling_methods () =
+  (* non-virtual call chain with this threading through *)
+  let trace =
+    run
+      "struct Counter {\n\
+       \  int n;\n\
+       \  void bump() { n = 1; }\n\
+       \  void twice() { bump(); bump(); }\n\
+       };\n\
+       int main() { Counter c; c.twice(); }\n"
+  in
+  Alcotest.(check int) "three dispatches" 3
+    (List.length (dispatches trace));
+  Alcotest.(check int) "two writes" 2 (List.length (writes trace))
+
+let test_write_to_int_var () =
+  (* plain int locals work and produce no member-write events *)
+  let trace = run "int main() { int i; i = 4; }" in
+  Alcotest.(check int) "no events" 0 (List.length trace)
+
+let test_virtual_base_write_via_two_derived () =
+  (* the fig2 shape through METHOD bodies: both mixins write the shared
+     virtual base *)
+  let trace =
+    run
+      "struct State { int s; };\n\
+       struct MixA : virtual State { void seta() { s = 1; } };\n\
+       struct MixB : virtual State { void setb() { s = 2; } };\n\
+       struct Both : MixA, MixB {};\n\
+       int main() { Both b; b.seta(); b.setb(); }\n"
+  in
+  Alcotest.(check (list (triple string string int)))
+    "both writes hit the one shared State"
+    [ ("State::s", "State", 1); ("State::s", "State", 2) ]
+    (writes trace)
+
+let suite =
+  [ Alcotest.test_case "figure 9 executes" `Quick test_fig9_write;
+    Alcotest.test_case "chained pointer traversal" `Quick
+      test_chained_pointer_traversal;
+    Alcotest.test_case "dispatch through a deep base pointer" `Quick
+      test_dispatch_through_deep_base;
+    Alcotest.test_case "methods calling methods" `Quick
+      test_methods_calling_methods;
+    Alcotest.test_case "int locals are eventless" `Quick
+      test_write_to_int_var;
+    Alcotest.test_case "virtual base written via two mixins" `Quick
+      test_virtual_base_write_via_two_derived;
+    Alcotest.test_case "distinct subobjects, distinct memory" `Quick
+      test_distinct_subobjects_distinct_memory;
+    Alcotest.test_case "shared virtual base aliases" `Quick
+      test_shared_virtual_base_aliases;
+    Alcotest.test_case "virtual dispatch (dyn)" `Quick test_virtual_dispatch;
+    Alcotest.test_case "qualified call is non-virtual (stat)" `Quick
+      test_qualified_call_is_non_virtual;
+    Alcotest.test_case "pointer adjustment to second base" `Quick
+      test_pointer_adjustment;
+    Alcotest.test_case "static member storage is shared" `Quick
+      test_static_member_shared;
+    Alcotest.test_case "enumerators don't allocate" `Quick
+      test_enumerator_value;
+    Alcotest.test_case "uninitialized deref" `Quick test_uninitialized_deref;
+    Alcotest.test_case "ambiguous base conversion" `Quick
+      test_ambiguous_conversion;
+    Alcotest.test_case "embedded members rejected" `Quick
+      test_embedded_member_rejected;
+    Alcotest.test_case "recursion guard" `Quick test_recursion_guard ]

@@ -1,0 +1,124 @@
+(* Tests for unqualified-name lookup through nested scopes (paper
+   Section 6). *)
+
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+
+(* A hierarchy with an unambiguous member `x`, an ambiguous member `amb`,
+   and a member `shadowed` to test scope ordering. *)
+let graph () =
+  let b = G.create_builder () in
+  ignore
+    (G.add_class b "Base" ~bases:[]
+       ~members:[ G.member "x"; G.member "shadowed" ]);
+  ignore (G.add_class b "L" ~bases:[] ~members:[ G.member "amb" ]);
+  ignore (G.add_class b "R" ~bases:[] ~members:[ G.member "amb" ]);
+  ignore
+    (G.add_class b "Derived"
+       ~bases:
+         [ ("Base", G.Non_virtual, G.Public); ("L", G.Non_virtual, G.Public);
+           ("R", G.Non_virtual, G.Public) ]
+       ~members:[]);
+  G.freeze b
+
+let setup () =
+  let g = graph () in
+  (g, Engine.build (Chg.Closure.compute g))
+
+let test_block_binding () =
+  let _g, eng = setup () in
+  let stack = [ Scopes.Block [ ("v", Scopes.Variable "int") ] ] in
+  Alcotest.(check bool) "found variable" true
+    (Scopes.lookup eng stack "v" = Scopes.Found (Scopes.Variable "int"));
+  Alcotest.(check bool) "unbound" true
+    (Scopes.lookup eng stack "w" = Scopes.Unbound)
+
+let test_inner_shadows_outer () =
+  let _g, eng = setup () in
+  let stack =
+    [ Scopes.Block [ ("v", Scopes.Variable "inner") ];
+      Scopes.Block [ ("v", Scopes.Variable "outer") ] ]
+  in
+  Alcotest.(check bool) "inner wins" true
+    (Scopes.lookup eng stack "v" = Scopes.Found (Scopes.Variable "inner"))
+
+let test_class_scope_member () =
+  let g, eng = setup () in
+  let d = G.find g "Derived" in
+  (* a member function body of Derived: block, then class scope, then
+     globals *)
+  let stack =
+    [ Scopes.Block [ ("local", Scopes.Variable "int") ];
+      Scopes.Class_scope d;
+      Scopes.Namespace ("std", [ ("x", Scopes.Function_decl) ]) ]
+  in
+  (match Scopes.lookup eng stack "x" with
+  | Scopes.Found_member { context; target } ->
+    Alcotest.(check string) "context" "Derived" (G.name g context);
+    Alcotest.(check string) "target" "Base" (G.name g target)
+  | other ->
+    Alcotest.failf "expected member, got %s"
+      (Format.asprintf "%a" (Scopes.pp_result g) other))
+
+let test_block_shadows_class_member () =
+  let g, eng = setup () in
+  let d = G.find g "Derived" in
+  let stack =
+    [ Scopes.Block [ ("shadowed", Scopes.Variable "double") ];
+      Scopes.Class_scope d ]
+  in
+  Alcotest.(check bool) "block wins over member" true
+    (Scopes.lookup eng stack "shadowed"
+    = Scopes.Found (Scopes.Variable "double"))
+
+let test_ambiguous_member_poisons () =
+  let g, eng = setup () in
+  let d = G.find g "Derived" in
+  (* an outer scope also binds "amb": the class scope's ambiguity must NOT
+     fall through to it *)
+  let stack =
+    [ Scopes.Class_scope d;
+      Scopes.Block [ ("amb", Scopes.Variable "int") ] ]
+  in
+  match Scopes.lookup eng stack "amb" with
+  | Scopes.Ambiguous_member c ->
+    Alcotest.(check string) "ambiguous in Derived" "Derived" (G.name g c)
+  | _ -> Alcotest.fail "ambiguity must stop the search"
+
+let test_class_scope_falls_through_when_absent () =
+  let g, eng = setup () in
+  let d = G.find g "Derived" in
+  let stack =
+    [ Scopes.Class_scope d;
+      Scopes.Namespace ("ns", [ ("free_fn", Scopes.Function_decl) ]) ]
+  in
+  Alcotest.(check bool) "falls through to namespace" true
+    (Scopes.lookup eng stack "free_fn" = Scopes.Found Scopes.Function_decl)
+
+let test_nested_class_scopes () =
+  let g, eng = setup () in
+  let base = G.find g "Base" in
+  let l = G.find g "L" in
+  (* innermost class scope L has amb unambiguously; Base is outer *)
+  let stack = [ Scopes.Class_scope l; Scopes.Class_scope base ] in
+  (match Scopes.lookup eng stack "amb" with
+  | Scopes.Found_member { target; _ } ->
+    Alcotest.(check string) "L::amb" "L" (G.name g target)
+  | _ -> Alcotest.fail "expected member");
+  match Scopes.lookup eng stack "x" with
+  | Scopes.Found_member { context; _ } ->
+    Alcotest.(check string) "outer class scope" "Base" (G.name g context)
+  | _ -> Alcotest.fail "expected member from outer class scope"
+
+let suite =
+  [ Alcotest.test_case "block binding" `Quick test_block_binding;
+    Alcotest.test_case "inner shadows outer" `Quick test_inner_shadows_outer;
+    Alcotest.test_case "class scope finds member" `Quick
+      test_class_scope_member;
+    Alcotest.test_case "block shadows class member" `Quick
+      test_block_shadows_class_member;
+    Alcotest.test_case "ambiguity stops the search" `Quick
+      test_ambiguous_member_poisons;
+    Alcotest.test_case "absent member falls through" `Quick
+      test_class_scope_falls_through_when_absent;
+    Alcotest.test_case "nested class scopes" `Quick test_nested_class_scopes ]

@@ -1,0 +1,185 @@
+(* Tests for the Rossie-Friedman subobject graph, including Theorem 1
+   (isomorphism with the ≈-classes of CHG paths). *)
+
+module G = Chg.Graph
+module Path = Subobject.Path
+module Sgraph = Subobject.Sgraph
+module Spec = Subobject.Spec
+
+let test_fig1_count () =
+  let g = Hiergen.Figures.fig1 () in
+  let sg = Sgraph.build g (G.find g "E") in
+  Alcotest.(check int) "7 subobjects" 7 (Sgraph.count sg)
+
+let test_fig2_count () =
+  let g = Hiergen.Figures.fig2 () in
+  let sg = Sgraph.build g (G.find g "E") in
+  Alcotest.(check int) "5 subobjects (shared virtual B and A)" 5
+    (Sgraph.count sg)
+
+let test_exponential_growth () =
+  (* Non-virtual diamond stacks double the number of A0 subobjects per
+     level; virtual ones share them. *)
+  let count kind levels =
+    let { Hiergen.Families.graph; probe; _ } =
+      Hiergen.Families.diamond_stack ~levels ~kind
+    in
+    let sg = Sgraph.build graph probe in
+    let a0 = G.find graph "A0" in
+    List.length
+      (List.filter (fun s -> Sgraph.ldc sg s = a0) (Sgraph.subobjects sg))
+  in
+  Alcotest.(check int) "nv levels=1: 2 copies" 2 (count G.Non_virtual 1);
+  Alcotest.(check int) "nv levels=4: 16 copies" 16 (count G.Non_virtual 4);
+  Alcotest.(check int) "nv levels=6: 64 copies" 64 (count G.Non_virtual 6);
+  Alcotest.(check int) "virtual levels=6: 1 copy" 1 (count G.Virtual 6)
+
+let test_theorem1_counts () =
+  (* Theorem 1: the subobject poset is isomorphic to the ≈-classes, so in
+     particular the counts agree for every class of every figure. *)
+  List.iter
+    (fun mk ->
+      let g = mk () in
+      G.iter_classes g (fun c ->
+          Alcotest.(check int)
+            (Printf.sprintf "count at %s" (G.name g c))
+            (Spec.subobject_count g c)
+            (Sgraph.count (Sgraph.build g c))))
+    [ Hiergen.Figures.fig1; Hiergen.Figures.fig2; Hiergen.Figures.fig3;
+      Hiergen.Figures.fig9 ]
+
+let test_theorem1_dominance () =
+  (* Dominance on ≈-classes = containment in the subobject graph. *)
+  let g = Hiergen.Figures.fig3 () in
+  let h = G.find g "H" in
+  let sg = Sgraph.build g h in
+  let paths = Path.all_to g h in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let by_paths = Path.dominates g a b in
+          let by_sgraph =
+            Sgraph.dominates sg (Sgraph.of_path sg a) (Sgraph.of_path sg b)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s vs %s" (Path.to_string g a)
+               (Path.to_string g b))
+            by_paths by_sgraph)
+        paths)
+    paths
+
+let test_of_path_a_path_roundtrip () =
+  let g = Hiergen.Figures.fig9 () in
+  let e = G.find g "E" in
+  let sg = Sgraph.build g e in
+  List.iter
+    (fun s ->
+      let p = Sgraph.a_path sg s in
+      Alcotest.(check bool) "representative path is in the graph" true
+        (Path.in_graph g p);
+      Alcotest.(check int) "roundtrip" (Sgraph.id_of s)
+        (Sgraph.id_of (Sgraph.of_path sg p)))
+    (Sgraph.subobjects sg)
+
+let test_contained_shapes () =
+  let g = Hiergen.Figures.fig2 () in
+  let sg = Sgraph.build g (G.find g "E") in
+  let root = Sgraph.complete_object sg in
+  Alcotest.(check string) "root ldc" "E" (G.name g (Sgraph.ldc sg root));
+  let kids = Sgraph.contained sg root in
+  Alcotest.(check (list string)) "children in decl order" [ "C"; "D" ]
+    (List.map (fun s -> G.name g (Sgraph.ldc sg s)) kids);
+  (* C's and D's virtual B children are the SAME subobject. *)
+  (match kids with
+  | [ c; d ] ->
+    let bc = Sgraph.contained sg c and bd = Sgraph.contained sg d in
+    (match (bc, bd) with
+    | [ b1 ], [ b2 ] ->
+      Alcotest.(check int) "shared virtual base" (Sgraph.id_of b1)
+        (Sgraph.id_of b2)
+    | _ -> Alcotest.fail "expected single B child")
+  | _ -> Alcotest.fail "expected two children");
+  Alcotest.(check bool) "root contains everything" true
+    (List.for_all (Sgraph.contains sg root) (Sgraph.subobjects sg))
+
+let test_defns_order () =
+  let g = Hiergen.Figures.fig9 () in
+  let sg = Sgraph.build g (G.find g "E") in
+  let names =
+    List.map (fun s -> G.name g (Sgraph.ldc sg s)) (Sgraph.defns sg "m")
+  in
+  (* BFS from E: level 1 discovers A, B, D (declaration order); level 2
+     discovers S (while processing A) then C (while processing D); all of
+     A B C S declare m, D does not. *)
+  Alcotest.(check (list string)) "BFS order of defns" [ "A"; "B"; "S"; "C" ]
+    names
+
+let test_polynomial_count () =
+  (* the closed-form count equals the materialized graph's size *)
+  List.iter
+    (fun mk ->
+      let g = mk () in
+      let cl = Chg.Closure.compute g in
+      G.iter_classes g (fun c ->
+          Alcotest.(check int)
+            (Printf.sprintf "count at %s" (G.name g c))
+            (Sgraph.count (Sgraph.build g c))
+            (Subobject.Count.subobjects cl c)))
+    [ Hiergen.Figures.fig1; Hiergen.Figures.fig2; Hiergen.Figures.fig3;
+      Hiergen.Figures.fig9 ]
+
+let test_count_exponential_without_building () =
+  (* 40 levels of non-virtual diamonds: 2^40 root subobjects, counted in
+     microseconds without building anything *)
+  let { Hiergen.Families.graph; probe; _ } =
+    Hiergen.Families.diamond_stack ~levels:40 ~kind:G.Non_virtual
+  in
+  let cl = Chg.Closure.compute graph in
+  let count = Subobject.Count.subobjects cl probe in
+  (* total = sum over levels of per-class counts; root alone contributes
+     2^40 *)
+  Alcotest.(check bool) "over 2^40" true (count > 1 lsl 40);
+  (* and with virtual edges everything is shared: #subobjects = #bases+1 *)
+  let { Hiergen.Families.graph = vg; probe = vp; _ } =
+    Hiergen.Families.diamond_stack ~levels:40 ~kind:G.Virtual
+  in
+  let vcl = Chg.Closure.compute vg in
+  Alcotest.(check int) "virtual: one subobject per class"
+    (Chg.Graph.num_classes vg)
+    (Subobject.Count.subobjects vcl vp)
+
+let test_count_saturates () =
+  let { Hiergen.Families.graph; probe; _ } =
+    Hiergen.Families.diamond_stack ~levels:100 ~kind:G.Non_virtual
+  in
+  let cl = Chg.Closure.compute graph in
+  Alcotest.(check int) "saturated, no overflow" max_int
+    (Subobject.Count.subobjects cl probe)
+
+let test_dot () =
+  let g = Hiergen.Figures.fig1 () in
+  let sg = Sgraph.build g (G.find g "E") in
+  let dot = Sgraph.to_dot sg in
+  Alcotest.(check bool) "nonempty digraph" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+
+let suite =
+  [ Alcotest.test_case "fig1 subobject count" `Quick test_fig1_count;
+    Alcotest.test_case "fig2 subobject count" `Quick test_fig2_count;
+    Alcotest.test_case "exponential vs shared growth" `Quick
+      test_exponential_growth;
+    Alcotest.test_case "theorem 1: counts agree" `Quick test_theorem1_counts;
+    Alcotest.test_case "theorem 1: dominance agrees" `Quick
+      test_theorem1_dominance;
+    Alcotest.test_case "of_path/a_path roundtrip" `Quick
+      test_of_path_a_path_roundtrip;
+    Alcotest.test_case "containment structure" `Quick test_contained_shapes;
+    Alcotest.test_case "defns in BFS order" `Quick test_defns_order;
+    Alcotest.test_case "polynomial count = materialized count" `Quick
+      test_polynomial_count;
+    Alcotest.test_case "counting without building" `Quick
+      test_count_exponential_without_building;
+    Alcotest.test_case "count saturates at max_int" `Quick
+      test_count_saturates;
+    Alcotest.test_case "dot export" `Quick test_dot ]

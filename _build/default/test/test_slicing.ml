@@ -1,0 +1,121 @@
+(* Tests for class hierarchy slicing: lookup preservation (the Tip et
+   al. guarantee) plus reduction statistics. *)
+
+module G = Chg.Graph
+module Spec = Subobject.Spec
+module Path = Subobject.Path
+
+(* Lookup verdicts must be preserved, with classes renamed through the
+   slice mapping. *)
+let check_preserved g (s : Slicing.t) (seed : Slicing.seed) =
+  let before = Spec.lookup g seed.sd_class seed.sd_member in
+  match (before, Slicing.to_sliced s seed.sd_class) with
+  | Spec.Undeclared, None ->
+    (* nothing was relevant to an undeclared lookup: the class itself may
+       be dropped *)
+    ()
+  | _, None -> Alcotest.fail "seed class dropped from its own slice"
+  | before, Some c' ->
+  let after = Spec.lookup s.sliced c' seed.sd_member in
+  (match (before, after) with
+  | Spec.Undeclared, Spec.Undeclared -> ()
+  | Spec.Resolved p, Spec.Resolved q ->
+    Alcotest.(check string) "same resolving class"
+      (G.name g (Path.ldc p))
+      (G.name s.sliced (Path.ldc q));
+    (* the witness subobject is the same, as named class lists *)
+    let names gg pth =
+      List.map (G.name gg) (Path.nodes (Path.fixed pth))
+    in
+    Alcotest.(check (list string)) "same subobject" (names g p)
+      (names s.sliced q)
+  | Spec.Ambiguous ps, Spec.Ambiguous qs ->
+    let keys gg l =
+      List.sort compare
+        (List.map
+           (fun p -> List.map (G.name gg) (Path.nodes (Path.fixed p)))
+           l)
+    in
+    Alcotest.(check bool) "same maximal subobjects" true
+      (keys g ps = keys s.sliced qs)
+  | _ -> Alcotest.fail "verdict kind changed under slicing")
+
+let all_seeds g =
+  List.concat_map
+    (fun c ->
+      List.map (fun m -> { Slicing.sd_class = c; sd_member = m })
+        (G.member_names g))
+    (G.classes g)
+
+let test_figures_preserved () =
+  List.iter
+    (fun mk ->
+      let g = mk () in
+      List.iter
+        (fun seed ->
+          let s = Slicing.slice g [ seed ] in
+          check_preserved g s seed)
+        (all_seeds g))
+    [ Hiergen.Figures.fig1; Hiergen.Figures.fig2; Hiergen.Figures.fig3;
+      Hiergen.Figures.fig9 ]
+
+let test_multi_seed_preserved () =
+  let g = Hiergen.Figures.fig3 () in
+  let seeds = all_seeds g in
+  let s = Slicing.slice g seeds in
+  List.iter (check_preserved g s) seeds
+
+let test_reduction () =
+  (* Slicing fig3 for lookup(B, foo) needs only A and B. *)
+  let g = Hiergen.Figures.fig3 () in
+  let s =
+    Slicing.slice g [ { Slicing.sd_class = G.find g "B"; sd_member = "foo" } ]
+  in
+  Alcotest.(check int) "two classes kept" 2 (G.num_classes s.sliced);
+  Alcotest.(check int) "dropped six" 6 s.dropped_classes;
+  Alcotest.(check bool) "A kept" true
+    (Slicing.to_sliced s (G.find g "A") <> None);
+  Alcotest.(check bool) "H dropped" true
+    (Slicing.to_sliced s (G.find g "H") = None)
+
+let test_irrelevant_members_dropped () =
+  (* bar declarations are irrelevant to a foo slice. *)
+  let g = Hiergen.Figures.fig3 () in
+  let s =
+    Slicing.slice g [ { Slicing.sd_class = G.find g "H"; sd_member = "foo" } ]
+  in
+  G.iter_classes s.sliced (fun c ->
+      List.iter
+        (fun (m : G.member) ->
+          Alcotest.(check string)
+            (Printf.sprintf "member %s in %s" m.m_name (G.name s.sliced c))
+            "foo" m.m_name)
+        (G.members s.sliced c))
+
+let test_mapping_roundtrip () =
+  let g = Hiergen.Figures.fig9 () in
+  let s =
+    Slicing.slice g [ { Slicing.sd_class = G.find g "E"; sd_member = "m" } ]
+  in
+  List.iter
+    (fun (orig, sliced) ->
+      Alcotest.(check int) "roundtrip" orig (Slicing.of_sliced s sliced);
+      Alcotest.(check string) "names preserved" (G.name g orig)
+        (G.name s.sliced sliced))
+    s.kept
+
+let test_empty_seed_list () =
+  let g = Hiergen.Figures.fig1 () in
+  let s = Slicing.slice g [] in
+  Alcotest.(check int) "nothing kept" 0 (G.num_classes s.sliced)
+
+let suite =
+  [ Alcotest.test_case "figures: every single-seed slice preserved" `Quick
+      test_figures_preserved;
+    Alcotest.test_case "multi-seed slice preserved" `Quick
+      test_multi_seed_preserved;
+    Alcotest.test_case "reduction statistics" `Quick test_reduction;
+    Alcotest.test_case "irrelevant members dropped" `Quick
+      test_irrelevant_members_dropped;
+    Alcotest.test_case "id mapping roundtrip" `Quick test_mapping_roundtrip;
+    Alcotest.test_case "empty seed list" `Quick test_empty_seed_list ]

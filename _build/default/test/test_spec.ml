@@ -1,0 +1,182 @@
+(* Tests for the executable specification (Definitions 7-11, 16-17)
+   against every concrete fact the paper states. *)
+
+module G = Chg.Graph
+module Path = Subobject.Path
+module Spec = Subobject.Spec
+
+let resolved_ldc g = function
+  | Spec.Resolved p -> Some (G.name g (Path.ldc p))
+  | Spec.Ambiguous _ | Spec.Undeclared -> None
+
+let check_resolved g v expect_ldc msg =
+  Alcotest.(check (option string)) msg (Some expect_ldc) (resolved_ldc g v)
+
+let check_ambiguous g v msg =
+  match v with
+  | Spec.Ambiguous _ -> ()
+  | other ->
+    Alcotest.failf "%s: expected ambiguous, got %a" msg
+      (Spec.pp_verdict g) other
+
+let test_fig1 () =
+  (* Non-virtual inheritance: p->m ambiguous at E. *)
+  let g = Hiergen.Figures.fig1 () in
+  let id = G.find g in
+  check_ambiguous g (Spec.lookup g (id "E") "m") "lookup(E,m)";
+  check_resolved g (Spec.lookup g (id "C") "m") "A" "lookup(C,m)";
+  check_resolved g (Spec.lookup g (id "D") "m") "D" "lookup(D,m)";
+  check_resolved g (Spec.lookup g (id "A") "m") "A" "lookup(A,m)";
+  Alcotest.(check bool) "undeclared" true
+    (Spec.lookup g (id "E") "nosuch" = Spec.Undeclared)
+
+let test_fig2 () =
+  (* Virtual inheritance: p->m unambiguous at E, resolves to D::m. *)
+  let g = Hiergen.Figures.fig2 () in
+  let id = G.find g in
+  check_resolved g (Spec.lookup g (id "E") "m") "D" "lookup(E,m)";
+  check_resolved g (Spec.lookup g (id "C") "m") "A" "lookup(C,m)"
+
+let test_fig1_vs_fig2_subobjects () =
+  (* "an E object has two subobjects of class A in the first case, but
+     only one subobject of class A in the second case" *)
+  let count_a g =
+    let e = G.find g "E" and a = G.find g "A" in
+    Path.all_to g e
+    |> List.filter (fun p -> Path.ldc p = a)
+    |> List.map Path.key
+    |> List.sort_uniq compare
+    |> List.length
+  in
+  Alcotest.(check int) "fig1: two A subobjects" 2
+    (count_a (Hiergen.Figures.fig1 ()));
+  Alcotest.(check int) "fig2: one A subobject" 1
+    (count_a (Hiergen.Figures.fig2 ()))
+
+let test_fig3_defns_foo () =
+  (* Defns(H, foo) = { {ABDFH, ABDGH}, {ACDFH, ACDGH}, {GH} } *)
+  let g = Hiergen.Figures.fig3 () in
+  let id = G.find g in
+  let reps = Spec.defns g (id "H") "foo" in
+  Alcotest.(check int) "three subobjects define foo" 3 (List.length reps);
+  let ldcs =
+    List.sort_uniq compare (List.map (fun p -> G.name g (Path.ldc p)) reps)
+  in
+  Alcotest.(check (list string)) "ldcs" [ "A"; "G" ] ldcs;
+  (* All paths: 2 classes of A-paths with 2 paths each + GH. *)
+  let all = Spec.defns_path g (id "H") "foo" in
+  Alcotest.(check int) "five defining paths" 5 (List.length all)
+
+let test_fig3_defns_bar () =
+  (* Defns(H, bar) = { {EFH}, {DFH, DGH}, {GH} } *)
+  let g = Hiergen.Figures.fig3 () in
+  let id = G.find g in
+  let reps = Spec.defns g (id "H") "bar" in
+  Alcotest.(check int) "three subobjects define bar" 3 (List.length reps);
+  let all = Spec.defns_path g (id "H") "bar" in
+  Alcotest.(check int) "four defining paths" 4 (List.length all)
+
+let test_fig3_lookups () =
+  (* lookup(H, foo) = {GH}; lookup(H, bar) = ⊥;
+     lookup(F, foo) and lookup(F, bar) ambiguous (Figures 4-5). *)
+  let g = Hiergen.Figures.fig3 () in
+  let id = G.find g in
+  (match Spec.lookup g (id "H") "foo" with
+  | Spec.Resolved p ->
+    Alcotest.(check string) "resolves to G" "G" (G.name g (Path.ldc p));
+    Alcotest.(check int) "via path GH" 1 (Path.edge_count p)
+  | other ->
+    Alcotest.failf "lookup(H,foo): expected resolved, got %a"
+      (Spec.pp_verdict g) other);
+  check_ambiguous g (Spec.lookup g (id "H") "bar") "lookup(H,bar)";
+  check_ambiguous g (Spec.lookup g (id "F") "foo") "lookup(F,foo)";
+  check_ambiguous g (Spec.lookup g (id "F") "bar") "lookup(F,bar)";
+  check_ambiguous g (Spec.lookup g (id "D") "foo") "lookup(D,foo)";
+  check_resolved g (Spec.lookup g (id "G") "foo") "G" "lookup(G,foo)";
+  check_resolved g (Spec.lookup g (id "B") "foo") "A" "lookup(B,foo)"
+
+let test_fig9 () =
+  (* The g++ counterexample is NOT ambiguous: resolves to C::m. *)
+  let g = Hiergen.Figures.fig9 () in
+  let id = G.find g in
+  check_resolved g (Spec.lookup g (id "E") "m") "C" "lookup(E,m)";
+  check_resolved g (Spec.lookup g (id "D") "m") "C" "lookup(D,m)";
+  check_resolved g (Spec.lookup g (id "C") "m") "C" "lookup(C,m)";
+  check_resolved g (Spec.lookup g (id "A") "m") "A" "lookup(A,m)"
+
+let static_example () =
+  (* S { static m }; A : S; B : S; C : A, B — Definition 17's case: both
+     maximal subobjects are S-subobjects and m is static. *)
+  let b = G.create_builder () in
+  ignore
+    (G.add_class b "S" ~bases:[] ~members:[ G.member ~static:true "m" ]);
+  ignore (G.add_class b "A" ~bases:[ ("S", G.Non_virtual, G.Public) ] ~members:[]);
+  ignore (G.add_class b "B" ~bases:[ ("S", G.Non_virtual, G.Public) ] ~members:[]);
+  ignore
+    (G.add_class b "C"
+       ~bases:
+         [ ("A", G.Non_virtual, G.Public); ("B", G.Non_virtual, G.Public) ]
+       ~members:[]);
+  G.freeze b
+
+let test_static_rule () =
+  let g = static_example () in
+  let c = G.find g "C" in
+  check_ambiguous g (Spec.lookup g c "m") "plain lookup stays ambiguous";
+  check_resolved g (Spec.lookup_static g c "m") "S" "static lookup resolves"
+
+let test_static_rule_negative () =
+  (* Same shape but a non-static member: the static rule must not fire. *)
+  let b = G.create_builder () in
+  ignore (G.add_class b "S" ~bases:[] ~members:[ G.member "m" ]);
+  ignore (G.add_class b "A" ~bases:[ ("S", G.Non_virtual, G.Public) ] ~members:[]);
+  ignore (G.add_class b "B" ~bases:[ ("S", G.Non_virtual, G.Public) ] ~members:[]);
+  ignore
+    (G.add_class b "C"
+       ~bases:
+         [ ("A", G.Non_virtual, G.Public); ("B", G.Non_virtual, G.Public) ]
+       ~members:[]);
+  let g = G.freeze b in
+  check_ambiguous g
+    (Spec.lookup_static g (G.find g "C") "m")
+    "non-static stays ambiguous"
+
+let test_static_rule_mixed_ldcs () =
+  (* Maximal subobjects with different ldcs: static rule must not fire
+     even if both members are static. *)
+  let b = G.create_builder () in
+  ignore (G.add_class b "S" ~bases:[] ~members:[ G.member ~static:true "m" ]);
+  ignore (G.add_class b "T" ~bases:[] ~members:[ G.member ~static:true "m" ]);
+  ignore
+    (G.add_class b "C"
+       ~bases:
+         [ ("S", G.Non_virtual, G.Public); ("T", G.Non_virtual, G.Public) ]
+       ~members:[]);
+  let g = G.freeze b in
+  check_ambiguous g
+    (Spec.lookup_static g (G.find g "C") "m")
+    "different ldcs stay ambiguous"
+
+let test_subobject_counts () =
+  let g1 = Hiergen.Figures.fig1 () in
+  Alcotest.(check int) "fig1 E has 7 subobjects" 7
+    (Spec.subobject_count g1 (G.find g1 "E"));
+  let g2 = Hiergen.Figures.fig2 () in
+  Alcotest.(check int) "fig2 E has 5 subobjects" 5
+    (Spec.subobject_count g2 (G.find g2 "E"))
+
+let suite =
+  [ Alcotest.test_case "figure 1 verdicts" `Quick test_fig1;
+    Alcotest.test_case "figure 2 verdicts" `Quick test_fig2;
+    Alcotest.test_case "figures 1 vs 2: A subobject count" `Quick
+      test_fig1_vs_fig2_subobjects;
+    Alcotest.test_case "figure 3: Defns(H,foo)" `Quick test_fig3_defns_foo;
+    Alcotest.test_case "figure 3: Defns(H,bar)" `Quick test_fig3_defns_bar;
+    Alcotest.test_case "figure 3: lookups" `Quick test_fig3_lookups;
+    Alcotest.test_case "figure 9: not ambiguous" `Quick test_fig9;
+    Alcotest.test_case "static rule resolves" `Quick test_static_rule;
+    Alcotest.test_case "static rule: non-static negative" `Quick
+      test_static_rule_negative;
+    Alcotest.test_case "static rule: mixed ldcs negative" `Quick
+      test_static_rule_mixed_ldcs;
+    Alcotest.test_case "subobject counts" `Quick test_subobject_counts ]

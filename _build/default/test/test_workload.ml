@@ -1,0 +1,65 @@
+(* Tests for query workloads and their engine/memo drivers. *)
+
+module G = Chg.Graph
+module W = Hiergen.Workload
+
+let graph () = Hiergen.Figures.fig3 ()
+
+let test_sparse_deterministic () =
+  let g = graph () in
+  let a = W.sparse g ~queries:50 ~classes:3 ~seed:9 in
+  let b = W.sparse g ~queries:50 ~classes:3 ~seed:9 in
+  Alcotest.(check bool) "same seed, same workload" true (a = b);
+  let c = W.sparse g ~queries:50 ~classes:3 ~seed:10 in
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  Alcotest.(check int) "length" 50 (List.length a)
+
+let test_sparse_locality () =
+  let g = graph () in
+  let ws = W.sparse g ~queries:200 ~classes:2 ~seed:1 in
+  let distinct =
+    List.sort_uniq compare (List.map (fun q -> q.W.q_class) ws)
+  in
+  Alcotest.(check bool) "at most 2 distinct classes" true
+    (List.length distinct <= 2)
+
+let test_exhaustive_shape () =
+  let g = graph () in
+  let ws = W.exhaustive g in
+  Alcotest.(check int) "classes x members" (8 * 2) (List.length ws)
+
+let test_drivers_agree () =
+  let g = graph () in
+  let cl = Chg.Closure.compute g in
+  let ws = W.exhaustive g in
+  let eng = Lookup_core.Engine.build cl in
+  let memo = Lookup_core.Memo.create cl in
+  Alcotest.(check int) "same resolved count" (W.run_engine eng ws)
+    (W.run_memo memo ws);
+  (* fig3: resolved lookups = all (class, member) pairs with a red
+     verdict: foo at A,B,C,G,H; bar at D,E,F?,G,H?...
+     count them from the engine directly *)
+  let expected =
+    List.length
+      (List.filter
+         (fun q ->
+           match Lookup_core.Engine.lookup eng q.W.q_class q.W.q_member with
+           | Some (Lookup_core.Engine.Red _) -> true
+           | _ -> false)
+         ws)
+  in
+  Alcotest.(check int) "checksum" expected (W.run_engine eng ws)
+
+let test_empty_graph () =
+  let g = G.freeze (G.create_builder ()) in
+  Alcotest.(check (list unit)) "no queries" []
+    (List.map (fun _ -> ()) (W.sparse g ~queries:10 ~classes:3 ~seed:0))
+
+let suite =
+  [ Alcotest.test_case "sparse is deterministic" `Quick
+      test_sparse_deterministic;
+    Alcotest.test_case "sparse has locality" `Quick test_sparse_locality;
+    Alcotest.test_case "exhaustive shape" `Quick test_exhaustive_shape;
+    Alcotest.test_case "memo and engine drivers agree" `Quick
+      test_drivers_agree;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph ]
