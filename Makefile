@@ -1,0 +1,24 @@
+.PHONY: all build test bench verify clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# CI entry point: full build, full test suite, then a smoke run of the
+# telemetry pipeline end to end (parse -> all three engines -> JSON).
+verify:
+	dune build @all
+	dune runtest
+	dune exec bin/cxxlookup.exe -- stats examples/fig9.cpp --stats-json \
+	  | grep -q '"schema": "cxxlookup-stats/1"'
+	@echo "verify: OK"
+
+clean:
+	dune clean

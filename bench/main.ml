@@ -5,6 +5,20 @@
 
    Run with: dune exec bench/main.exe *)
 
+(* Ops counts alongside timings for every sweep point, so perf can be
+   tracked across sessions in the paper's own unit operations. *)
+let write_metrics () =
+  let entries = List.rev !Scaling.bench_records in
+  let doc =
+    Telemetry.Json.Obj
+      [ ("schema", Telemetry.Json.String "cxxlookup-bench/1");
+        ("entries", Telemetry.Json.List entries) ]
+  in
+  Out_channel.with_open_text "BENCH_lookup.json" (fun oc ->
+      Telemetry.Json.output oc doc);
+  Format.printf "@.wrote BENCH_lookup.json (%d sweep points)@."
+    (List.length entries)
+
 let () =
   Format.printf "cxxlookup benchmark harness — ";
   Format.printf "A Member Lookup Algorithm for C++ (PLDI 1997)@.";
@@ -13,6 +27,7 @@ let () =
   Ablation.run ();
   Matchup.run ();
   Becha.run ();
+  write_metrics ();
   Format.printf "@.%s@."
     (if !Fig_tables.checks_failed = 0 then
        "All figure/experiment checks passed."

@@ -8,11 +8,40 @@
 
 module G = Chg.Graph
 module Engine = Lookup_core.Engine
+module Metrics = Lookup_core.Metrics
 module Families = Hiergen.Families
 
 let size g = G.num_classes g + G.num_edges g
 
 let header id title = Format.printf "@.---- %s: %s ----@." id title
+
+(* Per-point (timing, op-counts) records accumulated during the sweeps;
+   main.ml writes them to BENCH_lookup.json so future sessions get a
+   perf trajectory in terms of the paper's unit operations, not just
+   wall-clock. *)
+let bench_records : Telemetry.Json.t list ref = ref []
+
+let record ~experiment ~family ~n_plus_e ~time_ns counters =
+  bench_records :=
+    Telemetry.Json.Obj
+      [ ("experiment", Telemetry.Json.String experiment);
+        ("family", Telemetry.Json.String family);
+        ("n_plus_e", Telemetry.Json.Int n_plus_e);
+        ("time_ns_per_call", Telemetry.Json.Float time_ns);
+        ("counters", counters) ]
+    :: !bench_records
+
+(* One instrumented run alongside the timed (uninstrumented) loop: the
+   counters are deterministic, so a single pass suffices. *)
+let member_column_counters cl m =
+  let metrics = Metrics.create () in
+  ignore (Engine.build_member ~metrics cl m);
+  Metrics.counters_json metrics
+
+let full_table_counters cl =
+  let metrics = Metrics.create () in
+  ignore (Engine.build ~metrics cl);
+  Metrics.counters_json metrics
 
 (* C1: single-member column on unambiguous families: expect time/(N+E)
    roughly flat (the paper's O(|N|+|E|) common case). *)
@@ -26,6 +55,9 @@ let c1 () =
     let t =
       Timing.seconds_per_call (fun () -> Engine.build_member cl "m")
     in
+    record ~experiment:"C1" ~family:i.description ~n_plus_e:(size g)
+      ~time_ns:(t *. 1e9)
+      (member_column_counters cl "m");
     Format.printf "  %-34s %8d %a %10.2f@." i.description (size g)
       Timing.pp_time t
       (t *. 1e9 /. float_of_int (size g))
@@ -52,6 +84,9 @@ let c2 () =
     let g = i.graph in
     let cl = Chg.Closure.compute g in
     let t = Timing.seconds_per_call (fun () -> Engine.build_member cl "m") in
+    record ~experiment:"C2" ~family:i.description ~n_plus_e:(size g)
+      ~time_ns:(t *. 1e9)
+      (member_column_counters cl "m");
     Format.printf "  %-34s %8d %a %10.2f@." i.description (size g)
       Timing.pp_time t
       (t *. 1e9 /. float_of_int (size g))
@@ -121,6 +156,8 @@ let c4 () =
       let m = List.length (G.member_names g) in
       let cl = Chg.Closure.compute g in
       let t = Timing.seconds_per_call (fun () -> Engine.build cl) in
+      record ~experiment:"C4" ~family:i.description ~n_plus_e:(size g)
+        ~time_ns:(t *. 1e9) (full_table_counters cl);
       let denom = float_of_int ((m + n) * size g) in
       Format.printf "  %-34s %9d %a %12.4f@." i.description m Timing.pp_time
         t

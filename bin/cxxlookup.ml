@@ -9,10 +9,17 @@
      cxxlookup dot file.cpp --subobjects E
      cxxlookup layout file.cpp E
      cxxlookup vtable file.cpp E
-     cxxlookup slice file.cpp E::m D::n *)
+     cxxlookup slice file.cpp E::m D::n
+     cxxlookup stats file.cpp [--stats-json]   # hierarchy + op counters
+     cxxlookup stats file.cpp E m              # one member column
+     cxxlookup trace file.cpp E m [--json]     # Figure-8 replay *)
 
 module G = Chg.Graph
 module Engine = Lookup_core.Engine
+module Memo = Lookup_core.Memo
+module Incremental = Lookup_core.Incremental
+module Metrics = Lookup_core.Metrics
+module Tjson = Telemetry.Json
 
 let read_file path =
   if path = "-" then In_channel.input_all stdin
@@ -280,19 +287,195 @@ let count_cmd =
          "Print the number of subobjects of each class (closed form, no           exponential construction).")
     Term.(const run $ file_arg)
 
+(* -- telemetry-driven subcommands: stats & trace -------------------- *)
+
+let count_virtual_edges g =
+  List.fold_left
+    (fun acc c ->
+      List.fold_left
+        (fun acc (b : G.base) ->
+          match b.b_kind with G.Virtual -> acc + 1 | G.Non_virtual -> acc)
+        acc (G.bases g c))
+    0 (G.classes g)
+
+(* Run the three engines over the program with one metrics bag each, so
+   the costs are attributed per engine: the eager build (whole table, or
+   one member's column), a two-pass lazy-memo replay of every query (the
+   second pass is all cache hits), and a declaration-by-declaration
+   incremental replay. *)
+let run_instrumented g cl ~member =
+  let em = Metrics.create () in
+  let engine =
+    match member with
+    | Some m -> Engine.build_member ~metrics:em cl m
+    | None -> Engine.build ~metrics:em cl
+  in
+  let mm = Metrics.create () in
+  let memo = Memo.create ~metrics:mm cl in
+  let names = match member with Some m -> [ m ] | None -> G.member_names g in
+  for _pass = 1 to 2 do
+    G.iter_classes g (fun c ->
+        List.iter (fun m -> ignore (Memo.lookup memo c m)) names)
+  done;
+  let im = Metrics.create () in
+  let inc = Incremental.create ~metrics:im () in
+  G.iter_classes g (fun c ->
+      ignore
+        (Incremental.add_class inc (G.name g c)
+           ~bases:
+             (List.map
+                (fun (b : G.base) -> (G.name g b.b_class, b.b_kind, b.b_access))
+                (G.bases g c))
+           ~members:(G.members g c)));
+  (engine, em, memo, mm, im)
+
+let verdict_json g = function
+  | None -> Tjson.Null
+  | Some v -> Tjson.String (Format.asprintf "%a" (Engine.pp_verdict g) v)
+
 let stats_cmd =
-  let run file =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "stats-json" ]
+          ~doc:"Emit the telemetry report as JSON (cxxlookup-stats/1).")
+  in
+  let class_opt = Arg.(value & pos 1 (some string) None & info [] ~docv:"CLASS") in
+  let member_opt =
+    Arg.(value & pos 2 (some string) None & info [] ~docv:"MEMBER")
+  in
+  let run file cls member json =
+    (match (cls, member) with
+    | Some _, None ->
+      prerr_endline "error: stats takes FILE, or FILE CLASS MEMBER";
+      exit 1
+    | _ -> ());
     let r = load file in
-    let t = Analysis.run (Chg.Closure.compute r.graph) in
-    Format.printf "%a@." Analysis.pp_summary t;
-    G.iter_classes r.graph (fun c ->
-        Format.printf "%a@." (Analysis.pp_class t) (Analysis.report t c))
+    let g = r.graph in
+    let cl = Chg.Closure.compute g in
+    let engine, em, memo, mm, im = run_instrumented g cl ~member in
+    let query =
+      match (cls, member) with
+      | Some cls, Some m ->
+        let c = find_class g cls in
+        Some (cls, m, Engine.lookup engine c m)
+      | _ -> None
+    in
+    if json then
+      Tjson.output stdout
+        (Tjson.Obj
+           ([ ("schema", Tjson.String "cxxlookup-stats/1");
+              ("file", Tjson.String file);
+              ( "graph",
+                Tjson.Obj
+                  [ ("classes", Tjson.Int (G.num_classes g));
+                    ("edges", Tjson.Int (G.num_edges g));
+                    ("virtual_edges", Tjson.Int (count_virtual_edges g));
+                    ("members", Tjson.Int (List.length (G.member_names g)))
+                  ] );
+              ( "engine",
+                Tjson.Obj
+                  [ ( "mode",
+                      Tjson.String
+                        (match member with
+                        | Some m -> "member-column:" ^ m
+                        | None -> "full-table") );
+                    ("counters", Metrics.counters_json em);
+                    ("timers", Metrics.timers_json em) ] );
+              ( "memo",
+                Tjson.Obj
+                  [ ("counters", Metrics.counters_json mm);
+                    ("cached_entries", Tjson.Int (Memo.cached_entries memo))
+                  ] );
+              ("incremental",
+               Tjson.Obj [ ("counters", Metrics.counters_json im) ])
+            ]
+           @
+           match query with
+           | None -> []
+           | Some (cls, m, v) ->
+             [ ( "query",
+                 Tjson.Obj
+                   [ ("class", Tjson.String cls);
+                     ("member", Tjson.String m);
+                     ("verdict", verdict_json g v) ] ) ]))
+    else begin
+      let t = Analysis.run cl in
+      Format.printf "%a@." Analysis.pp_summary t;
+      G.iter_classes g (fun c ->
+          Format.printf "%a@." (Analysis.pp_class t) (Analysis.report t c));
+      Format.printf "@.== lookup telemetry ==@.";
+      Format.printf "eager engine (%s):@."
+        (match member with
+        | Some m -> "column of member '" ^ m ^ "'"
+        | None -> "full table");
+      Format.printf "%a" Metrics.pp_summary em;
+      Format.printf "lazy memo (two passes over every query):@.";
+      Format.printf "%a" Metrics.pp_summary mm;
+      Format.printf "  cached_entries         %d@." (Memo.cached_entries memo);
+      Format.printf "incremental replay (class by class):@.";
+      Format.printf "%a" Metrics.pp_summary im;
+      match query with
+      | None -> ()
+      | Some (cls, m, v) ->
+        (match v with
+        | None ->
+          Format.printf "lookup(%s, %s): no member in any subobject@." cls m
+        | Some v ->
+          Format.printf "lookup(%s, %s) = %a@." cls m (Engine.pp_verdict g) v)
+    end
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Per-class hierarchy analysis: depth, bases, subobject counts,           replicated bases, ambiguous members.")
-    Term.(const run $ file_arg)
+         "Hierarchy analysis plus lookup telemetry: the algorithm's unit \
+          operations (edge traversals, dominance probes, verdict colors, \
+          memo hits, incremental row costs) measured over all three \
+          engines.  With CLASS and MEMBER, instruments that single \
+          member's column.")
+    Term.(const run $ file_arg $ class_opt $ member_opt $ json_flag)
+
+let trace_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the event stream as JSON (cxxlookup-trace/1).")
+  in
+  let run file cls member json =
+    let r = load file in
+    let g = r.graph in
+    let c = find_class g cls in
+    let cl = Chg.Closure.compute g in
+    let m = Metrics.create ~trace:true () in
+    let eng = Engine.build_member ~metrics:m cl member in
+    let v = Engine.lookup eng c member in
+    if json then
+      Tjson.output stdout
+        (Tjson.Obj
+           [ ("schema", Tjson.String "cxxlookup-trace/1");
+             ("file", Tjson.String file);
+             ("class", Tjson.String cls);
+             ("member", Tjson.String member);
+             ("verdict", verdict_json g v);
+             ("events", Telemetry.Sink.to_json m.Metrics.sink) ])
+    else begin
+      Format.printf "%a" Telemetry.Sink.pp m.Metrics.sink;
+      match v with
+      | None ->
+        Format.printf "no member '%s' in any subobject of '%s'@." member cls
+      | Some v ->
+        Format.printf "lookup(%s, %s) = %a@." cls member
+          (Engine.pp_verdict g) v
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay the Figure-8 propagation for MEMBER as an event stream: \
+          classes visited in topological order, verdicts flowing across \
+          each inheritance edge, and the combine result per class.")
+    Term.(const run $ file_arg $ class_arg 1 $ member_arg 2 $ json_flag)
 
 let () =
   let doc = "C++ member lookup (Ramalingam & Srinivasan, PLDI 1997)" in
@@ -302,4 +485,4 @@ let () =
           (Cmd.info "cxxlookup" ~version:"1.0.0" ~doc)
           [ check_cmd; lookup_cmd; table_cmd; dot_cmd; layout_cmd; vtable_cmd;
             slice_cmd; export_cmd; import_cmd; run_cmd; audit_cmd; count_cmd;
-            stats_cmd ]))
+            stats_cmd; trace_cmd ]))

@@ -1,0 +1,9 @@
+// Figure 9 of the paper: the hierarchy g++ 2.7 resolved incorrectly.
+// lookup(E, m) is unambiguous and resolves to C::m.
+struct S  { int m; };
+struct A : virtual S { int m; };
+struct B : virtual S { int m; };
+struct C : virtual A, virtual B { int m; };
+struct D : C {};
+struct E : virtual A, virtual B, D {};
+int main() { E e; e.m = 10; }

@@ -16,6 +16,15 @@ type t = {
 
 let blue_union s1 s2 = List.sort_uniq lv_compare (List.rev_append s1 s2)
 
+let pp_verdict g ppf = function
+  | Red r -> Format.fprintf ppf "red %a" (pp_red g) r
+  | Blue s ->
+    Format.fprintf ppf "blue {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (pp_lv g))
+      s
+
 (* One combine step: the verdict for a class from its direct bases'
    verdicts, already pushed through their edges.
 
@@ -39,8 +48,20 @@ let blue_union s1 s2 = List.sort_uniq lv_compare (List.rev_append s1 s2)
    group is a singleton or m is static in L, and every blue abstraction
    is dominated by some maximal atom.  Otherwise Blue carries the lvs of
    the maximal atoms plus the undominated blues (dominated definitions
-   may be dropped by Corollary 1). *)
-let combine ~vbase ~is_static_at incoming =
+   may be dropped by Corollary 1).
+
+   Each dominates1/dominates_blue call is one Lemma-4 constant-time
+   probe; [metrics] counts them, along with the verdict colors and the
+   red→blue demotions that drive the worst case. *)
+let combine ?(metrics = Metrics.disabled) ~vbase ~is_static_at incoming =
+  let dom1 a b =
+    Metrics.bump metrics metrics.dominance_probes;
+    dominates1 vbase a b
+  in
+  let dom_blue lvs b =
+    Metrics.bump metrics metrics.dominance_probes;
+    dominates_blue vbase lvs b
+  in
   let atoms = ref [] in  (* (ldc, lv, witness) with (l, v<>Ω) deduped *)
   let blues = ref [] in
   List.iter
@@ -63,7 +84,7 @@ let combine ~vbase ~is_static_at incoming =
   let strictly_dominated (l, v, _) =
     List.exists
       (fun (l', v', _) ->
-        dominates1 vbase (l', v') (l, v) && not (dominates1 vbase (l, v) (l', v')))
+        dom1 (l', v') (l, v) && not (dom1 (l, v) (l', v')))
       atoms
   in
   let maximal = List.filter (fun a -> not (strictly_dominated a)) atoms in
@@ -77,31 +98,40 @@ let combine ~vbase ~is_static_at incoming =
         let lvs =
           List.sort_uniq lv_compare (List.map (fun (_, v, _) -> v) maximal)
         in
-        if List.for_all (dominates_blue vbase (l, lvs)) !blues then
+        if List.for_all (dom_blue (l, lvs)) !blues then
           Some ({ r_ldc = l; r_lvs = lvs }, w)
         else None
       end
   in
   match resolved with
-  | Some (r, w) -> (Red r, w)
+  | Some (r, w) ->
+    Metrics.bump metrics metrics.red_verdicts;
+    (Red r, w)
   | None ->
     let max_lvs = List.map (fun (_, v, _) -> v) maximal in
     let undominated_blues =
       List.filter
         (fun b ->
           not
-            (List.exists
-               (fun (l, v, _) -> dominates_blue vbase (l, [ v ]) b)
-               maximal))
+            (List.exists (fun (l, v, _) -> dom_blue (l, [ v ]) b) maximal))
         !blues
     in
+    Metrics.bump metrics metrics.blue_verdicts;
+    if
+      Metrics.enabled metrics
+      && List.exists (function Red _, _ -> true | _ -> false) incoming
+    then Metrics.bump metrics metrics.red_demotions;
     (Blue (blue_union max_lvs undominated_blues), None)
 
 let combine_incoming = combine
 
-let build_general ?(static_rule = true) ?(witnesses = false) cl ~only =
+let build_general ?(static_rule = true) ?(witnesses = false)
+    ?(metrics = Metrics.disabled) cl ~only =
+  Telemetry.Timer.span metrics.Metrics.build_timer @@ fun () ->
   let g = Chg.Closure.graph cl in
   let n = Chg.Graph.num_classes g in
+  let sink = metrics.Metrics.sink in
+  let tracing = Telemetry.Sink.enabled sink in
   (* Intern member names.  When [only] restricts to a single member, the
      universe is that one name. *)
   let member_ids = Hashtbl.create 64 in
@@ -115,13 +145,14 @@ let build_general ?(static_rule = true) ?(witnesses = false) cl ~only =
       rev_names := name :: !rev_names;
       id
   in
-  (match only with
-  | Some m -> ignore (intern m)
-  | None ->
-    Chg.Graph.iter_classes g (fun c ->
-        List.iter
-          (fun (mem : Chg.Graph.member) -> ignore (intern mem.m_name))
-          (Chg.Graph.members g c)));
+  Telemetry.Span.run metrics.Metrics.spans "intern" (fun () ->
+      match only with
+      | Some m -> ignore (intern m)
+      | None ->
+        Chg.Graph.iter_classes g (fun c ->
+            List.iter
+              (fun (mem : Chg.Graph.member) -> ignore (intern mem.m_name))
+              (Chg.Graph.members g c)));
   let num_members = Hashtbl.length member_ids in
   let member_names = Array.of_list (List.rev !rev_names) in
   let member_sets = Array.init n (fun _ -> Chg.Bitset.create num_members) in
@@ -140,9 +171,15 @@ let build_general ?(static_rule = true) ?(witnesses = false) cl ~only =
     | Some mem -> Chg.Graph.member_is_static_like mem
     | None -> false
   in
+  let class_str c = Telemetry.Event.Str (Chg.Graph.name g c) in
+  let verdict_str v =
+    Telemetry.Event.Str (Format.asprintf "%a" (pp_verdict g) v)
+  in
   (* Class ids are topological (bases before derived): one increasing
      pass implements the paper's traversal. *)
+  Telemetry.Span.run metrics.Metrics.spans "propagate" @@ fun () ->
   for c = 0 to n - 1 do
+    Metrics.bump metrics metrics.Metrics.classes_visited;
     (* Members[C] := M[C] ∪ (∪_X Members[X])   (Figure 8 lines [7]-[9]) *)
     List.iter
       (fun (mem : Chg.Graph.member) ->
@@ -155,12 +192,25 @@ let build_general ?(static_rule = true) ?(witnesses = false) cl ~only =
           (Chg.Bitset.union_into ~into:member_sets.(c)
              member_sets.(b.b_class)))
       (Chg.Graph.bases g c);
+    if tracing then
+      Telemetry.Sink.emit sink "visit"
+        [ ("class", class_str c);
+          ("id", Telemetry.Event.Int c);
+          ("members",
+           Telemetry.Event.Int (Chg.Bitset.cardinal member_sets.(c))) ];
     Chg.Bitset.iter
       (fun mid ->
+        Metrics.bump metrics metrics.Metrics.members_processed;
         let name = member_names.(mid) in
         if Chg.Graph.declares g c name then begin
           (* Lines [11]-[12]: a generated definition kills everything. *)
           table.(c).(mid) <- Verdict (Red { r_ldc = c; r_lvs = [ Omega ] });
+          Metrics.bump metrics metrics.Metrics.declared_kills;
+          Metrics.bump metrics metrics.Metrics.red_verdicts;
+          if tracing then
+            Telemetry.Sink.emit sink "declare"
+              [ ("class", class_str c);
+                ("member", Telemetry.Event.Str name) ];
           if witnesses then
             witness_table.(c).(mid) <- Some (Subobject.Path.trivial c)
         end
@@ -169,39 +219,70 @@ let build_general ?(static_rule = true) ?(witnesses = false) cl ~only =
             List.concat_map
               (fun (b : Chg.Graph.base) ->
                 let x = b.b_class in
+                Metrics.bump metrics metrics.Metrics.edge_traversals;
                 if not (Chg.Bitset.mem member_sets.(x) mid) then []
-                else
-                  match table.(x).(mid) with
-                  | Absent -> []
-                  | Verdict (Red r) ->
-                    let w =
-                      if witnesses then
-                        Option.map
-                          (fun p -> Subobject.Path.extend p b.b_kind c)
-                          witness_table.(x).(mid)
-                      else None
-                    in
-                    [ (Red (extend_red r x b.b_kind), w) ]
-                  | Verdict (Blue s) ->
-                    [ (Blue (List.map (fun v -> o v x b.b_kind) s), None) ])
+                else begin
+                  let contribution =
+                    match table.(x).(mid) with
+                    | Absent -> []
+                    | Verdict (Red r) ->
+                      Metrics.bump_n metrics metrics.Metrics.o_extensions
+                        (List.length r.r_lvs);
+                      let w =
+                        if witnesses then
+                          Option.map
+                            (fun p -> Subobject.Path.extend p b.b_kind c)
+                            witness_table.(x).(mid)
+                        else None
+                      in
+                      [ (Red (extend_red r x b.b_kind), w) ]
+                    | Verdict (Blue s) ->
+                      Metrics.bump_n metrics metrics.Metrics.o_extensions
+                        (List.length s);
+                      [ (Blue (List.map (fun v -> o v x b.b_kind) s), None) ]
+                  in
+                  (if tracing then
+                     match contribution with
+                     | [] -> ()
+                     | (v, _) :: _ ->
+                       Telemetry.Sink.emit sink "flow"
+                         [ ("from", class_str x);
+                           ("to", class_str c);
+                           ("via",
+                            Telemetry.Event.Str
+                              (match b.b_kind with
+                              | Chg.Graph.Virtual -> "virtual"
+                              | Chg.Graph.Non_virtual -> "non-virtual"));
+                           ("member", Telemetry.Event.Str name);
+                           ("verdict", verdict_str v) ]);
+                  contribution
+                end)
               (Chg.Graph.bases g c)
           in
           let v, w =
-            combine ~vbase:(Chg.Closure.is_virtual_base cl)
+            combine ~metrics ~vbase:(Chg.Closure.is_virtual_base cl)
               ~is_static_at:(is_static_at mid) incoming
           in
           table.(c).(mid) <- Verdict v;
+          if tracing then
+            Telemetry.Sink.emit sink "verdict"
+              [ ("class", class_str c);
+                ("member", Telemetry.Event.Str name);
+                ("color",
+                 Telemetry.Event.Str
+                   (match v with Red _ -> "red" | Blue _ -> "blue"));
+                ("verdict", verdict_str v) ];
           if witnesses then witness_table.(c).(mid) <- w
         end)
       member_sets.(c)
   done;
   { g; cl; member_ids; member_names; table; witness_table; member_sets }
 
-let build ?static_rule ?witnesses cl =
-  build_general ?static_rule ?witnesses cl ~only:None
+let build ?static_rule ?witnesses ?metrics cl =
+  build_general ?static_rule ?witnesses ?metrics cl ~only:None
 
-let build_member ?static_rule ?witnesses cl m =
-  build_general ?static_rule ?witnesses cl ~only:(Some m)
+let build_member ?static_rule ?witnesses ?metrics cl m =
+  build_general ?static_rule ?witnesses ?metrics cl ~only:(Some m)
 
 let lookup t c m =
   match Hashtbl.find_opt t.member_ids m with
@@ -243,12 +324,3 @@ let agrees_with_spec t ~spec_verdict c m =
     r.r_ldc = l && List.exists (lv_equal spec_lv) r.r_lvs
   | Some (Blue _), Subobject.Spec.Ambiguous _ -> true
   | _ -> false
-
-let pp_verdict g ppf = function
-  | Red r -> Format.fprintf ppf "red %a" (pp_red g) r
-  | Blue s ->
-    Format.fprintf ppf "blue {%a}"
-      (Format.pp_print_list
-         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
-         (pp_lv g))
-      s

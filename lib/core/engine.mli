@@ -42,14 +42,27 @@ type t
     verdict, a full CHG definition path (the paper's
     [(ldc, leastVirtual, path)] triple) — compilers want the path to
     generate code; it does not change the complexity since at most one red
-    definition crosses each edge. *)
-val build : ?static_rule:bool -> ?witnesses:bool -> Chg.Closure.t -> t
+    definition crosses each edge.
 
-(** [build_member ?static_rule ?witnesses cl m] runs the algorithm for the
-    single member name [m] — the per-member column, in
-    [O(|N| + |E|)] when no lookup of [m] is ambiguous. *)
+    [metrics] (default {!Metrics.disabled}) counts the pass's unit
+    operations — edge traversals, [o]-extensions, Lemma-4 dominance
+    probes, verdict colors — times the build, and (when the bag was
+    created with [~trace:true]) records the Figure-8 propagation as a
+    replayable event stream: [visit] per class in topological order,
+    [declare] for lines [11]-[12] kills, [flow] per verdict pushed
+    through an edge, [verdict] per combine result. *)
+val build :
+  ?static_rule:bool -> ?witnesses:bool -> ?metrics:Metrics.t ->
+  Chg.Closure.t -> t
+
+(** [build_member ?static_rule ?witnesses ?metrics cl m] runs the
+    algorithm for the single member name [m] — the per-member column, in
+    [O(|N| + |E|)] when no lookup of [m] is ambiguous.  With [metrics],
+    [edge_traversals] counts exactly the units of that bound (the
+    telemetry property tests assert it). *)
 val build_member :
-  ?static_rule:bool -> ?witnesses:bool -> Chg.Closure.t -> string -> t
+  ?static_rule:bool -> ?witnesses:bool -> ?metrics:Metrics.t ->
+  Chg.Closure.t -> string -> t
 
 (** [lookup t c m] is the verdict for member [m] in class [c], or [None]
     when no subobject of [c] contains a member [m] (or [t] was built for a
@@ -92,8 +105,11 @@ val pp_verdict : Chg.Graph.t -> Format.formatter -> verdict -> unit
     whose direct-base verdicts have already been pushed through their
     edges.  [is_static_at l] decides whether the member under lookup is a
     static member of class [l] (constantly [false] disables the Section 6
-    extension).  Shared with {!Memo}; not part of the stable API. *)
+    extension).  [metrics] counts dominance probes, verdict colors and
+    red→blue demotions.  Shared with {!Memo} and {!Incremental}; not part
+    of the stable API. *)
 val combine_incoming :
+  ?metrics:Metrics.t ->
   vbase:Abstraction.vbase ->
   is_static_at:(Chg.Graph.class_id -> bool) ->
   (verdict * Subobject.Path.t option) list ->

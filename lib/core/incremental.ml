@@ -15,15 +15,17 @@ type t = {
   mutable count : int;
   ids : (string, int) Hashtbl.t;
   mutable capacity : int;
+  metrics : Metrics.t;
 }
 
-let create ?(static_rule = true) () =
+let create ?(static_rule = true) ?(metrics = Metrics.disabled) () =
   { static_rule;
     builder = Chg.Graph.create_builder ();
     rows = [||];
     count = 0;
     ids = Hashtbl.create 16;
-    capacity = 0 }
+    capacity = 0;
+    metrics }
 
 let num_classes t = t.count
 let find t name = Hashtbl.find t.ids name
@@ -100,20 +102,32 @@ let add_class t name ~bases ~members =
         (row t b).r_verdicts)
     resolved_bases;
   let vbase = is_virtual_base t in
+  Metrics.bump t.metrics t.metrics.Metrics.incr_rows;
+  Metrics.bump_n t.metrics t.metrics.Metrics.incr_closure_bits
+    (Chg.Bitset.cardinal bases_set + Chg.Bitset.cardinal vbases);
   Hashtbl.iter
     (fun mname () ->
+      Metrics.bump t.metrics t.metrics.Metrics.incr_row_members;
       let verdict =
-        if Hashtbl.mem member_tbl mname then
+        if Hashtbl.mem member_tbl mname then begin
+          Metrics.bump t.metrics t.metrics.Metrics.declared_kills;
+          Metrics.bump t.metrics t.metrics.Metrics.red_verdicts;
           Engine.Red { r_ldc = id; r_lvs = [ Omega ] }
+        end
         else begin
           let incoming =
             List.filter_map
               (fun (x, kind) ->
+                Metrics.bump t.metrics t.metrics.Metrics.edge_traversals;
                 match Hashtbl.find_opt (row t x).r_verdicts mname with
                 | None -> None
                 | Some (Engine.Red r) ->
+                  Metrics.bump_n t.metrics t.metrics.Metrics.o_extensions
+                    (List.length r.r_lvs);
                   Some (Engine.Red (extend_red r x kind), None)
                 | Some (Engine.Blue s) ->
+                  Metrics.bump_n t.metrics t.metrics.Metrics.o_extensions
+                    (List.length s);
                   Some (Engine.Blue (List.map (fun v -> o v x kind) s), None))
               resolved_bases
           in
@@ -126,7 +140,10 @@ let add_class t name ~bases ~members =
             | Some mem -> Chg.Graph.member_is_static_like mem
             | None -> false
           in
-          let v, _ = Engine.combine_incoming ~vbase ~is_static_at incoming in
+          let v, _ =
+            Engine.combine_incoming ~metrics:t.metrics ~vbase ~is_static_at
+              incoming
+          in
           v
         end
       in

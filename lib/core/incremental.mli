@@ -13,8 +13,14 @@
 
 type t
 
-(** [create ?static_rule ()] is an empty hierarchy. *)
-val create : ?static_rule:bool -> unit -> t
+(** [create ?static_rule ?metrics ()] is an empty hierarchy.
+
+    [metrics] (default {!Metrics.disabled}) counts per-row cost
+    ([incr_rows] / [incr_row_members]: verdicts computed for each added
+    class) and closure growth ([incr_closure_bits]: bits in the new
+    row's bases and virtual-bases sets), plus the shared propagation
+    units of each row's combines. *)
+val create : ?static_rule:bool -> ?metrics:Metrics.t -> unit -> t
 
 (** [add_class t name ~bases ~members] declares a class (bases must
     already be declared, as in C++) and computes its lookup-table row.

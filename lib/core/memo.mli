@@ -11,8 +11,14 @@
 
 type t
 
-(** [create ?static_rule cl] prepares an empty cache over [cl]. *)
-val create : ?static_rule:bool -> Chg.Closure.t -> t
+(** [create ?static_rule ?metrics cl] prepares an empty cache over [cl].
+
+    [metrics] (default {!Metrics.disabled}) counts cache consults
+    ([memo_hits] / [memo_misses]), fills triggered from inside another
+    fill ([memo_recursive_fills]: the base-class recursion, as opposed to
+    root queries), and the shared propagation units (edge traversals,
+    [o]-extensions, dominance probes) of each fill. *)
+val create : ?static_rule:bool -> ?metrics:Metrics.t -> Chg.Closure.t -> t
 
 (** [lookup t c m] resolves member [m] in class [c], computing and caching
     any base-class entries it needs.  Verdicts are identical to

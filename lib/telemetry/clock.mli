@@ -1,0 +1,15 @@
+(** Timestamps for the telemetry layer.
+
+    [now_ns] is the best clock the sealed container offers:
+    [Unix.gettimeofday] scaled to integer nanoseconds.  It is wall-clock
+    rather than truly monotonic, but all telemetry consumers only ever
+    subtract nearby samples taken inside one process run, where the
+    distinction is immaterial; a dedicated monotonic source can be
+    dropped in here without touching any caller. *)
+
+(** [now_ns ()] is the current time in integer nanoseconds. *)
+val now_ns : unit -> int
+
+(** [elapsed_ns ~since] is [now_ns () - since], clamped to [>= 0] so a
+    stepping wall clock can never produce negative durations. *)
+val elapsed_ns : since:int -> int

@@ -1,0 +1,9 @@
+type t = { name : string; mutable value : int }
+
+let make name = { name; value = 0 }
+let name t = t.name
+let value t = t.value
+let incr t = t.value <- t.value + 1
+let add t n = t.value <- t.value + n
+let reset t = t.value <- 0
+let pp ppf t = Format.fprintf ppf "%s=%d" t.name t.value

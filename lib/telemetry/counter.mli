@@ -1,0 +1,27 @@
+(** Named monotonic operation counters.
+
+    A counter is a bare mutable int behind a name: incrementing one is a
+    single store, cheap enough to sit on the hot paths of the lookup
+    engines.  Zero-cost-when-disabled is the {e caller's} contract — the
+    engines guard every bump with their metrics bag's [enabled] flag so a
+    disabled run never touches a counter at all. *)
+
+type t
+
+(** [make name] is a fresh counter at zero.  [name] is the stable key
+    used in pretty and JSON output (snake_case by convention). *)
+val make : string -> t
+
+val name : t -> string
+val value : t -> int
+
+(** [incr t] adds one. *)
+val incr : t -> unit
+
+(** [add t n] adds [n] ([n >= 0]). *)
+val add : t -> int -> unit
+
+val reset : t -> unit
+
+(** [pp] prints as [name=value]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type t = {
+  seq : int;
+  at_ns : int;
+  name : string;
+  fields : (string * value) list;
+}
+
+let field_opt ev k = List.assoc_opt k ev.fields
+
+let pp_value ppf = function
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.pp_print_string ppf s
+
+let pp ppf ev =
+  Format.fprintf ppf "[%d] %-8s" ev.seq ev.name;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v)
+    ev.fields
+
+let value_to_json = function
+  | Bool b -> Json.Bool b
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.String s
+
+let to_json ev =
+  Json.Obj
+    ([ ("seq", Json.Int ev.seq);
+       ("at_ns", Json.Int ev.at_ns);
+       ("event", Json.String ev.name) ]
+    @ List.map (fun (k, v) -> (k, value_to_json v)) ev.fields)

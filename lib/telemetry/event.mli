@@ -1,0 +1,25 @@
+(** Structured telemetry events.
+
+    An event is a name plus a flat list of typed fields, stamped with a
+    sequence number and a timestamp relative to its sink's creation.
+    Pretty output deliberately omits the timestamp so that trace streams
+    are byte-for-byte reproducible (the cram tests rely on this); JSON
+    output carries it. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type t = {
+  seq : int;  (** 0-based position in the sink's stream *)
+  at_ns : int;  (** nanoseconds since the sink was created *)
+  name : string;
+  fields : (string * value) list;
+}
+
+(** [field_opt ev k] is the value of field [k], if present. *)
+val field_opt : t -> string -> value option
+
+(** [pp] prints as [[seq] name key=value key=value] — no timestamp. *)
+val pp : Format.formatter -> t -> unit
+
+val value_to_json : value -> Json.t
+val to_json : t -> Json.t

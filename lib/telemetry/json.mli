@@ -1,0 +1,23 @@
+(** A write-only JSON representation for telemetry output.
+
+    Unlike {!Chg.Json} (which round-trips hierarchies and deliberately
+    rejects floats), telemetry output carries timings, so floats are
+    supported here and parsing is not: metrics files are consumed by
+    external tooling, never read back by this library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string ?pretty j] serializes.  [pretty] (default false) adds
+    newlines and two-space indentation.  Floats print with up to six
+    significant decimals; non-finite floats degrade to [null]. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** [output oc j] writes [to_string ~pretty:true j] plus a final newline. *)
+val output : out_channel -> t -> unit

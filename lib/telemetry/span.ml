@@ -1,0 +1,18 @@
+type t = { sink : Sink.t; mutable depth : int }
+
+let make sink = { sink; depth = 0 }
+let depth t = t.depth
+
+let run t name f =
+  if not (Sink.enabled t.sink) then f ()
+  else begin
+    Sink.emit t.sink "span_begin"
+      [ ("span", Event.Str name); ("depth", Event.Int t.depth) ];
+    t.depth <- t.depth + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        t.depth <- t.depth - 1;
+        Sink.emit t.sink "span_end"
+          [ ("span", Event.Str name); ("depth", Event.Int t.depth) ])
+      f
+  end

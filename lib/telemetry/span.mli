@@ -1,0 +1,21 @@
+(** Span-based phase tracking over a {!Sink}.
+
+    A span context brackets named phases as [span_begin]/[span_end]
+    event pairs, tracking nesting depth so a consumer can rebuild the
+    phase tree.  The events deliberately carry no duration field — the
+    pretty stream must stay byte-for-byte deterministic; durations are
+    recoverable from the [at_ns] stamps in JSON output, and phase
+    {e totals} belong to {!Timer}s. *)
+
+type t
+
+(** [make sink] is a span context at depth 0.  With a disabled sink every
+    operation is a no-op. *)
+val make : Sink.t -> t
+
+(** [depth t] is the current nesting depth. *)
+val depth : t -> int
+
+(** [run t name f] emits [span_begin name], runs [f], and emits
+    [span_end name] (also on exceptions). *)
+val run : t -> string -> (unit -> 'a) -> 'a

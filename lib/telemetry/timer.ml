@@ -1,0 +1,41 @@
+type t = {
+  name : string;
+  mutable total_ns : int;
+  mutable count : int;
+  mutable started : int option;  (* Clock.now_ns at start, when running *)
+}
+
+let make name = { name; total_ns = 0; count = 0; started = None }
+let name t = t.name
+let start t = t.started <- Some (Clock.now_ns ())
+
+let stop t =
+  match t.started with
+  | None -> ()
+  | Some since ->
+    t.total_ns <- t.total_ns + Clock.elapsed_ns ~since;
+    t.count <- t.count + 1;
+    t.started <- None
+
+let span t f =
+  start t;
+  Fun.protect ~finally:(fun () -> stop t) f
+
+let total_ns t = t.total_ns
+let count t = t.count
+
+let reset t =
+  t.total_ns <- 0;
+  t.count <- 0;
+  t.started <- None
+
+let pp_ns ppf ns =
+  let f = float_of_int ns in
+  if ns < 1_000 then Format.fprintf ppf "%d ns" ns
+  else if ns < 1_000_000 then Format.fprintf ppf "%.2f us" (f /. 1e3)
+  else if ns < 1_000_000_000 then Format.fprintf ppf "%.2f ms" (f /. 1e6)
+  else Format.fprintf ppf "%.2f s" (f /. 1e9)
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %a over %d span%s" t.name pp_ns t.total_ns t.count
+    (if t.count = 1 then "" else "s")

@@ -1,0 +1,38 @@
+(** Accumulating phase timers.
+
+    A timer accumulates total duration and span count across repeated
+    [start]/[stop] (or bracketed {!span}) uses, so one timer can cover a
+    phase that runs many times — e.g. every [Engine.build_member] call of
+    a benchmark sweep. *)
+
+type t
+
+val make : string -> t
+
+val name : t -> string
+
+(** [start t] begins a span.  Starting an already-running timer restarts
+    the current span (the previous partial span is discarded). *)
+val start : t -> unit
+
+(** [stop t] ends the current span, folding its duration into the total.
+    A no-op if the timer is not running. *)
+val stop : t -> unit
+
+(** [span t f] brackets [f ()] between [start]/[stop]; the stop happens
+    even if [f] raises. *)
+val span : t -> (unit -> 'a) -> 'a
+
+(** [total_ns t] is the accumulated nanoseconds over all finished spans. *)
+val total_ns : t -> int
+
+(** [count t] is the number of finished spans. *)
+val count : t -> int
+
+val reset : t -> unit
+
+(** [pp] prints as [name: 1.23 ms over 4 spans]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [pp_ns] prints a raw nanosecond count with a readable unit. *)
+val pp_ns : Format.formatter -> int -> unit

@@ -123,6 +123,85 @@ Hierarchy statistics.
   4 classes, max depth 2, 0 with replicated bases, 0 ambiguous (class, member) pairs
   ios: depth 0, 0 direct / 0 total bases (0 virtual), 1 subobjects
 
+Lookup telemetry: the algorithm's unit operations, measured per engine
+(the timer line is elided — wall-clock is not reproducible).
+
+  $ cxxlookup stats fig9.cpp | sed -n '/== lookup telemetry ==/,$p' | grep -v 'build:'
+  == lookup telemetry ==
+  eager engine (full table):
+    classes_visited        6
+    members_processed      6
+    edge_traversals        4
+    o_extensions           4
+    dominance_probes       14
+    declared_kills         4
+    red_verdicts           6
+  lazy memo (two passes over every query):
+    edge_traversals        4
+    o_extensions           4
+    dominance_probes       14
+    declared_kills         4
+    red_verdicts           6
+    memo_hits              10
+    memo_misses            6
+    cached_entries         6
+  incremental replay (class by class):
+    edge_traversals        4
+    o_extensions           4
+    dominance_probes       14
+    declared_kills         4
+    red_verdicts           6
+    incr_rows              6
+    incr_row_members       6
+    incr_closure_bits      25
+
+Restricting stats to one member's column also reports that lookup.
+
+  $ cxxlookup stats fig9.cpp E m | tail -1
+  lookup(E, m) = red (C, Ω)
+
+The machine-readable report (cxxlookup-stats/1) carries the same
+counters; spot-check the eager engine's propagation units.
+
+  $ cxxlookup stats fig9.cpp --stats-json | sed -n '/"engine"/,/"memo"/p' \
+  >   | grep -E '"(edge_traversals|dominance_probes|red_verdicts)"'
+        "edge_traversals": 4,
+        "dominance_probes": 14,
+        "red_verdicts": 6,
+
+The Figure-8 propagation replay: classes visited in topological order,
+verdicts flowing across each edge, the combine result per class.
+
+  $ cxxlookup trace fig9.cpp E m
+  [0] span_begin span=intern depth=0
+  [1] span_end span=intern depth=0
+  [2] span_begin span=propagate depth=0
+  [3] visit    class=S id=0 members=1
+  [4] declare  class=S member=m
+  [5] visit    class=A id=1 members=1
+  [6] declare  class=A member=m
+  [7] visit    class=B id=2 members=1
+  [8] declare  class=B member=m
+  [9] visit    class=C id=3 members=1
+  [10] declare  class=C member=m
+  [11] visit    class=D id=4 members=1
+  [12] flow     from=C to=D via=non-virtual member=m verdict=red (C, Ω)
+  [13] verdict  class=D member=m color=red verdict=red (C, Ω)
+  [14] visit    class=E id=5 members=1
+  [15] flow     from=A to=E via=virtual member=m verdict=red (A, A)
+  [16] flow     from=B to=E via=virtual member=m verdict=red (B, B)
+  [17] flow     from=D to=E via=non-virtual member=m verdict=red (C, Ω)
+  [18] verdict  class=E member=m color=red verdict=red (C, Ω)
+  [19] span_end span=propagate depth=0
+  lookup(E, m) = red (C, Ω)
+
+The JSON trace (cxxlookup-trace/1) ends on the verdict for the query.
+
+  $ cxxlookup trace fig9.cpp E m --json | grep -c '"event": "flow"'
+  4
+  $ cxxlookup trace fig9.cpp E m --json | grep -m1 '"verdict"'
+    "verdict": "red (C, Ω)",
+
 Graphviz export mentions every class and dashes virtual edges.
 
   $ cxxlookup dot streams.cpp | grep -c "style=dashed"

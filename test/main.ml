@@ -18,4 +18,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("workload", Test_workload.suite);
       ("slicing", Test_slicing.suite);
+      ("telemetry", Test_telemetry.suite);
       ("properties", Test_props.suite) ]
