@@ -11,13 +11,17 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# CI entry point: full build, full test suite, then a smoke run of the
-# telemetry pipeline end to end (parse -> all three engines -> JSON).
+# CI entry point: full build, full test suite, a smoke run of the
+# telemetry pipeline end to end (parse -> all three engines -> JSON),
+# and a serve smoke test (canned cxxlookup-rpc/1 transcript through the
+# service, diffed against its golden).
 verify:
 	dune build @all
 	dune runtest
 	dune exec bin/cxxlookup.exe -- stats examples/fig9.cpp --stats-json \
 	  | grep -q '"schema": "cxxlookup-stats/1"'
+	dune exec bin/cxxlookup.exe -- serve < test/smoke/serve_input.jsonl \
+	  | diff - test/smoke/serve_golden.jsonl
 	@echo "verify: OK"
 
 clean:

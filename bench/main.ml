@@ -26,6 +26,7 @@ let () =
   Scaling.run ();
   Ablation.run ();
   Matchup.run ();
+  Throughput.run ();
   Becha.run ();
   write_metrics ();
   Format.printf "@.%s@."

@@ -1,0 +1,97 @@
+(* SVC1: service-layer throughput — compiled-table columns vs per-query
+   memo lookups on a repeated-query workload.
+
+   The service promotes a member's verdict column out of the memo engine
+   once it has been asked about often enough; a compiled lookup is then
+   one array read instead of a hash probe per query.  This experiment
+   replays the same sparse workload through two sessions over the same
+   hierarchy — one with promotion disabled (every query served by the
+   memo), one with promotion on the first query (every repeat served by
+   a compiled column) — and a third with a deliberately tight column
+   budget so the eviction path shows up in the counters. *)
+
+module G = Chg.Graph
+module Families = Hiergen.Families
+module W = Hiergen.Workload
+module Session = Service.Session
+module Table_cache = Service.Table_cache
+
+let header id title = Format.printf "@.---- %s: %s ----@." id title
+
+let counters_json pairs =
+  Telemetry.Json.Obj
+    (List.map (fun (k, v) -> (k, Telemetry.Json.Int v)) pairs)
+
+(* Replay every query through the session's serving stack (table, then
+   memo).  Workload classes always come from the graph, so lookup can't
+   fail; raise loudly if the service disagrees. *)
+let replay s g ws =
+  List.iter
+    (fun q ->
+      match Session.lookup s (G.name g q.W.q_class) q.W.q_member with
+      | Ok _ -> ()
+      | Error c -> invalid_arg ("service lost class " ^ c))
+    ws
+
+let session ~threshold ?(table_entries = 64) g =
+  let config =
+    { Session.default_config with
+      promote_threshold = threshold;
+      table_max_entries = table_entries }
+  in
+  Session.create ~config ~name:"bench" g
+
+let run () =
+  header "SVC1" "service throughput: compiled table vs per-query memo";
+  let i =
+    Families.random_dag ~n:800 ~max_bases:3 ~virtual_prob:0.2
+      ~declare_prob:0.25
+      ~members:(List.init 24 (fun k -> Printf.sprintf "m%d" k))
+      ~seed:11
+  in
+  let g = i.graph in
+  let size = G.num_classes g + G.num_edges g in
+  let ws = W.sparse g ~queries:4000 ~classes:64 ~seed:5 in
+  Format.printf "  hierarchy: %d classes, %d member names; workload: %d
+   \ queries over <=64 classes@."
+    (G.num_classes g)
+    (List.length (G.member_names g))
+    (List.length ws);
+  (* memo-only session: promotion threshold no workload can reach *)
+  let memo_s = session ~threshold:max_int g in
+  replay memo_s g ws (* warm the memo so both paths run resident *);
+  let t_memo = Timing.seconds_per_call (fun () -> replay memo_s g ws) in
+  (* compiled session: first root query promotes the whole column *)
+  let table_s = session ~threshold:1 g in
+  replay table_s g ws (* warm: every queried member gets compiled *);
+  let t_table = Timing.seconds_per_call (fun () -> replay table_s g ws) in
+  let per_query t = t *. 1e9 /. float_of_int (List.length ws) in
+  Format.printf "  %-34s %a  (%6.1f ns/query)@." "memo engine per query"
+    Timing.pp_time t_memo (per_query t_memo);
+  Format.printf "  %-34s %a  (%6.1f ns/query)@." "compiled-table columns"
+    Timing.pp_time t_table (per_query t_table);
+  Format.printf "  speedup: %.2fx@." (t_memo /. t_table);
+  let table_counters =
+    Session.counters table_s
+    @ Table_cache.counters (Session.cache table_s)
+  in
+  Scaling.record ~experiment:"SVC1" ~family:"memo per-query (no promotion)"
+    ~n_plus_e:size ~time_ns:(per_query t_memo)
+    (counters_json (Session.counters memo_s));
+  Scaling.record ~experiment:"SVC1" ~family:"compiled-table (threshold 1)"
+    ~n_plus_e:size ~time_ns:(per_query t_table)
+    (counters_json table_counters);
+  (* tight column budget: 8 columns for 24 member names forces the LRU
+     eviction path; counters land in BENCH_lookup.json *)
+  let tight_s = session ~threshold:1 ~table_entries:8 g in
+  let t_tight = Timing.seconds_per_call (fun () -> replay tight_s g ws) in
+  let tight_counters = Table_cache.counters (Session.cache tight_s) in
+  Format.printf "  %-34s %a  (%6.1f ns/query)@."
+    "tight budget (8 columns, LRU)" Timing.pp_time t_tight
+    (per_query t_tight);
+  Format.printf "  tight-budget cache counters:";
+  List.iter (fun (k, v) -> Format.printf " %s=%d" k v) tight_counters;
+  Format.printf "@.";
+  Scaling.record ~experiment:"SVC1" ~family:"compiled-table (8-column budget)"
+    ~n_plus_e:size ~time_ns:(per_query t_tight)
+    (counters_json tight_counters)

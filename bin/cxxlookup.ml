@@ -477,6 +477,150 @@ let trace_cmd =
           each inheritance edge, and the combine result per class.")
     Term.(const run $ file_arg $ class_arg 1 $ member_arg 2 $ json_flag)
 
+(* -- the resident lookup service: serve & batch --------------------- *)
+
+let service_config_term =
+  let threshold =
+    Arg.(
+      value & opt int 3
+      & info [ "promote-threshold" ] ~docv:"N"
+          ~doc:
+            "Root queries of a member name before its full verdict column \
+             is compiled into the table cache.")
+  in
+  let table_entries =
+    Arg.(
+      value & opt int 64
+      & info [ "table-entries" ] ~docv:"N"
+          ~doc:"Compiled-table cache budget: max resident columns.")
+  in
+  let table_bytes =
+    Arg.(
+      value & opt (some int) None
+      & info [ "table-bytes" ] ~docv:"BYTES"
+          ~doc:"Compiled-table cache budget: max estimated bytes.")
+  in
+  let memo_cap =
+    Arg.(
+      value & opt (some int) None
+      & info [ "memo-cap" ] ~docv:"N"
+          ~doc:"Memo engine residency cap (entries), per session.")
+  in
+  let make threshold entries bytes memo_cap =
+    { Service.Session.promote_threshold = threshold;
+      table_max_entries = entries;
+      table_max_bytes = bytes;
+      memo_max_entries = memo_cap }
+  in
+  Term.(const make $ threshold $ table_entries $ table_bytes $ memo_cap)
+
+let serve_cmd =
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record a per-request telemetry event stream and print it to \
+             stderr at EOF.")
+  in
+  let run config trace =
+    let srv = Service.Server.create ~config ~trace () in
+    Service.Server.serve srv stdin stdout;
+    if trace then
+      Format.eprintf "%a%!" Telemetry.Sink.pp (Service.Server.sink srv)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident lookup service: cxxlookup-rpc/1 requests as \
+          JSON lines on stdin, responses on stdout (open, lookup, \
+          batch_lookup, mutate, stats, close).  Sessions keep a parsed \
+          hierarchy, an incremental engine, a memo engine and a \
+          compiled-table cache resident across requests.")
+    Term.(const run $ service_config_term $ trace)
+
+let batch_cmd =
+  let queries_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERIES.jsonl"
+          ~doc:"Query stream ('-' for stdin): one JSON object per line.")
+  in
+  let run config file queries =
+    let srv = Service.Server.create ~config () in
+    let text = read_file file in
+    let hierarchy =
+      if Filename.check_suffix file ".json" then begin
+        match Chg.Json.of_string text with
+        | Ok j -> Service.Protocol.Chg_json j
+        | Error e ->
+          prerr_endline ("error: " ^ e);
+          exit 1
+      end
+      else Service.Protocol.Source text
+    in
+    let print_response j =
+      print_endline (Chg.Json.to_string j)
+    in
+    print_response
+      (Service.Server.handle_request srv
+         { Service.Protocol.rq_id = Chg.Json.String "open";
+           rq_session = None;
+           rq_op =
+             Service.Protocol.Open
+               { o_session = Some "s0"; o_hierarchy = hierarchy } });
+    let with_defaults n j =
+      match j with
+      | Chg.Json.Obj fields ->
+        let add k v fs =
+          if List.mem_assoc k fs then fs else fs @ [ (k, v) ]
+        in
+        Chg.Json.Obj
+          (fields
+           |> add "id" (Chg.Json.String (Printf.sprintf "q%d" n))
+           |> add "op" (Chg.Json.String "lookup")
+           |> add "session" (Chg.Json.String "s0"))
+      | other -> other
+    in
+    let ic = if queries = "-" then stdin else open_in queries in
+    Fun.protect
+      ~finally:(fun () -> if queries <> "-" then close_in ic)
+      (fun () ->
+        let n = ref 0 in
+        let rec loop () =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some line ->
+            if String.trim line <> "" then begin
+              let resp =
+                match Chg.Json.of_string line with
+                | Ok j -> Service.Server.handle_json srv (with_defaults !n j)
+                | Error msg ->
+                  Service.Protocol.error_response ~id:Chg.Json.Null
+                    Service.Protocol.Parse_error msg
+              in
+              incr n;
+              print_response resp
+            end;
+            loop ()
+        in
+        loop ());
+    print_response
+      (Service.Server.handle_request srv
+         { Service.Protocol.rq_id = Chg.Json.String "stats";
+           rq_session = Some "s0";
+           rq_op = Service.Protocol.Stats })
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "One-shot replay: open FILE as a session, answer every query of \
+          QUERIES.jsonl through the service (missing id/op/session fields \
+          default to a lookup against the file's session), then report \
+          the session's stats.")
+    Term.(const run $ service_config_term $ file_arg $ queries_arg)
+
 let () =
   let doc = "C++ member lookup (Ramalingam & Srinivasan, PLDI 1997)" in
   exit
@@ -485,4 +629,4 @@ let () =
           (Cmd.info "cxxlookup" ~version:"1.0.0" ~doc)
           [ check_cmd; lookup_cmd; table_cmd; dot_cmd; layout_cmd; vtable_cmd;
             slice_cmd; export_cmd; import_cmd; run_cmd; audit_cmd; count_cmd;
-            stats_cmd; trace_cmd ]))
+            stats_cmd; trace_cmd; serve_cmd; batch_cmd ]))

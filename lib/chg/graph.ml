@@ -29,6 +29,7 @@ type t = {
 
 type error =
   | Duplicate_class of string
+  | Unknown_class of string
   | Unknown_base of { cls : string; base : string }
   | Duplicate_base of { cls : string; base : string }
   | Duplicate_member of { cls : string; member : string }
@@ -36,6 +37,7 @@ type error =
 
 let pp_error ppf = function
   | Duplicate_class c -> Format.fprintf ppf "class %s is declared twice" c
+  | Unknown_class c -> Format.fprintf ppf "class %s is not declared" c
   | Unknown_base { cls; base } ->
     Format.fprintf ppf "class %s inherits from undeclared class %s" cls base
   | Duplicate_base { cls; base } ->
@@ -93,6 +95,19 @@ let add_class b name ~bases ~members =
   b.rev_classes <-
     { r_name = name; r_bases = resolved; r_members = members } :: b.rev_classes;
   id
+
+let add_member b cls m =
+  if not (Hashtbl.mem b.b_ids cls) then raise (Error (Unknown_class cls));
+  b.rev_classes <-
+    List.map
+      (fun r ->
+        if String.equal r.r_name cls then begin
+          if List.exists (fun m' -> String.equal m'.m_name m.m_name) r.r_members
+          then raise (Error (Duplicate_member { cls; member = m.m_name }));
+          { r with r_members = r.r_members @ [ m ] }
+        end
+        else r)
+      b.rev_classes
 
 let freeze b =
   let recs = Array.of_list (List.rev b.rev_classes) in

@@ -52,6 +52,7 @@ type class_id = int
 
 type error =
   | Duplicate_class of string
+  | Unknown_class of string  (** mutation target does not exist *)
   | Unknown_base of { cls : string; base : string }
   | Duplicate_base of { cls : string; base : string }
   | Duplicate_member of { cls : string; member : string }
@@ -80,6 +81,13 @@ val add_class :
   bases:(string * edge_kind * access) list ->
   members:member list ->
   class_id
+
+(** [add_member b cls m] adds member [m] to the already-declared class
+    [cls] — the mutation a resident service applies when a declaration is
+    appended to an existing class body.  Ids and declaration order are
+    unchanged; only snapshots frozen afterwards see the member.
+    @raise Error on unknown class or duplicate member name. *)
+val add_member : builder -> string -> member -> unit
 
 (** [freeze b] produces the immutable graph.  The builder may keep being
     extended afterwards; frozen graphs are snapshots. *)

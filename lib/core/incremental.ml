@@ -62,6 +62,55 @@ let ensure_capacity t =
     t.capacity <- cap
   end
 
+(* One Figure-8 combine for member [mname] at live row [id], reading the
+   current verdicts of the row's direct bases.  Shared between the
+   add_class path (fresh row, verdicts computed once) and the add_member
+   path (existing rows whose column must be recomputed). *)
+let recompute_member t id mname =
+  let r = row t id in
+  Metrics.bump t.metrics t.metrics.Metrics.incr_row_members;
+  if Hashtbl.mem r.r_members mname then begin
+    Metrics.bump t.metrics t.metrics.Metrics.declared_kills;
+    Metrics.bump t.metrics t.metrics.Metrics.red_verdicts;
+    Hashtbl.replace r.r_verdicts mname
+      (Engine.Red { r_ldc = id; r_lvs = [ Omega ] })
+  end
+  else begin
+    let incoming =
+      List.filter_map
+        (fun (x, kind) ->
+          Metrics.bump t.metrics t.metrics.Metrics.edge_traversals;
+          match Hashtbl.find_opt (row t x).r_verdicts mname with
+          | None -> None
+          | Some (Engine.Red red) ->
+            Metrics.bump_n t.metrics t.metrics.Metrics.o_extensions
+              (List.length red.r_lvs);
+            Some (Engine.Red (extend_red red x kind), None)
+          | Some (Engine.Blue s) ->
+            Metrics.bump_n t.metrics t.metrics.Metrics.o_extensions
+              (List.length s);
+            Some (Engine.Blue (List.map (fun v -> o v x kind) s), None))
+        r.r_bases
+    in
+    match incoming with
+    | [] -> Hashtbl.remove r.r_verdicts mname
+    | _ ->
+      (* is_static_at is only ever called with ldcs of incoming
+         definitions, which are earlier (live) classes *)
+      let is_static_at l =
+        t.static_rule
+        &&
+        match Hashtbl.find_opt (row t l).r_members mname with
+        | Some mem -> Chg.Graph.member_is_static_like mem
+        | None -> false
+      in
+      let v, _ =
+        Engine.combine_incoming ~metrics:t.metrics
+          ~vbase:(is_virtual_base t) ~is_static_at incoming
+      in
+      Hashtbl.replace r.r_verdicts mname v
+  end
+
 let add_class t name ~bases ~members =
   (* Validate + record through the ordinary builder so all Graph.Error
      cases behave identically. *)
@@ -90,7 +139,6 @@ let add_class t name ~bases ~members =
       Hashtbl.replace member_tbl m.m_name m)
     members;
   (* Members[C] = M[C] ∪ bases' Members; one combine per member name. *)
-  let verdicts = Hashtbl.create 16 in
   let member_names = Hashtbl.create 16 in
   List.iter (fun (m : Chg.Graph.member) ->
       Hashtbl.replace member_names m.m_name ())
@@ -101,64 +149,43 @@ let add_class t name ~bases ~members =
         (fun mname _ -> Hashtbl.replace member_names mname ())
         (row t b).r_verdicts)
     resolved_bases;
-  let vbase = is_virtual_base t in
   Metrics.bump t.metrics t.metrics.Metrics.incr_rows;
   Metrics.bump_n t.metrics t.metrics.Metrics.incr_closure_bits
     (Chg.Bitset.cardinal bases_set + Chg.Bitset.cardinal vbases);
-  Hashtbl.iter
-    (fun mname () ->
-      Metrics.bump t.metrics t.metrics.Metrics.incr_row_members;
-      let verdict =
-        if Hashtbl.mem member_tbl mname then begin
-          Metrics.bump t.metrics t.metrics.Metrics.declared_kills;
-          Metrics.bump t.metrics t.metrics.Metrics.red_verdicts;
-          Engine.Red { r_ldc = id; r_lvs = [ Omega ] }
-        end
-        else begin
-          let incoming =
-            List.filter_map
-              (fun (x, kind) ->
-                Metrics.bump t.metrics t.metrics.Metrics.edge_traversals;
-                match Hashtbl.find_opt (row t x).r_verdicts mname with
-                | None -> None
-                | Some (Engine.Red r) ->
-                  Metrics.bump_n t.metrics t.metrics.Metrics.o_extensions
-                    (List.length r.r_lvs);
-                  Some (Engine.Red (extend_red r x kind), None)
-                | Some (Engine.Blue s) ->
-                  Metrics.bump_n t.metrics t.metrics.Metrics.o_extensions
-                    (List.length s);
-                  Some (Engine.Blue (List.map (fun v -> o v x kind) s), None))
-              resolved_bases
-          in
-          (* is_static_at is only ever called with ldcs of incoming
-             definitions, which are earlier (live) classes *)
-          let is_static_at l =
-            t.static_rule
-            &&
-            match Hashtbl.find_opt (row t l).r_members mname with
-            | Some mem -> Chg.Graph.member_is_static_like mem
-            | None -> false
-          in
-          let v, _ =
-            Engine.combine_incoming ~metrics:t.metrics ~vbase ~is_static_at
-              incoming
-          in
-          v
-        end
-      in
-      Hashtbl.replace verdicts mname verdict)
-    member_names;
   let r =
     { r_bases = resolved_bases;
       r_members = member_tbl;
-      r_verdicts = verdicts;
+      r_verdicts = Hashtbl.create 16;
       r_vbases = vbases;
       r_bases_set = bases_set }
   in
   t.rows.(id) <- r;
   t.count <- t.count + 1;
+  Hashtbl.iter (fun mname () -> recompute_member t id mname) member_names;
   id
+
+let add_member t cls (m : Chg.Graph.member) =
+  (* Validate + record through the builder (unknown class, duplicate
+     member) so snapshots stay in lockstep. *)
+  Chg.Graph.add_member t.builder cls m;
+  let c = Hashtbl.find t.ids cls in
+  Hashtbl.replace (row t c).r_members m.m_name m;
+  (* Only [cls] and the classes derived from it can see the new
+     declaration; their ids are all > c (topological id order), so one
+     increasing sweep recomputes the member's column bases-first. *)
+  let affected = ref 0 in
+  for j = c to t.count - 1 do
+    let rj = row t j in
+    if
+      j = c
+      || (c < Chg.Bitset.length rj.r_bases_set
+          && Chg.Bitset.mem rj.r_bases_set c)
+    then begin
+      incr affected;
+      recompute_member t j m.m_name
+    end
+  done;
+  !affected
 
 let lookup t c m = Hashtbl.find_opt (row t c).r_verdicts m
 

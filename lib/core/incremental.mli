@@ -32,6 +32,17 @@ val add_class :
   members:Chg.Graph.member list ->
   Chg.Graph.class_id
 
+(** [add_member t cls m] adds member [m] to the already-declared class
+    [cls] and repairs the resident table: only [m]'s column can change,
+    and only at [cls] and its derived classes, so one increasing sweep
+    over those rows (bases-first, since ids are a topological order)
+    recomputes exactly the affected entries —
+    [O(affected * (1 + indegree))] combines, never the whole table.
+    Returns the number of rows recomputed (the service layer reports it
+    and uses it to invalidate compiled tables).
+    @raise Chg.Graph.Error on unknown class or duplicate member. *)
+val add_member : t -> string -> Chg.Graph.member -> int
+
 (** [lookup t c m] — same verdicts as the eager engine. *)
 val lookup : t -> Chg.Graph.class_id -> string -> Engine.verdict option
 

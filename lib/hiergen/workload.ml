@@ -1,5 +1,20 @@
 type query = { q_class : Chg.Graph.class_id; q_member : string }
 
+type summary = { resolved : int; ambiguous : int; not_found : int }
+
+let empty_summary = { resolved = 0; ambiguous = 0; not_found = 0 }
+let total s = s.resolved + s.ambiguous + s.not_found
+
+let count s = function
+  | Some (Lookup_core.Engine.Red _) -> { s with resolved = s.resolved + 1 }
+  | Some (Lookup_core.Engine.Blue _) ->
+    { s with ambiguous = s.ambiguous + 1 }
+  | None -> { s with not_found = s.not_found + 1 }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%d resolved, %d ambiguous, %d not found" s.resolved
+    s.ambiguous s.not_found
+
 let sparse g ~queries ~classes ~seed =
   let st = Random.State.make [| seed; queries; classes |] in
   let n = Chg.Graph.num_classes g in
@@ -25,15 +40,48 @@ let exhaustive g =
 let run_memo memo ws =
   List.fold_left
     (fun acc q ->
-      match Lookup_core.Memo.lookup memo q.q_class q.q_member with
-      | Some (Lookup_core.Engine.Red _) -> acc + 1
-      | Some (Lookup_core.Engine.Blue _) | None -> acc)
-    0 ws
+      count acc (Lookup_core.Memo.lookup memo q.q_class q.q_member))
+    empty_summary ws
 
 let run_engine eng ws =
   List.fold_left
     (fun acc q ->
-      match Lookup_core.Engine.lookup eng q.q_class q.q_member with
-      | Some (Lookup_core.Engine.Red _) -> acc + 1
-      | Some (Lookup_core.Engine.Blue _) | None -> acc)
-    0 ws
+      count acc (Lookup_core.Engine.lookup eng q.q_class q.q_member))
+    empty_summary ws
+
+(* ---- cxxlookup-rpc/1 query streams --------------------------------- *)
+
+let query_json g q extra =
+  Chg.Json.Obj
+    (extra
+     @ [ ("class", Chg.Json.String (Chg.Graph.name g q.q_class));
+         ("member", Chg.Json.String q.q_member) ])
+
+let to_protocol_lines ?session g ws =
+  let session_field =
+    match session with
+    | Some s -> [ ("session", Chg.Json.String s) ]
+    | None -> []
+  in
+  List.mapi
+    (fun i q ->
+      Chg.Json.to_string
+        (query_json g q
+           ([ ("id", Chg.Json.String (Printf.sprintf "q%d" i));
+              ("op", Chg.Json.String "lookup") ]
+            @ session_field)))
+    ws
+
+let to_batch_request ?(id = "batch") ?session g ws =
+  let session_field =
+    match session with
+    | Some s -> [ ("session", Chg.Json.String s) ]
+    | None -> []
+  in
+  Chg.Json.to_string
+    (Chg.Json.Obj
+       ([ ("id", Chg.Json.String id);
+          ("op", Chg.Json.String "batch_lookup") ]
+        @ session_field
+        @ [ ("queries",
+             Chg.Json.List (List.map (fun q -> query_json g q []) ws)) ]))

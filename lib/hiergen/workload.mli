@@ -1,9 +1,22 @@
 (** Query workloads over a hierarchy: sequences of (class, member)
     lookups with controllable locality, for comparing the eager table
     against the lazy memoising variant (paper Section 5: a compiler
-    resolving only a few accesses should not tabulate everything). *)
+    resolving only a few accesses should not tabulate everything), and
+    for replay through the lookup service ([cxxlookup-rpc/1] streams). *)
 
 type query = { q_class : Chg.Graph.class_id; q_member : string }
+
+(** What a workload's lookups came back as — the structured checksum the
+    drivers return (counts, not just a hit total, so callers can see
+    ambiguity rates). *)
+type summary = { resolved : int; ambiguous : int; not_found : int }
+
+val empty_summary : summary
+
+(** [total s] is the number of queries the summary accounts for. *)
+val total : summary -> int
+
+val pp_summary : Format.formatter -> summary -> unit
 
 (** [sparse g ~queries ~classes ~seed] — [queries] lookups drawn from a
     random subset of [classes] classes (locality: real translation units
@@ -15,7 +28,19 @@ val sparse :
     whole-program static analysis workload. *)
 val exhaustive : Chg.Graph.t -> query list
 
-(** [run_memo memo ws] / [run_engine eng ws] — drive a workload, returning
-    how many lookups resolved (a checksum so the work isn't dead code). *)
-val run_memo : Lookup_core.Memo.t -> query list -> int
-val run_engine : Lookup_core.Engine.t -> query list -> int
+(** [run_memo memo ws] / [run_engine eng ws] — drive a workload,
+    returning how its lookups resolved. *)
+val run_memo : Lookup_core.Memo.t -> query list -> summary
+
+val run_engine : Lookup_core.Engine.t -> query list -> summary
+
+(** [to_protocol_lines ?session g ws] — the workload as one
+    [cxxlookup-rpc/1] [lookup] request per line (ids [q0], [q1], ...),
+    ready to pipe into [cxxlookup serve] or replay with
+    [cxxlookup batch]. *)
+val to_protocol_lines : ?session:string -> Chg.Graph.t -> query list -> string list
+
+(** [to_batch_request ?id ?session g ws] — the whole workload as a
+    single [batch_lookup] request line. *)
+val to_batch_request :
+  ?id:string -> ?session:string -> Chg.Graph.t -> query list -> string

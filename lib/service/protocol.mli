@@ -1,0 +1,87 @@
+(** The [cxxlookup-rpc/1] wire protocol: JSON-lines requests and
+    responses for the resident lookup service.
+
+    One request object per line, one response object per line, in order.
+    Every request may carry an ["id"] (any JSON value, echoed verbatim in
+    the response), an optional ["rpc"] version tag (rejected with
+    [bad_version] when it names another protocol), and an ["op"]
+    selecting the verb:
+
+    - [open] — create a session from an inline hierarchy: either
+      ["chg"] (a cxxlookup-chg v1 document) or ["source"] (C++-subset
+      text).  Optional ["session"] names the session; otherwise the
+      server assigns [s0], [s1], ...
+    - [lookup] — ["session"], ["class"], ["member"].
+    - [batch_lookup] — ["session"] and ["queries"]: an array of
+      [{"class":..., "member":...}] objects, answered in one response
+      with per-query results and a resolved/ambiguous/not-found summary.
+    - [mutate] — ["session"] plus exactly one of ["add_class"]
+      ([{"name":..., "bases":[...], "members":[...]}], cxxlookup-chg
+      field shapes with optional defaults) or ["add_member"]
+      ([{"class":..., "member":{...}}]).
+    - [stats] — service-level counters, or one session's with
+      ["session"].
+    - [close] — ["session"].
+
+    Responses are [{"id":..., "ok":true, ...}] or [{"id":..., "ok":false,
+    "error":{"code":..., "message":...}}] with a stable error-code
+    vocabulary (see {!error_code}). *)
+
+val version : string
+
+type error_code =
+  | Parse_error  (** the line is not valid JSON *)
+  | Bad_request  (** missing or ill-typed field *)
+  | Bad_version  (** ["rpc"] names a protocol this server does not speak *)
+  | Unknown_op
+  | Unknown_session
+  | Duplicate_session
+  | Unknown_class
+  | Bad_hierarchy  (** open/mutate input is structurally invalid *)
+  | Internal
+
+val code_string : error_code -> string
+
+type query = { q_class : string; q_member : string }
+
+type hierarchy =
+  | Chg_json of Chg.Json.t  (** inline cxxlookup-chg document *)
+  | Source of string  (** C++-subset translation unit text *)
+
+type mutation =
+  | Add_class of {
+      mc_name : string;
+      mc_bases : (string * Chg.Graph.edge_kind * Chg.Graph.access) list;
+      mc_members : Chg.Graph.member list;
+    }
+  | Add_member of { mm_class : string; mm_member : Chg.Graph.member }
+
+type op =
+  | Open of { o_session : string option; o_hierarchy : hierarchy }
+  | Lookup of query
+  | Batch_lookup of query list
+  | Mutate of mutation
+  | Stats
+  | Close
+
+type request = { rq_id : Chg.Json.t; rq_session : string option; rq_op : op }
+
+(** [request_of_json j] / [parse_request line] — a typed request, or the
+    id to echo plus a structured error. *)
+val request_of_json :
+  Chg.Json.t -> (request, Chg.Json.t * error_code * string) result
+
+val parse_request :
+  string -> (request, Chg.Json.t * error_code * string) result
+
+val ok_response : id:Chg.Json.t -> (string * Chg.Json.t) list -> Chg.Json.t
+
+val error_response :
+  id:Chg.Json.t -> error_code -> string -> Chg.Json.t
+
+(** [verdict_fields g v] — the response encoding of a verdict:
+    [("verdict", "red"|"blue"|"none")], plus [resolves_to] (red) and
+    [detail] (the pretty verdict, red/blue). *)
+val verdict_fields :
+  Chg.Graph.t -> Lookup_core.Engine.verdict option ->
+  (string * Chg.Json.t) list

@@ -1,0 +1,275 @@
+module J = Chg.Json
+module G = Chg.Graph
+module P = Protocol
+
+type t = {
+  config : Session.config;
+  sessions : (string, Session.t) Hashtbl.t;
+  mutable session_order : string list;  (* open order, for stats *)
+  mutable next_session : int;
+  sink : Telemetry.Sink.t;
+  spans : Telemetry.Span.t;
+  requests : Telemetry.Counter.t;
+  errors : Telemetry.Counter.t;
+  sessions_opened : Telemetry.Counter.t;
+  sessions_closed : Telemetry.Counter.t;
+  lookups : Telemetry.Counter.t;
+  batch_requests : Telemetry.Counter.t;
+  batch_queries : Telemetry.Counter.t;
+  mutations : Telemetry.Counter.t;
+}
+
+let create ?(config = Session.default_config) ?(trace = false) () =
+  let sink =
+    if trace then Telemetry.Sink.create () else Telemetry.Sink.null
+  in
+  { config;
+    sessions = Hashtbl.create 8;
+    session_order = [];
+    next_session = 0;
+    sink;
+    spans = Telemetry.Span.make sink;
+    requests = Telemetry.Counter.make "requests";
+    errors = Telemetry.Counter.make "errors";
+    sessions_opened = Telemetry.Counter.make "sessions_opened";
+    sessions_closed = Telemetry.Counter.make "sessions_closed";
+    lookups = Telemetry.Counter.make "lookups";
+    batch_requests = Telemetry.Counter.make "batch_requests";
+    batch_queries = Telemetry.Counter.make "batch_queries";
+    mutations = Telemetry.Counter.make "mutations" }
+
+let sink t = t.sink
+
+let counters t =
+  List.map
+    (fun c -> (Telemetry.Counter.name c, Telemetry.Counter.value c))
+    [ t.requests; t.errors; t.sessions_opened; t.sessions_closed;
+      t.lookups; t.batch_requests; t.batch_queries; t.mutations ]
+
+(* ---- per-verb handlers --------------------------------------------- *)
+
+exception Reply_error of P.error_code * string
+
+let fail code fmt = Printf.ksprintf (fun msg -> raise (Reply_error (code, msg))) fmt
+
+let session t = function
+  | None -> fail P.Bad_request "missing field \"session\""
+  | Some name ->
+    (match Hashtbl.find_opt t.sessions name with
+    | Some s -> s
+    | None -> fail P.Unknown_session "no open session %S" name)
+
+let graph_of_hierarchy = function
+  | P.Chg_json j ->
+    (match Chg.Serialize.of_json j with
+    | Ok g -> g
+    | Error msg -> fail P.Bad_hierarchy "%s" msg)
+  | P.Source src ->
+    let r = Frontend.Sema.analyze_source src in
+    if not (Frontend.Sema.ok r) then
+      fail P.Bad_hierarchy "source has errors: %s"
+        (match r.Frontend.Sema.diagnostics with
+        | d :: _ -> Frontend.Diagnostic.to_string d
+        | [] -> "unknown");
+    r.Frontend.Sema.graph
+
+let handle_open t ~session:requested hierarchy =
+  let name =
+    match requested with
+    | Some n ->
+      if Hashtbl.mem t.sessions n then
+        fail P.Duplicate_session "session %S is already open" n;
+      n
+    | None ->
+      let rec pick () =
+        let n = Printf.sprintf "s%d" t.next_session in
+        t.next_session <- t.next_session + 1;
+        if Hashtbl.mem t.sessions n then pick () else n
+      in
+      pick ()
+  in
+  let g = graph_of_hierarchy hierarchy in
+  let s = Session.create ~config:t.config ~name g in
+  Hashtbl.add t.sessions name s;
+  t.session_order <- t.session_order @ [ name ];
+  Telemetry.Counter.incr t.sessions_opened;
+  [ ("protocol", J.String P.version);
+    ("session", J.String name);
+    ("classes", J.Int (G.num_classes g));
+    ("edges", J.Int (G.num_edges g));
+    ("members", J.Int (List.length (G.member_names g))) ]
+
+let query_fields s (q : P.query) =
+  match Session.lookup s q.P.q_class q.P.q_member with
+  | Error cls -> fail P.Unknown_class "unknown class %S" cls
+  | Ok (v, served) ->
+    ("class", J.String q.P.q_class)
+    :: ("member", J.String q.P.q_member)
+    :: P.verdict_fields (Session.graph s) v
+    @ [ ("via", J.String (Session.served_string served)) ]
+
+let handle_lookup t s q =
+  Telemetry.Counter.incr t.lookups;
+  query_fields s q
+
+let handle_batch t s qs =
+  Telemetry.Counter.incr t.batch_requests;
+  Telemetry.Counter.add t.batch_queries (List.length qs);
+  let resolved = ref 0 and ambiguous = ref 0 and not_found = ref 0 in
+  let results =
+    List.map
+      (fun (q : P.query) ->
+        match Session.lookup s q.P.q_class q.P.q_member with
+        | Error cls ->
+          J.Obj
+            [ ("class", J.String q.P.q_class);
+              ("member", J.String q.P.q_member);
+              ("error", J.String "unknown_class");
+              ("message", J.String (Printf.sprintf "unknown class %S" cls))
+            ]
+        | Ok (v, served) ->
+          (match v with
+          | Some (Lookup_core.Engine.Red _) -> incr resolved
+          | Some (Lookup_core.Engine.Blue _) -> incr ambiguous
+          | None -> incr not_found);
+          J.Obj
+            (("class", J.String q.P.q_class)
+             :: ("member", J.String q.P.q_member)
+             :: P.verdict_fields (Session.graph s) v
+             @ [ ("via", J.String (Session.served_string served)) ]))
+      qs
+  in
+  [ ("results", J.List results);
+    ("resolved", J.Int !resolved);
+    ("ambiguous", J.Int !ambiguous);
+    ("not_found", J.Int !not_found) ]
+
+let handle_mutate t s = function
+  | P.Add_class { mc_name; mc_bases; mc_members } ->
+    Telemetry.Counter.incr t.mutations;
+    (try
+       ignore (Session.add_class s ~cls:mc_name ~bases:mc_bases
+                 ~members:mc_members);
+       [ ("session", J.String (Session.name s));
+         ("added", J.String mc_name);
+         ("classes", J.Int (G.num_classes (Session.graph s)));
+         ("epoch", J.Int (Session.epoch s)) ]
+     with G.Error e ->
+       let code =
+         match e with
+         | G.Unknown_class _ | G.Unknown_base _ -> P.Unknown_class
+         | _ -> P.Bad_hierarchy
+       in
+       fail code "%s" (G.error_to_string e))
+  | P.Add_member { mm_class; mm_member } ->
+    Telemetry.Counter.incr t.mutations;
+    (try
+       let rows, invalidated = Session.add_member s ~cls:mm_class mm_member in
+       [ ("session", J.String (Session.name s));
+         ("class", J.String mm_class);
+         ("member", J.String mm_member.G.m_name);
+         ("rows_recomputed", J.Int rows);
+         ("table_invalidated", J.Bool invalidated);
+         ("epoch", J.Int (Session.epoch s)) ]
+     with G.Error e ->
+       let code =
+         match e with
+         | G.Unknown_class _ -> P.Unknown_class
+         | _ -> P.Bad_hierarchy
+       in
+       fail code "%s" (G.error_to_string e))
+
+let handle_stats t = function
+  | Some _ as sess ->
+    let s = session t sess in
+    [ ("session", J.String (Session.name s));
+      ("stats", Session.stats_json s) ]
+  | None ->
+    let open_sessions =
+      List.filter (fun n -> Hashtbl.mem t.sessions n) t.session_order
+    in
+    [ ("protocol", J.String P.version);
+      ( "service",
+        J.Obj
+          (List.map (fun (k, v) -> (k, J.Int v)) (counters t)
+           @ [ ("sessions_open", J.Int (Hashtbl.length t.sessions)) ]) );
+      ( "sessions",
+        J.List
+          (List.map
+             (fun n -> Session.stats_json (Hashtbl.find t.sessions n))
+             open_sessions) ) ]
+
+let handle_close t s =
+  let name = Session.name s in
+  Hashtbl.remove t.sessions name;
+  Telemetry.Counter.incr t.sessions_closed;
+  [ ("session", J.String name); ("closed", J.Bool true) ]
+
+let op_name = function
+  | P.Open _ -> "open"
+  | P.Lookup _ -> "lookup"
+  | P.Batch_lookup _ -> "batch_lookup"
+  | P.Mutate _ -> "mutate"
+  | P.Stats -> "stats"
+  | P.Close -> "close"
+
+let handle_request t (rq : P.request) =
+  Telemetry.Counter.incr t.requests;
+  let run () =
+    match rq.P.rq_op with
+    | P.Open { o_session; o_hierarchy } ->
+      handle_open t ~session:o_session o_hierarchy
+    | P.Lookup q -> handle_lookup t (session t rq.P.rq_session) q
+    | P.Batch_lookup qs -> handle_batch t (session t rq.P.rq_session) qs
+    | P.Mutate m -> handle_mutate t (session t rq.P.rq_session) m
+    | P.Stats -> handle_stats t rq.P.rq_session
+    | P.Close -> handle_close t (session t rq.P.rq_session)
+  in
+  let run () =
+    if Telemetry.Sink.enabled t.sink then begin
+      Telemetry.Sink.emit t.sink "request"
+        (("op", Telemetry.Event.Str (op_name rq.P.rq_op))
+         ::
+         (match rq.P.rq_session with
+         | Some s -> [ ("session", Telemetry.Event.Str s) ]
+         | None -> []));
+      Telemetry.Span.run t.spans ("rpc:" ^ op_name rq.P.rq_op) run
+    end
+    else run ()
+  in
+  match run () with
+  | fields -> P.ok_response ~id:rq.P.rq_id fields
+  | exception Reply_error (code, msg) ->
+    Telemetry.Counter.incr t.errors;
+    P.error_response ~id:rq.P.rq_id code msg
+
+let handle_json t j =
+  match P.request_of_json j with
+  | Ok rq -> handle_request t rq
+  | Error (id, code, msg) ->
+    Telemetry.Counter.incr t.requests;
+    Telemetry.Counter.incr t.errors;
+    P.error_response ~id code msg
+
+let handle_line t line =
+  match P.parse_request line with
+  | Ok rq -> handle_request t rq
+  | Error (id, code, msg) ->
+    Telemetry.Counter.incr t.requests;
+    Telemetry.Counter.incr t.errors;
+    P.error_response ~id code msg
+
+let serve t ic oc =
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line ->
+      if String.trim line = "" then loop ()
+      else begin
+        output_string oc (J.to_string (handle_line t line));
+        output_char oc '\n';
+        flush oc;
+        loop ()
+      end
+  in
+  loop ()

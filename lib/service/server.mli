@@ -1,0 +1,38 @@
+(** The lookup service: a session store plus the [cxxlookup-rpc/1]
+    request dispatcher ([cxxlookup serve] is a thin wrapper over
+    {!serve}; [cxxlookup batch] drives {!handle_json} directly).
+
+    The server is deliberately synchronous and single-threaded: one
+    request, one response, in order — the batching verb is the
+    throughput lever, and resident state (incremental rows, memo cache,
+    compiled tables) is what amortizes work across requests. *)
+
+type t
+
+(** [create ?config ?trace ()] — [config] applies to every session
+    opened; [trace] (default false) records per-request telemetry
+    (a [request] event and an [rpc:<op>] span pair) into {!sink}. *)
+val create : ?config:Session.config -> ?trace:bool -> unit -> t
+
+(** The per-request event stream (disabled sink unless [~trace:true]). *)
+val sink : t -> Telemetry.Sink.t
+
+(** Service-level counters: [requests], [errors], [sessions_opened],
+    [sessions_closed], [lookups], [batch_requests], [batch_queries],
+    [mutations]. *)
+val counters : t -> (string * int) list
+
+(** [handle_request t rq] / [handle_json t j] / [handle_line t line] —
+    one request at the corresponding decoding stage; always returns the
+    response document (errors travel as [ok:false] responses, never
+    exceptions). *)
+val handle_request : t -> Protocol.request -> Chg.Json.t
+
+val handle_json : t -> Chg.Json.t -> Chg.Json.t
+
+val handle_line : t -> string -> Chg.Json.t
+
+(** [serve t ic oc] — the JSON-lines loop: read a request per line from
+    [ic], write its response line to [oc] (flushed per line, so the
+    server can sit on a pipe), until EOF.  Blank lines are skipped. *)
+val serve : t -> in_channel -> out_channel -> unit

@@ -1,0 +1,166 @@
+module G = Chg.Graph
+module Engine = Lookup_core.Engine
+module Memo = Lookup_core.Memo
+module Incremental = Lookup_core.Incremental
+
+type config = {
+  promote_threshold : int;
+  table_max_entries : int;
+  table_max_bytes : int option;
+  memo_max_entries : int option;
+}
+
+let default_config =
+  { promote_threshold = 3;
+    table_max_entries = 64;
+    table_max_bytes = None;
+    memo_max_entries = None }
+
+type served = Compiled | Memoised
+
+let served_string = function Compiled -> "table" | Memoised -> "memo"
+
+type t = {
+  name : string;
+  config : config;
+  inc : Incremental.t;  (* resident source of truth, mutated in place *)
+  cache : Table_cache.t;
+  mutable graph : G.t;  (* snapshot of [inc], refreshed per mutation *)
+  mutable closure : Chg.Closure.t;
+  mutable memo : Memo.t;  (* read-through engine over the snapshot *)
+  mutable epoch : int;  (* mutations applied so far *)
+  lookups : Telemetry.Counter.t;
+  resolved : Telemetry.Counter.t;
+  ambiguous : Telemetry.Counter.t;
+  not_found : Telemetry.Counter.t;
+  mutations : Telemetry.Counter.t;
+}
+
+let fresh_memo t cl = Memo.create ?max_entries:t.config.memo_max_entries cl
+
+let refresh t =
+  t.graph <- Incremental.snapshot t.inc;
+  t.closure <- Chg.Closure.compute t.graph;
+  t.memo <- fresh_memo t t.closure
+
+let create ?(config = default_config) ~name g =
+  let inc = Incremental.create () in
+  G.iter_classes g (fun c ->
+      ignore
+        (Incremental.add_class inc (G.name g c)
+           ~bases:
+             (List.map
+                (fun (b : G.base) -> (G.name g b.b_class, b.b_kind, b.b_access))
+                (G.bases g c))
+           ~members:(G.members g c)));
+  let closure = Chg.Closure.compute g in
+  let t =
+    { name;
+      config;
+      inc;
+      cache =
+        Table_cache.create ~max_entries:config.table_max_entries
+          ?max_bytes:config.table_max_bytes ();
+      graph = g;
+      closure;
+      memo = Memo.create ?max_entries:config.memo_max_entries closure;
+      epoch = 0;
+      lookups = Telemetry.Counter.make "lookups";
+      resolved = Telemetry.Counter.make "resolved";
+      ambiguous = Telemetry.Counter.make "ambiguous";
+      not_found = Telemetry.Counter.make "not_found";
+      mutations = Telemetry.Counter.make "mutations" }
+  in
+  t
+
+let name t = t.name
+let graph t = t.graph
+let epoch t = t.epoch
+let cache t = t.cache
+
+let count_verdict t = function
+  | Some (Engine.Red _) -> Telemetry.Counter.incr t.resolved
+  | Some (Engine.Blue _) -> Telemetry.Counter.incr t.ambiguous
+  | None -> Telemetry.Counter.incr t.not_found
+
+(* The serving path: compiled table first (one array read), then the
+   memo engine; a memo-served member whose root-query count has crossed
+   the threshold is promoted — its full column materialized from the
+   memo's cache — so later queries take the compiled path. *)
+let lookup t cls member =
+  match G.find_opt t.graph cls with
+  | None -> Error cls
+  | Some c ->
+    Telemetry.Counter.incr t.lookups;
+    (match Table_cache.find t.cache member with
+    | Some col ->
+      let v = col.(c) in
+      count_verdict t v;
+      Ok (v, Compiled)
+    | None ->
+      let v = Memo.lookup t.memo c member in
+      if Memo.root_queries t.memo member >= t.config.promote_threshold then
+        Table_cache.promote t.cache member
+          (Memo.materialize_column t.memo member);
+      count_verdict t v;
+      Ok (v, Memoised))
+
+(* Mutations go to the incremental engine — its rows update in place,
+   never recomputed from scratch — then the snapshot-facing state
+   refreshes: a new frozen graph, its closure, and an empty memo (the
+   old memo's entries would be reindexed anyway; the compiled tables
+   carry the warmth across mutations). *)
+
+let add_class t ~cls ~bases ~members =
+  let id = Incremental.add_class t.inc cls ~bases ~members in
+  t.epoch <- t.epoch + 1;
+  Telemetry.Counter.incr t.mutations;
+  refresh t;
+  (* Every resident column gains exactly one entry: the new class's
+     verdict, already computed by the incremental row — extension, not
+     invalidation. *)
+  Table_cache.update_columns t.cache (fun m col ->
+      Some (Array.append col [| Incremental.lookup t.inc id m |]));
+  id
+
+let add_member t ~cls member =
+  let rows = Incremental.add_member t.inc cls member in
+  t.epoch <- t.epoch + 1;
+  Telemetry.Counter.incr t.mutations;
+  refresh t;
+  (* Only the mutated member's column can have changed; drop exactly it. *)
+  let invalidated = Table_cache.invalidate t.cache member.G.m_name in
+  (rows, invalidated)
+
+let counters t =
+  List.map
+    (fun c -> (Telemetry.Counter.name c, Telemetry.Counter.value c))
+    [ t.lookups; t.resolved; t.ambiguous; t.not_found; t.mutations ]
+
+let stats_json t =
+  let j_counters kvs =
+    Chg.Json.Obj (List.map (fun (k, v) -> (k, Chg.Json.Int v)) kvs)
+  in
+  let hits = Table_cache.hits t.cache and misses = Table_cache.misses t.cache in
+  let hit_ratio_pct =
+    if hits + misses = 0 then 0 else 100 * hits / (hits + misses)
+  in
+  Chg.Json.Obj
+    [ ("session", Chg.Json.String t.name);
+      ("classes", Chg.Json.Int (G.num_classes t.graph));
+      ("edges", Chg.Json.Int (G.num_edges t.graph));
+      ("members", Chg.Json.Int (List.length (G.member_names t.graph)));
+      ("epoch", Chg.Json.Int t.epoch);
+      ("counters", j_counters (counters t));
+      ( "table",
+        Chg.Json.Obj
+          (("entries", Chg.Json.Int (Table_cache.entries t.cache))
+           :: ("bytes", Chg.Json.Int (Table_cache.bytes t.cache))
+           :: ("hit_ratio_pct", Chg.Json.Int hit_ratio_pct)
+           :: List.map
+                (fun (k, v) -> (k, Chg.Json.Int v))
+                (Table_cache.counters t.cache)) );
+      ( "memo",
+        Chg.Json.Obj
+          [ ("cached_entries", Chg.Json.Int (Memo.cached_entries t.memo)) ] )
+    ]

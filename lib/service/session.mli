@@ -1,0 +1,86 @@
+(** One resident hierarchy: the session a [cxxlookup-rpc/1] client opens,
+    queries, and mutates.
+
+    A session layers three lookup representations, fastest first:
+
+    + the {b compiled-table cache} ({!Table_cache}): per-member verdict
+      columns, one array read per lookup;
+    + the {b memo engine} ({!Lookup_core.Memo}): lazy per-entry fills
+      over the current snapshot, and the promotion source for compiled
+      columns;
+    + the {b incremental engine} ({!Lookup_core.Incremental}): the
+      resident source of truth — every class row stays materialized, and
+      [add_class] / [add_member] update it in place instead of rebuilding
+      the table.
+
+    Mutations refresh the snapshot-facing state (frozen graph, closure,
+    an empty memo) and repair the compiled tables precisely: [add_class]
+    {e extends} every resident column by the new class's
+    already-computed verdict; [add_member] {e invalidates} exactly the
+    mutated member's column.  See DESIGN.md, "The compiled-table
+    cache". *)
+
+type config = {
+  promote_threshold : int;
+      (** root queries of a member before its column is compiled *)
+  table_max_entries : int;  (** compiled-column count budget *)
+  table_max_bytes : int option;  (** compiled-column byte budget *)
+  memo_max_entries : int option;  (** memo residency cap *)
+}
+
+(** threshold 3, 64 columns, unbounded bytes, unbounded memo *)
+val default_config : config
+
+(** Which layer answered a lookup (reported as ["via"] on the wire). *)
+type served = Compiled | Memoised
+
+val served_string : served -> string
+
+type t
+
+(** [create ?config ~name g] replays [g] class by class into a fresh
+    incremental engine and prepares the memo and table layers. *)
+val create : ?config:config -> name:string -> Chg.Graph.t -> t
+
+val name : t -> string
+
+(** [graph t] is the current frozen snapshot (refreshed per mutation). *)
+val graph : t -> Chg.Graph.t
+
+(** [epoch t] counts mutations applied so far. *)
+val epoch : t -> int
+
+val cache : t -> Table_cache.t
+
+(** [lookup t cls member] serves one query (table, then memo, promoting
+    past the threshold).  [Error cls] when the class is unknown. *)
+val lookup :
+  t -> string -> string ->
+  (Lookup_core.Engine.verdict option * served, string) result
+
+(** [add_class t ~cls ~bases ~members] — the incremental engine computes
+    just the new row; resident columns are extended, not dropped.
+    Returns the new class id.
+    @raise Chg.Graph.Error like {!Lookup_core.Incremental.add_class}. *)
+val add_class :
+  t ->
+  cls:string ->
+  bases:(string * Chg.Graph.edge_kind * Chg.Graph.access) list ->
+  members:Chg.Graph.member list ->
+  Chg.Graph.class_id
+
+(** [add_member t ~cls member] — the incremental engine recomputes only
+    the affected rows of that member's column; the member's compiled
+    column (if any) is invalidated.  Returns (rows recomputed, column
+    was resident).
+    @raise Chg.Graph.Error like {!Lookup_core.Incremental.add_member}. *)
+val add_member : t -> cls:string -> Chg.Graph.member -> int * bool
+
+(** [counters t] — [lookups], [resolved], [ambiguous], [not_found],
+    [mutations]. *)
+val counters : t -> (string * int) list
+
+(** [stats_json t] is the session's [stats]-verb payload: hierarchy
+    shape, epoch, query counters, table counters (with hit ratio and
+    byte estimate), memo residency.  Deterministic (no wall-clock). *)
+val stats_json : t -> Chg.Json.t

@@ -1,0 +1,157 @@
+module Engine = Lookup_core.Engine
+module Abstraction = Lookup_core.Abstraction
+
+type column = Engine.verdict option array
+
+type entry = {
+  mutable column : column;
+  mutable bytes : int;
+  mutable last_use : int;  (* LRU stamp from the cache's tick *)
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  max_entries : int;
+  max_bytes : int option;
+  mutable total_bytes : int;
+  hits : Telemetry.Counter.t;
+  misses : Telemetry.Counter.t;
+  promotions : Telemetry.Counter.t;
+  evictions : Telemetry.Counter.t;
+  invalidations : Telemetry.Counter.t;
+}
+
+let create ?(max_entries = 64) ?max_bytes () =
+  if max_entries < 1 then
+    invalid_arg "Table_cache.create: max_entries must be >= 1";
+  (match max_bytes with
+  | Some n when n < 1 ->
+    invalid_arg "Table_cache.create: max_bytes must be >= 1"
+  | _ -> ());
+  { table = Hashtbl.create 16;
+    tick = 0;
+    max_entries;
+    max_bytes;
+    total_bytes = 0;
+    hits = Telemetry.Counter.make "table_hits";
+    misses = Telemetry.Counter.make "table_misses";
+    promotions = Telemetry.Counter.make "table_promotions";
+    evictions = Telemetry.Counter.make "table_evictions";
+    invalidations = Telemetry.Counter.make "table_invalidations" }
+
+(* The budget is an estimate in heap words of the column representation
+   (array slots plus verdict payloads), not an exact account — it only
+   needs to rank columns and keep totals roughly proportional to memory. *)
+let verdict_words = function
+  | None -> 1
+  | Some (Engine.Red r) -> 4 + (2 * List.length r.Abstraction.r_lvs)
+  | Some (Engine.Blue s) -> 2 + (2 * List.length s)
+
+let column_bytes col =
+  8 * (2 + Array.length col
+       + Array.fold_left (fun acc v -> acc + verdict_words v) 0 col)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let find t m =
+  match Hashtbl.find_opt t.table m with
+  | Some e ->
+    Telemetry.Counter.incr t.hits;
+    touch t e;
+    Some e.column
+  | None ->
+    Telemetry.Counter.incr t.misses;
+    None
+
+(* Evict the least recently used entry other than [keep]. *)
+let evict_lru t ~keep =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun m e ->
+      if m <> keep then
+        match !victim with
+        | Some (_, best) when best.last_use <= e.last_use -> ()
+        | _ -> victim := Some (m, e))
+    t.table;
+  match !victim with
+  | None -> false
+  | Some (m, e) ->
+    Hashtbl.remove t.table m;
+    t.total_bytes <- t.total_bytes - e.bytes;
+    Telemetry.Counter.incr t.evictions;
+    true
+
+let over_budget t =
+  Hashtbl.length t.table > t.max_entries
+  || match t.max_bytes with
+     | Some cap -> t.total_bytes > cap
+     | None -> false
+
+let promote t m col =
+  let bytes = column_bytes col in
+  (match Hashtbl.find_opt t.table m with
+  | Some e ->
+    t.total_bytes <- t.total_bytes - e.bytes + bytes;
+    e.column <- col;
+    e.bytes <- bytes;
+    touch t e
+  | None ->
+    let e = { column = col; bytes; last_use = 0 } in
+    touch t e;
+    Hashtbl.add t.table m e;
+    t.total_bytes <- t.total_bytes + bytes);
+  Telemetry.Counter.incr t.promotions;
+  (* Enforce the budget, always keeping the entry just promoted (a
+     single over-budget column is better served resident than thrashing
+     on every promotion). *)
+  while over_budget t && evict_lru t ~keep:m do
+    ()
+  done
+
+let invalidate t m =
+  match Hashtbl.find_opt t.table m with
+  | None -> false
+  | Some e ->
+    Hashtbl.remove t.table m;
+    t.total_bytes <- t.total_bytes - e.bytes;
+    Telemetry.Counter.incr t.invalidations;
+    true
+
+let clear t =
+  let n = Hashtbl.length t.table in
+  Hashtbl.reset t.table;
+  t.total_bytes <- 0;
+  Telemetry.Counter.add t.invalidations n
+
+let update_columns t f =
+  let updates =
+    Hashtbl.fold (fun m e acc -> (m, e, f m e.column) :: acc) t.table []
+  in
+  List.iter
+    (fun (m, e, next) ->
+      match next with
+      | None ->
+        Hashtbl.remove t.table m;
+        t.total_bytes <- t.total_bytes - e.bytes;
+        Telemetry.Counter.incr t.invalidations
+      | Some col ->
+        let bytes = column_bytes col in
+        t.total_bytes <- t.total_bytes - e.bytes + bytes;
+        e.column <- col;
+        e.bytes <- bytes)
+    updates
+
+let mem t m = Hashtbl.mem t.table m
+let entries t = Hashtbl.length t.table
+let bytes t = t.total_bytes
+
+let counters t =
+  List.map
+    (fun c -> (Telemetry.Counter.name c, Telemetry.Counter.value c))
+    [ t.hits; t.misses; t.promotions; t.evictions; t.invalidations ]
+
+let hits t = Telemetry.Counter.value t.hits
+let misses t = Telemetry.Counter.value t.misses

@@ -1,0 +1,59 @@
+(** The compiled-table cache: fully materialized per-member verdict
+    columns under an LRU budget.
+
+    A column is the Figure-8 output for one member name over {e every}
+    class — the paper's lookup[*, m] — promoted from the memo engine once
+    a member's root-query count crosses the session's threshold.  A
+    compiled lookup is then a single array read, with no hashing and no
+    combine work at all: the fastest resident path the service offers.
+
+    Residency is bounded two ways: a maximum number of columns and an
+    optional byte budget (estimated heap words of the column
+    representation).  Past either bound the least recently used column is
+    evicted; the column just promoted always survives its own promotion.
+
+    Invalidation is the session's job (see DESIGN.md): [add_member]
+    invalidates exactly the mutated member's column, [add_class] extends
+    every resident column by the new class's verdict via
+    {!update_columns}. *)
+
+type column = Lookup_core.Engine.verdict option array
+
+type t
+
+(** [create ?max_entries ?max_bytes ()] — at most [max_entries] columns
+    (default 64) and, when given, at most [max_bytes] estimated bytes.
+    Raises [Invalid_argument] on non-positive bounds. *)
+val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
+
+(** [find t m] is member [m]'s compiled column, bumping its LRU stamp and
+    the hit counter — or [None], bumping the miss counter. *)
+val find : t -> string -> column option
+
+(** [promote t m col] installs (or refreshes) [m]'s column and enforces
+    the budget, evicting least-recently-used columns as needed. *)
+val promote : t -> string -> column -> unit
+
+(** [invalidate t m] drops [m]'s column if resident; [true] iff it was. *)
+val invalidate : t -> string -> bool
+
+(** [clear t] drops everything (counted as invalidations). *)
+val clear : t -> unit
+
+(** [update_columns t f] rewrites every resident column ([None] drops
+    it) — the [add_class] path: extend each column by the new class's
+    verdict instead of throwing the warm cache away. *)
+val update_columns : t -> (string -> column -> column option) -> unit
+
+val mem : t -> string -> bool
+val entries : t -> int
+
+(** [bytes t] is the estimated resident size (see [create]'s budget). *)
+val bytes : t -> int
+
+(** [counters t] — [table_hits], [table_misses], [table_promotions],
+    [table_evictions], [table_invalidations], in that order. *)
+val counters : t -> (string * int) list
+
+val hits : t -> int
+val misses : t -> int

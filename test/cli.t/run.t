@@ -218,3 +218,84 @@ Imported JSON can be materialized back as C++ source.
   struct A : virtual public S {
   public:
     int m;
+
+The lookup service: one JSON-lines session exercising all six protocol
+verbs — open, lookup (repeated past the promotion threshold, so serving
+shifts from the memo to a compiled column), batch_lookup, mutate (a new
+class, then a member added mid-hierarchy), stats, close.
+
+  $ cat > rpc.jsonl <<'EOF'
+  > {"id":1,"op":"open","session":"f","source":"struct S { int m; };\nstruct A : virtual S { int m; };\nstruct B : virtual S { int m; };\nstruct C : virtual A, virtual B { int m; };\nstruct D : C {};\nstruct E : virtual A, virtual B, D {};"}
+  > {"id":2,"op":"lookup","session":"f","class":"E","member":"m"}
+  > {"id":3,"op":"lookup","session":"f","class":"D","member":"m"}
+  > {"id":4,"op":"lookup","session":"f","class":"C","member":"m"}
+  > {"id":5,"op":"lookup","session":"f","class":"E","member":"m"}
+  > {"id":6,"op":"batch_lookup","session":"f","queries":[{"class":"S","member":"m"},{"class":"A","member":"m"},{"class":"E","member":"zz"}]}
+  > {"id":7,"op":"mutate","session":"f","add_class":{"name":"F","bases":[{"class":"E"}],"members":[{"name":"n"}]}}
+  > {"id":8,"op":"lookup","session":"f","class":"F","member":"m"}
+  > {"id":9,"op":"mutate","session":"f","add_member":{"class":"D","member":{"name":"m"}}}
+  > {"id":10,"op":"lookup","session":"f","class":"E","member":"m"}
+  > {"id":11,"op":"stats","session":"f"}
+  > {"id":12,"op":"close","session":"f"}
+  > {"id":13,"op":"lookup","session":"f","class":"E","member":"m"}
+  > EOF
+  $ cxxlookup serve < rpc.jsonl
+  {"id":1,"ok":true,"protocol":"cxxlookup-rpc/1","session":"f","classes":6,"edges":8,"members":1}
+  {"id":2,"ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
+  {"id":3,"ok":true,"class":"D","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
+  {"id":4,"ok":true,"class":"C","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
+  {"id":5,"ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"table"}
+  {"id":6,"ok":true,"results":[{"class":"S","member":"m","verdict":"red","resolves_to":"S","detail":"red (S, Ω)","via":"table"},{"class":"A","member":"m","verdict":"red","resolves_to":"A","detail":"red (A, Ω)","via":"table"},{"class":"E","member":"zz","verdict":"none","via":"memo"}],"resolved":2,"ambiguous":0,"not_found":1}
+  {"id":7,"ok":true,"session":"f","added":"F","classes":7,"epoch":1}
+  {"id":8,"ok":true,"class":"F","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"table"}
+  {"id":9,"ok":true,"session":"f","class":"D","member":"m","rows_recomputed":3,"table_invalidated":true,"epoch":2}
+  {"id":10,"ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"D","detail":"red (D, Ω)","via":"memo"}
+  {"id":11,"ok":true,"session":"f","stats":{"session":"f","classes":7,"edges":9,"members":2,"epoch":2,"counters":{"lookups":9,"resolved":8,"ambiguous":0,"not_found":1,"mutations":2},"table":{"entries":0,"bytes":0,"hit_ratio_pct":44,"table_hits":4,"table_misses":5,"table_promotions":1,"table_evictions":0,"table_invalidations":1},"memo":{"cached_entries":4}}}
+  {"id":12,"ok":true,"session":"f","closed":true}
+  {"id":13,"ok":false,"error":{"code":"unknown_session","message":"no open session \"f\""}}
+
+Service-level stats (no session argument) aggregate over the run; a
+fresh server has clean counters.
+
+  $ echo '{"id":0,"op":"stats"}' | cxxlookup serve
+  {"id":0,"ok":true,"protocol":"cxxlookup-rpc/1","service":{"requests":1,"errors":0,"sessions_opened":0,"sessions_closed":0,"lookups":0,"batch_requests":0,"batch_queries":0,"mutations":0,"sessions_open":0},"sessions":[]}
+
+Malformed input is answered in-band, line by line, never fatally.
+
+  $ cxxlookup serve <<'EOF'
+  > not json
+  > {"id":1,"op":"frobnicate"}
+  > {"id":2,"rpc":"cxxlookup-rpc/9","op":"stats"}
+  > EOF
+  {"id":null,"ok":false,"error":{"code":"parse_error","message":"JSON error at offset 0: invalid literal (expected null)"}}
+  {"id":1,"ok":false,"error":{"code":"unknown_op","message":"unknown op \"frobnicate\""}}
+  {"id":2,"ok":false,"error":{"code":"bad_version","message":"this server speaks cxxlookup-rpc/1"}}
+
+Batch replay: a hierarchy file plus one query per line (defaults are
+injected: each line becomes a lookup against the opened session), with
+the session stats appended.
+
+  $ cat > queries.jsonl <<'EOF'
+  > {"class":"E","member":"m"}
+  > {"class":"D","member":"m"}
+  > {"class":"E","member":"m"}
+  > {"class":"E","member":"m"}
+  > EOF
+  $ cxxlookup batch fig9.json queries.jsonl
+  {"id":"open","ok":true,"protocol":"cxxlookup-rpc/1","session":"s0","classes":6,"edges":8,"members":1}
+  {"id":"q0","ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
+  {"id":"q1","ok":true,"class":"D","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
+  {"id":"q2","ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
+  {"id":"q3","ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"table"}
+  {"id":"stats","ok":true,"session":"s0","stats":{"session":"s0","classes":6,"edges":8,"members":1,"epoch":0,"counters":{"lookups":4,"resolved":4,"ambiguous":0,"not_found":0,"mutations":0},"table":{"entries":1,"bytes":352,"hit_ratio_pct":25,"table_hits":1,"table_misses":3,"table_promotions":1,"table_evictions":0,"table_invalidations":0},"memo":{"cached_entries":6}}}
+
+Request tracing: --trace records a request event and an rpc span pair
+per request on the telemetry sink (stderr; timestamps elided by design).
+
+  $ cxxlookup serve --trace < rpc.jsonl 2>&1 >/dev/null | head -6
+  [0] request  op=open session=f
+  [1] span_begin span=rpc:open depth=0
+  [2] span_end span=rpc:open depth=0
+  [3] request  op=lookup session=f
+  [4] span_begin span=rpc:lookup depth=0
+  [5] span_end span=rpc:lookup depth=0

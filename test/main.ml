@@ -19,4 +19,5 @@ let () =
       ("workload", Test_workload.suite);
       ("slicing", Test_slicing.suite);
       ("telemetry", Test_telemetry.suite);
+      ("service", Test_service.suite);
       ("properties", Test_props.suite) ]

@@ -1,0 +1,474 @@
+(* Tests for the lookup service layer: memo eviction, the compiled-table
+   cache, sessions (including mutation repair of compiled columns), the
+   cxxlookup-rpc/1 protocol codec, and the request dispatcher. *)
+
+module G = Chg.Graph
+module J = Chg.Json
+module Path = Subobject.Path
+module Spec = Subobject.Spec
+module Engine = Lookup_core.Engine
+module Memo = Lookup_core.Memo
+module Table_cache = Service.Table_cache
+module Session = Service.Session
+module Protocol = Service.Protocol
+module Server = Service.Server
+module W = Hiergen.Workload
+
+let graph () = Hiergen.Figures.fig3 ()
+let members = [ "foo"; "bar" ]
+
+let verdict_t g =
+  Alcotest.testable
+    (fun ppf v ->
+      match v with
+      | None -> Format.pp_print_string ppf "none"
+      | Some v -> Engine.pp_verdict g ppf v)
+    ( = )
+
+(* ---- Memo eviction (the residency-cap contract) ---- *)
+
+let test_memo_cap_and_correctness () =
+  let g = graph () in
+  let cl = Chg.Closure.compute g in
+  let eng = Engine.build cl in
+  let memo = Memo.create ~max_entries:2 cl in
+  (* run everything twice: the second pass exercises lookups whose cached
+     entries were evicted by later fills *)
+  for _ = 1 to 2 do
+    G.iter_classes g (fun c ->
+        List.iter
+          (fun m ->
+            Alcotest.check (verdict_t g)
+              (Printf.sprintf "verdict %s::%s under 2-entry cap" (G.name g c)
+                 m)
+              (Engine.lookup eng c m) (Memo.lookup memo c m))
+          members)
+  done;
+  Alcotest.(check bool)
+    "cap honoured" true
+    (Memo.cached_entries memo <= 2)
+
+let test_memo_evict_and_clear () =
+  let g = graph () in
+  let cl = Chg.Closure.compute g in
+  let memo = Memo.create cl in
+  G.iter_classes g (fun c -> ignore (Memo.lookup memo c "foo"));
+  let resident = Memo.cached_entries memo in
+  Alcotest.(check bool) "something resident" true (resident > 0);
+  Alcotest.(check int) "evict reports drops" 3 (Memo.evict memo 3);
+  Alcotest.(check int) "residency shrank" (resident - 3)
+    (Memo.cached_entries memo);
+  (* evicting more than resident drops what is left *)
+  Alcotest.(check int) "evict is capped" (resident - 3)
+    (Memo.evict memo 10_000);
+  Alcotest.(check int) "empty" 0 (Memo.cached_entries memo);
+  let queries_before = Memo.root_queries memo "foo" in
+  Memo.clear memo;
+  Alcotest.(check int) "clear keeps query counts" queries_before
+    (Memo.root_queries memo "foo");
+  (* still correct after total eviction *)
+  let eng = Engine.build cl in
+  G.iter_classes g (fun c ->
+      Alcotest.check (verdict_t g) "post-eviction verdict"
+        (Engine.lookup eng c "foo")
+        (Memo.lookup memo c "foo"))
+
+let test_memo_root_queries () =
+  let g = graph () in
+  let cl = Chg.Closure.compute g in
+  let memo = Memo.create cl in
+  Alcotest.(check int) "starts at zero" 0 (Memo.root_queries memo "foo");
+  ignore (Memo.lookup memo (G.find g "H") "foo");
+  ignore (Memo.lookup memo (G.find g "G") "foo");
+  (* H's fill recurses through its bases; only the two public calls
+     count *)
+  Alcotest.(check int) "root queries only" 2 (Memo.root_queries memo "foo");
+  ignore (Memo.materialize_column memo "foo");
+  Alcotest.(check int) "materialize is not a query" 2
+    (Memo.root_queries memo "foo")
+
+let test_memo_column_matches_engine () =
+  let g = graph () in
+  let cl = Chg.Closure.compute g in
+  let eng = Engine.build cl in
+  let memo = Memo.create ~max_entries:2 cl in
+  let col = Memo.materialize_column memo "bar" in
+  Alcotest.(check int) "column length" (G.num_classes g) (Array.length col);
+  G.iter_classes g (fun c ->
+      Alcotest.check (verdict_t g) "column entry" (Engine.lookup eng c "bar")
+        col.(c))
+
+let test_memo_bad_cap () =
+  let cl = Chg.Closure.compute (graph ()) in
+  Alcotest.check_raises "zero cap rejected"
+    (Invalid_argument "Memo.create: max_entries must be >= 1")
+    (fun () -> ignore (Memo.create ~max_entries:0 cl))
+
+(* ---- Table cache: LRU, budgets, invalidation ---- *)
+
+let col_of verdicts = Array.map (fun v -> v) verdicts
+
+let red c = Some (Engine.Red { r_ldc = c; r_lvs = [] })
+
+let test_cache_lru () =
+  let t = Table_cache.create ~max_entries:2 () in
+  Table_cache.promote t "a" (col_of [| red 0 |]);
+  Table_cache.promote t "b" (col_of [| red 1 |]);
+  ignore (Table_cache.find t "a") (* touch: "b" becomes LRU *);
+  Table_cache.promote t "c" (col_of [| red 2 |]);
+  Alcotest.(check bool) "a survives (recently used)" true
+    (Table_cache.mem t "a");
+  Alcotest.(check bool) "b evicted (LRU)" false (Table_cache.mem t "b");
+  Alcotest.(check bool) "c resident" true (Table_cache.mem t "c");
+  Alcotest.(check int) "entries at cap" 2 (Table_cache.entries t);
+  let find k = List.assoc k (Table_cache.counters t) in
+  Alcotest.(check int) "promotions" 3 (find "table_promotions");
+  Alcotest.(check int) "evictions" 1 (find "table_evictions");
+  Alcotest.(check int) "hits" 1 (find "table_hits")
+
+let test_cache_byte_budget () =
+  (* a budget smaller than one column: the newly promoted column always
+     survives its own promotion, everything else goes *)
+  let t = Table_cache.create ~max_bytes:64 () in
+  Table_cache.promote t "a" (col_of [| red 0; red 1; None |]);
+  Table_cache.promote t "b" (col_of [| red 0; red 1; None |]);
+  Alcotest.(check int) "only the newest column resident" 1
+    (Table_cache.entries t);
+  Alcotest.(check bool) "and it is the newest" true (Table_cache.mem t "b");
+  Alcotest.(check bool) "byte estimate is positive" true
+    (Table_cache.bytes t > 0)
+
+let test_cache_invalidate_and_update () =
+  let t = Table_cache.create () in
+  Table_cache.promote t "a" (col_of [| red 0 |]);
+  Table_cache.promote t "b" (col_of [| red 1 |]);
+  Alcotest.(check bool) "invalidate resident" true
+    (Table_cache.invalidate t "a");
+  Alcotest.(check bool) "invalidate absent" false
+    (Table_cache.invalidate t "a");
+  Alcotest.(check (option bool)) "a gone" None
+    (Option.map (fun _ -> true) (Table_cache.find t "a"));
+  (* the add_class path: extend every resident column *)
+  Table_cache.update_columns t (fun _ col ->
+      Some (Array.append col [| red 9 |]));
+  (match Table_cache.find t "b" with
+  | Some col ->
+    Alcotest.(check int) "extended" 2 (Array.length col);
+    Alcotest.check (verdict_t (graph ())) "new slot" (red 9) col.(1)
+  | None -> Alcotest.fail "column b disappeared");
+  (* update returning None drops the column *)
+  Table_cache.update_columns t (fun _ _ -> None);
+  Alcotest.(check int) "all dropped" 0 (Table_cache.entries t)
+
+(* ---- Sessions ---- *)
+
+let session_config =
+  { Session.default_config with promote_threshold = 2 }
+
+let test_session_serves_and_promotes () =
+  let g = graph () in
+  let s = Session.create ~config:session_config ~name:"t" g in
+  let eng = Engine.build (Chg.Closure.compute g) in
+  let expect_served cls m layer =
+    match Session.lookup s cls m with
+    | Error c -> Alcotest.failf "unknown class %s" c
+    | Ok (v, served) ->
+      Alcotest.check (verdict_t g)
+        (Printf.sprintf "%s::%s agrees with engine" cls m)
+        (Engine.lookup eng (G.find g cls) m)
+        v;
+      Alcotest.(check string)
+        (Printf.sprintf "%s::%s served via" cls m)
+        layer
+        (Session.served_string served)
+  in
+  expect_served "H" "foo" "memo" (* query 1 of foo *);
+  expect_served "G" "foo" "memo" (* query 2: crosses threshold, promotes *);
+  expect_served "H" "foo" "table";
+  expect_served "A" "foo" "table";
+  expect_served "H" "bar" "memo";
+  Alcotest.(check bool) "foo column resident" true
+    (Table_cache.mem (Session.cache s) "foo");
+  let c = Session.counters s in
+  Alcotest.(check int) "lookup counter" 5 (List.assoc "lookups" c)
+
+let test_session_unknown_class () =
+  let s = Session.create ~name:"t" (graph ()) in
+  match Session.lookup s "Nope" "foo" with
+  | Error c -> Alcotest.(check string) "echoes the class" "Nope" c
+  | Ok _ -> Alcotest.fail "lookup of unknown class succeeded"
+
+(* the oracle for mutations: rebuild the mutated hierarchy from scratch
+   and run the eager engine on it *)
+let engine_of_session s =
+  Engine.build (Chg.Closure.compute (Session.graph s))
+
+let check_all_lookups s =
+  let g = Session.graph s in
+  let eng = engine_of_session s in
+  G.iter_classes g (fun c ->
+      List.iter
+        (fun m ->
+          match Session.lookup s (G.name g c) m with
+          | Error cls -> Alcotest.failf "lost class %s" cls
+          | Ok (v, _) ->
+            Alcotest.check (verdict_t g)
+              (Printf.sprintf "%s::%s vs fresh engine" (G.name g c) m)
+              (Engine.lookup eng c m) v)
+        (G.member_names g))
+
+let test_session_add_class_extends_columns () =
+  let g = graph () in
+  let s = Session.create ~config:session_config ~name:"t" g in
+  (* warm: promote foo's column *)
+  ignore (Session.lookup s "H" "foo");
+  ignore (Session.lookup s "G" "foo");
+  Alcotest.(check bool) "foo compiled" true
+    (Table_cache.mem (Session.cache s) "foo");
+  let id =
+    Session.add_class s ~cls:"Z"
+      ~bases:[ ("H", G.Non_virtual, G.Public); ("F", G.Virtual, G.Public) ]
+      ~members:[ G.member "baz" ]
+  in
+  Alcotest.(check int) "dense id appended" (G.num_classes g) id;
+  Alcotest.(check int) "epoch bumped" 1 (Session.epoch s);
+  (* the warm column survived the mutation and covers the new class *)
+  Alcotest.(check bool) "foo column still resident" true
+    (Table_cache.mem (Session.cache s) "foo");
+  (match Session.lookup s "Z" "foo" with
+  | Ok (_, served) ->
+    Alcotest.(check string) "new class served from the extended column"
+      "table"
+      (Session.served_string served)
+  | Error c -> Alcotest.failf "lost class %s" c);
+  check_all_lookups s
+
+let test_session_add_member_invalidates () =
+  let g = graph () in
+  let s = Session.create ~config:session_config ~name:"t" g in
+  ignore (Session.lookup s "H" "foo");
+  ignore (Session.lookup s "G" "foo");
+  let rows, invalidated = Session.add_member s ~cls:"B" (G.member "foo") in
+  Alcotest.(check bool) "compiled column was invalidated" true invalidated;
+  Alcotest.(check bool) "some rows recomputed" true (rows > 0);
+  Alcotest.(check bool) "column no longer resident" false
+    (Table_cache.mem (Session.cache s) "foo");
+  Alcotest.(check int) "epoch bumped" 1 (Session.epoch s);
+  check_all_lookups s;
+  (* an unrelated member's addition leaves nothing to invalidate *)
+  let _, invalidated2 = Session.add_member s ~cls:"B" (G.member "qux") in
+  Alcotest.(check bool) "nothing resident to invalidate" false invalidated2;
+  check_all_lookups s
+
+(* ---- Protocol codec ---- *)
+
+let parse line =
+  match Protocol.parse_request line with
+  | Ok rq -> rq
+  | Error (_, code, msg) ->
+    Alcotest.failf "parse failed: %s %s" (Protocol.code_string code) msg
+
+let test_protocol_parse_ok () =
+  let rq = parse {|{"id":7,"op":"lookup","session":"s","class":"A","member":"m"}|} in
+  Alcotest.(check bool) "id echo" true (rq.Protocol.rq_id = J.Int 7);
+  Alcotest.(check (option string)) "session" (Some "s")
+    rq.Protocol.rq_session;
+  (match rq.Protocol.rq_op with
+  | Protocol.Lookup { q_class = "A"; q_member = "m" } -> ()
+  | _ -> Alcotest.fail "wrong op");
+  (match (parse {|{"op":"batch_lookup","session":"s","queries":[{"class":"A","member":"m"},{"class":"B","member":"n"}]}|}).Protocol.rq_op with
+  | Protocol.Batch_lookup [ a; b ] ->
+    Alcotest.(check string) "q1" "A" a.Protocol.q_class;
+    Alcotest.(check string) "q2 member" "n" b.Protocol.q_member
+  | _ -> Alcotest.fail "wrong batch op");
+  (match (parse {|{"op":"mutate","session":"s","add_member":{"class":"C","member":{"name":"m","static":true}}}|}).Protocol.rq_op with
+  | Protocol.Mutate (Protocol.Add_member { mm_class = "C"; mm_member }) ->
+    Alcotest.(check bool) "static parsed" true mm_member.G.m_static
+  | _ -> Alcotest.fail "wrong mutate op");
+  (* versioned request accepted *)
+  match (parse {|{"rpc":"cxxlookup-rpc/1","op":"stats"}|}).Protocol.rq_op with
+  | Protocol.Stats -> ()
+  | _ -> Alcotest.fail "wrong stats op"
+
+let expect_error line code =
+  match Protocol.parse_request line with
+  | Ok _ -> Alcotest.failf "accepted %s" line
+  | Error (_, c, _) ->
+    Alcotest.(check string)
+      (Printf.sprintf "error code for %s" line)
+      (Protocol.code_string code) (Protocol.code_string c)
+
+let test_protocol_parse_errors () =
+  expect_error "nonsense" Protocol.Parse_error;
+  expect_error {|[1,2]|} Protocol.Bad_request;
+  expect_error {|{"id":1}|} Protocol.Bad_request;
+  expect_error {|{"op":"frobnicate"}|} Protocol.Unknown_op;
+  expect_error {|{"rpc":"cxxlookup-rpc/2","op":"stats"}|}
+    Protocol.Bad_version;
+  expect_error {|{"op":"lookup","class":"A"}|} Protocol.Bad_request;
+  (* the id is still recovered for the error response *)
+  match Protocol.parse_request {|{"id":"q1","op":"frobnicate"}|} with
+  | Error (id, _, _) ->
+    Alcotest.(check bool) "id recovered" true (id = J.String "q1")
+  | Ok _ -> Alcotest.fail "accepted unknown op"
+
+(* ---- Server dispatch ---- *)
+
+let field r name =
+  match J.member name r with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "response lacks %s: %s" name e
+
+let is_ok r = field r "ok" = J.Bool true
+
+let error_code r =
+  match J.member "code" (field r "error") with
+  | Ok (J.String s) -> s
+  | _ -> Alcotest.fail "unstructured error"
+
+let open_request ?(session = "s") g =
+  J.Obj
+    [ ("id", J.Int 0); ("op", J.String "open");
+      ("session", J.String session); ("chg", Chg.Serialize.to_json g) ]
+
+let test_server_open_and_errors () =
+  let srv = Server.create () in
+  let r = Server.handle_json srv (open_request (graph ())) in
+  Alcotest.(check bool) "open ok" true (is_ok r);
+  Alcotest.(check bool) "class count" true (field r "classes" = J.Int 8);
+  let dup = Server.handle_json srv (open_request (graph ())) in
+  Alcotest.(check string) "duplicate session" "duplicate_session"
+    (error_code dup);
+  let unknown =
+    Server.handle_line srv
+      {|{"id":1,"op":"lookup","session":"nope","class":"A","member":"foo"}|}
+  in
+  Alcotest.(check string) "unknown session" "unknown_session"
+    (error_code unknown);
+  let bad_class =
+    Server.handle_line srv
+      {|{"id":2,"op":"lookup","session":"s","class":"Nope","member":"foo"}|}
+  in
+  Alcotest.(check string) "unknown class" "unknown_class"
+    (error_code bad_class);
+  let closed =
+    Server.handle_line srv {|{"id":3,"op":"close","session":"s"}|}
+  in
+  Alcotest.(check bool) "close ok" true (is_ok closed);
+  Alcotest.(check string) "closed session gone" "unknown_session"
+    (error_code
+       (Server.handle_line srv {|{"id":4,"op":"close","session":"s"}|}));
+  (* duplicate open, unknown session, unknown class, close-after-close *)
+  let errors = List.assoc "errors" (Server.counters srv) in
+  Alcotest.(check int) "error counter" 4 errors
+
+let test_server_open_source_rejects_bad () =
+  let srv = Server.create () in
+  let r =
+    Server.handle_line srv
+      {|{"id":0,"op":"open","source":"struct A : NotDeclared {};"}|}
+  in
+  Alcotest.(check string) "bad hierarchy" "bad_hierarchy" (error_code r)
+
+(* ---- QCheck: the wire protocol against the spec oracle ---- *)
+
+let qc_members = [ "m"; "n"; "p" ]
+
+let instance_gen =
+  QCheck.Gen.(
+    map
+      (fun (n, max_bases, vp, dp, seed) ->
+        Hiergen.Families.random_dag ~n ~max_bases
+          ~virtual_prob:(float_of_int vp /. 10.)
+          ~declare_prob:(float_of_int dp /. 10.)
+          ~members:qc_members ~seed)
+      (tup5 (int_range 1 14) (int_range 1 3) (int_range 0 10)
+         (int_range 1 6) (int_range 0 10000)))
+
+let instance_arb =
+  QCheck.make instance_gen ~print:(fun i ->
+      i.Hiergen.Families.description ^ "\n"
+      ^ Format.asprintf "%a" G.pp i.Hiergen.Families.graph)
+
+let result_matches_spec g (q : W.query) r =
+  let verdict =
+    match J.member "verdict" r with
+    | Ok (J.String s) -> s
+    | _ -> "?"
+  in
+  match Spec.lookup_static g q.W.q_class q.W.q_member with
+  | Spec.Resolved p ->
+    verdict = "red"
+    && J.member "resolves_to" r = Ok (J.String (G.name g (Path.ldc p)))
+  | Spec.Ambiguous _ -> verdict = "blue"
+  | Spec.Undeclared -> verdict = "none"
+
+let prop_batch_matches_spec =
+  QCheck.Test.make ~count:120
+    ~name:"batch_lookup over exhaustive workload = spec oracle" instance_arb
+    (fun { Hiergen.Families.graph = g; _ } ->
+      let srv = Server.create () in
+      let opened = Server.handle_json srv (open_request g) in
+      opened <> J.Null
+      && is_ok opened
+      &&
+      let ws = W.exhaustive g in
+      let resp =
+        Server.handle_line srv (W.to_batch_request ~session:"s" g ws)
+      in
+      is_ok resp
+      &&
+      match J.member "results" resp with
+      | Ok (J.List rs) when List.length rs = List.length ws ->
+        List.for_all2 (result_matches_spec g) ws rs
+      | _ -> false)
+
+let prop_serve_sessions_promote =
+  (* replaying a workload twice per session: answers stay equal to the
+     first pass even as serving shifts from memo to compiled columns *)
+  QCheck.Test.make ~count:60 ~name:"promotion never changes answers"
+    instance_arb (fun { Hiergen.Families.graph = g; _ } ->
+      let config = { Session.default_config with promote_threshold = 1 } in
+      let s = Session.create ~config ~name:"q" g in
+      let ws = W.exhaustive g in
+      let run () =
+        List.map
+          (fun (q : W.query) ->
+            match Session.lookup s (G.name g q.W.q_class) q.W.q_member with
+            | Ok (v, _) -> v
+            | Error _ -> assert false)
+          ws
+      in
+      run () = run ())
+
+let suite =
+  [ Alcotest.test_case "memo cap keeps verdicts intact" `Quick
+      test_memo_cap_and_correctness;
+    Alcotest.test_case "memo evict/clear" `Quick test_memo_evict_and_clear;
+    Alcotest.test_case "memo root-query counting" `Quick
+      test_memo_root_queries;
+    Alcotest.test_case "memo materialized column" `Quick
+      test_memo_column_matches_engine;
+    Alcotest.test_case "memo rejects bad cap" `Quick test_memo_bad_cap;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru;
+    Alcotest.test_case "cache byte budget" `Quick test_cache_byte_budget;
+    Alcotest.test_case "cache invalidate/update" `Quick
+      test_cache_invalidate_and_update;
+    Alcotest.test_case "session serves and promotes" `Quick
+      test_session_serves_and_promotes;
+    Alcotest.test_case "session unknown class" `Quick
+      test_session_unknown_class;
+    Alcotest.test_case "add_class extends compiled columns" `Quick
+      test_session_add_class_extends_columns;
+    Alcotest.test_case "add_member invalidates its column" `Quick
+      test_session_add_member_invalidates;
+    Alcotest.test_case "protocol parses every verb" `Quick
+      test_protocol_parse_ok;
+    Alcotest.test_case "protocol error codes" `Quick
+      test_protocol_parse_errors;
+    Alcotest.test_case "server open/close and errors" `Quick
+      test_server_open_and_errors;
+    Alcotest.test_case "server rejects bad source" `Quick
+      test_server_open_source_rejects_bad ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_batch_matches_spec; prop_serve_sessions_promote ]

@@ -34,8 +34,10 @@ let test_drivers_agree () =
   let ws = W.exhaustive g in
   let eng = Lookup_core.Engine.build cl in
   let memo = Lookup_core.Memo.create cl in
-  Alcotest.(check int) "same resolved count" (W.run_engine eng ws)
-    (W.run_memo memo ws);
+  let se = W.run_engine eng ws and sm = W.run_memo memo ws in
+  Alcotest.(check bool) "same summary" true (se = sm);
+  Alcotest.(check int) "summary accounts every query" (List.length ws)
+    (W.total se);
   (* fig3: resolved lookups = all (class, member) pairs with a red
      verdict: foo at A,B,C,G,H; bar at D,E,F?,G,H?...
      count them from the engine directly *)
@@ -48,7 +50,7 @@ let test_drivers_agree () =
            | _ -> false)
          ws)
   in
-  Alcotest.(check int) "checksum" expected (W.run_engine eng ws)
+  Alcotest.(check int) "checksum" expected se.W.resolved
 
 let test_empty_graph () =
   let g = G.freeze (G.create_builder ()) in
