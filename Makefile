@@ -13,8 +13,10 @@ bench:
 
 # CI entry point: full build, full test suite, a smoke run of the
 # telemetry pipeline end to end (parse -> all three engines -> JSON),
-# and a serve smoke test (canned cxxlookup-rpc/1 transcript through the
-# service, diffed against its golden).
+# a serve smoke test (canned cxxlookup-rpc/1 transcript through the
+# service, diffed against its golden), and a crash-recovery smoke test
+# (durable serve, SIGKILL, restart over the same store, diff against
+# the recovered-transcript golden).
 verify:
 	dune build @all
 	dune runtest
@@ -22,6 +24,7 @@ verify:
 	  | grep -q '"schema": "cxxlookup-stats/1"'
 	dune exec bin/cxxlookup.exe -- serve < test/smoke/serve_input.jsonl \
 	  | diff - test/smoke/serve_golden.jsonl
+	sh test/smoke/crash_recovery.sh
 	@echo "verify: OK"
 
 clean:

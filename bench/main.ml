@@ -27,6 +27,7 @@ let () =
   Ablation.run ();
   Matchup.run ();
   Throughput.run ();
+  Store_bench.run ();
   Becha.run ();
   write_metrics ();
   Format.printf "@.%s@."

@@ -514,6 +514,76 @@ let service_config_term =
   in
   Term.(const make $ threshold $ table_entries $ table_bytes $ memo_cap)
 
+(* -- durability options ---------------------------------------------- *)
+
+let fsync_conv =
+  let parse = function
+    | "always" -> Ok Store.Wal.Always
+    | "never" -> Ok Store.Wal.Never
+    | s ->
+      (match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok (Store.Wal.Every n)
+      | _ ->
+        Error
+          (`Msg
+             "expected 'always', 'never', or a positive integer N (fsync \
+              every N appends)"))
+  in
+  let print ppf = function
+    | Store.Wal.Always -> Format.pp_print_string ppf "always"
+    | Store.Wal.Never -> Format.pp_print_string ppf "never"
+    | Store.Wal.Every n -> Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print)
+
+let store_config_term =
+  let fsync =
+    Arg.(
+      value
+      & opt fsync_conv Store.default_config.Store.fsync
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "WAL fsync policy: 'always' (every append), 'never', or N \
+             (every N appends).")
+  in
+  let compact =
+    Arg.(
+      value
+      & opt int Store.default_config.Store.compact_bytes
+      & info [ "compact-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "WAL size past which a mutation triggers compaction into a \
+             fresh snapshot.")
+  in
+  let keep =
+    Arg.(
+      value
+      & opt int Store.default_config.Store.keep_snapshots
+      & info [ "keep-snapshots" ] ~docv:"N"
+          ~doc:"Snapshot files retained per session.")
+  in
+  let make fsync compact_bytes keep_snapshots =
+    { Store.fsync; compact_bytes; keep_snapshots }
+  in
+  Term.(const make $ fsync $ compact $ keep)
+
+let print_recoveries results =
+  List.iter
+    (function
+      | Service.Server.Recovered { r_session; r_epoch; r_replayed; r_torn } ->
+        Printf.eprintf "recovered session %S: epoch %d, %d replayed%s\n%!"
+          r_session r_epoch r_replayed
+          (if r_torn then ", torn WAL tail skipped" else "")
+      | Service.Server.Recovery_failed { r_session; r_error } ->
+        Printf.eprintf "failed to recover session %S: %s\n%!" r_session
+          r_error)
+    results
+
+let response_ok j =
+  match Chg.Json.member "ok" j with
+  | Ok (Chg.Json.Bool true) -> true
+  | _ -> false
+
 let serve_cmd =
   let trace =
     Arg.(
@@ -523,9 +593,28 @@ let serve_cmd =
             "Record a per-request telemetry event stream and print it to \
              stderr at EOF.")
   in
-  let run config trace =
-    let srv = Service.Server.create ~config ~trace () in
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Durable store directory: sessions are snapshotted and \
+             write-ahead logged under it, stored sessions are recovered \
+             at startup, and the snapshot/restore verbs work.")
+  in
+  let run config trace store_dir store_config =
+    let store =
+      Option.map (fun dir -> Store.open_dir ~config:store_config dir) store_dir
+    in
+    let srv = Service.Server.create ~config ~trace ?store () in
+    if store <> None then print_recoveries (Service.Server.recover_sessions srv);
     Service.Server.serve srv stdin stdout;
+    (match store with
+    | None -> ()
+    | Some st ->
+      Store.sync st;
+      Store.close st);
     if trace then
       Format.eprintf "%a%!" Telemetry.Sink.pp (Service.Server.sink srv)
   in
@@ -534,10 +623,92 @@ let serve_cmd =
        ~doc:
          "Run the resident lookup service: cxxlookup-rpc/1 requests as \
           JSON lines on stdin, responses on stdout (open, lookup, \
-          batch_lookup, mutate, stats, close).  Sessions keep a parsed \
-          hierarchy, an incremental engine, a memo engine and a \
-          compiled-table cache resident across requests.")
-    Term.(const run $ service_config_term $ trace)
+          batch_lookup, mutate, snapshot, restore, stats, close).  \
+          Sessions keep a parsed hierarchy, an incremental engine, a memo \
+          engine and a compiled-table cache resident across requests.  \
+          With --store, sessions survive restarts: every open writes a \
+          snapshot, every mutation appends to a write-ahead log, and \
+          startup recovers whatever the store holds.")
+    Term.(const run $ service_config_term $ trace $ store_dir
+          $ store_config_term)
+
+let store_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"STORE_DIR" ~doc:"Durable store directory.")
+
+let store_sessions_arg =
+  Arg.(
+    value
+    & pos_right 0 string []
+    & info [] ~docv:"SESSION" ~doc:"Session names (default: all stored).")
+
+let snapshot_cmd =
+  let run store_config dir sessions =
+    let store = Store.open_dir ~config:store_config dir in
+    let srv = Service.Server.create ~store () in
+    print_recoveries (Service.Server.recover_sessions srv);
+    let names = match sessions with [] -> Store.sessions store | l -> l in
+    if names = [] then begin
+      prerr_endline "error: the store holds no sessions";
+      exit 1
+    end;
+    let failed = ref false in
+    List.iter
+      (fun name ->
+        let resp =
+          Service.Server.handle_request srv
+            { Service.Protocol.rq_id = Chg.Json.String name;
+              rq_session = Some name;
+              rq_op = Service.Protocol.Snapshot }
+        in
+        print_endline (Chg.Json.to_string resp);
+        if not (response_ok resp) then failed := true)
+      names;
+    Store.close store;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Compact stored sessions offline: recover each SESSION from \
+          STORE_DIR (newest snapshot + WAL replay) and write it back as a \
+          fresh snapshot, resetting its WAL.")
+    Term.(const run $ store_config_term $ store_dir_arg $ store_sessions_arg)
+
+let restore_cmd =
+  let run store_config dir sessions =
+    let store = Store.open_dir ~config:store_config dir in
+    let srv = Service.Server.create ~store () in
+    let names = match sessions with [] -> Store.sessions store | l -> l in
+    if names = [] then begin
+      prerr_endline "error: the store holds no sessions";
+      exit 1
+    end;
+    let failed = ref false in
+    List.iter
+      (fun name ->
+        let resp =
+          Service.Server.handle_request srv
+            { Service.Protocol.rq_id = Chg.Json.String name;
+              rq_session = Some name;
+              rq_op = Service.Protocol.Restore }
+        in
+        print_endline (Chg.Json.to_string resp);
+        if not (response_ok resp) then failed := true)
+      names;
+    Store.close store;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Recover stored sessions and report what came back: for each \
+          SESSION in STORE_DIR, print the restore response (epoch, \
+          classes, WAL records replayed, torn-tail flag).  Exits non-zero \
+          if any session fails to restore.")
+    Term.(const run $ store_config_term $ store_dir_arg $ store_sessions_arg)
 
 let batch_cmd =
   let queries_arg =
@@ -560,7 +731,21 @@ let batch_cmd =
       end
       else Service.Protocol.Source text
     in
+    (* in-band failures (ok:false responses, per-query errors inside a
+       batch_lookup result) surface in the exit code *)
+    let saw_error = ref false in
+    let response_has_error j =
+      (not (response_ok j))
+      ||
+      match Chg.Json.member "results" j with
+      | Ok (Chg.Json.List rs) ->
+        List.exists
+          (fun r -> Result.is_ok (Chg.Json.member "error" r))
+          rs
+      | _ -> false
+    in
     let print_response j =
+      if response_has_error j then saw_error := true;
       print_endline (Chg.Json.to_string j)
     in
     print_response
@@ -610,7 +795,8 @@ let batch_cmd =
       (Service.Server.handle_request srv
          { Service.Protocol.rq_id = Chg.Json.String "stats";
            rq_session = Some "s0";
-           rq_op = Service.Protocol.Stats })
+           rq_op = Service.Protocol.Stats });
+    if !saw_error then exit 1
   in
   Cmd.v
     (Cmd.info "batch"
@@ -618,15 +804,20 @@ let batch_cmd =
          "One-shot replay: open FILE as a session, answer every query of \
           QUERIES.jsonl through the service (missing id/op/session fields \
           default to a lookup against the file's session), then report \
-          the session's stats.")
+          the session's stats.  Exits non-zero when any response carries \
+          an in-band error.")
     Term.(const run $ service_config_term $ file_arg $ queries_arg)
 
 let () =
   let doc = "C++ member lookup (Ramalingam & Srinivasan, PLDI 1997)" in
+  let version =
+    Printf.sprintf "cxxlookup 1.0.0 (protocol %s)" Service.Protocol.version
+  in
   exit
     (Cmd.eval
        (Cmd.group
-          (Cmd.info "cxxlookup" ~version:"1.0.0" ~doc)
+          (Cmd.info "cxxlookup" ~version ~doc)
           [ check_cmd; lookup_cmd; table_cmd; dot_cmd; layout_cmd; vtable_cmd;
             slice_cmd; export_cmd; import_cmd; run_cmd; audit_cmd; count_cmd;
-            stats_cmd; trace_cmd; serve_cmd; batch_cmd ]))
+            stats_cmd; trace_cmd; serve_cmd; batch_cmd; snapshot_cmd;
+            restore_cmd ]))

@@ -1,0 +1,56 @@
+module B = Chg.Binary
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (B.Corrupt m)) fmt
+
+let write_lv w = function
+  | Abstraction.Omega -> B.Writer.u8 w 0
+  | Abstraction.Lv c ->
+    B.Writer.u8 w 1;
+    B.Writer.u32 w c
+
+let read_lv r =
+  match B.Reader.u8 r with
+  | 0 -> Abstraction.Omega
+  | 1 -> Abstraction.Lv (B.Reader.u32 r)
+  | n -> corrupt "bad lv tag %d" n
+
+let write_lvs w lvs =
+  B.Writer.u32 w (List.length lvs);
+  List.iter (write_lv w) lvs
+
+let read_lvs r = B.read_list r read_lv
+
+let write w = function
+  | None -> B.Writer.u8 w 0
+  | Some (Engine.Red red) ->
+    B.Writer.u8 w 1;
+    B.Writer.u32 w red.Abstraction.r_ldc;
+    write_lvs w red.Abstraction.r_lvs
+  | Some (Engine.Blue lvs) ->
+    B.Writer.u8 w 2;
+    write_lvs w lvs
+
+let read r =
+  match B.Reader.u8 r with
+  | 0 -> None
+  | 1 ->
+    let r_ldc = B.Reader.u32 r in
+    let r_lvs = read_lvs r in
+    Some (Engine.Red { Abstraction.r_ldc; r_lvs })
+  | 2 -> Some (Engine.Blue (read_lvs r))
+  | n -> corrupt "bad verdict tag %d" n
+
+let write_column w col =
+  B.Writer.u32 w (Array.length col);
+  Array.iter (write w) col
+
+let read_column r =
+  let n = B.Reader.u32 r in
+  (* each verdict is at least one byte: a bigger count is corruption,
+     caught here before Array.make trusts it *)
+  if n > B.Reader.remaining r then corrupt "column count %d too large" n;
+  let col = Array.make n None in
+  for i = 0 to n - 1 do
+    col.(i) <- read r
+  done;
+  col

@@ -1,0 +1,20 @@
+(** Binary codec for engine verdicts — the payload of the durable
+    store's compiled-column snapshot sections.
+
+    A verdict is closed data over class ids ({!Abstraction.red} /
+    {!Abstraction.lv}), so the encoding is positional and carries no
+    names; a decoded column is only meaningful against the graph whose
+    snapshot it was written next to (the store's CRC-framed sections
+    keep them together). *)
+
+val write : Chg.Binary.Writer.t -> Engine.verdict option -> unit
+
+(** @raise Chg.Binary.Corrupt on malformed input *)
+val read : Chg.Binary.Reader.t -> Engine.verdict option
+
+(** Whole columns (verdict per class id, as promoted by the service's
+    table cache). *)
+
+val write_column : Chg.Binary.Writer.t -> Engine.verdict option array -> unit
+
+val read_column : Chg.Binary.Reader.t -> Engine.verdict option array

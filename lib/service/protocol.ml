@@ -14,6 +14,7 @@ type error_code =
   | Duplicate_session
   | Unknown_class
   | Bad_hierarchy
+  | Store_error
   | Internal
 
 let code_string = function
@@ -25,6 +26,7 @@ let code_string = function
   | Duplicate_session -> "duplicate_session"
   | Unknown_class -> "unknown_class"
   | Bad_hierarchy -> "bad_hierarchy"
+  | Store_error -> "store_error"
   | Internal -> "internal"
 
 type query = { q_class : string; q_member : string }
@@ -46,6 +48,8 @@ type op =
   | Lookup of query
   | Batch_lookup of query list
   | Mutate of mutation
+  | Snapshot
+  | Restore
   | Stats
   | Close
 
@@ -205,6 +209,8 @@ let op_of_json op j =
   | "mutate" ->
     let* m = mutation_of_json j in
     Ok (Mutate m)
+  | "snapshot" -> Ok Snapshot
+  | "restore" -> Ok Restore
   | "stats" -> Ok Stats
   | "close" -> Ok Close
   | other -> Error (Unknown_op, Printf.sprintf "unknown op %S" other)

@@ -19,9 +19,15 @@
       ([{"name":..., "bases":[...], "members":[...]}], cxxlookup-chg
       field shapes with optional defaults) or ["add_member"]
       ([{"class":..., "member":{...}}]).
+    - [snapshot] — ["session"]: persist the session's durable state
+      (snapshot file + WAL reset) now.  Requires the server to run over
+      a store ([cxxlookup serve --store DIR]); [store_error] otherwise.
+    - [restore] — ["session"]: reopen a session from the store (newest
+      valid snapshot + WAL-tail replay).  The name must not be open.
     - [stats] — service-level counters, or one session's with
       ["session"].
-    - [close] — ["session"].
+    - [close] — ["session"].  Durable state, if any, survives the close
+      and can be reopened with [restore].
 
     Responses are [{"id":..., "ok":true, ...}] or [{"id":..., "ok":false,
     "error":{"code":..., "message":...}}] with a stable error-code
@@ -38,6 +44,9 @@ type error_code =
   | Duplicate_session
   | Unknown_class
   | Bad_hierarchy  (** open/mutate input is structurally invalid *)
+  | Store_error
+      (** no store is configured, nothing is stored under that session
+          name, or the stored state is unreadable *)
   | Internal
 
 val code_string : error_code -> string
@@ -61,6 +70,8 @@ type op =
   | Lookup of query
   | Batch_lookup of query list
   | Mutate of mutation
+  | Snapshot
+  | Restore
   | Stats
   | Close
 

@@ -4,6 +4,7 @@ module P = Protocol
 
 type t = {
   config : Session.config;
+  store : Store.t option;  (* durability, when serving --store *)
   sessions : (string, Session.t) Hashtbl.t;
   mutable session_order : string list;  (* open order, for stats *)
   mutable next_session : int;
@@ -19,11 +20,12 @@ type t = {
   mutations : Telemetry.Counter.t;
 }
 
-let create ?(config = Session.default_config) ?(trace = false) () =
+let create ?(config = Session.default_config) ?(trace = false) ?store () =
   let sink =
     if trace then Telemetry.Sink.create () else Telemetry.Sink.null
   in
   { config;
+    store;
     sessions = Hashtbl.create 8;
     session_order = [];
     next_session = 0;
@@ -39,6 +41,7 @@ let create ?(config = Session.default_config) ?(trace = false) () =
     mutations = Telemetry.Counter.make "mutations" }
 
 let sink t = t.sink
+let store t = t.store
 
 let counters t =
   List.map
@@ -73,6 +76,52 @@ let graph_of_hierarchy = function
         | [] -> "unknown");
     r.Frontend.Sema.graph
 
+(* ---- durability ----------------------------------------------------
+
+   Under a store, a session is durable from birth: [open] writes its
+   epoch-0 snapshot (superseding any previous lineage stored under the
+   name), every applied mutation appends one WAL record, and an
+   outgrown WAL is compacted into a fresh snapshot.  [snapshot] forces
+   that compaction; [restore] reopens from the newest valid snapshot
+   plus the WAL tail. *)
+
+let store_mutation_of = function
+  | P.Add_class { mc_name; mc_bases; mc_members } ->
+    Store.Mutation.Add_class
+      { ac_name = mc_name; ac_bases = mc_bases; ac_members = mc_members }
+  | P.Add_member { mm_class; mm_member } ->
+    Store.Mutation.Add_member { am_class = mm_class; am_member = mm_member }
+
+let snapshot_of_session s =
+  { Store.Snapshot.s_session = Session.name s;
+    s_epoch = Session.epoch s;
+    s_protocol = P.version;
+    s_graph = Session.graph s;
+    s_columns = Session.compiled_columns s }
+
+let write_snapshot store s =
+  try Store.write_snapshot store (snapshot_of_session s)
+  with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+    fail P.Store_error "snapshot failed: %s" msg
+
+let log_mutation t s m =
+  match t.store with
+  | None -> ()
+  | Some store ->
+    let session = Session.name s in
+    Store.log_mutation store ~session ~epoch:(Session.epoch s)
+      (store_mutation_of m);
+    if Store.needs_compaction store ~session then begin
+      Store.note_compaction store;
+      ignore (write_snapshot store s)
+    end
+
+let register_session t s =
+  let name = Session.name s in
+  Hashtbl.add t.sessions name s;
+  t.session_order <- t.session_order @ [ name ];
+  Telemetry.Counter.incr t.sessions_opened
+
 let handle_open t ~session:requested hierarchy =
   let name =
     match requested with
@@ -90,9 +139,12 @@ let handle_open t ~session:requested hierarchy =
   in
   let g = graph_of_hierarchy hierarchy in
   let s = Session.create ~config:t.config ~name g in
-  Hashtbl.add t.sessions name s;
-  t.session_order <- t.session_order @ [ name ];
-  Telemetry.Counter.incr t.sessions_opened;
+  (match t.store with
+  | None -> ()
+  | Some store ->
+    Store.reset_session store name;
+    ignore (write_snapshot store s));
+  register_session t s;
   [ ("protocol", J.String P.version);
     ("session", J.String name);
     ("classes", J.Int (G.num_classes g));
@@ -144,12 +196,14 @@ let handle_batch t s qs =
     ("ambiguous", J.Int !ambiguous);
     ("not_found", J.Int !not_found) ]
 
-let handle_mutate t s = function
+let handle_mutate t s m =
+  match m with
   | P.Add_class { mc_name; mc_bases; mc_members } ->
     Telemetry.Counter.incr t.mutations;
     (try
        ignore (Session.add_class s ~cls:mc_name ~bases:mc_bases
                  ~members:mc_members);
+       log_mutation t s m;
        [ ("session", J.String (Session.name s));
          ("added", J.String mc_name);
          ("classes", J.Int (G.num_classes (Session.graph s)));
@@ -165,6 +219,7 @@ let handle_mutate t s = function
     Telemetry.Counter.incr t.mutations;
     (try
        let rows, invalidated = Session.add_member s ~cls:mm_class mm_member in
+       log_mutation t s m;
        [ ("session", J.String (Session.name s));
          ("class", J.String mm_class);
          ("member", J.String mm_member.G.m_name);
@@ -179,14 +234,89 @@ let handle_mutate t s = function
        in
        fail code "%s" (G.error_to_string e))
 
+let handle_snapshot t s =
+  match t.store with
+  | None ->
+    fail P.Store_error "no store configured (run: cxxlookup serve --store DIR)"
+  | Some store ->
+    let bytes = write_snapshot store s in
+    [ ("session", J.String (Session.name s));
+      ("epoch", J.Int (Session.epoch s));
+      ("bytes", J.Int bytes) ]
+
+(* Rebuild a session from a recovery: restore the snapshot (graph +
+   compiled columns), then replay the WAL tail through the session's
+   normal mutation path — but never back into the WAL, which already
+   holds these records. *)
+let session_of_recovery t name rv =
+  let snap = rv.Store.rv_snapshot in
+  let s =
+    Session.restore ~config:t.config ~name
+      ~epoch:snap.Store.Snapshot.s_epoch
+      ~columns:snap.Store.Snapshot.s_columns snap.Store.Snapshot.s_graph
+  in
+  List.iter
+    (fun (r : Store.Wal.record) ->
+      match r.Store.Wal.rc_mutation with
+      | Store.Mutation.Add_class { ac_name; ac_bases; ac_members } ->
+        ignore
+          (Session.add_class s ~cls:ac_name ~bases:ac_bases
+             ~members:ac_members)
+      | Store.Mutation.Add_member { am_class; am_member } ->
+        ignore (Session.add_member s ~cls:am_class am_member))
+    rv.Store.rv_replayed;
+  s
+
+let handle_restore t ~session:requested =
+  match t.store with
+  | None ->
+    fail P.Store_error "no store configured (run: cxxlookup serve --store DIR)"
+  | Some store ->
+    let name =
+      match requested with
+      | None -> fail P.Bad_request "missing field \"session\""
+      | Some n -> n
+    in
+    if Hashtbl.mem t.sessions name then
+      fail P.Duplicate_session "session %S is already open" name;
+    (match Store.recover store name with
+    | Error msg -> fail P.Store_error "%s" msg
+    | Ok None -> fail P.Store_error "nothing stored under session %S" name
+    | Ok (Some rv) ->
+      let s =
+        try session_of_recovery t name rv
+        with G.Error e ->
+          fail P.Store_error "replay failed: %s" (G.error_to_string e)
+      in
+      register_session t s;
+      [ ("protocol", J.String P.version);
+        ("session", J.String name);
+        ("epoch", J.Int (Session.epoch s));
+        ("classes", J.Int (G.num_classes (Session.graph s)));
+        ("replayed", J.Int (List.length rv.Store.rv_replayed));
+        ("torn_tail", J.Bool rv.Store.rv_torn) ])
+
 let handle_stats t = function
   | Some _ as sess ->
     let s = session t sess in
-    [ ("session", J.String (Session.name s));
+    [ ("protocol", J.String P.version);
+      ("session", J.String (Session.name s));
+      ("epoch", J.Int (Session.epoch s));
       ("stats", Session.stats_json s) ]
   | None ->
     let open_sessions =
       List.filter (fun n -> Hashtbl.mem t.sessions n) t.session_order
+    in
+    let store_fields =
+      match t.store with
+      | None -> []
+      | Some store ->
+        [ ( "store",
+            J.Obj
+              (("dir", J.String (Store.dir store))
+               :: List.map
+                    (fun (k, v) -> (k, J.Int v))
+                    (Store.counters store)) ) ]
     in
     [ ("protocol", J.String P.version);
       ( "service",
@@ -198,11 +328,14 @@ let handle_stats t = function
           (List.map
              (fun n -> Session.stats_json (Hashtbl.find t.sessions n))
              open_sessions) ) ]
+    @ store_fields
 
 let handle_close t s =
   let name = Session.name s in
   Hashtbl.remove t.sessions name;
   Telemetry.Counter.incr t.sessions_closed;
+  (* durable state outlives the close; make sure it is actually on disk *)
+  (match t.store with None -> () | Some store -> Store.sync store);
   [ ("session", J.String name); ("closed", J.Bool true) ]
 
 let op_name = function
@@ -210,6 +343,8 @@ let op_name = function
   | P.Lookup _ -> "lookup"
   | P.Batch_lookup _ -> "batch_lookup"
   | P.Mutate _ -> "mutate"
+  | P.Snapshot -> "snapshot"
+  | P.Restore -> "restore"
   | P.Stats -> "stats"
   | P.Close -> "close"
 
@@ -222,6 +357,8 @@ let handle_request t (rq : P.request) =
     | P.Lookup q -> handle_lookup t (session t rq.P.rq_session) q
     | P.Batch_lookup qs -> handle_batch t (session t rq.P.rq_session) qs
     | P.Mutate m -> handle_mutate t (session t rq.P.rq_session) m
+    | P.Snapshot -> handle_snapshot t (session t rq.P.rq_session)
+    | P.Restore -> handle_restore t ~session:rq.P.rq_session
     | P.Stats -> handle_stats t rq.P.rq_session
     | P.Close -> handle_close t (session t rq.P.rq_session)
   in
@@ -258,6 +395,45 @@ let handle_line t line =
     Telemetry.Counter.incr t.requests;
     Telemetry.Counter.incr t.errors;
     P.error_response ~id code msg
+
+(* ---- startup recovery ---------------------------------------------- *)
+
+type recovered =
+  | Recovered of {
+      r_session : string;
+      r_epoch : int;
+      r_replayed : int;
+      r_torn : bool;
+    }
+  | Recovery_failed of { r_session : string; r_error : string }
+
+let recover_sessions t =
+  match t.store with
+  | None -> []
+  | Some store ->
+    List.filter_map
+      (fun name ->
+        if Hashtbl.mem t.sessions name then None
+        else
+          match Store.recover store name with
+          | Ok None -> None
+          | Error msg ->
+            Some (Recovery_failed { r_session = name; r_error = msg })
+          | Ok (Some rv) ->
+            (match session_of_recovery t name rv with
+            | s ->
+              register_session t s;
+              Some
+                (Recovered
+                   { r_session = name;
+                     r_epoch = Session.epoch s;
+                     r_replayed = List.length rv.Store.rv_replayed;
+                     r_torn = rv.Store.rv_torn })
+            | exception G.Error e ->
+              Some
+                (Recovery_failed
+                   { r_session = name; r_error = G.error_to_string e })))
+      (Store.sessions store)
 
 let serve t ic oc =
   let rec loop () =

@@ -9,13 +9,35 @@
 
 type t
 
-(** [create ?config ?trace ()] — [config] applies to every session
-    opened; [trace] (default false) records per-request telemetry
-    (a [request] event and an [rpc:<op>] span pair) into {!sink}. *)
-val create : ?config:Session.config -> ?trace:bool -> unit -> t
+(** [create ?config ?trace ?store ()] — [config] applies to every
+    session opened; [trace] (default false) records per-request
+    telemetry (a [request] event and an [rpc:<op>] span pair) into
+    {!sink}; [store] makes sessions durable (opens write snapshots,
+    mutations append to the WAL, and the [snapshot] / [restore] verbs
+    work — [store_error] without it). *)
+val create :
+  ?config:Session.config -> ?trace:bool -> ?store:Store.t -> unit -> t
 
 (** The per-request event stream (disabled sink unless [~trace:true]). *)
 val sink : t -> Telemetry.Sink.t
+
+val store : t -> Store.t option
+
+(** One session's fate under {!recover_sessions}. *)
+type recovered =
+  | Recovered of {
+      r_session : string;
+      r_epoch : int;  (** epoch after WAL replay *)
+      r_replayed : int;  (** WAL records applied past the snapshot *)
+      r_torn : bool;  (** a torn final WAL record was skipped *)
+    }
+  | Recovery_failed of { r_session : string; r_error : string }
+
+(** [recover_sessions t] reopens every session the store holds (newest
+    valid snapshot + WAL-tail replay), skipping names already open.
+    The startup path of [cxxlookup serve --store].  Empty without a
+    store. *)
+val recover_sessions : t -> recovered list
 
 (** Service-level counters: [requests], [errors], [sessions_opened],
     [sessions_closed], [lookups], [batch_requests], [batch_queries],

@@ -23,7 +23,12 @@ let served_string = function Compiled -> "table" | Memoised -> "memo"
 type t = {
   name : string;
   config : config;
-  inc : Incremental.t;  (* resident source of truth, mutated in place *)
+  inc : Incremental.t Lazy.t;
+      (* resident source of truth, mutated in place.  Lazy so that a
+         session restored from a snapshot (or one that is never mutated)
+         does not pay the class-by-class replay at open time: the first
+         mutation forces it; lookups are served by the memo and the
+         compiled tables, which need only the frozen graph. *)
   cache : Table_cache.t;
   mutable graph : G.t;  (* snapshot of [inc], refreshed per mutation *)
   mutable closure : Chg.Closure.t;
@@ -39,11 +44,11 @@ type t = {
 let fresh_memo t cl = Memo.create ?max_entries:t.config.memo_max_entries cl
 
 let refresh t =
-  t.graph <- Incremental.snapshot t.inc;
+  t.graph <- Incremental.snapshot (Lazy.force t.inc);
   t.closure <- Chg.Closure.compute t.graph;
   t.memo <- fresh_memo t t.closure
 
-let create ?(config = default_config) ~name g =
+let replay_into_incremental g =
   let inc = Incremental.create () in
   G.iter_classes g (fun c ->
       ignore
@@ -53,30 +58,42 @@ let create ?(config = default_config) ~name g =
                 (fun (b : G.base) -> (G.name g b.b_class, b.b_kind, b.b_access))
                 (G.bases g c))
            ~members:(G.members g c)));
+  inc
+
+let make ?(config = default_config) ~name ~epoch g =
   let closure = Chg.Closure.compute g in
-  let t =
-    { name;
-      config;
-      inc;
-      cache =
-        Table_cache.create ~max_entries:config.table_max_entries
-          ?max_bytes:config.table_max_bytes ();
-      graph = g;
-      closure;
-      memo = Memo.create ?max_entries:config.memo_max_entries closure;
-      epoch = 0;
-      lookups = Telemetry.Counter.make "lookups";
-      resolved = Telemetry.Counter.make "resolved";
-      ambiguous = Telemetry.Counter.make "ambiguous";
-      not_found = Telemetry.Counter.make "not_found";
-      mutations = Telemetry.Counter.make "mutations" }
-  in
+  { name;
+    config;
+    inc = lazy (replay_into_incremental g);
+    cache =
+      Table_cache.create ~max_entries:config.table_max_entries
+        ?max_bytes:config.table_max_bytes ();
+    graph = g;
+    closure;
+    memo = Memo.create ?max_entries:config.memo_max_entries closure;
+    epoch;
+    lookups = Telemetry.Counter.make "lookups";
+    resolved = Telemetry.Counter.make "resolved";
+    ambiguous = Telemetry.Counter.make "ambiguous";
+    not_found = Telemetry.Counter.make "not_found";
+    mutations = Telemetry.Counter.make "mutations" }
+
+let create ?config ~name g = make ?config ~name ~epoch:0 g
+
+let restore ?config ~name ~epoch ~columns g =
+  let t = make ?config ~name ~epoch g in
+  let n = G.num_classes g in
+  List.iter
+    (fun (m, col) ->
+      if Array.length col = n then Table_cache.promote t.cache m col)
+    columns;
   t
 
 let name t = t.name
 let graph t = t.graph
 let epoch t = t.epoch
 let cache t = t.cache
+let compiled_columns t = Table_cache.columns t.cache
 
 let count_verdict t = function
   | Some (Engine.Red _) -> Telemetry.Counter.incr t.resolved
@@ -112,7 +129,8 @@ let lookup t cls member =
    carry the warmth across mutations). *)
 
 let add_class t ~cls ~bases ~members =
-  let id = Incremental.add_class t.inc cls ~bases ~members in
+  let inc = Lazy.force t.inc in
+  let id = Incremental.add_class inc cls ~bases ~members in
   t.epoch <- t.epoch + 1;
   Telemetry.Counter.incr t.mutations;
   refresh t;
@@ -120,11 +138,11 @@ let add_class t ~cls ~bases ~members =
      verdict, already computed by the incremental row — extension, not
      invalidation. *)
   Table_cache.update_columns t.cache (fun m col ->
-      Some (Array.append col [| Incremental.lookup t.inc id m |]));
+      Some (Array.append col [| Incremental.lookup inc id m |]));
   id
 
 let add_member t ~cls member =
-  let rows = Incremental.add_member t.inc cls member in
+  let rows = Incremental.add_member (Lazy.force t.inc) cls member in
   t.epoch <- t.epoch + 1;
   Telemetry.Counter.incr t.mutations;
   refresh t;

@@ -38,9 +38,25 @@ val served_string : served -> string
 
 type t
 
-(** [create ?config ~name g] replays [g] class by class into a fresh
-    incremental engine and prepares the memo and table layers. *)
+(** [create ?config ~name g] opens a session over [g].  The incremental
+    engine is materialized lazily — the class-by-class replay runs on
+    the first mutation, not at open time — so opening (and restoring
+    from a snapshot) costs only the closure computation. *)
 val create : ?config:config -> name:string -> Chg.Graph.t -> t
+
+(** [restore ?config ~name ~epoch ~columns g] reopens a session from
+    durable state: the snapshot graph, its mutation epoch, and the
+    compiled verdict columns that were resident when the snapshot was
+    taken (installed directly into the table cache, so the warm serving
+    path needs no recomputation).  Columns whose length disagrees with
+    [g] are dropped rather than trusted. *)
+val restore :
+  ?config:config ->
+  name:string ->
+  epoch:int ->
+  columns:(string * Table_cache.column) list ->
+  Chg.Graph.t ->
+  t
 
 val name : t -> string
 
@@ -51,6 +67,10 @@ val graph : t -> Chg.Graph.t
 val epoch : t -> int
 
 val cache : t -> Table_cache.t
+
+(** [compiled_columns t] — the resident compiled columns, sorted by
+    member name: what a snapshot of this session persists. *)
+val compiled_columns : t -> (string * Table_cache.column) list
 
 (** [lookup t cls member] serves one query (table, then memo, promoting
     past the threshold).  [Error cls] when the class is unknown. *)

@@ -144,6 +144,10 @@ let update_columns t f =
         e.bytes <- bytes)
     updates
 
+let columns t =
+  Hashtbl.fold (fun m e acc -> (m, e.column) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let mem t m = Hashtbl.mem t.table m
 let entries t = Hashtbl.length t.table
 let bytes t = t.total_bytes

@@ -45,6 +45,11 @@ val clear : t -> unit
     verdict instead of throwing the warm cache away. *)
 val update_columns : t -> (string -> column -> column option) -> unit
 
+(** [columns t] — every resident column, sorted by member name (the
+    deterministic order snapshots are written in).  Does not touch LRU
+    stamps or hit counters. *)
+val columns : t -> (string * column) list
+
 val mem : t -> string -> bool
 val entries : t -> int
 

@@ -1,0 +1,57 @@
+module B = Chg.Binary
+module G = Chg.Graph
+
+type t =
+  | Add_class of {
+      ac_name : string;
+      ac_bases : (string * G.edge_kind * G.access) list;
+      ac_members : G.member list;
+    }
+  | Add_member of { am_class : string; am_member : G.member }
+
+let write w = function
+  | Add_class { ac_name; ac_bases; ac_members } ->
+    B.Writer.u8 w 1;
+    B.Writer.string w ac_name;
+    B.Writer.u32 w (List.length ac_bases);
+    List.iter
+      (fun (base, kind, access) ->
+        B.Writer.string w base;
+        B.write_edge_kind w kind;
+        B.write_access w access)
+      ac_bases;
+    B.Writer.u32 w (List.length ac_members);
+    List.iter (B.write_member w) ac_members
+  | Add_member { am_class; am_member } ->
+    B.Writer.u8 w 2;
+    B.Writer.string w am_class;
+    B.write_member w am_member
+
+let read r =
+  match B.Reader.u8 r with
+  | 1 ->
+    let ac_name = B.Reader.string r in
+    let ac_bases =
+      B.read_list r (fun r ->
+          let base = B.Reader.string r in
+          let kind = B.read_edge_kind r in
+          let access = B.read_access r in
+          (base, kind, access))
+    in
+    let ac_members = B.read_list r B.read_member in
+    Add_class { ac_name; ac_bases; ac_members }
+  | 2 ->
+    let am_class = B.Reader.string r in
+    let am_member = B.read_member r in
+    Add_member { am_class; am_member }
+  | n -> raise (B.Corrupt (Printf.sprintf "bad mutation tag %d" n))
+
+let apply b = function
+  | Add_class { ac_name; ac_bases; ac_members } ->
+    ignore (G.add_class b ac_name ~bases:ac_bases ~members:ac_members)
+  | Add_member { am_class; am_member } -> G.add_member b am_class am_member
+
+let describe = function
+  | Add_class { ac_name; _ } -> Printf.sprintf "add_class %s" ac_name
+  | Add_member { am_class; am_member; _ } ->
+    Printf.sprintf "add_member %s::%s" am_class am_member.G.m_name

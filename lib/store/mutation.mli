@@ -1,0 +1,28 @@
+(** A persisted [mutate] operation — the unit the write-ahead log
+    records and recovery replays.
+
+    Mirrors the service protocol's mutation vocabulary ([add_class] /
+    [add_member]) but lives below it: the store must not depend on the
+    wire protocol, and a WAL record must stay decodable whatever the
+    JSON layer does.  Bases are by name, exactly as a session applies
+    them. *)
+
+type t =
+  | Add_class of {
+      ac_name : string;
+      ac_bases : (string * Chg.Graph.edge_kind * Chg.Graph.access) list;
+      ac_members : Chg.Graph.member list;
+    }
+  | Add_member of { am_class : string; am_member : Chg.Graph.member }
+
+val write : Chg.Binary.Writer.t -> t -> unit
+
+(** @raise Chg.Binary.Corrupt on malformed input *)
+val read : Chg.Binary.Reader.t -> t
+
+(** [apply b m] replays the mutation into a graph builder — the
+    recovery oracle path (sessions replay through their own engines).
+    @raise Chg.Graph.Error like the builder. *)
+val apply : Chg.Graph.builder -> t -> unit
+
+val describe : t -> string

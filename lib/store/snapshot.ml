@@ -1,0 +1,134 @@
+module B = Chg.Binary
+
+type t = {
+  s_session : string;
+  s_epoch : int;
+  s_protocol : string;
+  s_graph : Chg.Graph.t;
+  s_columns : (string * Lookup_core.Engine.verdict option array) list;
+}
+
+let magic = "CXLSNAP0"
+let format_version = 1
+
+(* section tags; unknown tags are skipped on decode (forward compat) *)
+let tag_meta = 1
+let tag_graph = 2
+let tag_columns = 3
+
+let crc_int s = Int32.to_int (B.crc32_string s) land 0xffffffff
+
+let write_section w tag payload =
+  B.Writer.u8 w tag;
+  B.Writer.u32 w (String.length payload);
+  B.Writer.u32 w (crc_int payload);
+  B.Writer.raw w payload
+
+let section f =
+  let w = B.Writer.create () in
+  f w;
+  B.Writer.contents w
+
+let encode t =
+  let w = B.Writer.create ~initial_size:4096 () in
+  B.Writer.raw w magic;
+  B.Writer.u32 w format_version;
+  let sections =
+    [ ( tag_meta,
+        section (fun w ->
+            B.Writer.string w t.s_session;
+            B.Writer.i64 w t.s_epoch;
+            B.Writer.string w t.s_protocol) );
+      (tag_graph, section (fun w -> B.write_graph w t.s_graph));
+      ( tag_columns,
+        section (fun w ->
+            B.Writer.u32 w (List.length t.s_columns);
+            List.iter
+              (fun (m, col) ->
+                B.Writer.string w m;
+                Lookup_core.Verdict_io.write_column w col)
+              t.s_columns) ) ]
+  in
+  B.Writer.u32 w (List.length sections);
+  List.iter (fun (tag, payload) -> write_section w tag payload) sections;
+  B.Writer.contents w
+
+let decode s =
+  try
+    let r = B.Reader.of_string s in
+    if B.Reader.remaining r < String.length magic then
+      raise (B.Corrupt "snapshot shorter than its magic");
+    if B.Reader.raw r (String.length magic) <> magic then
+      raise (B.Corrupt "bad snapshot magic");
+    let version = B.Reader.u32 r in
+    if version <> format_version then
+      raise
+        (B.Corrupt
+           (Printf.sprintf "unsupported snapshot format version %d" version));
+    let nsections = B.Reader.u32 r in
+    let meta = ref None and graph = ref None and columns = ref [] in
+    for _ = 1 to nsections do
+      let tag = B.Reader.u8 r in
+      let len = B.Reader.u32 r in
+      let crc = B.Reader.u32 r in
+      let payload = B.Reader.raw r len in
+      if crc_int payload <> crc then
+        raise (B.Corrupt (Printf.sprintf "section %d fails its CRC" tag));
+      let pr = B.Reader.of_string payload in
+      if tag = tag_meta then begin
+        let session = B.Reader.string pr in
+        let epoch = B.Reader.i64 pr in
+        let protocol = B.Reader.string pr in
+        meta := Some (session, epoch, protocol)
+      end
+      else if tag = tag_graph then graph := Some (B.read_graph pr)
+      else if tag = tag_columns then
+        columns :=
+          B.read_list pr (fun pr ->
+              let m = B.Reader.string pr in
+              let col = Lookup_core.Verdict_io.read_column pr in
+              (m, col))
+      (* unknown tag: CRC-checked above, content ignored *)
+    done;
+    match (!meta, !graph) with
+    | Some (s_session, s_epoch, s_protocol), Some s_graph ->
+      (* a column must index exactly the snapshot's classes; anything
+         else is a stale or cross-wired section *)
+      let n = Chg.Graph.num_classes s_graph in
+      List.iter
+        (fun (m, col) ->
+          if Array.length col <> n then
+            raise
+              (B.Corrupt
+                 (Printf.sprintf "column %S has %d entries for %d classes" m
+                    (Array.length col) n)))
+        !columns;
+      Ok { s_session; s_epoch; s_protocol; s_graph; s_columns = !columns }
+    | None, _ -> Error "snapshot has no meta section"
+    | _, None -> Error "snapshot has no graph section"
+  with
+  | B.Corrupt msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let write_file path t =
+  let data = encode t in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = Unix.write_substring fd data 0 (String.length data) in
+      assert (n = String.length data);
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  (* best-effort directory sync so the rename itself is durable *)
+  (try
+     let dfd = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+     Fun.protect ~finally:(fun () -> Unix.close dfd) (fun () -> Unix.fsync dfd)
+   with Unix.Unix_error _ -> ());
+  String.length data
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | data -> decode data
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,44 @@
+(** Versioned binary snapshots of a session's durable state.
+
+    Container layout (all integers little-endian):
+    {v
+    "CXLSNAP0"              8-byte magic
+    u32 format_version      currently 1
+    u32 section_count
+    section*:  u8 tag | u32 payload_len | u32 crc32(payload) | payload
+    v}
+
+    Sections: [1] meta (session name, epoch, protocol version),
+    [2] graph (the {!Chg.Binary} graph codec), [3] compiled columns
+    (member name + {!Lookup_core.Verdict_io} column each).  Unknown tags
+    are CRC-checked and skipped, so later format minors can add sections
+    without breaking this reader; a major layout change bumps
+    [format_version] and is rejected.
+
+    Every section carries its own CRC-32: a flipped bit anywhere turns
+    {!decode} into an [Error], never into a wrong hierarchy.  Columns
+    are positional over class ids, so decode rejects any column whose
+    length disagrees with the graph section. *)
+
+type t = {
+  s_session : string;
+  s_epoch : int;  (** mutations applied when the snapshot was taken *)
+  s_protocol : string;  (** the rpc protocol version that wrote it *)
+  s_graph : Chg.Graph.t;
+  s_columns : (string * Lookup_core.Engine.verdict option array) list;
+      (** compiled verdict columns resident at snapshot time — restoring
+          them is what makes a warm start skip recomputation *)
+}
+
+val format_version : int
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+
+(** [write_file path t] writes atomically (temp file + [rename]), with
+    an [fsync] of the file and a best-effort [fsync] of its directory;
+    returns the byte size. *)
+val write_file : string -> t -> int
+
+val read_file : string -> (t, string) result

@@ -1,0 +1,102 @@
+(** The durable store: a directory of per-session snapshots plus
+    write-ahead logs, and the recovery path over them.
+
+    Layout, one subdirectory per session (names escaped injectively so
+    arbitrary wire names are safe on disk):
+    {v
+    DIR/<session>/snap-<epoch>.snap     versioned binary snapshots
+    DIR/<session>/wal.log               mutation WAL since the newest
+    v}
+
+    The protocol, end to end:
+    + opening a session under a store writes an epoch-0 snapshot;
+    + every applied mutation appends one WAL record ({!log_mutation});
+    + when the WAL outgrows [compact_bytes], the owner writes a fresh
+      snapshot ({!write_snapshot}), which resets the WAL {e after} the
+      snapshot file is durably renamed in — so a crash in between only
+      leaves redundant records, which recovery skips by epoch;
+    + {!recover} loads the newest snapshot that decodes (a damaged newer
+      file falls back to the previous one), replays the WAL records
+      whose epochs consecutively extend it, and reports — but is never
+      killed by — a torn final record.
+
+    Nothing here trusts the disk: snapshots are CRC-sectioned, WAL
+    frames are CRC-checked, and the recovery property test replays
+    arbitrary kill points against the spec oracle. *)
+
+(** The library's root module; the pieces re-exported: *)
+
+module Mutation = Mutation
+module Snapshot = Snapshot
+module Wal = Wal
+
+type config = {
+  fsync : Wal.fsync_policy;  (** applied to every session WAL *)
+  compact_bytes : int;  (** WAL size that makes {!needs_compaction} true *)
+  keep_snapshots : int;  (** snapshot files retained per session *)
+}
+
+(** fsync every 8th append, compact past 1 MiB, keep 2 snapshots *)
+val default_config : config
+
+type t
+
+(** [open_dir ?config dir] creates [dir] (and parents) if needed. *)
+val open_dir : ?config:config -> string -> t
+
+val dir : t -> string
+val config : t -> config
+
+(** [sessions t] — names with at least one snapshot on disk, sorted. *)
+val sessions : t -> string list
+
+(** {1 Recovery} *)
+
+type recovery = {
+  rv_snapshot : Snapshot.t;
+  rv_replayed : Wal.record list;  (** the WAL tail, in apply order *)
+  rv_torn : bool;  (** a torn final record was detected and skipped *)
+  rv_stale_snapshots : int;  (** newer snapshot files that failed to decode *)
+}
+
+(** The session epoch after replaying [rv_replayed]. *)
+val recovered_epoch : recovery -> int
+
+(** [recover t name] — [Ok None] when the store holds nothing for
+    [name]; [Error] only when every stored snapshot fails to decode. *)
+val recover : t -> string -> (recovery option, string) result
+
+(** {1 Writing} *)
+
+(** [log_mutation t ~session ~epoch m] appends one WAL record ([epoch]
+    is the session epoch {e after} [m] applied). *)
+val log_mutation : t -> session:string -> epoch:int -> Mutation.t -> unit
+
+(** [write_snapshot t snap] writes the snapshot file, resets the
+    session's WAL and prunes old snapshots past the retention count;
+    returns the snapshot's byte size. *)
+val write_snapshot : t -> Snapshot.t -> int
+
+(** [reset_session t name] deletes every snapshot and empties the WAL
+    for [name] — the fresh-[open] path, where a new lineage supersedes
+    whatever the store held under that name. *)
+val reset_session : t -> string -> unit
+
+val wal_size : t -> session:string -> int
+val needs_compaction : t -> session:string -> bool
+
+(** [note_compaction t] bumps the compaction counter (the session owner
+    performs compaction as snapshot + reset; this records that it was
+    threshold-triggered). *)
+val note_compaction : t -> unit
+
+(** [sync t] fsyncs every open WAL now. *)
+val sync : t -> unit
+
+val close : t -> unit
+
+(** [store_snapshots_written], [store_snapshot_bytes],
+    [store_wal_appends], [store_wal_append_bytes], [store_wal_fsyncs],
+    [store_recoveries], [store_replayed_records],
+    [store_torn_records_skipped], [store_compactions]. *)
+val counters : t -> (string * int) list

@@ -1,0 +1,140 @@
+module B = Chg.Binary
+
+let magic = "CXLWAL00"
+
+type fsync_policy = Always | Every of int | Never
+
+let fsync_policy_to_string = function
+  | Always -> "always"
+  | Every n -> Printf.sprintf "every %d" n
+  | Never -> "never"
+
+type record = { rc_epoch : int; rc_mutation : Mutation.t }
+
+type tail = {
+  tl_records : record list;
+  tl_torn : bool;
+  tl_valid_bytes : int;  (** length of the well-formed prefix, incl. magic *)
+}
+
+let empty_tail = { tl_records = []; tl_torn = false; tl_valid_bytes = 0 }
+
+let crc_int s = Int32.to_int (B.crc32_string s) land 0xffffffff
+
+(* ---- scanning ------------------------------------------------------ *)
+
+(* One record on disk is [u32 len | u32 crc | payload]; the payload is
+   [i64 epoch | mutation].  The scan stops at the first frame that does
+   not check out — a short header, a length past EOF, a CRC mismatch, or
+   an undecodable payload — and reports everything before it.  That is
+   exactly the kill-point contract: a crash can only tear the final
+   append, so the valid prefix is the recovered history. *)
+let scan data =
+  let total = String.length data in
+  let ml = String.length magic in
+  if total < ml || String.sub data 0 ml <> magic then
+    { empty_tail with tl_torn = total > 0 }
+  else begin
+    let r = B.Reader.of_string ~pos:ml data in
+    let records = ref [] in
+    let valid = ref ml in
+    let torn = ref false in
+    (try
+       while not (B.Reader.at_end r) do
+         if B.Reader.remaining r < 8 then raise Exit;
+         let len = B.Reader.u32 r in
+         let crc = B.Reader.u32 r in
+         if len > B.Reader.remaining r then raise Exit;
+         let payload = B.Reader.raw r len in
+         if crc_int payload <> crc then raise Exit;
+         let pr = B.Reader.of_string payload in
+         let rc_epoch = B.Reader.i64 pr in
+         let rc_mutation = Mutation.read pr in
+         if not (B.Reader.at_end pr) then raise Exit;
+         records := { rc_epoch; rc_mutation } :: !records;
+         valid := B.Reader.pos r
+       done
+     with Exit | B.Corrupt _ -> torn := true);
+    { tl_records = List.rev !records;
+      tl_torn = !torn;
+      tl_valid_bytes = !valid }
+  end
+
+let read_file path =
+  if not (Sys.file_exists path) then empty_tail
+  else scan (In_channel.with_open_bin path In_channel.input_all)
+
+(* ---- the append handle --------------------------------------------- *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  fsync : fsync_policy;
+  mutable size : int;
+  mutable since_sync : int;
+  mutable appends : int;
+  mutable fsyncs : int;
+}
+
+let open_append ?(fsync = Every 8) path =
+  (match fsync with
+  | Every n when n < 1 -> invalid_arg "Wal.open_append: Every must be >= 1"
+  | _ -> ());
+  let tail = read_file path in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  let size =
+    if tail.tl_valid_bytes = 0 then begin
+      (* fresh file, or one whose very magic is damaged: start over *)
+      Unix.ftruncate fd 0;
+      ignore (Unix.write_substring fd magic 0 (String.length magic));
+      String.length magic
+    end
+    else begin
+      (* drop any torn tail so new appends extend the valid prefix *)
+      Unix.ftruncate fd tail.tl_valid_bytes;
+      ignore (Unix.lseek fd tail.tl_valid_bytes Unix.SEEK_SET);
+      tail.tl_valid_bytes
+    end
+  in
+  { path; fd; fsync; size; since_sync = 0; appends = 0; fsyncs = 0 }
+
+let sync t =
+  Unix.fsync t.fd;
+  t.fsyncs <- t.fsyncs + 1;
+  t.since_sync <- 0
+
+let append t ~epoch mutation =
+  let pw = B.Writer.create () in
+  B.Writer.i64 pw epoch;
+  Mutation.write pw mutation;
+  let payload = B.Writer.contents pw in
+  let w = B.Writer.create ~initial_size:(String.length payload + 8) () in
+  B.Writer.u32 w (String.length payload);
+  B.Writer.u32 w (crc_int payload);
+  B.Writer.raw w payload;
+  let frame = B.Writer.contents w in
+  (* one write() per record: the kernel has the whole frame even if the
+     process dies right after, and a crash mid-call tears at most this
+     final record — which the scan detects and drops *)
+  let n = Unix.write_substring t.fd frame 0 (String.length frame) in
+  assert (n = String.length frame);
+  t.size <- t.size + n;
+  t.appends <- t.appends + 1;
+  t.since_sync <- t.since_sync + 1;
+  (match t.fsync with
+  | Always -> sync t
+  | Every k -> if t.since_sync >= k then sync t
+  | Never -> ());
+  n
+
+let reset t =
+  Unix.ftruncate t.fd (String.length magic);
+  ignore (Unix.lseek t.fd (String.length magic) Unix.SEEK_SET);
+  t.size <- String.length magic;
+  t.since_sync <- 0
+
+let size t = t.size
+let path t = t.path
+let appends t = t.appends
+let fsyncs t = t.fsyncs
+let close t = Unix.close t.fd

@@ -1,0 +1,72 @@
+(** The append-only write-ahead log of session mutations.
+
+    File layout: an 8-byte magic (["CXLWAL00"]) then a sequence of
+    self-checking frames
+    {v
+    u32 payload_len | u32 crc32(payload) | payload
+    payload = i64 epoch | mutation        (see {!Mutation})
+    v}
+
+    [epoch] is the session epoch {e after} the mutation applied, so
+    recovery replays exactly the records whose epoch exceeds the
+    snapshot's.
+
+    Durability contract: each {!append} issues a single [write] of the
+    whole frame, so a SIGKILL never loses acknowledged records (they are
+    in the kernel), and a power cut tears at most the final frame —
+    {!read_file} stops at the first frame that fails its length or CRC
+    check and reports the valid prefix plus a [torn] flag.
+    {!open_append} truncates any torn tail before appending.  The fsync
+    policy trades power-cut durability for append latency:
+    [Always] fsyncs every record, [Every n] fsyncs each [n]-th,
+    [Never] leaves flushing to the kernel. *)
+
+type fsync_policy = Always | Every of int | Never
+
+val fsync_policy_to_string : fsync_policy -> string
+
+type record = { rc_epoch : int; rc_mutation : Mutation.t }
+
+type tail = {
+  tl_records : record list;  (** the valid prefix, in append order *)
+  tl_torn : bool;  (** trailing bytes failed their frame checks *)
+  tl_valid_bytes : int;  (** length of the well-formed prefix *)
+}
+
+val empty_tail : tail
+
+(** [scan data] / [read_file path] — decode the valid prefix; never
+    raises.  A missing file is an empty, untorn tail. *)
+val scan : string -> tail
+
+val read_file : string -> tail
+
+(** {1 Appending} *)
+
+type t
+
+(** [open_append ?fsync path] opens (creating if needed) for append,
+    truncating any torn tail first.  [fsync] defaults to [Every 8]. *)
+val open_append : ?fsync:fsync_policy -> string -> t
+
+(** [append t ~epoch m] frames, checksums and writes one record;
+    returns the bytes appended. *)
+val append : t -> epoch:int -> Mutation.t -> int
+
+(** [sync t] forces an [fsync] now, whatever the policy. *)
+val sync : t -> unit
+
+(** [reset t] empties the log back to its magic — the compaction step
+    after a fresh snapshot has made the records redundant. *)
+val reset : t -> unit
+
+val size : t -> int
+val path : t -> string
+
+(** Handle-lifetime counters (the store aggregates them). *)
+
+val appends : t -> int
+
+val fsyncs : t -> int
+
+val close : t -> unit

@@ -250,7 +250,7 @@ class, then a member added mid-hierarchy), stats, close.
   {"id":8,"ok":true,"class":"F","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"table"}
   {"id":9,"ok":true,"session":"f","class":"D","member":"m","rows_recomputed":3,"table_invalidated":true,"epoch":2}
   {"id":10,"ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"D","detail":"red (D, Ω)","via":"memo"}
-  {"id":11,"ok":true,"session":"f","stats":{"session":"f","classes":7,"edges":9,"members":2,"epoch":2,"counters":{"lookups":9,"resolved":8,"ambiguous":0,"not_found":1,"mutations":2},"table":{"entries":0,"bytes":0,"hit_ratio_pct":44,"table_hits":4,"table_misses":5,"table_promotions":1,"table_evictions":0,"table_invalidations":1},"memo":{"cached_entries":4}}}
+  {"id":11,"ok":true,"protocol":"cxxlookup-rpc/1","session":"f","epoch":2,"stats":{"session":"f","classes":7,"edges":9,"members":2,"epoch":2,"counters":{"lookups":9,"resolved":8,"ambiguous":0,"not_found":1,"mutations":2},"table":{"entries":0,"bytes":0,"hit_ratio_pct":44,"table_hits":4,"table_misses":5,"table_promotions":1,"table_evictions":0,"table_invalidations":1},"memo":{"cached_entries":4}}}
   {"id":12,"ok":true,"session":"f","closed":true}
   {"id":13,"ok":false,"error":{"code":"unknown_session","message":"no open session \"f\""}}
 
@@ -287,7 +287,78 @@ the session stats appended.
   {"id":"q1","ok":true,"class":"D","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
   {"id":"q2","ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
   {"id":"q3","ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"table"}
-  {"id":"stats","ok":true,"session":"s0","stats":{"session":"s0","classes":6,"edges":8,"members":1,"epoch":0,"counters":{"lookups":4,"resolved":4,"ambiguous":0,"not_found":0,"mutations":0},"table":{"entries":1,"bytes":352,"hit_ratio_pct":25,"table_hits":1,"table_misses":3,"table_promotions":1,"table_evictions":0,"table_invalidations":0},"memo":{"cached_entries":6}}}
+  {"id":"stats","ok":true,"protocol":"cxxlookup-rpc/1","session":"s0","epoch":0,"stats":{"session":"s0","classes":6,"edges":8,"members":1,"epoch":0,"counters":{"lookups":4,"resolved":4,"ambiguous":0,"not_found":0,"mutations":0},"table":{"entries":1,"bytes":352,"hit_ratio_pct":25,"table_hits":1,"table_misses":3,"table_promotions":1,"table_evictions":0,"table_invalidations":0},"memo":{"cached_entries":6}}}
+
+A failing query fails the whole batch: in-band errors surface in the
+exit code, so replay scripts cannot silently half-succeed.
+
+  $ cat > badq.jsonl <<'EOF'
+  > {"class":"E","member":"m"}
+  > {"class":"Nope","member":"m"}
+  > EOF
+  $ cxxlookup batch fig9.json badq.jsonl > bad_out.jsonl; echo "exit: $?"
+  exit: 1
+  $ grep -o '"code":"[a-z_]*"' bad_out.jsonl
+  "code":"unknown_class"
+
+Durable sessions: under --store every open writes a snapshot and every
+mutation appends to a write-ahead log; the snapshot verb compacts the
+log into a fresh snapshot on demand.
+
+  $ cxxlookup serve --store store.d <<'EOF'
+  > {"id":1,"op":"open","session":"f","source":"struct S { int m; }; struct A : virtual S { int m; };"}
+  > {"id":2,"op":"mutate","session":"f","add_class":{"name":"B","bases":[{"class":"A"}],"members":[]}}
+  > {"id":3,"op":"snapshot","session":"f"}
+  > {"id":4,"op":"mutate","session":"f","add_member":{"class":"S","member":{"name":"n"}}}
+  > EOF
+  {"id":1,"ok":true,"protocol":"cxxlookup-rpc/1","session":"f","classes":2,"edges":1,"members":1}
+  {"id":2,"ok":true,"session":"f","added":"B","classes":3,"epoch":1}
+  {"id":3,"ok":true,"session":"f","epoch":1,"bytes":152}
+  {"id":4,"ok":true,"session":"f","class":"S","member":"n","rows_recomputed":3,"table_invalidated":false,"epoch":2}
+
+A restarted server over the same directory recovers the session —
+newest snapshot plus the WAL tail — and serves it seamlessly; close
+keeps the durable state, and the restore verb reopens it.
+
+  $ cxxlookup serve --store store.d 2>recover.log <<'EOF'
+  > {"id":5,"op":"lookup","session":"f","class":"B","member":"n"}
+  > {"id":6,"op":"close","session":"f"}
+  > {"id":7,"op":"restore","session":"f"}
+  > {"id":8,"op":"lookup","session":"f","class":"B","member":"n"}
+  > EOF
+  {"id":5,"ok":true,"class":"B","member":"n","verdict":"red","resolves_to":"S","detail":"red (S, S)","via":"memo"}
+  {"id":6,"ok":true,"session":"f","closed":true}
+  {"id":7,"ok":true,"protocol":"cxxlookup-rpc/1","session":"f","epoch":2,"classes":3,"replayed":1,"torn_tail":false}
+  {"id":8,"ok":true,"class":"B","member":"n","verdict":"red","resolves_to":"S","detail":"red (S, S)","via":"memo"}
+  $ cat recover.log
+  recovered session "f": epoch 2, 1 replayed
+
+The offline subcommands inspect and compact a store without serving:
+restore reports what recovery would reconstruct, snapshot folds the WAL
+into a fresh snapshot file (after which there is nothing left to
+replay).
+
+  $ cxxlookup restore store.d
+  {"id":"f","ok":true,"protocol":"cxxlookup-rpc/1","session":"f","epoch":2,"classes":3,"replayed":1,"torn_tail":false}
+  $ cxxlookup snapshot store.d 2>/dev/null
+  {"id":"f","ok":true,"session":"f","epoch":2,"bytes":161}
+  $ cxxlookup restore store.d
+  {"id":"f","ok":true,"protocol":"cxxlookup-rpc/1","session":"f","epoch":2,"classes":3,"replayed":0,"torn_tail":false}
+  $ cxxlookup restore store.d ghost
+  {"id":"ghost","ok":false,"error":{"code":"store_error","message":"nothing stored under session \"ghost\""}}
+  [1]
+
+The durability verbs without --store answer with a structured error.
+
+  $ cxxlookup serve <<'EOF'
+  > {"id":1,"op":"restore","session":"f"}
+  > EOF
+  {"id":1,"ok":false,"error":{"code":"store_error","message":"no store configured (run: cxxlookup serve --store DIR)"}}
+
+The version line names the binary and the protocol it speaks.
+
+  $ cxxlookup --version
+  cxxlookup 1.0.0 (protocol cxxlookup-rpc/1)
 
 Request tracing: --trace records a request event and an rpc span pair
 per request on the telemetry sink (stderr; timestamps elided by design).

@@ -20,4 +20,5 @@ let () =
       ("slicing", Test_slicing.suite);
       ("telemetry", Test_telemetry.suite);
       ("service", Test_service.suite);
+      ("store", Test_store.suite);
       ("properties", Test_props.suite) ]

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Crash-recovery smoke test: serve with a durable store, SIGKILL the
+# server after it has acknowledged a mutated session, restart it over
+# the same store, and diff the replayed lookups against the golden
+# transcript.  Run from the repository root (make verify does).
+set -eu
+
+BIN=${CXXLOOKUP:-_build/default/bin/cxxlookup.exe}
+SMOKE_DIR=$(dirname "$0")
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+STORE="$WORK/store.d"
+FIFO="$WORK/in.fifo"
+mkfifo "$FIFO"
+
+# Phase 1: open a session and mutate it twice, keeping stdin open so the
+# server cannot exit cleanly.  --fsync always makes every WAL record
+# durable the moment its response is written.
+"$BIN" serve --store "$STORE" --fsync always \
+  <"$FIFO" >"$WORK/phase1.out" 2>/dev/null &
+SERVER=$!
+exec 3>"$FIFO"
+cat "$SMOKE_DIR/crash_phase1.jsonl" >&3
+
+# Wait for every phase-1 request to be acknowledged, then pull the plug:
+# no close verb, no orderly shutdown, just SIGKILL.
+EXPECT=$(wc -l <"$SMOKE_DIR/crash_phase1.jsonl")
+i=0
+while [ "$(wc -l <"$WORK/phase1.out")" -lt "$EXPECT" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 200 ]; then
+    echo "crash_recovery: phase 1 timed out waiting for responses" >&2
+    kill -9 "$SERVER" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.05
+done
+kill -9 "$SERVER"
+exec 3>&-
+wait "$SERVER" 2>/dev/null || true
+
+# Phase 2: a fresh server over the same store must recover the session
+# (snapshot + WAL replay) and answer exactly like an uninterrupted one.
+"$BIN" serve --store "$STORE" \
+  <"$SMOKE_DIR/crash_phase2.jsonl" \
+  >"$WORK/phase2.out" 2>"$WORK/recover.log"
+
+grep -q 'recovered session "crash": epoch 2, 2 replayed' "$WORK/recover.log" || {
+  echo "crash_recovery: recovery line missing or wrong:" >&2
+  cat "$WORK/recover.log" >&2
+  exit 1
+}
+diff "$WORK/phase2.out" "$SMOKE_DIR/crash_golden.jsonl"
+echo "crash_recovery: OK"

@@ -370,6 +370,111 @@ let test_server_open_source_rejects_bad () =
   in
   Alcotest.(check string) "bad hierarchy" "bad_hierarchy" (error_code r)
 
+(* every malformed line and misdirected verb must come back as a
+   structured error response — the server never throws, never dies *)
+let test_server_protocol_error_paths () =
+  let srv = Server.create () in
+  let code line = error_code (Server.handle_line srv line) in
+  Alcotest.(check string) "malformed json" "parse_error" (code "{not json");
+  Alcotest.(check string) "truncated json" "parse_error"
+    (code {|{"op":"stats"|});
+  Alcotest.(check string) "non-object request" "bad_request"
+    (code {|[1,2,3]|});
+  Alcotest.(check string) "unknown verb" "unknown_op"
+    (code {|{"op":"defragment"}|});
+  Alcotest.(check string) "lookup without session" "bad_request"
+    (code {|{"op":"lookup","class":"A","member":"m"}|});
+  Alcotest.(check string) "lookup against nonexistent session"
+    "unknown_session"
+    (code {|{"op":"lookup","session":"ghost","class":"A","member":"m"}|});
+  Alcotest.(check string) "mutate with both kinds" "bad_request"
+    (code
+       {|{"op":"mutate","session":"ghost","add_class":{"name":"X"},"add_member":{"class":"X","member":{"name":"m"}}}|});
+  ignore (Server.handle_json srv (open_request (graph ())));
+  (* durability verbs without a store: structured store_error *)
+  Alcotest.(check string) "snapshot without store" "store_error"
+    (code {|{"op":"snapshot","session":"s"}|});
+  Alcotest.(check string) "restore without store" "store_error"
+    (code {|{"op":"restore","session":"elsewhere"}|});
+  (* a closed session is gone: lookups answer unknown_session *)
+  Alcotest.(check bool) "close ok" true
+    (is_ok (Server.handle_line srv {|{"op":"close","session":"s"}|}));
+  Alcotest.(check string) "lookup against closed session" "unknown_session"
+    (code {|{"op":"lookup","session":"s","class":"A","member":"foo"}|});
+  (* the server survived all of it: a fresh open still works *)
+  Alcotest.(check bool) "still serving" true
+    (is_ok (Server.handle_json srv (open_request (graph ()))))
+
+(* ---- the durable server: store-backed open/mutate/restore ---------- *)
+
+let with_temp_store f =
+  let dir = Filename.temp_file "cxxsrv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun x -> rm_rf (Filename.concat path x)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_server_store_restart () =
+  with_temp_store (fun dir ->
+      let store = Store.open_dir dir in
+      let srv = Server.create ~store () in
+      Alcotest.(check bool) "open ok" true
+        (is_ok (Server.handle_json srv (open_request ~session:"d" (graph ()))));
+      Alcotest.(check bool) "mutate ok" true
+        (is_ok
+           (Server.handle_line srv
+              {|{"op":"mutate","session":"d","add_member":{"class":"B","member":{"name":"zap"}}}|}));
+      (* restoring a name that is open is a duplicate, not a reopen *)
+      Alcotest.(check string) "restore of open session" "duplicate_session"
+        (error_code
+           (Server.handle_line srv {|{"op":"restore","session":"d"}|}));
+      (* stats carry the protocol version and the session epoch *)
+      let st = Server.handle_line srv {|{"op":"stats","session":"d"}|} in
+      Alcotest.(check bool) "stats protocol" true
+        (field st "protocol" = J.String Protocol.version);
+      Alcotest.(check bool) "stats epoch" true (field st "epoch" = J.Int 1);
+      Store.close store;
+      (* restart: a new server over the same directory recovers it all *)
+      let store2 = Store.open_dir dir in
+      let srv2 = Server.create ~store:store2 () in
+      (match Server.recover_sessions srv2 with
+      | [ Server.Recovered { r_session = "d"; r_epoch = 1; r_replayed = 1;
+                             r_torn = false } ] -> ()
+      | other ->
+        Alcotest.failf "unexpected recovery: %d results"
+          (List.length other));
+      let r =
+        Server.handle_line srv2
+          {|{"op":"lookup","session":"d","class":"H","member":"zap"}|}
+      in
+      Alcotest.(check bool) "recovered verdict" true
+        (field r "verdict" = J.String "red"
+        && field r "resolves_to" = J.String "B");
+      (* restore of a never-stored name: structured store_error *)
+      Alcotest.(check string) "restore unknown name" "store_error"
+        (error_code
+           (Server.handle_line srv2 {|{"op":"restore","session":"nope"}|}));
+      (* close, then reopen from the store via the restore verb *)
+      Alcotest.(check bool) "close ok" true
+        (is_ok (Server.handle_line srv2 {|{"op":"close","session":"d"}|}));
+      let back = Server.handle_line srv2 {|{"op":"restore","session":"d"}|} in
+      Alcotest.(check bool) "restore ok" true (is_ok back);
+      Alcotest.(check bool) "restore epoch" true
+        (field back "epoch" = J.Int 1);
+      let r2 =
+        Server.handle_line srv2
+          {|{"op":"lookup","session":"d","class":"H","member":"zap"}|}
+      in
+      Alcotest.(check bool) "verdict after restore verb" true
+        (field r2 "verdict" = J.String "red");
+      Store.close store2)
+
 (* ---- QCheck: the wire protocol against the spec oracle ---- *)
 
 let qc_members = [ "m"; "n"; "p" ]
@@ -469,6 +574,10 @@ let suite =
     Alcotest.test_case "server open/close and errors" `Quick
       test_server_open_and_errors;
     Alcotest.test_case "server rejects bad source" `Quick
-      test_server_open_source_rejects_bad ]
+      test_server_open_source_rejects_bad;
+    Alcotest.test_case "server protocol error paths" `Quick
+      test_server_protocol_error_paths;
+    Alcotest.test_case "server store restart" `Quick
+      test_server_store_restart ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_batch_matches_spec; prop_serve_sessions_promote ]
