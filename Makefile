@@ -1,4 +1,4 @@
-.PHONY: all build test bench verify clean
+.PHONY: all build test bench lint verify clean
 
 all: build
 
@@ -11,12 +11,24 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Lint every example hierarchy in SARIF mode; any error-severity finding
+# (an ambiguous lookup) fails the build.  Warnings and notes (dominance
+# fragility, dead declarations, baseline divergence) are expected on the
+# paper figures and do not fail.
+lint:
+	@for f in examples/*.cpp; do \
+	  echo "lint $$f"; \
+	  dune exec --no-build bin/cxxlookup.exe -- lint $$f \
+	    --format sarif --fail-on error > /dev/null || exit 1; \
+	done
+
 # CI entry point: full build, full test suite, a smoke run of the
 # telemetry pipeline end to end (parse -> all three engines -> JSON),
 # a serve smoke test (canned cxxlookup-rpc/1 transcript through the
-# service, diffed against its golden), and a crash-recovery smoke test
+# service, diffed against its golden), a crash-recovery smoke test
 # (durable serve, SIGKILL, restart over the same store, diff against
-# the recovered-transcript golden).
+# the recovered-transcript golden), and the hierarchy linter over every
+# example in SARIF mode.
 verify:
 	dune build @all
 	dune runtest
@@ -25,6 +37,7 @@ verify:
 	dune exec bin/cxxlookup.exe -- serve < test/smoke/serve_input.jsonl \
 	  | diff - test/smoke/serve_golden.jsonl
 	sh test/smoke/crash_recovery.sh
+	$(MAKE) lint
 	@echo "verify: OK"
 
 clean:

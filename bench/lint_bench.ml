@@ -1,0 +1,69 @@
+(* LNT1: hierarchy-linter throughput — all six rules from one shared
+   engine build over a generated hierarchy.
+
+   The linter's contract is that every rule reads the same saturated
+   engine; variant rebuilds happen only where a rule needs a
+   counterfactual (fragile-dominance member deletion, virtualize-fix-it
+   edge flips), and ambiguous-lookup optionally calls the exponential
+   spec oracle per ambiguous pair for witness definition paths.  That
+   witness cost dominates on ambiguity-dense hierarchies, so the sweep
+   times three configurations over the same random DAG: the full pass,
+   the full pass with witness paths disabled, and the verdict-only
+   cheap rules.  Per-rule fire counters land in BENCH_lookup.json so
+   lint cost can be tracked across sessions alongside the lookup
+   benchmarks. *)
+
+module G = Chg.Graph
+module Families = Hiergen.Families
+
+let counters_json pairs =
+  Telemetry.Json.Obj
+    (List.map (fun (k, v) -> (k, Telemetry.Json.Int v)) pairs)
+
+let run () =
+  Format.printf "@.---- LNT1: lint throughput: all rules, one engine build \
+                 ----@.";
+  let i =
+    Families.random_dag ~n:120 ~max_bases:3 ~virtual_prob:0.2
+      ~declare_prob:0.3
+      ~members:(List.init 8 (fun k -> Printf.sprintf "m%d" k))
+      ~seed:23
+  in
+  let g = i.graph in
+  let cl = Chg.Closure.compute g in
+  let size = G.num_classes g + G.num_edges g in
+  let lint_with config =
+    let metrics = Lint.create_metrics () in
+    let findings = Lint.run ~config ~metrics cl in
+    (findings, metrics)
+  in
+  let findings, _ = lint_with Lint.default_config in
+  let e, w, n = Lint.summary findings in
+  Format.printf "  hierarchy: %d classes, %d edges; findings: %d errors, \
+                 %d warnings, %d notes@."
+    (G.num_classes g) (G.num_edges g) e w n;
+  let time family config =
+    let t =
+      Timing.seconds_per_call (fun () -> ignore (lint_with config))
+    in
+    Format.printf "  %-38s %a@." family Timing.pp_time t;
+    let _, metrics = lint_with config in
+    Scaling.record ~experiment:"LNT1" ~family ~n_plus_e:size
+      ~time_ns:(t *. 1e9)
+      (counters_json (Lint.metrics_counters metrics));
+    t
+  in
+  let t_all = time "all six rules (spec witnesses)" Lint.default_config in
+  let t_nowit =
+    time "all six rules (no witness paths)"
+      { Lint.default_config with spec_witness_limit = 0 }
+  in
+  let t_cheap =
+    time "cheap rules (ambiguous+replicated)"
+      { Lint.default_config with
+        rules = [ Lint.Rule.Ambiguous_lookup; Lint.Rule.Replicated_base ];
+        spec_witness_limit = 0 }
+  in
+  Format.printf "  witness-path overhead: %.2fx; variant/baseline \
+                 overhead: %.2fx@."
+    (t_all /. t_nowit) (t_nowit /. t_cheap)

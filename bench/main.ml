@@ -27,6 +27,7 @@ let () =
   Ablation.run ();
   Matchup.run ();
   Throughput.run ();
+  Lint_bench.run ();
   Store_bench.run ();
   Becha.run ();
   write_metrics ();

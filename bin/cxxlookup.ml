@@ -808,6 +808,88 @@ let batch_cmd =
           an in-band error.")
     Term.(const run $ service_config_term $ file_arg $ queries_arg)
 
+let lint_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: pretty $(b,text), JSON lines ($(b,json), one \
+             object per finding), or $(b,sarif) 2.1.0.")
+  in
+  let rules_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated rule ids to run (default: all): \
+             ambiguous-lookup, replicated-base, fragile-dominance, \
+             dead-member, virtualize-fix-it, compiler-divergence.")
+  in
+  let fail_on_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("error", `Error); ("warning", `Warning); ("note", `Note);
+               ("never", `Never) ])
+          `Error
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:
+            "Exit non-zero when a finding at or above this severity exists \
+             ($(b,note) < $(b,warning) < $(b,error); $(b,never) always \
+             exits 0).")
+  in
+  let run file format rules fail_on =
+    (* Tolerant load: ambiguous or ill-formed member accesses are the
+       linter's subject matter, not a reason to stop.  Only a hierarchy
+       we could not build at all is fatal. *)
+    let r = load ~tolerant:true file in
+    if G.num_classes r.graph = 0 && not (Frontend.Sema.ok r) then exit 2;
+    let rules =
+      match rules with
+      | None -> Lint.Rule.all
+      | Some s ->
+        (match Lint.parse_rules s with
+        | Ok rs -> rs
+        | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2)
+    in
+    let config = { Lint.default_config with rules } in
+    let locs ~cls ~member = Frontend.Locs.locate r.locs ~cls ~member in
+    let findings = Lint.run ~config ~locs (Chg.Closure.compute r.graph) in
+    (match format with
+    | `Text -> Format.printf "%a@?" (Lint.pp_text ~file) findings
+    | `Json ->
+      List.iter
+        (fun f ->
+          print_endline (Chg.Json.to_string (Lint.finding_json ~file f)))
+        findings
+    | `Sarif -> print_endline (Lint.Sarif.to_string ~file findings));
+    let threshold =
+      match fail_on with
+      | `Never -> max_int
+      | `Note -> Frontend.Diagnostic.severity_rank Frontend.Diagnostic.Note
+      | `Warning ->
+        Frontend.Diagnostic.severity_rank Frontend.Diagnostic.Warning
+      | `Error -> Frontend.Diagnostic.severity_rank Frontend.Diagnostic.Error
+    in
+    match Lint.max_severity findings with
+    | Some s when Frontend.Diagnostic.severity_rank s >= threshold -> exit 1
+    | Some _ | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the hierarchy linter over FILE: ambiguity, replicated \
+          bases, fragile dominance, dead members, virtualization fix-its, \
+          and compiler-divergence checks against the g++ 2.7 and Eiffel \
+          baselines.")
+    Term.(const run $ file_arg $ format_arg $ rules_arg $ fail_on_arg)
+
 let () =
   let doc = "C++ member lookup (Ramalingam & Srinivasan, PLDI 1997)" in
   let version =
@@ -819,5 +901,5 @@ let () =
           (Cmd.info "cxxlookup" ~version ~doc)
           [ check_cmd; lookup_cmd; table_cmd; dot_cmd; layout_cmd; vtable_cmd;
             slice_cmd; export_cmd; import_cmd; run_cmd; audit_cmd; count_cmd;
-            stats_cmd; trace_cmd; serve_cmd; batch_cmd; snapshot_cmd;
-            restore_cmd ]))
+            stats_cmd; trace_cmd; lint_cmd; serve_cmd; batch_cmd;
+            snapshot_cmd; restore_cmd ]))

@@ -1,0 +1,12 @@
+// Figure 2 of the paper: the Figure 1 diamond with every inheritance
+// edge declared virtual.  The A subobject is now shared, so
+// lookup(E, m) is no longer ambiguous — it resolves to D::m because
+// D::m dominates A::m (paper Definition 5).  The linter accepts this
+// hierarchy (no errors) but flags the dominance-only resolution as
+// fragile: deleting D::m silently re-routes the lookup to A::m.
+struct A { int m; };
+struct B : virtual A {};
+struct C : virtual B {};
+struct D : virtual B { int m; };
+struct E : virtual C, virtual D {};
+int main() { E e; e.m = 10; }

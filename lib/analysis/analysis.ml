@@ -75,14 +75,22 @@ let run cl =
 
 let report t c = t.reports.(c)
 
+(* Subobject counts saturate at [max_int] (see Subobject.Count); a
+   saturated figure is meaningless as a number, so render it as an
+   overflow marker instead. *)
+let pp_count ppf n =
+  if n = max_int then Format.pp_print_string ppf "overflow"
+  else Format.pp_print_int ppf n
+
 let pp_class t ppf r =
   let g = t.graph in
-  Format.fprintf ppf "@[<v>%s: depth %d, %d direct / %d total bases (%d virtual), %d subobjects@,"
+  Format.fprintf ppf "@[<v>%s: depth %d, %d direct / %d total bases (%d virtual), %a subobjects@,"
     (G.name g r.cr_class) r.cr_depth r.cr_direct_bases r.cr_all_bases
-    r.cr_virtual_bases r.cr_subobjects;
+    r.cr_virtual_bases pp_count r.cr_subobjects;
   List.iter
     (fun (x, k) ->
-      Format.fprintf ppf "  replicated base %s: %d copies@," (G.name g x) k)
+      Format.fprintf ppf "  replicated base %s: %a copies@," (G.name g x)
+        pp_count k)
     r.cr_replicated;
   List.iter
     (fun m -> Format.fprintf ppf "  ambiguous member: %s@," m)

@@ -39,5 +39,8 @@ val run : Chg.Closure.t -> t
 (** [report t c] is class [c]'s report. *)
 val report : t -> Chg.Graph.class_id -> class_report
 
+(** [pp_class t ppf r] renders one class report.  Subobject and
+    replication counts saturated at [max_int] print as ["overflow"]
+    rather than a bogus number. *)
 val pp_class : t -> Format.formatter -> class_report -> unit
 val pp_summary : Format.formatter -> t -> unit

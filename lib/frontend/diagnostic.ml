@@ -1,26 +1,44 @@
-(** Compiler diagnostics with source positions. *)
+(** Compiler and linter diagnostics with source positions.
+
+    One diagnostic type serves both the semantic analyzer ([Sema]) and
+    the hierarchy linter ([Lint]): the lint pass adds a stable rule
+    identifier and an optional machine-applicable fix-it, both absent
+    ([None]) on compiler diagnostics, so every renderer — pretty text,
+    JSON lines, SARIF — consumes the same value. *)
 
 type severity = Error | Warning | Note
 
-type t = { severity : severity; loc : Loc.t; message : string }
+type t = {
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  rule : string option;  (** lint rule id, e.g. ["ambiguous-lookup"] *)
+  fixit : string option;  (** suggested replacement or qualification *)
+}
 
-let error ?(loc = Loc.dummy) fmt =
-  Format.kasprintf (fun message -> { severity = Error; loc; message }) fmt
+let mk severity loc rule fixit fmt =
+  Format.kasprintf
+    (fun message -> { severity; loc; message; rule; fixit })
+    fmt
 
-let warning ?(loc = Loc.dummy) fmt =
-  Format.kasprintf (fun message -> { severity = Warning; loc; message }) fmt
-
-let note ?(loc = Loc.dummy) fmt =
-  Format.kasprintf (fun message -> { severity = Note; loc; message }) fmt
+let error ?(loc = Loc.dummy) ?rule ?fixit fmt = mk Error loc rule fixit fmt
+let warning ?(loc = Loc.dummy) ?rule ?fixit fmt = mk Warning loc rule fixit fmt
+let note ?(loc = Loc.dummy) ?rule ?fixit fmt = mk Note loc rule fixit fmt
 
 let severity_string = function
   | Error -> "error"
   | Warning -> "warning"
   | Note -> "note"
 
+(* Note < Warning < Error; used by [--fail-on] threshold filtering. *)
+let severity_rank = function Note -> 1 | Warning -> 2 | Error -> 3
+
 let pp ppf d =
   Format.fprintf ppf "%a: %s: %s" Loc.pp d.loc (severity_string d.severity)
-    d.message
+    d.message;
+  match d.rule with
+  | Some r -> Format.fprintf ppf " [%s]" r
+  | None -> ()
 
 let to_string d = Format.asprintf "%a" pp d
 

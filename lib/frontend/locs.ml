@@ -1,0 +1,46 @@
+(** Source locations of hierarchy entities.
+
+    The CHG itself is location-free — it can come from JSON interchange,
+    a snapshot, or a generator — so passes that want to point back into
+    source code (the linter, chiefly) consult this side table, built from
+    the AST when the hierarchy was elaborated by the C++ front end.  Keys
+    are names rather than class ids so the table survives graph rebuilds
+    that preserve declarations. *)
+
+type t = {
+  classes : (string, Loc.t) Hashtbl.t;
+  members : (string * string, Loc.t) Hashtbl.t;
+}
+
+let empty () = { classes = Hashtbl.create 1; members = Hashtbl.create 1 }
+
+let of_program (program : Ast.program) =
+  let t =
+    { classes = Hashtbl.create 16; members = Hashtbl.create 32 }
+  in
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      if not (Hashtbl.mem t.classes c.c_name) then
+        Hashtbl.add t.classes c.c_name c.c_loc;
+      List.iter
+        (fun (m : Ast.member_decl) ->
+          let key = (c.c_name, m.md_name) in
+          if not (Hashtbl.mem t.members key) then
+            Hashtbl.add t.members key m.md_loc)
+        c.c_members)
+    program.classes;
+  t
+
+let class_loc t cls = Hashtbl.find_opt t.classes cls
+
+let member_loc t ~cls member = Hashtbl.find_opt t.members (cls, member)
+
+(* The shape the linter consumes: most specific location available —
+   the member declaration if we have it, else the class header. *)
+let locate t ~cls ~member =
+  match member with
+  | Some m ->
+    (match member_loc t ~cls m with
+    | Some _ as l -> l
+    | None -> class_loc t cls)
+  | None -> class_loc t cls

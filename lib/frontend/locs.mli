@@ -1,0 +1,30 @@
+(** Source locations of hierarchy entities, keyed by name.
+
+    Built from the AST by the front end and threaded through
+    {!Sema.t} so downstream passes (the linter) can attach source
+    positions to diagnostics about classes and member declarations.
+    Hierarchies that never went through the front end (JSON, snapshots,
+    generators) use {!empty}; lookups then return [None] and renderers
+    omit the position. *)
+
+type t
+
+(** [empty ()] knows no locations. *)
+val empty : unit -> t
+
+(** [of_program p] records the declaration site of every class and of
+    every member declaration (first declaration wins on duplicates,
+    matching the front end's error recovery). *)
+val of_program : Ast.program -> t
+
+(** [class_loc t cls] is the location of the class-head of [cls]. *)
+val class_loc : t -> string -> Loc.t option
+
+(** [member_loc t ~cls m] is the location of the declaration of [m]
+    directly in [cls]. *)
+val member_loc : t -> cls:string -> string -> Loc.t option
+
+(** [locate t ~cls ~member] is the most specific location available:
+    the member declaration when [member] is [Some m] and known,
+    otherwise the class head. *)
+val locate : t -> cls:string -> member:string option -> Loc.t option

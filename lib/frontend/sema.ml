@@ -13,6 +13,7 @@ type resolution = {
 type t = {
   graph : G.t;
   engine : Engine.t;
+  locs : Locs.t;
   resolutions : resolution list;
   diagnostics : Diagnostic.t list;
 }
@@ -279,6 +280,7 @@ let analyze (program : Ast.program) =
   analyze_funcs graph engine st program;
   { graph;
     engine;
+    locs = Locs.of_program program;
     resolutions = List.rev st.resols;
     diagnostics = List.rev st.diags }
 
@@ -288,7 +290,11 @@ let analyze_source src =
   | Error d ->
     let graph = G.freeze (G.create_builder ()) in
     let engine = Engine.build (Chg.Closure.compute graph) in
-    { graph; engine; resolutions = []; diagnostics = [ d ] }
+    { graph;
+      engine;
+      locs = Locs.empty ();
+      resolutions = [];
+      diagnostics = [ d ] }
 
 let ok t = not (Diagnostic.has_errors t.diagnostics)
 

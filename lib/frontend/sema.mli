@@ -18,6 +18,7 @@ type resolution = {
 type t = {
   graph : Chg.Graph.t;
   engine : Lookup_core.Engine.t;
+  locs : Locs.t;  (** declaration sites, for downstream diagnostics *)
   resolutions : resolution list;  (** in source order *)
   diagnostics : Diagnostic.t list;  (** in source order *)
 }

@@ -48,6 +48,7 @@ type op =
   | Lookup of query
   | Batch_lookup of query list
   | Mutate of mutation
+  | Lint of { l_rules : string list option }
   | Snapshot
   | Restore
   | Stats
@@ -209,6 +210,24 @@ let op_of_json op j =
   | "mutate" ->
     let* m = mutation_of_json j in
     Ok (Mutate m)
+  | "lint" ->
+    (match field "rules" j with
+    | None -> Ok (Lint { l_rules = None })
+    | Some v ->
+      let* l =
+        match J.to_list v with
+        | Ok l -> Ok l
+        | Error _ -> Error "field \"rules\" must be an array"
+      in
+      let* rules =
+        map_result
+          (fun r ->
+            match J.to_str r with
+            | Ok s -> Ok s
+            | Error _ -> Error "field \"rules\" must be an array of strings")
+          l
+      in
+      Ok (Lint { l_rules = Some rules }))
   | "snapshot" -> Ok Snapshot
   | "restore" -> Ok Restore
   | "stats" -> Ok Stats

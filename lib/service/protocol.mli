@@ -19,6 +19,10 @@
       ([{"name":..., "bases":[...], "members":[...]}], cxxlookup-chg
       field shapes with optional defaults) or ["add_member"]
       ([{"class":..., "member":{...}}]).
+    - [lint] — ["session"], optional ["rules"] (array of rule-id
+      strings; default all): run the hierarchy linter over the
+      session-resident hierarchy and answer the findings as structured
+      diagnostics plus severity and per-rule counts.
     - [snapshot] — ["session"]: persist the session's durable state
       (snapshot file + WAL reset) now.  Requires the server to run over
       a store ([cxxlookup serve --store DIR]); [store_error] otherwise.
@@ -70,6 +74,8 @@ type op =
   | Lookup of query
   | Batch_lookup of query list
   | Mutate of mutation
+  | Lint of { l_rules : string list option }
+      (** rule-id strings, validated by the server; [None] = all *)
   | Snapshot
   | Restore
   | Stats

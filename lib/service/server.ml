@@ -18,6 +18,7 @@ type t = {
   batch_requests : Telemetry.Counter.t;
   batch_queries : Telemetry.Counter.t;
   mutations : Telemetry.Counter.t;
+  lints : Telemetry.Counter.t;
 }
 
 let create ?(config = Session.default_config) ?(trace = false) ?store () =
@@ -38,7 +39,8 @@ let create ?(config = Session.default_config) ?(trace = false) ?store () =
     lookups = Telemetry.Counter.make "lookups";
     batch_requests = Telemetry.Counter.make "batch_requests";
     batch_queries = Telemetry.Counter.make "batch_queries";
-    mutations = Telemetry.Counter.make "mutations" }
+    mutations = Telemetry.Counter.make "mutations";
+    lints = Telemetry.Counter.make "lints" }
 
 let sink t = t.sink
 let store t = t.store
@@ -47,7 +49,7 @@ let counters t =
   List.map
     (fun c -> (Telemetry.Counter.name c, Telemetry.Counter.value c))
     [ t.requests; t.errors; t.sessions_opened; t.sessions_closed;
-      t.lookups; t.batch_requests; t.batch_queries; t.mutations ]
+      t.lookups; t.batch_requests; t.batch_queries; t.mutations; t.lints ]
 
 (* ---- per-verb handlers --------------------------------------------- *)
 
@@ -234,6 +236,47 @@ let handle_mutate t s m =
        in
        fail code "%s" (G.error_to_string e))
 
+let handle_lint t s rules =
+  Telemetry.Counter.incr t.lints;
+  let rules =
+    match rules with
+    | None -> Lint.Rule.all
+    | Some ids ->
+      (match ids with
+      | [] -> fail P.Bad_request "empty rule list"
+      | _ ->
+        List.map
+          (fun id ->
+            match Lint.Rule.of_string id with
+            | Some r -> r
+            | None -> fail P.Bad_request "unknown lint rule %S" id)
+          ids)
+  in
+  let g = Session.graph s in
+  let findings =
+    Lint.run
+      ~config:{ Lint.default_config with rules }
+      (Chg.Closure.compute g)
+  in
+  let errors, warnings, notes = Lint.summary findings in
+  let per_rule =
+    List.filter_map
+      (fun r ->
+        match
+          List.length (List.filter (fun f -> f.Lint.f_rule = r) findings)
+        with
+        | 0 -> None
+        | n -> Some (Lint.Rule.to_string r, J.Int n))
+      Lint.Rule.all
+  in
+  [ ("session", J.String (Session.name s));
+    ("epoch", J.Int (Session.epoch s));
+    ("diagnostics", J.List (List.map (fun f -> Lint.finding_json f) findings));
+    ("errors", J.Int errors);
+    ("warnings", J.Int warnings);
+    ("notes", J.Int notes);
+    ("rules", J.Obj per_rule) ]
+
 let handle_snapshot t s =
   match t.store with
   | None ->
@@ -343,6 +386,7 @@ let op_name = function
   | P.Lookup _ -> "lookup"
   | P.Batch_lookup _ -> "batch_lookup"
   | P.Mutate _ -> "mutate"
+  | P.Lint _ -> "lint"
   | P.Snapshot -> "snapshot"
   | P.Restore -> "restore"
   | P.Stats -> "stats"
@@ -357,6 +401,7 @@ let handle_request t (rq : P.request) =
     | P.Lookup q -> handle_lookup t (session t rq.P.rq_session) q
     | P.Batch_lookup qs -> handle_batch t (session t rq.P.rq_session) qs
     | P.Mutate m -> handle_mutate t (session t rq.P.rq_session) m
+    | P.Lint { l_rules } -> handle_lint t (session t rq.P.rq_session) l_rules
     | P.Snapshot -> handle_snapshot t (session t rq.P.rq_session)
     | P.Restore -> handle_restore t ~session:rq.P.rq_session
     | P.Stats -> handle_stats t rq.P.rq_session

@@ -1,0 +1,108 @@
+Linter integration tests: the paper's Figure 1 diamond, the Figure 9
+g++ counterexample, and a clean hierarchy, through every output format
+and the severity-driven exit codes.
+
+  $ cat > fig1.cpp <<'CPP'
+  > struct A { int m; };
+  > struct B : A {};
+  > struct C : B {};
+  > struct D : B { int m; };
+  > struct E : C, D {};
+  > CPP
+
+  $ cat > fig9.cpp <<'CPP'
+  > struct S  { int m; };
+  > struct A : virtual S { int m; };
+  > struct B : virtual S { int m; };
+  > struct C : virtual A, virtual B { int m; };
+  > struct D : C {};
+  > struct E : virtual A, virtual B, D {};
+  > CPP
+
+  $ cat > clean.cpp <<'CPP'
+  > struct A { int m; };
+  > struct B : A { int n; };
+  > struct C : B {};
+  > CPP
+
+Figure 1: every diamond rule fires, and the ambiguity makes the exit
+code non-zero under the default --fail-on error.
+
+  $ cxxlookup lint fig1.cpp
+  fig1.cpp:4:20: note: declaration 'D::m' is never the result of member lookup in any of the 1 class derived from 'D' (always hidden or ambiguous below) [dead-member]
+  fig1.cpp:5:8: error: request for member 'm' is ambiguous in 'E'; candidate definition paths: A-B-C-E; D-E [ambiguous-lookup]
+  fig1.cpp:5:8: warning: a 'E' object contains 2 distinct 'A' subobjects (replicated non-virtual base); members of 'A' are ambiguous or must be reached by qualified paths [replicated-base]
+  fig1.cpp:5:8: warning: a 'E' object contains 2 distinct 'B' subobjects (replicated non-virtual base); members of 'B' are ambiguous or must be reached by qualified paths [replicated-base]
+  fig1.cpp:5:8: note: declaring 'A' as a virtual base (B : virtual A) resolves the ambiguity of 'm' in 'E' to 'D::m' and preserves every other lookup verdict [virtualize-fix-it]
+      fix-it: B : virtual A
+  fig1.cpp:5:8: note: declaring 'B' as a virtual base (C : virtual B; D : virtual B) resolves the ambiguity of 'm' in 'E' to 'D::m' and preserves every other lookup verdict [virtualize-fix-it]
+      fix-it: C : virtual B; D : virtual B
+  fig1.cpp:5:8: note: a topological-order lookup (the Eiffel-style baseline) silently resolves 'm' in 'E' to 'D::m' where ISO C++ lookup is ambiguous [compiler-divergence]
+  7 findings: 1 error, 2 warnings, 4 notes
+  [1]
+
+Figure 9: no ambiguity (the headline lookup resolves to C::m by
+dominance), so the default threshold passes — but the dominance-only
+resolution, the dead virtual-base declarations, and the divergence from
+buggy g++ 2.7 are all reported.
+
+  $ cxxlookup lint fig9.cpp
+  fig9.cpp:1:17: note: declaration 'S::m' is never the result of member lookup in any of the 5 classes derived from 'S' (always hidden or ambiguous below) [dead-member]
+  fig9.cpp:2:28: note: declaration 'A::m' is never the result of member lookup in any of the 3 classes derived from 'A' (always hidden or ambiguous below) [dead-member]
+  fig9.cpp:3:28: note: declaration 'B::m' is never the result of member lookup in any of the 3 classes derived from 'B' (always hidden or ambiguous below) [dead-member]
+  fig9.cpp:6:8: warning: lookup of 'm' in 'E' resolves to 'C::m' only by dominance over definition(s) in virtual bases 'A', 'B' [fragile-dominance]
+      fix-it: use the qualified name 'C::m', or redeclare 'm' in 'E', to make the choice explicit
+  fig9.cpp:6:8: note: g++ 2.7 (buggy dominance pruning) rejects 'm' in 'E' as ambiguous; ISO C++ lookup resolves it to 'C::m' [compiler-divergence]
+  5 findings: 0 errors, 1 warning, 4 notes
+
+A clean single-inheritance chain produces nothing.
+
+  $ cxxlookup lint clean.cpp
+  no lint findings
+
+Exit codes follow --fail-on: the fig9 warning trips a warning
+threshold, and `never` always exits 0.
+
+  $ cxxlookup lint fig9.cpp --fail-on warning > /dev/null
+  [1]
+  $ cxxlookup lint fig1.cpp --fail-on never > /dev/null
+
+Rule selection runs only the named rules.
+
+  $ cxxlookup lint fig1.cpp --rules ambiguous-lookup,replicated-base
+  fig1.cpp:5:8: error: request for member 'm' is ambiguous in 'E'; candidate definition paths: A-B-C-E; D-E [ambiguous-lookup]
+  fig1.cpp:5:8: warning: a 'E' object contains 2 distinct 'A' subobjects (replicated non-virtual base); members of 'A' are ambiguous or must be reached by qualified paths [replicated-base]
+  fig1.cpp:5:8: warning: a 'E' object contains 2 distinct 'B' subobjects (replicated non-virtual base); members of 'B' are ambiguous or must be reached by qualified paths [replicated-base]
+  3 findings: 1 error, 2 warnings, 0 notes
+  [1]
+
+  $ cxxlookup lint fig1.cpp --rules nope
+  error: unknown lint rule 'nope'
+  [2]
+
+JSON-lines output: one object per finding, with positions and fix-its.
+
+  $ cxxlookup lint fig1.cpp --format json --rules ambiguous-lookup,virtualize-fix-it --fail-on never
+  {"rule":"ambiguous-lookup","severity":"error","class":"E","member":"m","file":"fig1.cpp","line":5,"col":8,"message":"request for member 'm' is ambiguous in 'E'; candidate definition paths: A-B-C-E; D-E"}
+  {"rule":"virtualize-fix-it","severity":"note","class":"E","member":"m","file":"fig1.cpp","line":5,"col":8,"message":"declaring 'A' as a virtual base (B : virtual A) resolves the ambiguity of 'm' in 'E' to 'D::m' and preserves every other lookup verdict","fixit":"B : virtual A"}
+  {"rule":"virtualize-fix-it","severity":"note","class":"E","member":"m","file":"fig1.cpp","line":5,"col":8,"message":"declaring 'B' as a virtual base (C : virtual B; D : virtual B) resolves the ambiguity of 'm' in 'E' to 'D::m' and preserves every other lookup verdict","fixit":"C : virtual B; D : virtual B"}
+
+SARIF 2.1.0: the document head carries the schema, version, and the
+full static rule table; one result per finding.
+
+  $ cxxlookup lint fig1.cpp --format sarif --fail-on never | head -12
+  {
+    "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+    "version": "2.1.0",
+    "runs": [
+      {
+        "tool": {
+          "driver": {
+            "name": "cxxlookup-lint",
+            "informationUri": "https://doi.org/10.1145/258915.258916",
+            "rules": [
+              {
+                "id": "ambiguous-lookup",
+
+  $ cxxlookup lint fig1.cpp --format sarif --fail-on never | grep -c '"ruleId"'
+  7

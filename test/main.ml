@@ -16,6 +16,7 @@ let () =
       ("serialize", Test_serialize.suite);
       ("runtime", Test_runtime.suite);
       ("analysis", Test_analysis.suite);
+      ("lint", Test_lint.suite);
       ("workload", Test_workload.suite);
       ("slicing", Test_slicing.suite);
       ("telemetry", Test_telemetry.suite);

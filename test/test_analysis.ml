@@ -93,6 +93,36 @@ let test_copies_sum_to_count () =
     [ Hiergen.Figures.fig1; Hiergen.Figures.fig2; Hiergen.Figures.fig3;
       Hiergen.Figures.fig9 ]
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let test_overflow_rendering () =
+  (* 100 levels of non-virtual diamonds saturate the subobject count at
+     max_int; pp_class must render that as "overflow", not the raw
+     saturated integer *)
+  let { Hiergen.Families.graph; probe; _ } =
+    Hiergen.Families.diamond_stack ~levels:100 ~kind:G.Non_virtual
+  in
+  let t = analyze graph in
+  let r = Analysis.report t probe in
+  Alcotest.(check int) "count is saturated" max_int r.cr_subobjects;
+  let rendered = Format.asprintf "%a" (Analysis.pp_class t) r in
+  Alcotest.(check bool) "renders the marker" true
+    (contains rendered "overflow subobjects");
+  Alcotest.(check bool) "no raw max_int" false
+    (contains rendered (string_of_int max_int));
+  (* a small hierarchy still prints real numbers *)
+  let g1 = Hiergen.Figures.fig1 () in
+  let t1 = analyze g1 in
+  let r1 = Analysis.report t1 (G.find g1 "E") in
+  let small = Format.asprintf "%a" (Analysis.pp_class t1) r1 in
+  Alcotest.(check bool) "numeric count intact" true
+    (contains small "7 subobjects")
+
 let suite =
   [ Alcotest.test_case "fig1: replication & ambiguity" `Quick
       test_fig1_replication;
@@ -102,4 +132,6 @@ let suite =
     Alcotest.test_case "root classes" `Quick test_roots;
     Alcotest.test_case "per-base copy counts" `Quick test_copies_of;
     Alcotest.test_case "copies sum to the subobject count" `Quick
-      test_copies_sum_to_count ]
+      test_copies_sum_to_count;
+    Alcotest.test_case "saturated counts render as overflow" `Quick
+      test_overflow_rendering ]

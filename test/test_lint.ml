@@ -1,0 +1,311 @@
+(* Tests for the hierarchy linter: per-rule behavior on the paper
+   figures, renderer contracts (text, JSON, SARIF 2.1.0), and a QCheck
+   property tying the ambiguous-lookup rule to the spec oracle. *)
+
+module G = Chg.Graph
+module J = Chg.Json
+module Spec = Subobject.Spec
+module D = Frontend.Diagnostic
+
+let lint ?config g = Lint.run ?config (Chg.Closure.compute g)
+
+let triple f =
+  (Lint.Rule.to_string f.Lint.f_rule, f.Lint.f_class, f.Lint.f_member)
+
+let triples fs = List.map triple fs
+
+let of_rule r fs = List.filter (fun f -> f.Lint.f_rule = r) fs
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let triple_t = Alcotest.(list (triple string string (option string)))
+
+(* ---- figure 1: the motivating replicated diamond ------------------- *)
+
+let test_fig1 () =
+  let fs = lint (Hiergen.Figures.fig1 ()) in
+  Alcotest.(check triple_t)
+    "all six-rule findings, deterministic order"
+    [ ("dead-member", "D", Some "m");
+      ("ambiguous-lookup", "E", Some "m");
+      ("replicated-base", "E", None);
+      ("replicated-base", "E", None);
+      ("virtualize-fix-it", "E", Some "m");
+      ("virtualize-fix-it", "E", Some "m");
+      ("compiler-divergence", "E", Some "m") ]
+    (triples fs);
+  (* the ambiguity carries the spec's witness definition paths *)
+  let amb = List.hd (of_rule Lint.Rule.Ambiguous_lookup fs) in
+  Alcotest.(check bool) "witness paths" true
+    (contains amb.Lint.f_diag.D.message "A-B-C-E; D-E");
+  Alcotest.(check bool) "error severity" true
+    (amb.Lint.f_diag.D.severity = D.Error);
+  (* both virtualization candidates: the single edge B->A and the
+     all-edges-out-of-B group (paper Figure 2 is the second one applied
+     everywhere) *)
+  Alcotest.(check (list (option string)))
+    "fix-its"
+    [ Some "B : virtual A"; Some "C : virtual B; D : virtual B" ]
+    (List.map
+       (fun f -> f.Lint.f_diag.D.fixit)
+       (of_rule Lint.Rule.Virtualize_fixit fs));
+  Alcotest.(check (pair int (pair int int)))
+    "summary" (1, (2, 4))
+    (let e, w, n = Lint.summary fs in
+     (e, (w, n)));
+  Alcotest.(check bool) "max severity" true
+    (Lint.max_severity fs = Some D.Error)
+
+(* ---- figure 2: the virtual variant is ambiguity-free but resolves
+   only through dominance --------------------------------------------- *)
+
+let test_fig2 () =
+  let fs = lint (Hiergen.Figures.fig2 ()) in
+  Alcotest.(check triple_t)
+    "only the fragile dominance warning"
+    [ ("fragile-dominance", "E", Some "m") ]
+    (triples fs);
+  let f = List.hd fs in
+  Alcotest.(check bool) "warning severity" true
+    (f.Lint.f_diag.D.severity = D.Warning);
+  Alcotest.(check bool) "qualified-name fix-it" true
+    (match f.Lint.f_diag.D.fixit with
+    | Some fx -> contains fx "D::m"
+    | None -> false)
+
+(* ---- figure 9: the g++ 2.7 counterexample -------------------------- *)
+
+let test_fig9 () =
+  let fs = lint (Hiergen.Figures.fig9 ()) in
+  Alcotest.(check triple_t)
+    "dead virtual-base decls, dominance warning, g++ divergence"
+    [ ("dead-member", "S", Some "m");
+      ("dead-member", "A", Some "m");
+      ("dead-member", "B", Some "m");
+      ("fragile-dominance", "E", Some "m");
+      ("compiler-divergence", "E", Some "m") ]
+    (triples fs);
+  let div = List.hd (of_rule Lint.Rule.Compiler_divergence fs) in
+  Alcotest.(check bool) "names the buggy compiler" true
+    (contains div.Lint.f_diag.D.message "g++ 2.7");
+  Alcotest.(check bool) "no ambiguity reported" true
+    (of_rule Lint.Rule.Ambiguous_lookup fs = [])
+
+(* ---- clean hierarchies stay clean ---------------------------------- *)
+
+let test_clean () =
+  let b = G.create_builder () in
+  ignore (G.add_class b "A" ~bases:[] ~members:[ G.member "m" ]);
+  ignore
+    (G.add_class b "B"
+       ~bases:[ ("A", G.Non_virtual, G.Public) ]
+       ~members:[ G.member "n" ]);
+  ignore
+    (G.add_class b "C"
+       ~bases:[ ("B", G.Non_virtual, G.Public) ]
+       ~members:[]);
+  let fs = lint (G.freeze b) in
+  Alcotest.(check triple_t) "no findings" [] (triples fs);
+  Alcotest.(check bool) "no severity" true (Lint.max_severity fs = None)
+
+(* ---- rule selection and parsing ------------------------------------ *)
+
+let test_rule_selection () =
+  let config =
+    { Lint.default_config with rules = [ Lint.Rule.Ambiguous_lookup ] }
+  in
+  let fs = lint ~config (Hiergen.Figures.fig3 ()) in
+  Alcotest.(check triple_t)
+    "figure 3's four ambiguous pairs, nothing else"
+    [ ("ambiguous-lookup", "D", Some "foo");
+      ("ambiguous-lookup", "F", Some "bar");
+      ("ambiguous-lookup", "F", Some "foo");
+      ("ambiguous-lookup", "H", Some "bar") ]
+    (triples fs)
+
+let test_parse_rules () =
+  (match Lint.parse_rules "dead-member , ambiguous-lookup" with
+  | Ok rules ->
+    Alcotest.(check (list string))
+      "parsed in given order"
+      [ "dead-member"; "ambiguous-lookup" ]
+      (List.map Lint.Rule.to_string rules)
+  | Error e -> Alcotest.fail e);
+  (match Lint.parse_rules "ambiguous-lookup,bogus" with
+  | Ok _ -> Alcotest.fail "unknown rule accepted"
+  | Error e -> Alcotest.(check bool) "names the bad id" true
+                 (contains e "bogus"));
+  (match Lint.parse_rules "" with
+  | Ok _ -> Alcotest.fail "empty list accepted"
+  | Error _ -> ());
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Lint.Rule.to_string r)
+        true
+        (Lint.Rule.of_string (Lint.Rule.to_string r) = Some r))
+    Lint.Rule.all
+
+(* ---- metrics -------------------------------------------------------- *)
+
+let test_metrics () =
+  let metrics = Lint.create_metrics () in
+  let g = Hiergen.Figures.fig1 () in
+  ignore (Lint.run ~metrics (Chg.Closure.compute g));
+  let counters = Lint.metrics_counters metrics in
+  let get name = List.assoc name counters in
+  Alcotest.(check int) "one ambiguity" 1 (get "lint_ambiguous-lookup");
+  Alcotest.(check int) "two replications" 2 (get "lint_replicated-base");
+  Alcotest.(check bool) "pairs scanned" true (get "lint_pairs_checked" > 0);
+  Alcotest.(check bool) "variant tables built" true
+    (get "lint_variant_builds" > 0)
+
+(* ---- locations and the JSON renderer ------------------------------- *)
+
+let test_locations () =
+  let locs ~cls ~member =
+    match (cls, member) with
+    | "E", Some "m" -> Some { Frontend.Loc.line = 7; col = 3 }
+    | _ -> None
+  in
+  let fs =
+    Lint.run ~locs (Chg.Closure.compute (Hiergen.Figures.fig1 ()))
+  in
+  let amb = List.hd (of_rule Lint.Rule.Ambiguous_lookup fs) in
+  let j = Lint.finding_json ~file:"fig1.cpp" amb in
+  let get name = Result.get_ok (J.member name j) in
+  Alcotest.(check string) "rule" "ambiguous-lookup"
+    (Result.get_ok (J.to_str (get "rule")));
+  Alcotest.(check string) "severity" "error"
+    (Result.get_ok (J.to_str (get "severity")));
+  Alcotest.(check string) "file" "fig1.cpp"
+    (Result.get_ok (J.to_str (get "file")));
+  Alcotest.(check int) "line" 7 (Result.get_ok (J.to_int (get "line")));
+  Alcotest.(check int) "col" 3 (Result.get_ok (J.to_int (get "col")));
+  (* a finding without a location omits the position fields *)
+  let dead = List.hd (of_rule Lint.Rule.Dead_member fs) in
+  let dj = Lint.finding_json dead in
+  Alcotest.(check bool) "no line at dummy loc" true
+    (Result.is_error (J.member "line" dj));
+  (* and the text renderer shows position + rule id + fix-it line *)
+  let text = Format.asprintf "%a" (Lint.pp_text ~file:"fig1.cpp") fs in
+  Alcotest.(check bool) "text position" true
+    (contains text "fig1.cpp:7:3: error:");
+  Alcotest.(check bool) "text rule tag" true
+    (contains text "[ambiguous-lookup]");
+  Alcotest.(check bool) "text fix-it line" true
+    (contains text "fix-it: B : virtual A");
+  Alcotest.(check bool) "text summary" true
+    (contains text "7 findings: 1 error, 2 warnings, 4 notes")
+
+(* ---- SARIF 2.1.0 required structure -------------------------------- *)
+
+let test_sarif () =
+  let fs = lint (Hiergen.Figures.fig1 ()) in
+  let doc =
+    Result.get_ok (J.of_string (Lint.Sarif.to_string ~file:"fig1.cpp" fs))
+  in
+  let get name j = Result.get_ok (J.member name j) in
+  let str j = Result.get_ok (J.to_str j) in
+  Alcotest.(check bool) "$schema names sarif-2.1.0" true
+    (contains (str (get "$schema" doc)) "sarif-2.1.0");
+  Alcotest.(check string) "version" "2.1.0" (str (get "version" doc));
+  let runs = Result.get_ok (J.to_list (get "runs" doc)) in
+  Alcotest.(check int) "one run" 1 (List.length runs);
+  let run = List.hd runs in
+  let driver = get "driver" (get "tool" run) in
+  Alcotest.(check string) "driver name" "cxxlookup-lint"
+    (str (get "name" driver));
+  let rules = Result.get_ok (J.to_list (get "rules" driver)) in
+  Alcotest.(check (list string))
+    "full static rule table"
+    (List.map Lint.Rule.to_string Lint.Rule.all)
+    (List.map (fun r -> str (get "id" r)) rules);
+  List.iter
+    (fun r ->
+      ignore (str (get "text" (get "shortDescription" r)));
+      ignore (str (get "level" (get "defaultConfiguration" r))))
+    rules;
+  let results = Result.get_ok (J.to_list (get "results" run)) in
+  Alcotest.(check int) "one result per finding" (List.length fs)
+    (List.length results);
+  List.iter2
+    (fun f r ->
+      Alcotest.(check string) "ruleId"
+        (Lint.Rule.to_string f.Lint.f_rule)
+        (str (get "ruleId" r));
+      Alcotest.(check int) "ruleIndex"
+        (Lint.Rule.index f.Lint.f_rule)
+        (Result.get_ok (J.to_int (get "ruleIndex" r)));
+      ignore (str (get "level" r));
+      Alcotest.(check string) "message text" f.Lint.f_diag.D.message
+        (str (get "text" (get "message" r)));
+      let loc = List.hd (Result.get_ok (J.to_list (get "locations" r))) in
+      Alcotest.(check string) "artifact uri" "fig1.cpp"
+        (str
+           (get "uri" (get "artifactLocation" (get "physicalLocation" loc)))))
+    fs results
+
+(* ---- property: the ambiguous-lookup rule IS the spec oracle -------- *)
+
+let members = [ "m"; "n"; "p" ]
+
+let instance_gen =
+  QCheck.Gen.(
+    map
+      (fun (n, max_bases, vp, dp, seed) ->
+        Hiergen.Families.random_dag ~n ~max_bases
+          ~virtual_prob:(float_of_int vp /. 10.)
+          ~declare_prob:(float_of_int dp /. 10.)
+          ~members ~seed)
+      (tup5 (int_range 1 14) (int_range 1 3) (int_range 0 10)
+         (int_range 1 6) (int_range 0 10000)))
+
+let instance_arb =
+  QCheck.make instance_gen ~print:(fun i ->
+      i.Hiergen.Families.description ^ "\n"
+      ^ Format.asprintf "%a" G.pp i.Hiergen.Families.graph)
+
+let prop_ambiguous_matches_spec =
+  QCheck.Test.make ~count:500 ~name:"ambiguous-lookup rule = spec oracle"
+    instance_arb (fun { Hiergen.Families.graph = g; _ } ->
+      let config =
+        { Lint.default_config with rules = [ Lint.Rule.Ambiguous_lookup ] }
+      in
+      let flagged =
+        List.map
+          (fun f -> (f.Lint.f_class, Option.get f.Lint.f_member))
+          (lint ~config g)
+      in
+      let expected =
+        List.concat_map
+          (fun c ->
+            List.filter_map
+              (fun m ->
+                match Spec.lookup_static g c m with
+                | Spec.Ambiguous _ -> Some (G.name g c, m)
+                | Spec.Resolved _ | Spec.Undeclared -> None)
+              members)
+          (G.classes g)
+      in
+      List.sort compare flagged = List.sort compare expected)
+
+let suite =
+  [ Alcotest.test_case "figure 1: every diamond rule fires" `Quick test_fig1;
+    Alcotest.test_case "figure 2: dominance-only resolution" `Quick
+      test_fig2;
+    Alcotest.test_case "figure 9: divergence from buggy g++" `Quick
+      test_fig9;
+    Alcotest.test_case "clean hierarchy: no findings" `Quick test_clean;
+    Alcotest.test_case "rule selection" `Quick test_rule_selection;
+    Alcotest.test_case "rule-list parsing" `Quick test_parse_rules;
+    Alcotest.test_case "metrics counters" `Quick test_metrics;
+    Alcotest.test_case "locations, JSON and text renderers" `Quick
+      test_locations;
+    Alcotest.test_case "SARIF 2.1.0 structure" `Quick test_sarif;
+    QCheck_alcotest.to_alcotest prop_ambiguous_matches_spec ]
