@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint verify clean
+.PHONY: all build test bench bench-smoke lint verify clean
 
 all: build
 
@@ -10,6 +10,11 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Packed-table checks only (PAR1 determinism, PAK1 size floor) on a
+# small family: seconds, not minutes, so CI can afford it per push.
+bench-smoke:
+	dune exec bench/main.exe -- smoke
 
 # Lint every example hierarchy in SARIF mode; any error-severity finding
 # (an ambiguous lookup) fails the build.  Warnings and notes (dominance
@@ -34,7 +39,7 @@ verify:
 	dune runtest
 	dune exec bin/cxxlookup.exe -- stats examples/fig9.cpp --stats-json \
 	  | grep -q '"schema": "cxxlookup-stats/1"'
-	dune exec bin/cxxlookup.exe -- serve < test/smoke/serve_input.jsonl \
+	dune exec bin/cxxlookup.exe -- serve --jobs 1 < test/smoke/serve_input.jsonl \
 	  | diff - test/smoke/serve_golden.jsonl
 	sh test/smoke/crash_recovery.sh
 	$(MAKE) lint

@@ -6,12 +6,21 @@
    Run with: dune exec bench/main.exe *)
 
 (* Ops counts alongside timings for every sweep point, so perf can be
-   tracked across sessions in the paper's own unit operations. *)
+   tracked across sessions in the paper's own unit operations.  The host
+   header records where the wall-clock numbers came from — parallel
+   (PAR1) speedups are meaningless without the core count. *)
+let host_json () =
+  Telemetry.Json.Obj
+    [ ("hostname", Telemetry.Json.String (Unix.gethostname ()));
+      ("ncores", Telemetry.Json.Int (Domain.recommended_domain_count ()));
+      ("ocaml_version", Telemetry.Json.String Sys.ocaml_version) ]
+
 let write_metrics () =
   let entries = List.rev !Scaling.bench_records in
   let doc =
     Telemetry.Json.Obj
       [ ("schema", Telemetry.Json.String "cxxlookup-bench/1");
+        ("host", host_json ());
         ("entries", Telemetry.Json.List entries) ]
   in
   Out_channel.with_open_text "BENCH_lookup.json" (fun oc ->
@@ -22,6 +31,18 @@ let write_metrics () =
 let () =
   Format.printf "cxxlookup benchmark harness — ";
   Format.printf "A Member Lookup Algorithm for C++ (PLDI 1997)@.";
+  (* `smoke` (make bench-smoke, CI) runs only the packed-table checks on
+     a small family: determinism and the size floor, in seconds.  The
+     full run regenerates every figure and BENCH_lookup.json. *)
+  if Array.exists (String.equal "smoke") Sys.argv then begin
+    Packed_bench.smoke ();
+    Format.printf "@.%s@."
+      (if !Fig_tables.checks_failed = 0 then "Smoke checks passed."
+       else
+         Printf.sprintf "%d CHECKS FAILED — see MISMATCH lines above."
+           !Fig_tables.checks_failed);
+    exit (if !Fig_tables.checks_failed = 0 then 0 else 1)
+  end;
   Fig_tables.run ();
   Scaling.run ();
   Ablation.run ();
@@ -29,6 +50,7 @@ let () =
   Throughput.run ();
   Lint_bench.run ();
   Store_bench.run ();
+  Packed_bench.run ();
   Becha.run ();
   write_metrics ();
   Format.printf "@.%s@."

@@ -19,6 +19,7 @@ module Engine = Lookup_core.Engine
 module Memo = Lookup_core.Memo
 module Incremental = Lookup_core.Incremental
 module Metrics = Lookup_core.Metrics
+module Packed = Lookup_core.Packed
 module Tjson = Telemetry.Json
 
 let read_file path =
@@ -289,6 +290,23 @@ let count_cmd =
 
 (* -- telemetry-driven subcommands: stats & trace -------------------- *)
 
+let jobs_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains for whole-table column compilation (default: \
+           $(b,CXXLOOKUP_JOBS) if set, else the machine's recommended \
+           domain count; $(b,1) runs sequentially on the calling domain).")
+
+let resolve_jobs = function
+  | Some n when n >= 1 -> n
+  | Some n ->
+    Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" n;
+    exit 2
+  | None -> Packed.default_jobs ()
+
 let count_virtual_edges g =
   List.fold_left
     (fun acc c ->
@@ -344,16 +362,22 @@ let stats_cmd =
   let member_opt =
     Arg.(value & pos 2 (some string) None & info [] ~docv:"MEMBER")
   in
-  let run file cls member json =
+  let run file cls member json jobs =
     (match (cls, member) with
     | Some _, None ->
       prerr_endline "error: stats takes FILE, or FILE CLASS MEMBER";
       exit 1
     | _ -> ());
+    let jobs = resolve_jobs jobs in
     let r = load file in
     let g = r.graph in
     let cl = Chg.Closure.compute g in
     let engine, em, memo, mm, im = run_instrumented g cl ~member in
+    (* the packed query-serving table, compiled on [jobs] domains, and
+       its size against the boxed representation it replaces *)
+    let packed = Packed.build ~jobs cl in
+    let packed_bytes = Packed.bytes packed in
+    let boxed_bytes = Packed.boxed_bytes packed in
     let query =
       match (cls, member) with
       | Some cls, Some m ->
@@ -388,7 +412,23 @@ let stats_cmd =
                     ("cached_entries", Tjson.Int (Memo.cached_entries memo))
                   ] );
               ("incremental",
-               Tjson.Obj [ ("counters", Metrics.counters_json im) ])
+               Tjson.Obj [ ("counters", Metrics.counters_json im) ]);
+              ( "packed",
+                Tjson.Obj
+                  [ ("domains", Tjson.Int jobs);
+                    ("bytes", Tjson.Int packed_bytes);
+                    ("boxed_bytes", Tjson.Int boxed_bytes);
+                    ( "columns",
+                      Tjson.List
+                        (List.map
+                           (fun (m, col) ->
+                             Tjson.Obj
+                               [ ("member", Tjson.String m);
+                                 ("bytes", Tjson.Int (Packed.column_bytes col));
+                                 ( "boxed_bytes",
+                                   Tjson.Int (Packed.boxed_column_bytes col) )
+                               ])
+                           (Packed.columns packed)) ) ] )
             ]
            @
            match query with
@@ -415,6 +455,16 @@ let stats_cmd =
       Format.printf "  cached_entries         %d@." (Memo.cached_entries memo);
       Format.printf "incremental replay (class by class):@.";
       Format.printf "%a" Metrics.pp_summary im;
+      Format.printf "packed table (%d domain%s):@." jobs
+        (if jobs = 1 then "" else "s");
+      List.iter
+        (fun (m, col) ->
+          Format.printf "  %-22s %d bytes packed, %d boxed@." m
+            (Packed.column_bytes col)
+            (Packed.boxed_column_bytes col))
+        (Packed.columns packed);
+      Format.printf "  %-22s %d bytes packed, %d boxed@." "total" packed_bytes
+        boxed_bytes;
       match query with
       | None -> ()
       | Some (cls, m, v) ->
@@ -433,7 +483,8 @@ let stats_cmd =
           memo hits, incremental row costs) measured over all three \
           engines.  With CLASS and MEMBER, instruments that single \
           member's column.")
-    Term.(const run $ file_arg $ class_opt $ member_opt $ json_flag)
+    Term.(const run $ file_arg $ class_opt $ member_opt $ json_flag
+          $ jobs_term)
 
 let trace_cmd =
   let json_flag =
@@ -506,13 +557,15 @@ let service_config_term =
       & info [ "memo-cap" ] ~docv:"N"
           ~doc:"Memo engine residency cap (entries), per session.")
   in
-  let make threshold entries bytes memo_cap =
+  let make threshold entries bytes memo_cap jobs =
     { Service.Session.promote_threshold = threshold;
       table_max_entries = entries;
       table_max_bytes = bytes;
-      memo_max_entries = memo_cap }
+      memo_max_entries = memo_cap;
+      jobs = resolve_jobs jobs }
   in
-  Term.(const make $ threshold $ table_entries $ table_bytes $ memo_cap)
+  Term.(const make $ threshold $ table_entries $ table_bytes $ memo_cap
+        $ jobs_term)
 
 (* -- durability options ---------------------------------------------- *)
 
@@ -842,7 +895,7 @@ let lint_cmd =
              ($(b,note) < $(b,warning) < $(b,error); $(b,never) always \
              exits 0).")
   in
-  let run file format rules fail_on =
+  let run file format rules fail_on jobs =
     (* Tolerant load: ambiguous or ill-formed member accesses are the
        linter's subject matter, not a reason to stop.  Only a hierarchy
        we could not build at all is fatal. *)
@@ -860,7 +913,10 @@ let lint_cmd =
     in
     let config = { Lint.default_config with rules } in
     let locs ~cls ~member = Frontend.Locs.locate r.locs ~cls ~member in
-    let findings = Lint.run ~config ~locs (Chg.Closure.compute r.graph) in
+    let findings =
+      Lint.run ~config ~locs ~jobs:(resolve_jobs jobs)
+        (Chg.Closure.compute r.graph)
+    in
     (match format with
     | `Text -> Format.printf "%a@?" (Lint.pp_text ~file) findings
     | `Json ->
@@ -888,7 +944,8 @@ let lint_cmd =
           bases, fragile dominance, dead members, virtualization fix-its, \
           and compiler-divergence checks against the g++ 2.7 and Eiffel \
           baselines.")
-    Term.(const run $ file_arg $ format_arg $ rules_arg $ fail_on_arg)
+    Term.(const run $ file_arg $ format_arg $ rules_arg $ fail_on_arg
+          $ jobs_term)
 
 let () =
   let doc = "C++ member lookup (Ramalingam & Srinivasan, PLDI 1997)" in

@@ -27,6 +27,22 @@ let extend_red r x kind =
      mapping to the same Lv x. *)
   { r with r_lvs = List.sort_uniq lv_compare (List.map (fun v -> o v x kind) r.r_lvs) }
 
+(* [o] only rewrites Ω, and a sorted deduped list carries Ω at most once,
+   at its head.  So extending a whole blue set is the identity unless the
+   edge is virtual and Ω is present, in which case Ω becomes [Lv x]: a
+   single ordered insertion into the (still sorted) Lv tail. *)
+let extend_blue s x kind =
+  match (s, kind) with
+  | Omega :: rest, Chg.Graph.Virtual ->
+    let rec insert = function
+      | [] -> [ Lv x ]
+      | Lv y :: _ as l when y > x -> Lv x :: l
+      | (Lv y :: _) as l when y = x -> l
+      | hd :: tl -> hd :: insert tl
+    in
+    insert rest
+  | _ -> s
+
 type vbase = Chg.Graph.class_id -> Chg.Graph.class_id -> bool
 
 let dominates1 vbase (l1, v1) (_l2, v2) =

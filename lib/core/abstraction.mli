@@ -35,6 +35,14 @@ val o : lv -> Chg.Graph.class_id -> Chg.Graph.edge_kind -> lv
     [x -> _]: the ldc is unchanged, each lv component goes through {!o}. *)
 val extend_red : red -> Chg.Graph.class_id -> Chg.Graph.edge_kind -> red
 
+(** [extend_blue s x kind] pushes a whole blue abstraction set through the
+    edge [x -> _]: every element goes through {!o}, and the result is kept
+    sorted by {!lv_compare} without duplicates.  Requires [s] sorted and
+    deduplicated; runs in one linear pass (no re-sort: {!o} only ever
+    rewrites the lone [Ω] head into [Lv x], an ordered insertion). *)
+val extend_blue :
+  lv list -> Chg.Graph.class_id -> Chg.Graph.edge_kind -> lv list
+
 (** [is_virtual_base x y] predicates come from {!Chg.Closure} for frozen
     graphs, or from an incrementally maintained closure
     ({!Incremental}). *)

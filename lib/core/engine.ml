@@ -14,7 +14,18 @@ type t = {
   member_sets : Chg.Bitset.t array;  (* Members[C] as member-id sets *)
 }
 
-let blue_union s1 s2 = List.sort_uniq lv_compare (List.rev_append s1 s2)
+(* Both inputs are kept sorted by [lv_compare] and deduplicated (the
+   representation invariant of every Blue set), so the union is a single
+   linear merge — no [List.sort_uniq] over the concatenation, which
+   allocated and re-sorted already-sorted data on every combine. *)
+let rec blue_union s1 s2 =
+  match (s1, s2) with
+  | [], s | s, [] -> s
+  | a :: t1, b :: t2 ->
+    let c = lv_compare a b in
+    if c < 0 then a :: blue_union t1 s2
+    else if c > 0 then b :: blue_union s1 t2
+    else a :: blue_union t1 t2
 
 let pp_verdict g ppf = function
   | Red r -> Format.fprintf ppf "red %a" (pp_red g) r
@@ -108,7 +119,9 @@ let combine ?(metrics = Metrics.disabled) ~vbase ~is_static_at incoming =
     Metrics.bump metrics metrics.red_verdicts;
     (Red r, w)
   | None ->
-    let max_lvs = List.map (fun (_, v, _) -> v) maximal in
+    let max_lvs =
+      List.sort_uniq lv_compare (List.map (fun (_, v, _) -> v) maximal)
+    in
     let undominated_blues =
       List.filter
         (fun b ->
@@ -239,7 +252,7 @@ let build_general ?(static_rule = true) ?(witnesses = false)
                     | Verdict (Blue s) ->
                       Metrics.bump_n metrics metrics.Metrics.o_extensions
                         (List.length s);
-                      [ (Blue (List.map (fun v -> o v x b.b_kind) s), None) ]
+                      [ (Blue (extend_blue s x b.b_kind), None) ]
                   in
                   (if tracing then
                      match contribution with
@@ -308,6 +321,52 @@ let members t c =
 
 let graph t = t.g
 let closure t = t.cl
+
+let member_universe t = Array.copy t.member_names
+
+let column t m =
+  let n = Chg.Graph.num_classes t.g in
+  match Hashtbl.find_opt t.member_ids m with
+  | None -> Array.make n None
+  | Some mid ->
+    Array.init n (fun c ->
+        match t.table.(c).(mid) with Absent -> None | Verdict v -> Some v)
+
+(* Rebuild an engine value from per-member columns (the packed
+   representation's [to_engine] path).  The member sets are implied by
+   the table: a name is in Members[C] exactly when its entry is not
+   Absent — the build loop writes a verdict for every member of
+   member_sets.(c) and nothing else. *)
+let of_columns cl ~names ~columns =
+  let g = Chg.Closure.graph cl in
+  let n = Chg.Graph.num_classes g in
+  let num_members = Array.length names in
+  if Array.length columns <> num_members then
+    invalid_arg "Engine.of_columns: names/columns length mismatch";
+  let member_ids = Hashtbl.create (max 16 num_members) in
+  Array.iteri (fun mid name -> Hashtbl.replace member_ids name mid) names;
+  let member_sets = Array.init n (fun _ -> Chg.Bitset.create num_members) in
+  let table = Array.init n (fun _ -> Array.make num_members Absent) in
+  Array.iteri
+    (fun mid col ->
+      if Array.length col <> n then
+        invalid_arg "Engine.of_columns: column length mismatch";
+      Array.iteri
+        (fun c v ->
+          match v with
+          | None -> ()
+          | Some v ->
+            table.(c).(mid) <- Verdict v;
+            Chg.Bitset.add member_sets.(c) mid)
+        col)
+    columns;
+  { g;
+    cl;
+    member_ids;
+    member_names = Array.copy names;
+    table;
+    witness_table = [||];
+    member_sets }
 
 let agrees_with_spec t ~spec_verdict c m =
   match (lookup t c m, spec_verdict) with

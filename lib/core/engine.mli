@@ -115,4 +115,26 @@ val combine_incoming :
   (verdict * Subobject.Path.t option) list ->
   verdict * Subobject.Path.t option
 
+(** Internal: [blue_union s1 s2] merges two blue abstraction sets.  Both
+    inputs must be sorted by {!Abstraction.lv_compare} and deduplicated
+    (the Blue representation invariant); the result is their sorted,
+    deduplicated union in one linear pass. *)
+val blue_union : Abstraction.lv list -> Abstraction.lv list -> Abstraction.lv list
+
+(** Internal: the member-name universe of the table, in interning
+    (first-declaration) order — member id [i] is [member_universe t).(i)]. *)
+val member_universe : t -> string array
+
+(** Internal: [column t m] is member [m]'s full output column indexed by
+    class id ([None] where no subobject contains [m]). *)
+val column : t -> string -> verdict option array
+
+(** Internal: rebuild an engine from per-member columns over [cl] —
+    the inverse of {!column} applied over {!member_universe}; used by
+    {!Packed.to_engine}.  Witness paths are not representable in columns,
+    so the result behaves like a [~witnesses:false] build. *)
+val of_columns :
+  Chg.Closure.t -> names:string array -> columns:verdict option array array
+  -> t
+
 (**/**)

@@ -89,7 +89,7 @@ let recompute_member t id mname =
           | Some (Engine.Blue s) ->
             Metrics.bump_n t.metrics t.metrics.Metrics.o_extensions
               (List.length s);
-            Some (Engine.Blue (List.map (fun v -> o v x kind) s), None))
+            Some (Engine.Blue (extend_blue s x kind), None))
         r.r_bases
     in
     match incoming with

@@ -101,7 +101,7 @@ and compute t c m =
           | Some (Engine.Blue s) ->
             Metrics.bump_n t.metrics t.metrics.Metrics.o_extensions
               (List.length s);
-            [ (Engine.Blue (List.map (fun v -> o v x b.b_kind) s), None) ])
+            [ (Engine.Blue (extend_blue s x b.b_kind), None) ])
         (Chg.Graph.bases t.g c)
     in
     match incoming with
@@ -130,6 +130,7 @@ let root_queries t m =
   Option.value ~default:0 (Hashtbl.find_opt t.root_queries m)
 
 let materialize_column t m =
-  Array.init (Chg.Graph.num_classes t.g) (fun c -> lookup_filling t c m)
+  Packed.pack_column
+    (Array.init (Chg.Graph.num_classes t.g) (fun c -> lookup_filling t c m))
 
 let cached_entries t = Hashtbl.length t.cache

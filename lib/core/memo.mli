@@ -43,12 +43,11 @@ val lookup : t -> Chg.Graph.class_id -> string -> Engine.verdict option
 val root_queries : t -> string -> int
 
 (** [materialize_column t m] is the full Figure-8 output column for member
-    [m]: the verdict for every class, indexed by class id.  Fills (and
-    caches) whatever entries are still missing; does {e not} count as
-    root queries.  This is the promotion path from the memo engine to a
-    compiled table. *)
-val materialize_column :
-  t -> string -> Engine.verdict option array
+    [m] — the verdict for every class, indexed by class id — already in
+    the packed query-serving representation.  Fills (and caches) whatever
+    entries are still missing; does {e not} count as root queries.  This
+    is the promotion path from the memo engine to a compiled table. *)
+val materialize_column : t -> string -> Packed.column
 
 (** [evict t n] drops up to [n] cached entries, oldest first, returning
     how many were dropped.  Never affects correctness, only residency. *)

@@ -66,6 +66,15 @@ let counters m =
     (fun c -> (Telemetry.Counter.name c, Telemetry.Counter.value c))
     (all_counters m)
 
+(* Fold one bag's counts into another — the join step of a parallel
+   build, where each worker domain bumped a private bag.  Counters only:
+   timers and sinks stay with the bag that recorded them. *)
+let merge_into ~into m =
+  if into.enabled then
+    List.iter2
+      (fun dst src -> Telemetry.Counter.add dst (Telemetry.Counter.value src))
+      (all_counters into) (all_counters m)
+
 let reset m =
   List.iter Telemetry.Counter.reset (all_counters m);
   Telemetry.Timer.reset m.build_timer;

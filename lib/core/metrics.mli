@@ -75,6 +75,12 @@ val bump_n : t -> Telemetry.Counter.t -> int -> unit
     order (the declaration order above). *)
 val counters : t -> (string * int) list
 
+(** [merge_into ~into m] adds every counter of [m] into the matching
+    counter of [into] — the join step of a parallel build, where each
+    worker domain bumped a private bag.  Counters only: [m]'s timers and
+    trace sink are not propagated.  A no-op when [into] is disabled. *)
+val merge_into : into:t -> t -> unit
+
 val reset : t -> unit
 
 (** [pp_summary] prints the non-zero counters and non-empty timers,

@@ -1,0 +1,352 @@
+open Abstraction
+module B = Chg.Binary
+
+(* ---- column representation ----------------------------------------
+
+   One member's verdicts over every class, with no boxing on the common
+   path.  Entries are tagged immediate ints (low 2 bits):
+
+     tag 0  absent      entry = 0
+     tag 1  red         entry = (ldc * (n+1) + lv) << 2 | 1
+                        (singleton group; lv codes Ω as n, Lv c as c)
+     tag 2  red group   entry = (off << 2) | 2
+                        arena[off] = ldc, arena[off+1] = len,
+                        arena[off+2 ..] = len lv codes
+     tag 3  blue        entry = (off << 2) | 3
+                        arena[off] = len, arena[off+1 ..] = len lv codes
+
+   Arena slices hold lv codes in the canonical verdict order
+   (lv_compare: Ω first, then Lv ids increasing), so decoding is a
+   straight map and two equal verdict sets always produce identical
+   slices.  The arena is column-local: a column is a value, safe to
+   share read-only across domains and to write byte-for-byte into a
+   snapshot. *)
+
+type column = {
+  pc_classes : int;
+  pc_entries : int array;
+  pc_arena : int array;
+}
+
+let tag_absent = 0
+let tag_red = 1
+let tag_red_group = 2
+let tag_blue = 3
+
+let column_classes col = col.pc_classes
+let column_equal (a : column) b = a = b
+
+(* Ω codes as n so that every lv of an n-class column fits [0, n] — the
+   one value no class id can take. *)
+let lv_code n = function
+  | Omega -> n
+  | Lv c ->
+    if c < 0 || c >= n then invalid_arg "Packed: lv out of range";
+    c
+
+let lv_of_code n k = if k = n then Omega else Lv k
+
+let pack_column col =
+  let n = Array.length col in
+  (* (n+1)^2 must fit in an immediate int once shifted past the tag *)
+  if n >= 1 lsl 30 then invalid_arg "Packed.pack_column: too many classes";
+  let entries = Array.make n 0 in
+  let arena = ref [||] in
+  let alen = ref 0 in
+  let push v =
+    if !alen = Array.length !arena then begin
+      let fresh = Array.make (max 16 (2 * !alen)) 0 in
+      Array.blit !arena 0 fresh 0 !alen;
+      arena := fresh
+    end;
+    !arena.(!alen) <- v;
+    incr alen
+  in
+  Array.iteri
+    (fun c v ->
+      entries.(c) <-
+        (match v with
+        | None -> tag_absent
+        | Some (Engine.Red { r_ldc; r_lvs = [ lv ] }) ->
+          if r_ldc < 0 || r_ldc >= n then
+            invalid_arg "Packed: ldc out of range";
+          (((r_ldc * (n + 1)) + lv_code n lv) lsl 2) lor tag_red
+        | Some (Engine.Red { r_ldc; r_lvs }) ->
+          if r_ldc < 0 || r_ldc >= n then
+            invalid_arg "Packed: ldc out of range";
+          let off = !alen in
+          push r_ldc;
+          push (List.length r_lvs);
+          List.iter (fun lv -> push (lv_code n lv)) r_lvs;
+          (off lsl 2) lor tag_red_group
+        | Some (Engine.Blue lvs) ->
+          let off = !alen in
+          push (List.length lvs);
+          List.iter (fun lv -> push (lv_code n lv)) lvs;
+          (off lsl 2) lor tag_blue))
+    col;
+  { pc_classes = n;
+    pc_entries = entries;
+    pc_arena = Array.sub !arena 0 !alen }
+
+let column_get col c =
+  let e = col.pc_entries.(c) in
+  let n = col.pc_classes in
+  match e land 3 with
+  | 0 -> None
+  | 1 ->
+    let v = e lsr 2 in
+    Some
+      (Engine.Red { r_ldc = v / (n + 1); r_lvs = [ lv_of_code n (v mod (n + 1)) ] })
+  | 2 ->
+    let off = e lsr 2 in
+    let ldc = col.pc_arena.(off) and len = col.pc_arena.(off + 1) in
+    Some
+      (Engine.Red
+         { r_ldc = ldc;
+           r_lvs = List.init len (fun i -> lv_of_code n col.pc_arena.(off + 2 + i))
+         })
+  | _ ->
+    let off = e lsr 2 in
+    let len = col.pc_arena.(off) in
+    Some
+      (Engine.Blue
+         (List.init len (fun i -> lv_of_code n col.pc_arena.(off + 1 + i))))
+
+let column_color col c =
+  match col.pc_entries.(c) land 3 with
+  | 0 -> `Absent
+  | 1 | 2 -> `Red
+  | _ -> `Blue
+
+let column_resolves_to col c =
+  let e = col.pc_entries.(c) in
+  match e land 3 with
+  | 1 -> Some (e lsr 2 / (col.pc_classes + 1))
+  | 2 -> Some col.pc_arena.(e lsr 2)
+  | _ -> None
+
+let unpack_column col = Array.init col.pc_classes (column_get col)
+
+(* Appends are the add_class mutation path: the lv/ldc coding base is
+   the class count, so growing the universe re-encodes the column.  One
+   O(n) pass per mutation — the boxed representation's Array.append was
+   already O(n). *)
+let column_append col v =
+  pack_column (Array.append (unpack_column col) [| v |])
+
+(* Real resident size: two flat int arrays plus the record, in bytes.
+   Exact up to the fixed per-block header words. *)
+let column_bytes col =
+  8 * (4 + Array.length col.pc_entries + Array.length col.pc_arena)
+
+(* What the same column costs boxed (the heap-words estimator the table
+   cache budgeted with before packing): option + verdict constructor +
+   list spine per entry.  Kept for packed-vs-boxed reporting. *)
+let boxed_column_bytes col =
+  let words = ref 0 in
+  Array.iter
+    (fun e ->
+      words :=
+        !words
+        +
+        match e land 3 with
+        | 0 -> 1
+        | 1 -> 4 + 2
+        | 2 -> 4 + (2 * col.pc_arena.((e lsr 2) + 1))
+        | _ -> 2 + (2 * col.pc_arena.(e lsr 2)))
+    col.pc_entries;
+  8 * (2 + Array.length col.pc_entries + !words)
+
+(* ---- column codec --------------------------------------------------
+   Little-endian, deterministic: u32 class count, u32 arena length,
+   entries as i64 (a packed red immediate exceeds u32 past ~2^15
+   classes), arena as u32.  Readers validate tags, offsets and codes so
+   a corrupt snapshot section fails loud, not subtly wrong. *)
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (B.Corrupt m)) fmt
+
+let write_column w col =
+  B.Writer.u32 w col.pc_classes;
+  B.Writer.u32 w (Array.length col.pc_arena);
+  Array.iter (fun e -> B.Writer.i64 w e) col.pc_entries;
+  Array.iter (fun a -> B.Writer.u32 w a) col.pc_arena
+
+let read_column r =
+  let n = B.Reader.u32 r in
+  let alen = B.Reader.u32 r in
+  if (8 * n) + (4 * alen) > B.Reader.remaining r then
+    corrupt "packed column larger than its payload (%d classes, %d arena)" n
+      alen;
+  let entries = Array.init n (fun _ -> B.Reader.i64 r) in
+  let arena = Array.init alen (fun _ -> B.Reader.u32 r) in
+  let check_lv what k =
+    if k < 0 || k > n then corrupt "packed column: bad lv code %d in %s" k what
+  in
+  Array.iteri
+    (fun c e ->
+      match e land 3 with
+      | 0 -> if e <> 0 then corrupt "packed column: bad absent entry at %d" c
+      | 1 ->
+        let v = e lsr 2 in
+        if v >= (n + 1) * (n + 1) then
+          corrupt "packed column: red immediate out of range at %d" c;
+        check_lv "red" (v mod (n + 1))
+      | tag ->
+        let off = e lsr 2 in
+        let header = if tag = tag_red_group then 2 else 1 in
+        if off + header > alen then
+          corrupt "packed column: arena offset %d out of range at %d" off c;
+        let len = arena.(off + header - 1) in
+        if len < 0 || off + header + len > alen then
+          corrupt "packed column: arena slice [%d..+%d] out of range at %d"
+            off len c;
+        if tag = tag_red_group && arena.(off) >= n then
+          corrupt "packed column: group ldc %d out of range at %d" arena.(off)
+            c;
+        for i = 0 to len - 1 do
+          check_lv "arena slice" arena.(off + header + i)
+        done)
+    entries;
+  { pc_classes = n; pc_entries = entries; pc_arena = arena }
+
+(* ---- whole tables --------------------------------------------------- *)
+
+type t = {
+  g : Chg.Graph.t;
+  cl : Chg.Closure.t;
+  member_ids : (string, int) Hashtbl.t;
+  member_names : string array;
+  columns : column array;  (* by member id *)
+}
+
+let graph t = t.g
+let closure t = t.cl
+let member_universe t = Array.copy t.member_names
+let num_members t = Array.length t.member_names
+
+let find_column t m =
+  Option.map (fun mid -> t.columns.(mid)) (Hashtbl.find_opt t.member_ids m)
+
+let lookup t c m =
+  match Hashtbl.find_opt t.member_ids m with
+  | None -> None
+  | Some mid -> column_get t.columns.(mid) c
+
+let resolves_to t c m =
+  match Hashtbl.find_opt t.member_ids m with
+  | None -> None
+  | Some mid -> column_resolves_to t.columns.(mid) c
+
+let columns t =
+  Array.to_list (Array.mapi (fun mid col -> (t.member_names.(mid), col)) t.columns)
+
+let bytes t = Array.fold_left (fun acc c -> acc + column_bytes c) 0 t.columns
+
+let boxed_bytes t =
+  Array.fold_left (fun acc c -> acc + boxed_column_bytes c) 0 t.columns
+
+let ids_of_names names =
+  let ids = Hashtbl.create (max 16 (Array.length names)) in
+  Array.iteri (fun mid name -> Hashtbl.replace ids name mid) names;
+  ids
+
+let of_engine e =
+  let names = Engine.member_universe e in
+  { g = Engine.graph e;
+    cl = Engine.closure e;
+    member_ids = ids_of_names names;
+    member_names = names;
+    columns = Array.map (fun m -> pack_column (Engine.column e m)) names }
+
+let to_engine t =
+  Engine.of_columns t.cl ~names:t.member_names
+    ~columns:(Array.map unpack_column t.columns)
+
+(* The table encoding is the determinism witness: member count, then
+   each name and column in member-id (first-declaration) order.  Two
+   builds of the same hierarchy are byte-identical here iff they packed
+   identical verdicts in identical order — regardless of how many
+   domains compiled them. *)
+let encode t =
+  let w = B.Writer.create ~initial_size:4096 () in
+  B.Writer.u32 w (Array.length t.member_names);
+  Array.iteri
+    (fun mid name ->
+      B.Writer.string w name;
+      write_column w t.columns.(mid))
+    t.member_names;
+  B.Writer.contents w
+
+(* ---- parallel compilation ------------------------------------------
+
+   Members are embarrassingly parallel: each column is one independent
+   topological pass over the shared read-only CHG + closure.  A single
+   atomic cursor fans member ids out to [jobs] domains; every column
+   lands in its own slot of a preallocated array, so the result is
+   bit-identical for any job count or schedule.  Worker domains bump
+   private metrics bags, merged at join (counters only — per-domain
+   event traces are not propagated). *)
+
+let default_jobs () =
+  match Sys.getenv_opt "CXXLOOKUP_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let empty_column = { pc_classes = 0; pc_entries = [||]; pc_arena = [||] }
+
+let build ?(static_rule = true) ?(jobs = 1) ?(metrics = Metrics.disabled) cl =
+  if jobs < 1 then invalid_arg "Packed.build: jobs must be >= 1";
+  let g = Chg.Closure.graph cl in
+  (* member universe in first-declaration order — the eager engine's
+     interning order, so member ids line up with Engine.build *)
+  let member_ids = Hashtbl.create 64 in
+  let rev_names = ref [] in
+  Chg.Graph.iter_classes g (fun c ->
+      List.iter
+        (fun (mem : Chg.Graph.member) ->
+          if not (Hashtbl.mem member_ids mem.m_name) then begin
+            Hashtbl.add member_ids mem.m_name (Hashtbl.length member_ids);
+            rev_names := mem.m_name :: !rev_names
+          end)
+        (Chg.Graph.members g c));
+  let names = Array.of_list (List.rev !rev_names) in
+  let nm = Array.length names in
+  let columns = Array.make nm empty_column in
+  let compile_one bag i =
+    let eng = Engine.build_member ~static_rule ~metrics:bag cl names.(i) in
+    columns.(i) <- pack_column (Engine.column eng names.(i))
+  in
+  let jobs = min jobs (max 1 nm) in
+  if jobs = 1 then
+    for i = 0 to nm - 1 do
+      compile_one metrics i
+    done
+  else
+    Telemetry.Timer.span metrics.Metrics.build_timer (fun () ->
+        let next = Atomic.make 0 in
+        let worker bag () =
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < nm then begin
+              compile_one bag i;
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let bags =
+          Array.init jobs (fun _ ->
+              if Metrics.enabled metrics then Metrics.create ()
+              else Metrics.disabled)
+        in
+        let others =
+          Array.init (jobs - 1) (fun k -> Domain.spawn (worker bags.(k + 1)))
+        in
+        worker bags.(0) ();
+        Array.iter Domain.join others;
+        Array.iter (fun b -> Metrics.merge_into ~into:metrics b) bags);
+  { g; cl; member_ids; member_names = names; columns }

@@ -1,0 +1,149 @@
+(** Packed verdict columns and multicore column compilation.
+
+    The eager engine's table boxes every entry
+    ([Absent | Verdict of ...] with list-spined lv sets): ~6–10 heap
+    words per resolved member, pointer chasing on every query.  This
+    module is the query-serving representation: a member's whole column
+    is two flat [int array]s — one tagged immediate entry per class,
+    plus a shared arena for the rare multi-lv verdicts — so the common
+    red verdict costs one array load and no allocation to classify.
+
+    {2 Column format}
+
+    An entry's low 2 bits are the tag; [n] is the class count and lv
+    codes map [Ω ↦ n], [Lv c ↦ c] (no class id can be [n], so the
+    coding is unambiguous within a column):
+
+    - tag 0, absent: the entry is [0].
+    - tag 1, red with a singleton lv group:
+      [(ldc * (n+1) + lv) << 2 | 1] — fully immediate.
+    - tag 2, red with a Section-6 group: [(off << 2) | 2], arena slice
+      [\[ldc; len; lv codes...\]] at [off].
+    - tag 3, blue: [(off << 2) | 3], arena slice [\[len; lv codes...\]].
+
+    Arena slices keep the canonical verdict order
+    ({!Abstraction.lv_compare}: Ω first, then increasing class ids), so
+    equal verdicts pack to identical bits and a whole table's encoding
+    is a deterministic function of its verdicts — the property the
+    parallel build's determinism contract (DESIGN.md) rests on.
+
+    Conversion to and from the boxed engine is lossless (modulo witness
+    paths, which the boxed table only carries under [~witnesses:true]).
+
+    {2 Parallel compilation}
+
+    {!build} compiles member columns on [jobs] OCaml 5 domains.  Columns
+    are independent (one topological pass each over the shared read-only
+    closure), distributed by an atomic cursor, and written to
+    preallocated per-member slots — output is bit-identical for every
+    job count and schedule. *)
+
+(** {1 Columns} *)
+
+type column
+
+(** [column_classes col] is [n], the number of classes the column
+    covers. *)
+val column_classes : column -> int
+
+(** [pack_column col] packs a boxed column ([None] = absent).
+    @raise Invalid_argument beyond [2^30 - 1] classes (the red immediate
+    must fit a 63-bit int after the 2-bit tag). *)
+val pack_column : Engine.verdict option array -> column
+
+val unpack_column : column -> Engine.verdict option array
+
+(** [column_get col c] decodes one entry (allocates the verdict). *)
+val column_get : column -> Chg.Graph.class_id -> Engine.verdict option
+
+(** [column_color col c] classifies without allocating. *)
+val column_color : column -> Chg.Graph.class_id -> [ `Absent | `Red | `Blue ]
+
+(** [column_resolves_to col c] is the declaring class of an unambiguous
+    lookup — the service fast path; no allocation. *)
+val column_resolves_to : column -> Chg.Graph.class_id -> Chg.Graph.class_id option
+
+(** [column_append col v] extends the column with one more class's
+    verdict (the service's add_class path).  Lv/ldc codes are
+    base-[n+1], so this re-encodes: O(n), same as the boxed
+    [Array.append] it replaces. *)
+val column_append : column -> Engine.verdict option -> column
+
+(** [column_bytes col] is the column's real resident size in bytes (its
+    two flat arrays plus headers) — what a byte budget should charge. *)
+val column_bytes : column -> int
+
+(** [boxed_column_bytes col] is what the same column would cost boxed
+    (option + verdict + list spine per entry), for packed-vs-boxed
+    reporting. *)
+val boxed_column_bytes : column -> int
+
+val column_equal : column -> column -> bool
+
+(** {2 Codec}
+
+    Deterministic little-endian layout via {!Chg.Binary}: u32 class
+    count, u32 arena length, entries as i64, arena as u32.
+    {!read_column} validates every tag, offset and lv code and raises
+    {!Chg.Binary.Corrupt} on malformed input. *)
+
+val write_column : Chg.Binary.Writer.t -> column -> unit
+val read_column : Chg.Binary.Reader.t -> column
+
+(** {1 Tables} *)
+
+type t
+
+(** [build ?static_rule ?jobs ?metrics cl] compiles every member's
+    packed column.  [static_rule] as in {!Engine.build}.  [jobs]
+    (default [1]) is the number of domains; [1] runs inline on the
+    calling domain without spawning.  The result is bit-identical for
+    every [jobs] value.  [metrics] receives the merged counters of all
+    worker domains ({!Metrics.merge_into}); with [jobs > 1] the
+    [build] timer spans the whole parallel region (wall clock, not CPU
+    time).
+    @raise Invalid_argument when [jobs < 1]. *)
+val build : ?static_rule:bool -> ?jobs:int -> ?metrics:Metrics.t ->
+  Chg.Closure.t -> t
+
+(** [default_jobs ()] is the [CXXLOOKUP_JOBS] environment variable when
+    set to a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [of_engine e] packs a boxed engine's full table; [to_engine t]
+    rebuilds a boxed engine (without witness paths).  Both are lossless
+    on verdicts: [to_engine (of_engine e)] answers every lookup exactly
+    as [e] does. *)
+val of_engine : Engine.t -> t
+
+val to_engine : t -> Engine.t
+
+val lookup : t -> Chg.Graph.class_id -> string -> Engine.verdict option
+val resolves_to : t -> Chg.Graph.class_id -> string -> Chg.Graph.class_id option
+
+val graph : t -> Chg.Graph.t
+val closure : t -> Chg.Closure.t
+
+(** [member_universe t] is the member-name universe in interning
+    (first-declaration) order — identical to the eager engine's. *)
+val member_universe : t -> string array
+
+val num_members : t -> int
+val find_column : t -> string -> column option
+
+(** [columns t] is every (member name, packed column) pair in member-id
+    order. *)
+val columns : t -> (string * column) list
+
+(** [bytes t] / [boxed_bytes t] total {!column_bytes} resp.
+    {!boxed_column_bytes} over all columns. *)
+val bytes : t -> int
+
+val boxed_bytes : t -> int
+
+(** [encode t] is the table's canonical byte string (member count, then
+    each name + column in member-id order) — the determinism witness:
+    two builds of the same hierarchy encode byte-identically regardless
+    of [jobs]. *)
+val encode : t -> string

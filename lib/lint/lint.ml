@@ -242,11 +242,16 @@ let pp_lvs g ppf lvs =
        (Abs.pp_lv g))
     lvs
 
-let run ?(config = default_config) ?(locs = no_locs) ?(metrics = disabled) cl
-    =
+let run ?(config = default_config) ?(locs = no_locs) ?(metrics = disabled)
+    ?(jobs = 1) cl =
   Telemetry.Timer.span metrics.timer @@ fun () ->
   let g = Closure.graph cl in
-  let engine = Engine.build ~witnesses:true cl in
+  (* the rules read verdicts and Members[C], never witness paths, so the
+     packed parallel build is lossless here *)
+  let engine =
+    if jobs <= 1 then Engine.build cl
+    else Lookup_core.Packed.to_engine (Lookup_core.Packed.build ~jobs cl)
+  in
   let counts = Subobject.Count.table cl in
   let enabled r = List.mem r config.rules in
   let out = ref [] in

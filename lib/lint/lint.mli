@@ -119,10 +119,13 @@ val metrics_counters : metrics -> (string * int) list
 
 (** {1 Running} *)
 
-(** [run ?config ?locs ?metrics cl] — findings in deterministic order:
-    subject class (declaration order), then rule, member, message. *)
+(** [run ?config ?locs ?metrics ?jobs cl] — findings in deterministic
+    order: subject class (declaration order), then rule, member,
+    message.  [jobs] (default [1]) compiles the lookup table's columns
+    on that many domains ({!Lookup_core.Packed.build}); the findings are
+    identical for every value. *)
 val run : ?config:config -> ?locs:locator -> ?metrics:metrics ->
-  Chg.Closure.t -> finding list
+  ?jobs:int -> Chg.Closure.t -> finding list
 
 (** {1 Summaries and renderers} *)
 

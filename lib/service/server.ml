@@ -256,6 +256,7 @@ let handle_lint t s rules =
   let findings =
     Lint.run
       ~config:{ Lint.default_config with rules }
+      ~jobs:t.config.Session.jobs
       (Chg.Closure.compute g)
   in
   let errors, warnings, notes = Lint.summary findings in

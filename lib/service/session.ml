@@ -2,19 +2,22 @@ module G = Chg.Graph
 module Engine = Lookup_core.Engine
 module Memo = Lookup_core.Memo
 module Incremental = Lookup_core.Incremental
+module Packed = Lookup_core.Packed
 
 type config = {
   promote_threshold : int;
   table_max_entries : int;
   table_max_bytes : int option;
   memo_max_entries : int option;
+  jobs : int;
 }
 
 let default_config =
   { promote_threshold = 3;
     table_max_entries = 64;
     table_max_bytes = None;
-    memo_max_entries = None }
+    memo_max_entries = None;
+    jobs = 1 }
 
 type served = Compiled | Memoised
 
@@ -85,7 +88,7 @@ let restore ?config ~name ~epoch ~columns g =
   let n = G.num_classes g in
   List.iter
     (fun (m, col) ->
-      if Array.length col = n then Table_cache.promote t.cache m col)
+      if Packed.column_classes col = n then Table_cache.promote t.cache m col)
     columns;
   t
 
@@ -111,7 +114,7 @@ let lookup t cls member =
     Telemetry.Counter.incr t.lookups;
     (match Table_cache.find t.cache member with
     | Some col ->
-      let v = col.(c) in
+      let v = Packed.column_get col c in
       count_verdict t v;
       Ok (v, Compiled)
     | None ->
@@ -138,7 +141,7 @@ let add_class t ~cls ~bases ~members =
      verdict, already computed by the incremental row — extension, not
      invalidation. *)
   Table_cache.update_columns t.cache (fun m col ->
-      Some (Array.append col [| Incremental.lookup inc id m |]));
+      Some (Packed.column_append col (Incremental.lookup inc id m)));
   id
 
 let add_member t ~cls member =
@@ -169,15 +172,26 @@ let stats_json t =
       ("edges", Chg.Json.Int (G.num_edges t.graph));
       ("members", Chg.Json.Int (List.length (G.member_names t.graph)));
       ("epoch", Chg.Json.Int t.epoch);
+      ("domains", Chg.Json.Int t.config.jobs);
       ("counters", j_counters (counters t));
       ( "table",
         Chg.Json.Obj
           (("entries", Chg.Json.Int (Table_cache.entries t.cache))
            :: ("bytes", Chg.Json.Int (Table_cache.bytes t.cache))
+           :: ("boxed_bytes", Chg.Json.Int (Table_cache.boxed_bytes t.cache))
            :: ("hit_ratio_pct", Chg.Json.Int hit_ratio_pct)
            :: List.map
                 (fun (k, v) -> (k, Chg.Json.Int v))
-                (Table_cache.counters t.cache)) );
+                (Table_cache.counters t.cache)
+           @ [ ( "columns",
+                 Chg.Json.List
+                   (List.map
+                      (fun (m, bytes, boxed) ->
+                        Chg.Json.Obj
+                          [ ("member", Chg.Json.String m);
+                            ("bytes", Chg.Json.Int bytes);
+                            ("boxed_bytes", Chg.Json.Int boxed) ])
+                      (Table_cache.column_stats t.cache)) ) ]) );
       ( "memo",
         Chg.Json.Obj
           [ ("cached_entries", Chg.Json.Int (Memo.cached_entries t.memo)) ] )

@@ -24,11 +24,15 @@ type config = {
   promote_threshold : int;
       (** root queries of a member before its column is compiled *)
   table_max_entries : int;  (** compiled-column count budget *)
-  table_max_bytes : int option;  (** compiled-column byte budget *)
+  table_max_bytes : int option;  (** compiled-column byte budget, in
+                                     real packed bytes *)
   memo_max_entries : int option;  (** memo residency cap *)
+  jobs : int;
+      (** domains for whole-table column compilation (the lint verb);
+          [1] never spawns *)
 }
 
-(** threshold 3, 64 columns, unbounded bytes, unbounded memo *)
+(** threshold 3, 64 columns, unbounded bytes, unbounded memo, 1 job *)
 val default_config : config
 
 (** Which layer answered a lookup (reported as ["via"] on the wire). *)
@@ -48,8 +52,8 @@ val create : ?config:config -> name:string -> Chg.Graph.t -> t
     durable state: the snapshot graph, its mutation epoch, and the
     compiled verdict columns that were resident when the snapshot was
     taken (installed directly into the table cache, so the warm serving
-    path needs no recomputation).  Columns whose length disagrees with
-    [g] are dropped rather than trusted. *)
+    path needs no recomputation).  Columns whose class count disagrees
+    with [g] are dropped rather than trusted. *)
 val restore :
   ?config:config ->
   name:string ->
@@ -101,6 +105,8 @@ val add_member : t -> cls:string -> Chg.Graph.member -> int * bool
 val counters : t -> (string * int) list
 
 (** [stats_json t] is the session's [stats]-verb payload: hierarchy
-    shape, epoch, query counters, table counters (with hit ratio and
-    byte estimate), memo residency.  Deterministic (no wall-clock). *)
+    shape, epoch, configured domains, query counters, table counters
+    (with hit ratio, real packed bytes, boxed-equivalent bytes, and the
+    per-column packed-vs-boxed breakdown), memo residency.
+    Deterministic (no wall-clock). *)
 val stats_json : t -> Chg.Json.t

@@ -1,11 +1,11 @@
-module Engine = Lookup_core.Engine
-module Abstraction = Lookup_core.Abstraction
+module Packed = Lookup_core.Packed
 
-type column = Engine.verdict option array
+type column = Packed.column
 
 type entry = {
   mutable column : column;
-  mutable bytes : int;
+  mutable bytes : int;  (* real packed bytes — what the budget charges *)
+  mutable boxed_bytes : int;  (* what the same column would cost boxed *)
   mutable last_use : int;  (* LRU stamp from the cache's tick *)
 }
 
@@ -15,6 +15,7 @@ type t = {
   max_entries : int;
   max_bytes : int option;
   mutable total_bytes : int;
+  mutable total_boxed_bytes : int;
   hits : Telemetry.Counter.t;
   misses : Telemetry.Counter.t;
   promotions : Telemetry.Counter.t;
@@ -34,23 +35,12 @@ let create ?(max_entries = 64) ?max_bytes () =
     max_entries;
     max_bytes;
     total_bytes = 0;
+    total_boxed_bytes = 0;
     hits = Telemetry.Counter.make "table_hits";
     misses = Telemetry.Counter.make "table_misses";
     promotions = Telemetry.Counter.make "table_promotions";
     evictions = Telemetry.Counter.make "table_evictions";
     invalidations = Telemetry.Counter.make "table_invalidations" }
-
-(* The budget is an estimate in heap words of the column representation
-   (array slots plus verdict payloads), not an exact account — it only
-   needs to rank columns and keep totals roughly proportional to memory. *)
-let verdict_words = function
-  | None -> 1
-  | Some (Engine.Red r) -> 4 + (2 * List.length r.Abstraction.r_lvs)
-  | Some (Engine.Blue s) -> 2 + (2 * List.length s)
-
-let column_bytes col =
-  8 * (2 + Array.length col
-       + Array.fold_left (fun acc v -> acc + verdict_words v) 0 col)
 
 let touch t e =
   t.tick <- t.tick + 1;
@@ -66,6 +56,11 @@ let find t m =
     Telemetry.Counter.incr t.misses;
     None
 
+let drop t m e =
+  Hashtbl.remove t.table m;
+  t.total_bytes <- t.total_bytes - e.bytes;
+  t.total_boxed_bytes <- t.total_boxed_bytes - e.boxed_bytes
+
 (* Evict the least recently used entry other than [keep]. *)
 let evict_lru t ~keep =
   let victim = ref None in
@@ -79,8 +74,7 @@ let evict_lru t ~keep =
   match !victim with
   | None -> false
   | Some (m, e) ->
-    Hashtbl.remove t.table m;
-    t.total_bytes <- t.total_bytes - e.bytes;
+    drop t m e;
     Telemetry.Counter.incr t.evictions;
     true
 
@@ -90,19 +84,25 @@ let over_budget t =
      | Some cap -> t.total_bytes > cap
      | None -> false
 
+let set_column t e col =
+  let bytes = Packed.column_bytes col in
+  let boxed = Packed.boxed_column_bytes col in
+  t.total_bytes <- t.total_bytes - e.bytes + bytes;
+  t.total_boxed_bytes <- t.total_boxed_bytes - e.boxed_bytes + boxed;
+  e.column <- col;
+  e.bytes <- bytes;
+  e.boxed_bytes <- boxed
+
 let promote t m col =
-  let bytes = column_bytes col in
   (match Hashtbl.find_opt t.table m with
   | Some e ->
-    t.total_bytes <- t.total_bytes - e.bytes + bytes;
-    e.column <- col;
-    e.bytes <- bytes;
+    set_column t e col;
     touch t e
   | None ->
-    let e = { column = col; bytes; last_use = 0 } in
+    let e = { column = col; bytes = 0; boxed_bytes = 0; last_use = 0 } in
+    set_column t e col;
     touch t e;
-    Hashtbl.add t.table m e;
-    t.total_bytes <- t.total_bytes + bytes);
+    Hashtbl.add t.table m e);
   Telemetry.Counter.incr t.promotions;
   (* Enforce the budget, always keeping the entry just promoted (a
      single over-budget column is better served resident than thrashing
@@ -115,8 +115,7 @@ let invalidate t m =
   match Hashtbl.find_opt t.table m with
   | None -> false
   | Some e ->
-    Hashtbl.remove t.table m;
-    t.total_bytes <- t.total_bytes - e.bytes;
+    drop t m e;
     Telemetry.Counter.incr t.invalidations;
     true
 
@@ -124,6 +123,7 @@ let clear t =
   let n = Hashtbl.length t.table in
   Hashtbl.reset t.table;
   t.total_bytes <- 0;
+  t.total_boxed_bytes <- 0;
   Telemetry.Counter.add t.invalidations n
 
 let update_columns t f =
@@ -134,23 +134,25 @@ let update_columns t f =
     (fun (m, e, next) ->
       match next with
       | None ->
-        Hashtbl.remove t.table m;
-        t.total_bytes <- t.total_bytes - e.bytes;
+        drop t m e;
         Telemetry.Counter.incr t.invalidations
-      | Some col ->
-        let bytes = column_bytes col in
-        t.total_bytes <- t.total_bytes - e.bytes + bytes;
-        e.column <- col;
-        e.bytes <- bytes)
+      | Some col -> set_column t e col)
     updates
 
 let columns t =
   Hashtbl.fold (fun m e acc -> (m, e.column) :: acc) t.table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let column_stats t =
+  Hashtbl.fold
+    (fun m e acc -> (m, e.bytes, e.boxed_bytes) :: acc)
+    t.table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
 let mem t m = Hashtbl.mem t.table m
 let entries t = Hashtbl.length t.table
 let bytes t = t.total_bytes
+let boxed_bytes t = t.total_boxed_bytes
 
 let counters t =
   List.map

@@ -3,26 +3,33 @@
 
     A column is the Figure-8 output for one member name over {e every}
     class — the paper's lookup[*, m] — promoted from the memo engine once
-    a member's root-query count crosses the session's threshold.  A
-    compiled lookup is then a single array read, with no hashing and no
-    combine work at all: the fastest resident path the service offers.
+    a member's root-query count crosses the session's threshold, held in
+    the packed representation ({!Lookup_core.Packed}): two flat int
+    arrays per column, so a compiled lookup decodes one tagged immediate
+    with no hashing and no combine work at all — the fastest resident
+    path the service offers.
 
     Residency is bounded two ways: a maximum number of columns and an
-    optional byte budget (estimated heap words of the column
-    representation).  Past either bound the least recently used column is
-    evicted; the column just promoted always survives its own promotion.
+    optional byte budget.  Since packing, the budget charges the
+    column's {e real} resident size ({!Lookup_core.Packed.column_bytes}),
+    not an estimate — typically several times smaller than the boxed
+    representation, so more columns stay resident under the same cap.
+    The boxed-equivalent size is still tracked per entry for
+    packed-vs-boxed reporting ({!column_stats}, [cxxlookup stats]).
+    Past either bound the least recently used column is evicted; the
+    column just promoted always survives its own promotion.
 
     Invalidation is the session's job (see DESIGN.md): [add_member]
     invalidates exactly the mutated member's column, [add_class] extends
     every resident column by the new class's verdict via
     {!update_columns}. *)
 
-type column = Lookup_core.Engine.verdict option array
+type column = Lookup_core.Packed.column
 
 type t
 
 (** [create ?max_entries ?max_bytes ()] — at most [max_entries] columns
-    (default 64) and, when given, at most [max_bytes] estimated bytes.
+    (default 64) and, when given, at most [max_bytes] packed bytes.
     Raises [Invalid_argument] on non-positive bounds. *)
 val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
 
@@ -50,11 +57,20 @@ val update_columns : t -> (string -> column -> column option) -> unit
     stamps or hit counters. *)
 val columns : t -> (string * column) list
 
+(** [column_stats t] — [(member, packed bytes, boxed-equivalent bytes)]
+    per resident column, sorted by member name. *)
+val column_stats : t -> (string * int * int) list
+
 val mem : t -> string -> bool
 val entries : t -> int
 
-(** [bytes t] is the estimated resident size (see [create]'s budget). *)
+(** [bytes t] is the real resident size of all packed columns — the
+    quantity [create]'s byte budget bounds. *)
 val bytes : t -> int
+
+(** [boxed_bytes t] is what the same columns would cost in the boxed
+    representation (the pre-packing estimator), for savings reporting. *)
+val boxed_bytes : t -> int
 
 (** [counters t] — [table_hits], [table_misses], [table_promotions],
     [table_evictions], [table_invalidations], in that order. *)

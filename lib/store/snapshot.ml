@@ -5,16 +5,21 @@ type t = {
   s_epoch : int;
   s_protocol : string;
   s_graph : Chg.Graph.t;
-  s_columns : (string * Lookup_core.Engine.verdict option array) list;
+  s_columns : (string * Lookup_core.Packed.column) list;
 }
 
 let magic = "CXLSNAP0"
 let format_version = 1
 
-(* section tags; unknown tags are skipped on decode (forward compat) *)
+(* section tags; unknown tags are skipped on decode (forward compat).
+   Columns have two encodings: tag 3 is the legacy boxed verdict codec
+   (still read, converted on load), tag 4 writes the packed arrays
+   directly — resident and durable columns share one representation, so
+   a snapshot is a straight dump with no re-encode. *)
 let tag_meta = 1
 let tag_graph = 2
-let tag_columns = 3
+let tag_columns_boxed = 3
+let tag_columns_packed = 4
 
 let crc_int s = Int32.to_int (B.crc32_string s) land 0xffffffff
 
@@ -40,13 +45,13 @@ let encode t =
             B.Writer.i64 w t.s_epoch;
             B.Writer.string w t.s_protocol) );
       (tag_graph, section (fun w -> B.write_graph w t.s_graph));
-      ( tag_columns,
+      ( tag_columns_packed,
         section (fun w ->
             B.Writer.u32 w (List.length t.s_columns);
             List.iter
               (fun (m, col) ->
                 B.Writer.string w m;
-                Lookup_core.Verdict_io.write_column w col)
+                Lookup_core.Packed.write_column w col)
               t.s_columns) ) ]
   in
   B.Writer.u32 w (List.length sections);
@@ -82,12 +87,19 @@ let decode s =
         meta := Some (session, epoch, protocol)
       end
       else if tag = tag_graph then graph := Some (B.read_graph pr)
-      else if tag = tag_columns then
+      else if tag = tag_columns_packed then
+        columns :=
+          B.read_list pr (fun pr ->
+              let m = B.Reader.string pr in
+              let col = Lookup_core.Packed.read_column pr in
+              (m, col))
+      else if tag = tag_columns_boxed then
+        (* pre-packing snapshot: decode the boxed codec, pack on load *)
         columns :=
           B.read_list pr (fun pr ->
               let m = B.Reader.string pr in
               let col = Lookup_core.Verdict_io.read_column pr in
-              (m, col))
+              (m, Lookup_core.Packed.pack_column col))
       (* unknown tag: CRC-checked above, content ignored *)
     done;
     match (!meta, !graph) with
@@ -97,11 +109,12 @@ let decode s =
       let n = Chg.Graph.num_classes s_graph in
       List.iter
         (fun (m, col) ->
-          if Array.length col <> n then
+          let len = Lookup_core.Packed.column_classes col in
+          if len <> n then
             raise
               (B.Corrupt
                  (Printf.sprintf "column %S has %d entries for %d classes" m
-                    (Array.length col) n)))
+                    len n)))
         !columns;
       Ok { s_session; s_epoch; s_protocol; s_graph; s_columns = !columns }
     | None, _ -> Error "snapshot has no meta section"

@@ -9,23 +9,27 @@
     v}
 
     Sections: [1] meta (session name, epoch, protocol version),
-    [2] graph (the {!Chg.Binary} graph codec), [3] compiled columns
-    (member name + {!Lookup_core.Verdict_io} column each).  Unknown tags
-    are CRC-checked and skipped, so later format minors can add sections
+    [2] graph (the {!Chg.Binary} graph codec), [4] compiled columns in
+    the packed representation (member name + {!Lookup_core.Packed}
+    column each — the same flat arrays that serve queries, dumped with
+    no re-encode).  Tag [3], the legacy boxed
+    {!Lookup_core.Verdict_io} column codec, is still decoded (packed on
+    load) so pre-packing snapshots restore.  Unknown tags are
+    CRC-checked and skipped, so later format minors can add sections
     without breaking this reader; a major layout change bumps
     [format_version] and is rejected.
 
     Every section carries its own CRC-32: a flipped bit anywhere turns
     {!decode} into an [Error], never into a wrong hierarchy.  Columns
     are positional over class ids, so decode rejects any column whose
-    length disagrees with the graph section. *)
+    class count disagrees with the graph section. *)
 
 type t = {
   s_session : string;
   s_epoch : int;  (** mutations applied when the snapshot was taken *)
   s_protocol : string;  (** the rpc protocol version that wrote it *)
   s_graph : Chg.Graph.t;
-  s_columns : (string * Lookup_core.Engine.verdict option array) list;
+  s_columns : (string * Lookup_core.Packed.column) list;
       (** compiled verdict columns resident at snapshot time — restoring
           them is what makes a warm start skip recomputation *)
 }

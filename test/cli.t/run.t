@@ -126,7 +126,7 @@ Hierarchy statistics.
 Lookup telemetry: the algorithm's unit operations, measured per engine
 (the timer line is elided — wall-clock is not reproducible).
 
-  $ cxxlookup stats fig9.cpp | sed -n '/== lookup telemetry ==/,$p' | grep -v 'build:'
+  $ cxxlookup stats fig9.cpp --jobs 1 | sed -n '/== lookup telemetry ==/,$p' | grep -v 'build:'
   == lookup telemetry ==
   eager engine (full table):
     classes_visited        6
@@ -154,6 +154,9 @@ Lookup telemetry: the algorithm's unit operations, measured per engine
     incr_rows              6
     incr_row_members       6
     incr_closure_bits      25
+  packed table (1 domain):
+    m                      80 bytes packed, 352 boxed
+    total                  80 bytes packed, 352 boxed
 
 Restricting stats to one member's column also reports that lookup.
 
@@ -239,7 +242,7 @@ class, then a member added mid-hierarchy), stats, close.
   > {"id":12,"op":"close","session":"f"}
   > {"id":13,"op":"lookup","session":"f","class":"E","member":"m"}
   > EOF
-  $ cxxlookup serve < rpc.jsonl
+  $ cxxlookup serve --jobs 1 < rpc.jsonl
   {"id":1,"ok":true,"protocol":"cxxlookup-rpc/1","session":"f","classes":6,"edges":8,"members":1}
   {"id":2,"ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
   {"id":3,"ok":true,"class":"D","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
@@ -250,7 +253,7 @@ class, then a member added mid-hierarchy), stats, close.
   {"id":8,"ok":true,"class":"F","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"table"}
   {"id":9,"ok":true,"session":"f","class":"D","member":"m","rows_recomputed":3,"table_invalidated":true,"epoch":2}
   {"id":10,"ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"D","detail":"red (D, Ω)","via":"memo"}
-  {"id":11,"ok":true,"protocol":"cxxlookup-rpc/1","session":"f","epoch":2,"stats":{"session":"f","classes":7,"edges":9,"members":2,"epoch":2,"counters":{"lookups":9,"resolved":8,"ambiguous":0,"not_found":1,"mutations":2},"table":{"entries":0,"bytes":0,"hit_ratio_pct":44,"table_hits":4,"table_misses":5,"table_promotions":1,"table_evictions":0,"table_invalidations":1},"memo":{"cached_entries":4}}}
+  {"id":11,"ok":true,"protocol":"cxxlookup-rpc/1","session":"f","epoch":2,"stats":{"session":"f","classes":7,"edges":9,"members":2,"epoch":2,"domains":1,"counters":{"lookups":9,"resolved":8,"ambiguous":0,"not_found":1,"mutations":2},"table":{"entries":0,"bytes":0,"boxed_bytes":0,"hit_ratio_pct":44,"table_hits":4,"table_misses":5,"table_promotions":1,"table_evictions":0,"table_invalidations":1,"columns":[]},"memo":{"cached_entries":4}}}
   {"id":12,"ok":true,"session":"f","closed":true}
   {"id":13,"ok":false,"error":{"code":"unknown_session","message":"no open session \"f\""}}
 
@@ -258,7 +261,7 @@ Service-level stats (no session argument) aggregate over the run; a
 fresh server has clean counters.
 
   $ echo '{"id":0,"op":"stats"}' | cxxlookup serve
-  {"id":0,"ok":true,"protocol":"cxxlookup-rpc/1","service":{"requests":1,"errors":0,"sessions_opened":0,"sessions_closed":0,"lookups":0,"batch_requests":0,"batch_queries":0,"mutations":0,"sessions_open":0},"sessions":[]}
+  {"id":0,"ok":true,"protocol":"cxxlookup-rpc/1","service":{"requests":1,"errors":0,"sessions_opened":0,"sessions_closed":0,"lookups":0,"batch_requests":0,"batch_queries":0,"mutations":0,"lints":0,"sessions_open":0},"sessions":[]}
 
 Malformed input is answered in-band, line by line, never fatally.
 
@@ -281,13 +284,13 @@ the session stats appended.
   > {"class":"E","member":"m"}
   > {"class":"E","member":"m"}
   > EOF
-  $ cxxlookup batch fig9.json queries.jsonl
+  $ cxxlookup batch --jobs 1 fig9.json queries.jsonl
   {"id":"open","ok":true,"protocol":"cxxlookup-rpc/1","session":"s0","classes":6,"edges":8,"members":1}
   {"id":"q0","ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
   {"id":"q1","ok":true,"class":"D","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
   {"id":"q2","ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"memo"}
   {"id":"q3","ok":true,"class":"E","member":"m","verdict":"red","resolves_to":"C","detail":"red (C, Ω)","via":"table"}
-  {"id":"stats","ok":true,"protocol":"cxxlookup-rpc/1","session":"s0","epoch":0,"stats":{"session":"s0","classes":6,"edges":8,"members":1,"epoch":0,"counters":{"lookups":4,"resolved":4,"ambiguous":0,"not_found":0,"mutations":0},"table":{"entries":1,"bytes":352,"hit_ratio_pct":25,"table_hits":1,"table_misses":3,"table_promotions":1,"table_evictions":0,"table_invalidations":0},"memo":{"cached_entries":6}}}
+  {"id":"stats","ok":true,"protocol":"cxxlookup-rpc/1","session":"s0","epoch":0,"stats":{"session":"s0","classes":6,"edges":8,"members":1,"epoch":0,"domains":1,"counters":{"lookups":4,"resolved":4,"ambiguous":0,"not_found":0,"mutations":0},"table":{"entries":1,"bytes":80,"boxed_bytes":352,"hit_ratio_pct":25,"table_hits":1,"table_misses":3,"table_promotions":1,"table_evictions":0,"table_invalidations":0,"columns":[{"member":"m","bytes":80,"boxed_bytes":352}]},"memo":{"cached_entries":6}}}
 
 A failing query fails the whole batch: in-band errors surface in the
 exit code, so replay scripts cannot silently half-succeed.

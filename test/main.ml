@@ -22,4 +22,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("service", Test_service.suite);
       ("store", Test_store.suite);
+      ("packed", Test_packed.suite);
       ("properties", Test_props.suite) ]

@@ -17,7 +17,7 @@ mkfifo "$FIFO"
 # Phase 1: open a session and mutate it twice, keeping stdin open so the
 # server cannot exit cleanly.  --fsync always makes every WAL record
 # durable the moment its response is written.
-"$BIN" serve --store "$STORE" --fsync always \
+"$BIN" serve --jobs 1 --store "$STORE" --fsync always \
   <"$FIFO" >"$WORK/phase1.out" 2>/dev/null &
 SERVER=$!
 exec 3>"$FIFO"
@@ -42,7 +42,7 @@ wait "$SERVER" 2>/dev/null || true
 
 # Phase 2: a fresh server over the same store must recover the session
 # (snapshot + WAL replay) and answer exactly like an uninterrupted one.
-"$BIN" serve --store "$STORE" \
+"$BIN" serve --jobs 1 --store "$STORE" \
   <"$SMOKE_DIR/crash_phase2.jsonl" \
   >"$WORK/phase2.out" 2>"$WORK/recover.log"
 

@@ -196,6 +196,32 @@ let test_resolves_to () =
   Alcotest.(check (option string)) "resolves_to" (Some "C")
     (Option.map (G.name g) (Engine.resolves_to eng (G.find g "E") "m"))
 
+let test_blue_union () =
+  (* the linear merge: sorted (lv_compare: Ω first, then class ids),
+     deduplicated, and every input element present *)
+  let module A = Lookup_core.Abstraction in
+  let sorted_dedup l =
+    let rec ok = function
+      | a :: (b :: _ as tl) -> A.lv_compare a b < 0 && ok tl
+      | _ -> true
+    in
+    ok l
+  in
+  let u1 = Engine.blue_union [ A.Omega; A.Lv 1; A.Lv 5 ] [ A.Omega; A.Lv 2; A.Lv 5 ] in
+  Alcotest.(check bool) "union merges" true
+    (u1 = [ A.Omega; A.Lv 1; A.Lv 2; A.Lv 5 ]);
+  Alcotest.(check bool) "union sorted, no duplicates" true (sorted_dedup u1);
+  Alcotest.(check bool) "left identity" true
+    (Engine.blue_union [] [ A.Lv 3 ] = [ A.Lv 3 ]);
+  Alcotest.(check bool) "right identity" true
+    (Engine.blue_union [ A.Lv 3 ] [] = [ A.Lv 3 ]);
+  Alcotest.(check bool) "idempotent" true
+    (Engine.blue_union [ A.Omega; A.Lv 4 ] [ A.Omega; A.Lv 4 ]
+    = [ A.Omega; A.Lv 4 ]);
+  (* Ω sorts before every class id, including id 0 *)
+  let u2 = Engine.blue_union [ A.Lv 0 ] [ A.Omega ] in
+  Alcotest.(check bool) "omega first" true (u2 = [ A.Omega; A.Lv 0 ])
+
 let suite =
   [ Alcotest.test_case "figure 1" `Quick test_fig1;
     Alcotest.test_case "figure 2" `Quick test_fig2;
@@ -208,4 +234,5 @@ let suite =
     Alcotest.test_case "memo = eager" `Quick test_memo_matches_eager;
     Alcotest.test_case "memo is lazy" `Quick test_memo_is_lazy;
     Alcotest.test_case "single-member build" `Quick test_build_member_single;
-    Alcotest.test_case "resolves_to" `Quick test_resolves_to ]
+    Alcotest.test_case "resolves_to" `Quick test_resolves_to;
+    Alcotest.test_case "blue_union merge" `Quick test_blue_union ]

@@ -8,6 +8,7 @@ module Path = Subobject.Path
 module Spec = Subobject.Spec
 module Engine = Lookup_core.Engine
 module Memo = Lookup_core.Memo
+module Packed = Lookup_core.Packed
 module Table_cache = Service.Table_cache
 module Session = Service.Session
 module Protocol = Service.Protocol
@@ -93,10 +94,11 @@ let test_memo_column_matches_engine () =
   let eng = Engine.build cl in
   let memo = Memo.create ~max_entries:2 cl in
   let col = Memo.materialize_column memo "bar" in
-  Alcotest.(check int) "column length" (G.num_classes g) (Array.length col);
+  Alcotest.(check int) "column length" (G.num_classes g)
+    (Packed.column_classes col);
   G.iter_classes g (fun c ->
       Alcotest.check (verdict_t g) "column entry" (Engine.lookup eng c "bar")
-        col.(c))
+        (Packed.column_get col c))
 
 let test_memo_bad_cap () =
   let cl = Chg.Closure.compute (graph ()) in
@@ -106,16 +108,16 @@ let test_memo_bad_cap () =
 
 (* ---- Table cache: LRU, budgets, invalidation ---- *)
 
-let col_of verdicts = Array.map (fun v -> v) verdicts
+let col_of verdicts = Packed.pack_column verdicts
 
-let red c = Some (Engine.Red { r_ldc = c; r_lvs = [] })
+let red c = Some (Engine.Red { r_ldc = c; r_lvs = [ Lookup_core.Abstraction.Omega ] })
 
 let test_cache_lru () =
   let t = Table_cache.create ~max_entries:2 () in
-  Table_cache.promote t "a" (col_of [| red 0 |]);
-  Table_cache.promote t "b" (col_of [| red 1 |]);
+  Table_cache.promote t "a" (col_of [| red 0; None; None |]);
+  Table_cache.promote t "b" (col_of [| None; red 1; None |]);
   ignore (Table_cache.find t "a") (* touch: "b" becomes LRU *);
-  Table_cache.promote t "c" (col_of [| red 2 |]);
+  Table_cache.promote t "c" (col_of [| None; None; red 2 |]);
   Alcotest.(check bool) "a survives (recently used)" true
     (Table_cache.mem t "a");
   Alcotest.(check bool) "b evicted (LRU)" false (Table_cache.mem t "b");
@@ -141,7 +143,7 @@ let test_cache_byte_budget () =
 let test_cache_invalidate_and_update () =
   let t = Table_cache.create () in
   Table_cache.promote t "a" (col_of [| red 0 |]);
-  Table_cache.promote t "b" (col_of [| red 1 |]);
+  Table_cache.promote t "b" (col_of [| red 0 |]);
   Alcotest.(check bool) "invalidate resident" true
     (Table_cache.invalidate t "a");
   Alcotest.(check bool) "invalidate absent" false
@@ -150,11 +152,12 @@ let test_cache_invalidate_and_update () =
     (Option.map (fun _ -> true) (Table_cache.find t "a"));
   (* the add_class path: extend every resident column *)
   Table_cache.update_columns t (fun _ col ->
-      Some (Array.append col [| red 9 |]));
+      Some (Packed.column_append col (red 1)));
   (match Table_cache.find t "b" with
   | Some col ->
-    Alcotest.(check int) "extended" 2 (Array.length col);
-    Alcotest.check (verdict_t (graph ())) "new slot" (red 9) col.(1)
+    Alcotest.(check int) "extended" 2 (Packed.column_classes col);
+    Alcotest.check (verdict_t (graph ())) "new slot" (red 1)
+      (Packed.column_get col 1)
   | None -> Alcotest.fail "column b disappeared");
   (* update returning None drops the column *)
   Table_cache.update_columns t (fun _ _ -> None);

@@ -12,6 +12,7 @@ module Spec = Subobject.Spec
 module Engine = Lookup_core.Engine
 module A = Lookup_core.Abstraction
 module Vio = Lookup_core.Verdict_io
+module Packed = Lookup_core.Packed
 module Session = Service.Session
 
 let graph () = Hiergen.Figures.fig3 ()
@@ -187,15 +188,68 @@ let test_column_rejects_huge_count () =
   | _ -> Alcotest.fail "decoded a column from a bare huge count"
   | exception B.Corrupt _ -> ()
 
+let test_packed_column_codec () =
+  let g = graph () in
+  let cl = Chg.Closure.compute g in
+  List.iter
+    (fun m ->
+      let e = Engine.build_member cl m in
+      let boxed =
+        Array.init (G.num_classes g) (fun c -> Engine.lookup e c m)
+      in
+      let col = Packed.pack_column boxed in
+      let w = B.Writer.create () in
+      Packed.write_column w col;
+      let col' =
+        Packed.read_column (B.Reader.of_string (B.Writer.contents w))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "packed column of %s round-trips" m)
+        true
+        (Packed.column_equal col col');
+      Alcotest.(check bool)
+        (Printf.sprintf "decoded column of %s unpacks to the boxed one" m)
+        true
+        (Packed.unpack_column col' = boxed))
+    (G.member_names g)
+
+let test_packed_column_codec_rejects_corruption () =
+  let g = graph () in
+  let cl = Chg.Closure.compute g in
+  let e = Engine.build_member cl "foo" in
+  let col =
+    Packed.pack_column
+      (Array.init (G.num_classes g) (fun c -> Engine.lookup e c "foo"))
+  in
+  let w = B.Writer.create () in
+  Packed.write_column w col;
+  let s = B.Writer.contents w in
+  (* flip one byte at a time: read_column must raise Corrupt or decode
+     some valid column — never crash, never allocate wildly *)
+  let survived = ref 0 in
+  String.iteri
+    (fun i _ ->
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code s.[i] lxor 0x04));
+      match Packed.read_column (B.Reader.of_string (Bytes.to_string b)) with
+      | _ -> incr survived
+      | exception B.Corrupt _ -> ())
+    s;
+  Alcotest.(check bool) "most corruptions detected" true
+    (!survived < String.length s)
+
 (* ---- snapshots ----------------------------------------------------- *)
 
-let compiled_columns g =
+let boxed_columns g =
   let cl = Chg.Closure.compute g in
   let e = Engine.build cl in
   List.map
     (fun m ->
       (m, Array.init (G.num_classes g) (fun c -> Engine.lookup e c m)))
     (G.member_names g)
+
+let compiled_columns g =
+  List.map (fun (m, col) -> (m, Packed.pack_column col)) (boxed_columns g)
 
 let snap ?(epoch = 3) ?(columns = true) g =
   { Store.Snapshot.s_session = "sess/with weird name";
@@ -243,6 +297,55 @@ let test_snapshot_rejects_corruption () =
             epoch s'.Store.Snapshot.s_epoch
       end)
     enc
+
+let test_snapshot_reads_legacy_boxed_columns () =
+  (* hand-write a version-1 container whose columns use the legacy tag-3
+     boxed codec, as pre-packing builds did: decode must accept it and
+     pack the columns on load *)
+  let g = graph () in
+  let section f =
+    let w = B.Writer.create () in
+    f w;
+    B.Writer.contents w
+  in
+  let crc_int s = Int32.to_int (B.crc32_string s) land 0xffffffff in
+  let w = B.Writer.create () in
+  B.Writer.raw w "CXLSNAP0";
+  B.Writer.u32 w 1;
+  let sections =
+    [ ( 1,
+        section (fun w ->
+            B.Writer.string w "legacy";
+            B.Writer.i64 w 7;
+            B.Writer.string w Service.Protocol.version) );
+      (2, section (fun w -> B.write_graph w g));
+      ( 3,
+        section (fun w ->
+            let cols = boxed_columns g in
+            B.Writer.u32 w (List.length cols);
+            List.iter
+              (fun (m, col) ->
+                B.Writer.string w m;
+                Vio.write_column w col)
+              cols) ) ]
+  in
+  B.Writer.u32 w (List.length sections);
+  List.iter
+    (fun (tag, payload) ->
+      B.Writer.u8 w tag;
+      B.Writer.u32 w (String.length payload);
+      B.Writer.u32 w (crc_int payload);
+      B.Writer.raw w payload)
+    sections;
+  match Store.Snapshot.decode (B.Writer.contents w) with
+  | Error e -> Alcotest.failf "legacy decode failed: %s" e
+  | Ok s ->
+    Alcotest.(check int) "epoch" 7 s.Store.Snapshot.s_epoch;
+    Alcotest.(check bool) "columns arrive packed, verdict-identical" true
+      (List.for_all2
+         (fun (m, col) (m', col') ->
+           m = m' && Packed.column_equal col col')
+         s.Store.Snapshot.s_columns (compiled_columns g))
 
 let test_snapshot_file_roundtrip () =
   with_temp_dir (fun dir ->
@@ -649,6 +752,12 @@ let suite =
       test_graph_codec_rejects_corruption;
     Alcotest.test_case "verdict column round-trip" `Quick
       test_column_roundtrip;
+    Alcotest.test_case "packed column codec round-trip" `Quick
+      test_packed_column_codec;
+    Alcotest.test_case "packed column codec vs corruption" `Quick
+      test_packed_column_codec_rejects_corruption;
+    Alcotest.test_case "snapshot reads legacy boxed columns" `Quick
+      test_snapshot_reads_legacy_boxed_columns;
     Alcotest.test_case "column rejects huge count" `Quick
       test_column_rejects_huge_count;
     Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
