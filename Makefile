@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke lint verify clean
+.PHONY: all build test bench bench-smoke lint metrics-smoke verify clean
 
 all: build
 
@@ -19,13 +19,31 @@ bench-smoke:
 # Lint every example hierarchy in SARIF mode; any error-severity finding
 # (an ambiguous lookup) fails the build.  Warnings and notes (dominance
 # fragility, dead declarations, baseline divergence) are expected on the
-# paper figures and do not fail.
+# paper figures and do not fail.  Figure 1 is the exception: it is the
+# paper's motivating *ambiguous* hierarchy, so the gate inverts there —
+# the linter must flag it, and not flagging it fails the build.
 lint:
 	@for f in examples/*.cpp; do \
 	  echo "lint $$f"; \
-	  dune exec --no-build bin/cxxlookup.exe -- lint $$f \
-	    --format sarif --fail-on error > /dev/null || exit 1; \
+	  case $$f in \
+	  examples/fig1.cpp) \
+	    if dune exec --no-build bin/cxxlookup.exe -- lint $$f \
+	         --format sarif --fail-on error > /dev/null; then \
+	      echo "lint: expected ambiguous-lookup error missing in $$f" >&2; \
+	      exit 1; \
+	    fi ;; \
+	  *) \
+	    dune exec --no-build bin/cxxlookup.exe -- lint $$f \
+	      --format sarif --fail-on error > /dev/null || exit 1 ;; \
+	  esac; \
 	done
+
+# Observability end to end: two live scrapes of one serve process
+# validated by the pure-OCaml exposition checker (format + counter
+# monotonicity), and the SIGUSR1 flight-recorder dump.
+metrics-smoke: build
+	sh test/smoke/metrics_smoke.sh
+	sh test/smoke/flight_recorder.sh
 
 # CI entry point: full build, full test suite, a smoke run of the
 # telemetry pipeline end to end (parse -> all three engines -> JSON),
@@ -42,6 +60,7 @@ verify:
 	dune exec bin/cxxlookup.exe -- serve --jobs 1 < test/smoke/serve_input.jsonl \
 	  | diff - test/smoke/serve_golden.jsonl
 	sh test/smoke/crash_recovery.sh
+	$(MAKE) metrics-smoke
 	$(MAKE) lint
 	@echo "verify: OK"
 

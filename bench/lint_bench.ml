@@ -43,13 +43,11 @@ let run () =
                  %d warnings, %d notes@."
     (G.num_classes g) (G.num_edges g) e w n;
   let time family config =
-    let t =
-      Timing.seconds_per_call (fun () -> ignore (lint_with config))
-    in
+    let t, latency = Timing.measure (fun () -> ignore (lint_with config)) in
     Format.printf "  %-38s %a@." family Timing.pp_time t;
     let _, metrics = lint_with config in
     Scaling.record ~experiment:"LNT1" ~family ~n_plus_e:size
-      ~time_ns:(t *. 1e9)
+      ~time_ns:(t *. 1e9) ~latency
       (counters_json (Lint.metrics_counters metrics));
     t
   in

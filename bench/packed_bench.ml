@@ -41,9 +41,7 @@ let par1 ~n () =
   let deterministic = ref true in
   List.iter
     (fun jobs ->
-      let t =
-        Timing.seconds_per_call (fun () -> Packed.build ~jobs cl)
-      in
+      let t, latency = Timing.measure (fun () -> Packed.build ~jobs cl) in
       if jobs = 1 then t1 := t;
       let metrics = Metrics.create () in
       let table = Packed.build ~jobs ~metrics cl in
@@ -52,7 +50,7 @@ let par1 ~n () =
       else if not (String.equal enc !reference) then deterministic := false;
       Scaling.record ~experiment:"PAR1"
         ~family:(Printf.sprintf "%s jobs=%d" i.Families.description jobs)
-        ~n_plus_e:(size g) ~time_ns:(t *. 1e9)
+        ~n_plus_e:(size g) ~time_ns:(t *. 1e9) ~latency
         (Metrics.counters_json metrics);
       Format.printf "  %-8d %a %9.2fx@." jobs Timing.pp_time t (!t1 /. t))
     [ 1; 2; 4 ];
@@ -88,8 +86,8 @@ let pak1_point ~check i =
   let t_boxed =
     Timing.seconds_per_call (fun () -> probe Engine.resolves_to eng)
   in
-  let t_packed =
-    Timing.seconds_per_call (fun () -> probe Packed.resolves_to packed)
+  let t_packed, lat_packed =
+    Timing.measure (fun () -> probe Packed.resolves_to packed)
   in
   let queries = float_of_int (nc * max 1 (Array.length members)) in
   let boxed_ns = t_boxed *. 1e9 /. queries
@@ -98,7 +96,7 @@ let pak1_point ~check i =
                  ns/query)@."
     Timing.pp_time t_boxed Timing.pp_time t_packed boxed_ns packed_ns;
   Scaling.record ~experiment:"PAK1" ~family:i.Families.description
-    ~n_plus_e:(size g) ~time_ns:packed_ns
+    ~n_plus_e:(size g) ~time_ns:packed_ns ~latency:lat_packed
     (Telemetry.Json.Obj
        [ ("packed_bytes", Telemetry.Json.Int pb);
          ("boxed_bytes", Telemetry.Json.Int bb);

@@ -21,14 +21,28 @@ let header id title = Format.printf "@.---- %s: %s ----@." id title
    wall-clock. *)
 let bench_records : Telemetry.Json.t list ref = ref []
 
-let record ~experiment ~family ~n_plus_e ~time_ns counters =
+let record ~experiment ~family ~n_plus_e ~time_ns ?latency counters =
+  let latency_fields =
+    match latency with
+    | None -> []
+    | Some h ->
+      (* the per-call latency distribution behind the mean: quantiles
+         carry the histogram's documented <=12.5% bucket-bound error *)
+      [ ( "latency_ns",
+          Telemetry.Json.Obj
+            (("calls", Telemetry.Json.Int (Telemetry.Histogram.count h))
+             :: List.map
+                  (fun (k, v) -> (k, Telemetry.Json.Int v))
+                  (Telemetry.Histogram.percentile_fields h)) ) ]
+  in
   bench_records :=
     Telemetry.Json.Obj
-      [ ("experiment", Telemetry.Json.String experiment);
-        ("family", Telemetry.Json.String family);
-        ("n_plus_e", Telemetry.Json.Int n_plus_e);
-        ("time_ns_per_call", Telemetry.Json.Float time_ns);
-        ("counters", counters) ]
+      ([ ("experiment", Telemetry.Json.String experiment);
+         ("family", Telemetry.Json.String family);
+         ("n_plus_e", Telemetry.Json.Int n_plus_e);
+         ("time_ns_per_call", Telemetry.Json.Float time_ns) ]
+       @ latency_fields
+       @ [ ("counters", counters) ])
     :: !bench_records
 
 (* One instrumented run alongside the timed (uninstrumented) loop: the
@@ -52,11 +66,9 @@ let c1 () =
   let run (i : Families.instance) =
     let g = i.graph in
     let cl = Chg.Closure.compute g in
-    let t =
-      Timing.seconds_per_call (fun () -> Engine.build_member cl "m")
-    in
+    let t, latency = Timing.measure (fun () -> Engine.build_member cl "m") in
     record ~experiment:"C1" ~family:i.description ~n_plus_e:(size g)
-      ~time_ns:(t *. 1e9)
+      ~time_ns:(t *. 1e9) ~latency
       (member_column_counters cl "m");
     Format.printf "  %-34s %8d %a %10.2f@." i.description (size g)
       Timing.pp_time t
@@ -83,9 +95,9 @@ let c2 () =
   let run (i : Families.instance) =
     let g = i.graph in
     let cl = Chg.Closure.compute g in
-    let t = Timing.seconds_per_call (fun () -> Engine.build_member cl "m") in
+    let t, latency = Timing.measure (fun () -> Engine.build_member cl "m") in
     record ~experiment:"C2" ~family:i.description ~n_plus_e:(size g)
-      ~time_ns:(t *. 1e9)
+      ~time_ns:(t *. 1e9) ~latency
       (member_column_counters cl "m");
     Format.printf "  %-34s %8d %a %10.2f@." i.description (size g)
       Timing.pp_time t
@@ -155,9 +167,9 @@ let c4 () =
       let g = i.graph in
       let m = List.length (G.member_names g) in
       let cl = Chg.Closure.compute g in
-      let t = Timing.seconds_per_call (fun () -> Engine.build cl) in
+      let t, latency = Timing.measure (fun () -> Engine.build cl) in
       record ~experiment:"C4" ~family:i.description ~n_plus_e:(size g)
-        ~time_ns:(t *. 1e9) (full_table_counters cl);
+        ~time_ns:(t *. 1e9) ~latency (full_table_counters cl);
       let denom = float_of_int ((m + n) * size g) in
       Format.printf "  %-34s %9d %a %12.4f@." i.description m Timing.pp_time
         t

@@ -115,9 +115,9 @@ let run () =
   ignore (cold_open ());
   ignore (warm_open "plain");
   ignore (warm_open "tail") (* warm the page cache for all three *);
-  let t_cold = Timing.seconds_per_call (fun () -> cold_open ()) in
-  let t_warm = Timing.seconds_per_call (fun () -> warm_open "plain") in
-  let t_tail = Timing.seconds_per_call (fun () -> warm_open "tail") in
+  let t_cold, lat_cold = Timing.measure (fun () -> cold_open ()) in
+  let t_warm, lat_warm = Timing.measure (fun () -> warm_open "plain") in
+  let t_tail, lat_tail = Timing.measure (fun () -> warm_open "tail") in
   Format.printf "  %-38s %a@." "cold open (build + compile columns)"
     Timing.pp_time t_cold;
   Format.printf "  %-38s %a@." "warm open (snapshot restore)"
@@ -134,14 +134,14 @@ let run () =
   in
   Scaling.record ~experiment:"STO1"
     ~family:"cold open (build + compile columns)" ~n_plus_e:size
-    ~time_ns:(t_cold *. 1e9)
+    ~time_ns:(t_cold *. 1e9) ~latency:lat_cold
     (counters_json shape);
   Scaling.record ~experiment:"STO1" ~family:"warm open (snapshot restore)"
-    ~n_plus_e:size ~time_ns:(t_warm *. 1e9)
+    ~n_plus_e:size ~time_ns:(t_warm *. 1e9) ~latency:lat_warm
     (counters_json shape);
   Scaling.record ~experiment:"STO1"
     ~family:(Printf.sprintf "warm open + %d-record WAL replay" wal_tail)
-    ~n_plus_e:size ~time_ns:(t_tail *. 1e9)
+    ~n_plus_e:size ~time_ns:(t_tail *. 1e9) ~latency:lat_tail
     (counters_json
        (List.map
           (fun (k, v) -> if k = "wal_records" then (k, wal_tail) else (k, v))

@@ -33,6 +33,26 @@ let replay s g ws =
       | Error c -> invalid_arg ("service lost class " ^ c))
     ws
 
+(* The instrumented twin of [replay]: each query individually clocked
+   into [hist].  The delta against the plain replay is the price of
+   per-query observability — two monotonic reads plus one O(1) record —
+   which the service only ever pays once per *request*, not per query,
+   so this is the worst case for the <=5% overhead budget. *)
+let replay_recorded s g ws hist =
+  List.iter
+    (fun q ->
+      let c0 = Telemetry.Clock.now_ns () in
+      (match Session.lookup s (G.name g q.W.q_class) q.W.q_member with
+      | Ok _ -> ()
+      | Error c -> invalid_arg ("service lost class " ^ c));
+      Telemetry.Histogram.record hist (Telemetry.Clock.elapsed_ns ~since:c0))
+    ws
+
+(* Queries slower than this count as slow in the recorded rows — the
+   bench-side analogue of the server's --slow-ms flag, scaled to
+   per-query nanoseconds. *)
+let slow_query_ns = 10_000
+
 let session ~threshold ?(table_entries = 64) g =
   let config =
     { Session.default_config with
@@ -71,27 +91,61 @@ let run () =
   Format.printf "  %-34s %a  (%6.1f ns/query)@." "compiled-table columns"
     Timing.pp_time t_table (per_query t_table);
   Format.printf "  speedup: %.2fx@." (t_memo /. t_table);
+  (* recorded passes: per-query latency distributions, and the recording
+     overhead itself against the plain replays above *)
+  let lat_memo = Telemetry.Histogram.create () in
+  let t_memo_rec =
+    Timing.seconds_per_call (fun () ->
+        Telemetry.Histogram.reset lat_memo;
+        replay_recorded memo_s g ws lat_memo)
+  in
+  let lat_table = Telemetry.Histogram.create () in
+  let t_table_rec =
+    Timing.seconds_per_call (fun () ->
+        Telemetry.Histogram.reset lat_table;
+        replay_recorded table_s g ws lat_table)
+  in
+  let pq h q = Telemetry.Histogram.quantile h q in
+  let slow h = Telemetry.Histogram.observations_above h slow_query_ns in
+  let report name h =
+    Format.printf
+      "  %-34s p50 %4d ns  p99 %5d ns  max %6d ns  (%d of %d over %d ns)@."
+      name (pq h 0.5) (pq h 0.99) (pq h 1.0) (slow h)
+      (Telemetry.Histogram.count h) slow_query_ns
+  in
+  report "memo per-query latency" lat_memo;
+  report "compiled-table per-query latency" lat_table;
+  let overhead plain timed = (timed -. plain) /. plain *. 100.0 in
+  Format.printf
+    "  per-query recording overhead: memo %+.1f%%, table %+.1f%% (clock + \
+     record per query; the service pays this once per request)@."
+    (overhead t_memo t_memo_rec)
+    (overhead t_table t_table_rec);
   let table_counters =
     Session.counters table_s
     @ Table_cache.counters (Session.cache table_s)
   in
   Scaling.record ~experiment:"SVC1" ~family:"memo per-query (no promotion)"
-    ~n_plus_e:size ~time_ns:(per_query t_memo)
-    (counters_json (Session.counters memo_s));
+    ~n_plus_e:size ~time_ns:(per_query t_memo) ~latency:lat_memo
+    (counters_json
+       (Session.counters memo_s @ [ ("slow_queries", slow lat_memo) ]));
   Scaling.record ~experiment:"SVC1" ~family:"compiled-table (threshold 1)"
-    ~n_plus_e:size ~time_ns:(per_query t_table)
-    (counters_json table_counters);
+    ~n_plus_e:size ~time_ns:(per_query t_table) ~latency:lat_table
+    (counters_json (table_counters @ [ ("slow_queries", slow lat_table) ]));
   (* tight column budget: 8 columns for 24 member names forces the LRU
      eviction path; counters land in BENCH_lookup.json *)
   let tight_s = session ~threshold:1 ~table_entries:8 g in
   let t_tight = Timing.seconds_per_call (fun () -> replay tight_s g ws) in
+  let lat_tight = Telemetry.Histogram.create () in
+  replay_recorded tight_s g ws lat_tight (* one untimed recorded pass *);
   let tight_counters = Table_cache.counters (Session.cache tight_s) in
   Format.printf "  %-34s %a  (%6.1f ns/query)@."
     "tight budget (8 columns, LRU)" Timing.pp_time t_tight
     (per_query t_tight);
+  report "tight-budget per-query latency" lat_tight;
   Format.printf "  tight-budget cache counters:";
   List.iter (fun (k, v) -> Format.printf " %s=%d" k v) tight_counters;
   Format.printf "@.";
   Scaling.record ~experiment:"SVC1" ~family:"compiled-table (8-column budget)"
-    ~n_plus_e:size ~time_ns:(per_query t_tight)
-    (counters_json tight_counters)
+    ~n_plus_e:size ~time_ns:(per_query t_tight) ~latency:lat_tight
+    (counters_json (tight_counters @ [ ("slow_queries", slow lat_tight) ]))

@@ -16,6 +16,29 @@ let seconds_per_call ?(min_time = 0.02) f =
   in
   calibrate 1
 
+(* Mean seconds per call plus the per-call latency distribution: the
+   same fixed-budget loop, but each call is clocked individually and
+   recorded into a histogram, so sweeps can report p50/p99/max instead
+   of a mean that hides the tail.  The per-call clocking adds two
+   monotonic reads per call — negligible against the >=1us calls the
+   sweeps time, and the mean is still computed from the whole-loop
+   elapsed time, not the histogram. *)
+let measure ?(min_time = 0.02) f =
+  let hist = Telemetry.Histogram.create () in
+  let rec calibrate n =
+    Telemetry.Histogram.reset hist;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      let c0 = Telemetry.Clock.now_ns () in
+      ignore (Sys.opaque_identity (f ()));
+      Telemetry.Histogram.record hist (Telemetry.Clock.elapsed_ns ~since:c0)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= min_time then dt /. float_of_int n else calibrate (n * 4)
+  in
+  let mean = calibrate 1 in
+  (mean, hist)
+
 let pp_time ppf s =
   if s < 1e-6 then Format.fprintf ppf "%7.1f ns" (s *. 1e9)
   else if s < 1e-3 then Format.fprintf ppf "%7.2f us" (s *. 1e6)

@@ -528,6 +528,119 @@ let trace_cmd =
           each inheritance edge, and the combine result per class.")
     Term.(const run $ file_arg $ class_arg 1 $ member_arg 2 $ json_flag)
 
+(* -- offline Prometheus exposition: metrics & check-metrics --------- *)
+
+let metrics_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"PATH"
+          ~doc:
+            "Write the exposition to PATH (atomic tmp + rename) instead \
+             of stdout.")
+  in
+  let run file jobs out =
+    let jobs = resolve_jobs jobs in
+    let r = load file in
+    let g = r.graph in
+    let cl = Chg.Closure.compute g in
+    let registry = Telemetry.Registry.create () in
+    (* one bag per engine, so the exposition attributes costs per
+       engine; everything rendered is deterministic for a given
+       hierarchy — counters count unit operations, and the packed bag's
+       column-cost histogram merges identically for any --jobs *)
+    let _engine, em, memo, mm, im = run_instrumented g cl ~member:None in
+    let pm = Metrics.create () in
+    let packed = Packed.build ~jobs ~metrics:pm cl in
+    Metrics.register em ~labels:[ ("engine", "eager") ] registry;
+    Metrics.register mm ~labels:[ ("engine", "memo") ] registry;
+    Metrics.register im ~labels:[ ("engine", "incremental") ] registry;
+    Metrics.register pm ~labels:[ ("engine", "packed") ] registry;
+    Telemetry.Registry.gauge registry ~help:"Classes in the hierarchy."
+      "cxxlookup_graph_classes"
+      (fun () -> G.num_classes g);
+    Telemetry.Registry.gauge registry ~help:"Inheritance edges."
+      "cxxlookup_graph_edges"
+      (fun () -> G.num_edges g);
+    Telemetry.Registry.gauge registry ~help:"Distinct member names."
+      "cxxlookup_graph_members"
+      (fun () -> List.length (G.member_names g));
+    Telemetry.Registry.gauge registry
+      ~help:"Entries in the memo engine's cache."
+      "cxxlookup_memo_cached_entries"
+      (fun () -> Memo.cached_entries memo);
+    Telemetry.Registry.gauge registry ~help:"Packed table bytes."
+      "cxxlookup_packed_bytes"
+      (fun () -> Packed.bytes packed);
+    Telemetry.Registry.gauge registry
+      ~help:"Boxed-equivalent bytes of the packed table."
+      "cxxlookup_packed_boxed_bytes"
+      (fun () -> Packed.boxed_bytes packed);
+    match out with
+    | None -> print_string (Telemetry.Prometheus.render registry)
+    | Some path ->
+      let n = Telemetry.Prometheus.write_file path registry in
+      Printf.printf "wrote %d bytes to %s\n" n path
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run all engines over FILE and emit their metrics as a \
+          Prometheus text-format 0.0.4 exposition: per-engine unit-\
+          operation counters, the packed build's per-column cost \
+          histogram, and hierarchy/size gauges.  Deterministic for a \
+          given FILE, whatever --jobs.")
+    Term.(const run $ file_arg $ jobs_term $ out)
+
+let check_metrics_cmd =
+  let expo_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPOSITION"
+          ~doc:"A Prometheus text-format scrape ('-' for stdin).")
+  in
+  let prev =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prev" ] ~docv:"FILE"
+          ~doc:
+            "An earlier scrape of the same process: every counter and \
+             histogram series present in both must not have decreased.")
+  in
+  let run file prev =
+    let text = read_file file in
+    (match Telemetry.Expocheck.check text with
+    | Error msg ->
+      Printf.eprintf "error: %s: %s\n" file msg;
+      exit 1
+    | Ok n -> Printf.printf "ok: %s: %d samples\n" file n);
+    match prev with
+    | None -> ()
+    | Some p ->
+      let ptext = read_file p in
+      (match Telemetry.Expocheck.check ptext with
+      | Error msg ->
+        Printf.eprintf "error: %s: %s\n" p msg;
+        exit 1
+      | Ok _ -> ());
+      (match Telemetry.Expocheck.check_monotone ~prev:ptext ~next:text with
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+      | Ok () -> Printf.printf "ok: monotone against %s\n" p)
+  in
+  Cmd.v
+    (Cmd.info "check-metrics"
+       ~doc:
+         "Validate a Prometheus text-format 0.0.4 exposition (line \
+          grammar, name syntax, HELP/TYPE placement, histogram \
+          structure); with --prev, additionally check counter \
+          monotonicity across two scrapes.")
+    Term.(const run $ expo_arg $ prev)
+
 (* -- the resident lookup service: serve & batch --------------------- *)
 
 let service_config_term =
@@ -656,13 +769,80 @@ let serve_cmd =
              write-ahead logged under it, stored sessions are recovered \
              at startup, and the snapshot/restore verbs work.")
   in
-  let run config trace store_dir store_config =
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"PATH"
+          ~doc:
+            "Rewrite PATH (atomically, tmp + rename) with the Prometheus \
+             text exposition on an interval and at EOF — \
+             textfile-collector style.")
+  in
+  let metrics_interval =
+    Arg.(
+      value & opt int 10
+      & info [ "metrics-interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between --metrics-file rewrites (default 10).")
+  in
+  let request_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request-log" ] ~docv:"PATH"
+          ~doc:
+            "Append one structured JSON line per finished request to PATH \
+             (verb, session, outcome, latency, response bytes, serving \
+             path, slow flag).")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold in milliseconds: requests at or over it \
+             are counted and flagged in the request log.")
+  in
+  let run config trace store_dir store_config metrics_file metrics_interval
+      request_log slow_ms =
     let store =
       Option.map (fun dir -> Store.open_dir ~config:store_config dir) store_dir
     in
-    let srv = Service.Server.create ~config ~trace ?store () in
+    let log = Option.map Service.Request_log.open_path request_log in
+    let srv =
+      Service.Server.create ~config ~trace ?store ?request_log:log ?slow_ms ()
+    in
+    (* SIGUSR1 dumps the flight recorder: the last requests, to stderr,
+       without disturbing the serving loop *)
+    (try
+       Sys.set_signal Sys.sigusr1
+         (Sys.Signal_handle (fun _ -> Service.Server.dump_flight srv stderr))
+     with Invalid_argument _ | Sys_error _ -> ());
     if store <> None then print_recoveries (Service.Server.recover_sessions srv);
-    Service.Server.serve srv stdin stdout;
+    let write_metrics () =
+      match metrics_file with
+      | None -> ()
+      | Some path ->
+        (try
+           ignore
+             (Telemetry.Prometheus.write_file path
+                (Service.Server.registry srv))
+         with Sys_error msg -> Printf.eprintf "metrics write failed: %s\n%!" msg)
+    in
+    let last_write = ref (Unix.gettimeofday ()) in
+    let after_response () =
+      if metrics_file <> None then begin
+        let now = Unix.gettimeofday () in
+        if now -. !last_write >= float_of_int metrics_interval then begin
+          last_write := now;
+          write_metrics ()
+        end
+      end
+    in
+    Service.Server.serve ~after_response srv stdin stdout;
+    write_metrics ();
+    (match log with None -> () | Some lg -> Service.Request_log.close lg);
     (match store with
     | None -> ()
     | Some st ->
@@ -676,14 +856,19 @@ let serve_cmd =
        ~doc:
          "Run the resident lookup service: cxxlookup-rpc/1 requests as \
           JSON lines on stdin, responses on stdout (open, lookup, \
-          batch_lookup, mutate, snapshot, restore, stats, close).  \
-          Sessions keep a parsed hierarchy, an incremental engine, a memo \
-          engine and a compiled-table cache resident across requests.  \
-          With --store, sessions survive restarts: every open writes a \
-          snapshot, every mutation appends to a write-ahead log, and \
-          startup recovers whatever the store holds.")
+          batch_lookup, mutate, snapshot, restore, stats, metrics, \
+          close).  Sessions keep a parsed hierarchy, an incremental \
+          engine, a memo engine and a compiled-table cache resident \
+          across requests.  With --store, sessions survive restarts: \
+          every open writes a snapshot, every mutation appends to a \
+          write-ahead log, and startup recovers whatever the store \
+          holds.  Observability: --metrics-file exposes the Prometheus \
+          registry, --request-log records one JSON line per request, \
+          --slow-ms flags slow queries, and SIGUSR1 dumps the \
+          flight recorder to stderr.")
     Term.(const run $ service_config_term $ trace $ store_dir
-          $ store_config_term)
+          $ store_config_term $ metrics_file $ metrics_interval
+          $ request_log $ slow_ms)
 
 let store_dir_arg =
   Arg.(
@@ -958,5 +1143,5 @@ let () =
           (Cmd.info "cxxlookup" ~version ~doc)
           [ check_cmd; lookup_cmd; table_cmd; dot_cmd; layout_cmd; vtable_cmd;
             slice_cmd; export_cmd; import_cmd; run_cmd; audit_cmd; count_cmd;
-            stats_cmd; trace_cmd; lint_cmd; serve_cmd; batch_cmd;
-            snapshot_cmd; restore_cmd ]))
+            stats_cmd; trace_cmd; lint_cmd; metrics_cmd; check_metrics_cmd;
+            serve_cmd; batch_cmd; snapshot_cmd; restore_cmd ]))

@@ -1,0 +1,10 @@
+// Figure 1 of the paper: the replicated-base diamond.  Every edge is
+// non-virtual, so E contains two distinct B::A subobjects (one along
+// each of the C and D arms) and lookup(E, m) is ambiguous between the
+// replicated A::m and D::m.
+struct A { int m; };
+struct B : A {};
+struct C : B {};
+struct D : B { int m; };
+struct E : C, D {};
+int main() { E e; }

@@ -15,6 +15,11 @@ type t = {
   incr_rows : Telemetry.Counter.t;
   incr_row_members : Telemetry.Counter.t;
   incr_closure_bits : Telemetry.Counter.t;
+  column_cost : Telemetry.Histogram.t;
+      (* per-column edge-traversal cost distribution: one observation per
+         compiled member column.  Deterministic for a given hierarchy, so
+         per-domain histograms merged at join compare equal for any job
+         count — the observability side of the determinism contract. *)
   build_timer : Telemetry.Timer.t;
   spans : Telemetry.Span.t;
   sink : Telemetry.Sink.t;
@@ -37,6 +42,7 @@ let make ~enabled ~sink =
     incr_rows = Telemetry.Counter.make "incr_rows";
     incr_row_members = Telemetry.Counter.make "incr_row_members";
     incr_closure_bits = Telemetry.Counter.make "incr_closure_bits";
+    column_cost = Telemetry.Histogram.create ();
     build_timer = Telemetry.Timer.make "build";
     spans = Telemetry.Span.make sink;
     sink }
@@ -53,6 +59,7 @@ let create ?(trace = false) ?trace_limit () =
 let enabled m = m.enabled
 let bump m c = if m.enabled then Telemetry.Counter.incr c
 let bump_n m c n = if m.enabled then Telemetry.Counter.add c n
+let observe_column m ~cost = if m.enabled then Telemetry.Histogram.record m.column_cost cost
 
 let all_counters m =
   [ m.classes_visited; m.members_processed; m.edge_traversals;
@@ -67,16 +74,20 @@ let counters m =
     (all_counters m)
 
 (* Fold one bag's counts into another — the join step of a parallel
-   build, where each worker domain bumped a private bag.  Counters only:
-   timers and sinks stay with the bag that recorded them. *)
+   build, where each worker domain bumped a private bag.  Counters and
+   the column-cost histogram (whose merge is lossless): timers and
+   sinks stay with the bag that recorded them. *)
 let merge_into ~into m =
-  if into.enabled then
+  if into.enabled then begin
     List.iter2
       (fun dst src -> Telemetry.Counter.add dst (Telemetry.Counter.value src))
-      (all_counters into) (all_counters m)
+      (all_counters into) (all_counters m);
+    Telemetry.Histogram.merge_into ~into:into.column_cost m.column_cost
+  end
 
 let reset m =
   List.iter Telemetry.Counter.reset (all_counters m);
+  Telemetry.Histogram.reset m.column_cost;
   Telemetry.Timer.reset m.build_timer;
   if Telemetry.Sink.enabled m.sink then Telemetry.Sink.clear m.sink
 
@@ -92,6 +103,15 @@ let counters_json m =
   Telemetry.Json.Obj
     (List.map (fun (name, v) -> (name, Telemetry.Json.Int v)) (counters m))
 
+let column_cost_json m =
+  let h = m.column_cost in
+  Telemetry.Json.Obj
+    (("columns", Telemetry.Json.Int (Telemetry.Histogram.count h))
+     :: ("sum", Telemetry.Json.Int (Telemetry.Histogram.sum h))
+     :: List.map
+          (fun (k, v) -> (k, Telemetry.Json.Int v))
+          (Telemetry.Histogram.percentile_fields h))
+
 let timers_json m =
   Telemetry.Json.Obj
     [ ( Telemetry.Timer.name m.build_timer,
@@ -100,3 +120,20 @@ let timers_json m =
                (Telemetry.Timer.total_ns m.build_timer));
             ("spans", Telemetry.Json.Int
                (Telemetry.Timer.count m.build_timer)) ] ) ]
+
+(* Exposition: every counter as cxxlookup_engine_<name>_total plus the
+   column-cost histogram, labelled (typically engine=eager/memo/...) so
+   several bags coexist in one registry. *)
+let register m ?(labels = []) registry =
+  List.iter
+    (fun c ->
+      Telemetry.Registry.attach_counter registry ~labels
+        ~help:
+          (Printf.sprintf "Engine counter %s." (Telemetry.Counter.name c))
+        (Printf.sprintf "cxxlookup_engine_%s_total"
+           (Telemetry.Counter.name c))
+        c)
+    (all_counters m);
+  Telemetry.Registry.attach_histogram registry ~labels
+    ~help:"Per-compiled-column edge-traversal cost."
+    "cxxlookup_engine_column_cost" m.column_cost

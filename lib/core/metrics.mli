@@ -47,6 +47,12 @@ type t = {
       (** per-row member verdicts computed *)
   incr_closure_bits : Telemetry.Counter.t;
       (** closure growth: bits in the new row's bases/virtual-bases sets *)
+  (* distributions *)
+  column_cost : Telemetry.Histogram.t;
+      (** per-compiled-column edge-traversal cost: one observation per
+          member column built by {!Packed.build}.  Deterministic for a
+          given hierarchy, so per-domain histograms merged at join are
+          equal for every job count. *)
   (* timers *)
   build_timer : Telemetry.Timer.t;  (** whole eager build *)
   (* propagation trace *)
@@ -71,14 +77,19 @@ val bump : t -> Telemetry.Counter.t -> unit
 
 val bump_n : t -> Telemetry.Counter.t -> int -> unit
 
+(** [observe_column m ~cost] records one compiled column's
+    edge-traversal cost into {!column_cost} iff [m] is enabled. *)
+val observe_column : t -> cost:int -> unit
+
 (** [counters m] is every counter with its current value, in a stable
     order (the declaration order above). *)
 val counters : t -> (string * int) list
 
 (** [merge_into ~into m] adds every counter of [m] into the matching
-    counter of [into] — the join step of a parallel build, where each
-    worker domain bumped a private bag.  Counters only: [m]'s timers and
-    trace sink are not propagated.  A no-op when [into] is disabled. *)
+    counter of [into], and merges the {!column_cost} histogram — the
+    join step of a parallel build, where each worker domain bumped a
+    private bag.  [m]'s timers and trace sink are not propagated.  A
+    no-op when [into] is disabled. *)
 val merge_into : into:t -> t -> unit
 
 val reset : t -> unit
@@ -94,3 +105,14 @@ val counters_json : t -> Telemetry.Json.t
 
 (** [timers_json m] is [{ "build": { "total_ns": n, "spans": k } }]. *)
 val timers_json : t -> Telemetry.Json.t
+
+(** [column_cost_json m] summarizes the {!column_cost} distribution:
+    observation count, sum, and p50/p90/p99/p999/max. *)
+val column_cost_json : t -> Telemetry.Json.t
+
+(** [register m ?labels registry] attaches every counter (as
+    [cxxlookup_engine_<name>_total]) and the {!column_cost} histogram
+    (as [cxxlookup_engine_column_cost]) to [registry] under [labels]
+    (typically [[("engine", ...)]]). *)
+val register :
+  t -> ?labels:(string * string) list -> Telemetry.Registry.t -> unit

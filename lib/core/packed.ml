@@ -317,8 +317,13 @@ let build ?(static_rule = true) ?(jobs = 1) ?(metrics = Metrics.disabled) cl =
   let nm = Array.length names in
   let columns = Array.make nm empty_column in
   let compile_one bag i =
+    let before = Telemetry.Counter.value bag.Metrics.edge_traversals in
     let eng = Engine.build_member ~static_rule ~metrics:bag cl names.(i) in
-    columns.(i) <- pack_column (Engine.column eng names.(i))
+    columns.(i) <- pack_column (Engine.column eng names.(i));
+    (* bags are domain-private, so the counter delta is this column's
+       cost alone — one histogram observation per compiled column *)
+    Metrics.observe_column bag
+      ~cost:(Telemetry.Counter.value bag.Metrics.edge_traversals - before)
   in
   let jobs = min jobs (max 1 nm) in
   if jobs = 1 then

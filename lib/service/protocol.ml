@@ -52,6 +52,7 @@ type op =
   | Snapshot
   | Restore
   | Stats
+  | Metrics
   | Close
 
 type request = { rq_id : J.t; rq_session : string option; rq_op : op }
@@ -231,6 +232,7 @@ let op_of_json op j =
   | "snapshot" -> Ok Snapshot
   | "restore" -> Ok Restore
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
   | "close" -> Ok Close
   | other -> Error (Unknown_op, Printf.sprintf "unknown op %S" other)
 

@@ -30,6 +30,9 @@
       valid snapshot + WAL-tail replay).  The name must not be open.
     - [stats] — service-level counters, or one session's with
       ["session"].
+    - [metrics] — the full Prometheus text-format 0.0.4 exposition of
+      the server's metric registry, answered as
+      [{"format":"text/plain; version=0.0.4", "body":...}].
     - [close] — ["session"].  Durable state, if any, survives the close
       and can be reopened with [restore].
 
@@ -79,6 +82,7 @@ type op =
   | Snapshot
   | Restore
   | Stats
+  | Metrics
   | Close
 
 type request = { rq_id : Chg.Json.t; rq_session : string option; rq_op : op }

@@ -1,0 +1,50 @@
+(** Request-level observability: the structured JSON request log and
+    the flight recorder.
+
+    Both consume the same {!entry} — one record per finished request,
+    written by the server after the response is computed.  The log is a
+    JSON-lines file (one object per line, flushed per line, append
+    mode, so restarts extend rather than truncate).  The flight
+    recorder is a fixed-size ring of the most recent entries, kept even
+    when no log file is configured, and dumped to stderr whenever the
+    server answers an [internal] error — and on SIGUSR1 under
+    [cxxlookup serve] — so the requests leading up to a failure are
+    always recoverable without any logging overhead in steady state. *)
+
+type entry = {
+  e_seq : int;  (** 1-based arrival order within this server *)
+  e_verb : string;  (** op name, or ["invalid"] for rejected lines *)
+  e_session : string option;
+  e_id : Chg.Json.t;  (** the request's echoed id *)
+  e_outcome : string;  (** ["ok"] or the error code *)
+  e_latency_ns : int;
+  e_bytes : int;  (** response line bytes; [0] when the log is disabled
+                      (measuring would re-serialize the response) *)
+  e_via : string option;  (** lookup serving path: ["table"] / ["memo"] *)
+  e_slow : bool;  (** latency crossed the [--slow-ms] threshold *)
+}
+
+val entry_json : entry -> Chg.Json.t
+
+type t
+
+(** [open_path path] opens (append, create) a JSON-lines log. *)
+val open_path : string -> t
+
+(** [of_channel oc] logs to an existing channel without owning it. *)
+val of_channel : out_channel -> t
+
+(** [log t e] writes one line and flushes. *)
+val log : t -> entry -> unit
+
+val close : t -> unit
+
+(** {1 Flight recorder} *)
+
+type recorder = entry Telemetry.Ring.t
+
+val default_flight_capacity : int
+
+(** [dump r oc] writes the ring oldest-first as JSON lines between
+    human-readable header/footer markers, then flushes. *)
+val dump : recorder -> out_channel -> unit

@@ -19,31 +19,66 @@ type t = {
   batch_queries : Telemetry.Counter.t;
   mutations : Telemetry.Counter.t;
   lints : Telemetry.Counter.t;
+  (* request-level observability *)
+  registry : Telemetry.Registry.t;
+  start_ns : int;
+  mutable next_seq : int;  (* arrival order, 1-based in the log *)
+  request_log : Request_log.t option;
+  slow_ns : int option;  (* latency threshold; None = nothing is slow *)
+  slow_requests : Telemetry.Counter.t;
+  flight : Request_log.recorder;
 }
 
-let create ?(config = Session.default_config) ?(trace = false) ?store () =
+let create ?(config = Session.default_config) ?(trace = false) ?store
+    ?request_log ?slow_ms () =
   let sink =
     if trace then Telemetry.Sink.create () else Telemetry.Sink.null
   in
-  { config;
-    store;
-    sessions = Hashtbl.create 8;
-    session_order = [];
-    next_session = 0;
-    sink;
-    spans = Telemetry.Span.make sink;
-    requests = Telemetry.Counter.make "requests";
-    errors = Telemetry.Counter.make "errors";
-    sessions_opened = Telemetry.Counter.make "sessions_opened";
-    sessions_closed = Telemetry.Counter.make "sessions_closed";
-    lookups = Telemetry.Counter.make "lookups";
-    batch_requests = Telemetry.Counter.make "batch_requests";
-    batch_queries = Telemetry.Counter.make "batch_queries";
-    mutations = Telemetry.Counter.make "mutations";
-    lints = Telemetry.Counter.make "lints" }
+  let registry = Telemetry.Registry.create () in
+  let slow_requests = Telemetry.Counter.make "slow_requests" in
+  let t =
+    { config;
+      store;
+      sessions = Hashtbl.create 8;
+      session_order = [];
+      next_session = 0;
+      sink;
+      spans = Telemetry.Span.make sink;
+      requests = Telemetry.Counter.make "requests";
+      errors = Telemetry.Counter.make "errors";
+      sessions_opened = Telemetry.Counter.make "sessions_opened";
+      sessions_closed = Telemetry.Counter.make "sessions_closed";
+      lookups = Telemetry.Counter.make "lookups";
+      batch_requests = Telemetry.Counter.make "batch_requests";
+      batch_queries = Telemetry.Counter.make "batch_queries";
+      mutations = Telemetry.Counter.make "mutations";
+      lints = Telemetry.Counter.make "lints";
+      registry;
+      start_ns = Telemetry.Clock.now_ns ();
+      next_seq = 0;
+      request_log;
+      slow_ns = Option.map (fun ms -> ms * 1_000_000) slow_ms;
+      slow_requests;
+      flight = Telemetry.Ring.create Request_log.default_flight_capacity }
+  in
+  Telemetry.Registry.gauge registry
+    ~help:"Nanoseconds since this server was created."
+    "cxxlookup_server_uptime_ns"
+    (fun () -> Telemetry.Clock.now_ns () - t.start_ns);
+  Telemetry.Registry.gauge registry ~help:"Sessions currently open."
+    "cxxlookup_server_sessions_open"
+    (fun () -> Hashtbl.length t.sessions);
+  Telemetry.Registry.attach_counter registry
+    ~help:"Requests whose latency crossed the --slow-ms threshold."
+    "cxxlookup_server_slow_requests_total" slow_requests;
+  (match store with None -> () | Some s -> Store.register s registry);
+  t
 
 let sink t = t.sink
 let store t = t.store
+let registry t = t.registry
+let uptime_ns t = Telemetry.Clock.now_ns () - t.start_ns
+let dump_flight t oc = Request_log.dump t.flight oc
 
 let counters t =
   List.map
@@ -122,7 +157,8 @@ let register_session t s =
   let name = Session.name s in
   Hashtbl.add t.sessions name s;
   t.session_order <- t.session_order @ [ name ];
-  Telemetry.Counter.incr t.sessions_opened
+  Telemetry.Counter.incr t.sessions_opened;
+  Session.register s t.registry
 
 let handle_open t ~session:requested hierarchy =
   let name =
@@ -340,6 +376,21 @@ let handle_restore t ~session:requested =
         ("replayed", J.Int (List.length rv.Store.rv_replayed));
         ("torn_tail", J.Bool rv.Store.rv_torn) ])
 
+let handle_metrics t =
+  [ ("format", J.String "text/plain; version=0.0.4");
+    ("body", J.String (Telemetry.Prometheus.render t.registry)) ]
+
+(* Per-verb and per-error-code views out of the registry: the same
+   labelled series the exposition renders, re-shaped as a JSON object.
+   find_values is sorted, so the object's key order is stable. *)
+let labelled_counts t metric label =
+  List.filter_map
+    (fun (labels, v) ->
+      match List.assoc_opt label labels with
+      | Some key -> Some (key, J.Int v)
+      | None -> None)
+    (Telemetry.Registry.find_values t.registry metric)
+
 let handle_stats t = function
   | Some _ as sess ->
     let s = session t sess in
@@ -366,7 +417,16 @@ let handle_stats t = function
       ( "service",
         J.Obj
           (List.map (fun (k, v) -> (k, J.Int v)) (counters t)
-           @ [ ("sessions_open", J.Int (Hashtbl.length t.sessions)) ]) );
+           @ [ ("sessions_open", J.Int (Hashtbl.length t.sessions));
+               ("uptime_ns", J.Int (uptime_ns t));
+               ( "verbs",
+                 J.Obj
+                   (labelled_counts t "cxxlookup_server_requests_total"
+                      "verb") );
+               ( "error_codes",
+                 J.Obj
+                   (labelled_counts t "cxxlookup_server_errors_total"
+                      "code") ) ]) );
       ( "sessions",
         J.List
           (List.map
@@ -391,10 +451,61 @@ let op_name = function
   | P.Snapshot -> "snapshot"
   | P.Restore -> "restore"
   | P.Stats -> "stats"
+  | P.Metrics -> "metrics"
   | P.Close -> "close"
+
+(* One finished request: per-verb latency histogram and request
+   counter, per-error-code counter, slow-threshold accounting, a
+   flight-recorder push, and (when configured) one JSON log line.
+   Registry lookups are find-or-create — one hash probe each on the
+   steady path.  The response line's byte count is measured only when
+   the log is on: measuring means re-serializing the response. *)
+let observe t ~verb ~session ~id ~t0 ~outcome resp =
+  let latency = Telemetry.Clock.elapsed_ns ~since:t0 in
+  Telemetry.Histogram.record
+    (Telemetry.Registry.histogram t.registry
+       ~help:"Request latency by verb, nanoseconds."
+       ~labels:[ ("verb", verb) ]
+       "cxxlookup_server_request_duration_ns")
+    latency;
+  Telemetry.Counter.incr
+    (Telemetry.Registry.counter t.registry
+       ~help:"Requests handled, by verb (rejected lines count as verb=invalid)."
+       ~labels:[ ("verb", verb) ]
+       "cxxlookup_server_requests_total");
+  if outcome <> "ok" then
+    Telemetry.Counter.incr
+      (Telemetry.Registry.counter t.registry
+         ~help:"Error responses, by code."
+         ~labels:[ ("code", outcome) ]
+         "cxxlookup_server_errors_total");
+  let slow = match t.slow_ns with Some s -> latency >= s | None -> false in
+  if slow then Telemetry.Counter.incr t.slow_requests;
+  t.next_seq <- t.next_seq + 1;
+  let bytes =
+    match t.request_log with
+    | Some _ -> String.length (J.to_string resp)
+    | None -> 0
+  in
+  let via =
+    match J.member "via" resp with
+    | Ok (J.String v) -> Some v
+    | _ -> None
+  in
+  let entry =
+    { Request_log.e_seq = t.next_seq; e_verb = verb; e_session = session;
+      e_id = id; e_outcome = outcome; e_latency_ns = latency;
+      e_bytes = bytes; e_via = via; e_slow = slow }
+  in
+  Telemetry.Ring.push t.flight entry;
+  match t.request_log with
+  | Some lg -> Request_log.log lg entry
+  | None -> ()
 
 let handle_request t (rq : P.request) =
   Telemetry.Counter.incr t.requests;
+  let verb = op_name rq.P.rq_op in
+  let t0 = Telemetry.Clock.now_ns () in
   let run () =
     match rq.P.rq_op with
     | P.Open { o_session; o_hierarchy } ->
@@ -406,25 +517,45 @@ let handle_request t (rq : P.request) =
     | P.Snapshot -> handle_snapshot t (session t rq.P.rq_session)
     | P.Restore -> handle_restore t ~session:rq.P.rq_session
     | P.Stats -> handle_stats t rq.P.rq_session
+    | P.Metrics -> handle_metrics t
     | P.Close -> handle_close t (session t rq.P.rq_session)
   in
   let run () =
     if Telemetry.Sink.enabled t.sink then begin
       Telemetry.Sink.emit t.sink "request"
-        (("op", Telemetry.Event.Str (op_name rq.P.rq_op))
+        (("op", Telemetry.Event.Str verb)
          ::
          (match rq.P.rq_session with
          | Some s -> [ ("session", Telemetry.Event.Str s) ]
          | None -> []));
-      Telemetry.Span.run t.spans ("rpc:" ^ op_name rq.P.rq_op) run
+      Telemetry.Span.run t.spans ("rpc:" ^ verb) run
     end
     else run ()
   in
-  match run () with
-  | fields -> P.ok_response ~id:rq.P.rq_id fields
-  | exception Reply_error (code, msg) ->
-    Telemetry.Counter.incr t.errors;
-    P.error_response ~id:rq.P.rq_id code msg
+  let outcome, internal, resp =
+    match run () with
+    | fields -> ("ok", false, P.ok_response ~id:rq.P.rq_id fields)
+    | exception Reply_error (code, msg) ->
+      Telemetry.Counter.incr t.errors;
+      (P.code_string code, false, P.error_response ~id:rq.P.rq_id code msg)
+    | exception exn ->
+      (* a bug, not a bad request: answer [internal] instead of dying,
+         and dump the flight recorder below so the requests leading
+         here are preserved *)
+      Telemetry.Counter.incr t.errors;
+      ( P.code_string P.Internal,
+        true,
+        P.error_response ~id:rq.P.rq_id P.Internal (Printexc.to_string exn) )
+  in
+  observe t ~verb ~session:rq.P.rq_session ~id:rq.P.rq_id ~t0 ~outcome resp;
+  (* after observe, so the failing request itself is in the ring *)
+  if internal then dump_flight t stderr;
+  resp
+
+let observe_rejected t ~id ~code resp =
+  observe t ~verb:"invalid" ~session:None ~id
+    ~t0:(Telemetry.Clock.now_ns ())
+    ~outcome:(P.code_string code) resp
 
 let handle_json t j =
   match P.request_of_json j with
@@ -432,7 +563,9 @@ let handle_json t j =
   | Error (id, code, msg) ->
     Telemetry.Counter.incr t.requests;
     Telemetry.Counter.incr t.errors;
-    P.error_response ~id code msg
+    let resp = P.error_response ~id code msg in
+    observe_rejected t ~id ~code resp;
+    resp
 
 let handle_line t line =
   match P.parse_request line with
@@ -440,7 +573,9 @@ let handle_line t line =
   | Error (id, code, msg) ->
     Telemetry.Counter.incr t.requests;
     Telemetry.Counter.incr t.errors;
-    P.error_response ~id code msg
+    let resp = P.error_response ~id code msg in
+    observe_rejected t ~id ~code resp;
+    resp
 
 (* ---- startup recovery ---------------------------------------------- *)
 
@@ -481,7 +616,7 @@ let recover_sessions t =
                    { r_session = name; r_error = G.error_to_string e })))
       (Store.sessions store)
 
-let serve t ic oc =
+let serve ?(after_response = fun () -> ()) t ic oc =
   let rec loop () =
     match In_channel.input_line ic with
     | None -> ()
@@ -491,6 +626,7 @@ let serve t ic oc =
         output_string oc (J.to_string (handle_line t line));
         output_char oc '\n';
         flush oc;
+        after_response ();
         loop ()
       end
   in

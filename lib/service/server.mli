@@ -9,19 +9,42 @@
 
 type t
 
-(** [create ?config ?trace ?store ()] — [config] applies to every
-    session opened; [trace] (default false) records per-request
-    telemetry (a [request] event and an [rpc:<op>] span pair) into
-    {!sink}; [store] makes sessions durable (opens write snapshots,
-    mutations append to the WAL, and the [snapshot] / [restore] verbs
-    work — [store_error] without it). *)
+(** [create ?config ?trace ?store ?request_log ?slow_ms ()] — [config]
+    applies to every session opened; [trace] (default false) records
+    per-request telemetry (a [request] event and an [rpc:<op>] span
+    pair) into {!sink}; [store] makes sessions durable (opens write
+    snapshots, mutations append to the WAL, and the [snapshot] /
+    [restore] verbs work — [store_error] without it); [request_log]
+    writes one structured JSON line per finished request; [slow_ms]
+    marks requests at or over the threshold as slow (counted, and
+    flagged in the log).  Every server owns a metric {!registry} that
+    the store, each opened session, and the request path register
+    into. *)
 val create :
-  ?config:Session.config -> ?trace:bool -> ?store:Store.t -> unit -> t
+  ?config:Session.config ->
+  ?trace:bool ->
+  ?store:Store.t ->
+  ?request_log:Request_log.t ->
+  ?slow_ms:int ->
+  unit ->
+  t
 
 (** The per-request event stream (disabled sink unless [~trace:true]). *)
 val sink : t -> Telemetry.Sink.t
 
 val store : t -> Store.t option
+
+(** The server's metric registry — what the [metrics] verb and
+    [--metrics-file] render. *)
+val registry : t -> Telemetry.Registry.t
+
+val uptime_ns : t -> int
+
+(** [dump_flight t oc] writes the flight recorder (the most recent
+    requests, oldest first) to [oc].  Also triggered automatically on
+    any [internal] error response, and by SIGUSR1 under
+    [cxxlookup serve]. *)
+val dump_flight : t -> out_channel -> unit
 
 (** One session's fate under {!recover_sessions}. *)
 type recovered =
@@ -54,7 +77,9 @@ val handle_json : t -> Chg.Json.t -> Chg.Json.t
 
 val handle_line : t -> string -> Chg.Json.t
 
-(** [serve t ic oc] — the JSON-lines loop: read a request per line from
-    [ic], write its response line to [oc] (flushed per line, so the
-    server can sit on a pipe), until EOF.  Blank lines are skipped. *)
-val serve : t -> in_channel -> out_channel -> unit
+(** [serve ?after_response t ic oc] — the JSON-lines loop: read a
+    request per line from [ic], write its response line to [oc]
+    (flushed per line, so the server can sit on a pipe), until EOF.
+    Blank lines are skipped.  [after_response] runs after each flushed
+    response — the [--metrics-file] interval rewrite hook. *)
+val serve : ?after_response:(unit -> unit) -> t -> in_channel -> out_channel -> unit

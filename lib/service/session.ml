@@ -196,3 +196,30 @@ let stats_json t =
         Chg.Json.Obj
           [ ("cached_entries", Chg.Json.Int (Memo.cached_entries t.memo)) ] )
     ]
+
+(* Exposition: every per-session series carries a session label, so the
+   registry holds all open sessions side by side. *)
+let register t registry =
+  let labels = [ ("session", t.name) ] in
+  List.iter
+    (fun c ->
+      Telemetry.Registry.attach_counter registry ~labels
+        ~help:
+          (Printf.sprintf "Session counter %s." (Telemetry.Counter.name c))
+        (Printf.sprintf "cxxlookup_session_%s_total"
+           (Telemetry.Counter.name c))
+        c)
+    [ t.lookups; t.resolved; t.ambiguous; t.not_found; t.mutations ];
+  Telemetry.Registry.gauge registry ~labels
+    ~help:"Mutations applied to the session so far."
+    "cxxlookup_session_epoch"
+    (fun () -> t.epoch);
+  Telemetry.Registry.gauge registry ~labels
+    ~help:"Classes in the session's hierarchy."
+    "cxxlookup_session_classes"
+    (fun () -> G.num_classes t.graph);
+  Telemetry.Registry.gauge registry ~labels
+    ~help:"Entries in the memo engine's cache."
+    "cxxlookup_session_memo_entries"
+    (fun () -> Memo.cached_entries t.memo);
+  Table_cache.register t.cache ~labels registry

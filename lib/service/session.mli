@@ -110,3 +110,10 @@ val counters : t -> (string * int) list
     per-column packed-vs-boxed breakdown), memo residency.
     Deterministic (no wall-clock). *)
 val stats_json : t -> Chg.Json.t
+
+(** [register t registry] attaches the session's counters (as
+    [cxxlookup_session_<name>_total]), live gauges (epoch, classes,
+    memo entries) and its table cache's series to [registry], all
+    labelled [session=<name>].  Reopening a name replaces the closed
+    session's series. *)
+val register : t -> Telemetry.Registry.t -> unit

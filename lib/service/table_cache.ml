@@ -161,3 +161,28 @@ let counters t =
 
 let hits t = Telemetry.Counter.value t.hits
 let misses t = Telemetry.Counter.value t.misses
+
+(* Exposition: cxxlookup_table_*_total counters plus live-size gauges,
+   labelled by the owning session so several caches coexist in one
+   registry. *)
+let register t ?(labels = []) registry =
+  List.iter
+    (fun c ->
+      Telemetry.Registry.attach_counter registry ~labels
+        ~help:
+          (Printf.sprintf "Compiled-table cache counter %s."
+             (Telemetry.Counter.name c))
+        (Printf.sprintf "cxxlookup_%s_total" (Telemetry.Counter.name c))
+        c)
+    [ t.hits; t.misses; t.promotions; t.evictions; t.invalidations ];
+  Telemetry.Registry.gauge registry ~labels
+    ~help:"Resident compiled columns." "cxxlookup_table_entries"
+    (fun () -> entries t);
+  Telemetry.Registry.gauge registry ~labels
+    ~help:"Resident packed column bytes (the budgeted quantity)."
+    "cxxlookup_table_bytes"
+    (fun () -> bytes t);
+  Telemetry.Registry.gauge registry ~labels
+    ~help:"Boxed-equivalent bytes of the resident columns."
+    "cxxlookup_table_boxed_bytes"
+    (fun () -> boxed_bytes t)

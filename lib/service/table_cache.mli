@@ -78,3 +78,11 @@ val counters : t -> (string * int) list
 
 val hits : t -> int
 val misses : t -> int
+
+(** [register t ?labels registry] attaches the five counters (as
+    [cxxlookup_table_<name>_total]) and live-size gauges
+    ([cxxlookup_table_entries] / [_bytes] / [_boxed_bytes]) to
+    [registry], all under [labels] (typically
+    [[("session", name)]]). *)
+val register :
+  t -> ?labels:(string * string) list -> Telemetry.Registry.t -> unit

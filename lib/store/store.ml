@@ -26,6 +26,11 @@ type t = {
   replayed_records : Telemetry.Counter.t;
   torn_records_skipped : Telemetry.Counter.t;
   compactions : Telemetry.Counter.t;
+  (* latency distributions, shared by every session WAL under this store *)
+  wal_append_ns : Telemetry.Histogram.t;
+  wal_fsync_ns : Telemetry.Histogram.t;
+  snapshot_write_ns : Telemetry.Histogram.t;
+  snapshot_restore_ns : Telemetry.Histogram.t;
 }
 
 let mkdir_p path =
@@ -54,7 +59,11 @@ let open_dir ?(config = default_config) dir =
     recoveries = Telemetry.Counter.make "store_recoveries";
     replayed_records = Telemetry.Counter.make "store_replayed_records";
     torn_records_skipped = Telemetry.Counter.make "store_torn_records_skipped";
-    compactions = Telemetry.Counter.make "store_compactions" }
+    compactions = Telemetry.Counter.make "store_compactions";
+    wal_append_ns = Telemetry.Histogram.create ();
+    wal_fsync_ns = Telemetry.Histogram.create ();
+    snapshot_write_ns = Telemetry.Histogram.create ();
+    snapshot_restore_ns = Telemetry.Histogram.create () }
 
 let dir t = t.dir
 let config t = t.config
@@ -130,7 +139,10 @@ let wal t name =
   | Some w -> w
   | None ->
     mkdir_p (session_dir t name);
-    let w = Wal.open_append ~fsync:t.config.fsync (wal_path t name) in
+    let w =
+      Wal.open_append ~fsync:t.config.fsync ~append_ns:t.wal_append_ns
+        ~fsync_ns:t.wal_fsync_ns (wal_path t name)
+    in
     Hashtbl.add t.wals name w;
     w
 
@@ -162,8 +174,12 @@ let recover t name =
           (Printf.sprintf "session %S: no snapshot of %d decodes" name
              (List.length files))
       | (_, path) :: rest ->
+        let t0 = Telemetry.Clock.now_ns () in
         (match Snapshot.read_file path with
-        | Ok s -> Ok (s, skipped)
+        | Ok s ->
+          Telemetry.Histogram.record t.snapshot_restore_ns
+            (Telemetry.Clock.elapsed_ns ~since:t0);
+          Ok (s, skipped)
         | Error _ -> pick (skipped + 1) rest)
     in
     (match pick 0 files with
@@ -213,7 +229,10 @@ let write_snapshot t snap =
   let path =
     Filename.concat (session_dir t name) (snap_name snap.Snapshot.s_epoch)
   in
+  let t0 = Telemetry.Clock.now_ns () in
   let bytes = Snapshot.write_file path snap in
+  Telemetry.Histogram.record t.snapshot_write_ns
+    (Telemetry.Clock.elapsed_ns ~since:t0);
   (* order matters: records become redundant only once the snapshot is
      safely on disk, so the WAL resets strictly after the rename *)
   Wal.reset (wal t name);
@@ -258,3 +277,32 @@ let counters t =
     [ t.snapshots_written; t.snapshot_bytes; t.wal_appends;
       t.wal_append_bytes; t.wal_fsyncs; t.recoveries; t.replayed_records;
       t.torn_records_skipped; t.compactions ]
+
+let histograms t =
+  [ ("wal_append_ns", t.wal_append_ns);
+    ("wal_fsync_ns", t.wal_fsync_ns);
+    ("snapshot_write_ns", t.snapshot_write_ns);
+    ("snapshot_restore_ns", t.snapshot_restore_ns) ]
+
+(* Exposition names: store_<counter> already carries its subsystem, the
+   renderer adds the cxxlookup_ prefix and _total suffix for counters. *)
+let register t registry =
+  List.iter
+    (fun c ->
+      Telemetry.Registry.attach_counter registry
+        ~help:
+          (Printf.sprintf "Store counter %s (lifetime of this process)."
+             (Telemetry.Counter.name c))
+        (Printf.sprintf "cxxlookup_%s_total" (Telemetry.Counter.name c))
+        c)
+    [ t.snapshots_written; t.snapshot_bytes; t.wal_appends;
+      t.wal_append_bytes; t.wal_fsyncs; t.recoveries; t.replayed_records;
+      t.torn_records_skipped; t.compactions ];
+  List.iter
+    (fun (name, h) ->
+      Telemetry.Registry.attach_histogram registry
+        ~help:(Printf.sprintf "Store %s latency distribution."
+                 (String.concat " " (String.split_on_char '_' name)))
+        (Printf.sprintf "cxxlookup_store_%s" name)
+        h)
+    (histograms t)

@@ -100,3 +100,14 @@ val close : t -> unit
     [store_recoveries], [store_replayed_records],
     [store_torn_records_skipped], [store_compactions]. *)
 val counters : t -> (string * int) list
+
+(** Latency distributions, all in nanoseconds and shared across every
+    session WAL under this store: [wal_append_ns] (frame + write, not
+    the policy fsync), [wal_fsync_ns], [snapshot_write_ns],
+    [snapshot_restore_ns] (successful decodes only). *)
+val histograms : t -> (string * Telemetry.Histogram.t) list
+
+(** [register t registry] attaches every counter (as
+    [cxxlookup_store_<name>_total]) and every latency histogram (as
+    [cxxlookup_store_<name>]) to [registry] for Prometheus exposition. *)
+val register : t -> Telemetry.Registry.t -> unit

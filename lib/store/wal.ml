@@ -74,9 +74,11 @@ type t = {
   mutable since_sync : int;
   mutable appends : int;
   mutable fsyncs : int;
+  append_ns : Telemetry.Histogram.t option;  (* shared observability *)
+  fsync_ns : Telemetry.Histogram.t option;
 }
 
-let open_append ?(fsync = Every 8) path =
+let open_append ?(fsync = Every 8) ?append_ns ?fsync_ns path =
   (match fsync with
   | Every n when n < 1 -> invalid_arg "Wal.open_append: Every must be >= 1"
   | _ -> ());
@@ -96,14 +98,24 @@ let open_append ?(fsync = Every 8) path =
       tail.tl_valid_bytes
     end
   in
-  { path; fd; fsync; size; since_sync = 0; appends = 0; fsyncs = 0 }
+  { path; fd; fsync; size; since_sync = 0; appends = 0; fsyncs = 0;
+    append_ns; fsync_ns }
+
+let observe hist since =
+  match hist with
+  | None -> ()
+  | Some h ->
+    Telemetry.Histogram.record h (Telemetry.Clock.elapsed_ns ~since)
 
 let sync t =
+  let t0 = Telemetry.Clock.now_ns () in
   Unix.fsync t.fd;
+  observe t.fsync_ns t0;
   t.fsyncs <- t.fsyncs + 1;
   t.since_sync <- 0
 
 let append t ~epoch mutation =
+  let t0 = Telemetry.Clock.now_ns () in
   let pw = B.Writer.create () in
   B.Writer.i64 pw epoch;
   Mutation.write pw mutation;
@@ -121,6 +133,9 @@ let append t ~epoch mutation =
   t.size <- t.size + n;
   t.appends <- t.appends + 1;
   t.since_sync <- t.since_sync + 1;
+  (* append latency covers frame + write, not the policy's fsync —
+     fsync cost has its own distribution *)
+  observe t.append_ns t0;
   (match t.fsync with
   | Always -> sync t
   | Every k -> if t.since_sync >= k then sync t

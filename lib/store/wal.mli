@@ -45,9 +45,17 @@ val read_file : string -> tail
 
 type t
 
-(** [open_append ?fsync path] opens (creating if needed) for append,
-    truncating any torn tail first.  [fsync] defaults to [Every 8]. *)
-val open_append : ?fsync:fsync_policy -> string -> t
+(** [open_append ?fsync ?append_ns ?fsync_ns path] opens (creating if
+    needed) for append, truncating any torn tail first.  [fsync]
+    defaults to [Every 8].  [append_ns]/[fsync_ns] are shared latency
+    histograms (typically the store's): every append's write time and
+    every fsync's duration are recorded into them. *)
+val open_append :
+  ?fsync:fsync_policy ->
+  ?append_ns:Telemetry.Histogram.t ->
+  ?fsync_ns:Telemetry.Histogram.t ->
+  string ->
+  t
 
 (** [append t ~epoch m] frames, checksums and writes one record;
     returns the bytes appended. *)

@@ -1,0 +1,363 @@
+(* A small, pure-OCaml validator for the Prometheus text exposition
+   format 0.0.4 — the `make metrics-smoke` checker.  It is a consumer's
+   view of the format, independent of the renderer, so renderer bugs
+   (bad label syntax, TYPE after samples, non-cumulative buckets,
+   counters that go backwards between scrapes) fail loudly instead of
+   only surfacing in a real Prometheus.
+
+   Checks, per scrape:
+     - line grammar: `# HELP name text`, `# TYPE name type`, or
+       `name[{labels}] value`
+     - metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*
+       (labels without the ':'), label values are quoted, escapes are
+       limited to backslash, quote and newline
+     - at most one HELP/TYPE per name, TYPE before that name's samples,
+       TYPE is one of counter|gauge|histogram|summary|untyped
+     - no duplicate (name, labels) sample
+     - values parse as numbers; counter values are >= 0
+     - histograms: per label-set, `_bucket` series carry `le`, the
+       cumulative counts are monotone in `le`, a `+Inf` bucket exists
+       and equals `_count`
+   And across two scrapes ([check_monotone]): every counter series
+   present in both has a value in the later scrape >= the earlier. *)
+
+type series = { sr_type : string; sr_samples : (string * float) list }
+(* samples keyed by the canonical rendered label string *)
+
+type scrape = {
+  sc_series : (string * series) list;  (* by metric name, in order *)
+  sc_samples : int;
+}
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_metric_name n =
+  n <> "" && is_name_start n.[0] && String.for_all is_name_char n
+
+let valid_label_name n =
+  n <> ""
+  && (let c = n.[0] in
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9') || c = '_')
+       n
+
+let ( let* ) = Result.bind
+
+let fail lineno fmt =
+  Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+
+(* Parse `{k="v",...}`; returns the canonical label string (sorted) and
+   the label assoc. *)
+let parse_labels lineno s pos =
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let labels = ref [] in
+  let rec skip_ws i = if i < n && s.[i] = ' ' then skip_ws (i + 1) else i in
+  let rec label i =
+    let i = skip_ws i in
+    let start = i in
+    let rec name j = if j < n && is_name_char s.[j] then name (j + 1) else j in
+    let j = name i in
+    if j = start then fail lineno "empty label name"
+    else
+      let lname = String.sub s start (j - start) in
+      if not (valid_label_name lname) then
+        fail lineno "invalid label name %S" lname
+      else
+        let j = skip_ws j in
+        if j >= n || s.[j] <> '=' then fail lineno "expected '=' after label name"
+        else
+          let j = skip_ws (j + 1) in
+          if j >= n || s.[j] <> '"' then fail lineno "label value must be quoted"
+          else begin
+            Buffer.clear buf;
+            let rec value k =
+              if k >= n then fail lineno "unterminated label value"
+              else
+                match s.[k] with
+                | '"' -> Ok (k + 1)
+                | '\\' ->
+                  if k + 1 >= n then fail lineno "dangling escape"
+                  else
+                    (match s.[k + 1] with
+                    | '\\' -> Buffer.add_char buf '\\'; value (k + 2)
+                    | '"' -> Buffer.add_char buf '"'; value (k + 2)
+                    | 'n' -> Buffer.add_char buf '\n'; value (k + 2)
+                    | c -> fail lineno "bad escape '\\%c' in label value" c)
+                | c -> Buffer.add_char buf c; value (k + 1)
+            in
+            let* k = value (j + 1) in
+            labels := (lname, Buffer.contents buf) :: !labels;
+            let k = skip_ws k in
+            if k < n && s.[k] = ',' then label (k + 1)
+            else if k < n && s.[k] = '}' then Ok (k + 1)
+            else fail lineno "expected ',' or '}' in label set"
+          end
+  in
+  let* after =
+    let i = skip_ws pos in
+    if i < n && s.[i] = '}' then Ok (i + 1) (* empty {} *) else label i
+  in
+  let canon =
+    List.sort compare !labels
+    |> List.map (fun (k, v) -> k ^ "=" ^ String.escaped v)
+    |> String.concat ","
+  in
+  Ok (canon, List.rev !labels, after)
+
+type line =
+  | Help of string
+  | Type of string * string
+  | Sample of string * string * (string * string) list * float
+  | Blank
+
+let parse_line lineno s =
+  if String.trim s = "" then Ok Blank
+  else if String.length s >= 1 && s.[0] = '#' then begin
+    match String.split_on_char ' ' s with
+    | "#" :: "HELP" :: name :: _rest ->
+      if valid_metric_name name then Ok (Help name)
+      else fail lineno "HELP for invalid metric name %S" name
+    | "#" :: "TYPE" :: name :: ty :: [] ->
+      if not (valid_metric_name name) then
+        fail lineno "TYPE for invalid metric name %S" name
+      else if
+        not (List.mem ty [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+      then fail lineno "unknown TYPE %S for %s" ty name
+      else Ok (Type (name, ty))
+    | "#" :: "TYPE" :: _ -> fail lineno "malformed TYPE line"
+    | _ -> Ok Blank (* arbitrary comment *)
+  end
+  else begin
+    let n = String.length s in
+    let rec name j = if j < n && is_name_char s.[j] then name (j + 1) else j in
+    let j = name 0 in
+    if j = 0 then fail lineno "expected a metric name"
+    else
+      let mname = String.sub s 0 j in
+      if not (valid_metric_name mname) then
+        fail lineno "invalid metric name %S" mname
+      else
+        let* canon, labels, j =
+          if j < n && s.[j] = '{' then parse_labels lineno s (j + 1)
+          else Ok ("", [], j)
+        in
+        let rest = String.trim (String.sub s j (n - j)) in
+        (* a sample may carry an optional timestamp; take the first tok *)
+        let value_s =
+          match String.index_opt rest ' ' with
+          | Some i -> String.sub rest 0 i
+          | None -> rest
+        in
+        let value =
+          match value_s with
+          | "+Inf" -> Some infinity
+          | "-Inf" -> Some neg_infinity
+          | "NaN" -> Some nan
+          | v -> float_of_string_opt v
+        in
+        (match value with
+        | None -> fail lineno "sample value %S is not a number" value_s
+        | Some v -> Ok (Sample (mname, canon, labels, v)))
+  end
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let series : (string, series ref) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let helps = Hashtbl.create 16 in
+  let samples = ref 0 in
+  let get name =
+    match Hashtbl.find_opt series name with
+    | Some r -> r
+    | None ->
+      let r = ref { sr_type = "untyped"; sr_samples = [] } in
+      Hashtbl.add series name r;
+      order := name :: !order;
+      r
+  in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | l :: rest ->
+      let* parsed = parse_line lineno l in
+      let* () =
+        match parsed with
+        | Blank -> Ok ()
+        | Help name ->
+          if Hashtbl.mem helps name then
+            fail lineno "duplicate HELP for %s" name
+          else begin
+            Hashtbl.add helps name ();
+            Ok ()
+          end
+        | Type (name, ty) ->
+          if Hashtbl.mem series name then
+            fail lineno "TYPE for %s after its samples (or duplicate TYPE)"
+              name
+          else begin
+            let r = get name in
+            r := { !r with sr_type = ty };
+            Ok ()
+          end
+        | Sample (name, canon, _labels, v) ->
+          (* histogram/summary child series belong to the base name *)
+          let base =
+            let strip suffix =
+              if Filename.check_suffix name suffix then
+                Some (String.sub name 0 (String.length name - String.length suffix))
+              else None
+            in
+            match (strip "_bucket", strip "_sum", strip "_count") with
+            | Some b, _, _ when Hashtbl.mem series b -> b
+            | _, Some b, _ when Hashtbl.mem series b -> b
+            | _, _, Some b when Hashtbl.mem series b -> b
+            | _ -> name
+          in
+          let child = if base = name then "" else String.sub name (String.length base) (String.length name - String.length base) in
+          let r = get base in
+          let k = child ^ "\x00" ^ canon in
+          if List.mem_assoc k !r.sr_samples then
+            fail lineno "duplicate sample %s{%s}" name canon
+          else begin
+            incr samples;
+            r := { !r with sr_samples = (k, v) :: !r.sr_samples };
+            (match !r.sr_type with
+            | "counter" when Float.is_nan v || v < 0. ->
+              fail lineno "counter %s has non-monotone-capable value %g" name v
+            | _ -> Ok ())
+          end
+      in
+      go (lineno + 1) rest
+  in
+  let* () = go 1 lines in
+  let sc =
+    { sc_series =
+        List.rev_map
+          (fun name -> (name, !(Hashtbl.find series name)))
+          !order;
+      sc_samples = !samples }
+  in
+  Ok sc
+
+(* Structural histogram checks over a parsed scrape. *)
+let check_histograms sc =
+  let rec go = function
+    | [] -> Ok ()
+    | (name, s) :: rest when s.sr_type = "histogram" ->
+      (* group bucket samples by label set (canon minus the le label) *)
+      let buckets = Hashtbl.create 8 in
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun (k, v) ->
+          match String.index_opt k '\x00' with
+          | None -> ()
+          | Some i ->
+            let child = String.sub k 0 i in
+            let canon = String.sub k (i + 1) (String.length k - i - 1) in
+            if child = "_bucket" then begin
+              (* split out le=... from the canon string *)
+              let parts =
+                String.split_on_char ',' canon
+                |> List.partition (fun p ->
+                       String.length p >= 3 && String.sub p 0 3 = "le=")
+              in
+              match parts with
+              | [ le ], others ->
+                let key = String.concat "," others in
+                let le_v = String.sub le 3 (String.length le - 3) in
+                let prev =
+                  match Hashtbl.find_opt buckets key with
+                  | Some l -> l
+                  | None -> []
+                in
+                Hashtbl.replace buckets key ((le_v, v) :: prev)
+              | _ -> ()
+            end
+            else if child = "_count" then Hashtbl.replace counts canon v)
+        s.sr_samples;
+      let err = ref None in
+      Hashtbl.iter
+        (fun key les ->
+          if !err = None then begin
+            let le_value s =
+              (* canon escaped the quotes' content; values are plain *)
+              match s with
+              | "+Inf" -> infinity
+              | s -> (try float_of_string s with _ -> nan)
+            in
+            let sorted =
+              List.sort
+                (fun (a, _) (b, _) -> compare (le_value a) (le_value b))
+                les
+            in
+            let rec monotone prev = function
+              | [] -> true
+              | (_, v) :: rest -> v >= prev && monotone v rest
+            in
+            if not (monotone 0. sorted) then
+              err :=
+                Some
+                  (Printf.sprintf "histogram %s{%s}: bucket counts not cumulative"
+                     name key)
+            else
+              match List.rev sorted with
+              | ("+Inf", total) :: _ ->
+                (match Hashtbl.find_opt counts key with
+                | Some c when c <> total ->
+                  err :=
+                    Some
+                      (Printf.sprintf
+                         "histogram %s{%s}: +Inf bucket %g <> _count %g" name
+                         key total c)
+                | Some _ -> ()
+                | None ->
+                  err :=
+                    Some (Printf.sprintf "histogram %s{%s}: missing _count" name key))
+              | _ ->
+                err :=
+                  Some (Printf.sprintf "histogram %s{%s}: no +Inf bucket" name key)
+          end)
+        buckets;
+      (match !err with Some e -> Error e | None -> go rest)
+    | _ :: rest -> go rest
+  in
+  go sc.sc_series
+
+let check text =
+  let* sc = parse text in
+  let* () = check_histograms sc in
+  Ok sc.sc_samples
+
+(* Counters (and histogram bucket/count/sum children of histograms)
+   must not go backwards between two scrapes of the same process. *)
+let check_monotone ~prev ~next =
+  let* p = parse prev in
+  let* n = parse next in
+  let rec go = function
+    | [] -> Ok ()
+    | (name, ns) :: rest ->
+      (match List.assoc_opt name p.sc_series with
+      | Some ps when ps.sr_type = ns.sr_type
+                     && (ns.sr_type = "counter" || ns.sr_type = "histogram") ->
+        let rec cmp = function
+          | [] -> Ok ()
+          | (k, nv) :: more ->
+            (match List.assoc_opt k ps.sr_samples with
+            | Some pv when nv < pv ->
+              Error
+                (Printf.sprintf "%s series %S went backwards: %g -> %g" name
+                   (String.map (fun c -> if c = '\x00' then '|' else c) k)
+                   pv nv)
+            | _ -> cmp more)
+        in
+        let* () = cmp ns.sr_samples in
+        go rest
+      | _ -> go rest)
+  in
+  go n.sc_series

@@ -1,0 +1,12 @@
+(** A pure-OCaml validator for the Prometheus text exposition format
+    0.0.4 — the consumer-side check behind `make metrics-smoke`.
+    Validates line grammar, metric/label name syntax, HELP/TYPE
+    placement, duplicate samples, counter value sanity, and histogram
+    structure (cumulative buckets, +Inf bucket equal to _count). *)
+
+val check : string -> (int, string) result
+(** Validate one scrape; [Ok n] returns the number of samples. *)
+
+val check_monotone : prev:string -> next:string -> (unit, string) result
+(** Across two scrapes of the same process: every counter or histogram
+    series present in both must not decrease. *)

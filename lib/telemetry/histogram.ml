@@ -1,0 +1,201 @@
+(* Log-bucketed latency/size histogram, HDR-style.
+
+   The bucket layout is FIXED — the same for every histogram ever
+   created — so two histograms recorded on different domains (or
+   different machines) merge losslessly by adding bucket counts, and
+   encodings are deterministic.
+
+   Layout: non-negative values; [sub_bits] = 3, so each power-of-two
+   octave is split into 8 linear sub-buckets.  Values below 2^sub_bits
+   get one bucket each (exact).  A value v with top bit p >= sub_bits
+   lands in bucket (p - sub_bits) * 8 + (v lsr (p - sub_bits)); the
+   bucket spans [lo, lo + 2^(p - sub_bits)), so every quantile estimate
+   carries a relative error of at most 2^-sub_bits = 12.5% (the bucket
+   width over its lower bound).  62 octaves cover the full positive
+   int range in 488 buckets. *)
+
+let sub_bits = 3
+let sub_count = 1 lsl sub_bits (* 8 *)
+
+(* Highest bucket index + 1: values < 2^sub_bits take indices 0..15
+   under the general formula's degenerate prefix; see [index]. *)
+let num_buckets = (62 - sub_bits) * sub_count + (2 * sub_count)
+
+let top_bit v =
+  (* position of the most significant set bit; v > 0 *)
+  let rec go v p = if v <= 1 then p else go (v lsr 1) (p + 1) in
+  go v 0
+
+let index v =
+  let v = if v < 0 then 0 else v in
+  if v < 2 * sub_count then v (* exact buckets 0..15 *)
+  else
+    let p = top_bit v in
+    ((p - sub_bits) * sub_count) + (v lsr (p - sub_bits))
+
+(* Inclusive lower bound of bucket [i]. *)
+let lower_bound i =
+  if i < 2 * sub_count then i
+  else
+    let q = (i / sub_count) - 1 in
+    let r = i land (sub_count - 1) in
+    (sub_count + r) lsl q
+
+(* Inclusive upper bound of bucket [i] (= next bucket's lower - 1). *)
+let upper_bound i =
+  if i < 2 * sub_count - 1 then i
+  else if i = num_buckets - 1 then max_int
+  else lower_bound (i + 1) - 1
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;  (* exact extremes, tracked outside the buckets *)
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make num_buckets 0;
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = 0 }
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  t.counts.(index v) <- t.counts.(index v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+let is_empty t = t.count = 0
+
+let reset t =
+  Array.fill t.counts 0 num_buckets 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0
+
+(* Lossless merge: bucket layouts are identical by construction, so the
+   merge of two histograms is exactly the histogram of the concatenated
+   record streams (associative and commutative — the join step of a
+   parallel build). *)
+let merge_into ~into src =
+  for i = 0 to num_buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.count > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let copy t =
+  let c = create () in
+  merge_into ~into:c t;
+  c
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum
+  && (a.count = 0 || (a.min_v = b.min_v && a.max_v = b.max_v))
+  && a.counts = b.counts
+
+(* The q-quantile estimate: the upper bound of the bucket holding the
+   ceil(q * count)-th observation, clamped to the exact recorded
+   extremes — so p0 is the true minimum, p100 the true maximum, and
+   anything between is within its bucket's bounds (<= 12.5% relative
+   error). *)
+let quantile t q =
+  if t.count = 0 then 0
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank =
+      max 1 (int_of_float (ceil (q *. float_of_int t.count)))
+    in
+    let rec go i seen =
+      if i >= num_buckets then t.max_v
+      else
+        let seen = seen + t.counts.(i) in
+        if seen >= rank then upper_bound i else go (i + 1) seen
+    in
+    let v = go 0 0 in
+    if v < t.min_v then t.min_v else if v > t.max_v then t.max_v else v
+  end
+
+(* Bounds of the bucket that answered [quantile t q] — the interval the
+   true quantile is guaranteed to lie in. *)
+let quantile_bounds t q =
+  if t.count = 0 then (0, 0)
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank =
+      max 1 (int_of_float (ceil (q *. float_of_int t.count)))
+    in
+    let rec go i seen =
+      if i >= num_buckets then (t.min_v, t.max_v)
+      else
+        let seen = seen + t.counts.(i) in
+        if seen >= rank then (lower_bound i, upper_bound i) else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+let observations_above t threshold =
+  (* exact for thresholds on bucket boundaries; otherwise counts whole
+     buckets strictly above the threshold's bucket plus that bucket if
+     its lower bound exceeds the threshold — callers use it for
+     slow-query counts where the threshold is a bucket bound anyway *)
+  let rec go i acc =
+    if i >= num_buckets then acc
+    else
+      go (i + 1)
+        (if lower_bound i > threshold then acc + t.counts.(i) else acc)
+  in
+  go 0 0
+
+(* Cumulative counts at power-of-two boundaries, for exposition: pairs
+   (le, cumulative) for le = 1, 2, 4, ... up to the first power of two
+   >= the maximum recorded value (at least 1).  Coarser than the
+   internal 8-per-octave buckets, but deterministic and compact; the
+   +Inf bucket is the total count and is the renderer's job. *)
+let exposition_buckets t =
+  let rec boundaries le acc =
+    let cum = ref 0 in
+    for i = 0 to num_buckets - 1 do
+      if upper_bound i <= le then cum := !cum + t.counts.(i)
+    done;
+    let acc = (le, !cum) :: acc in
+    if le >= t.max_v || le >= max_int / 2 then List.rev acc
+    else boundaries (le * 2) acc
+  in
+  boundaries 1 []
+
+let percentile_fields t =
+  [ ("p50", quantile t 0.50); ("p90", quantile t 0.90);
+    ("p99", quantile t 0.99); ("p999", quantile t 0.999);
+    ("max", max_value t) ]
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "empty"
+  else begin
+    Format.fprintf ppf "n=%d mean=%.0f" t.count (mean t);
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf " %s=%d" k v)
+      (percentile_fields t)
+  end

@@ -1,0 +1,68 @@
+(** Log-bucketed latency/size histogram with a fixed, universal bucket
+    layout: O(1) record, lossless merge (merging two histograms yields
+    exactly the histogram of the concatenated record streams), and
+    quantile estimation with a documented error bound.
+
+    Buckets: values below 16 are exact; every power-of-two octave above
+    is split into 8 linear sub-buckets, so any quantile estimate lies
+    within its bucket's bounds — at most 2^-3 = 12.5% relative error.
+    Extremes are tracked exactly, so [quantile t 0.] and [quantile t 1.]
+    are the true minimum and maximum. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one non-negative observation (negatives clamp to 0). *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+val is_empty : t -> bool
+val reset : t -> unit
+
+val merge_into : into:t -> t -> unit
+(** Add [src]'s buckets into [into]; lossless, associative,
+    commutative. *)
+
+val merge : t -> t -> t
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Structural equality of the full bucket state (the determinism
+    contract: per-domain histograms merged in any order compare
+    equal). *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for q in [0,1]: the upper bound of the bucket holding
+    the ceil(q*count)-th observation, clamped to the exact extremes.
+    0 on an empty histogram. *)
+
+val quantile_bounds : t -> float -> int * int
+(** The (lower, upper) bounds of the bucket that answers [quantile]:
+    the true quantile is guaranteed to lie in this interval. *)
+
+val observations_above : t -> int -> int
+(** Observations whose bucket lies strictly above the threshold
+    (approximate when the threshold is not a bucket boundary — may
+    undercount by at most one bucket). *)
+
+val exposition_buckets : t -> (int * int) list
+(** Cumulative (le, count) pairs at power-of-two boundaries up to the
+    maximum recorded value — the Prometheus bucket view.  The +Inf
+    bucket (= [count]) is the renderer's job. *)
+
+val percentile_fields : t -> (string * int) list
+(** [("p50", _); ("p90", _); ("p99", _); ("p999", _); ("max", _)]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val index : int -> int
+val lower_bound : int -> int
+val upper_bound : int -> int
+val num_buckets : int

@@ -1,0 +1,98 @@
+(* Prometheus text exposition format 0.0.4 over a registry snapshot.
+
+   One HELP and one TYPE line per metric name, then one sample line per
+   series; histograms expand to cumulative `_bucket{le="..."}` samples
+   at power-of-two boundaries plus `_sum` and `_count`.  The registry's
+   collect order is deterministic, so two renders of the same state are
+   byte-identical — which is what makes the atomic-rewrite
+   textfile-collector mode and the cram goldens stable. *)
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> k ^ "=\"" ^ escape_label_value v ^ "\"")
+           labels)
+    ^ "}"
+
+let type_string = function
+  | Registry.Counter _ -> "counter"
+  | Registry.Gauge _ -> "gauge"
+  | Registry.Histogram _ -> "histogram"
+
+let add_sample buf name labels value =
+  Buffer.add_string buf name;
+  Buffer.add_string buf (render_labels labels);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int value);
+  Buffer.add_char buf '\n'
+
+let add_series buf (s : Registry.series) =
+  match s.s_instrument with
+  | Registry.Counter c -> add_sample buf s.s_name s.s_labels (Counter.value c)
+  | Registry.Gauge read -> add_sample buf s.s_name s.s_labels (read ())
+  | Registry.Histogram h ->
+    List.iter
+      (fun (le, cum) ->
+        add_sample buf (s.s_name ^ "_bucket")
+          (s.s_labels @ [ ("le", string_of_int le) ])
+          cum)
+      (Histogram.exposition_buckets h);
+    add_sample buf (s.s_name ^ "_bucket")
+      (s.s_labels @ [ ("le", "+Inf") ])
+      (Histogram.count h);
+    add_sample buf (s.s_name ^ "_sum") s.s_labels (Histogram.sum h);
+    add_sample buf (s.s_name ^ "_count") s.s_labels (Histogram.count h)
+
+let render registry =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, series) ->
+      (match series with
+      | [] -> ()
+      | s :: _ ->
+        if s.Registry.s_help <> "" then begin
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" name
+               (escape_help s.Registry.s_help))
+        end;
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" name
+             (type_string s.Registry.s_instrument)));
+      List.iter (add_series buf) series)
+    (Registry.collect registry);
+  Buffer.contents buf
+
+(* Textfile-collector style: write the whole exposition to a temp file
+   in the target's directory, then rename over it, so a scraper never
+   observes a half-written file. *)
+let write_file path registry =
+  let data = render registry in
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc -> Out_channel.output_string oc data);
+  Sys.rename tmp path;
+  String.length data

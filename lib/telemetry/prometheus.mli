@@ -1,0 +1,13 @@
+(** Prometheus text exposition format 0.0.4 renderer over a
+    {!Registry}.  Deterministic: two renders of the same registry state
+    are byte-identical. *)
+
+val render : Registry.t -> string
+
+val write_file : string -> Registry.t -> int
+(** Atomically rewrite [path] (tmp + rename in the same directory) with
+    the current exposition; returns the byte count written —
+    textfile-collector style, a scraper never sees a torn file. *)
+
+val escape_label_value : string -> string
+val render_labels : (string * string) list -> string

@@ -1,0 +1,38 @@
+(* Fixed-size ring buffer: the flight recorder's storage.  Pushing past
+   capacity overwrites the oldest entry; [to_list] returns survivors
+   oldest-first. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mutable next : int;  (* slot the next push lands in *)
+  mutable pushed : int;  (* total pushes ever *)
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  { slots = Array.make capacity None; next = 0; pushed = 0 }
+
+let capacity t = Array.length t.slots
+
+let push t v =
+  t.slots.(t.next) <- Some v;
+  t.next <- (t.next + 1) mod Array.length t.slots;
+  t.pushed <- t.pushed + 1
+
+let length t = min t.pushed (Array.length t.slots)
+let pushed t = t.pushed
+let is_empty t = t.pushed = 0
+
+let to_list t =
+  let cap = Array.length t.slots in
+  let n = length t in
+  let start = (t.next - n + cap * 2) mod cap in
+  List.init n (fun i ->
+      match t.slots.((start + i) mod cap) with
+      | Some v -> v
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next <- 0;
+  t.pushed <- 0

@@ -1,0 +1,19 @@
+(** Fixed-size ring buffer holding the last N pushed values (the flight
+    recorder's storage). *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity]; capacity must be >= 1. *)
+
+val capacity : 'a t -> int
+val push : 'a t -> 'a -> unit
+val length : 'a t -> int
+val pushed : 'a t -> int
+(** Total pushes ever, including overwritten ones. *)
+
+val is_empty : 'a t -> bool
+val to_list : 'a t -> 'a list
+(** Surviving entries, oldest first. *)
+
+val clear : 'a t -> unit

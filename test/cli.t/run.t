@@ -258,10 +258,13 @@ class, then a member added mid-hierarchy), stats, close.
   {"id":13,"ok":false,"error":{"code":"unknown_session","message":"no open session \"f\""}}
 
 Service-level stats (no session argument) aggregate over the run; a
-fresh server has clean counters.
+fresh server has clean counters.  The uptime is wall-clock, so it is
+normalized here; the per-verb and per-error-code maps count only the
+requests seen so far (the stats request itself is tallied after it is
+answered).
 
-  $ echo '{"id":0,"op":"stats"}' | cxxlookup serve
-  {"id":0,"ok":true,"protocol":"cxxlookup-rpc/1","service":{"requests":1,"errors":0,"sessions_opened":0,"sessions_closed":0,"lookups":0,"batch_requests":0,"batch_queries":0,"mutations":0,"lints":0,"sessions_open":0},"sessions":[]}
+  $ echo '{"id":0,"op":"stats"}' | cxxlookup serve | sed 's/"uptime_ns":[0-9]*/"uptime_ns":0/'
+  {"id":0,"ok":true,"protocol":"cxxlookup-rpc/1","service":{"requests":1,"errors":0,"sessions_opened":0,"sessions_closed":0,"lookups":0,"batch_requests":0,"batch_queries":0,"mutations":0,"lints":0,"sessions_open":0,"uptime_ns":0,"verbs":{},"error_codes":{}},"sessions":[]}
 
 Malformed input is answered in-band, line by line, never fatally.
 

@@ -20,6 +20,7 @@ let () =
       ("workload", Test_workload.suite);
       ("slicing", Test_slicing.suite);
       ("telemetry", Test_telemetry.suite);
+      ("observability", Test_observability.suite);
       ("service", Test_service.suite);
       ("store", Test_store.suite);
       ("packed", Test_packed.suite);

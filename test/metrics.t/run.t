@@ -1,0 +1,113 @@
+Prometheus exposition over one translation unit: `cxxlookup metrics`
+runs every engine (eager, memo, incremental, packed) over the paper's
+Figure 1 hierarchy and renders the shared registry.
+
+  $ cxxlookup metrics ../../examples/fig1.cpp > fig1.prom
+
+The exposition validates against the project's own format checker
+(line grammar, HELP/TYPE placement, cumulative histogram buckets).
+
+  $ cxxlookup check-metrics fig1.prom
+  ok: fig1.prom: 84 samples
+
+The metric names are a stable interface: dashboards key on them, so
+renames are breaking changes and must show up in this golden.
+
+  $ grep '^# TYPE' fig1.prom
+  # TYPE cxxlookup_engine_blue_verdicts_total counter
+  # TYPE cxxlookup_engine_classes_visited_total counter
+  # TYPE cxxlookup_engine_column_cost histogram
+  # TYPE cxxlookup_engine_declared_kills_total counter
+  # TYPE cxxlookup_engine_dominance_probes_total counter
+  # TYPE cxxlookup_engine_edge_traversals_total counter
+  # TYPE cxxlookup_engine_incr_closure_bits_total counter
+  # TYPE cxxlookup_engine_incr_row_members_total counter
+  # TYPE cxxlookup_engine_incr_rows_total counter
+  # TYPE cxxlookup_engine_members_processed_total counter
+  # TYPE cxxlookup_engine_memo_hits_total counter
+  # TYPE cxxlookup_engine_memo_misses_total counter
+  # TYPE cxxlookup_engine_memo_recursive_fills_total counter
+  # TYPE cxxlookup_engine_o_extensions_total counter
+  # TYPE cxxlookup_engine_red_demotions_total counter
+  # TYPE cxxlookup_engine_red_verdicts_total counter
+  # TYPE cxxlookup_graph_classes gauge
+  # TYPE cxxlookup_graph_edges gauge
+  # TYPE cxxlookup_graph_members gauge
+  # TYPE cxxlookup_memo_cached_entries gauge
+  # TYPE cxxlookup_packed_boxed_bytes gauge
+  # TYPE cxxlookup_packed_bytes gauge
+
+Figure 1's single ambiguous lookup (E, m) is visible as one blue
+verdict in every engine — the counters are the paper's unit
+operations, so they agree across implementations.
+
+  $ grep 'cxxlookup_engine_blue_verdicts_total' fig1.prom | grep -v '^#'
+  cxxlookup_engine_blue_verdicts_total{engine="eager"} 1
+  cxxlookup_engine_blue_verdicts_total{engine="incremental"} 1
+  cxxlookup_engine_blue_verdicts_total{engine="memo"} 1
+  cxxlookup_engine_blue_verdicts_total{engine="packed"} 1
+
+The packed build fans columns over domains, but the column-cost
+histogram merges losslessly, so the whole exposition is byte-identical
+for any --jobs value.
+
+  $ cxxlookup metrics --jobs 4 ../../examples/fig1.cpp | cmp - fig1.prom
+
+The serve loop exposes the same registry in-band: the `metrics` verb
+returns the exposition as a string body with its content type.
+
+  $ cxxlookup serve <<'EOF' > transcript.jsonl
+  > {"id":0,"op":"open","session":"s","source":"struct A { int m; }; struct B : A {};"}
+  > {"id":1,"op":"lookup","session":"s","class":"B","member":"m"}
+  > {"id":2,"op":"metrics"}
+  > EOF
+  $ sed -n '3p' transcript.jsonl | grep -o '"id":2,"ok":true,"format":"text/plain; version=0.0.4"'
+  "id":2,"ok":true,"format":"text/plain; version=0.0.4"
+
+The in-band body carries the server- and session-level series (the
+session label rides on every per-session metric).
+
+  $ sed -n '3p' transcript.jsonl | grep -c 'cxxlookup_server_requests_total{verb=\\"lookup\\"} 1'
+  1
+  $ sed -n '3p' transcript.jsonl | grep -c 'cxxlookup_session_lookups_total{session=\\"s\\"} 1'
+  1
+
+--metrics-file mirrors the registry to a textfile-collector file,
+rewritten atomically and once more at EOF; the scrape validates.
+
+  $ cxxlookup serve --metrics-file node.prom <<'EOF' > /dev/null
+  > {"id":0,"op":"open","session":"s","source":"struct A { int m; };"}
+  > {"id":1,"op":"lookup","session":"s","class":"A","member":"m"}
+  > EOF
+  $ cxxlookup check-metrics node.prom | sed 's/: [0-9]* samples/: N samples/'
+  ok: node.prom: N samples
+  $ grep -c 'cxxlookup_server_uptime_ns' node.prom
+  3
+
+check-metrics is a real gate: a scrape with non-cumulative buckets is
+rejected with the offending series named.
+
+  $ cat > bad.prom <<'EOF'
+  > # TYPE h histogram
+  > h_bucket{le="1"} 5
+  > h_bucket{le="2"} 3
+  > h_bucket{le="+Inf"} 5
+  > h_sum 9
+  > h_count 5
+  > EOF
+  $ cxxlookup check-metrics bad.prom
+  error: bad.prom: histogram h{}: bucket counts not cumulative
+  [1]
+
+Across two scrapes of the same process, counters must not go
+backwards; --prev enforces it.
+
+  $ printf '# TYPE a_total counter\na_total 5\n' > prev.prom
+  $ printf '# TYPE a_total counter\na_total 4\n' > next.prom
+  $ cxxlookup check-metrics --prev prev.prom next.prom
+  ok: next.prom: 1 samples
+  error: a_total series "|" went backwards: 5 -> 4
+  [1]
+  $ cxxlookup check-metrics --prev next.prom prev.prom | sed 's/: [0-9]* samples/: N samples/'
+  ok: prev.prom: N samples
+  ok: monotone against next.prom

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Flight-recorder smoke test: serve over a fifo, send a few requests,
+# then SIGUSR1 the server and check that it dumps the ring of recent
+# requests to stderr — the live-debugging path for a wedged server.
+# Run from the repository root (make metrics-smoke does).
+set -eu
+
+BIN=${CXXLOOKUP:-_build/default/bin/cxxlookup.exe}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+FIFO="$WORK/in.fifo"
+mkfifo "$FIFO"
+
+"$BIN" serve --jobs 1 <"$FIFO" >"$WORK/out.jsonl" 2>"$WORK/err.log" &
+SERVER=$!
+exec 3>"$FIFO"
+
+printf '%s\n' \
+  '{"id":0,"op":"open","session":"s","source":"struct A { int m; };"}' \
+  '{"id":1,"op":"lookup","session":"s","class":"A","member":"m"}' \
+  '{"id":2,"op":"bogus"}' >&3
+
+i=0
+while [ "$(wc -l <"$WORK/out.jsonl")" -lt 3 ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 200 ]; then
+    echo "flight_recorder: timed out waiting for responses" >&2
+    kill -9 "$SERVER" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.05
+done
+
+kill -USR1 "$SERVER"
+i=0
+while ! grep -q 'end flight recorder' "$WORK/err.log" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 200 ]; then
+    echo "flight_recorder: timed out waiting for the SIGUSR1 dump" >&2
+    kill -9 "$SERVER" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.05
+done
+
+exec 3>&-
+wait "$SERVER"
+
+# The dump names how much it holds, carries one JSON entry per request
+# (oldest first), and flags the failed one with its error code.
+grep -q -- '--- cxxlookup flight recorder: last 3 of 3 requests ---' "$WORK/err.log"
+grep -q '"verb":"lookup","session":"s"' "$WORK/err.log"
+grep -q '"outcome":"unknown_op"' "$WORK/err.log"
+[ "$(grep -c '"seq":' "$WORK/err.log")" -eq 3 ]
+
+echo "flight_recorder: OK"

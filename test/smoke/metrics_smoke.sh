@@ -1,0 +1,70 @@
+#!/bin/sh
+# Metrics smoke test: drive one serve process over a fifo with
+# --metrics-file rewriting on every response, capture two scrapes of
+# the same process, and validate both with the pure-OCaml exposition
+# checker — format on each scrape, counter monotonicity across them.
+# Run from the repository root (make metrics-smoke does).
+set -eu
+
+BIN=${CXXLOOKUP:-_build/default/bin/cxxlookup.exe}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+FIFO="$WORK/in.fifo"
+PROM="$WORK/node.prom"
+mkfifo "$FIFO"
+
+# --metrics-interval 0: rewrite the textfile after every response, so
+# each acknowledged request gives a fresh consistent scrape.
+"$BIN" serve --jobs 1 --metrics-file "$PROM" --metrics-interval 0 \
+  <"$FIFO" >"$WORK/out.jsonl" 2>/dev/null &
+SERVER=$!
+exec 3>"$FIFO"
+
+await_lines() {
+  i=0
+  while [ "$(wc -l <"$WORK/out.jsonl")" -lt "$1" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+      echo "metrics_smoke: timed out waiting for $1 responses" >&2
+      kill -9 "$SERVER" 2>/dev/null || true
+      exit 1
+    fi
+    sleep 0.05
+  done
+}
+
+printf '%s\n' \
+  '{"id":0,"op":"open","session":"s","source":"struct A { int m; }; struct B : A {};"}' \
+  '{"id":1,"op":"lookup","session":"s","class":"B","member":"m"}' >&3
+await_lines 2
+cp "$PROM" "$WORK/scrape1.prom"
+
+# The trailing stats request guarantees the rewrite for the bogus verb
+# has landed before the scrape is copied (the textfile is rewritten
+# after each response, concurrently with our read of the output line).
+printf '%s\n' \
+  '{"id":2,"op":"lookup","session":"s","class":"A","member":"m"}' \
+  '{"id":3,"op":"bogus"}' \
+  '{"id":4,"op":"stats"}' >&3
+await_lines 5
+cp "$PROM" "$WORK/scrape2.prom"
+
+exec 3>&-
+wait "$SERVER"
+
+# Each scrape must be well-formed (HELP/TYPE placement, label syntax,
+# cumulative histogram buckets) ...
+"$BIN" check-metrics "$WORK/scrape1.prom" >/dev/null
+# ... and counters must only ever move forward within one process.
+"$BIN" check-metrics --prev "$WORK/scrape1.prom" "$WORK/scrape2.prom" \
+  >/dev/null
+
+# The series dashboards would alert on are present with the traffic we
+# just sent: 2 lookups, 1 error (the bogus verb), a labelled session.
+grep -q 'cxxlookup_server_requests_total{verb="lookup"} 2' "$WORK/scrape2.prom"
+grep -q 'cxxlookup_server_errors_total{code="unknown_op"} 1' "$WORK/scrape2.prom"
+grep -q 'cxxlookup_session_lookups_total{session="s"} 2' "$WORK/scrape2.prom"
+grep -q 'cxxlookup_server_request_duration_ns_bucket' "$WORK/scrape2.prom"
+
+echo "metrics_smoke: OK"

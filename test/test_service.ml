@@ -478,6 +478,132 @@ let test_server_store_restart () =
         (field r2 "verdict" = J.String "red");
       Store.close store2)
 
+(* ---- observability: metrics verb, stats fields, request log, flight
+   recorder ---- *)
+
+let test_server_metrics_verb () =
+  let srv = Server.create () in
+  ignore (Server.handle_json srv (open_request (graph ())));
+  ignore
+    (Server.handle_line srv
+       {|{"op":"lookup","session":"s","class":"A","member":"foo"}|});
+  let r = Server.handle_line srv {|{"op":"metrics"}|} in
+  Alcotest.(check bool) "metrics ok" true (is_ok r);
+  Alcotest.(check bool) "content type announced" true
+    (field r "format" = J.String "text/plain; version=0.0.4");
+  let body =
+    match field r "body" with
+    | J.String s -> s
+    | _ -> Alcotest.fail "metrics body is not a string"
+  in
+  (match Telemetry.Expocheck.check body with
+  | Ok n -> Alcotest.(check bool) "exposition has samples" true (n > 0)
+  | Error e -> Alcotest.failf "metrics body rejected: %s" e);
+  let has needle =
+    let nl = String.length needle and bl = String.length body in
+    let rec scan i =
+      i + nl <= bl && (String.sub body i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "request counter exposed" true
+    (has "cxxlookup_server_requests_total");
+  Alcotest.(check bool) "per-verb duration histogram exposed" true
+    (has "cxxlookup_server_request_duration_ns_bucket");
+  Alcotest.(check bool) "session series labelled" true
+    (has "session=\"s\"");
+  (* two scrapes of a quiet server must be monotone (the counter moved
+     only by the metrics request in between) *)
+  let r2 = Server.handle_line srv {|{"op":"metrics"}|} in
+  let body2 =
+    match field r2 "body" with J.String s -> s | _ -> assert false
+  in
+  match Telemetry.Expocheck.check_monotone ~prev:body ~next:body2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "scrapes not monotone: %s" e
+
+let test_server_stats_observability_fields () =
+  let srv = Server.create () in
+  ignore (Server.handle_json srv (open_request (graph ())));
+  ignore
+    (Server.handle_line srv
+       {|{"op":"lookup","session":"s","class":"A","member":"foo"}|});
+  ignore (Server.handle_line srv {|{"op":"defragment"}|}) (* unknown_op *);
+  let r = Server.handle_line srv {|{"op":"stats"}|} in
+  let service = field r "service" in
+  (match J.member "uptime_ns" service with
+  | Ok (J.Int ns) ->
+    Alcotest.(check bool) "uptime positive" true (ns >= 0)
+  | _ -> Alcotest.fail "stats lacks service.uptime_ns");
+  (match J.member "verbs" service with
+  | Ok verbs ->
+    Alcotest.(check bool) "per-verb counts" true
+      (J.member "lookup" verbs = Ok (J.Int 1)
+      && J.member "open" verbs = Ok (J.Int 1))
+  | Error e -> Alcotest.failf "stats lacks service.verbs: %s" e);
+  match J.member "error_codes" service with
+  | Ok codes ->
+    Alcotest.(check bool) "per-code counts" true
+      (J.member "unknown_op" codes = Ok (J.Int 1))
+  | Error e -> Alcotest.failf "stats lacks service.error_codes: %s" e
+
+let test_server_request_log_and_flight () =
+  let path = Filename.temp_file "cxxlog" ".jsonl" in
+  let log = Service.Request_log.open_path path in
+  let srv = Server.create ~request_log:log ~slow_ms:0 () in
+  ignore (Server.handle_json srv (open_request (graph ())));
+  ignore
+    (Server.handle_line srv
+       {|{"id":"q1","op":"lookup","session":"s","class":"A","member":"foo"}|});
+  ignore (Server.handle_line srv {|{"op":"nonsense"}|});
+  Service.Request_log.close log;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "one log line per request" 3 (List.length lines);
+  let parsed =
+    List.map
+      (fun l ->
+        match J.of_string l with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "log line not JSON: %s (%s)" l e)
+      lines
+  in
+  let second = List.nth parsed 1 in
+  Alcotest.(check bool) "verb recorded" true
+    (J.member "verb" second = Ok (J.String "lookup"));
+  Alcotest.(check bool) "request id carried" true
+    (J.member "id" second = Ok (J.String "q1"));
+  Alcotest.(check bool) "outcome ok" true
+    (J.member "outcome" second = Ok (J.String "ok"));
+  Alcotest.(check bool) "slow_ms 0 marks everything slow" true
+    (J.member "slow" second = Ok (J.Bool true));
+  Alcotest.(check bool) "response bytes measured when log on" true
+    (match J.member "bytes" second with
+    | Ok (J.Int b) -> b > 0
+    | _ -> false);
+  let third = List.nth parsed 2 in
+  Alcotest.(check bool) "error outcome recorded" true
+    (J.member "outcome" third = Ok (J.String "unknown_op"));
+  (* the flight recorder holds the same requests, oldest first *)
+  let dump = Filename.temp_file "cxxflight" ".txt" in
+  let oc = open_out dump in
+  Server.dump_flight srv oc;
+  close_out oc;
+  let ic = open_in dump in
+  let first_line = input_line ic in
+  close_in ic;
+  Sys.remove dump;
+  Alcotest.(check string) "flight header counts requests"
+    "--- cxxlookup flight recorder: last 3 of 3 requests ---" first_line
+
 (* ---- QCheck: the wire protocol against the spec oracle ---- *)
 
 let qc_members = [ "m"; "n"; "p" ]
@@ -581,6 +707,12 @@ let suite =
     Alcotest.test_case "server protocol error paths" `Quick
       test_server_protocol_error_paths;
     Alcotest.test_case "server store restart" `Quick
-      test_server_store_restart ]
+      test_server_store_restart;
+    Alcotest.test_case "metrics verb renders the registry" `Quick
+      test_server_metrics_verb;
+    Alcotest.test_case "stats observability fields" `Quick
+      test_server_stats_observability_fields;
+    Alcotest.test_case "request log and flight recorder" `Quick
+      test_server_request_log_and_flight ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_batch_matches_spec; prop_serve_sessions_promote ]
