@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke lint metrics-smoke verify clean
+.PHONY: all build test bench bench-smoke lint metrics-smoke net-smoke verify clean
 
 all: build
 
@@ -45,6 +45,12 @@ metrics-smoke: build
 	sh test/smoke/metrics_smoke.sh
 	sh test/smoke/flight_recorder.sh
 
+# The networked server end to end: the six-verb golden transcript over
+# TCP (byte-identical to stdin mode), a loadgen burst, and two scrapes
+# of the cxxlookup_server_… series through the exposition checker.
+net-smoke: build
+	sh test/smoke/serve_tcp.sh
+
 # CI entry point: full build, full test suite, a smoke run of the
 # telemetry pipeline end to end (parse -> all three engines -> JSON),
 # a serve smoke test (canned cxxlookup-rpc/1 transcript through the
@@ -61,6 +67,7 @@ verify:
 	  | diff - test/smoke/serve_golden.jsonl
 	sh test/smoke/crash_recovery.sh
 	$(MAKE) metrics-smoke
+	$(MAKE) net-smoke
 	$(MAKE) lint
 	@echo "verify: OK"
 

@@ -43,6 +43,13 @@ let () =
            !Fig_tables.checks_failed);
     exit (if !Fig_tables.checks_failed = 0 then 0 else 1)
   end;
+  (* `srv` runs only the networked-server experiment (seconds, for
+     iterating on the server) and leaves BENCH_lookup.json alone; the
+     full run below includes it and regenerates the file. *)
+  if Array.exists (String.equal "srv") Sys.argv then begin
+    Srv_bench.run ();
+    exit 0
+  end;
   Fig_tables.run ();
   Scaling.run ();
   Ablation.run ();
@@ -51,6 +58,7 @@ let () =
   Lint_bench.run ();
   Store_bench.run ();
   Packed_bench.run ();
+  Srv_bench.run ();
   Becha.run ();
   write_metrics ();
   Format.printf "@.%s@."

@@ -1,0 +1,132 @@
+(* SRV1: networked-server latency and saturation — loadgen against the
+   TCP server at 1, 2 and 4 worker domains on the paper's figure-9
+   hierarchy.
+
+   Two runs per worker count over a loopback ephemeral port.  An
+   open-loop run at a fixed aggregate rate gives the p50/p99 a client
+   would see when the server keeps up (latencies measured from the
+   coordinated-omission-safe schedule, so stalls are charged).  A
+   closed-loop run — every connection sending as fast as the server
+   answers — gives the saturation throughput.
+
+   Worker scaling is honest, not flattering: on a single-core host the
+   1/2/4-worker rows measure the cost of domain coordination, not a
+   speedup; the recorded host header (ncores) says which one a given
+   BENCH_lookup.json shows. *)
+
+module G = Chg.Graph
+module J = Chg.Json
+module Figures = Hiergen.Figures
+
+let header id title = Format.printf "@.---- %s: %s ----@." id title
+
+let counters_json pairs =
+  Telemetry.Json.Obj
+    (List.map (fun (k, v) -> (k, Telemetry.Json.Int v)) pairs)
+
+let response_ok line =
+  match J.of_string line with
+  | Ok j -> J.member "ok" j = Ok (J.Bool true)
+  | Error _ -> false
+
+(* Open the bench session over the wire (sessions belong to the server,
+   not the connection) and prime the table cache with one serial pass so
+   the measured runs hit compiled columns, as a warm server would. *)
+let open_and_warm addr ~session g queries =
+  let cl = Net.Client.connect addr in
+  let line =
+    J.to_string
+      (J.Obj
+         [ ("id", J.Int 0); ("op", J.String "open");
+           ("session", J.String session); ("chg", Chg.Serialize.to_json g) ])
+  in
+  (match Net.Client.request cl line with
+  | Some r when response_ok r -> ()
+  | _ -> invalid_arg "SRV1: open failed");
+  Array.iter
+    (fun (c, m) ->
+      let q =
+        J.to_string
+          (J.Obj
+             [ ("id", J.Int 1); ("op", J.String "lookup");
+               ("session", J.String session); ("class", J.String c);
+               ("member", J.String m) ])
+      in
+      match Net.Client.request cl q with
+      | Some _ -> ()
+      | None -> invalid_arg "SRV1: warmup connection lost")
+    queries;
+  Net.Client.close cl
+
+let with_server ~workers f =
+  let srv = Service.Server.create () in
+  let config = { Net.Server.default_config with workers } in
+  let net = Net.Server.create ~config srv (Net.Server.Tcp ("127.0.0.1", 0)) in
+  let th = Thread.create Net.Server.run net in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.Server.stop net;
+      Thread.join th)
+    (fun () -> f (Net.Server.bound_addr net))
+
+let open_loop_qps = 2000.
+let measure_s = 1.0
+
+let run () =
+  header "SRV1" "networked server: loadgen latency and saturation";
+  let g = Figures.fig9 () in
+  let size = G.num_classes g + G.num_edges g in
+  let queries =
+    Array.of_list
+      (List.concat_map
+         (fun m ->
+           List.init (G.num_classes g) (fun c -> (G.name g c, m)))
+         (G.member_names g))
+  in
+  Format.printf
+    "  fig9: %d classes; %d query candidates; open loop %.0f qps, %gs per \
+     run@."
+    (G.num_classes g) (Array.length queries) open_loop_qps measure_s;
+  List.iter
+    (fun workers ->
+      with_server ~workers @@ fun addr ->
+      let session = "bench" in
+      open_and_warm addr ~session g queries;
+      let mix = [ ("lookup", 9); ("batch_lookup", 1) ] in
+      let base =
+        { Net.Loadgen.conns = 4; qps = 0.; duration = measure_s; mix;
+          batch_size = 8 }
+      in
+      (* fixed-rate run: client-visible latency when the server keeps up *)
+      let fixed =
+        Net.Loadgen.run addr { base with qps = open_loop_qps } ~session
+          ~queries
+      in
+      (* saturation run: as fast as the server answers *)
+      let sat = Net.Loadgen.run addr base ~session ~queries in
+      let h = fixed.hist in
+      let p q = Telemetry.Histogram.quantile h q in
+      let sat_qps = int_of_float sat.achieved_qps in
+      Format.printf
+        "  workers=%d  p50=%d ns  p99=%d ns  (open loop, %d answered)  \
+         saturation=%d req/s (%d answered)@."
+        workers (p 0.50) (p 0.99) fixed.answered sat_qps sat.answered;
+      if fixed.errors > 0 || sat.errors > 0 then
+        Format.printf "  WARNING: in-band errors: fixed=%d saturation=%d@."
+          fixed.errors sat.errors;
+      Scaling.record ~experiment:"SRV1"
+        ~family:(Printf.sprintf "fig9 tcp %d workers" workers)
+        ~n_plus_e:size
+        ~time_ns:
+          (if sat.answered = 0 then 0.
+           else sat.elapsed *. 1e9 /. float_of_int sat.answered)
+        ~latency:h
+        (counters_json
+           [ ("workers", workers);
+             ("open_loop_qps_target", int_of_float open_loop_qps);
+             ("open_loop_answered", fixed.answered);
+             ("open_loop_errors", fixed.errors);
+             ("saturation_qps", sat_qps);
+             ("saturation_answered", sat.answered);
+             ("saturation_errors", sat.errors) ]))
+    [ 1; 2; 4 ]

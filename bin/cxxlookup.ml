@@ -750,6 +750,39 @@ let response_ok j =
   | Ok (Chg.Json.Bool true) -> true
   | _ -> false
 
+(* -- networking --------------------------------------------------------- *)
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i ->
+    let host = String.sub s 0 i in
+    (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some p when p >= 0 && p < 65536 -> Some (host, p)
+    | _ -> None)
+
+(* [--listen]/[--connect] vs [--unix] resolve to one Net address (or
+   none, for serve's default stdin mode). *)
+let net_addr ~flag tcp unix_path =
+  match (tcp, unix_path) with
+  | Some _, Some _ ->
+    Printf.eprintf "error: --%s and --unix are mutually exclusive\n" flag;
+    exit 2
+  | Some hp, None ->
+    (match parse_host_port hp with
+    | Some (h, p) -> Some (Net.Server.Tcp (h, p))
+    | None ->
+      Printf.eprintf "error: bad --%s %S (expected HOST:PORT)\n" flag hp;
+      exit 2)
+  | None, Some path -> Some (Net.Server.Unix_path path)
+  | None, None -> None
+
+let unix_sock_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "unix" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
 let serve_cmd =
   let trace =
     Arg.(
@@ -804,8 +837,68 @@ let serve_cmd =
             "Slow-query threshold in milliseconds: requests at or over it \
              are counted and flagged in the request log.")
   in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Serve over TCP instead of stdin/stdout (port 0 picks an \
+             ephemeral port, printed to stderr).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains executing requests (networked mode): read \
+             verbs run concurrently across them, mutations serialize.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int Net.Server.default_config.Net.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent connection limit; the excess connection gets one \
+             in-band overloaded error and is closed.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int Net.Server.default_config.Net.Server.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Global admission bound: requests executing at once across \
+             all connections; past it requests are answered with \
+             explicit overloaded errors, never buffered.")
+  in
+  let conn_queue =
+    Arg.(
+      value & opt int Net.Server.default_config.Net.Server.conn_queue
+      & info [ "conn-queue" ] ~docv:"N"
+          ~doc:
+            "Per-connection pipeline bound (pending jobs / unsent \
+             responses); a full queue blocks that connection's socket \
+             reads so TCP pushes back.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float Net.Server.default_config.Net.Server.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Close a connection idle (or dribbling a partial line) this \
+             long.")
+  in
+  let max_line =
+    Arg.(
+      value & opt int Net.Server.default_config.Net.Server.max_line
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:
+            "Request line length bound; longer lines are discarded and \
+             answered bad_request without killing the connection.")
+  in
   let run config trace store_dir store_config metrics_file metrics_interval
-      request_log slow_ms =
+      request_log slow_ms listen unix_path workers max_conns queue_depth
+      conn_queue idle_timeout max_line =
     let store =
       Option.map (fun dir -> Store.open_dir ~config:store_config dir) store_dir
     in
@@ -825,22 +918,58 @@ let serve_cmd =
       | None -> ()
       | Some path ->
         (try
-           ignore
-             (Telemetry.Prometheus.write_file path
-                (Service.Server.registry srv))
+           (* render under the server's observation mutex, then the
+              usual atomic tmp + rename *)
+           let body = Service.Server.render_metrics srv in
+           let tmp = path ^ ".tmp" in
+           Out_channel.with_open_bin tmp (fun oc ->
+               Out_channel.output_string oc body);
+           Sys.rename tmp path
          with Sys_error msg -> Printf.eprintf "metrics write failed: %s\n%!" msg)
     in
-    let last_write = ref (Unix.gettimeofday ()) in
-    let after_response () =
-      if metrics_file <> None then begin
-        let now = Unix.gettimeofday () in
-        if now -. !last_write >= float_of_int metrics_interval then begin
-          last_write := now;
-          write_metrics ()
+    (match net_addr ~flag:"listen" listen unix_path with
+    | Some addr ->
+      let ncfg =
+        { Net.Server.workers; max_conns; queue_depth; conn_queue;
+          idle_timeout; max_line }
+      in
+      let net = Net.Server.create ~config:ncfg srv addr in
+      (* signal handlers only set a flag; the accept loop polls it and
+         the full teardown runs in [run]'s context *)
+      let request_stop _ = Net.Server.stop net in
+      (try
+         Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+         Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+       with Invalid_argument _ | Sys_error _ -> ());
+      Printf.eprintf "listening on %s (%d workers)\n%!"
+        (Net.Server.addr_string (Net.Server.bound_addr net))
+        workers;
+      (match metrics_file with
+      | None -> ()
+      | Some _ ->
+        (* no per-response hook in networked mode: a collector thread
+           rewrites the textfile on the interval *)
+        ignore
+          (Thread.create
+             (fun () ->
+               while true do
+                 Thread.delay (float_of_int (max 1 metrics_interval));
+                 write_metrics ()
+               done)
+             ()));
+      Net.Server.run net
+    | None ->
+      let last_write = ref (Unix.gettimeofday ()) in
+      let after_response () =
+        if metrics_file <> None then begin
+          let now = Unix.gettimeofday () in
+          if now -. !last_write >= float_of_int metrics_interval then begin
+            last_write := now;
+            write_metrics ()
+          end
         end
-      end
-    in
-    Service.Server.serve ~after_response srv stdin stdout;
+      in
+      Service.Server.serve ~after_response srv stdin stdout);
     write_metrics ();
     (match log with None -> () | Some lg -> Service.Request_log.close lg);
     (match store with
@@ -865,10 +994,246 @@ let serve_cmd =
           holds.  Observability: --metrics-file exposes the Prometheus \
           registry, --request-log records one JSON line per request, \
           --slow-ms flags slow queries, and SIGUSR1 dumps the \
-          flight recorder to stderr.")
+          flight recorder to stderr.  With --listen HOST:PORT or \
+          --unix PATH the same protocol is served over the network: \
+          an accept loop on its own domain, --workers worker domains \
+          (reads concurrent, mutations single-writer), per-connection \
+          pipelining with responses in request order, bounded queues \
+          answering explicit overloaded errors, and idle/slowloris \
+          timeouts.")
     Term.(const run $ service_config_term $ trace $ store_dir
           $ store_config_term $ metrics_file $ metrics_interval
-          $ request_log $ slow_ms)
+          $ request_log $ slow_ms $ listen $ unix_sock_term $ workers
+          $ max_conns $ queue_depth $ conn_queue $ idle_timeout
+          $ max_line)
+
+let connect_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT" ~doc:"TCP address of the server.")
+
+let require_addr tcp unix_path =
+  match net_addr ~flag:"connect" tcp unix_path with
+  | Some addr -> addr
+  | None ->
+    prerr_endline "error: need --connect HOST:PORT or --unix PATH";
+    exit 2
+
+let client_cmd =
+  let pipeline =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Send every request before reading any response (responses \
+             still arrive in request order) instead of one round trip \
+             per line.")
+  in
+  let run tcp unix_path pipeline =
+    let addr = require_addr tcp unix_path in
+    let cl = Net.Client.connect addr in
+    let lines =
+      In_channel.input_lines stdin
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let failed = ref false in
+    let recv () =
+      match Net.Client.recv_line cl with
+      | Some resp ->
+        print_endline resp;
+        if not (match Chg.Json.of_string resp with
+               | Ok j -> response_ok j
+               | Error _ -> false)
+        then failed := true
+      | None ->
+        prerr_endline "error: server closed the connection";
+        failed := true
+    in
+    if pipeline then begin
+      List.iter (Net.Client.send_line cl) lines;
+      List.iter (fun _ -> recv ()) lines
+    end
+    else
+      List.iter (fun l -> Net.Client.send_line cl l; recv ()) lines;
+    Net.Client.close cl;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send cxxlookup-rpc/1 JSON lines from stdin to a networked \
+          server (--connect HOST:PORT or --unix PATH) and print the \
+          responses to stdout.  Exits non-zero if any response is an \
+          in-band error or the server closes early — the smoke-test \
+          counterpart of piping the same lines into 'cxxlookup serve'.")
+    Term.(const run $ connect_term $ unix_sock_term $ pipeline)
+
+let loadgen_cmd =
+  let conns =
+    Arg.(
+      value & opt int 4
+      & info [ "conns" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let qps =
+    Arg.(
+      value & opt float 0.
+      & info [ "qps" ] ~docv:"QPS"
+          ~doc:
+            "Aggregate target rate for the open-loop \
+             (coordinated-omission-safe) schedule; 0 = closed-loop \
+             saturation mode.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 2.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Measurement window.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "lookup=9,batch_lookup=1"
+      & info [ "mix" ] ~docv:"VERB=W,.."
+          ~doc:
+            "Weighted query mix over the read verbs lookup, \
+             batch_lookup, stats, lint.")
+  in
+  let batch_size =
+    Arg.(
+      value & opt int 8
+      & info [ "batch-size" ] ~docv:"N"
+          ~doc:"Queries per batch_lookup request.")
+  in
+  let warmup =
+    Arg.(
+      value & opt int 3
+      & info [ "warmup" ] ~docv:"ROUNDS"
+          ~doc:
+            "Serial passes over every query before measuring (promotes \
+             hot columns into the compiled table at the default \
+             threshold).")
+  in
+  let session =
+    Arg.(
+      value & opt string "loadgen"
+      & info [ "session" ] ~docv:"NAME" ~doc:"Session name to open.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable report.")
+  in
+  let parse_mix s =
+    String.split_on_char ',' s
+    |> List.filter (fun part -> String.trim part <> "")
+    |> List.map (fun part ->
+           match String.index_opt part '=' with
+           | None -> (String.trim part, 1)
+           | Some i ->
+             let v = String.trim (String.sub part 0 i) in
+             let w =
+               String.sub part (i + 1) (String.length part - i - 1)
+               |> String.trim |> int_of_string_opt
+             in
+             (match w with
+             | Some w when w >= 0 -> (v, w)
+             | _ ->
+               Printf.eprintf "error: bad mix weight in %S\n" part;
+               exit 2))
+  in
+  let run tcp unix_path file conns qps duration mix batch_size warmup
+      session json_flag =
+    let addr = require_addr tcp unix_path in
+    let source = read_file file in
+    let r = Frontend.Sema.analyze_source source in
+    if not (Frontend.Sema.ok r) then begin
+      List.iter
+        (fun d -> prerr_endline (Frontend.Diagnostic.to_string d))
+        r.Frontend.Sema.diagnostics;
+      exit 1
+    end;
+    let g = r.Frontend.Sema.graph in
+    let classes = ref [] in
+    G.iter_classes g (fun c -> classes := G.name g c :: !classes);
+    let queries =
+      List.concat_map
+        (fun cls -> List.map (fun m -> (cls, m)) (G.member_names g))
+        (List.rev !classes)
+      |> Array.of_list
+    in
+    if Array.length queries = 0 then begin
+      prerr_endline "error: hierarchy has no (class, member) queries";
+      exit 1
+    end;
+    (* setup connection: open the session, then warm the table cache so
+       the measured stream runs against compiled columns *)
+    let setup = Net.Client.connect addr in
+    let expect what = function
+      | Some resp when
+          (match Chg.Json.of_string resp with
+          | Ok j -> response_ok j
+          | Error _ -> false) -> ()
+      | Some resp ->
+        Printf.eprintf "error: %s failed: %s\n" what resp;
+        exit 1
+      | None ->
+        Printf.eprintf "error: server closed during %s\n" what;
+        exit 1
+    in
+    expect "open"
+      (Net.Client.request setup
+         (Chg.Json.to_string
+            (Chg.Json.Obj
+               [ ("id", Chg.Json.Int 0); ("op", Chg.Json.String "open");
+                 ("session", Chg.Json.String session);
+                 ("source", Chg.Json.String source) ])));
+    for round = 1 to warmup do
+      Array.iter
+        (fun (c, m) ->
+          expect
+            (Printf.sprintf "warmup round %d" round)
+            (Net.Client.request setup
+               (Chg.Json.to_string
+                  (Chg.Json.Obj
+                     [ ("id", Chg.Json.Int 0);
+                       ("op", Chg.Json.String "lookup");
+                       ("session", Chg.Json.String session);
+                       ("class", Chg.Json.String c);
+                       ("member", Chg.Json.String m) ]))))
+        queries
+    done;
+    let cfg =
+      { Net.Loadgen.conns; qps; duration; mix = parse_mix mix; batch_size }
+    in
+    let report = Net.Loadgen.run addr cfg ~session ~queries in
+    Net.Client.close setup;
+    if json_flag then
+      print_endline (Chg.Json.to_string (Net.Loadgen.report_json report))
+    else begin
+      Printf.printf "sent %d, answered %d, errors %d in %.2fs (%s)\n"
+        report.Net.Loadgen.sent report.Net.Loadgen.answered
+        report.Net.Loadgen.errors report.Net.Loadgen.elapsed
+        (if qps > 0. then Printf.sprintf "open loop, target %.0f qps" qps
+         else "closed loop");
+      Printf.printf "throughput: %.0f responses/s\n"
+        report.Net.Loadgen.achieved_qps;
+      List.iter
+        (fun (k, v) ->
+          Printf.printf "latency %-5s %10d ns (%.3f ms)\n" k v
+            (float_of_int v /. 1e6))
+        (Telemetry.Histogram.percentile_fields report.Net.Loadgen.hist)
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Generate load against a networked cxxlookup server: open a \
+          session from FILE, warm its compiled tables, then drive \
+          --conns connections for --duration seconds — open-loop at \
+          --qps with a coordinated-omission-safe schedule (latency \
+          measured from the scheduled send time), or closed-loop \
+          saturation when --qps is 0 — and report p50/p90/p99/p999 \
+          latency plus achieved throughput.")
+    Term.(const run $ connect_term $ unix_sock_term $ file_arg $ conns
+          $ qps $ duration $ mix $ batch_size $ warmup $ session
+          $ json_flag)
 
 let store_dir_arg =
   Arg.(
@@ -1144,4 +1509,5 @@ let () =
           [ check_cmd; lookup_cmd; table_cmd; dot_cmd; layout_cmd; vtable_cmd;
             slice_cmd; export_cmd; import_cmd; run_cmd; audit_cmd; count_cmd;
             stats_cmd; trace_cmd; lint_cmd; metrics_cmd; check_metrics_cmd;
-            serve_cmd; batch_cmd; snapshot_cmd; restore_cmd ]))
+            serve_cmd; client_cmd; loadgen_cmd; batch_cmd; snapshot_cmd;
+            restore_cmd ]))

@@ -1,0 +1,25 @@
+(** A bounded blocking queue — the server's backpressure primitive.
+
+    Hard capacity: a full queue blocks the producer (the reader thread
+    stops consuming bytes, so TCP pushes back; the executor stalls
+    behind a slow consumer).  [close] refuses further pushes while
+    consumers drain what is queued, then pop [None]. *)
+
+type 'a t
+
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+val create : int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** Blocks while full; [false] iff closed (the item is dropped). *)
+val push : 'a t -> 'a -> bool
+
+(** Never blocks; [false] if full or closed. *)
+val try_push : 'a t -> 'a -> bool
+
+(** Blocks while empty; [None] iff closed and drained. *)
+val pop : 'a t -> 'a option
+
+val close : 'a t -> unit

@@ -1,0 +1,49 @@
+(* A minimal blocking JSON-lines client for the networked server: one
+   socket, buffered channels, line in / line out.  Used by the load
+   generator, the `cxxlookup client` verb and the smoke tests — it is
+   deliberately the simplest correct implementation, not a pooled or
+   pipelining client. *)
+
+type t = { ic : in_channel; oc : out_channel }
+
+let sockaddr_of = function
+  | Server.Tcp (host, port) ->
+    let addr =
+      if host = "" then Unix.inet_addr_loopback
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    Unix.ADDR_INET (addr, port)
+  | Server.Unix_path path -> Unix.ADDR_UNIX path
+
+let connect addr =
+  let ic, oc = Unix.open_connection (sockaddr_of addr) in
+  (match addr with
+  | Server.Tcp _ ->
+    (try Unix.setsockopt (Unix.descr_of_out_channel oc) Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ())
+  | Server.Unix_path _ -> ());
+  { ic; oc }
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+(* A partial write with no newline — only the torn-line tests want
+   this; a framed request should go through [send_line]. *)
+let send_raw t s =
+  output_string t.oc s;
+  flush t.oc
+
+let recv_line t = In_channel.input_line t.ic
+
+(* One synchronous round trip; [None] when the server closed on us. *)
+let request t line =
+  send_line t line;
+  recv_line t
+
+let close t =
+  try Unix.shutdown_connection t.ic; close_in t.ic
+  with Unix.Unix_error _ | Sys_error _ -> ()

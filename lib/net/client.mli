@@ -1,0 +1,22 @@
+(** A minimal blocking JSON-lines client (one socket, synchronous or
+    manually pipelined).  The load generator, the [cxxlookup client]
+    verb and the smoke tests are built on it. *)
+
+type t
+
+(** Raises [Unix.Unix_error] when the connection is refused. *)
+val connect : Server.addr -> t
+
+val send_line : t -> string -> unit
+
+(** A partial write: no newline appended, flushed.  For torn-line
+    tests. *)
+val send_raw : t -> string -> unit
+
+(** [None] on server-side close. *)
+val recv_line : t -> string option
+
+(** One synchronous round trip. *)
+val request : t -> string -> string option
+
+val close : t -> unit

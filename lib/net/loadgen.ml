@@ -1,0 +1,205 @@
+module J = Chg.Json
+
+(* An open-loop load generator for the networked server.
+
+   Coordinated-omission safety: in open-loop mode ([qps > 0]) every
+   request has a *scheduled* send time fixed before the run starts
+   (conn [i] sends at [start + i*interval/conns + k*interval]), and
+   latency is measured from the scheduled time, not the actual send.
+   A server that stalls therefore charges the stall to every request
+   scheduled during it — the back-of-queue wait a real client would
+   see — instead of silently suppressing the measurements a
+   closed-loop generator would never have issued.
+
+   [qps = 0.] switches to closed-loop saturation mode: each connection
+   sends as fast as the server answers, latency measured per round
+   trip, and the achieved rate is the saturation throughput.
+
+   The verb mix is a deterministic weighted rotation (no RNG), so two
+   runs of the same config issue the same request stream.  Each
+   connection runs on its own domain with a private histogram; the
+   report merges them losslessly. *)
+
+type config = {
+  conns : int;
+  qps : float;  (* aggregate target; 0. = closed-loop saturation *)
+  duration : float;  (* seconds *)
+  mix : (string * int) list;  (* verb -> weight; verbs of {!verbs} *)
+  batch_size : int;  (* queries per batch_lookup request *)
+}
+
+let verbs = [ "lookup"; "batch_lookup"; "stats"; "lint" ]
+
+let default_config =
+  { conns = 4;
+    qps = 0.;
+    duration = 2.;
+    mix = [ ("lookup", 9); ("batch_lookup", 1) ];
+    batch_size = 8 }
+
+type report = {
+  sent : int;
+  answered : int;
+  errors : int;  (* in-band ok:false responses (overloaded included) *)
+  elapsed : float;  (* wall seconds of the measurement window *)
+  hist : Telemetry.Histogram.t;  (* latency, ns, CO-safe in open loop *)
+  achieved_qps : float;
+}
+
+(* The flattened mix: verb [i] of a request stream is
+   [schedule.(i mod length)] — deterministic, proportional, and
+   interleaved per connection by a stride coprime to the length. *)
+let build_schedule mix =
+  let mix = List.filter (fun (_, w) -> w > 0) mix in
+  if mix = [] then invalid_arg "Loadgen: empty verb mix";
+  List.iter
+    (fun (v, _) ->
+      if not (List.mem v verbs) then
+        invalid_arg (Printf.sprintf "Loadgen: unknown mix verb %S" v))
+    mix;
+  Array.concat
+    (List.map (fun (v, w) -> Array.make w v) mix)
+
+let request_line ~session ~queries ~batch_size ~verb ~id ~k =
+  let q i =
+    let c, m = queries.(i mod Array.length queries) in
+    (c, m)
+  in
+  let j =
+    match verb with
+    | "lookup" ->
+      let c, m = q k in
+      J.Obj
+        [ ("id", J.Int id); ("op", J.String "lookup");
+          ("session", J.String session); ("class", J.String c);
+          ("member", J.String m) ]
+    | "batch_lookup" ->
+      J.Obj
+        [ ("id", J.Int id); ("op", J.String "batch_lookup");
+          ("session", J.String session);
+          ( "queries",
+            J.List
+              (List.init batch_size (fun i ->
+                   let c, m = q (k + i) in
+                   J.Obj [ ("class", J.String c); ("member", J.String m) ]))
+          ) ]
+    | "stats" ->
+      J.Obj
+        [ ("id", J.Int id); ("op", J.String "stats");
+          ("session", J.String session) ]
+    | "lint" ->
+      J.Obj
+        [ ("id", J.Int id); ("op", J.String "lint");
+          ("session", J.String session) ]
+    | v -> invalid_arg ("Loadgen: unknown verb " ^ v)
+  in
+  J.to_string j
+
+type conn_result = {
+  c_sent : int;
+  c_answered : int;
+  c_errors : int;
+  c_hist : Telemetry.Histogram.t;
+}
+
+let is_error line =
+  match J.of_string line with
+  | Ok j -> (match J.member "ok" j with Ok (J.Bool true) -> false | _ -> true)
+  | Error _ -> true
+
+let run_conn addr cfg ~session ~queries ~schedule ~conn_idx ~start =
+  let cl = Client.connect addr in
+  let hist = Telemetry.Histogram.create () in
+  let sent = ref 0 and answered = ref 0 and errors = ref 0 in
+  let stride = 1 + (conn_idx mod max 1 (Array.length schedule - 1)) in
+  let verb_of k = schedule.((k * stride) mod Array.length schedule) in
+  let deadline = start +. cfg.duration in
+  (try
+     if cfg.qps > 0. then begin
+       (* open loop: per-connection interval, phase-shifted so the
+          aggregate stream is evenly spaced *)
+       let interval = float_of_int cfg.conns /. cfg.qps in
+       let phase = interval *. float_of_int conn_idx /. float_of_int cfg.conns in
+       let k = ref 0 in
+       let next () = start +. phase +. (interval *. float_of_int !k) in
+       while next () < deadline do
+         let scheduled = next () in
+         let now = Unix.gettimeofday () in
+         if now < scheduled then
+           Thread.delay (scheduled -. now);
+         let line =
+           request_line ~session ~queries ~batch_size:cfg.batch_size
+             ~verb:(verb_of !k) ~id:!k ~k:(!k * 17)
+         in
+         incr sent;
+         (match Client.request cl line with
+         | None -> raise Exit
+         | Some resp ->
+           incr answered;
+           if is_error resp then incr errors;
+           let lat_s = Unix.gettimeofday () -. scheduled in
+           Telemetry.Histogram.record hist
+             (int_of_float (lat_s *. 1e9)));
+         incr k
+       done
+     end
+     else begin
+       (* closed loop: as fast as the server answers *)
+       let k = ref 0 in
+       while Unix.gettimeofday () < deadline do
+         let line =
+           request_line ~session ~queries ~batch_size:cfg.batch_size
+             ~verb:(verb_of !k) ~id:!k ~k:(!k * 17)
+         in
+         let t0 = Telemetry.Clock.now_ns () in
+         incr sent;
+         (match Client.request cl line with
+         | None -> raise Exit
+         | Some resp ->
+           incr answered;
+           if is_error resp then incr errors;
+           Telemetry.Histogram.record hist
+             (Telemetry.Clock.elapsed_ns ~since:t0));
+         incr k
+       done
+     end
+   with Exit | Unix.Unix_error _ | Sys_error _ -> ());
+  Client.close cl;
+  { c_sent = !sent; c_answered = !answered; c_errors = !errors;
+    c_hist = hist }
+
+let run addr cfg ~session ~queries =
+  if cfg.conns < 1 then invalid_arg "Loadgen: conns must be >= 1";
+  if Array.length queries = 0 then invalid_arg "Loadgen: no queries";
+  let schedule = build_schedule cfg.mix in
+  let start = Unix.gettimeofday () +. 0.05 in
+  let domains =
+    List.init cfg.conns (fun conn_idx ->
+        Domain.spawn (fun () ->
+            run_conn addr cfg ~session ~queries ~schedule ~conn_idx ~start))
+  in
+  let results = List.map Domain.join domains in
+  let elapsed = Unix.gettimeofday () -. start in
+  let hist = Telemetry.Histogram.create () in
+  List.iter (fun r -> Telemetry.Histogram.merge_into ~into:hist r.c_hist)
+    results;
+  let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+  let answered = sum (fun r -> r.c_answered) in
+  { sent = sum (fun r -> r.c_sent);
+    answered;
+    errors = sum (fun r -> r.c_errors);
+    elapsed;
+    hist;
+    achieved_qps =
+      (if elapsed > 0. then float_of_int answered /. elapsed else 0.) }
+
+let report_json r =
+  J.Obj
+    (("sent", J.Int r.sent)
+     :: ("answered", J.Int r.answered)
+     :: ("errors", J.Int r.errors)
+     :: ("elapsed_ms", J.Int (int_of_float (r.elapsed *. 1000.)))
+     :: ("achieved_qps", J.Int (int_of_float r.achieved_qps))
+     :: List.map
+          (fun (k, v) -> ("latency_" ^ k ^ "_ns", J.Int v))
+          (Telemetry.Histogram.percentile_fields r.hist))

@@ -1,0 +1,52 @@
+(** An open-loop, coordinated-omission-safe load generator for the
+    networked server.
+
+    Open loop ([qps > 0]): every request's send time is scheduled
+    before the run starts and latency is measured from the scheduled
+    time — a stalled server charges the stall to every request due
+    during it, as a real client queue would.  Closed loop
+    ([qps = 0.]): each connection sends as fast as the server answers;
+    the achieved rate is the saturation throughput.
+
+    One domain per connection, each with a private
+    {!Telemetry.Histogram}; the report merges them losslessly.  The
+    verb mix is a deterministic weighted rotation — two runs of one
+    config issue identical request streams. *)
+
+type config = {
+  conns : int;
+  qps : float;  (** aggregate target; [0.] = closed-loop saturation *)
+  duration : float;  (** seconds *)
+  mix : (string * int) list;  (** verb -> weight, over {!verbs} *)
+  batch_size : int;  (** queries per [batch_lookup] request *)
+}
+
+(** The verbs a mix may weight: [lookup], [batch_lookup], [stats],
+    [lint] — the concurrent read set. *)
+val verbs : string list
+
+(** 4 connections, closed loop, 2 s, 9:1 lookup:batch. *)
+val default_config : config
+
+type report = {
+  sent : int;
+  answered : int;
+  errors : int;  (** in-band [ok:false] responses, overloaded included *)
+  elapsed : float;  (** wall seconds *)
+  hist : Telemetry.Histogram.t;  (** latency, ns *)
+  achieved_qps : float;
+}
+
+(** [run addr cfg ~session ~queries] — [session] must already be open
+    on the server; [queries] are the (class, member) candidates the
+    mix draws from.  Raises [Invalid_argument] on an empty mix, an
+    unknown mix verb, no queries, or [conns < 1]; connection failures
+    end that connection's stream early (visible as [sent >
+    answered]). *)
+val run :
+  Server.addr -> config -> session:string -> queries:(string * string) array ->
+  report
+
+(** The report as one JSON object: counts, elapsed, achieved QPS, and
+    [latency_p50/p90/p99/p999/max_ns]. *)
+val report_json : report -> Chg.Json.t

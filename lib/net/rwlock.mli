@@ -1,0 +1,21 @@
+(** A writers-preference read/write lock.
+
+    Read verbs ([lookup] / [batch_lookup] / [stats] / [metrics] /
+    [lint]) hold it shared; mutations ([open] / [mutate] / [snapshot] /
+    [restore] / [close]) hold it exclusive.  Once a writer is waiting,
+    arriving readers queue behind it, so a steady read stream cannot
+    starve mutations. *)
+
+type t
+
+val create : unit -> t
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+(** [with_read t f] / [with_write t f] run [f ()] under the shared /
+    exclusive lock, releasing on any exit (including exceptions). *)
+val with_read : t -> (unit -> 'a) -> 'a
+
+val with_write : t -> (unit -> 'a) -> 'a

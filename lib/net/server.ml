@@ -1,0 +1,377 @@
+module J = Chg.Json
+module P = Service.Protocol
+
+(* The networked front end for the cxxlookup-rpc/1 JSON-lines
+   protocol.
+
+   Topology: the accept loop runs on the calling domain; [workers]
+   spawned domains each own a mailbox of freshly accepted connections,
+   filled round-robin.  A worker runs every connection assigned to it
+   on three systhreads — reader, executor, writer — which attach to
+   the worker's domain: blocking I/O releases the domain's runtime
+   lock, so connection pipelines interleave within a domain while
+   executors on different domains run OCaml code in parallel.
+
+   Concurrency contract: every verb is classified by
+   [Service.Protocol.read_only].  Read verbs execute under the shared
+   side of one server-wide {!Rwlock} — concurrently across domains,
+   against immutable packed columns — while mutations take it
+   exclusive, the single-writer path owning the session table and the
+   WAL.  Per-connection execution is serial (one executor), so
+   responses leave in request order and a single-connection transcript
+   is byte-identical to stdin/stdout mode.
+
+   Backpressure: the per-connection job and output queues are bounded
+   ({!Bqueue}); a full job queue blocks the reader (TCP pushes back on
+   the client), a full output queue stalls only that connection's
+   executor.  Globally, at most [queue_depth] admitted requests
+   execute at once — request [queue_depth + 1] is answered with an
+   explicit [overloaded] protocol error, never buffered.
+
+   Robustness: a line longer than [max_line] is discarded to its
+   newline and answered [bad_request] in arrival order, without
+   killing the connection.  A connection that stays silent — or dribbles
+   a partial line (slowloris) — past [idle_timeout] is closed cleanly:
+   pending responses still drain, then the socket closes and the
+   timed-out counter ticks. *)
+
+type addr = Tcp of string * int | Unix_path of string
+
+type config = {
+  workers : int;
+  max_conns : int;
+  queue_depth : int;  (* global admission bound *)
+  conn_queue : int;  (* per-connection job / output queue bound *)
+  idle_timeout : float;  (* seconds; also the slowloris deadline *)
+  max_line : int;  (* bytes, excluding the newline *)
+}
+
+let default_config =
+  { workers = 1;
+    max_conns = 64;
+    queue_depth = 64;
+    conn_queue = 16;
+    idle_timeout = 30.;
+    max_line = 1 lsl 20 }
+
+type t = {
+  srv : Service.Server.t;
+  cfg : config;
+  lock : Rwlock.t;  (* verb-class lock: readers shared, mutations exclusive *)
+  listen_fd : Unix.file_descr;
+  bound : addr;  (* actual address — the ephemeral port resolved *)
+  stop : bool Atomic.t;
+  next_conn : int Atomic.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;  (* open sockets, for stop *)
+  conns_mutex : Mutex.t;
+  mailboxes : (int * Unix.file_descr) Bqueue.t array;  (* one per worker *)
+}
+
+(* ---- setup ---------------------------------------------------------- *)
+
+let resolve_host host =
+  if host = "" then Unix.inet_addr_loopback
+  else
+    try Unix.inet_addr_of_string host
+    with Failure _ ->
+      (match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+        failwith (Printf.sprintf "cannot resolve host %S" host)
+      | h -> h.Unix.h_addr_list.(0)
+      | exception Not_found ->
+        failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let listen_on addr =
+  match addr with
+  | Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+    Unix.listen fd 128;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> Tcp (host, p)
+      | _ -> addr
+    in
+    (fd, bound)
+  | Unix_path path ->
+    (try
+       if (Unix.lstat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
+     with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 128;
+    (fd, addr)
+
+let create ?(config = default_config) srv addr =
+  if config.workers < 1 then invalid_arg "Net.Server: workers must be >= 1";
+  let listen_fd, bound = listen_on addr in
+  { srv;
+    cfg = config;
+    lock = Rwlock.create ();
+    listen_fd;
+    bound;
+    stop = Atomic.make false;
+    next_conn = Atomic.make 0;
+    conns = Hashtbl.create 16;
+    conns_mutex = Mutex.create ();
+    mailboxes =
+      Array.init config.workers (fun _ ->
+          Bqueue.create (config.max_conns + 1)) }
+
+let bound_addr t = t.bound
+
+let addr_string = function
+  | Tcp (host, port) ->
+    Printf.sprintf "%s:%d" (if host = "" then "127.0.0.1" else host) port
+  | Unix_path path -> path
+
+(* ---- per-connection pipeline ---------------------------------------- *)
+
+type job =
+  | Line of string  (* one complete framed request line *)
+  | Oversized of int  (* a discarded line and its observed length *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* Reader: line framing directly over the socket, with three guards.
+   Max-line: once a line exceeds the bound it is discarded up to its
+   newline and reported as one [Oversized] job — the connection
+   survives, and the error answers in arrival order because it travels
+   through the same job queue.  Idle / slowloris: the deadline arms at
+   connection start and re-arms only on each *complete* line, so a
+   client dribbling bytes of a never-finished line times out exactly
+   like a silent one.  Backpressure: a full job queue blocks here,
+   which stops socket reads and lets TCP push back. *)
+let reader t fd req_q timed_out () =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 256 in
+  let discarding = ref false in
+  let discarded = ref 0 in
+  let deadline = ref (Unix.gettimeofday () +. t.cfg.idle_timeout) in
+  let alive = ref true in
+  let emit_line () =
+    let line = Buffer.contents acc in
+    Buffer.clear acc;
+    deadline := Unix.gettimeofday () +. t.cfg.idle_timeout;
+    if !discarding then begin
+      let n = !discarded + String.length line in
+      discarding := false;
+      discarded := 0;
+      if not (Bqueue.push req_q (Oversized n)) then alive := false
+    end
+    else begin
+      let line =
+        (* tolerate CRLF framing from casual clients *)
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+        else line
+      in
+      if String.trim line = "" then ()  (* blank lines skipped, as stdin *)
+      else if not (Bqueue.push req_q (Line line)) then alive := false
+    end
+  in
+  (try
+     while !alive do
+       let wait = !deadline -. Unix.gettimeofday () in
+       if wait <= 0. then begin
+         timed_out := true;
+         alive := false
+       end
+       else begin
+         match Unix.select [ fd ] [] [] wait with
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         | [], _, _ -> ()  (* re-check the deadline *)
+         | _ ->
+           let n = try Unix.read fd buf 0 (Bytes.length buf) with
+             | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) -> 0
+           in
+           if n = 0 then alive := false
+           else
+             for i = 0 to n - 1 do
+               match Bytes.get buf i with
+               | '\n' -> emit_line ()
+               | c ->
+                 if !discarding then incr discarded
+                 else begin
+                   Buffer.add_char acc c;
+                   if Buffer.length acc > t.cfg.max_line then begin
+                     (* switch to discard mode: the line is already
+                        over budget, stop accumulating its bytes *)
+                     discarding := true;
+                     discarded := Buffer.length acc;
+                     Buffer.clear acc
+                   end
+                 end
+             done
+       end
+     done
+   with Unix.Unix_error _ -> ());
+  (* a torn partial line at close is dropped, never executed *)
+  Bqueue.close req_q
+
+(* Executor: per-connection serial request execution — the property
+   that makes pipelined responses leave in request order and keeps a
+   single-connection transcript byte-identical to stdin mode.  Global
+   admission happens here, after parsing: past [queue_depth] admitted
+   requests the verb is answered [overloaded] through the server's
+   reject path (so the rejection is counted, logged and
+   flight-recorded), and the executor moves on. *)
+let executor t ~conn req_q out_q () =
+  let net = Service.Server.net t.srv in
+  let respond j = ignore (Bqueue.push out_q (J.to_string j ^ "\n")) in
+  let rec loop () =
+    match Bqueue.pop req_q with
+    | None -> ()
+    | Some (Oversized n) ->
+      respond
+        (Service.Server.reject ~conn t.srv ~verb:"invalid" ~id:J.Null
+           P.Bad_request
+           (Printf.sprintf "line exceeds %d bytes (%d read)" t.cfg.max_line n));
+      loop ()
+    | Some (Line line) ->
+      (match P.parse_request line with
+      | Error (id, code, msg) ->
+        respond (Service.Server.reject ~conn t.srv ~verb:"invalid" ~id code msg)
+      | Ok rq ->
+        let verb_admitted =
+          Atomic.fetch_and_add net.Service.Server.net_admitted 1
+          < t.cfg.queue_depth
+        in
+        if not verb_admitted then begin
+          Atomic.decr net.Service.Server.net_admitted;
+          respond
+            (Service.Server.reject ~conn t.srv
+               ~verb:(P.op_string rq.P.rq_op) ~id:rq.P.rq_id P.Overloaded
+               (Printf.sprintf
+                  "server at admission capacity (%d in flight); retry"
+                  t.cfg.queue_depth))
+        end
+        else
+          Fun.protect
+            ~finally:(fun () -> Atomic.decr net.Service.Server.net_admitted)
+            (fun () ->
+              let run () = Service.Server.handle_request ~conn t.srv rq in
+              respond
+                (if P.read_only rq.P.rq_op then Rwlock.with_read t.lock run
+                 else Rwlock.with_write t.lock run)));
+      loop ()
+  in
+  loop ();
+  Bqueue.close out_q
+
+(* Writer: drains the bounded output queue to the socket.  A client
+   that stops reading fills its TCP window, then this queue, then
+   stalls only its own executor — never another connection, never the
+   server's memory. *)
+let writer fd out_q () =
+  let rec loop () =
+    match Bqueue.pop out_q with
+    | None -> ()
+    | Some s ->
+      (match write_all fd s with
+      | () -> loop ()
+      | exception Unix.Unix_error _ ->
+        (* client is gone; stop consuming so the executor backs up and
+           the reader's queue closure unwinds the pipeline *)
+        Bqueue.close out_q)
+  in
+  loop ()
+
+let handle_conn t ~conn fd =
+  let net = Service.Server.net t.srv in
+  let req_q = Bqueue.create t.cfg.conn_queue in
+  let out_q = Bqueue.create t.cfg.conn_queue in
+  let timed_out = ref false in
+  let rd = Thread.create (reader t fd req_q timed_out) () in
+  let wr = Thread.create (writer fd out_q) () in
+  executor t ~conn req_q out_q ();
+  (* executor done ⇒ req_q drained; make sure a reader blocked in
+     [select] wakes up rather than waiting out the idle timeout *)
+  (try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+  Thread.join rd;
+  Thread.join wr;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns conn);
+  Atomic.decr net.Service.Server.net_active;
+  Telemetry.Counter.incr net.Service.Server.net_closed;
+  if !timed_out then
+    Telemetry.Counter.incr net.Service.Server.net_timed_out
+
+(* ---- worker domains and the accept loop ----------------------------- *)
+
+let worker_loop t mailbox () =
+  let threads = ref [] in
+  let rec loop () =
+    match Bqueue.pop mailbox with
+    | None -> ()
+    | Some (conn, fd) ->
+      threads := Thread.create (fun () -> handle_conn t ~conn fd) () :: !threads;
+      loop ()
+  in
+  loop ();
+  List.iter Thread.join !threads
+
+let stop t = Atomic.set t.stop true
+
+let run t =
+  let net = Service.Server.net t.srv in
+  let workers =
+    Array.map (fun mb -> Domain.spawn (worker_loop t mb)) t.mailboxes
+  in
+  let overload_line =
+    J.to_string
+      (P.error_response ~id:J.Null P.Overloaded
+         (Printf.sprintf "connection limit reached (%d)" t.cfg.max_conns))
+    ^ "\n"
+  in
+  while not (Atomic.get t.stop) do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ ->
+      (match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+        (match t.bound with
+        | Tcp _ ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ())
+        | Unix_path _ -> ());
+        if Atomic.get net.Service.Server.net_active >= t.cfg.max_conns
+        then begin
+          (* refuse at the door, in-band: one overloaded line, close *)
+          Telemetry.Counter.incr net.Service.Server.net_overloaded;
+          (try write_all fd overload_line with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        end
+        else begin
+          let conn = Atomic.fetch_and_add t.next_conn 1 + 1 in
+          Atomic.incr net.Service.Server.net_active;
+          Telemetry.Counter.incr net.Service.Server.net_accepted;
+          Mutex.protect t.conns_mutex (fun () ->
+              Hashtbl.add t.conns conn fd);
+          let mb = t.mailboxes.((conn - 1) mod Array.length t.mailboxes) in
+          if not (Bqueue.push mb (conn, fd)) then (
+            try Unix.close fd with Unix.Unix_error _ -> ())
+        end)
+  done;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.bound with
+  | Unix_path path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  (* wake every connection: readers see EOF, pipelines drain, workers
+     join their threads and exit *)
+  Mutex.protect t.conns_mutex (fun () ->
+      Hashtbl.iter
+        (fun _ fd ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        t.conns);
+  Array.iter Bqueue.close t.mailboxes;
+  Array.iter Domain.join workers

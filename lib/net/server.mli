@@ -1,0 +1,65 @@
+(** The networked front end for [cxxlookup-rpc/1]: a TCP /
+    Unix-domain-socket JSON-lines server over a shared
+    {!Service.Server.t}.
+
+    Topology: the accept loop runs on the calling domain and hands
+    connections round-robin to [workers] spawned domains; each
+    connection runs a reader → executor → writer systhread pipeline on
+    its worker's domain.  Read verbs execute concurrently under a
+    shared {!Rwlock}; mutations serialize through its exclusive side —
+    the single writer path owning the session table and WAL.
+
+    Ordering: per-connection execution is serial, so pipelined
+    responses leave in request order and a single-connection
+    transcript is byte-identical to stdin/stdout mode.
+
+    Backpressure: bounded per-connection job/output queues (a full job
+    queue stops socket reads, so TCP pushes back; a slow consumer
+    stalls only its own executor) plus a global admission bound of
+    [queue_depth] executing requests — past it, requests are answered
+    with explicit [overloaded] protocol errors, never buffered without
+    limit.  [max_conns] is enforced at accept: the excess connection
+    receives one [overloaded] line and is closed.
+
+    Timeouts: a connection silent — or dribbling a partial line
+    (slowloris) — for [idle_timeout] seconds is closed cleanly after
+    its pending responses drain.  Lines over [max_line] bytes are
+    discarded to their newline and answered [bad_request] in arrival
+    order without killing the connection. *)
+
+type addr = Tcp of string * int | Unix_path of string
+
+type config = {
+  workers : int;  (** worker domains executing requests *)
+  max_conns : int;  (** connections accepted concurrently *)
+  queue_depth : int;  (** global admission bound (requests in flight) *)
+  conn_queue : int;  (** per-connection job / output queue bound *)
+  idle_timeout : float;  (** seconds; also the slowloris deadline *)
+  max_line : int;  (** request line length bound, bytes *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ?config srv addr] binds and listens (an ephemeral TCP port
+    resolves immediately — see {!bound_addr}) but accepts nothing
+    until {!run}.  Raises [Unix.Unix_error] when the bind fails and
+    [Invalid_argument] on a non-positive worker count. *)
+val create : ?config:config -> Service.Server.t -> addr -> t
+
+(** The actual listening address: [Tcp] with the kernel-chosen port
+    when created on port 0. *)
+val bound_addr : t -> addr
+
+val addr_string : addr -> string
+
+(** [run t] spawns the worker domains and runs the accept loop on the
+    calling domain until {!stop}; then it closes the listener, wakes
+    every open connection, drains the pipelines and joins the
+    workers. *)
+val run : t -> unit
+
+(** Signal-safe: sets a flag the accept loop polls (≤ 0.2 s latency).
+    Full teardown happens inside {!run}, never in handler context. *)
+val stop : t -> unit

@@ -15,6 +15,7 @@ type error_code =
   | Unknown_class
   | Bad_hierarchy
   | Store_error
+  | Overloaded
   | Internal
 
 let code_string = function
@@ -27,6 +28,7 @@ let code_string = function
   | Unknown_class -> "unknown_class"
   | Bad_hierarchy -> "bad_hierarchy"
   | Store_error -> "store_error"
+  | Overloaded -> "overloaded"
   | Internal -> "internal"
 
 type query = { q_class : string; q_member : string }
@@ -56,6 +58,26 @@ type op =
   | Close
 
 type request = { rq_id : J.t; rq_session : string option; rq_op : op }
+
+(* The networked server's reader/writer split: read-only verbs execute
+   concurrently across worker domains against shared immutable packed
+   columns; everything else serializes through the single writer path
+   that owns the session table and the WAL. *)
+let op_string = function
+  | Open _ -> "open"
+  | Lookup _ -> "lookup"
+  | Batch_lookup _ -> "batch_lookup"
+  | Mutate _ -> "mutate"
+  | Lint _ -> "lint"
+  | Snapshot -> "snapshot"
+  | Restore -> "restore"
+  | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Close -> "close"
+
+let read_only = function
+  | Lookup _ | Batch_lookup _ | Lint _ | Stats | Metrics -> true
+  | Open _ | Mutate _ | Snapshot | Restore | Close -> false
 
 (* ---- request parsing (lenient field access with defaults) ---------- *)
 

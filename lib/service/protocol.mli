@@ -54,6 +54,9 @@ type error_code =
   | Store_error
       (** no store is configured, nothing is stored under that session
           name, or the stored state is unreadable *)
+  | Overloaded
+      (** the networked server shed this request: the global admission
+          queue was full (or the connection limit was hit); retry later *)
   | Internal
 
 val code_string : error_code -> string
@@ -86,6 +89,15 @@ type op =
   | Close
 
 type request = { rq_id : Chg.Json.t; rq_session : string option; rq_op : op }
+
+(** The verb's wire name — what the [op] field carries and what
+    per-verb metric labels use. *)
+val op_string : op -> string
+
+(** [read_only op] — true for the verbs the networked server may execute
+    concurrently (lookup, batch_lookup, lint, stats, metrics); the rest
+    serialize through the single writer path. *)
+val read_only : op -> bool
 
 (** [request_of_json j] / [parse_request line] — a typed request, or the
     id to echo plus a structured error. *)

@@ -6,6 +6,7 @@ module J = Chg.Json
    SIGUSR1. *)
 type entry = {
   e_seq : int;  (* 1-based arrival order within this server *)
+  e_conn : int option;  (* connection id under the networked server *)
   e_verb : string;  (* op name, or "invalid" for rejected lines *)
   e_session : string option;
   e_id : J.t;  (* the request's echoed id *)
@@ -19,10 +20,13 @@ type entry = {
 let entry_json e =
   J.Obj
     (("seq", J.Int e.e_seq)
-     :: ("verb", J.String e.e_verb)
-     :: (match e.e_session with
-        | Some s -> [ ("session", J.String s) ]
-        | None -> [])
+     :: ((match e.e_conn with
+         | Some c -> [ ("conn", J.Int c) ]
+         | None -> [])
+        @ [ ("verb", J.String e.e_verb) ]
+        @ (match e.e_session with
+          | Some s -> [ ("session", J.String s) ]
+          | None -> []))
      @ ("id", e.e_id)
        :: ("outcome", J.String e.e_outcome)
        :: ("latency_ns", J.Int e.e_latency_ns)

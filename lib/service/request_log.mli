@@ -13,6 +13,10 @@
 
 type entry = {
   e_seq : int;  (** 1-based arrival order within this server *)
+  e_conn : int option;
+      (** connection id under the networked server; [None] on the
+          single-client stdin/stdout path, where the field is omitted
+          from the line entirely — the same parser reads both *)
   e_verb : string;  (** op name, or ["invalid"] for rejected lines *)
   e_session : string option;
   e_id : Chg.Json.t;  (** the request's echoed id *)

@@ -2,6 +2,19 @@ module J = Chg.Json
 module G = Chg.Graph
 module P = Protocol
 
+(* Connection-level accounting for the networked front end (lib/net).
+   The record lives here — not in lib/net — so the series are part of
+   every server's registry and the `metrics`/`stats` verbs report them
+   deterministically (all zero) in stdin/stdout mode too. *)
+type net_stats = {
+  net_active : int Atomic.t;  (* connections currently open *)
+  net_admitted : int Atomic.t;  (* requests admitted, not yet answered *)
+  net_accepted : Telemetry.Counter.t;
+  net_closed : Telemetry.Counter.t;
+  net_timed_out : Telemetry.Counter.t;  (* idle + slowloris closes *)
+  net_overloaded : Telemetry.Counter.t;  (* explicit overload rejections *)
+}
+
 type t = {
   config : Session.config;
   store : Store.t option;  (* durability, when serving --store *)
@@ -27,7 +40,18 @@ type t = {
   slow_ns : int option;  (* latency threshold; None = nothing is slow *)
   slow_requests : Telemetry.Counter.t;
   flight : Request_log.recorder;
+  net : net_stats;
+  inflight : (string * int Atomic.t) list;  (* per-verb, fixed at create *)
+  obs_mutex : Mutex.t;
+      (* serializes [observe] and exposition renders across worker
+         domains: per-request accounting (histogram record, seq, ring,
+         log line) commits atomically with respect to scrapes, so
+         Expocheck's monotonicity contract holds under concurrency *)
 }
+
+let verbs =
+  [ "open"; "lookup"; "batch_lookup"; "mutate"; "lint"; "snapshot";
+    "restore"; "stats"; "metrics"; "close" ]
 
 let create ?(config = Session.default_config) ?(trace = false) ?store
     ?request_log ?slow_ms () =
@@ -36,6 +60,14 @@ let create ?(config = Session.default_config) ?(trace = false) ?store
   in
   let registry = Telemetry.Registry.create () in
   let slow_requests = Telemetry.Counter.make "slow_requests" in
+  let net =
+    { net_active = Atomic.make 0;
+      net_admitted = Atomic.make 0;
+      net_accepted = Telemetry.Counter.make "connections_accepted";
+      net_closed = Telemetry.Counter.make "connections_closed";
+      net_timed_out = Telemetry.Counter.make "connections_timed_out";
+      net_overloaded = Telemetry.Counter.make "overloaded" }
+  in
   let t =
     { config;
       store;
@@ -59,7 +91,10 @@ let create ?(config = Session.default_config) ?(trace = false) ?store
       request_log;
       slow_ns = Option.map (fun ms -> ms * 1_000_000) slow_ms;
       slow_requests;
-      flight = Telemetry.Ring.create Request_log.default_flight_capacity }
+      flight = Telemetry.Ring.create Request_log.default_flight_capacity;
+      net;
+      inflight = List.map (fun v -> (v, Atomic.make 0)) verbs;
+      obs_mutex = Mutex.create () }
   in
   Telemetry.Registry.gauge registry
     ~help:"Nanoseconds since this server was created."
@@ -71,12 +106,41 @@ let create ?(config = Session.default_config) ?(trace = false) ?store
   Telemetry.Registry.attach_counter registry
     ~help:"Requests whose latency crossed the --slow-ms threshold."
     "cxxlookup_server_slow_requests_total" slow_requests;
+  Telemetry.Registry.gauge registry
+    ~help:"Connections currently open on the networked server."
+    "cxxlookup_server_connections_active"
+    (fun () -> Atomic.get net.net_active);
+  Telemetry.Registry.gauge registry
+    ~help:"Requests admitted and not yet answered (global admission queue depth)."
+    "cxxlookup_server_admission_queue_depth"
+    (fun () -> Atomic.get net.net_admitted);
+  Telemetry.Registry.attach_counter registry
+    ~help:"Connections accepted by the networked server."
+    "cxxlookup_server_connections_accepted_total" net.net_accepted;
+  Telemetry.Registry.attach_counter registry
+    ~help:"Connections closed (any reason, including timeouts)."
+    "cxxlookup_server_connections_closed_total" net.net_closed;
+  Telemetry.Registry.attach_counter registry
+    ~help:"Connections closed by the idle or slowloris timeout."
+    "cxxlookup_server_connections_timed_out_total" net.net_timed_out;
+  Telemetry.Registry.attach_counter registry
+    ~help:"Requests rejected with the overloaded error code."
+    "cxxlookup_server_overloaded_total" net.net_overloaded;
+  List.iter
+    (fun (verb, gauge) ->
+      Telemetry.Registry.gauge registry
+        ~help:"Requests currently executing, by verb."
+        ~labels:[ ("verb", verb) ]
+        "cxxlookup_server_inflight"
+        (fun () -> Atomic.get gauge))
+    t.inflight;
   (match store with None -> () | Some s -> Store.register s registry);
   t
 
 let sink t = t.sink
 let store t = t.store
 let registry t = t.registry
+let net t = t.net
 let uptime_ns t = Telemetry.Clock.now_ns () - t.start_ns
 let dump_flight t oc = Request_log.dump t.flight oc
 
@@ -377,8 +441,17 @@ let handle_restore t ~session:requested =
         ("torn_tail", J.Bool rv.Store.rv_torn) ])
 
 let handle_metrics t =
+  (* render under the observation mutex: a scrape never sees a request
+     whose histogram bump landed but whose counter bump has not *)
+  let body =
+    Mutex.protect t.obs_mutex (fun () ->
+        Telemetry.Prometheus.render t.registry)
+  in
   [ ("format", J.String "text/plain; version=0.0.4");
-    ("body", J.String (Telemetry.Prometheus.render t.registry)) ]
+    ("body", J.String body) ]
+
+let render_metrics t =
+  Mutex.protect t.obs_mutex (fun () -> Telemetry.Prometheus.render t.registry)
 
 (* Per-verb and per-error-code views out of the registry: the same
    labelled series the exposition renders, re-shaped as a JSON object.
@@ -426,7 +499,21 @@ let handle_stats t = function
                ( "error_codes",
                  J.Obj
                    (labelled_counts t "cxxlookup_server_errors_total"
-                      "code") ) ]) );
+                      "code") );
+               ( "net",
+                 J.Obj
+                   [ ("connections_active", J.Int (Atomic.get t.net.net_active));
+                     ( "connections_accepted",
+                       J.Int (Telemetry.Counter.value t.net.net_accepted) );
+                     ( "connections_closed",
+                       J.Int (Telemetry.Counter.value t.net.net_closed) );
+                     ( "connections_timed_out",
+                       J.Int (Telemetry.Counter.value t.net.net_timed_out) );
+                     ( "admission_queue_depth",
+                       J.Int (Atomic.get t.net.net_admitted) );
+                     ( "overloaded",
+                       J.Int (Telemetry.Counter.value t.net.net_overloaded) )
+                   ] ) ]) );
       ( "sessions",
         J.List
           (List.map
@@ -442,17 +529,7 @@ let handle_close t s =
   (match t.store with None -> () | Some store -> Store.sync store);
   [ ("session", J.String name); ("closed", J.Bool true) ]
 
-let op_name = function
-  | P.Open _ -> "open"
-  | P.Lookup _ -> "lookup"
-  | P.Batch_lookup _ -> "batch_lookup"
-  | P.Mutate _ -> "mutate"
-  | P.Lint _ -> "lint"
-  | P.Snapshot -> "snapshot"
-  | P.Restore -> "restore"
-  | P.Stats -> "stats"
-  | P.Metrics -> "metrics"
-  | P.Close -> "close"
+let op_name = P.op_string
 
 (* One finished request: per-verb latency histogram and request
    counter, per-error-code counter, slow-threshold accounting, a
@@ -460,8 +537,9 @@ let op_name = function
    Registry lookups are find-or-create — one hash probe each on the
    steady path.  The response line's byte count is measured only when
    the log is on: measuring means re-serializing the response. *)
-let observe t ~verb ~session ~id ~t0 ~outcome resp =
+let observe ?conn t ~verb ~session ~id ~t0 ~outcome resp =
   let latency = Telemetry.Clock.elapsed_ns ~since:t0 in
+  Mutex.protect t.obs_mutex @@ fun () ->
   Telemetry.Histogram.record
     (Telemetry.Registry.histogram t.registry
        ~help:"Request latency by verb, nanoseconds."
@@ -493,7 +571,8 @@ let observe t ~verb ~session ~id ~t0 ~outcome resp =
     | _ -> None
   in
   let entry =
-    { Request_log.e_seq = t.next_seq; e_verb = verb; e_session = session;
+    { Request_log.e_seq = t.next_seq; e_conn = conn; e_verb = verb;
+      e_session = session;
       e_id = id; e_outcome = outcome; e_latency_ns = latency;
       e_bytes = bytes; e_via = via; e_slow = slow }
   in
@@ -502,9 +581,11 @@ let observe t ~verb ~session ~id ~t0 ~outcome resp =
   | Some lg -> Request_log.log lg entry
   | None -> ()
 
-let handle_request t (rq : P.request) =
+let handle_request ?conn t (rq : P.request) =
   Telemetry.Counter.incr t.requests;
   let verb = op_name rq.P.rq_op in
+  let inflight = List.assoc_opt verb t.inflight in
+  Option.iter Atomic.incr inflight;
   let t0 = Telemetry.Clock.now_ns () in
   let run () =
     match rq.P.rq_op with
@@ -547,34 +628,48 @@ let handle_request t (rq : P.request) =
         true,
         P.error_response ~id:rq.P.rq_id P.Internal (Printexc.to_string exn) )
   in
-  observe t ~verb ~session:rq.P.rq_session ~id:rq.P.rq_id ~t0 ~outcome resp;
+  Option.iter Atomic.decr inflight;
+  observe ?conn t ~verb ~session:rq.P.rq_session ~id:rq.P.rq_id ~t0 ~outcome
+    resp;
   (* after observe, so the failing request itself is in the ring *)
   if internal then dump_flight t stderr;
   resp
 
-let observe_rejected t ~id ~code resp =
-  observe t ~verb:"invalid" ~session:None ~id
+let observe_rejected ?conn t ~verb ~id ~code resp =
+  observe ?conn t ~verb ~session:None ~id
     ~t0:(Telemetry.Clock.now_ns ())
     ~outcome:(P.code_string code) resp
 
-let handle_json t j =
+(* A request refused without execution — the networked server's
+   admission control and framing guards (overload, oversized line)
+   answer through here so rejections still hit the request counters,
+   the flight recorder and the log. *)
+let reject ?conn t ~verb ~id code msg =
+  Telemetry.Counter.incr t.requests;
+  Telemetry.Counter.incr t.errors;
+  if code = P.Overloaded then Telemetry.Counter.incr t.net.net_overloaded;
+  let resp = P.error_response ~id code msg in
+  observe_rejected ?conn t ~verb ~id ~code resp;
+  resp
+
+let handle_json ?conn t j =
   match P.request_of_json j with
-  | Ok rq -> handle_request t rq
+  | Ok rq -> handle_request ?conn t rq
   | Error (id, code, msg) ->
     Telemetry.Counter.incr t.requests;
     Telemetry.Counter.incr t.errors;
     let resp = P.error_response ~id code msg in
-    observe_rejected t ~id ~code resp;
+    observe_rejected ?conn t ~verb:"invalid" ~id ~code resp;
     resp
 
-let handle_line t line =
+let handle_line ?conn t line =
   match P.parse_request line with
-  | Ok rq -> handle_request t rq
+  | Ok rq -> handle_request ?conn t rq
   | Error (id, code, msg) ->
     Telemetry.Counter.incr t.requests;
     Telemetry.Counter.incr t.errors;
     let resp = P.error_response ~id code msg in
-    observe_rejected t ~id ~code resp;
+    observe_rejected ?conn t ~verb:"invalid" ~id ~code resp;
     resp
 
 (* ---- startup recovery ---------------------------------------------- *)

@@ -2,12 +2,30 @@
     request dispatcher ([cxxlookup serve] is a thin wrapper over
     {!serve}; [cxxlookup batch] drives {!handle_json} directly).
 
-    The server is deliberately synchronous and single-threaded: one
-    request, one response, in order — the batching verb is the
-    throughput lever, and resident state (incremental rows, memo cache,
-    compiled tables) is what amortizes work across requests. *)
+    On the stdin/stdout path the server is synchronous and
+    single-threaded: one request, one response, in order.  Under the
+    networked front end (lib/net) the same value is shared by every
+    worker domain: read verbs run concurrently (sessions guard their
+    mutable caches internally), mutations are serialized by the net
+    layer's writer lock, and per-request accounting commits under an
+    observation mutex so scrapes stay monotone. *)
 
 type t
+
+(** Connection-level accounting, owned by the server so the
+    [cxxlookup_server_connections_…] / [admission_queue_depth] /
+    [overloaded] series exist (deterministically zero) in stdin mode
+    too.  The networked front end mutates the fields directly. *)
+type net_stats = {
+  net_active : int Atomic.t;  (** connections currently open *)
+  net_admitted : int Atomic.t;
+      (** requests admitted and not yet answered — the global admission
+          queue depth the [--queue-depth] bound applies to *)
+  net_accepted : Telemetry.Counter.t;
+  net_closed : Telemetry.Counter.t;
+  net_timed_out : Telemetry.Counter.t;  (** idle + slowloris closes *)
+  net_overloaded : Telemetry.Counter.t;  (** explicit overload rejections *)
+}
 
 (** [create ?config ?trace ?store ?request_log ?slow_ms ()] — [config]
     applies to every session opened; [trace] (default false) records
@@ -37,6 +55,13 @@ val store : t -> Store.t option
 (** The server's metric registry — what the [metrics] verb and
     [--metrics-file] render. *)
 val registry : t -> Telemetry.Registry.t
+
+val net : t -> net_stats
+
+(** Prometheus exposition of {!registry}, rendered under the
+    observation mutex — the race-free form of
+    [Telemetry.Prometheus.render (registry t)]. *)
+val render_metrics : t -> string
 
 val uptime_ns : t -> int
 
@@ -71,11 +96,21 @@ val counters : t -> (string * int) list
     one request at the corresponding decoding stage; always returns the
     response document (errors travel as [ok:false] responses, never
     exceptions). *)
-val handle_request : t -> Protocol.request -> Chg.Json.t
+val handle_request : ?conn:int -> t -> Protocol.request -> Chg.Json.t
 
-val handle_json : t -> Chg.Json.t -> Chg.Json.t
+val handle_json : ?conn:int -> t -> Chg.Json.t -> Chg.Json.t
 
-val handle_line : t -> string -> Chg.Json.t
+val handle_line : ?conn:int -> t -> string -> Chg.Json.t
+
+(** [reject t ~verb ~id code msg] — refuse a request without executing
+    it: counts as a request and an error, bumps the overload rejection
+    counter when [code] is [Overloaded], passes through the flight
+    recorder and request log, and returns the error response.  The
+    networked server's admission control and framing guards answer
+    through here. *)
+val reject :
+  ?conn:int -> t -> verb:string -> id:Chg.Json.t -> Protocol.error_code ->
+  string -> Chg.Json.t
 
 (** [serve ?after_response t ic oc] — the JSON-lines loop: read a
     request per line from [ic], write its response line to [oc]

@@ -42,6 +42,13 @@ type t = {
   ambiguous : Telemetry.Counter.t;
   not_found : Telemetry.Counter.t;
   mutations : Telemetry.Counter.t;
+  lock : Mutex.t;
+      (* guards the memo path and cache promotion under the networked
+         server, where read verbs run on several worker domains at
+         once.  The compiled-table hit path stays lock-free
+         ([Table_cache.find_fast]); only memo fills — which mutate the
+         memo's tables — and promotions serialize here.  Uncontended
+         (and byte-identical in accounting) on the stdin path. *)
 }
 
 let fresh_memo t cl = Memo.create ?max_entries:t.config.memo_max_entries cl
@@ -79,7 +86,8 @@ let make ?(config = default_config) ~name ~epoch g =
     resolved = Telemetry.Counter.make "resolved";
     ambiguous = Telemetry.Counter.make "ambiguous";
     not_found = Telemetry.Counter.make "not_found";
-    mutations = Telemetry.Counter.make "mutations" }
+    mutations = Telemetry.Counter.make "mutations";
+    lock = Mutex.create () }
 
 let create ?config ~name g = make ?config ~name ~epoch:0 g
 
@@ -112,18 +120,29 @@ let lookup t cls member =
   | None -> Error cls
   | Some c ->
     Telemetry.Counter.incr t.lookups;
-    (match Table_cache.find t.cache member with
+    (match Table_cache.find_fast t.cache member with
     | Some col ->
+      (* lock-free: an immutable packed column read on any domain *)
       let v = Packed.column_get col c in
       count_verdict t v;
       Ok (v, Compiled)
     | None ->
-      let v = Memo.lookup t.memo c member in
-      if Memo.root_queries t.memo member >= t.config.promote_threshold then
-        Table_cache.promote t.cache member
-          (Memo.materialize_column t.memo member);
-      count_verdict t v;
-      Ok (v, Memoised))
+      Mutex.protect t.lock @@ fun () ->
+      (* re-probe under the lock: another domain may have promoted this
+         member between our fast-path miss and acquiring the lock (the
+         locked find also attributes the miss to the counters) *)
+      (match Table_cache.find t.cache member with
+      | Some col ->
+        let v = Packed.column_get col c in
+        count_verdict t v;
+        Ok (v, Compiled)
+      | None ->
+        let v = Memo.lookup t.memo c member in
+        if Memo.root_queries t.memo member >= t.config.promote_threshold then
+          Table_cache.promote t.cache member
+            (Memo.materialize_column t.memo member);
+        count_verdict t v;
+        Ok (v, Memoised)))
 
 (* Mutations go to the incremental engine — its rows update in place,
    never recomputed from scratch — then the snapshot-facing state

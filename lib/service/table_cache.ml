@@ -9,8 +9,16 @@ type entry = {
   mutable last_use : int;  (* LRU stamp from the cache's tick *)
 }
 
+module Smap = Map.Make (String)
+
 type t = {
   table : (string, entry) Hashtbl.t;
+  published : entry Smap.t Atomic.t;
+      (* an immutable snapshot of [table], republished after every
+         structural change.  [find_fast] reads it lock-free from
+         concurrent reader domains; the Hashtbl itself is only touched
+         under the owner's exclusivity (the session mutex / the net
+         layer's writer lock). *)
   mutable tick : int;
   max_entries : int;
   max_bytes : int option;
@@ -31,6 +39,7 @@ let create ?(max_entries = 64) ?max_bytes () =
     invalid_arg "Table_cache.create: max_bytes must be >= 1"
   | _ -> ());
   { table = Hashtbl.create 16;
+    published = Atomic.make Smap.empty;
     tick = 0;
     max_entries;
     max_bytes;
@@ -45,6 +54,25 @@ let create ?(max_entries = 64) ?max_bytes () =
 let touch t e =
   t.tick <- t.tick + 1;
   e.last_use <- t.tick
+
+let republish t =
+  Atomic.set t.published
+    (Hashtbl.fold (fun m e acc -> Smap.add m e acc) t.table Smap.empty)
+
+(* The lock-free hit path: consult only the published snapshot, so it
+   can run on any reader domain concurrently with a promotion that is
+   restructuring the Hashtbl.  A hit counts and touches exactly like
+   {!find} (tick bumps are racy across domains — LRU recency is an
+   approximation there — but byte-identical to {!find} in serial
+   stdin/stdout mode).  A miss counts nothing: the caller falls back to
+   the locked {!find}, which attributes it. *)
+let find_fast t m =
+  match Smap.find_opt m (Atomic.get t.published) with
+  | Some e ->
+    Telemetry.Counter.incr t.hits;
+    touch t e;
+    Some e.column
+  | None -> None
 
 let find t m =
   match Hashtbl.find_opt t.table m with
@@ -109,19 +137,22 @@ let promote t m col =
      on every promotion). *)
   while over_budget t && evict_lru t ~keep:m do
     ()
-  done
+  done;
+  republish t
 
 let invalidate t m =
   match Hashtbl.find_opt t.table m with
   | None -> false
   | Some e ->
     drop t m e;
+    republish t;
     Telemetry.Counter.incr t.invalidations;
     true
 
 let clear t =
   let n = Hashtbl.length t.table in
   Hashtbl.reset t.table;
+  republish t;
   t.total_bytes <- 0;
   t.total_boxed_bytes <- 0;
   Telemetry.Counter.add t.invalidations n
@@ -137,7 +168,8 @@ let update_columns t f =
         drop t m e;
         Telemetry.Counter.incr t.invalidations
       | Some col -> set_column t e col)
-    updates
+    updates;
+  republish t
 
 let columns t =
   Hashtbl.fold (fun m e acc -> (m, e.column) :: acc) t.table []

@@ -37,6 +37,14 @@ val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
     the hit counter — or [None], bumping the miss counter. *)
 val find : t -> string -> column option
 
+(** [find_fast t m] is the lock-free hit path: it consults an
+    atomically published immutable snapshot of the cache, so concurrent
+    reader domains can probe while a writer (holding the owner's lock)
+    restructures the underlying table.  A hit counts and touches
+    exactly like {!find}; a miss counts nothing and returns [None] —
+    fall back to {!find} under the owner's lock to attribute it. *)
+val find_fast : t -> string -> column option
+
 (** [promote t m col] installs (or refreshes) [m]'s column and enforces
     the budget, evicting least-recently-used columns as needed. *)
 val promote : t -> string -> column -> unit

@@ -1,9 +1,9 @@
-type t = { name : string; mutable value : int }
+type t = { name : string; value : int Atomic.t }
 
-let make name = { name; value = 0 }
+let make name = { name; value = Atomic.make 0 }
 let name t = t.name
-let value t = t.value
-let incr t = t.value <- t.value + 1
-let add t n = t.value <- t.value + n
-let reset t = t.value <- 0
-let pp ppf t = Format.fprintf ppf "%s=%d" t.name t.value
+let value t = Atomic.get t.value
+let incr t = Atomic.incr t.value
+let add t n = ignore (Atomic.fetch_and_add t.value n)
+let reset t = Atomic.set t.value 0
+let pp ppf t = Format.fprintf ppf "%s=%d" t.name (Atomic.get t.value)

@@ -1,8 +1,8 @@
 (** Named monotonic operation counters.
 
-    A counter is a bare mutable int behind a name: incrementing one is a
-    single store, cheap enough to sit on the hot paths of the lookup
-    engines.  Zero-cost-when-disabled is the {e caller's} contract — the
+    A counter is an atomic int behind a name: incrementing one is a
+    single atomic add, cheap enough to sit on the hot paths of the
+    lookup engines and safe to bump from concurrent server domains.  Zero-cost-when-disabled is the {e caller's} contract — the
     engines guard every bump with their metrics bag's [enabled] flag so a
     disabled run never touches a counter at all. *)
 

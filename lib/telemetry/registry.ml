@@ -27,9 +27,12 @@ type series = {
 type t = {
   table : (string, series) Hashtbl.t;  (* key: name + rendered labels *)
   mutable order : string list;  (* registration order of keys, reversed *)
+  lock : Mutex.t;
+      (* guards [table]/[order]: find-or-create runs on every request
+         from any worker domain, concurrently with scrapes *)
 }
 
-let create () = { table = Hashtbl.create 64; order = [] }
+let create () = { table = Hashtbl.create 64; order = []; lock = Mutex.create () }
 
 let valid_name n =
   n <> ""
@@ -65,6 +68,7 @@ let register ?(replace = false) t ~name ~help ~labels instrument =
   let s = { s_name = name; s_help = help; s_labels = labels;
             s_instrument = instrument }
   in
+  Mutex.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.table k with
   | Some existing when not replace -> existing.s_instrument
   | Some _ ->
@@ -101,7 +105,10 @@ let attach_histogram t ?(help = "") ?(labels = []) name h =
    name, series within a group by label set — a deterministic scrape
    order, so two renders of the same state are byte-identical. *)
 let collect t =
-  let all = Hashtbl.fold (fun _ s acc -> s :: acc) t.table [] in
+  let all =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold (fun _ s acc -> s :: acc) t.table [])
+  in
   let sorted =
     List.sort
       (fun a b ->

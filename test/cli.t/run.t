@@ -264,7 +264,7 @@ requests seen so far (the stats request itself is tallied after it is
 answered).
 
   $ echo '{"id":0,"op":"stats"}' | cxxlookup serve | sed 's/"uptime_ns":[0-9]*/"uptime_ns":0/'
-  {"id":0,"ok":true,"protocol":"cxxlookup-rpc/1","service":{"requests":1,"errors":0,"sessions_opened":0,"sessions_closed":0,"lookups":0,"batch_requests":0,"batch_queries":0,"mutations":0,"lints":0,"sessions_open":0,"uptime_ns":0,"verbs":{},"error_codes":{}},"sessions":[]}
+  {"id":0,"ok":true,"protocol":"cxxlookup-rpc/1","service":{"requests":1,"errors":0,"sessions_opened":0,"sessions_closed":0,"lookups":0,"batch_requests":0,"batch_queries":0,"mutations":0,"lints":0,"sessions_open":0,"uptime_ns":0,"verbs":{},"error_codes":{},"net":{"connections_active":0,"connections_accepted":0,"connections_closed":0,"connections_timed_out":0,"admission_queue_depth":0,"overloaded":0}},"sessions":[]}
 
 Malformed input is answered in-band, line by line, never fatally.
 

@@ -23,5 +23,6 @@ let () =
       ("observability", Test_observability.suite);
       ("service", Test_service.suite);
       ("store", Test_store.suite);
+      ("net", Test_net.suite);
       ("packed", Test_packed.suite);
       ("properties", Test_props.suite) ]

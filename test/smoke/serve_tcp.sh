@@ -1,0 +1,90 @@
+#!/bin/sh
+# Networked-server smoke test: one serve process on an ephemeral TCP
+# port must (1) answer the canned six-verb transcript byte-identically
+# to stdin mode, (2) survive a loadgen burst, and (3) expose the
+# cxxlookup_server_… series across two scrapes that pass the exposition
+# checker's format and monotonicity gates.  Run from the repository
+# root (make verify does).
+set -eu
+
+BIN=${CXXLOOKUP:-_build/default/bin/cxxlookup.exe}
+WORK=$(mktemp -d)
+SERVER=
+cleanup() {
+  [ -n "$SERVER" ] && kill "$SERVER" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+PROM="$WORK/node.prom"
+
+# Port 0: the kernel picks; the resolved port is announced on stderr.
+"$BIN" serve --listen 127.0.0.1:0 --jobs 1 --workers 1 \
+  --metrics-file "$PROM" --metrics-interval 1 \
+  2>"$WORK/serve.err" &
+SERVER=$!
+
+await() {
+  i=0
+  until "$@"; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+      echo "serve_tcp: timed out waiting for: $*" >&2
+      exit 1
+    fi
+    sleep 0.05
+  done
+}
+
+await grep -q 'listening on' "$WORK/serve.err"
+PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/serve.err")
+[ -n "$PORT" ] || { echo "serve_tcp: could not parse port" >&2; exit 1; }
+
+# The golden transcript over TCP must be byte-identical to stdin mode.
+# The transcript deliberately contains error responses (unknown lint
+# rule, lookup on a closed session), so the client exits non-zero —
+# the diff against the golden is the actual gate.
+"$BIN" client --connect "127.0.0.1:$PORT" --pipeline \
+  <test/smoke/serve_input.jsonl >"$WORK/tcp.jsonl" || true
+diff "$WORK/tcp.jsonl" test/smoke/serve_golden.jsonl
+
+# First scrape: the collector thread rewrites the textfile on a 1 s
+# interval, so one exists shortly after the transcript lands.
+await test -s "$PROM"
+cp "$PROM" "$WORK/scrape1.prom"
+
+# A short open-loop burst; every request must be answered in-band
+# (no overload at this rate, no connection drops).
+"$BIN" loadgen --connect "127.0.0.1:$PORT" examples/fig9.cpp \
+  --conns 2 --qps 200 --duration 0.5 --warmup 1 --json \
+  >"$WORK/loadgen.json"
+grep -q '"errors":[[:space:]]*0' "$WORK/loadgen.json"
+if grep -q '"answered":[[:space:]]*0[,}]' "$WORK/loadgen.json"; then
+  echo "serve_tcp: loadgen got no responses" >&2
+  exit 1
+fi
+
+# Second scrape, strictly after the burst's rewrite.
+sleep 1.2
+cp "$PROM" "$WORK/scrape2.prom"
+
+# Each scrape well-formed; counters only ever move forward.
+"$BIN" check-metrics "$WORK/scrape1.prom" >/dev/null
+"$BIN" check-metrics --prev "$WORK/scrape1.prom" "$WORK/scrape2.prom" \
+  >/dev/null
+
+# The server-specific series are present: connections were accepted and
+# closed, nothing was rejected at this rate.
+grep -q 'cxxlookup_server_connections_accepted_total [1-9]' "$WORK/scrape2.prom"
+grep -q 'cxxlookup_server_connections_closed_total [1-9]' "$WORK/scrape2.prom"
+grep -q 'cxxlookup_server_overloaded_total 0' "$WORK/scrape2.prom"
+
+# Graceful shutdown: SIGTERM must tear down cleanly with exit 0.
+kill -TERM "$SERVER"
+if ! wait "$SERVER"; then
+  echo "serve_tcp: server exited non-zero on SIGTERM" >&2
+  exit 1
+fi
+SERVER=
+
+echo "serve_tcp: OK"

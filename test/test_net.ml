@@ -1,0 +1,372 @@
+(* Tests for the networked server: the backpressure primitives
+   (Bqueue, Rwlock), protocol hardening over real sockets (pipelining
+   order, oversized lines, torn lines at the idle timeout, explicit
+   overload), and a QCheck property that concurrent read mixes over K
+   connections match the spec oracle. *)
+
+module G = Chg.Graph
+module J = Chg.Json
+module Path = Subobject.Path
+module Spec = Subobject.Spec
+module W = Hiergen.Workload
+module Server = Service.Server
+module Bqueue = Net.Bqueue
+module Rwlock = Net.Rwlock
+
+(* ---- Bqueue ---- *)
+
+let test_bqueue_order_and_bounds () =
+  let q = Bqueue.create 4 in
+  List.iter (fun i -> Alcotest.(check bool) "push" true (Bqueue.push q i))
+    [ 1; 2; 3; 4 ];
+  Alcotest.(check bool) "try_push refused when full" false (Bqueue.try_push q 5);
+  Alcotest.(check int) "length" 4 (Bqueue.length q);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Bqueue.pop q);
+  Alcotest.(check bool) "room again" true (Bqueue.try_push q 5);
+  Bqueue.close q;
+  Alcotest.(check bool) "push refused after close" false (Bqueue.push q 6);
+  Alcotest.(check (list (option int))) "drains then None"
+    [ Some 2; Some 3; Some 4; Some 5; None ]
+    (List.init 5 (fun _ -> Bqueue.pop q));
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Bqueue.create: capacity must be >= 1") (fun () ->
+      ignore (Bqueue.create 0))
+
+let test_bqueue_backpressure () =
+  (* capacity 1: the producer can only ever be one ahead — every item
+     still arrives, in order, through the blocking push *)
+  let q = Bqueue.create 1 in
+  let n = 200 in
+  let producer =
+    Thread.create
+      (fun () ->
+        for i = 1 to n do
+          ignore (Bqueue.push q i)
+        done;
+        Bqueue.close q)
+      ()
+  in
+  let got = ref [] in
+  let rec drain () =
+    match Bqueue.pop q with
+    | Some x ->
+      got := x :: !got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Thread.join producer;
+  Alcotest.(check (list int)) "all items, in order"
+    (List.init n (fun i -> i + 1))
+    (List.rev !got)
+
+(* ---- Rwlock ---- *)
+
+let test_rwlock_writer_exclusive () =
+  let lock = Rwlock.create () in
+  let counter = ref 0 in
+  (* non-atomic increments stay exact only if writers really exclude
+     each other *)
+  let writers =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 1000 do
+              Rwlock.with_write lock (fun () ->
+                  let v = !counter in
+                  Thread.yield ();
+                  counter := v + 1)
+            done)
+          ())
+  in
+  List.iter Thread.join writers;
+  Alcotest.(check int) "every write observed" 4000 !counter
+
+let test_rwlock_readers_concurrent () =
+  let lock = Rwlock.create () in
+  let inside = Atomic.make 0 in
+  let peak = Atomic.make 0 in
+  let readers =
+    List.init 2 (fun _ ->
+        Thread.create
+          (fun () ->
+            Rwlock.with_read lock (fun () ->
+                let now = 1 + Atomic.fetch_and_add inside 1 in
+                if now > Atomic.get peak then Atomic.set peak now;
+                (* give the other reader time to enter *)
+                Thread.delay 0.05;
+                Atomic.decr inside))
+          ())
+  in
+  List.iter Thread.join readers;
+  Alcotest.(check int) "both readers held it at once" 2 (Atomic.get peak)
+
+(* ---- a live server on an ephemeral port ---- *)
+
+let fig9_source =
+  In_channel.with_open_text "../examples/fig9.cpp" In_channel.input_all
+
+let with_server ?(config = Net.Server.default_config) f =
+  let srv = Server.create () in
+  let net = Net.Server.create ~config srv (Net.Server.Tcp ("127.0.0.1", 0)) in
+  let th = Thread.create Net.Server.run net in
+  let addr = Net.Server.bound_addr net in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.Server.stop net;
+      Thread.join th)
+    (fun () -> f addr)
+
+let ok_resp line =
+  match J.of_string line with
+  | Ok j -> J.member "ok" j = Ok (J.Bool true)
+  | Error _ -> false
+
+let error_code line =
+  match J.of_string line with
+  | Ok j ->
+    (match J.member "error" j with
+    | Ok e ->
+      (match J.member "code" e with Ok (J.String s) -> s | _ -> "?")
+    | Error _ -> "?")
+  | Error _ -> "?"
+
+let open_line ?(session = "s") source =
+  J.to_string
+    (J.Obj
+       [ ("id", J.Int 0); ("op", J.String "open");
+         ("session", J.String session); ("source", J.String source) ])
+
+let lookup_line ~session ~id ~cls ~member =
+  J.to_string
+    (J.Obj
+       [ ("id", J.Int id); ("op", J.String "lookup");
+         ("session", J.String session); ("class", J.String cls);
+         ("member", J.String member) ])
+
+let must_recv cl =
+  match Net.Client.recv_line cl with
+  | Some l -> l
+  | None -> Alcotest.fail "server closed unexpectedly"
+
+(* ---- protocol hardening over real sockets ---- *)
+
+let test_pipelining_order () =
+  with_server @@ fun addr ->
+  let cl = Net.Client.connect addr in
+  Net.Client.send_line cl (open_line fig9_source);
+  Alcotest.(check bool) "open ok" true (ok_resp (must_recv cl));
+  let n = 40 in
+  (* fire the whole burst before reading anything: responses must come
+     back in request order, ids echoed *)
+  for i = 1 to n do
+    Net.Client.send_line cl
+      (lookup_line ~session:"s" ~id:i ~cls:"E" ~member:"m")
+  done;
+  for i = 1 to n do
+    let resp = must_recv cl in
+    Alcotest.(check bool) (Printf.sprintf "response %d ok" i) true
+      (ok_resp resp);
+    match J.of_string resp with
+    | Ok j ->
+      Alcotest.(check bool) (Printf.sprintf "id %d echoed in order" i) true
+        (J.member "id" j = Ok (J.Int i))
+    | Error e -> Alcotest.failf "bad response: %s" e
+  done;
+  Net.Client.close cl
+
+let test_oversized_line_survives () =
+  let config = { Net.Server.default_config with max_line = 128 } in
+  with_server ~config @@ fun addr ->
+  let cl = Net.Client.connect addr in
+  Net.Client.send_line cl (String.make 4096 'x');
+  let resp = must_recv cl in
+  Alcotest.(check string) "oversized answered bad_request" "bad_request"
+    (error_code resp);
+  (* the connection survived: a well-formed request still answers *)
+  Net.Client.send_line cl {|{"id":7,"op":"stats"}|};
+  let resp = must_recv cl in
+  Alcotest.(check bool) "connection alive after oversized line" true
+    (ok_resp resp);
+  Net.Client.close cl
+
+let net_stat line name =
+  match J.of_string line with
+  | Ok j ->
+    (match
+       let ( let* ) = Result.bind in
+       let* service = J.member "service" j in
+       let* net = J.member "net" service in
+       J.member name net
+     with
+    | Ok (J.Int n) -> n
+    | _ -> Alcotest.failf "stats lacks net.%s: %s" name line)
+  | Error e -> Alcotest.failf "stats not JSON: %s" e
+
+let test_torn_line_times_out () =
+  let config = { Net.Server.default_config with idle_timeout = 0.3 } in
+  with_server ~config @@ fun addr ->
+  let cl = Net.Client.connect addr in
+  (* a complete request first, then a torn partial line, never finished *)
+  Net.Client.send_line cl {|{"id":1,"op":"stats"}|};
+  Alcotest.(check bool) "first request ok" true (ok_resp (must_recv cl));
+  Net.Client.send_line cl {|{"id":2,"op":"stats"}|};
+  (* partial line: bytes but no newline — the slowloris shape *)
+  Net.Client.send_raw cl {|{"id":3,"op":|};
+  (* the pipelined complete request still answers... *)
+  Alcotest.(check bool) "pipelined request answered before close" true
+    (ok_resp (must_recv cl));
+  (* ...then the deadline passes and the server closes cleanly without
+     ever executing the torn fragment *)
+  Alcotest.(check (option string)) "connection closed at the deadline" None
+    (Net.Client.recv_line cl);
+  Net.Client.close cl;
+  (* other clients are unaffected, and the close is attributed to the
+     timeout counters *)
+  let cl2 = Net.Client.connect addr in
+  Net.Client.send_line cl2 {|{"id":1,"op":"stats"}|};
+  let stats = must_recv cl2 in
+  Alcotest.(check int) "timed-out counter ticked" 1
+    (net_stat stats "connections_timed_out");
+  Alcotest.(check int) "no spurious overload" 0 (net_stat stats "overloaded");
+  Net.Client.close cl2
+
+let test_overload_explicit () =
+  (* queue_depth 0: the admission bound is already exhausted, so every
+     parsed request is answered overloaded — deterministically *)
+  let config = { Net.Server.default_config with queue_depth = 0 } in
+  with_server ~config @@ fun addr ->
+  let cl = Net.Client.connect addr in
+  Net.Client.send_line cl (open_line fig9_source);
+  let resp = must_recv cl in
+  Alcotest.(check string) "rejected with overloaded" "overloaded"
+    (error_code resp);
+  (match J.of_string resp with
+  | Ok j ->
+    Alcotest.(check bool) "id echoed on rejection" true
+      (J.member "id" j = Ok (J.Int 0))
+  | Error e -> Alcotest.failf "bad response: %s" e);
+  (* the connection survives rejection; the counter is visible — but
+     stats is itself a request, so read it through the registry *)
+  Net.Client.send_line cl {|{"id":1,"op":"stats"}|};
+  Alcotest.(check string) "stats rejected too" "overloaded"
+    (error_code (must_recv cl));
+  Net.Client.close cl
+
+let test_overload_counter_visible () =
+  with_server @@ fun addr ->
+  let cl = Net.Client.connect addr in
+  (* a max-conns-0-style rejection is hard to time; instead check the
+     zero state is reported — the counter's plumbing end to end *)
+  Net.Client.send_line cl {|{"id":1,"op":"stats"}|};
+  let stats = must_recv cl in
+  Alcotest.(check int) "active connections gauge" 1
+    (net_stat stats "connections_active");
+  Alcotest.(check int) "accepted counter" 1
+    (net_stat stats "connections_accepted");
+  Alcotest.(check int) "overloaded starts at zero" 0
+    (net_stat stats "overloaded");
+  Net.Client.close cl
+
+(* ---- QCheck: concurrent read mixes match the spec oracle ---- *)
+
+let qc_members = [ "m"; "n"; "p" ]
+
+let instance_gen =
+  QCheck.Gen.(
+    map
+      (fun (n, max_bases, vp, dp, seed) ->
+        Hiergen.Families.random_dag ~n ~max_bases
+          ~virtual_prob:(float_of_int vp /. 10.)
+          ~declare_prob:(float_of_int dp /. 10.)
+          ~members:qc_members ~seed)
+      (tup5 (int_range 1 12) (int_range 1 3) (int_range 0 10)
+         (int_range 1 6) (int_range 0 10000)))
+
+let instance_arb =
+  QCheck.make instance_gen ~print:(fun i ->
+      i.Hiergen.Families.description ^ "\n"
+      ^ Format.asprintf "%a" G.pp i.Hiergen.Families.graph)
+
+let lookup_matches_spec g (q : W.query) resp =
+  match J.of_string resp with
+  | Error _ -> false
+  | Ok r ->
+    let verdict =
+      match J.member "verdict" r with
+      | Ok (J.String s) -> s
+      | _ -> "?"
+    in
+    (match Spec.lookup_static g q.W.q_class q.W.q_member with
+    | Spec.Resolved p ->
+      verdict = "red"
+      && J.member "resolves_to" r = Ok (J.String (G.name g (Path.ldc p)))
+    | Spec.Ambiguous _ -> verdict = "blue"
+    | Spec.Undeclared -> verdict = "none")
+
+let prop_concurrent_reads_match_spec =
+  QCheck.Test.make ~count:12
+    ~name:"concurrent reads over K connections = spec oracle" instance_arb
+    (fun { Hiergen.Families.graph = g; _ } ->
+      let config = { Net.Server.default_config with workers = 2 } in
+      with_server ~config @@ fun addr ->
+      let setup = Net.Client.connect addr in
+      let opened =
+        Net.Client.request setup
+          (J.to_string
+             (J.Obj
+                [ ("id", J.Int 0); ("op", J.String "open");
+                  ("session", J.String "q");
+                  ("chg", Chg.Serialize.to_json g) ]))
+      in
+      (match opened with
+      | Some r when ok_resp r -> ()
+      | _ -> Alcotest.fail "open failed");
+      let ws = Array.of_list (W.exhaustive g) in
+      let k = 4 in
+      let failures = Atomic.make 0 in
+      let worker conn_idx =
+        let cl = Net.Client.connect addr in
+        (* every connection walks the whole workload, phase-shifted, so
+           the same columns are hit from several domains at once *)
+        Array.iteri
+          (fun i _ ->
+            let q = ws.((i + conn_idx) mod Array.length ws) in
+            let line =
+              lookup_line ~session:"q" ~id:i
+                ~cls:(G.name g q.W.q_class)
+                ~member:q.W.q_member
+            in
+            match Net.Client.request cl line with
+            | Some resp when lookup_matches_spec g q resp -> ()
+            | _ -> Atomic.incr failures)
+          ws;
+        Net.Client.close cl
+      in
+      let threads =
+        List.init k (fun i -> Thread.create (fun () -> worker i) ())
+      in
+      List.iter Thread.join threads;
+      Net.Client.close setup;
+      Atomic.get failures = 0)
+
+let suite =
+  [ Alcotest.test_case "bqueue order, bounds, close" `Quick
+      test_bqueue_order_and_bounds;
+    Alcotest.test_case "bqueue blocking backpressure" `Quick
+      test_bqueue_backpressure;
+    Alcotest.test_case "rwlock writers exclusive" `Quick
+      test_rwlock_writer_exclusive;
+    Alcotest.test_case "rwlock readers concurrent" `Quick
+      test_rwlock_readers_concurrent;
+    Alcotest.test_case "pipelined responses in request order" `Quick
+      test_pipelining_order;
+    Alcotest.test_case "oversized line answers bad_request, conn survives"
+      `Quick test_oversized_line_survives;
+    Alcotest.test_case "torn line closes cleanly at the idle timeout"
+      `Quick test_torn_line_times_out;
+    Alcotest.test_case "queue_depth exhaustion answers overloaded" `Quick
+      test_overload_explicit;
+    Alcotest.test_case "connection gauges visible in stats" `Quick
+      test_overload_counter_visible ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_concurrent_reads_match_spec ]
