@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-smoke lint metrics-smoke net-smoke verify clean
+.PHONY: all build test bench bench-smoke lint metrics-smoke net-smoke \
+	cluster-smoke verify clean
 
 all: build
 
@@ -51,6 +52,14 @@ metrics-smoke: build
 net-smoke: build
 	sh test/smoke/serve_tcp.sh
 
+# The cluster layer end to end under chaos: leader + WAL-shipping
+# replica + shard router, each SIGKILLed at its worst moment — the
+# replica mid-stream (restart over the same store must recover and
+# converge), a router backend mid-fan-out (every response correct or
+# an explicit backend_unavailable), and the router itself.
+cluster-smoke: build
+	sh test/smoke/cluster_chaos.sh
+
 # CI entry point: full build, full test suite, a smoke run of the
 # telemetry pipeline end to end (parse -> all three engines -> JSON),
 # a serve smoke test (canned cxxlookup-rpc/1 transcript through the
@@ -68,6 +77,7 @@ verify:
 	sh test/smoke/crash_recovery.sh
 	$(MAKE) metrics-smoke
 	$(MAKE) net-smoke
+	$(MAKE) cluster-smoke
 	$(MAKE) lint
 	@echo "verify: OK"
 

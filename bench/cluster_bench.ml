@@ -1,0 +1,271 @@
+(* CLU1: the cluster under load — a shard router fronting one leader
+   and 1, 2 or 3 WAL-shipping read replicas, all in-process on
+   loopback, driven by the load generator on the paper's figure-9
+   hierarchy.
+
+   Four sessions run concurrently (one loadgen per session) because the
+   router's rendezvous hashing gives each session a single preferred
+   backend: one session would measure one replica plus routing
+   overhead, never the spread.  An open-loop run gives the p50/p99 a
+   client of the router sees; a closed-loop run gives the saturation
+   throughput.  Read the rows against SRV1: the delta at one replica is
+   the price of the extra hop, the slope over replicas is what sharding
+   buys once sessions spread.
+
+   A final short mixed run adds a [mutate] share, exercising the
+   at-most-once leader-forwarding path under concurrent reads; it must
+   finish with zero in-band errors.
+
+   Replication is asynchronous, so replica reads may trail the leader —
+   a latency/throughput experiment is indifferent to that, which is
+   exactly why the mutating run can share the cluster with the read
+   load. *)
+
+module G = Chg.Graph
+module J = Chg.Json
+module Figures = Hiergen.Figures
+
+let header id title = Format.printf "@.---- %s: %s ----@." id title
+
+let counters_json pairs =
+  Telemetry.Json.Obj
+    (List.map (fun (k, v) -> (k, Telemetry.Json.Int v)) pairs)
+
+let response_ok line =
+  match J.of_string line with
+  | Ok j -> J.member "ok" j = Ok (J.Bool true)
+  | Error _ -> false
+
+let sessions = [ "bench0"; "bench1"; "bench2"; "bench3" ]
+
+let temp_dir () =
+  let f = Filename.temp_file "clu1" "" in
+  Sys.remove f;
+  Unix.mkdir f 0o700;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* Leader (durable store + replication listener), [replicas] followers,
+   and a router over all the front ends, torn down in reverse. *)
+let with_cluster ~replicas k =
+  let dir = temp_dir () in
+  let store =
+    Store.open_dir
+      ~config:{ Store.default_config with Store.fsync = Store.Wal.Never }
+      dir
+  in
+  let leader = Service.Server.create ~store () in
+  let front srv =
+    let config = { Net.Server.default_config with workers = 1 } in
+    let net = Net.Server.create ~config srv (Net.Server.Tcp ("127.0.0.1", 0)) in
+    let th = Thread.create Net.Server.run net in
+    (net, th)
+  in
+  let lnet, lth = front leader in
+  let repl = Cluster.Repl.create ~poll_ms:2 leader (Net.Server.Tcp ("127.0.0.1", 0)) in
+  let repl_th = Thread.create Cluster.Repl.run repl in
+  let followers =
+    List.init replicas (fun _ ->
+        let srv = Service.Server.create ~role:Service.Server.Follower () in
+        let rep =
+          Cluster.Replica.create ~backoff_ms:20 srv (Cluster.Repl.bound_addr repl)
+        in
+        let rep_th = Thread.create Cluster.Replica.run rep in
+        let net, th = front srv in
+        (srv, rep, rep_th, net, th))
+  in
+  let backends =
+    Net.Server.bound_addr lnet
+    :: List.map (fun (_, _, _, net, _) -> Net.Server.bound_addr net) followers
+  in
+  let router =
+    Cluster.Router.create ~leader:0 backends (Net.Server.Tcp ("127.0.0.1", 0))
+  in
+  let router_th = Thread.create Cluster.Router.run router in
+  Fun.protect
+    ~finally:(fun () ->
+      Cluster.Router.stop router;
+      Thread.join router_th;
+      List.iter
+        (fun (_, rep, rep_th, net, th) ->
+          Cluster.Replica.stop rep;
+          Thread.join rep_th;
+          Net.Server.stop net;
+          Thread.join th)
+        followers;
+      Cluster.Repl.stop repl;
+      Thread.join repl_th;
+      Net.Server.stop lnet;
+      Thread.join lth;
+      Store.close store;
+      rm_rf dir)
+    (fun () ->
+      k ~leader
+        ~follower_srvs:(List.map (fun (srv, _, _, _, _) -> srv) followers)
+        ~router_addr:(Cluster.Router.bound_addr router))
+
+(* Sessions are opened through the router (a mutation, so it forwards
+   to the leader) and warmed through the router, so the measured runs
+   hit compiled columns on whichever backend rendezvous picks. *)
+let open_and_warm router_addr g queries =
+  List.iter
+    (fun session ->
+      let cl = Net.Client.connect router_addr in
+      let line =
+        J.to_string
+          (J.Obj
+             [ ("id", J.Int 0); ("op", J.String "open");
+               ("session", J.String session); ("chg", Chg.Serialize.to_json g)
+             ])
+      in
+      (match Net.Client.request cl line with
+      | Some r when response_ok r -> ()
+      | _ -> invalid_arg "CLU1: open failed");
+      Array.iter
+        (fun (c, m) ->
+          let q =
+            J.to_string
+              (J.Obj
+                 [ ("id", J.Int 1); ("op", J.String "lookup");
+                   ("session", J.String session); ("class", J.String c);
+                   ("member", J.String m) ])
+          in
+          match Net.Client.request cl q with
+          | Some _ -> ()
+          | None -> invalid_arg "CLU1: warmup connection lost")
+        queries;
+      Net.Client.close cl)
+    sessions
+
+let await ?(timeout = 10.) pred what =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      invalid_arg (Printf.sprintf "CLU1: timed out waiting for %s" what)
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let replicas_caught_up ~leader ~follower_srvs () =
+  let want = List.sort compare (Service.Server.open_sessions leader) in
+  List.for_all
+    (fun srv ->
+      List.sort compare (Service.Server.open_sessions srv) = want)
+    follower_srvs
+
+(* One loadgen per session, concurrently; reports merged losslessly. *)
+let run_sessions router_addr cfg ~queries =
+  let results = Array.make (List.length sessions) None in
+  let threads =
+    List.mapi
+      (fun i session ->
+        Thread.create
+          (fun () ->
+            results.(i) <- Some (Net.Loadgen.run router_addr cfg ~session ~queries))
+          ())
+      sessions
+  in
+  List.iter Thread.join threads;
+  let reports = List.filter_map Fun.id (Array.to_list results) in
+  let hist = Telemetry.Histogram.create () in
+  List.iter
+    (fun (r : Net.Loadgen.report) ->
+      Telemetry.Histogram.merge_into ~into:hist r.hist)
+    reports;
+  let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+  ( hist,
+    sum (fun (r : Net.Loadgen.report) -> r.answered),
+    sum (fun (r : Net.Loadgen.report) -> r.errors),
+    List.fold_left
+      (fun a (r : Net.Loadgen.report) -> a +. r.achieved_qps)
+      0. reports,
+    List.fold_left
+      (fun a (r : Net.Loadgen.report) -> Float.max a r.elapsed)
+      0. reports )
+
+let open_loop_qps = 2000.
+let measure_s = 1.0
+
+let run () =
+  header "CLU1" "shard router over WAL-shipping replicas: latency and scaling";
+  let g = Figures.fig9 () in
+  let size = G.num_classes g + G.num_edges g in
+  let queries =
+    Array.of_list
+      (List.concat_map
+         (fun m ->
+           List.init (G.num_classes g) (fun c -> (G.name g c, m)))
+         (G.member_names g))
+  in
+  Format.printf
+    "  fig9 via router: %d sessions; open loop %.0f qps aggregate, %gs per \
+     run@."
+    (List.length sessions) open_loop_qps measure_s;
+  List.iter
+    (fun replicas ->
+      with_cluster ~replicas @@ fun ~leader ~follower_srvs ~router_addr ->
+      open_and_warm router_addr g queries;
+      await (replicas_caught_up ~leader ~follower_srvs) "replica catch-up";
+      let per_session q =
+        { Net.Loadgen.conns = 1; qps = q; duration = measure_s;
+          mix = [ ("lookup", 9); ("batch_lookup", 1) ]; batch_size = 8 }
+      in
+      let fixed_hist, fixed_answered, fixed_errors, _, _ =
+        run_sessions router_addr
+          (per_session (open_loop_qps /. float_of_int (List.length sessions)))
+          ~queries
+      in
+      let _, sat_answered, sat_errors, sat_qps, sat_elapsed =
+        run_sessions router_addr (per_session 0.) ~queries
+      in
+      (* the mutating mix: reads keep flowing while every tenth request
+         is a mutation the router must forward to the leader exactly
+         once; any in-band error here is a routing bug, not load *)
+      let _, mut_answered, mut_errors, _, _ =
+        run_sessions router_addr
+          { (per_session 0.) with
+            duration = 0.3;
+            mix = [ ("lookup", 8); ("batch_lookup", 1); ("mutate", 1) ]
+          }
+          ~queries
+      in
+      let p q = Telemetry.Histogram.quantile fixed_hist q in
+      Format.printf
+        "  replicas=%d  p50=%d ns  p99=%d ns  (open loop, %d answered)  \
+         saturation=%d req/s (%d answered)  mutating mix: %d answered, %d \
+         errors@."
+        replicas (p 0.50) (p 0.99) fixed_answered
+        (int_of_float sat_qps) sat_answered mut_answered mut_errors;
+      if fixed_errors > 0 || sat_errors > 0 || mut_errors > 0 then
+        Format.printf "  WARNING: in-band errors: fixed=%d saturation=%d \
+                       mutating=%d@."
+          fixed_errors sat_errors mut_errors;
+      Scaling.record ~experiment:"CLU1"
+        ~family:(Printf.sprintf "fig9 router %d replicas" replicas)
+        ~n_plus_e:size
+        ~time_ns:
+          (if sat_answered = 0 then 0.
+           else sat_elapsed *. 1e9 /. float_of_int sat_answered)
+        ~latency:fixed_hist
+        (counters_json
+           [ ("replicas", replicas);
+             ("sessions", List.length sessions);
+             ("open_loop_qps_target", int_of_float open_loop_qps);
+             ("open_loop_answered", fixed_answered);
+             ("open_loop_errors", fixed_errors);
+             ("saturation_qps", int_of_float sat_qps);
+             ("saturation_answered", sat_answered);
+             ("saturation_errors", sat_errors);
+             ("mutating_answered", mut_answered);
+             ("mutating_errors", mut_errors) ]))
+    [ 1; 2; 3 ]

@@ -50,6 +50,12 @@ let () =
     Srv_bench.run ();
     exit 0
   end;
+  (* `clu` runs only the cluster experiment (router + replicas), for
+     iterating on the cluster layer; the full run includes it too. *)
+  if Array.exists (String.equal "clu") Sys.argv then begin
+    Cluster_bench.run ();
+    exit 0
+  end;
   Fig_tables.run ();
   Scaling.run ();
   Ablation.run ();
@@ -59,6 +65,7 @@ let () =
   Store_bench.run ();
   Packed_bench.run ();
   Srv_bench.run ();
+  Cluster_bench.run ();
   Becha.run ();
   write_metrics ();
   Format.printf "@.%s@."

@@ -896,9 +896,26 @@ let serve_cmd =
             "Request line length bound; longer lines are discarded and \
              answered bad_request without killing the connection.")
   in
+  let replicate_listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replicate-listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Stream the store to read replicas over TCP (port 0 picks an \
+             ephemeral port, printed to stderr).  Requires --store; \
+             followers connect with 'cxxlookup replica --follow'.")
+  in
+  let replicate_unix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replicate-unix" ] ~docv:"PATH"
+          ~doc:"Stream the store to read replicas on a Unix socket.")
+  in
   let run config trace store_dir store_config metrics_file metrics_interval
       request_log slow_ms listen unix_path workers max_conns queue_depth
-      conn_queue idle_timeout max_line =
+      conn_queue idle_timeout max_line replicate_listen replicate_unix =
     let store =
       Option.map (fun dir -> Store.open_dir ~config:store_config dir) store_dir
     in
@@ -926,6 +943,28 @@ let serve_cmd =
                Out_channel.output_string oc body);
            Sys.rename tmp path
          with Sys_error msg -> Printf.eprintf "metrics write failed: %s\n%!" msg)
+    in
+    (* the replication listener runs on its own thread whatever the
+       front end mode — it ships store files, not requests *)
+    let repl =
+      match net_addr ~flag:"replicate-listen" replicate_listen replicate_unix
+      with
+      | None -> None
+      | Some _ when store = None ->
+        prerr_endline "error: --replicate-listen requires --store DIR";
+        exit 2
+      | Some raddr ->
+        let r = Cluster.Repl.create srv raddr in
+        Printf.eprintf "replicating on %s\n%!"
+          (Net.Server.addr_string (Cluster.Repl.bound_addr r));
+        Some (r, Thread.create Cluster.Repl.run r)
+    in
+    let stop_repl () =
+      match repl with
+      | None -> ()
+      | Some (r, th) ->
+        Cluster.Repl.stop r;
+        Thread.join th
     in
     (match net_addr ~flag:"listen" listen unix_path with
     | Some addr ->
@@ -970,6 +1009,7 @@ let serve_cmd =
         end
       in
       Service.Server.serve ~after_response srv stdin stdout);
+    stop_repl ();
     write_metrics ();
     (match log with None -> () | Some lg -> Service.Request_log.close lg);
     (match store with
@@ -1000,12 +1040,14 @@ let serve_cmd =
           (reads concurrent, mutations single-writer), per-connection \
           pipelining with responses in request order, bounded queues \
           answering explicit overloaded errors, and idle/slowloris \
-          timeouts.")
+          timeouts.  With --replicate-listen (or --replicate-unix) and \
+          --store, the node also streams per-session snapshots and the \
+          WAL tail to read replicas.")
     Term.(const run $ service_config_term $ trace $ store_dir
           $ store_config_term $ metrics_file $ metrics_interval
           $ request_log $ slow_ms $ listen $ unix_sock_term $ workers
           $ max_conns $ queue_depth $ conn_queue $ idle_timeout
-          $ max_line)
+          $ max_line $ replicate_listen $ replicate_unix)
 
 let connect_term =
   Arg.(
@@ -1020,6 +1062,23 @@ let require_addr tcp unix_path =
     prerr_endline "error: need --connect HOST:PORT or --unix PATH";
     exit 2
 
+let retry_term =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "Retry a refused connection — and, per request, an in-band \
+           overloaded response (shed before execution, so resending is \
+           safe) — up to N times with jittered exponential backoff.")
+
+let backoff_term =
+  Arg.(
+    value & opt int 50
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:
+          "Backoff seed: attempt k sleeps about MS * 2^k milliseconds, \
+           +/-25% jitter.")
+
 let client_cmd =
   let pipeline =
     Arg.(
@@ -1030,16 +1089,15 @@ let client_cmd =
              still arrive in request order) instead of one round trip \
              per line.")
   in
-  let run tcp unix_path pipeline =
+  let run tcp unix_path pipeline retry backoff_ms =
     let addr = require_addr tcp unix_path in
-    let cl = Net.Client.connect addr in
+    let cl = Net.Client.connect ~retries:retry ~backoff_ms addr in
     let lines =
       In_channel.input_lines stdin
       |> List.filter (fun l -> String.trim l <> "")
     in
     let failed = ref false in
-    let recv () =
-      match Net.Client.recv_line cl with
+    let handle = function
       | Some resp ->
         print_endline resp;
         if not (match Chg.Json.of_string resp with
@@ -1052,10 +1110,13 @@ let client_cmd =
     in
     if pipeline then begin
       List.iter (Net.Client.send_line cl) lines;
-      List.iter (fun _ -> recv ()) lines
+      List.iter (fun _ -> handle (Net.Client.recv_line cl)) lines
     end
     else
-      List.iter (fun l -> Net.Client.send_line cl l; recv ()) lines;
+      List.iter
+        (fun l ->
+          handle (Net.Client.request_admitted ~retries:retry ~backoff_ms cl l))
+        lines;
     Net.Client.close cl;
     if !failed then exit 1
   in
@@ -1066,8 +1127,12 @@ let client_cmd =
           server (--connect HOST:PORT or --unix PATH) and print the \
           responses to stdout.  Exits non-zero if any response is an \
           in-band error or the server closes early — the smoke-test \
-          counterpart of piping the same lines into 'cxxlookup serve'.")
-    Term.(const run $ connect_term $ unix_sock_term $ pipeline)
+          counterpart of piping the same lines into 'cxxlookup serve'.  \
+          --retry adds jittered exponential backoff on refused \
+          connections and (per request, outside --pipeline) overloaded \
+          responses.")
+    Term.(const run $ connect_term $ unix_sock_term $ pipeline $ retry_term
+          $ backoff_term)
 
 let loadgen_cmd =
   let conns =
@@ -1234,6 +1299,195 @@ let loadgen_cmd =
     Term.(const run $ connect_term $ unix_sock_term $ file_arg $ conns
           $ qps $ duration $ mix $ batch_size $ warmup $ session
           $ json_flag)
+
+(* -- the cluster roles: replica & router ----------------------------- *)
+
+let replica_cmd =
+  let follow =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"HOST:PORT"
+          ~doc:"The leader's replication listener (--replicate-listen).")
+  in
+  let follow_unix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow-unix" ] ~docv:"PATH"
+          ~doc:"The leader's replication Unix socket (--replicate-unix).")
+  in
+  let store_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "The replica's own store directory: streamed state is \
+             persisted here, so a restarted replica recovers locally and \
+             offers its epochs back to the leader instead of \
+             re-bootstrapping.")
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Serve read-only cxxlookup-rpc/1 over TCP (port 0 picks an \
+             ephemeral port, printed to stderr).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing read verbs.")
+  in
+  let run config store_config follow follow_unix store_dir listen unix_path
+      workers backoff_ms =
+    let leader =
+      match net_addr ~flag:"follow" follow follow_unix with
+      | Some a -> a
+      | None ->
+        prerr_endline "error: need --follow HOST:PORT or --follow-unix PATH";
+        exit 2
+    in
+    let addr =
+      match net_addr ~flag:"listen" listen unix_path with
+      | Some a -> a
+      | None ->
+        prerr_endline "error: need --listen HOST:PORT or --unix PATH";
+        exit 2
+    in
+    let store = Store.open_dir ~config:store_config store_dir in
+    let srv =
+      Service.Server.create ~role:Service.Server.Follower ~config ~store ()
+    in
+    print_recoveries (Service.Server.recover_sessions srv);
+    let ncfg = { Net.Server.default_config with Net.Server.workers } in
+    let net = Net.Server.create ~config:ncfg srv addr in
+    let rep =
+      Cluster.Replica.create
+        ~excl:{ Cluster.Replica.excl = (fun f -> Net.Server.exclusively net f) }
+        ~backoff_ms srv leader
+    in
+    let request_stop _ =
+      Net.Server.stop net;
+      Cluster.Replica.stop rep
+    in
+    (try
+       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+     with Invalid_argument _ | Sys_error _ -> ());
+    Printf.eprintf "replica listening on %s, following %s\n%!"
+      (Net.Server.addr_string (Net.Server.bound_addr net))
+      (Net.Server.addr_string leader);
+    let th = Thread.create Cluster.Replica.run rep in
+    Net.Server.run net;
+    Cluster.Replica.stop rep;
+    Thread.join th;
+    Store.sync store;
+    Store.close store
+  in
+  Cmd.v
+    (Cmd.info "replica"
+       ~doc:
+         "Run a WAL-shipping read replica: follow a leader's replication \
+          stream (--follow), apply its snapshots and WAL records into a \
+          local store (--store), and serve the read verbs (lookup, \
+          batch_lookup, lint, stats, metrics) on --listen or --unix.  \
+          Mutations are answered not_leader.  Recovery is reconnection: \
+          after a crash or restart the replica recovers from its own \
+          store and offers the leader what it already holds.")
+    Term.(const run $ service_config_term $ store_config_term $ follow
+          $ follow_unix $ store_dir $ listen $ unix_sock_term $ workers
+          $ backoff_term)
+
+let router_cmd =
+  let backends =
+    Arg.(
+      value & opt_all string []
+      & info [ "backend" ] ~docv:"ADDR"
+          ~doc:
+            "A backend address (HOST:PORT, or unix:PATH), repeatable.  \
+             The first backend is the leader unless --leader points \
+             elsewhere.")
+  in
+  let leader =
+    Arg.(
+      value & opt int 0
+      & info [ "leader" ] ~docv:"INDEX"
+          ~doc:
+            "Which --backend (0-based) is the leader: mutations are \
+             forwarded there, everything else is rendezvous-hashed over \
+             all backends.")
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Front-end address (port 0 picks an ephemeral port, printed \
+             to stderr).")
+  in
+  let parse_backend s =
+    if String.length s > 5 && String.sub s 0 5 = "unix:" then
+      Net.Server.Unix_path (String.sub s 5 (String.length s - 5))
+    else
+      match parse_host_port s with
+      | Some (h, p) -> Net.Server.Tcp (h, p)
+      | None ->
+        Printf.eprintf
+          "error: bad --backend %S (expected HOST:PORT or unix:PATH)\n" s;
+        exit 2
+  in
+  let run backends leader listen unix_path retries backoff_ms =
+    if backends = [] then begin
+      prerr_endline "error: need at least one --backend";
+      exit 2
+    end;
+    if leader < 0 || leader >= List.length backends then begin
+      prerr_endline "error: --leader must index one of the --backend list";
+      exit 2
+    end;
+    let addr =
+      match net_addr ~flag:"listen" listen unix_path with
+      | Some a -> a
+      | None ->
+        prerr_endline "error: need --listen HOST:PORT or --unix PATH";
+        exit 2
+    in
+    let rt =
+      Cluster.Router.create
+        ~config:{ Cluster.Router.retries; backoff_ms }
+        ~leader
+        (List.map parse_backend backends)
+        addr
+    in
+    let request_stop _ = Cluster.Router.stop rt in
+    (try
+       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+     with Invalid_argument _ | Sys_error _ -> ());
+    Printf.eprintf "routing on %s over %d backends (leader %d)\n%!"
+      (Net.Server.addr_string (Cluster.Router.bound_addr rt))
+      (List.length backends) leader;
+    Cluster.Router.run rt
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:
+         "Run the shard router: accept cxxlookup-rpc/1 on --listen or \
+          --unix and spread it over the --backend list — reads \
+          rendezvous-hashed by session with failover, batch_lookup \
+          fanned out and merged in request order, mutations forwarded \
+          to the leader at most once, and explicit backend_unavailable \
+          (never a silently wrong answer) when no backend can serve.  \
+          The router's own metrics verb reports per-backend health \
+          gauges, round-trip histograms and routing counters.")
+    Term.(const run $ backends $ leader $ listen $ unix_sock_term
+          $ retry_term $ backoff_term)
 
 let store_dir_arg =
   Arg.(
@@ -1510,4 +1764,4 @@ let () =
             slice_cmd; export_cmd; import_cmd; run_cmd; audit_cmd; count_cmd;
             stats_cmd; trace_cmd; lint_cmd; metrics_cmd; check_metrics_cmd;
             serve_cmd; client_cmd; loadgen_cmd; batch_cmd; snapshot_cmd;
-            restore_cmd ]))
+            restore_cmd; replica_cmd; router_cmd ]))

@@ -1,0 +1,38 @@
+(** The follower side of replication: connects to the leader, offers
+    what it already holds, and applies the streamed snapshots and WAL
+    records into the local {!Service.Server.t}.
+
+    Recovery is reconnection: any stream problem — a lost socket, a
+    malformed message, an apply error — drops the connection, and the
+    next handshake's [have] map lets the leader converge the replica
+    (extending the tail or resending a snapshot) without any
+    negotiation beyond that one line.
+
+    Run the local server with [~role:Follower] so mutations arriving
+    over its own front end are answered [not_leader] instead of
+    forking the replica's history. *)
+
+type t
+
+(** How applies take the serving front end's exclusive lock; pass
+    [Net.Server.exclusively] wrapped, or leave the default (run
+    directly) for single-threaded tests. *)
+type excl = { excl : 'a. (unit -> 'a) -> 'a }
+
+val no_excl : excl
+
+(** [create ?excl ?backoff_ms srv leader] — [backoff_ms] (default 100)
+    seeds the jittered exponential reconnect delay.  Metrics
+    ([cxxlookup_replica_connected], [..._connects_total],
+    [..._snapshots_installed_total], [..._records_applied_total],
+    [..._stream_errors_total]) land in [srv]'s registry. *)
+val create :
+  ?excl:excl -> ?backoff_ms:int -> Service.Server.t -> Net.Server.addr -> t
+
+(** [run t] connects (and reconnects, forever) until {!stop}.  Run it
+    on its own thread next to the front end's [run]. *)
+val run : t -> unit
+
+(** Unblocks {!run} by closing the live connection; safe from any
+    thread. *)
+val stop : t -> unit

@@ -1,0 +1,52 @@
+(** The shard router: a [cxxlookup-rpc/1] front end that spreads
+    traffic over a set of backends by rendezvous-hashing session names.
+
+    Routing by verb class:
+    - reads ([lookup], [batch_lookup], [lint], [stats]) go to the
+      session's preferred backend and fail over down the preference
+      order; a replica's in-band [unknown_session] is retried once on
+      the leader.  Only when every candidate fails does the client see
+      an explicit [backend_unavailable] — never a silently wrong
+      answer.
+    - mutations ([open], [mutate], [snapshot], [restore], [close]) are
+      forwarded to the leader {e at most once}: connect retries and
+      [overloaded] resends are safe, but a connection lost mid-request
+      answers [backend_unavailable] rather than risk double-apply.
+    - [batch_lookup] fans out in contiguous chunks across the
+      preference order and merges in request order, byte-shaped exactly
+      like a single backend's response.
+    - [metrics] is answered locally from the router's own registry
+      (per-backend up gauges, round-trip histograms, routing
+      counters).
+
+    Placement is memoryless — a pure hash of (session, backend
+    address) — so routers scale out without coordinating. *)
+
+type config = {
+  retries : int;  (** connect / overloaded retries per backend *)
+  backoff_ms : int;  (** seed for the jittered exponential backoff *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ?config ~leader backends addr] — [leader] indexes into
+    [backends] (the leader serves reads too).  Binds the listener
+    (ephemeral TCP ports resolve immediately); raises
+    [Invalid_argument] on an empty backend list or an out-of-range
+    leader, [Unix.Unix_error] when the bind fails. *)
+val create :
+  ?config:config -> leader:int -> Net.Server.addr list -> Net.Server.addr -> t
+
+val bound_addr : t -> Net.Server.addr
+
+(** The router's own metric registry — what its [metrics] verb
+    renders. *)
+val registry : t -> Telemetry.Registry.t
+
+(** [run t] accepts clients until {!stop} (one systhread per
+    connection, serial per-connection handling). *)
+val run : t -> unit
+
+val stop : t -> unit

@@ -1,0 +1,195 @@
+module J = Chg.Json
+module B = Chg.Binary
+
+(* The replication wire format, [cxxlookup-repl/1]: JSON lines like the
+   rpc protocol, binary payloads (snapshot containers and WAL mutation
+   codecs — the store's own on-disk formats) carried base64.  One
+   handshake line from the follower, then a one-way message stream from
+   the leader; the TCP connection itself is the ack channel. *)
+
+let version = "cxxlookup-repl/1"
+
+(* ---- base64 (standard alphabet, padded) ----------------------------- *)
+
+let b64_alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let b64_encode s =
+  let n = String.length s in
+  let out = Buffer.create (((n + 2) / 3) * 4) in
+  let byte i = Char.code s.[i] in
+  let emit c = Buffer.add_char out b64_alphabet.[c land 63] in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
+    emit (w lsr 18); emit (w lsr 12); emit (w lsr 6); emit w;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+    let w = byte !i lsl 16 in
+    emit (w lsr 18); emit (w lsr 12);
+    Buffer.add_string out "=="
+  | 2 ->
+    let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
+    emit (w lsr 18); emit (w lsr 12); emit (w lsr 6);
+    Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let b64_value =
+  let table = Array.make 256 (-1) in
+  String.iteri (fun i c -> table.(Char.code c) <- i) b64_alphabet;
+  fun c -> table.(Char.code c)
+
+let b64_decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then Error "base64: length not a multiple of 4"
+  else begin
+    let pad =
+      if n = 0 then 0
+      else if String.length s >= 2 && s.[n - 2] = '=' then 2
+      else if s.[n - 1] = '=' then 1
+      else 0
+    in
+    let out = Buffer.create (n / 4 * 3) in
+    let err = ref None in
+    (try
+       let i = ref 0 in
+       while !i < n do
+         let digit k =
+           let c = s.[!i + k] in
+           if c = '=' then
+             if !i + 4 < n || k < 2 then (err := Some "base64: stray '='"; raise Exit)
+             else 0
+           else
+             match b64_value c with
+             | -1 -> err := Some (Printf.sprintf "base64: bad byte %C" c); raise Exit
+             | v -> v
+         in
+         let w =
+           (digit 0 lsl 18) lor (digit 1 lsl 12) lor (digit 2 lsl 6) lor digit 3
+         in
+         Buffer.add_char out (Char.chr ((w lsr 16) land 0xff));
+         if !i + 4 < n || pad < 2 then
+           Buffer.add_char out (Char.chr ((w lsr 8) land 0xff));
+         if !i + 4 < n || pad < 1 then Buffer.add_char out (Char.chr (w land 0xff));
+         i := !i + 4
+       done
+     with Exit -> ());
+    match !err with Some e -> Error e | None -> Ok (Buffer.contents out)
+  end
+
+(* ---- messages ------------------------------------------------------- *)
+
+type server_msg =
+  | Hello
+  | Snapshot of Store.Snapshot.t
+  | Wal of { session : string; record : Store.Wal.record }
+  | Ping
+  | Error_msg of string
+
+(* follower -> leader, the only follower line: what it already has *)
+let hello_line ~have =
+  J.to_string
+    (J.Obj
+       [ ("repl", J.String "hello");
+         ("protocol", J.String version);
+         ("have", J.Obj (List.map (fun (s, e) -> (s, J.Int e)) have)) ])
+
+let parse_hello line =
+  match J.of_string line with
+  | Error e -> Error ("handshake is not JSON: " ^ e)
+  | Ok j ->
+    (match (J.member "repl" j, J.member "protocol" j) with
+    | Ok (J.String "hello"), Ok (J.String p) when p = version ->
+      (match J.member "have" j with
+      | Ok (J.Obj fields) ->
+        (try
+           Ok
+             (List.map
+                (fun (s, v) ->
+                  match v with
+                  | J.Int e -> (s, e)
+                  | _ -> failwith "have epochs must be integers")
+                fields)
+         with Failure m -> Error m)
+      | Ok _ -> Error "field \"have\" must be an object"
+      | Error _ -> Ok [])
+    | Ok (J.String "hello"), Ok (J.String p) ->
+      Error (Printf.sprintf "protocol mismatch: peer speaks %s, this is %s" p version)
+    | _ -> Error "handshake must be a repl/hello message")
+
+let hello_ack_line =
+  J.to_string
+    (J.Obj [ ("repl", J.String "hello"); ("protocol", J.String version) ])
+
+let ping_line = J.to_string (J.Obj [ ("repl", J.String "ping") ])
+
+let error_line msg =
+  J.to_string
+    (J.Obj [ ("repl", J.String "error"); ("message", J.String msg) ])
+
+(* The snapshot travels as its on-disk container bytes — CRC-sectioned,
+   so a corrupted transfer fails decode rather than installing junk. *)
+let snapshot_line ~session ~epoch data =
+  J.to_string
+    (J.Obj
+       [ ("repl", J.String "snapshot");
+         ("session", J.String session);
+         ("epoch", J.Int epoch);
+         ("data", J.String (b64_encode data)) ])
+
+let wal_line ~session (r : Store.Wal.record) =
+  let w = B.Writer.create () in
+  Store.Mutation.write w r.Store.Wal.rc_mutation;
+  J.to_string
+    (J.Obj
+       [ ("repl", J.String "wal");
+         ("session", J.String session);
+         ("epoch", J.Int r.Store.Wal.rc_epoch);
+         ("data", J.String (b64_encode (B.Writer.contents w))) ])
+
+let str_member name j =
+  match J.member name j with
+  | Ok (J.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let int_member name j =
+  match J.member name j with
+  | Ok (J.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let ( let* ) = Result.bind
+
+let parse_server_msg line =
+  match J.of_string line with
+  | Error e -> Error ("message is not JSON: " ^ e)
+  | Ok j ->
+    (match J.member "repl" j with
+    | Ok (J.String "hello") -> Ok Hello
+    | Ok (J.String "ping") -> Ok Ping
+    | Ok (J.String "error") ->
+      let* m = str_member "message" j in
+      Ok (Error_msg m)
+    | Ok (J.String "snapshot") ->
+      let* data = str_member "data" j in
+      let* bytes = b64_decode data in
+      let* snap = Store.Snapshot.decode bytes in
+      Ok (Snapshot snap)
+    | Ok (J.String "wal") ->
+      let* session = str_member "session" j in
+      let* epoch = int_member "epoch" j in
+      let* data = str_member "data" j in
+      let* bytes = b64_decode data in
+      (match
+         let r = B.Reader.of_string bytes in
+         let m = Store.Mutation.read r in
+         if B.Reader.at_end r then Ok m else Error "trailing mutation bytes"
+       with
+      | Ok m ->
+        Ok (Wal { session; record = { Store.Wal.rc_epoch = epoch; rc_mutation = m } })
+      | Error e -> Error e
+      | exception B.Corrupt m -> Error ("mutation decode: " ^ m))
+    | Ok (J.String other) -> Error (Printf.sprintf "unknown repl message %S" other)
+    | _ -> Error "missing field \"repl\"")

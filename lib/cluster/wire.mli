@@ -1,0 +1,45 @@
+(** The replication wire format, [cxxlookup-repl/1]: JSON lines with
+    binary payloads carried base64 — the store's own on-disk codecs
+    (snapshot containers, WAL mutation frames), so everything shipped
+    is CRC-guarded end to end.
+
+    Flow: the follower sends one [hello] line offering the sessions and
+    epochs it already holds; the leader answers [hello] and then
+    streams [snapshot] (resynchronization points) and [wal] (one record
+    each, strictly-consecutive epochs per session) messages, plus
+    periodic [ping]s that double as dead-peer detection.  The follower
+    never writes again — reconnecting with a fresh [hello] is the only
+    recovery action it needs. *)
+
+val version : string
+
+val b64_encode : string -> string
+
+val b64_decode : string -> (string, string) result
+
+type server_msg =
+  | Hello
+  | Snapshot of Store.Snapshot.t
+  | Wal of { session : string; record : Store.Wal.record }
+  | Ping
+  | Error_msg of string
+
+(** Follower handshake: [have] maps open session names to their
+    epochs. *)
+val hello_line : have:(string * int) list -> string
+
+val parse_hello : string -> ((string * int) list, string) result
+
+val hello_ack_line : string
+
+val ping_line : string
+
+val error_line : string -> string
+
+(** [snapshot_line ~session ~epoch data] — [data] is the snapshot
+    container bytes exactly as stored on disk. *)
+val snapshot_line : session:string -> epoch:int -> string -> string
+
+val wal_line : session:string -> Store.Wal.record -> string
+
+val parse_server_msg : string -> (server_msg, string) result

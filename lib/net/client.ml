@@ -17,7 +17,15 @@ let sockaddr_of = function
     Unix.ADDR_INET (addr, port)
   | Server.Unix_path path -> Unix.ADDR_UNIX path
 
-let connect addr =
+(* Exponential backoff with +/-25% jitter, so a fleet of reconnecting
+   clients (or router backend slots) spreads out instead of stampeding
+   the moment a server comes back. *)
+let backoff_delay ~attempt ~backoff_ms =
+  let base = float_of_int backoff_ms *. (2. ** float_of_int attempt) in
+  base *. (0.75 +. Random.float 0.5) /. 1000.
+
+let connect_once addr =
+  Server.ignore_sigpipe ();
   let ic, oc = Unix.open_connection (sockaddr_of addr) in
   (match addr with
   | Server.Tcp _ ->
@@ -25,6 +33,25 @@ let connect addr =
      with Unix.Unix_error _ -> ())
   | Server.Unix_path _ -> ());
   { ic; oc }
+
+(* Refusal means "nothing is listening (yet)" — the retryable class.  A
+   resolution failure or a bad address stays fatal on the first try. *)
+let retryable = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT | Unix.ETIMEDOUT
+  | Unix.EHOSTUNREACH | Unix.ENETUNREACH ->
+    true
+  | _ -> false
+
+let connect ?(retries = 0) ?(backoff_ms = 50) addr =
+  let rec go attempt =
+    match connect_once addr with
+    | t -> t
+    | exception Unix.Unix_error (err, _, _) when
+        attempt < retries && retryable err ->
+      Thread.delay (backoff_delay ~attempt ~backoff_ms);
+      go (attempt + 1)
+  in
+  go 0
 
 let send_line t line =
   output_string t.oc line;
@@ -43,6 +70,32 @@ let recv_line t = In_channel.input_line t.ic
 let request t line =
   send_line t line;
   recv_line t
+
+let overloaded line =
+  match Chg.Json.of_string line with
+  | Error _ -> false
+  | Ok j ->
+    (match Chg.Json.member "error" j with
+    | Ok e ->
+      (match Chg.Json.member "code" e with
+      | Ok (Chg.Json.String "overloaded") -> true
+      | _ -> false)
+    | Error _ -> false)
+
+(* A round trip that retries — on the same connection — when the server
+   sheds the request with an [overloaded] error, backing off between
+   resends.  Any other response (or a closed connection) returns
+   immediately; admission pressure is the one condition where blind
+   resending is known-safe, because a shed request was never executed. *)
+let request_admitted ?(retries = 0) ?(backoff_ms = 50) t line =
+  let rec go attempt =
+    match request t line with
+    | Some resp when attempt < retries && overloaded resp ->
+      Thread.delay (backoff_delay ~attempt ~backoff_ms);
+      go (attempt + 1)
+    | r -> r
+  in
+  go 0
 
 let close t =
   try Unix.shutdown_connection t.ic; close_in t.ic

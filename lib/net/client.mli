@@ -4,8 +4,23 @@
 
 type t
 
-(** Raises [Unix.Unix_error] when the connection is refused. *)
-val connect : Server.addr -> t
+(** [connect ?retries ?backoff_ms addr] — with [retries] (default 0:
+    fail immediately), a refused / unreachable connection is retried up
+    to that many additional times with jittered exponential backoff
+    ([backoff_ms], default 50, doubling per attempt, +/-25% jitter).
+    Raises [Unix.Unix_error] once the attempts are exhausted.  The
+    router's backend pool and [cxxlookup client --retry] reconnect
+    through this. *)
+val connect : ?retries:int -> ?backoff_ms:int -> Server.addr -> t
+
+(** [backoff_delay ~attempt ~backoff_ms] — the jittered exponential
+    delay (seconds) the retry paths sleep between attempts. *)
+val backoff_delay : attempt:int -> backoff_ms:int -> float
+
+(** [overloaded line] — the response is an in-band [overloaded]
+    error (the one condition where blindly resending is safe: a shed
+    request was never executed). *)
+val overloaded : string -> bool
 
 val send_line : t -> string -> unit
 
@@ -18,5 +33,10 @@ val recv_line : t -> string option
 
 (** One synchronous round trip. *)
 val request : t -> string -> string option
+
+(** Like {!request}, but an [overloaded] response is resent (same
+    connection) up to [retries] times with the jittered backoff. *)
+val request_admitted : ?retries:int -> ?backoff_ms:int -> t -> string ->
+  string option
 
 val close : t -> unit

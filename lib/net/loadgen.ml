@@ -28,7 +28,7 @@ type config = {
   batch_size : int;  (* queries per batch_lookup request *)
 }
 
-let verbs = [ "lookup"; "batch_lookup"; "stats"; "lint" ]
+let verbs = [ "lookup"; "batch_lookup"; "stats"; "lint"; "mutate" ]
 
 let default_config =
   { conns = 4;
@@ -60,7 +60,7 @@ let build_schedule mix =
   Array.concat
     (List.map (fun (v, w) -> Array.make w v) mix)
 
-let request_line ~session ~queries ~batch_size ~verb ~id ~k =
+let request_line ~session ~queries ~batch_size ~verb ~id ~k ~conn =
   let q i =
     let c, m = queries.(i mod Array.length queries) in
     (c, m)
@@ -91,6 +91,23 @@ let request_line ~session ~queries ~batch_size ~verb ~id ~k =
       J.Obj
         [ ("id", J.Int id); ("op", J.String "lint");
           ("session", J.String session) ]
+    | "mutate" ->
+      (* each (conn, k) adds a member name no other request adds, so the
+         stream never collides with itself and stays deterministic; it
+         grows the hierarchy, exercising the router's leader-forwarding
+         path and the single-writer path under read load *)
+      let c, _ = q k in
+      J.Obj
+        [ ("id", J.Int id); ("op", J.String "mutate");
+          ("session", J.String session);
+          ( "add_member",
+            J.Obj
+              [ ("class", J.String c);
+                ( "member",
+                  J.Obj
+                    [ ("name",
+                       J.String (Printf.sprintf "lg_c%d_%d" conn id)) ] ) ] )
+        ]
     | v -> invalid_arg ("Loadgen: unknown verb " ^ v)
   in
   J.to_string j
@@ -129,7 +146,7 @@ let run_conn addr cfg ~session ~queries ~schedule ~conn_idx ~start =
            Thread.delay (scheduled -. now);
          let line =
            request_line ~session ~queries ~batch_size:cfg.batch_size
-             ~verb:(verb_of !k) ~id:!k ~k:(!k * 17)
+             ~verb:(verb_of !k) ~id:!k ~k:(!k * 17) ~conn:conn_idx
          in
          incr sent;
          (match Client.request cl line with
@@ -149,7 +166,7 @@ let run_conn addr cfg ~session ~queries ~schedule ~conn_idx ~start =
        while Unix.gettimeofday () < deadline do
          let line =
            request_line ~session ~queries ~batch_size:cfg.batch_size
-             ~verb:(verb_of !k) ~id:!k ~k:(!k * 17)
+             ~verb:(verb_of !k) ~id:!k ~k:(!k * 17) ~conn:conn_idx
          in
          let t0 = Telemetry.Clock.now_ns () in
          incr sent;

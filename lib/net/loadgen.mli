@@ -21,8 +21,10 @@ type config = {
   batch_size : int;  (** queries per [batch_lookup] request *)
 }
 
-(** The verbs a mix may weight: [lookup], [batch_lookup], [stats],
-    [lint] — the concurrent read set. *)
+(** The verbs a mix may weight: the concurrent read set ([lookup],
+    [batch_lookup], [stats], [lint]) plus [mutate] — each (connection,
+    request) pair adds a uniquely-named member, so a mutating mix is
+    collision-free and still deterministic. *)
 val verbs : string list
 
 (** 4 connections, closed loop, 2 s, 9:1 lookup:batch. *)

@@ -81,7 +81,16 @@ let resolve_host host =
       | exception Not_found ->
         failwith (Printf.sprintf "cannot resolve host %S" host))
 
+(* A peer that vanished (kill -9, RST) must surface as EPIPE on the
+   write path, not as a process-killing SIGPIPE — the replication
+   sender and the per-connection writers all write to sockets whose
+   peer may be gone. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let listen_on addr =
+  ignore_sigpipe ();
   match addr with
   | Tcp (host, port) ->
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -120,6 +129,11 @@ let create ?(config = default_config) srv addr =
           Bqueue.create (config.max_conns + 1)) }
 
 let bound_addr t = t.bound
+
+(* The replica applier's hook: replication writes take the same
+   exclusive side of the verb-class lock mutations would, so read verbs
+   in flight never observe a session mid-apply. *)
+let exclusively t f = Rwlock.with_write t.lock f
 
 let addr_string = function
   | Tcp (host, port) ->

@@ -54,6 +54,22 @@ val bound_addr : t -> addr
 
 val addr_string : addr -> string
 
+(** Make a vanished peer surface as EPIPE on the write path instead of
+    a process-killing SIGPIPE.  Called by {!listen_on} and the client's
+    connect; idempotent. *)
+val ignore_sigpipe : unit -> unit
+
+(** [listen_on addr] binds and listens, returning the socket and the
+    resolved address (ephemeral TCP ports concrete).  Shared by this
+    server and the cluster layer's replication / router listeners. *)
+val listen_on : addr -> Unix.file_descr * addr
+
+(** [exclusively t f] runs [f] under the exclusive (writer) side of the
+    server's verb-class lock — how the replication applier mutates
+    sessions without racing the read verbs executing on worker
+    domains. *)
+val exclusively : t -> (unit -> 'a) -> 'a
+
 (** [run t] spawns the worker domains and runs the accept loop on the
     calling domain until {!stop}; then it closes the listener, wakes
     every open connection, drains the pipelines and joins the

@@ -16,6 +16,8 @@ type error_code =
   | Bad_hierarchy
   | Store_error
   | Overloaded
+  | Not_leader
+  | Backend_unavailable
   | Internal
 
 let code_string = function
@@ -29,6 +31,8 @@ let code_string = function
   | Bad_hierarchy -> "bad_hierarchy"
   | Store_error -> "store_error"
   | Overloaded -> "overloaded"
+  | Not_leader -> "not_leader"
+  | Backend_unavailable -> "backend_unavailable"
   | Internal -> "internal"
 
 type query = { q_class : string; q_member : string }

@@ -57,6 +57,12 @@ type error_code =
   | Overloaded
       (** the networked server shed this request: the global admission
           queue was full (or the connection limit was hit); retry later *)
+  | Not_leader
+      (** this node is a read-only replica: mutating verbs must go to
+          the leader (the router forwards them there automatically) *)
+  | Backend_unavailable
+      (** the router could not reach any backend able to serve this
+          request, after retries and failover *)
   | Internal
 
 val code_string : error_code -> string

@@ -15,7 +15,14 @@ type net_stats = {
   net_overloaded : Telemetry.Counter.t;  (* explicit overload rejections *)
 }
 
+(* A [Follower] serves the read-only verbs only: every mutating verb is
+   answered [not_leader], and its sessions change exclusively through
+   the replication applier ({!install_snapshot} / {!apply_replicated}),
+   which mirrors the leader's snapshot + WAL stream. *)
+type role = Leader | Follower
+
 type t = {
+  role : role;
   config : Session.config;
   store : Store.t option;  (* durability, when serving --store *)
   sessions : (string, Session.t) Hashtbl.t;
@@ -53,8 +60,8 @@ let verbs =
   [ "open"; "lookup"; "batch_lookup"; "mutate"; "lint"; "snapshot";
     "restore"; "stats"; "metrics"; "close" ]
 
-let create ?(config = Session.default_config) ?(trace = false) ?store
-    ?request_log ?slow_ms () =
+let create ?(role = Leader) ?(config = Session.default_config)
+    ?(trace = false) ?store ?request_log ?slow_ms () =
   let sink =
     if trace then Telemetry.Sink.create () else Telemetry.Sink.null
   in
@@ -69,7 +76,8 @@ let create ?(config = Session.default_config) ?(trace = false) ?store
       net_overloaded = Telemetry.Counter.make "overloaded" }
   in
   let t =
-    { config;
+    { role;
+      config;
       store;
       sessions = Hashtbl.create 8;
       session_order = [];
@@ -138,6 +146,7 @@ let create ?(config = Session.default_config) ?(trace = false) ?store
   t
 
 let sink t = t.sink
+let role t = t.role
 let store t = t.store
 let registry t = t.registry
 let net t = t.net
@@ -588,6 +597,9 @@ let handle_request ?conn t (rq : P.request) =
   Option.iter Atomic.incr inflight;
   let t0 = Telemetry.Clock.now_ns () in
   let run () =
+    if t.role = Follower && not (P.read_only rq.P.rq_op) then
+      fail P.Not_leader
+        "this node is a read-only replica; send %S to the leader" verb;
     match rq.P.rq_op with
     | P.Open { o_session; o_hierarchy } ->
       handle_open t ~session:o_session o_hierarchy
@@ -671,6 +683,80 @@ let handle_line ?conn t line =
     let resp = P.error_response ~id code msg in
     observe_rejected ?conn t ~verb:"invalid" ~id ~code resp;
     resp
+
+(* ---- replication entry points --------------------------------------
+
+   The follower's applier mutates sessions through here, not through
+   [handle_request]: the [not_leader] gate is for clients, while these
+   mirror the leader's stream.  Both re-persist into the follower's own
+   store (when configured) so a restarted replica recovers locally and
+   resumes from its last applied epoch instead of re-bootstrapping. *)
+
+let open_sessions t =
+  Hashtbl.fold
+    (fun name s acc -> (name, Session.epoch s) :: acc)
+    t.sessions []
+  |> List.sort compare
+
+(* Install a full snapshot, superseding whatever the name held: the
+   stream's resynchronization point (bootstrap, post-compaction gap, or
+   a fresh lineage under a reused name). *)
+let install_snapshot t (snap : Store.Snapshot.t) =
+  let name = snap.Store.Snapshot.s_session in
+  match
+    Session.restore ~config:t.config ~name
+      ~epoch:snap.Store.Snapshot.s_epoch
+      ~columns:snap.Store.Snapshot.s_columns snap.Store.Snapshot.s_graph
+  with
+  | exception exn -> Error (Printexc.to_string exn)
+  | s ->
+    (match t.store with
+    | None -> ()
+    | Some store ->
+      Store.reset_session store name;
+      ignore (write_snapshot store s));
+    if not (Hashtbl.mem t.sessions name) then
+      Telemetry.Counter.incr t.sessions_opened;
+    if not (List.mem name t.session_order) then
+      t.session_order <- t.session_order @ [ name ];
+    Hashtbl.replace t.sessions name s;
+    Session.register s t.registry;
+    Ok ()
+
+(* Apply one replicated WAL record.  The epoch must extend the session
+   exactly — same strictly-consecutive contract recovery enforces — or
+   the caller must resynchronize from a snapshot. *)
+let apply_replicated t ~session:name ~epoch (m : Store.Mutation.t) =
+  match Hashtbl.find_opt t.sessions name with
+  | None -> Error (Printf.sprintf "no session %S to apply epoch %d to" name epoch)
+  | Some s ->
+    if epoch <> Session.epoch s + 1 then
+      Error
+        (Printf.sprintf "session %S: epoch gap (at %d, record %d)" name
+           (Session.epoch s) epoch)
+    else begin
+      match
+        (match m with
+        | Store.Mutation.Add_class { ac_name; ac_bases; ac_members } ->
+          ignore
+            (Session.add_class s ~cls:ac_name ~bases:ac_bases
+               ~members:ac_members)
+        | Store.Mutation.Add_member { am_class; am_member } ->
+          ignore (Session.add_member s ~cls:am_class am_member))
+      with
+      | exception G.Error e -> Error (G.error_to_string e)
+      | () ->
+        Telemetry.Counter.incr t.mutations;
+        (match t.store with
+        | None -> ()
+        | Some store ->
+          Store.log_mutation store ~session:name ~epoch m;
+          if Store.needs_compaction store ~session:name then begin
+            Store.note_compaction store;
+            ignore (write_snapshot store s)
+          end);
+        Ok ()
+    end
 
 (* ---- startup recovery ---------------------------------------------- *)
 

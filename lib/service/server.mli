@@ -12,6 +12,12 @@
 
 type t
 
+(** A [Follower] answers the read-only verbs ([lookup], [batch_lookup],
+    [lint], [stats], [metrics]) normally and every mutating verb with a
+    [not_leader] error; its sessions change only through the
+    replication entry points below. *)
+type role = Leader | Follower
+
 (** Connection-level accounting, owned by the server so the
     [cxxlookup_server_connections_…] / [admission_queue_depth] /
     [overloaded] series exist (deterministically zero) in stdin mode
@@ -39,6 +45,7 @@ type net_stats = {
     the store, each opened session, and the request path register
     into. *)
 val create :
+  ?role:role ->
   ?config:Session.config ->
   ?trace:bool ->
   ?store:Store.t ->
@@ -46,6 +53,8 @@ val create :
   ?slow_ms:int ->
   unit ->
   t
+
+val role : t -> role
 
 (** The per-request event stream (disabled sink unless [~trace:true]). *)
 val sink : t -> Telemetry.Sink.t
@@ -86,6 +95,34 @@ type recovered =
     The startup path of [cxxlookup serve --store].  Empty without a
     store. *)
 val recover_sessions : t -> recovered list
+
+(** {1 Replication entry points}
+
+    The follower applier's interface — these bypass the [not_leader]
+    gate (they {e are} the replication stream), and re-persist into the
+    follower's own store when one is configured, so a restarted replica
+    recovers locally and resumes from its last applied epoch.  The
+    caller is responsible for mutual exclusion against concurrent read
+    verbs (the networked replica applies under the net server's write
+    lock). *)
+
+(** Open sessions as [(name, epoch)], sorted — the follower's
+    handshake offer, letting the leader skip snapshots the follower
+    already has. *)
+val open_sessions : t -> (string * int) list
+
+(** [install_snapshot t snap] (re)opens [snap]'s session from its
+    graph + packed columns, superseding any open session and stored
+    lineage under the name.  The stream's resynchronization point. *)
+val install_snapshot : t -> Store.Snapshot.t -> (unit, string) result
+
+(** [apply_replicated t ~session ~epoch m] applies one replicated WAL
+    record.  [epoch] must be exactly the session's epoch + 1 (the
+    strictly-consecutive contract recovery enforces); on [Error] the
+    caller must resynchronize from a snapshot. *)
+val apply_replicated :
+  t -> session:string -> epoch:int -> Store.Mutation.t ->
+  (unit, string) result
 
 (** Service-level counters: [requests], [errors], [sessions_opened],
     [sessions_closed], [lookups], [batch_requests], [batch_queries],

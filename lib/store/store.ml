@@ -125,6 +125,9 @@ let snapshot_files t name =
            | None -> None)
     |> List.sort (fun (a, _) (b, _) -> compare b a)
 
+let newest_snapshot t name =
+  match snapshot_files t name with [] -> None | newest :: _ -> Some newest
+
 let sessions t =
   if not (Sys.file_exists t.dir) then []
   else

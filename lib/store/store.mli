@@ -50,6 +50,14 @@ val config : t -> config
 (** [sessions t] — names with at least one snapshot on disk, sorted. *)
 val sessions : t -> string list
 
+(** File-level views for the replication sender, which streams the
+    store's own on-disk artifacts: the session's WAL path (for a
+    {!Wal.Tail_reader}) and its newest snapshot as [(epoch, path)]. *)
+
+val wal_path : t -> string -> string
+
+val newest_snapshot : t -> string -> (int * string) option
+
 (** {1 Recovery} *)
 
 type recovery = {

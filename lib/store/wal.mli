@@ -64,6 +64,33 @@ val append : t -> epoch:int -> Mutation.t -> int
 (** [sync t] forces an [fsync] now, whatever the policy. *)
 val sync : t -> unit
 
+(** {1 Incremental tailing}
+
+    A poll-based reader over a WAL file another handle is appending
+    to — how the replication sender follows its leader's own log
+    without re-scanning history.  The offset advances over complete,
+    CRC-valid frames only; an incomplete or CRC-failing suffix is
+    {e re-validated from the same offset on every poll} (it may be a
+    frame whose single [write] has not landed yet), rather than judged
+    torn once and skipped.  A shrink (compaction's {!reset}, or a new
+    lineage) reports [Reset]: the consumer must resynchronize — for
+    replication, resend the newest snapshot. *)
+module Tail_reader : sig
+  type poll_result =
+    | Frames of record list  (** new complete records, in append order *)
+    | Reset  (** the file shrank or vanished: resynchronize *)
+    | Nothing  (** no complete new frame yet *)
+
+  type reader
+
+  val create : string -> reader
+
+  (** Bytes of the file consumed so far (0 until the magic checks). *)
+  val offset : reader -> int
+
+  val poll : reader -> poll_result
+end
+
 (** [reset t] empties the log back to its magic — the compaction step
     after a fresh snapshot has made the records redundant. *)
 val reset : t -> unit

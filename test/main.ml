@@ -24,5 +24,6 @@ let () =
       ("service", Test_service.suite);
       ("store", Test_store.suite);
       ("net", Test_net.suite);
+      ("cluster", Test_cluster.suite);
       ("packed", Test_packed.suite);
       ("properties", Test_props.suite) ]
