@@ -17,24 +17,26 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- smoke
 
-# Lint every example hierarchy in SARIF mode; any error-severity finding
-# (an ambiguous lookup) fails the build.  Warnings and notes (dominance
-# fragility, dead declarations, baseline divergence) are expected on the
-# paper figures and do not fail.  Figure 1 is the exception: it is the
-# paper's motivating *ambiguous* hierarchy, so the gate inverts there —
-# the linter must flag it, and not flagging it fails the build.
+# Lint every example hierarchy with the full rule set (the classic six
+# plus the cross-semantics rules) in SARIF mode; any error-severity
+# finding (an ambiguous lookup) fails the build.  Warnings and notes
+# (dominance fragility, dead declarations, baseline and MRO divergence)
+# are expected on the paper figures and do not fail.  Figure 1 and the
+# MRO diamond are the exceptions: they are deliberately *ambiguous*
+# hierarchies, so the gate inverts there — the linter must flag them,
+# and not flagging them fails the build.
 lint:
 	@for f in examples/*.cpp; do \
 	  echo "lint $$f"; \
 	  case $$f in \
-	  examples/fig1.cpp) \
-	    if dune exec --no-build bin/cxxlookup.exe -- lint $$f \
+	  examples/fig1.cpp|examples/diamond_mro.cpp) \
+	    if dune exec --no-build bin/cxxlookup.exe -- lint $$f --rules all \
 	         --format sarif --fail-on error > /dev/null; then \
 	      echo "lint: expected ambiguous-lookup error missing in $$f" >&2; \
 	      exit 1; \
 	    fi ;; \
 	  *) \
-	    dune exec --no-build bin/cxxlookup.exe -- lint $$f \
+	    dune exec --no-build bin/cxxlookup.exe -- lint $$f --rules all \
 	      --format sarif --fail-on error > /dev/null || exit 1 ;; \
 	  esac; \
 	done
@@ -65,7 +67,8 @@ cluster-smoke: build
 # a serve smoke test (canned cxxlookup-rpc/1 transcript through the
 # service, diffed against its golden), a crash-recovery smoke test
 # (durable serve, SIGKILL, restart over the same store, diff against
-# the recovered-transcript golden), and the hierarchy linter over every
+# the recovered-transcript golden), the packed-table and MRO bench
+# smoke checks, and the hierarchy linter (full rule set) over every
 # example in SARIF mode.
 verify:
 	dune build @all
@@ -78,6 +81,7 @@ verify:
 	$(MAKE) metrics-smoke
 	$(MAKE) net-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) bench-smoke
 	$(MAKE) lint
 	@echo "verify: OK"
 

@@ -36,6 +36,7 @@ let () =
      full run regenerates every figure and BENCH_lookup.json. *)
   if Array.exists (String.equal "smoke") Sys.argv then begin
     Packed_bench.smoke ();
+    Mro_bench.smoke ();
     Format.printf "@.%s@."
       (if !Fig_tables.checks_failed = 0 then "Smoke checks passed."
        else
@@ -62,6 +63,7 @@ let () =
   Matchup.run ();
   Throughput.run ();
   Lint_bench.run ();
+  Mro_bench.run ();
   Store_bench.run ();
   Packed_bench.run ();
   Srv_bench.run ();

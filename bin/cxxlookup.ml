@@ -57,6 +57,25 @@ let class_arg n =
 let member_arg n =
   Arg.(required & pos n (some string) None & info [] ~docv:"MEMBER")
 
+(* Which lookup semantics to evaluate: the paper's C++ rules (default)
+   or one of the linearized MROs layered over the same hierarchy. *)
+let semantics_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("cpp", Mro.Cpp);
+             ("c3", Mro.Linearized Mro.C3);
+             ("py22", Mro.Linearized Mro.Py22);
+             ("dylan", Mro.Linearized Mro.Dylan) ])
+        Mro.Cpp
+    & info [ "semantics" ] ~docv:"SEM"
+        ~doc:
+          "Lookup semantics: the paper's C++ subobject rules ($(b,cpp), \
+           the default) or a linearized MRO — $(b,c3), $(b,py22) \
+           (leftmost depth-first, duplicates keep the last occurrence), \
+           or $(b,dylan).")
+
 let check_cmd =
   let run file =
     let r = load ~tolerant:true file in
@@ -72,23 +91,37 @@ let check_cmd =
     Term.(const run $ file_arg)
 
 let lookup_cmd =
-  let run file cls member =
+  let run file cls member semantics =
     let r = load file in
     let c = find_class r.graph cls in
-    match Engine.lookup r.engine c member with
-    | None ->
-      Format.printf "no member '%s' in any subobject of '%s'@." member cls
-    | Some v ->
-      Format.printf "lookup(%s, %s) = %a@." cls member
-        (Engine.pp_verdict r.graph) v;
-      (match Engine.witness r.engine c member with
-      | Some p ->
-        Format.printf "definition path: %a@." (Subobject.Path.pp r.graph) p
-      | None -> ())
+    match semantics with
+    | Mro.Cpp -> (
+      match Engine.lookup r.engine c member with
+      | None ->
+        Format.printf "no member '%s' in any subobject of '%s'@." member cls
+      | Some v ->
+        Format.printf "lookup(%s, %s) = %a@." cls member
+          (Engine.pp_verdict r.graph) v;
+        (match Engine.witness r.engine c member with
+        | Some p ->
+          Format.printf "definition path: %a@." (Subobject.Path.pp r.graph) p
+        | None -> ()))
+    | Mro.Linearized v -> (
+      let t = Mro.compute v r.graph in
+      match Mro.lookup t c member with
+      | None ->
+        Format.printf "no member '%s' in any superclass of '%s' (%s)@."
+          member cls (Mro.variant_string v)
+      | Some verdict ->
+        Format.printf "lookup(%s, %s) = %a  [%s]@." cls member
+          (Engine.pp_verdict r.graph) verdict (Mro.variant_string v))
   in
   Cmd.v
-    (Cmd.info "lookup" ~doc:"Resolve MEMBER in the context of CLASS.")
-    Term.(const run $ file_arg $ class_arg 1 $ member_arg 2)
+    (Cmd.info "lookup"
+       ~doc:
+         "Resolve MEMBER in the context of CLASS (under $(b,--semantics), \
+          via an MRO instead of the C++ subobject rules).")
+    Term.(const run $ file_arg $ class_arg 1 $ member_arg 2 $ semantics_arg)
 
 let table_cmd =
   let run file =
@@ -1575,7 +1608,7 @@ let batch_cmd =
       & info [] ~docv:"QUERIES.jsonl"
           ~doc:"Query stream ('-' for stdin): one JSON object per line.")
   in
-  let run config file queries =
+  let run config file queries semantics =
     let srv = Service.Server.create ~config () in
     let text = read_file file in
     let hierarchy =
@@ -1618,11 +1651,20 @@ let batch_cmd =
         let add k v fs =
           if List.mem_assoc k fs then fs else fs @ [ (k, v) ]
         in
+        let with_semantics fs =
+          match semantics with
+          | Mro.Cpp -> fs
+          | Mro.Linearized _ ->
+            add "semantics"
+              (Chg.Json.String (Mro.semantics_string semantics))
+              fs
+        in
         Chg.Json.Obj
           (fields
            |> add "id" (Chg.Json.String (Printf.sprintf "q%d" n))
            |> add "op" (Chg.Json.String "lookup")
-           |> add "session" (Chg.Json.String "s0"))
+           |> add "session" (Chg.Json.String "s0")
+           |> with_semantics)
       | other -> other
     in
     let ic = if queries = "-" then stdin else open_in queries in
@@ -1660,10 +1702,12 @@ let batch_cmd =
        ~doc:
          "One-shot replay: open FILE as a session, answer every query of \
           QUERIES.jsonl through the service (missing id/op/session fields \
-          default to a lookup against the file's session), then report \
-          the session's stats.  Exits non-zero when any response carries \
-          an in-band error.")
-    Term.(const run $ service_config_term $ file_arg $ queries_arg)
+          default to a lookup against the file's session; under \
+          $(b,--semantics) every query without its own semantics field \
+          runs under that MRO), then report the session's stats.  Exits \
+          non-zero when any response carries an in-band error.")
+    Term.(const run $ service_config_term $ file_arg $ queries_arg
+          $ semantics_arg)
 
 let lint_cmd =
   let format_arg =
@@ -1681,9 +1725,13 @@ let lint_cmd =
       & opt (some string) None
       & info [ "rules" ] ~docv:"LIST"
           ~doc:
-            "Comma-separated rule ids to run (default: all): \
-             ambiguous-lookup, replicated-base, fragile-dominance, \
-             dead-member, virtualize-fix-it, compiler-divergence.")
+            "Comma-separated rule ids to run.  The classic six run by \
+             default: ambiguous-lookup, replicated-base, \
+             fragile-dominance, dead-member, virtualize-fix-it, \
+             compiler-divergence.  Opt-in cross-semantics rules: \
+             mro-unsolvable, semantics-divergence, \
+             linearization-sensitive.  The tokens $(b,default) and \
+             $(b,all) expand to the classic six and to every rule.")
   in
   let fail_on_arg =
     Arg.(
@@ -1699,7 +1747,7 @@ let lint_cmd =
              ($(b,note) < $(b,warning) < $(b,error); $(b,never) always \
              exits 0).")
   in
-  let run file format rules fail_on jobs =
+  let run file format rules fail_on semantics jobs =
     (* Tolerant load: ambiguous or ill-formed member accesses are the
        linter's subject matter, not a reason to stop.  Only a hierarchy
        we could not build at all is fatal. *)
@@ -1707,7 +1755,7 @@ let lint_cmd =
     if G.num_classes r.graph = 0 && not (Frontend.Sema.ok r) then exit 2;
     let rules =
       match rules with
-      | None -> Lint.Rule.all
+      | None -> Lint.Rule.default_rules
       | Some s ->
         (match Lint.parse_rules s with
         | Ok rs -> rs
@@ -1718,7 +1766,7 @@ let lint_cmd =
     let config = { Lint.default_config with rules } in
     let locs ~cls ~member = Frontend.Locs.locate r.locs ~cls ~member in
     let findings =
-      Lint.run ~config ~locs ~jobs:(resolve_jobs jobs)
+      Lint.run ~config ~semantics ~locs ~jobs:(resolve_jobs jobs)
         (Chg.Closure.compute r.graph)
     in
     (match format with
@@ -1747,9 +1795,41 @@ let lint_cmd =
          "Run the hierarchy linter over FILE: ambiguity, replicated \
           bases, fragile dominance, dead members, virtualization fix-its, \
           and compiler-divergence checks against the g++ 2.7 and Eiffel \
-          baselines.")
+          baselines.  Opt-in cross-semantics rules ($(b,--rules all)) \
+          compare the C++ verdicts against the C3, Python-2.2 and Dylan \
+          MROs.")
     Term.(const run $ file_arg $ format_arg $ rules_arg $ fail_on_arg
-          $ jobs_term)
+          $ semantics_arg $ jobs_term)
+
+let mro_cmd =
+  let variant_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("c3", Mro.C3); ("py22", Mro.Py22); ("dylan", Mro.Dylan) ])
+          Mro.C3
+      & info [ "semantics" ] ~docv:"SEM"
+          ~doc:
+            "Linearization to compute: $(b,c3) (the default), $(b,py22) \
+             or $(b,dylan).")
+  in
+  let run file cls variant =
+    let r = load file in
+    let c = find_class r.graph cls in
+    let t = Mro.compute variant r.graph in
+    let lin = Mro.linearization t c in
+    Format.printf "%s(%s): %a@." (Mro.variant_string variant) cls
+      (Mro.pp_result r.graph) lin;
+    if Result.is_error lin then exit 1
+  in
+  Cmd.v
+    (Cmd.info "mro"
+       ~doc:
+         "Print CLASS's method resolution order under a linearized \
+          semantics, or the precedence cycle that makes it unsolvable \
+          (exit 1).")
+    Term.(const run $ file_arg $ class_arg 1 $ variant_arg)
 
 let () =
   let doc = "C++ member lookup (Ramalingam & Srinivasan, PLDI 1997)" in
@@ -1762,6 +1842,7 @@ let () =
           (Cmd.info "cxxlookup" ~version ~doc)
           [ check_cmd; lookup_cmd; table_cmd; dot_cmd; layout_cmd; vtable_cmd;
             slice_cmd; export_cmd; import_cmd; run_cmd; audit_cmd; count_cmd;
-            stats_cmd; trace_cmd; lint_cmd; metrics_cmd; check_metrics_cmd;
+            stats_cmd; trace_cmd; lint_cmd; mro_cmd; metrics_cmd;
+            check_metrics_cmd;
             serve_cmd; client_cmd; loadgen_cmd; batch_cmd; snapshot_cmd;
             restore_cmd; replica_cmd; router_cmd ]))

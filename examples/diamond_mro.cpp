@@ -1,0 +1,15 @@
+// A replicated diamond where the two semantics part ways: under the
+// paper's C++ rules Button has two distinct Base subobjects, so
+// lookup(Button, render) is ambiguous between Widget::render and the
+// Base::render reached through the Window arm.  The C3 linearization
+// (Button -> Widget -> Window -> Base) never sees two Base copies and
+// resolves render to Widget::render.  Try:
+//   cxxlookup lookup diamond_mro.cpp Button render
+//   cxxlookup lookup diamond_mro.cpp Button render --semantics c3
+//   cxxlookup mro diamond_mro.cpp Button
+//   cxxlookup lint diamond_mro.cpp --rules semantics-divergence
+struct Base { int render; };
+struct Widget : Base { int render; };
+struct Window : Base {};
+struct Button : Widget, Window {};
+int main() { Button b; }

@@ -259,20 +259,24 @@ let route_mutation p ~id line =
 
 (* ---- batch fan-out -------------------------------------------------- *)
 
-let chunk_line ~session k queries =
+let chunk_line ~session ~semantics k queries =
   J.to_string
     (J.Obj
-       [ ("id", J.Int k);
-         ("op", J.String "batch_lookup");
-         ("session", J.String session);
-         ("queries",
-          J.List
-            (List.map
-               (fun (q : P.query) ->
-                 J.Obj
-                   [ ("class", J.String q.P.q_class);
-                     ("member", J.String q.P.q_member) ])
-               queries)) ])
+       ([ ("id", J.Int k);
+          ("op", J.String "batch_lookup");
+          ("session", J.String session) ]
+       @ (match semantics with
+         | Mro.Cpp -> []  (* absent = cpp: keep legacy lines verbatim *)
+         | Mro.Linearized _ ->
+           [ ("semantics", J.String (Mro.semantics_string semantics)) ])
+       @ [ ("queries",
+            J.List
+              (List.map
+                 (fun (q : P.query) ->
+                   J.Obj
+                     [ ("class", J.String q.P.q_class);
+                       ("member", J.String q.P.q_member) ])
+                 queries)) ]))
 
 (* Split [qs] into at most [n] contiguous chunks of near-equal size. *)
 let chunks n qs =
@@ -317,10 +321,10 @@ let sub_of_response resp =
    (unknown_session on a lagging replica) send the chunk to the
    leader; if the leader also answers in band, that error is the whole
    request's answer — a partial merge is never returned. *)
-let route_batch p ~id ~session ~order queries =
+let route_batch p ~id ~session ~semantics ~order queries =
   let cs = chunks (List.length order) queries in
   if List.length cs <= 1 then
-    route_read p ~id ~order (chunk_line ~session 0 queries)
+    route_read p ~id ~order (chunk_line ~session ~semantics 0 queries)
     |> fun resp ->
     (match sub_of_response resp with
     | Ok (Ok_fields (rs, a, b, c)) ->
@@ -341,7 +345,7 @@ let route_batch p ~id ~session ~order queries =
     (* serve one chunk to a result, failing over within the preference
        order starting at the chunk's home backend *)
     let serve k queries =
-      let line = chunk_line ~session k queries in
+      let line = chunk_line ~session ~semantics k queries in
       let rec walk attempts j =
         if attempts = n then Error "no backend reachable for batch chunk"
         else
@@ -415,9 +419,11 @@ let respond p line =
     let id = rq.P.rq_id in
     (match rq.P.rq_op with
     | P.Metrics -> handle_metrics p.router ~id
-    | P.Batch_lookup qs when rq.P.rq_session <> None && qs <> [] ->
+    | P.Batch_lookup { bl_queries = qs; bl_semantics }
+      when rq.P.rq_session <> None && qs <> [] ->
       let session = Option.get rq.P.rq_session in
-      route_batch p ~id ~session ~order:(preference p.router session) qs
+      route_batch p ~id ~session ~semantics:bl_semantics
+        ~order:(preference p.router session) qs
     | op when P.read_only op ->
       let order =
         match rq.P.rq_session with

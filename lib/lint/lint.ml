@@ -13,8 +13,27 @@ module Rule = struct
     | Dead_member
     | Virtualize_fixit
     | Compiler_divergence
+    | Mro_unsolvable
+    | Semantics_divergence
+    | Linearization_sensitive
 
+  (* New rules are appended so the [index] of every pre-existing rule —
+     and with it the SARIF [ruleIndex] of every old finding — is
+     stable across releases. *)
   let all =
+    [ Ambiguous_lookup;
+      Replicated_base;
+      Fragile_dominance;
+      Dead_member;
+      Virtualize_fixit;
+      Compiler_divergence;
+      Mro_unsolvable;
+      Semantics_divergence;
+      Linearization_sensitive ]
+
+  (* The cross-semantics rules are strictly opt-in (via --rules or the
+     protocol), keeping the default text/JSON output byte-compatible. *)
+  let default_rules =
     [ Ambiguous_lookup;
       Replicated_base;
       Fragile_dominance;
@@ -29,6 +48,9 @@ module Rule = struct
     | Dead_member -> 3
     | Virtualize_fixit -> 4
     | Compiler_divergence -> 5
+    | Mro_unsolvable -> 6
+    | Semantics_divergence -> 7
+    | Linearization_sensitive -> 8
 
   let to_string = function
     | Ambiguous_lookup -> "ambiguous-lookup"
@@ -37,6 +59,9 @@ module Rule = struct
     | Dead_member -> "dead-member"
     | Virtualize_fixit -> "virtualize-fix-it"
     | Compiler_divergence -> "compiler-divergence"
+    | Mro_unsolvable -> "mro-unsolvable"
+    | Semantics_divergence -> "semantics-divergence"
+    | Linearization_sensitive -> "linearization-sensitive"
 
   let of_string = function
     | "ambiguous-lookup" -> Some Ambiguous_lookup
@@ -45,12 +70,19 @@ module Rule = struct
     | "dead-member" -> Some Dead_member
     | "virtualize-fix-it" -> Some Virtualize_fixit
     | "compiler-divergence" -> Some Compiler_divergence
+    | "mro-unsolvable" -> Some Mro_unsolvable
+    | "semantics-divergence" -> Some Semantics_divergence
+    | "linearization-sensitive" -> Some Linearization_sensitive
     | _ -> None
 
   let severity = function
     | Ambiguous_lookup -> D.Error
-    | Replicated_base | Fragile_dominance -> D.Warning
-    | Dead_member | Virtualize_fixit | Compiler_divergence -> D.Note
+    | Replicated_base | Fragile_dominance | Mro_unsolvable
+    | Semantics_divergence ->
+      D.Warning
+    | Dead_member | Virtualize_fixit | Compiler_divergence
+    | Linearization_sensitive ->
+      D.Note
 
   let category = function
     | Ambiguous_lookup -> "correctness"
@@ -59,6 +91,8 @@ module Rule = struct
     | Dead_member -> "hygiene"
     | Virtualize_fixit -> "refactoring"
     | Compiler_divergence -> "portability"
+    | Mro_unsolvable | Semantics_divergence | Linearization_sensitive ->
+      "cross-semantics"
 
   let short_description = function
     | Ambiguous_lookup ->
@@ -79,6 +113,15 @@ module Rule = struct
     | Compiler_divergence ->
       "A real compiler baseline (g++ 2.7 or Eiffel topological order) \
        silently answers this lookup differently."
+    | Mro_unsolvable ->
+      "The class has no C3 linearization: its precedence constraints are \
+       cyclic (a linearized language rejects the class outright)."
+    | Semantics_divergence ->
+      "C++ dominance lookup and C3 linearized lookup answer this member \
+       differently: the hierarchy's meaning depends on the language."
+    | Linearization_sensitive ->
+      "The documented MRO variants (C3, Python 2.2, Dylan) disagree on \
+       this lookup among themselves."
 end
 
 type finding = {
@@ -86,6 +129,9 @@ type finding = {
   f_class : string;
   f_member : string option;
   f_diag : D.t;
+  f_baseline : string option;
+      (* which compiler baseline / semantics diverged, for the SARIF
+         property bag: "topo", "gxx-buggy", "gxx-fixed", "c3" *)
 }
 
 type locator = cls:string -> member:string option -> Frontend.Loc.t option
@@ -100,20 +146,28 @@ type config = {
 }
 
 let default_config =
-  { rules = Rule.all;
+  { rules = Rule.default_rules;
     spec_witness_limit = 512;
     gxx_limit = 2048;
     virtualize_limit = 128 }
+
+let valid_rule_ids () =
+  String.concat ", " (List.map Rule.to_string Rule.all @ [ "all"; "default" ])
 
 let parse_rules s =
   let ids = String.split_on_char ',' s |> List.map String.trim in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | "" :: rest -> go acc rest
+    | "all" :: rest -> go (List.rev_append Rule.all acc) rest
+    | "default" :: rest -> go (List.rev_append Rule.default_rules acc) rest
     | id :: rest ->
       (match Rule.of_string id with
       | Some r -> go (r :: acc) rest
-      | None -> Error (Printf.sprintf "unknown lint rule '%s'" id))
+      | None ->
+        Error
+          (Printf.sprintf "unknown lint rule '%s' (valid: %s)" id
+             (valid_rule_ids ())))
   in
   match go [] ids with
   | Ok [] -> Error "empty rule list"
@@ -242,23 +296,45 @@ let pp_lvs g ppf lvs =
        (Abs.pp_lv g))
     lvs
 
-let run ?(config = default_config) ?(locs = no_locs) ?(metrics = disabled)
-    ?(jobs = 1) cl =
+(* Rules whose logic is specific to C++ subobject semantics (replicated
+   subobjects, dominance, virtual-edge rewrites, C++ compiler baselines):
+   they are skipped when the pass runs under a linearized semantics. *)
+let cpp_only = function
+  | Rule.Replicated_base | Rule.Fragile_dominance | Rule.Virtualize_fixit
+  | Rule.Compiler_divergence ->
+    true
+  | Rule.Ambiguous_lookup | Rule.Dead_member | Rule.Mro_unsolvable
+  | Rule.Semantics_divergence | Rule.Linearization_sensitive ->
+    false
+
+let run ?(config = default_config) ?(semantics = Mro.Cpp) ?(locs = no_locs)
+    ?(metrics = disabled) ?(jobs = 1) cl =
   Telemetry.Timer.span metrics.timer @@ fun () ->
   let g = Closure.graph cl in
+  let cpp = semantics = Mro.Cpp in
   (* the rules read verdicts and Members[C], never witness paths, so the
      packed parallel build is lossless here *)
+  let cpp_engine =
+    lazy
+      (if jobs <= 1 then Engine.build cl
+       else Lookup_core.Packed.to_engine (Lookup_core.Packed.build ~jobs cl))
+  in
   let engine =
-    if jobs <= 1 then Engine.build cl
-    else Lookup_core.Packed.to_engine (Lookup_core.Packed.build ~jobs cl)
+    match semantics with
+    | Mro.Cpp -> Lazy.force cpp_engine
+    | Mro.Linearized v -> Mro.engine cl v
   in
   let counts = Subobject.Count.table cl in
-  let enabled r = List.mem r config.rules in
+  let enabled r = List.mem r config.rules && not (cpp_only r && not cpp) in
   let out = ref [] in
-  let push rule cls member diag =
+  let push ?baseline rule cls member diag =
     if metrics.enabled then Telemetry.Counter.incr metrics.fired.(Rule.index rule);
     out :=
-      { f_rule = rule; f_class = G.name g cls; f_member = member; f_diag = diag }
+      { f_rule = rule;
+        f_class = G.name g cls;
+        f_member = member;
+        f_diag = diag;
+        f_baseline = baseline }
       :: !out
   in
   let loc_of cls member =
@@ -298,7 +374,9 @@ let run ?(config = default_config) ?(locs = no_locs) ?(metrics = disabled)
     List.iter
       (fun (c, m, lvs) ->
         let witness =
-          if counts.(c) <= config.spec_witness_limit then
+          (* spec witness paths describe C++ subobjects; under a
+             linearized semantics the generic message stands in *)
+          if cpp && counts.(c) <= config.spec_witness_limit then
             match Subobject.Spec.lookup_static g c m with
             | Subobject.Spec.Ambiguous reps ->
               Format.asprintf "candidate definition paths: %s"
@@ -526,7 +604,7 @@ let run ?(config = default_config) ?(locs = no_locs) ?(metrics = disabled)
         (fun (c, m, _) ->
           match Baselines.Topo_lookup.resolve topo c m with
           | Some tgt ->
-            push Rule.Compiler_divergence c (Some m)
+            push ~baseline:"topo" Rule.Compiler_divergence c (Some m)
               (fdiag Rule.Compiler_divergence
                  ?loc:(loc_of c (Some m))
                  "a topological-order lookup (the Eiffel-style baseline) \
@@ -568,9 +646,14 @@ let run ?(config = default_config) ?(locs = no_locs) ?(metrics = disabled)
               (fun m ->
                 let iso = Engine.lookup engine c m in
                 let check mode label =
+                  let baseline =
+                    match mode with
+                    | Baselines.Gxx.Buggy -> "gxx-buggy"
+                    | Baselines.Gxx.Fixed -> "gxx-fixed"
+                  in
                   match (iso, Baselines.Gxx.lookup_in ~mode sg m) with
                   | Some (Engine.Red r), Baselines.Gxx.Ambiguous ->
-                    push Rule.Compiler_divergence c (Some m)
+                    push ~baseline Rule.Compiler_divergence c (Some m)
                       (fdiag Rule.Compiler_divergence
                          ?loc:(loc_of c (Some m))
                          "g++ 2.7 (%s) rejects '%s' in '%s' as ambiguous; \
@@ -580,7 +663,7 @@ let run ?(config = default_config) ?(locs = no_locs) ?(metrics = disabled)
                          m)
                   | Some (Engine.Red r), Baselines.Gxx.Resolved so
                     when Subobject.Sgraph.ldc sg so <> r.Abs.r_ldc ->
-                    push Rule.Compiler_divergence c (Some m)
+                    push ~baseline Rule.Compiler_divergence c (Some m)
                       (fdiag Rule.Compiler_divergence
                          ?loc:(loc_of c (Some m))
                          "g++ 2.7 (%s) resolves '%s' in '%s' to '%s::%s'; \
@@ -591,7 +674,7 @@ let run ?(config = default_config) ?(locs = no_locs) ?(metrics = disabled)
                          (G.name g r.Abs.r_ldc)
                          m)
                   | Some (Engine.Blue _), Baselines.Gxx.Resolved so ->
-                    push Rule.Compiler_divergence c (Some m)
+                    push ~baseline Rule.Compiler_divergence c (Some m)
                       (fdiag Rule.Compiler_divergence
                          ?loc:(loc_of c (Some m))
                          "g++ 2.7 (%s) silently resolves '%s' in '%s' to \
@@ -606,6 +689,136 @@ let run ?(config = default_config) ?(locs = no_locs) ?(metrics = disabled)
               ms
           end
         end)
+      (G.classes g)
+  end;
+
+  (* {2 Cross-semantics rules}
+
+     The three rules below compare the C++ dominance answer with the
+     linearized (MRO) answers off one shared set of linearization
+     tables; they run the same way whatever [semantics] the verdict
+     rules above used. *)
+  let mro_tables =
+    lazy
+      (List.map
+         (fun v ->
+           if metrics.enabled then
+             Telemetry.Counter.incr metrics.variant_builds;
+           (v, Mro.compute v g))
+         Mro.variants)
+  in
+  let mro_table v = List.assoc v (Lazy.force mro_tables) in
+  let pp_cycle ppf cycle =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " < ")
+      (fun ppf x -> Format.fprintf ppf "'%s'" (G.name g x))
+      ppf
+      (cycle @ [ List.hd cycle ])
+  in
+
+  (* mro-unsolvable: C3 rejects the class outright.  Only the
+     originating class of a constraint cycle is reported — every class
+     derived from it inherits the same failure and would only repeat the
+     witness. *)
+  if enabled Rule.Mro_unsolvable then
+    List.iter
+      (fun c ->
+        match Mro.linearization (mro_table Mro.C3) c with
+        | Error f when f.Mro.fl_class = c ->
+          push Rule.Mro_unsolvable c None
+            (fdiag Rule.Mro_unsolvable
+               ?loc:(loc_of c None)
+               "class '%s' has no C3 linearization: its local precedence \
+                constraints form the cycle %a"
+               (G.name g c) pp_cycle f.Mro.fl_cycle)
+        | Error _ | Ok _ -> ())
+      (G.classes g);
+
+  (* semantics-divergence: C++ dominance and C3 materially disagree on
+     (C, m) — different winning declarations, or one semantics resolves
+     where the other rejects.  Both targets are reported so the finding
+     is directly checkable against either engine. *)
+  if enabled Rule.Semantics_divergence then begin
+    let eng = Lazy.force cpp_engine in
+    let c3 = mro_table Mro.C3 in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun m ->
+            if metrics.enabled then
+              Telemetry.Counter.incr metrics.pairs_checked;
+            let qualified l = G.name g l ^ "::" ^ m in
+            match (Engine.lookup eng c m, Mro.lookup c3 c m) with
+            | Some (Engine.Red r1), Some (Engine.Red r2)
+              when r1.Abs.r_ldc <> r2.Abs.r_ldc ->
+              push ~baseline:"c3" Rule.Semantics_divergence c (Some m)
+                (fdiag Rule.Semantics_divergence
+                   ?loc:(loc_of c (Some m))
+                   "C++ dominance resolves '%s' in '%s' to '%s' but C3 \
+                    linearization resolves it to '%s'"
+                   m (G.name g c)
+                   (qualified r1.Abs.r_ldc)
+                   (qualified r2.Abs.r_ldc))
+            | Some (Engine.Blue _), Some (Engine.Red r) ->
+              push ~baseline:"c3" Rule.Semantics_divergence c (Some m)
+                (fdiag Rule.Semantics_divergence
+                   ?loc:(loc_of c (Some m))
+                   "lookup of '%s' in '%s' is ambiguous under C++ \
+                    dominance but C3 linearization resolves it to '%s'"
+                   m (G.name g c)
+                   (qualified r.Abs.r_ldc))
+            | Some (Engine.Red r), Some (Engine.Blue _) ->
+              push ~baseline:"c3" Rule.Semantics_divergence c (Some m)
+                (fdiag Rule.Semantics_divergence
+                   ?loc:(loc_of c (Some m))
+                   "C++ dominance resolves '%s' in '%s' to '%s' but '%s' \
+                    has no C3 linearization"
+                   m (G.name g c)
+                   (qualified r.Abs.r_ldc)
+                   (G.name g c))
+            | _ -> ())
+          (Engine.members eng c))
+      (G.classes g)
+  end;
+
+  (* linearization-sensitive: the three MRO variants disagree among
+     themselves on (C, m) — the hierarchy relies on a particular
+     linearization algorithm, not just on linearized semantics. *)
+  if enabled Rule.Linearization_sensitive then begin
+    let eng = Lazy.force cpp_engine in
+    let outcome v c m =
+      match Mro.lookup (mro_table v) c m with
+      | Some (Engine.Red r) -> `Resolved r.Abs.r_ldc
+      | Some (Engine.Blue _) -> `Unsolvable
+      | None -> `Absent
+    in
+    let describe = function
+      | `Resolved l, m -> G.name g l ^ "::" ^ m
+      | `Unsolvable, _ -> "unsolvable"
+      | `Absent, _ -> "absent"
+    in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun m ->
+            let os = List.map (fun v -> (v, outcome v c m)) Mro.variants in
+            let distinct =
+              match os with
+              | (_, o0) :: rest -> List.exists (fun (_, o) -> o <> o0) rest
+              | [] -> false
+            in
+            if distinct then
+              push Rule.Linearization_sensitive c (Some m)
+                (fdiag Rule.Linearization_sensitive
+                   ?loc:(loc_of c (Some m))
+                   "the MRO variants disagree on '%s' in '%s': %s"
+                   m (G.name g c)
+                   (String.concat ", "
+                      (List.map
+                         (fun (v, o) ->
+                           Mro.variant_string v ^ " -> " ^ describe (o, m))
+                         os))))
+          (Engine.members eng c))
       (G.classes g)
   end;
 
@@ -739,9 +952,16 @@ module Sarif = struct
                         :: region) ) ] ] ) ]
     in
     let properties =
-      match d.D.fixit with
-      | Some fx -> [ ("properties", J.Obj [ ("fixit", J.String fx) ]) ]
-      | None -> []
+      let props =
+        (match d.D.fixit with
+        | Some fx -> [ ("fixit", J.String fx) ]
+        | None -> [])
+        @
+        match f.f_baseline with
+        | Some b -> [ ("baseline", J.String b) ]
+        | None -> []
+      in
+      if props = [] then [] else [ ("properties", J.Obj props) ]
     in
     J.Obj
       ([ ("ruleId", J.String (Rule.to_string f.f_rule));

@@ -48,9 +48,22 @@ module Rule : sig
         (** an edge whose virtualization would resolve an ambiguity *)
     | Compiler_divergence
         (** a real compiler baseline silently answers differently *)
+    | Mro_unsolvable
+        (** C3 linearization fails: cyclic precedence constraints *)
+    | Semantics_divergence
+        (** C++ dominance and C3 linearization answer differently *)
+    | Linearization_sensitive
+        (** the MRO variants (C3/Python-2.2/Dylan) disagree *)
 
-  (** All rules, in fixed report order. *)
+  (** All rules, in fixed report order.  New rules are appended, so
+      {!index} — and every published SARIF [ruleIndex] — is stable. *)
   val all : id list
+
+  (** The rules enabled by {!default_config}: the original six.  The
+      cross-semantics rules ({!Mro_unsolvable}, {!Semantics_divergence},
+      {!Linearization_sensitive}) are strictly opt-in, keeping default
+      lint output byte-compatible across releases. *)
+  val default_rules : id list
 
   (** [index r] is the position of [r] in {!all} (stable across runs;
       used as SARIF [ruleIndex] and for deterministic sorting). *)
@@ -76,6 +89,11 @@ type finding = {
   f_class : string;  (** subject class (name, graph-independent) *)
   f_member : string option;
   f_diag : Frontend.Diagnostic.t;
+  f_baseline : string option;
+      (** which baseline / semantics diverged (compiler-divergence:
+          ["topo"], ["gxx-buggy"], ["gxx-fixed"];
+          semantics-divergence: ["c3"]) — surfaced in the SARIF
+          result's property bag *)
 }
 
 (** How a finding gets a source position: names to declaration sites
@@ -94,11 +112,13 @@ type config = {
   virtualize_limit : int;  (** max candidate edge sets tried *)
 }
 
-(** Every rule on; limits 512 / 2048 / 128. *)
+(** {!Rule.default_rules} on; limits 512 / 2048 / 128. *)
 val default_config : config
 
-(** [parse_rules "a,b"] parses a comma-separated rule-id list
-    (the CLI's [--rules] argument). *)
+(** [parse_rules "a,b"] parses a comma-separated rule-id list (the
+    CLI's [--rules] argument).  The tokens ["all"] and ["default"]
+    expand to {!Rule.all} and {!Rule.default_rules}; an unknown id is
+    an [Error] listing every valid spelling. *)
 val parse_rules : string -> (Rule.id list, string) result
 
 (** {1 Telemetry} *)
@@ -119,13 +139,23 @@ val metrics_counters : metrics -> (string * int) list
 
 (** {1 Running} *)
 
-(** [run ?config ?locs ?metrics ?jobs cl] — findings in deterministic
-    order: subject class (declaration order), then rule, member,
-    message.  [jobs] (default [1]) compiles the lookup table's columns
-    on that many domains ({!Lookup_core.Packed.build}); the findings are
-    identical for every value. *)
-val run : ?config:config -> ?locs:locator -> ?metrics:metrics ->
-  ?jobs:int -> Chg.Closure.t -> finding list
+(** [run ?config ?semantics ?locs ?metrics ?jobs cl] — findings in
+    deterministic order: subject class (declaration order), then rule,
+    member, message.  [jobs] (default [1]) compiles the lookup table's
+    columns on that many domains ({!Lookup_core.Packed.build}); the
+    findings are identical for every value.
+
+    [semantics] (default {!Mro.Cpp}) selects the engine behind the
+    verdict-shaped rules (ambiguous-lookup, dead-member): under
+    [Linearized v] they read the {!Mro.engine} table instead of the
+    Figure-8 build, and the C++-subobject-specific rules
+    (replicated-base, fragile-dominance, virtualize-fix-it,
+    compiler-divergence) are skipped.  The cross-semantics rules
+    (mro-unsolvable, semantics-divergence, linearization-sensitive)
+    always compare C++ dominance against the linearizations they build
+    themselves, whatever [semantics] says. *)
+val run : ?config:config -> ?semantics:Mro.semantics -> ?locs:locator ->
+  ?metrics:metrics -> ?jobs:int -> Chg.Closure.t -> finding list
 
 (** {1 Summaries and renderers} *)
 

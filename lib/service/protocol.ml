@@ -51,10 +51,10 @@ type mutation =
 
 type op =
   | Open of { o_session : string option; o_hierarchy : hierarchy }
-  | Lookup of query
-  | Batch_lookup of query list
+  | Lookup of { lk_query : query; lk_semantics : Mro.semantics }
+  | Batch_lookup of { bl_queries : query list; bl_semantics : Mro.semantics }
   | Mutate of mutation
-  | Lint of { l_rules : string list option }
+  | Lint of { l_rules : string list option; l_semantics : Mro.semantics }
   | Snapshot
   | Restore
   | Stats
@@ -183,6 +183,21 @@ let query_of_json j =
   let* q_member = req_str "member" j in
   Ok { q_class; q_member }
 
+(* The optional "semantics" field on lookup / batch_lookup / lint.
+   Absent means C++ dominance — existing clients are untouched — and an
+   unknown value is a [bad_request], never a silent fallback. *)
+let semantics_field j =
+  match str_field "semantics" j with
+  | Error m -> Error m
+  | Ok None -> Ok Mro.Cpp
+  | Ok (Some s) ->
+    (match Mro.semantics_of_string s with
+    | Some v -> Ok v
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown semantics %S (valid: cpp, c3, py22, dylan)" s))
+
 let mutation_of_json j =
   match (field "add_class" j, field "add_member" j) with
   | Some spec, None ->
@@ -229,17 +244,20 @@ let op_of_json op j =
       Error (Bad_request, "open requires a \"chg\" or \"source\" hierarchy"))
   | "lookup" ->
     let* q = query_of_json j in
-    Ok (Lookup q)
+    let* sem = semantics_field j in
+    Ok (Lookup { lk_query = q; lk_semantics = sem })
   | "batch_lookup" ->
     let* qs_j = list_field "queries" j in
     let* qs = map_result query_of_json qs_j in
-    Ok (Batch_lookup qs)
+    let* sem = semantics_field j in
+    Ok (Batch_lookup { bl_queries = qs; bl_semantics = sem })
   | "mutate" ->
     let* m = mutation_of_json j in
     Ok (Mutate m)
   | "lint" ->
+    let* sem = semantics_field j in
     (match field "rules" j with
-    | None -> Ok (Lint { l_rules = None })
+    | None -> Ok (Lint { l_rules = None; l_semantics = sem })
     | Some v ->
       let* l =
         match J.to_list v with
@@ -254,7 +272,7 @@ let op_of_json op j =
             | Error _ -> Error "field \"rules\" must be an array of strings")
           l
       in
-      Ok (Lint { l_rules = Some rules }))
+      Ok (Lint { l_rules = Some rules; l_semantics = sem }))
   | "snapshot" -> Ok Snapshot
   | "restore" -> Ok Restore
   | "stats" -> Ok Stats

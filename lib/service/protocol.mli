@@ -11,18 +11,23 @@
       ["chg"] (a cxxlookup-chg v1 document) or ["source"] (C++-subset
       text).  Optional ["session"] names the session; otherwise the
       server assigns [s0], [s1], ...
-    - [lookup] — ["session"], ["class"], ["member"].
+    - [lookup] — ["session"], ["class"], ["member"], optional
+      ["semantics"] ([cpp]|[c3]|[py22]|[dylan], default [cpp]): resolve
+      under C++ dominance or a linearized (MRO) semantics.  An unknown
+      value is a [bad_request].
     - [batch_lookup] — ["session"] and ["queries"]: an array of
       [{"class":..., "member":...}] objects, answered in one response
       with per-query results and a resolved/ambiguous/not-found summary.
+      Optional ["semantics"] applies to every query of the batch.
     - [mutate] — ["session"] plus exactly one of ["add_class"]
       ([{"name":..., "bases":[...], "members":[...]}], cxxlookup-chg
       field shapes with optional defaults) or ["add_member"]
       ([{"class":..., "member":{...}}]).
     - [lint] — ["session"], optional ["rules"] (array of rule-id
-      strings; default all): run the hierarchy linter over the
-      session-resident hierarchy and answer the findings as structured
-      diagnostics plus severity and per-rule counts.
+      strings; default the classic six) and ["semantics"]: run the
+      hierarchy linter over the session-resident hierarchy and answer
+      the findings as structured diagnostics plus severity and per-rule
+      counts.
     - [snapshot] — ["session"]: persist the session's durable state
       (snapshot file + WAL reset) now.  Requires the server to run over
       a store ([cxxlookup serve --store DIR]); [store_error] otherwise.
@@ -83,11 +88,12 @@ type mutation =
 
 type op =
   | Open of { o_session : string option; o_hierarchy : hierarchy }
-  | Lookup of query
-  | Batch_lookup of query list
+  | Lookup of { lk_query : query; lk_semantics : Mro.semantics }
+  | Batch_lookup of { bl_queries : query list; bl_semantics : Mro.semantics }
   | Mutate of mutation
-  | Lint of { l_rules : string list option }
-      (** rule-id strings, validated by the server; [None] = all *)
+  | Lint of { l_rules : string list option; l_semantics : Mro.semantics }
+      (** rule-id strings, validated by the server; [None] = the
+          default rule set *)
   | Snapshot
   | Restore
   | Stats

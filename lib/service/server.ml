@@ -271,35 +271,69 @@ let query_fields s (q : P.query) =
     :: P.verdict_fields (Session.graph s) v
     @ [ ("via", J.String (Session.served_string served)) ]
 
-let handle_lookup t s q =
-  Telemetry.Counter.incr t.lookups;
-  query_fields s q
+(* The linearized-semantics twin of [query_fields]: answered from the
+   session's per-variant MRO table, reported as ["via":"mro"] with the
+   variant echoed, so C++-semantics responses stay byte-identical. *)
+let mro_query_fields s v (q : P.query) =
+  match Session.mro_lookup s v q.P.q_class q.P.q_member with
+  | Error cls -> fail P.Unknown_class "unknown class %S" cls
+  | Ok verdict ->
+    ("class", J.String q.P.q_class)
+    :: ("member", J.String q.P.q_member)
+    :: P.verdict_fields (Session.graph s) verdict
+    @ [ ("semantics", J.String (Mro.variant_string v));
+        ("via", J.String "mro") ]
 
-let handle_batch t s qs =
+let handle_lookup t s sem q =
+  Telemetry.Counter.incr t.lookups;
+  match sem with
+  | Mro.Cpp -> query_fields s q
+  | Mro.Linearized v -> mro_query_fields s v q
+
+let handle_batch t s sem qs =
   Telemetry.Counter.incr t.batch_requests;
   Telemetry.Counter.add t.batch_queries (List.length qs);
   let resolved = ref 0 and ambiguous = ref 0 and not_found = ref 0 in
+  let count v =
+    match v with
+    | Some (Lookup_core.Engine.Red _) -> incr resolved
+    | Some (Lookup_core.Engine.Blue _) -> incr ambiguous
+    | None -> incr not_found
+  in
+  let unknown_class (q : P.query) cls =
+    J.Obj
+      [ ("class", J.String q.P.q_class);
+        ("member", J.String q.P.q_member);
+        ("error", J.String "unknown_class");
+        ("message", J.String (Printf.sprintf "unknown class %S" cls)) ]
+  in
   let results =
     List.map
       (fun (q : P.query) ->
-        match Session.lookup s q.P.q_class q.P.q_member with
-        | Error cls ->
-          J.Obj
-            [ ("class", J.String q.P.q_class);
-              ("member", J.String q.P.q_member);
-              ("error", J.String "unknown_class");
-              ("message", J.String (Printf.sprintf "unknown class %S" cls))
-            ]
-        | Ok (v, served) ->
-          (match v with
-          | Some (Lookup_core.Engine.Red _) -> incr resolved
-          | Some (Lookup_core.Engine.Blue _) -> incr ambiguous
-          | None -> incr not_found);
-          J.Obj
-            (("class", J.String q.P.q_class)
-             :: ("member", J.String q.P.q_member)
-             :: P.verdict_fields (Session.graph s) v
-             @ [ ("via", J.String (Session.served_string served)) ]))
+        match sem with
+        | Mro.Cpp ->
+          (match Session.lookup s q.P.q_class q.P.q_member with
+          | Error cls -> unknown_class q cls
+          | Ok (v, served) ->
+            count v;
+            J.Obj
+              (("class", J.String q.P.q_class)
+               :: ("member", J.String q.P.q_member)
+               :: P.verdict_fields (Session.graph s) v
+               @ [ ("via", J.String (Session.served_string served)) ]))
+        | Mro.Linearized variant ->
+          (match
+             Session.mro_lookup s variant q.P.q_class q.P.q_member
+           with
+          | Error cls -> unknown_class q cls
+          | Ok v ->
+            count v;
+            J.Obj
+              (("class", J.String q.P.q_class)
+               :: ("member", J.String q.P.q_member)
+               :: P.verdict_fields (Session.graph s) v
+               @ [ ("semantics", J.String (Mro.variant_string variant));
+                   ("via", J.String "mro") ])))
       qs
   in
   [ ("results", J.List results);
@@ -345,11 +379,11 @@ let handle_mutate t s m =
        in
        fail code "%s" (G.error_to_string e))
 
-let handle_lint t s rules =
+let handle_lint t s sem rules =
   Telemetry.Counter.incr t.lints;
   let rules =
     match rules with
-    | None -> Lint.Rule.all
+    | None -> Lint.Rule.default_rules
     | Some ids ->
       (match ids with
       | [] -> fail P.Bad_request "empty rule list"
@@ -365,6 +399,7 @@ let handle_lint t s rules =
   let findings =
     Lint.run
       ~config:{ Lint.default_config with rules }
+      ~semantics:sem
       ~jobs:t.config.Session.jobs
       (Chg.Closure.compute g)
   in
@@ -603,10 +638,13 @@ let handle_request ?conn t (rq : P.request) =
     match rq.P.rq_op with
     | P.Open { o_session; o_hierarchy } ->
       handle_open t ~session:o_session o_hierarchy
-    | P.Lookup q -> handle_lookup t (session t rq.P.rq_session) q
-    | P.Batch_lookup qs -> handle_batch t (session t rq.P.rq_session) qs
+    | P.Lookup { lk_query; lk_semantics } ->
+      handle_lookup t (session t rq.P.rq_session) lk_semantics lk_query
+    | P.Batch_lookup { bl_queries; bl_semantics } ->
+      handle_batch t (session t rq.P.rq_session) bl_semantics bl_queries
     | P.Mutate m -> handle_mutate t (session t rq.P.rq_session) m
-    | P.Lint { l_rules } -> handle_lint t (session t rq.P.rq_session) l_rules
+    | P.Lint { l_rules; l_semantics } ->
+      handle_lint t (session t rq.P.rq_session) l_semantics l_rules
     | P.Snapshot -> handle_snapshot t (session t rq.P.rq_session)
     | P.Restore -> handle_restore t ~session:rq.P.rq_session
     | P.Stats -> handle_stats t rq.P.rq_session

@@ -37,6 +37,11 @@ type t = {
   mutable closure : Chg.Closure.t;
   mutable memo : Memo.t;  (* read-through engine over the snapshot *)
   mutable epoch : int;  (* mutations applied so far *)
+  mutable mro : (int * Mro.variant * Mro.t) list;
+      (* linearization tables for the opt-in MRO semantics, one per
+         variant, keyed by the epoch they were computed at; mutations
+         invalidate by epoch mismatch (stale entries are dropped on the
+         next fill) *)
   lookups : Telemetry.Counter.t;
   resolved : Telemetry.Counter.t;
   ambiguous : Telemetry.Counter.t;
@@ -82,6 +87,7 @@ let make ?(config = default_config) ~name ~epoch g =
     closure;
     memo = Memo.create ?max_entries:config.memo_max_entries closure;
     epoch;
+    mro = [];
     lookups = Telemetry.Counter.make "lookups";
     resolved = Telemetry.Counter.make "resolved";
     ambiguous = Telemetry.Counter.make "ambiguous";
@@ -143,6 +149,34 @@ let lookup t cls member =
             (Memo.materialize_column t.memo member);
         count_verdict t v;
         Ok (v, Memoised)))
+
+(* The opt-in linearized-semantics path: one {!Mro.t} per requested
+   variant, computed from the current frozen graph and cached until the
+   next mutation (epoch mismatch).  Serialized by the session lock —
+   the table itself is immutable once built, and the list cell swap is
+   the only write. *)
+let mro_table t v =
+  Mutex.protect t.lock @@ fun () ->
+  match
+    List.find_opt (fun (e, v', _) -> e = t.epoch && v' = v) t.mro
+  with
+  | Some (_, _, tbl) -> tbl
+  | None ->
+    let tbl = Mro.compute v t.graph in
+    t.mro <-
+      (t.epoch, v, tbl)
+      :: List.filter (fun (e, _, _) -> e = t.epoch) t.mro;
+    tbl
+
+let mro_lookup t v cls member =
+  match G.find_opt t.graph cls with
+  | None -> Error cls
+  | Some c ->
+    Telemetry.Counter.incr t.lookups;
+    let tbl = mro_table t v in
+    let verdict = Mro.lookup tbl c member in
+    count_verdict t verdict;
+    Ok verdict
 
 (* Mutations go to the incremental engine — its rows update in place,
    never recomputed from scratch — then the snapshot-facing state

@@ -82,6 +82,15 @@ val lookup :
   t -> string -> string ->
   (Lookup_core.Engine.verdict option * served, string) result
 
+(** [mro_lookup t v cls member] serves one query under the linearized
+    semantics [v] (the protocol's opt-in ["semantics"] field): the
+    session keeps one {!Mro.t} per requested variant, computed from the
+    current snapshot and invalidated by mutation epoch.  [Error cls]
+    when the class is unknown. *)
+val mro_lookup :
+  t -> Mro.variant -> string -> string ->
+  (Lookup_core.Engine.verdict option, string) result
+
 (** [add_class t ~cls ~bases ~members] — the incremental engine computes
     just the new row; resident columns are extended, not dropped.
     Returns the new class id.

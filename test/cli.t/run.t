@@ -16,6 +16,27 @@ The headline lookup: unambiguous, resolves to C::m (g++ 2.7 got this wrong).
   lookup(E, m) = red (C, Ω)
   definition path: C-D-E
 
+The same query under linearized semantics: Python 2.2's L* agrees with
+the paper, while C3 rejects E outright — its local precedence order
+(A, B before D) contradicts D's own linearization, and the lookup
+reports the stuck constraint cycle as a blue set.
+
+  $ cxxlookup lookup fig9.cpp E m --semantics py22
+  lookup(E, m) = red (C, Ω)  [py22]
+  $ cxxlookup lookup fig9.cpp E m --semantics c3
+  lookup(E, m) = blue {A, D}  [c3]
+
+The mro verb prints the linearization itself, or the precedence cycle
+that makes it unsolvable (exit 1).
+
+  $ cxxlookup mro fig9.cpp D
+  c3(D): D -> C -> A -> B -> S
+  $ cxxlookup mro fig9.cpp E
+  c3(E): no linearization of E: precedence cycle A < D < A
+  [1]
+  $ cxxlookup mro fig9.cpp E --semantics py22
+  py22(E): E -> D -> C -> A -> B -> S
+
 Static resolution of every access in the program.
 
   $ cxxlookup check fig9.cpp

@@ -76,8 +76,11 @@ Rule selection runs only the named rules.
   3 findings: 1 error, 2 warnings, 0 notes
   [1]
 
+Unknown rule names are a usage error that lists every valid id (the
+classic six, the cross-semantics three, and the expansion tokens).
+
   $ cxxlookup lint fig1.cpp --rules nope
-  error: unknown lint rule 'nope'
+  error: unknown lint rule 'nope' (valid: ambiguous-lookup, replicated-base, fragile-dominance, dead-member, virtualize-fix-it, compiler-divergence, mro-unsolvable, semantics-divergence, linearization-sensitive, all, default)
   [2]
 
 JSON-lines output: one object per finding, with positions and fix-its.
@@ -106,3 +109,34 @@ full static rule table; one result per finding.
 
   $ cxxlookup lint fig1.cpp --format sarif --fail-on never | grep -c '"ruleId"'
   7
+
+Cross-semantics rules are opt-in: `--rules all` adds them to the run.
+On Figure 1 the C3 linearization resolves the C++-ambiguous lookup, so
+semantics-divergence fires on top of the classic seven findings.
+
+  $ cxxlookup lint fig1.cpp --rules all | tail -3
+  fig1.cpp:5:8: note: a topological-order lookup (the Eiffel-style baseline) silently resolves 'm' in 'E' to 'D::m' where ISO C++ lookup is ambiguous [compiler-divergence]
+  fig1.cpp:5:8: warning: lookup of 'm' in 'E' is ambiguous under C++ dominance but C3 linearization resolves it to 'D::m' [semantics-divergence]
+  8 findings: 1 error, 3 warnings, 4 notes
+
+Figure 9 is the mirror image: C++ dominance resolves E::m, but E has no
+C3 linearization — its local precedence order (A, B before D) contradicts
+D's own linearization.  The witness names the offending constraint
+cycle, and the variant-sensitivity note shows Python 2.2 alone agreeing
+with C++.
+
+  $ cxxlookup lint fig9.cpp --rules mro-unsolvable,semantics-divergence,linearization-sensitive --fail-on never
+  fig9.cpp:6:8: warning: class 'E' has no C3 linearization: its local precedence constraints form the cycle 'A' < 'D' < 'A' [mro-unsolvable]
+  fig9.cpp:6:8: warning: C++ dominance resolves 'm' in 'E' to 'C::m' but 'E' has no C3 linearization [semantics-divergence]
+  fig9.cpp:6:8: note: the MRO variants disagree on 'm' in 'E': c3 -> unsolvable, py22 -> C::m, dylan -> unsolvable [linearization-sensitive]
+  3 findings: 0 errors, 2 warnings, 1 note
+
+The SARIF result's property bag records which baseline or semantics
+diverged: the g++ 2.7 scan on Figure 9, the Eiffel-style topological
+baseline and the C3 linearization on Figure 1.
+
+  $ cxxlookup lint fig9.cpp --format sarif --fail-on never | grep '"baseline"'
+              "baseline": "gxx-buggy"
+  $ cxxlookup lint fig1.cpp --rules all --format sarif --fail-on never | grep '"baseline"'
+              "baseline": "topo"
+              "baseline": "c3"

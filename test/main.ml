@@ -7,6 +7,7 @@ let () =
       ("sgraph", Test_sgraph.suite);
       ("engine", Test_engine.suite);
       ("baselines", Test_baselines.suite);
+      ("mro", Test_mro.suite);
       ("frontend", Test_frontend.suite);
       ("frontend-more", Test_more_frontend.suite);
       ("scopes", Test_scopes.suite);

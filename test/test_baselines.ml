@@ -199,6 +199,30 @@ let test_topo_shortcut () =
     (Option.map (G.name g1)
        (Baselines.Topo_lookup.resolve t1 (G.find g1 "E") "m"))
 
+let test_topo_figures () =
+  (* Figure-based units for the shortcut's two faces.  fig9: the
+     maximum-topological-number declarer among E's ancestors is C, which
+     happens to be the paper's (correct) answer.  fig3: H::foo agrees
+     with the spec (G), but H::bar — ambiguous under C++ — silently
+     resolves to G too. *)
+  let g9 = Hiergen.Figures.fig9 () in
+  let t9 = Baselines.Topo_lookup.prepare g9 in
+  Alcotest.(check (option string)) "fig9 E::m -> C" (Some "C")
+    (Option.map (G.name g9)
+       (Baselines.Topo_lookup.resolve t9 (G.find g9 "E") "m"));
+  let g3 = Hiergen.Figures.fig3 () in
+  let t3 = Baselines.Topo_lookup.prepare g3 in
+  Alcotest.(check (option string)) "fig3 H::foo -> G" (Some "G")
+    (Option.map (G.name g3)
+       (Baselines.Topo_lookup.resolve t3 (G.find g3 "H") "foo"));
+  Alcotest.(check (option string)) "fig3 H::bar -> G (unsound)" (Some "G")
+    (Option.map (G.name g3)
+       (Baselines.Topo_lookup.resolve t3 (G.find g3 "H") "bar"));
+  (* self-declaration dominates any base *)
+  Alcotest.(check (option string)) "fig3 G::foo -> G" (Some "G")
+    (Option.map (G.name g3)
+       (Baselines.Topo_lookup.resolve t3 (G.find g3 "G") "foo"))
+
 let suite =
   [ Alcotest.test_case "naive = spec on figures" `Quick test_naive_matches_spec;
     Alcotest.test_case "figure 4 propagation/kills" `Quick
@@ -214,4 +238,6 @@ let suite =
       test_gxx_fixed_matches_spec_everywhere;
     Alcotest.test_case "g++ self-declared shortcut" `Quick
       test_gxx_self_declared;
-    Alcotest.test_case "topological shortcut" `Quick test_topo_shortcut ]
+    Alcotest.test_case "topological shortcut" `Quick test_topo_shortcut;
+    Alcotest.test_case "topological shortcut on figures" `Quick
+      test_topo_figures ]

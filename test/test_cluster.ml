@@ -242,7 +242,10 @@ let mutate_request ~session name =
 let lookup_request ~session ~cls ~member =
   { P.rq_id = J.Int 0;
     rq_session = Some session;
-    rq_op = P.Lookup { q_class = cls; q_member = member } }
+    rq_op =
+      P.Lookup
+        { lk_query = { P.q_class = cls; q_member = member };
+          lk_semantics = Mro.Cpp } }
 
 let resp_ok j = J.member "ok" j = Ok (J.Bool true)
 

@@ -1,0 +1,330 @@
+(* Tests for the linearized lookup semantics (lib/mro): C3 / Python-2.2 /
+   Dylan linearizations on the paper's figures, failure witnesses on
+   hierarchies whose precedence constraints are cyclic, the Engine-shaped
+   MRO table (including packed hosting), and cross-semantics QCheck
+   invariants: every semantics agrees on single-inheritance hierarchies,
+   C3 successes are topological orders of the superclass DAG, and every
+   divergence the linter reports is confirmed by direct evaluation of
+   both engines. *)
+
+module G = Chg.Graph
+module Path = Subobject.Path
+module Spec = Subobject.Spec
+module Engine = Lookup_core.Engine
+module Abs = Lookup_core.Abstraction
+module Packed = Lookup_core.Packed
+
+let nv = G.Non_virtual
+let pub = G.Public
+
+let build decls =
+  let b = G.create_builder () in
+  List.iter
+    (fun (name, bases, members) ->
+      ignore
+        (G.add_class b name
+           ~bases:(List.map (fun bn -> (bn, nv, pub)) bases)
+           ~members:(List.map G.member members)))
+    decls;
+  G.freeze b
+
+let lin_names g t cls =
+  match Mro.linearization t (G.find g cls) with
+  | Ok l -> List.map (G.name g) l
+  | Error _ -> Alcotest.failf "linearization of %s unexpectedly failed" cls
+
+let resolves g t cls m =
+  Option.map (G.name g) (Mro.resolves_to t (G.find g cls) m)
+
+(* Strict-ancestor set by DFS over the base lists (small test graphs). *)
+let ancestors g c =
+  let seen = Hashtbl.create 16 in
+  let rec go c =
+    List.iter
+      (fun (b : G.base) ->
+        if not (Hashtbl.mem seen b.G.b_class) then begin
+          Hashtbl.add seen b.G.b_class ();
+          go b.G.b_class
+        end)
+      (G.bases g c)
+  in
+  go c;
+  seen
+
+(* -- figure units --------------------------------------------------- *)
+
+let test_fig1 () =
+  (* fig1 is the showcase divergence: C++ lookup(E, m) is ambiguous, but
+     every linearization resolves it to D::m. *)
+  let g = Hiergen.Figures.fig1 () in
+  let c3 = Mro.compute Mro.C3 g in
+  Alcotest.(check (list string)) "C3(E)" [ "E"; "C"; "D"; "B"; "A" ]
+    (lin_names g c3 "E");
+  Alcotest.(check (option string)) "c3 E::m" (Some "D") (resolves g c3 "E" "m");
+  (match Spec.lookup g (G.find g "E") "m" with
+  | Spec.Ambiguous _ -> ()
+  | _ -> Alcotest.fail "C++ lookup(E, m) should be ambiguous");
+  List.iter
+    (fun v ->
+      Alcotest.(check (option string))
+        (Mro.variant_string v ^ " E::m") (Some "D")
+        (resolves g (Mro.compute v g) "E" "m"))
+    Mro.variants
+
+let test_fig2_all_agree () =
+  (* With the virtual diamond the C++ verdict (D::m) and every MRO
+     agree, on every class. *)
+  let g = Hiergen.Figures.fig2 () in
+  List.iter
+    (fun v ->
+      let t = Mro.compute v g in
+      G.iter_classes g (fun c ->
+          match Spec.lookup g c "m" with
+          | Spec.Resolved p ->
+            Alcotest.(check (option string))
+              (Printf.sprintf "%s %s::m" (Mro.variant_string v) (G.name g c))
+              (Some (G.name g (Path.ldc p)))
+              (resolves g t (G.name g c) "m")
+          | _ -> ()))
+    Mro.variants
+
+let test_fig9_c3_unsolvable () =
+  (* Figure 9's E : virtual A, virtual B, D is the classic C3
+     monotonicity rejection: E's local order wants A before D while D's
+     linearization puts D before A.  Python 2.2's L* shrugs and agrees
+     with the paper's C++ verdict (C::m). *)
+  let g = Hiergen.Figures.fig9 () in
+  let c3 = Mro.compute Mro.C3 g in
+  let e = G.find g "E" in
+  (match Mro.linearization c3 e with
+  | Ok _ -> Alcotest.fail "C3(E) should be unsolvable on fig9"
+  | Error f ->
+    Alcotest.(check string) "failure originates at E" "E"
+      (G.name g f.Mro.fl_class);
+    Alcotest.(check (list string)) "witness cycle" [ "A"; "D" ]
+      (List.sort compare (List.map (G.name g) f.Mro.fl_cycle)));
+  (* the failed class still answers lookups: Blue of the cycle classes *)
+  (match Mro.lookup c3 e "m" with
+  | Some (Engine.Blue lvs) ->
+    Alcotest.(check (list string)) "blue set = cycle" [ "A"; "D" ]
+      (List.filter_map
+         (function Abs.Lv c -> Some (G.name g c) | Abs.Omega -> None)
+         lvs)
+  | _ -> Alcotest.fail "lookup on the failed class should be Blue");
+  Alcotest.(check (option string)) "absent member stays absent" None
+    (Option.map (fun _ -> "present") (Mro.lookup c3 e "zzz"));
+  (* D's linearization is fine, and resolves m like the paper does *)
+  Alcotest.(check (list string)) "C3(D)" [ "D"; "C"; "A"; "B"; "S" ]
+    (lin_names g c3 "D");
+  let py = Mro.compute Mro.Py22 g in
+  Alcotest.(check (list string)) "py22(E) total"
+    [ "E"; "D"; "C"; "A"; "B"; "S" ]
+    (lin_names g py "E");
+  Alcotest.(check (option string)) "py22 agrees with C++ on E::m" (Some "C")
+    (resolves g py "E" "m")
+
+let test_constraint_cycle_witness () =
+  (* A : X, Y and B : Y, X impose opposite local precedence on X and Y;
+     C : A, B has no C3 linearization.  The witness names exactly the
+     doubly-constrained pair, and a derived class inherits the failure
+     record with the originating class — not itself — as fl_class. *)
+  let g =
+    build
+      [ ("X", [], [ "m" ]); ("Y", [], [ "m" ]);
+        ("A", [ "X"; "Y" ], []); ("B", [ "Y"; "X" ], []);
+        ("C", [ "A"; "B" ], []); ("D", [ "C" ], []) ]
+  in
+  let c3 = Mro.compute Mro.C3 g in
+  Alcotest.(check (list string)) "C3(A)" [ "A"; "X"; "Y" ] (lin_names g c3 "A");
+  Alcotest.(check (list string)) "C3(B)" [ "B"; "Y"; "X" ] (lin_names g c3 "B");
+  (match Mro.linearization c3 (G.find g "C") with
+  | Ok _ -> Alcotest.fail "C3(C) should be unsolvable"
+  | Error f ->
+    Alcotest.(check string) "originating class" "C" (G.name g f.Mro.fl_class);
+    Alcotest.(check (list string)) "cycle = {X, Y}" [ "X"; "Y" ]
+      (List.sort compare (List.map (G.name g) f.Mro.fl_cycle)));
+  (match Mro.linearization c3 (G.find g "D") with
+  | Ok _ -> Alcotest.fail "C3(D) should inherit C's failure"
+  | Error f ->
+    Alcotest.(check string) "poisoned failure keeps its origin" "C"
+      (G.name g f.Mro.fl_class));
+  (* Python 2.2 is total on the same hierarchy (keeping last occurrences) *)
+  let py = Mro.compute Mro.Py22 g in
+  Alcotest.(check (list string)) "py22(C)" [ "C"; "A"; "B"; "Y"; "X" ]
+    (lin_names g py "C")
+
+let test_engine_roundtrip () =
+  (* The Engine-shaped MRO table answers exactly like the direct lookup,
+     for every figure, variant, class and member — including when packed
+     into the compressed column representation. *)
+  List.iter
+    (fun g ->
+      let cl = Chg.Closure.compute g in
+      List.iter
+        (fun v ->
+          let t = Mro.compute v g in
+          let eng = Mro.engine cl v in
+          let packed = Packed.of_engine eng in
+          G.iter_classes g (fun c ->
+              List.iter
+                (fun m ->
+                  let direct = Mro.lookup t c m in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s %s::%s engine" (Mro.variant_string v)
+                       (G.name g c) m)
+                    true
+                    (Engine.lookup eng c m = direct);
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s %s::%s packed" (Mro.variant_string v)
+                       (G.name g c) m)
+                    true
+                    (Packed.lookup packed c m = direct))
+                (G.member_names g)))
+        Mro.variants)
+    [ Hiergen.Figures.fig1 (); Hiergen.Figures.fig2 ();
+      Hiergen.Figures.fig3 (); Hiergen.Figures.fig9 () ]
+
+(* -- QCheck cross-semantics invariants ------------------------------ *)
+
+let members = [ "m"; "n"; "p" ]
+
+let instance_gen =
+  QCheck.Gen.(
+    map
+      (fun (n, max_bases, vp, dp, seed) ->
+        Hiergen.Families.random_dag ~n ~max_bases
+          ~virtual_prob:(float_of_int vp /. 10.)
+          ~declare_prob:(float_of_int dp /. 10.)
+          ~members ~seed)
+      (tup5 (int_range 1 14) (int_range 1 3) (int_range 0 10)
+         (int_range 1 6) (int_range 0 10000)))
+
+let instance_arb =
+  QCheck.make instance_gen ~print:(fun i ->
+      i.Hiergen.Families.description ^ "\n"
+      ^ Format.asprintf "%a" G.pp i.Hiergen.Families.graph)
+
+(* Single-inheritance hierarchies are where every semantics must agree:
+   each class has one lookup path, so C++ dominance, all three MROs and
+   the Eiffel-style topological shortcut resolve identically. *)
+let single_inheritance_gen =
+  QCheck.Gen.(
+    map
+      (fun (pick, n, fanout, depth) ->
+        if pick then Hiergen.Families.chain ~n ~kind:G.Non_virtual
+        else Hiergen.Families.wide_tree ~fanout ~depth)
+      (tup4 bool (int_range 1 20) (int_range 2 3) (int_range 1 4)))
+
+let single_inheritance_arb =
+  QCheck.make single_inheritance_gen ~print:(fun i ->
+      i.Hiergen.Families.description ^ "\n"
+      ^ Format.asprintf "%a" G.pp i.Hiergen.Families.graph)
+
+let prop_single_inheritance_all_agree =
+  QCheck.Test.make ~count:300
+    ~name:"single inheritance: cpp = c3 = py22 = dylan = topo"
+    single_inheritance_arb (fun { Hiergen.Families.graph = g; _ } ->
+      let tables = List.map (fun v -> Mro.compute v g) Mro.variants in
+      let topo = Baselines.Topo_lookup.prepare g in
+      List.for_all
+        (fun c ->
+          let expected =
+            match Spec.lookup g c "m" with
+            | Spec.Resolved p -> Some (Path.ldc p)
+            | Spec.Undeclared -> None
+            | Spec.Ambiguous _ -> Alcotest.fail "ambiguity in a tree?"
+          in
+          List.for_all
+            (fun t -> Mro.resolves_to t c "m" = expected)
+            tables
+          && Baselines.Topo_lookup.resolve topo c "m" = expected)
+        (G.classes g))
+
+let prop_c3_success_is_topological =
+  QCheck.Test.make ~count:400
+    ~name:"C3 success = topological order of the superclass DAG"
+    instance_arb (fun { Hiergen.Families.graph = g; _ } ->
+      let t = Mro.compute Mro.C3 g in
+      List.for_all
+        (fun c ->
+          match Mro.linearization t c with
+          | Error _ -> true
+          | Ok lin ->
+            let anc = ancestors g c in
+            let arr = Array.of_list lin in
+            let topological = ref true in
+            (* derived classes precede their bases: no strict ancestor of
+               any element may appear before it *)
+            Array.iteri
+              (fun i x ->
+                let anc_x = ancestors g x in
+                Array.iteri
+                  (fun j y ->
+                    if j < i && Hashtbl.mem anc_x y then topological := false)
+                  arr)
+              arr;
+            (* c first, then every strict ancestor exactly once *)
+            List.hd lin = c
+            && List.length lin = Hashtbl.length anc + 1
+            && List.for_all (fun x -> x = c || Hashtbl.mem anc x) lin
+            && !topological)
+        (G.classes g))
+
+let prop_py22_total =
+  QCheck.Test.make ~count:300 ~name:"py22 is total and covers the DAG"
+    instance_arb (fun { Hiergen.Families.graph = g; _ } ->
+      let t = Mro.compute Mro.Py22 g in
+      List.for_all
+        (fun c ->
+          match Mro.linearization t c with
+          | Error _ -> false
+          | Ok lin ->
+            let anc = ancestors g c in
+            List.hd lin = c
+            && List.length lin = Hashtbl.length anc + 1
+            && List.sort_uniq compare lin = List.sort compare lin)
+        (G.classes g))
+
+let verdicts_diverge cpp mro =
+  (* mirror of the linter's firing condition, evaluated independently *)
+  match (cpp, mro) with
+  | Some (Engine.Red a), Some (Engine.Red b) ->
+    a.Abs.r_ldc <> b.Abs.r_ldc
+  | Some (Engine.Blue _), Some (Engine.Red _)
+  | Some (Engine.Red _), Some (Engine.Blue _) -> true
+  | _ -> false
+
+let prop_divergence_confirmed =
+  QCheck.Test.make ~count:300
+    ~name:"every semantics-divergence finding reproduces on both engines"
+    instance_arb (fun { Hiergen.Families.graph = g; _ } ->
+      let cl = Chg.Closure.compute g in
+      let config =
+        { Lint.default_config with
+          rules = [ Lint.Rule.Semantics_divergence ] }
+      in
+      let findings = Lint.run ~config cl in
+      let cpp = Engine.build cl in
+      let c3 = Mro.engine cl Mro.C3 in
+      List.for_all
+        (fun (f : Lint.finding) ->
+          match f.Lint.f_member with
+          | None -> false
+          | Some m ->
+            let c = G.find g f.Lint.f_class in
+            f.Lint.f_baseline = Some "c3"
+            && verdicts_diverge (Engine.lookup cpp c m) (Engine.lookup c3 c m))
+        findings)
+
+let suite =
+  [ Alcotest.test_case "fig1: C++ ambiguous, MROs resolve D" `Quick test_fig1;
+    Alcotest.test_case "fig2: all semantics agree" `Quick test_fig2_all_agree;
+    Alcotest.test_case "fig9: C3 unsolvable, py22 = C++" `Quick
+      test_fig9_c3_unsolvable;
+    Alcotest.test_case "constraint-cycle witness" `Quick
+      test_constraint_cycle_witness;
+    Alcotest.test_case "engine/packed round-trip" `Quick test_engine_roundtrip;
+    QCheck_alcotest.to_alcotest prop_single_inheritance_all_agree;
+    QCheck_alcotest.to_alcotest prop_c3_success_is_topological;
+    QCheck_alcotest.to_alcotest prop_py22_total;
+    QCheck_alcotest.to_alcotest prop_divergence_confirmed ]

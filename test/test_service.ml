@@ -277,10 +277,12 @@ let test_protocol_parse_ok () =
   Alcotest.(check (option string)) "session" (Some "s")
     rq.Protocol.rq_session;
   (match rq.Protocol.rq_op with
-  | Protocol.Lookup { q_class = "A"; q_member = "m" } -> ()
+  | Protocol.Lookup
+      { lk_query = { q_class = "A"; q_member = "m" }; lk_semantics = Mro.Cpp }
+    -> ()
   | _ -> Alcotest.fail "wrong op");
   (match (parse {|{"op":"batch_lookup","session":"s","queries":[{"class":"A","member":"m"},{"class":"B","member":"n"}]}|}).Protocol.rq_op with
-  | Protocol.Batch_lookup [ a; b ] ->
+  | Protocol.Batch_lookup { bl_queries = [ a; b ]; bl_semantics = Mro.Cpp } ->
     Alcotest.(check string) "q1" "A" a.Protocol.q_class;
     Alcotest.(check string) "q2 member" "n" b.Protocol.q_member
   | _ -> Alcotest.fail "wrong batch op");
