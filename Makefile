@@ -1,5 +1,5 @@
 .PHONY: all build test bench bench-smoke lint metrics-smoke net-smoke \
-	cluster-smoke verify clean
+	cluster-smoke raw-smoke verify clean
 
 all: build
 
@@ -62,14 +62,26 @@ net-smoke: build
 cluster-smoke: build
 	sh test/smoke/cluster_chaos.sh
 
+# The raw speed floor end to end: one server answering the same
+# transcript over JSON lines and cxxlookup-rpc/1b frames must agree
+# verdict for verdict (plus a binary loadgen burst, with the server's
+# frame-decode histogram proving frames took the 1b path), and
+# zero-copy snapshot recovery must survive SIGKILL identically in all
+# three restore modes — including falling back past a damaged newest
+# snapshot.
+raw-smoke: build
+	sh test/smoke/binary_rpc.sh
+	sh test/smoke/mmap_crash.sh
+
 # CI entry point: full build, full test suite, a smoke run of the
 # telemetry pipeline end to end (parse -> all three engines -> JSON),
 # a serve smoke test (canned cxxlookup-rpc/1 transcript through the
 # service, diffed against its golden), a crash-recovery smoke test
 # (durable serve, SIGKILL, restart over the same store, diff against
-# the recovered-transcript golden), the packed-table and MRO bench
-# smoke checks, and the hierarchy linter (full rule set) over every
-# example in SARIF mode.
+# the recovered-transcript golden), the raw-path smokes (both RPC
+# framings agreeing, mmap crash recovery in every restore mode), the
+# packed-table and MRO bench smoke checks, and the hierarchy linter
+# (full rule set) over every example in SARIF mode.
 verify:
 	dune build @all
 	dune runtest
@@ -81,6 +93,7 @@ verify:
 	$(MAKE) metrics-smoke
 	$(MAKE) net-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) raw-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) lint
 	@echo "verify: OK"

@@ -218,7 +218,8 @@ let run () =
       await (replicas_caught_up ~leader ~follower_srvs) "replica catch-up";
       let per_session q =
         { Net.Loadgen.conns = 1; qps = q; duration = measure_s;
-          mix = [ ("lookup", 9); ("batch_lookup", 1) ]; batch_size = 8 }
+          mix = [ ("lookup", 9); ("batch_lookup", 1) ]; batch_size = 8;
+          binary = false }
       in
       let fixed_hist, fixed_answered, fixed_errors, _, _ =
         run_sessions router_addr
@@ -227,6 +228,14 @@ let run () =
       in
       let _, sat_answered, sat_errors, sat_qps, sat_elapsed =
         run_sessions router_addr (per_session 0.) ~queries
+      in
+      (* same saturation mix over the cxxlookup-rpc/1b framing — the
+         router forwards frames whole, so this measures the binary
+         pass-through path end to end *)
+      let _, sat_b_answered, sat_b_errors, sat_b_qps, _ =
+        run_sessions router_addr
+          { (per_session 0.) with binary = true }
+          ~queries
       in
       (* the mutating mix: reads keep flowing while every tenth request
          is a mutation the router must forward to the leader exactly
@@ -242,14 +251,16 @@ let run () =
       let p q = Telemetry.Histogram.quantile fixed_hist q in
       Format.printf
         "  replicas=%d  p50=%d ns  p99=%d ns  (open loop, %d answered)  \
-         saturation=%d req/s (%d answered)  mutating mix: %d answered, %d \
-         errors@."
+         saturation json=%d req/s (%d answered)  binary=%d req/s (%d \
+         answered)  mutating mix: %d answered, %d errors@."
         replicas (p 0.50) (p 0.99) fixed_answered
-        (int_of_float sat_qps) sat_answered mut_answered mut_errors;
-      if fixed_errors > 0 || sat_errors > 0 || mut_errors > 0 then
+        (int_of_float sat_qps) sat_answered (int_of_float sat_b_qps)
+        sat_b_answered mut_answered mut_errors;
+      if fixed_errors > 0 || sat_errors > 0 || sat_b_errors > 0
+         || mut_errors > 0 then
         Format.printf "  WARNING: in-band errors: fixed=%d saturation=%d \
-                       mutating=%d@."
-          fixed_errors sat_errors mut_errors;
+                       binary=%d mutating=%d@."
+          fixed_errors sat_errors sat_b_errors mut_errors;
       Scaling.record ~experiment:"CLU1"
         ~family:(Printf.sprintf "fig9 router %d replicas" replicas)
         ~n_plus_e:size
@@ -266,6 +277,9 @@ let run () =
              ("saturation_qps", int_of_float sat_qps);
              ("saturation_answered", sat_answered);
              ("saturation_errors", sat_errors);
+             ("binary_saturation_qps", int_of_float sat_b_qps);
+             ("binary_saturation_answered", sat_b_answered);
+             ("binary_saturation_errors", sat_b_errors);
              ("mutating_answered", mut_answered);
              ("mutating_errors", mut_errors) ]))
     [ 1; 2; 3 ]

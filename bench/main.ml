@@ -15,8 +15,12 @@ let host_json () =
       ("ncores", Telemetry.Json.Int (Domain.recommended_domain_count ()));
       ("ocaml_version", Telemetry.Json.String Sys.ocaml_version) ]
 
-let write_metrics () =
-  let entries = List.rev !Scaling.bench_records in
+let write_metrics ?entries () =
+  let entries =
+    match entries with
+    | Some e -> e
+    | None -> List.rev !Scaling.bench_records
+  in
   let doc =
     Telemetry.Json.Obj
       [ ("schema", Telemetry.Json.String "cxxlookup-bench/1");
@@ -27,6 +31,39 @@ let write_metrics () =
       Telemetry.Json.output oc doc);
   Format.printf "@.wrote BENCH_lookup.json (%d sweep points)@."
     (List.length entries)
+
+(* The `raw` quick mode reruns only RAW1 but keeps every other
+   experiment's rows: the existing file's entries minus stale RAW1 ones,
+   plus the fresh records.  A missing or unparseable file degrades to
+   the fresh rows alone. *)
+let merge_raw_entries fresh =
+  let kept =
+    match
+      In_channel.with_open_text "BENCH_lookup.json" In_channel.input_all
+    with
+    | exception Sys_error _ -> []
+    | text ->
+      (match Raw_bench.Reader.parse text with
+      | exception Raw_bench.Reader.Bad msg ->
+        Format.printf
+          "  note: BENCH_lookup.json unparseable (%s); keeping RAW1 rows \
+           only@."
+          msg;
+        []
+      | Telemetry.Json.Obj fields ->
+        (match List.assoc_opt "entries" fields with
+        | Some (Telemetry.Json.List l) ->
+          List.filter
+            (function
+              | Telemetry.Json.Obj fs ->
+                List.assoc_opt "experiment" fs
+                <> Some (Telemetry.Json.String "RAW1")
+              | _ -> true)
+            l
+        | _ -> [])
+      | _ -> [])
+  in
+  kept @ fresh
 
 let () =
   Format.printf "cxxlookup benchmark harness — ";
@@ -57,6 +94,21 @@ let () =
     Cluster_bench.run ();
     exit 0
   end;
+  (* `raw` runs only the raw-speed-floor experiment and merges its rows
+     into BENCH_lookup.json in place (other experiments' entries are
+     kept); rows where mmap cannot engage are reported as skipped, not
+     failed. *)
+  if Array.exists (String.equal "raw") Sys.argv then begin
+    Raw_bench.run ();
+    write_metrics
+      ~entries:(merge_raw_entries (List.rev !Scaling.bench_records)) ();
+    Format.printf "@.%s@."
+      (if !Fig_tables.checks_failed = 0 then "RAW1 checks passed."
+       else
+         Printf.sprintf "%d CHECKS FAILED — see MISMATCH lines above."
+           !Fig_tables.checks_failed);
+    exit (if !Fig_tables.checks_failed = 0 then 0 else 1)
+  end;
   Fig_tables.run ();
   Scaling.run ();
   Ablation.run ();
@@ -66,6 +118,7 @@ let () =
   Mro_bench.run ();
   Store_bench.run ();
   Packed_bench.run ();
+  Raw_bench.run ();
   Srv_bench.run ();
   Cluster_bench.run ();
   Becha.run ();

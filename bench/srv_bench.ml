@@ -95,25 +95,32 @@ let run () =
       let mix = [ ("lookup", 9); ("batch_lookup", 1) ] in
       let base =
         { Net.Loadgen.conns = 4; qps = 0.; duration = measure_s; mix;
-          batch_size = 8 }
+          batch_size = 8; binary = false }
       in
       (* fixed-rate run: client-visible latency when the server keeps up *)
       let fixed =
         Net.Loadgen.run addr { base with qps = open_loop_qps } ~session
           ~queries
       in
-      (* saturation run: as fast as the server answers *)
+      (* saturation runs, both framings: JSON lines vs cxxlookup-rpc/1b *)
       let sat = Net.Loadgen.run addr base ~session ~queries in
+      let sat_b =
+        Net.Loadgen.run addr { base with binary = true } ~session ~queries
+      in
       let h = fixed.hist in
       let p q = Telemetry.Histogram.quantile h q in
       let sat_qps = int_of_float sat.achieved_qps in
+      let sat_b_qps = int_of_float sat_b.achieved_qps in
       Format.printf
         "  workers=%d  p50=%d ns  p99=%d ns  (open loop, %d answered)  \
-         saturation=%d req/s (%d answered)@."
-        workers (p 0.50) (p 0.99) fixed.answered sat_qps sat.answered;
-      if fixed.errors > 0 || sat.errors > 0 then
-        Format.printf "  WARNING: in-band errors: fixed=%d saturation=%d@."
-          fixed.errors sat.errors;
+         saturation json=%d req/s (%d answered)  binary=%d req/s (%d \
+         answered)@."
+        workers (p 0.50) (p 0.99) fixed.answered sat_qps sat.answered
+        sat_b_qps sat_b.answered;
+      if fixed.errors > 0 || sat.errors > 0 || sat_b.errors > 0 then
+        Format.printf
+          "  WARNING: in-band errors: fixed=%d saturation=%d binary=%d@."
+          fixed.errors sat.errors sat_b.errors;
       Scaling.record ~experiment:"SRV1"
         ~family:(Printf.sprintf "fig9 tcp %d workers" workers)
         ~n_plus_e:size
@@ -128,5 +135,8 @@ let run () =
              ("open_loop_errors", fixed.errors);
              ("saturation_qps", sat_qps);
              ("saturation_answered", sat.answered);
-             ("saturation_errors", sat.errors) ]))
+             ("saturation_errors", sat.errors);
+             ("binary_saturation_qps", sat_b_qps);
+             ("binary_saturation_answered", sat_b.answered);
+             ("binary_saturation_errors", sat_b.errors) ]))
     [ 1; 2; 4 ]

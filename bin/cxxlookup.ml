@@ -761,10 +761,24 @@ let store_config_term =
       & info [ "keep-snapshots" ] ~docv:"N"
           ~doc:"Snapshot files retained per session.")
   in
-  let make fsync compact_bytes keep_snapshots =
-    { Store.fsync; compact_bytes; keep_snapshots }
+  let mmap =
+    let mode_conv =
+      Arg.enum [ ("verify", `Verify); ("fast", `Fast); ("off", `Off) ]
+    in
+    Arg.(
+      value
+      & opt mode_conv Store.default_config.Store.mmap_restore
+      & info [ "mmap-restore" ] ~docv:"MODE"
+          ~doc:
+            "Snapshot restore path: 'verify' (zero-copy mmap after a CRC \
+             pass, the default), 'fast' (mmap with structural checks \
+             only), or 'off' (always decode). Every mode falls back to \
+             decode when mapping fails.")
   in
-  Term.(const make $ fsync $ compact $ keep)
+  let make fsync compact_bytes keep_snapshots mmap_restore =
+    { Store.fsync; compact_bytes; keep_snapshots; mmap_restore }
+  in
+  Term.(const make $ fsync $ compact $ keep $ mmap)
 
 let print_recoveries results =
   List.iter
@@ -1112,6 +1126,156 @@ let backoff_term =
           "Backoff seed: attempt k sleeps about MS * 2^k milliseconds, \
            +/-25% jitter.")
 
+(* `client --binary`: re-encode eligible request lines (lookup,
+   batch_lookup, mutate, symbols — every name resolvable through the
+   session's interned-id tables, cpp semantics, integer id) as
+   cxxlookup-rpc/1b frames; anything else falls back to the JSON line
+   untouched, on the same connection — the listener negotiates per
+   message.  Symbol tables cost one binary [symbols] round trip per
+   session and stay current by applying the mutation deltas.  Decoded
+   responses print as a compact JSON rendering (ids, verdict codes);
+   error frames reuse the canonical error shape. *)
+module Binary_client = struct
+  module J = Chg.Json
+  module P = Service.Protocol
+  module Frame = Service.Frame
+
+  type ids = {
+    bi_cls : (string, int) Hashtbl.t;
+    bi_mem : (string, int) Hashtbl.t;
+    mutable bi_cls_names : string array;  (* class id -> name *)
+  }
+
+  let fetch cl ~session =
+    let req =
+      Frame.encode_request
+        { Frame.fr_id = 0; fr_session = session; fr_op = Frame.Symbols }
+    in
+    match Net.Client.request_frame cl req with
+    | None -> None
+    | Some resp ->
+      (match Frame.decode_response ~op:Frame.op_symbols resp with
+      | Ok (_, Frame.Ok_symbols { os_classes; os_members; _ }) ->
+        let bi_cls = Hashtbl.create (max 16 (Array.length os_classes)) in
+        let bi_mem = Hashtbl.create (max 16 (Array.length os_members)) in
+        Array.iteri (fun i n -> Hashtbl.replace bi_cls n i) os_classes;
+        Array.iteri (fun i n -> Hashtbl.replace bi_mem n i) os_members;
+        Some { bi_cls; bi_mem; bi_cls_names = os_classes }
+      | _ -> None)
+
+  let apply_member_delta ids =
+    List.iter (fun (i, n) -> Hashtbl.replace ids.bi_mem n i)
+
+  (* [translate ids rq] — the frame, its op byte, and a post-response
+     hook keeping the id tables current; [None] = send the JSON line. *)
+  let translate ids (rq : P.request) =
+    match (rq.P.rq_session, rq.P.rq_id) with
+    | Some session, J.Int id ->
+      let mk op wire on_ok =
+        Some
+          ( Frame.encode_request
+              { Frame.fr_id = id; fr_session = session; fr_op = op },
+            wire,
+            on_ok )
+      in
+      let nothing _ = () in
+      let cls c = Hashtbl.find_opt ids.bi_cls c in
+      let mem m = Hashtbl.find_opt ids.bi_mem m in
+      (match rq.P.rq_op with
+      | P.Symbols -> mk Frame.Symbols Frame.op_symbols nothing
+      | P.Lookup { lk_query = q; lk_semantics = Mro.Cpp } ->
+        (match (cls q.P.q_class, mem q.P.q_member) with
+        | Some c, Some m ->
+          mk (Frame.Lookup { lk_class = c; lk_member = m }) Frame.op_lookup
+            nothing
+        | _ -> None)
+      | P.Batch_lookup { bl_queries; bl_semantics = Mro.Cpp } ->
+        let rec map acc = function
+          | [] -> Some (List.rev acc)
+          | (q : P.query) :: rest ->
+            (match (cls q.P.q_class, mem q.P.q_member) with
+            | Some c, Some m -> map ((c, m) :: acc) rest
+            | _ -> None)
+        in
+        Option.bind (map [] bl_queries) (fun pairs ->
+            mk
+              (Frame.Batch_lookup (Array.of_list pairs))
+              Frame.op_batch_lookup nothing)
+      | P.Mutate (P.Add_member { mm_class; mm_member }) ->
+        Option.bind (cls mm_class) (fun c ->
+            mk
+              (Frame.Add_member { am_class = c; am_member = mm_member })
+              Frame.op_add_member
+              (function
+                | Frame.Ok_add_member { oam_new_symbols; _ } ->
+                  apply_member_delta ids oam_new_symbols
+                | _ -> ()))
+      | P.Mutate (P.Add_class { mc_name; mc_bases; mc_members }) ->
+        mk
+          (Frame.Add_class
+             { ac_name = mc_name; ac_bases = mc_bases;
+               ac_members = mc_members })
+          Frame.op_add_class
+          (function
+            | Frame.Ok_add_class { oac_class; oac_new_symbols; _ } ->
+              Hashtbl.replace ids.bi_cls mc_name oac_class;
+              if oac_class = Array.length ids.bi_cls_names then
+                ids.bi_cls_names <-
+                  Array.append ids.bi_cls_names [| mc_name |];
+              apply_member_delta ids oac_new_symbols
+            | _ -> ())
+      | _ -> None)
+    | _ -> None
+
+  let code_fields ids code =
+    if code >= 0 then
+      ("verdict", J.String "red")
+      :: ("class_id", J.Int code)
+      :: (if code < Array.length ids.bi_cls_names then
+            [ ("class", J.String ids.bi_cls_names.(code)) ]
+          else [])
+    else if code = -2 then [ ("verdict", J.String "blue") ]
+    else [ ("verdict", J.String "none") ]
+
+  let delta_json d = J.Obj (List.map (fun (i, n) -> (n, J.Int i)) d)
+
+  let strings a = J.List (Array.to_list (Array.map (fun s -> J.String s) a))
+
+  let render ids id r =
+    let ok fields = J.Obj (("id", J.Int id) :: ("ok", J.Bool true) :: fields) in
+    match r with
+    | Frame.Err (code, msg) -> P.error_response ~id:(J.Int id) code msg
+    | Frame.Ok_lookup code -> ok (code_fields ids code)
+    | Frame.Ok_batch { ob_codes; ob_resolved; ob_ambiguous; ob_not_found } ->
+      ok
+        [ ( "codes",
+            J.List (Array.to_list (Array.map (fun c -> J.Int c) ob_codes)) );
+          ("resolved", J.Int ob_resolved);
+          ("ambiguous", J.Int ob_ambiguous);
+          ("not_found", J.Int ob_not_found) ]
+    | Frame.Ok_add_member
+        { oam_member; oam_rows; oam_invalidated; oam_epoch; oam_new_symbols }
+      ->
+      ok
+        [ ("member_id", J.Int oam_member);
+          ("rows_recomputed", J.Int oam_rows);
+          ("table_invalidated", J.Bool oam_invalidated);
+          ("epoch", J.Int oam_epoch);
+          ("new_symbols", delta_json oam_new_symbols) ]
+    | Frame.Ok_add_class { oac_class; oac_classes; oac_epoch; oac_new_symbols }
+      ->
+      ok
+        [ ("class_id", J.Int oac_class);
+          ("classes", J.Int oac_classes);
+          ("epoch", J.Int oac_epoch);
+          ("new_symbols", delta_json oac_new_symbols) ]
+    | Frame.Ok_symbols { os_epoch; os_classes; os_members } ->
+      ok
+        [ ("epoch", J.Int os_epoch);
+          ("classes", strings os_classes);
+          ("members", strings os_members) ]
+end
+
 let client_cmd =
   let pipeline =
     Arg.(
@@ -1122,7 +1286,23 @@ let client_cmd =
              still arrive in request order) instead of one round trip \
              per line.")
   in
-  let run tcp unix_path pipeline retry backoff_ms =
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:
+            "Re-encode eligible lines (lookup, batch_lookup, mutate, \
+             symbols with names known to the session) as \
+             cxxlookup-rpc/1b binary frames with interned ids; other \
+             lines are sent as JSON on the same connection.  Responses \
+             print as a compact JSON rendering.  Incompatible with \
+             --pipeline.")
+  in
+  let run tcp unix_path pipeline binary retry backoff_ms =
+    if pipeline && binary then begin
+      prerr_endline "error: --binary cannot be combined with --pipeline";
+      exit 2
+    end;
     let addr = require_addr tcp unix_path in
     let cl = Net.Client.connect ~retries:retry ~backoff_ms addr in
     let lines =
@@ -1141,6 +1321,54 @@ let client_cmd =
         prerr_endline "error: server closed the connection";
         failed := true
     in
+    let sessions : (string, Binary_client.ids) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    let ids_for session =
+      match Hashtbl.find_opt sessions session with
+      | Some _ as ids -> ids
+      | None ->
+        (match Binary_client.fetch cl ~session with
+        | Some ids -> Hashtbl.add sessions session ids; Some ids
+        | None -> None)
+    in
+    (* the binary path for one line, [false] = not translatable (unknown
+       names, non-integer id, no session, verb without a binary form) —
+       the caller sends the JSON line instead *)
+    let try_binary l =
+      match Service.Protocol.parse_request l with
+      | Error _ -> false
+      | Ok rq ->
+        let ids =
+          match rq.Service.Protocol.rq_session with
+          | Some s -> ids_for s
+          | None -> None
+        in
+        (match ids with
+        | None -> false
+        | Some ids ->
+          (match Binary_client.translate ids rq with
+          | None -> false
+          | Some (frame, op, on_ok) ->
+            (match
+               Net.Client.request_frame_admitted ~retries:retry ~backoff_ms
+                 cl frame
+             with
+            | None ->
+              prerr_endline "error: server closed the connection";
+              failed := true
+            | Some resp ->
+              (match Service.Frame.decode_response ~op resp with
+              | Error msg ->
+                Printf.eprintf "error: bad response frame: %s\n" msg;
+                failed := true
+              | Ok (id, r) ->
+                on_ok r;
+                let j = Binary_client.render ids id r in
+                print_endline (Chg.Json.to_string j);
+                if not (response_ok j) then failed := true));
+            true))
+    in
     if pipeline then begin
       List.iter (Net.Client.send_line cl) lines;
       List.iter (fun _ -> handle (Net.Client.recv_line cl)) lines
@@ -1148,7 +1376,9 @@ let client_cmd =
     else
       List.iter
         (fun l ->
-          handle (Net.Client.request_admitted ~retries:retry ~backoff_ms cl l))
+          if not (binary && try_binary l) then
+            handle
+              (Net.Client.request_admitted ~retries:retry ~backoff_ms cl l))
         lines;
     Net.Client.close cl;
     if !failed then exit 1
@@ -1163,9 +1393,10 @@ let client_cmd =
           counterpart of piping the same lines into 'cxxlookup serve'.  \
           --retry adds jittered exponential backoff on refused \
           connections and (per request, outside --pipeline) overloaded \
-          responses.")
-    Term.(const run $ connect_term $ unix_sock_term $ pipeline $ retry_term
-          $ backoff_term)
+          responses.  --binary drives eligible verbs over the \
+          cxxlookup-rpc/1b framing with interned ids.")
+    Term.(const run $ connect_term $ unix_sock_term $ pipeline $ binary
+          $ retry_term $ backoff_term)
 
 let loadgen_cmd =
   let conns =
@@ -1218,6 +1449,16 @@ let loadgen_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable report.")
   in
+  let binary_flag =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:
+            "Drive lookup, batch_lookup and mutate over the \
+             cxxlookup-rpc/1b binary framing with interned ids (one \
+             symbols round trip per connection); stats and lint stay \
+             JSON lines on the same socket.")
+  in
   let parse_mix s =
     String.split_on_char ',' s
     |> List.filter (fun part -> String.trim part <> "")
@@ -1237,7 +1478,7 @@ let loadgen_cmd =
                exit 2))
   in
   let run tcp unix_path file conns qps duration mix batch_size warmup
-      session json_flag =
+      session json_flag binary =
     let addr = require_addr tcp unix_path in
     let source = read_file file in
     let r = Frontend.Sema.analyze_source source in
@@ -1298,7 +1539,8 @@ let loadgen_cmd =
         queries
     done;
     let cfg =
-      { Net.Loadgen.conns; qps; duration; mix = parse_mix mix; batch_size }
+      { Net.Loadgen.conns; qps; duration; mix = parse_mix mix; batch_size;
+        binary }
     in
     let report = Net.Loadgen.run addr cfg ~session ~queries in
     Net.Client.close setup;
@@ -1328,10 +1570,11 @@ let loadgen_cmd =
           --qps with a coordinated-omission-safe schedule (latency \
           measured from the scheduled send time), or closed-loop \
           saturation when --qps is 0 — and report p50/p90/p99/p999 \
-          latency plus achieved throughput.")
+          latency plus achieved throughput.  --binary drives the hot \
+          verbs over the cxxlookup-rpc/1b framing with interned ids.")
     Term.(const run $ connect_term $ unix_sock_term $ file_arg $ conns
           $ qps $ duration $ mix $ batch_size $ warmup $ session
-          $ json_flag)
+          $ json_flag $ binary_flag)
 
 (* -- the cluster roles: replica & router ----------------------------- *)
 

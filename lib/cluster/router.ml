@@ -200,6 +200,29 @@ let exchange p i line =
       p.router.alive.(i) <- true;
       Some resp)
 
+(* One binary round trip against backend [i] — {!exchange}'s frame
+   twin, feeding the same health/latency accounting. *)
+let exchange_frame p i frame =
+  match client p i with
+  | None -> None
+  | Some c ->
+    let t0 = Telemetry.Clock.now_ns () in
+    (match
+       Net.Client.request_frame_admitted ~retries:p.router.cfg.retries
+         ~backoff_ms:p.router.cfg.backoff_ms c frame
+     with
+    | exception (Unix.Unix_error _ | Sys_error _ | End_of_file) ->
+      drop_slot p i;
+      None
+    | None ->
+      drop_slot p i;
+      None
+    | Some resp ->
+      Telemetry.Histogram.record p.router.be_hist.(i)
+        (Telemetry.Clock.elapsed_ns ~since:t0);
+      p.router.alive.(i) <- true;
+      Some resp)
+
 (* ---- response inspection -------------------------------------------- *)
 
 let error_code_of resp =
@@ -213,6 +236,16 @@ let error_code_of resp =
 
 let unavailable_response ~id msg =
   J.to_string (P.error_response ~id P.Backend_unavailable msg)
+
+(* Error frames decode independently of the op, so probing with any op
+   is sound; non-error (or undecodable) frames yield [None]. *)
+let frame_error_code resp =
+  match Service.Frame.decode_response ~op:Service.Frame.op_lookup resp with
+  | Ok (_, Service.Frame.Err (code, _)) -> Some code
+  | _ -> None
+
+let frame_error ~id code msg =
+  Service.Frame.encode_response ~id (Service.Frame.Err (code, msg))
 
 (* ---- routing -------------------------------------------------------- *)
 
@@ -403,6 +436,74 @@ let route_batch p ~id ~session ~semantics ~order queries =
     merge 0 [] 0 0 0 cs
   end
 
+(* ---- binary (cxxlookup-rpc/1b) pass-through -------------------------
+
+   Frames route whole: the [i64 id | string session] payload prefix is
+   the routing key, the rest stays opaque bytes — the router never
+   re-encodes a frame.  Reads fail over down the preference order (with
+   the one leader retry on a replica's [unknown_session]); mutations go
+   to the leader at most once, exactly like JSON.  A binary
+   [batch_lookup] is routed as one read, not fanned out: interned ids
+   are per-backend-session state, so re-chunking would buy nothing and
+   the frame's merge shape is fixed. *)
+
+let route_read_frame p ~id ~order frame =
+  let rec walk tried = function
+    | [] ->
+      Telemetry.Counter.incr p.router.unavailable;
+      frame_error ~id P.Backend_unavailable
+        (Printf.sprintf "no backend reachable (%d tried)" tried)
+    | i :: rest ->
+      (match exchange_frame p i frame with
+      | None ->
+        if rest <> [] then Telemetry.Counter.incr p.router.failovers;
+        walk (tried + 1) rest
+      | Some resp ->
+        if
+          i <> p.router.leader
+          && frame_error_code resp = Some P.Unknown_session
+        then begin
+          Telemetry.Counter.incr p.router.leader_retries;
+          match exchange_frame p p.router.leader frame with
+          | Some resp' -> resp'
+          | None -> resp  (* leader gone: the replica's answer stands *)
+        end
+        else resp)
+  in
+  walk 0 order
+
+let route_mutation_frame p ~id frame =
+  Telemetry.Counter.incr p.router.forwards;
+  match exchange_frame p p.router.leader frame with
+  | Some resp -> resp
+  | None ->
+    Telemetry.Counter.incr p.router.unavailable;
+    frame_error ~id P.Backend_unavailable
+      "leader unreachable; the mutation was not confirmed and will not \
+       be resent"
+
+let respond_frame p frame =
+  Telemetry.Counter.incr p.router.requests;
+  let op = Char.code frame.[1] in
+  let body =
+    String.sub frame Service.Frame.header_len
+      (String.length frame - Service.Frame.header_len)
+  in
+  match Service.Frame.session_of_request body with
+  | Error msg -> frame_error ~id:0 P.Bad_request msg
+  | Ok (id, session) ->
+    let read_only =
+      op = Service.Frame.op_lookup
+      || op = Service.Frame.op_batch_lookup
+      || op = Service.Frame.op_symbols
+    in
+    if read_only then
+      route_read_frame p ~id ~order:(preference p.router session) frame
+    else
+      (* mutations — and unknown ops, which the leader answers
+         [bad_request] authoritatively *)
+      route_mutation_frame p ~id frame
+
 (* ---- the front end -------------------------------------------------- *)
 
 let handle_metrics t ~id =
@@ -435,6 +536,36 @@ let respond p line =
       route_read p ~id ~order line
     | _ -> route_mutation p ~id line)
 
+(* Finish a line whose first byte was already consumed (it was not the
+   frame magic).  Mirrors [In_channel.input_line]: a final unterminated
+   line is still returned. *)
+let read_line_after ic first =
+  let b = Buffer.create 256 in
+  Buffer.add_char b first;
+  let rec go () =
+    match input_char ic with
+    | '\n' -> Buffer.contents b
+    | c ->
+      Buffer.add_char b c;
+      go ()
+    | exception End_of_file -> Buffer.contents b
+  in
+  go ()
+
+(* Read the remainder of a binary frame after its 0xB1 magic byte;
+   [None] on a torn frame (connection closes, like a torn line). *)
+let read_frame_after ic =
+  match really_input_string ic (Service.Frame.header_len - 1) with
+  | exception End_of_file -> None
+  | rest ->
+    let hdr = String.make 1 (Char.chr Service.Frame.request_magic) ^ rest in
+    (match Service.Frame.parse_header hdr with
+    | Error _ -> None
+    | Ok (_op, len) ->
+      (match really_input_string ic len with
+      | exception End_of_file -> None
+      | body -> Some (hdr ^ body)))
+
 let handle_conn t conn fd =
   let p = make_pool t in
   Fun.protect
@@ -448,9 +579,19 @@ let handle_conn t conn fd =
         let oc = Unix.out_channel_of_descr fd in
         let continue = ref true in
         while !continue && not (Atomic.get t.stop) do
-          match In_channel.input_line ic with
-          | None -> continue := false
-          | Some line ->
+          (* per-message framing negotiation, like the backends: 0xB1
+             opens a binary frame, anything else a JSON line *)
+          match input_char ic with
+          | exception End_of_file -> continue := false
+          | '\n' -> ()  (* blank line, skipped *)
+          | c when Char.code c = Service.Frame.request_magic ->
+            (match read_frame_after ic with
+            | None -> continue := false
+            | Some f ->
+              output_string oc (respond_frame p f);
+              flush oc)
+          | c ->
+            let line = read_line_after ic c in
             if String.trim line <> "" then begin
               output_string oc (respond p line);
               output_char oc '\n';

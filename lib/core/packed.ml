@@ -20,12 +20,34 @@ module B = Chg.Binary
    straight map and two equal verdict sets always produce identical
    slices.  The arena is column-local: a column is a value, safe to
    share read-only across domains and to write byte-for-byte into a
-   snapshot. *)
+   snapshot.
+
+   A column's two flat int sequences live either on the OCaml heap
+   ([Arr]) or as a slice of an external word buffer ([Big]) — typically
+   a Bigarray mapped over a snapshot file's table-image section, so a
+   restored column serves queries without ever being copied into the
+   heap.  Both shapes answer through the same accessors; the mutation
+   path ({!column_append}) always materializes to the heap. *)
+
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type vec =
+  | Arr of int array
+  | Big of { vb : buf; vb_off : int; vb_len : int }
+
+let vlen = function Arr a -> Array.length a | Big b -> b.vb_len
+
+let vget v i =
+  match v with
+  | Arr a -> a.(i)
+  | Big b ->
+    if i < 0 || i >= b.vb_len then invalid_arg "Packed: view index out of range";
+    Bigarray.Array1.unsafe_get b.vb (b.vb_off + i)
 
 type column = {
   pc_classes : int;
-  pc_entries : int array;
-  pc_arena : int array;
+  pc_entries : vec;
+  pc_arena : vec;
 }
 
 let tag_absent = 0
@@ -34,7 +56,20 @@ let tag_red_group = 2
 let tag_blue = 3
 
 let column_classes col = col.pc_classes
-let column_equal (a : column) b = a = b
+let column_is_view col =
+  match col.pc_entries with Big _ -> true | Arr _ -> false
+
+let column_equal (a : column) b =
+  let veq x y =
+    let n = vlen x in
+    n = vlen y
+    &&
+    let rec go i = i >= n || (vget x i = vget y i && go (i + 1)) in
+    go 0
+  in
+  a.pc_classes = b.pc_classes
+  && veq a.pc_entries b.pc_entries
+  && veq a.pc_arena b.pc_arena
 
 (* Ω codes as n so that every lv of an n-class column fits [0, n] — the
    one value no class id can take. *)
@@ -86,11 +121,11 @@ let pack_column col =
           (off lsl 2) lor tag_blue))
     col;
   { pc_classes = n;
-    pc_entries = entries;
-    pc_arena = Array.sub !arena 0 !alen }
+    pc_entries = Arr entries;
+    pc_arena = Arr (Array.sub !arena 0 !alen) }
 
 let column_get col c =
-  let e = col.pc_entries.(c) in
+  let e = vget col.pc_entries c in
   let n = col.pc_classes in
   match e land 3 with
   | 0 -> None
@@ -100,63 +135,77 @@ let column_get col c =
       (Engine.Red { r_ldc = v / (n + 1); r_lvs = [ lv_of_code n (v mod (n + 1)) ] })
   | 2 ->
     let off = e lsr 2 in
-    let ldc = col.pc_arena.(off) and len = col.pc_arena.(off + 1) in
+    let ldc = vget col.pc_arena off and len = vget col.pc_arena (off + 1) in
     Some
       (Engine.Red
          { r_ldc = ldc;
-           r_lvs = List.init len (fun i -> lv_of_code n col.pc_arena.(off + 2 + i))
+           r_lvs = List.init len (fun i -> lv_of_code n (vget col.pc_arena (off + 2 + i)))
          })
   | _ ->
     let off = e lsr 2 in
-    let len = col.pc_arena.(off) in
+    let len = vget col.pc_arena off in
     Some
       (Engine.Blue
-         (List.init len (fun i -> lv_of_code n col.pc_arena.(off + 1 + i))))
+         (List.init len (fun i -> lv_of_code n (vget col.pc_arena (off + 1 + i)))))
 
 let column_color col c =
-  match col.pc_entries.(c) land 3 with
+  match vget col.pc_entries c land 3 with
   | 0 -> `Absent
   | 1 | 2 -> `Red
   | _ -> `Blue
 
 let column_resolves_to col c =
-  let e = col.pc_entries.(c) in
+  let e = vget col.pc_entries c in
   match e land 3 with
   | 1 -> Some (e lsr 2 / (col.pc_classes + 1))
-  | 2 -> Some col.pc_arena.(e lsr 2)
+  | 2 -> Some (vget col.pc_arena (e lsr 2))
   | _ -> None
+
+(* The int-only classification the binary hot path encodes from: no
+   option, no allocation.  [-1] absent, [-2] ambiguous (blue), a class
+   id = the declaring class of an unambiguous lookup. *)
+let column_resolve_code col c =
+  let e = vget col.pc_entries c in
+  match e land 3 with
+  | 0 -> -1
+  | 1 -> e lsr 2 / (col.pc_classes + 1)
+  | 2 -> vget col.pc_arena (e lsr 2)
+  | _ -> -2
 
 let unpack_column col = Array.init col.pc_classes (column_get col)
 
 (* Appends are the add_class mutation path: the lv/ldc coding base is
    the class count, so growing the universe re-encodes the column.  One
    O(n) pass per mutation — the boxed representation's Array.append was
-   already O(n). *)
+   already O(n).  A mapped view materializes to the heap here: mutations
+   never write through to a snapshot file. *)
 let column_append col v =
   pack_column (Array.append (unpack_column col) [| v |])
 
-(* Real resident size: two flat int arrays plus the record, in bytes.
-   Exact up to the fixed per-block header words. *)
+(* Budgeted size: two flat int sequences plus the record, in bytes.
+   Deliberately representation-independent — a mapped view charges the
+   same as its heap twin, so cache accounting (and the stats wire
+   shapes) are identical whichever restore path produced the column. *)
 let column_bytes col =
-  8 * (4 + Array.length col.pc_entries + Array.length col.pc_arena)
+  8 * (4 + vlen col.pc_entries + vlen col.pc_arena)
 
 (* What the same column costs boxed (the heap-words estimator the table
    cache budgeted with before packing): option + verdict constructor +
    list spine per entry.  Kept for packed-vs-boxed reporting. *)
 let boxed_column_bytes col =
   let words = ref 0 in
-  Array.iter
-    (fun e ->
-      words :=
-        !words
-        +
-        match e land 3 with
-        | 0 -> 1
-        | 1 -> 4 + 2
-        | 2 -> 4 + (2 * col.pc_arena.((e lsr 2) + 1))
-        | _ -> 2 + (2 * col.pc_arena.(e lsr 2)))
-    col.pc_entries;
-  8 * (2 + Array.length col.pc_entries + !words)
+  for c = 0 to vlen col.pc_entries - 1 do
+    let e = vget col.pc_entries c in
+    words :=
+      !words
+      +
+      match e land 3 with
+      | 0 -> 1
+      | 1 -> 4 + 2
+      | 2 -> 4 + (2 * vget col.pc_arena ((e lsr 2) + 1))
+      | _ -> 2 + (2 * vget col.pc_arena (e lsr 2))
+  done;
+  8 * (2 + vlen col.pc_entries + !words)
 
 (* ---- column codec --------------------------------------------------
    Little-endian, deterministic: u32 class count, u32 arena length,
@@ -168,9 +217,50 @@ let corrupt fmt = Printf.ksprintf (fun m -> raise (B.Corrupt m)) fmt
 
 let write_column w col =
   B.Writer.u32 w col.pc_classes;
-  B.Writer.u32 w (Array.length col.pc_arena);
-  Array.iter (fun e -> B.Writer.i64 w e) col.pc_entries;
-  Array.iter (fun a -> B.Writer.u32 w a) col.pc_arena
+  B.Writer.u32 w (vlen col.pc_arena);
+  for c = 0 to vlen col.pc_entries - 1 do
+    B.Writer.i64 w (vget col.pc_entries c)
+  done;
+  for i = 0 to vlen col.pc_arena - 1 do
+    B.Writer.u32 w (vget col.pc_arena i)
+  done
+
+(* Shared validation over the accessor layer: every tag, arena offset,
+   slice bound and lv code of [col] is checked, so any column — decoded,
+   image-decoded, or mapped — can be proven well-formed before it
+   serves.  Raises {!Chg.Binary.Corrupt}. *)
+let validate_column ?(what = "packed column") col =
+  let n = col.pc_classes in
+  let alen = vlen col.pc_arena in
+  if vlen col.pc_entries <> n then
+    corrupt "%s: %d entries for %d classes" what (vlen col.pc_entries) n;
+  let check_lv where k =
+    if k < 0 || k > n then corrupt "%s: bad lv code %d in %s" what k where
+  in
+  for c = 0 to n - 1 do
+    let e = vget col.pc_entries c in
+    match e land 3 with
+    | 0 -> if e <> 0 then corrupt "%s: bad absent entry at %d" what c
+    | 1 ->
+      let v = e lsr 2 in
+      if v >= (n + 1) * (n + 1) then
+        corrupt "%s: red immediate out of range at %d" what c;
+      check_lv "red" (v mod (n + 1))
+    | tag ->
+      let off = e lsr 2 in
+      let header = if tag = tag_red_group then 2 else 1 in
+      if off + header > alen then
+        corrupt "%s: arena offset %d out of range at %d" what off c;
+      let len = vget col.pc_arena (off + header - 1) in
+      if len < 0 || off + header + len > alen then
+        corrupt "%s: arena slice [%d..+%d] out of range at %d" what off len c;
+      if tag = tag_red_group && vget col.pc_arena off >= n then
+        corrupt "%s: group ldc %d out of range at %d" what
+          (vget col.pc_arena off) c;
+      for i = 0 to len - 1 do
+        check_lv "arena slice" (vget col.pc_arena (off + header + i))
+      done
+  done
 
 let read_column r =
   let n = B.Reader.u32 r in
@@ -180,35 +270,187 @@ let read_column r =
       alen;
   let entries = Array.init n (fun _ -> B.Reader.i64 r) in
   let arena = Array.init alen (fun _ -> B.Reader.u32 r) in
-  let check_lv what k =
-    if k < 0 || k > n then corrupt "packed column: bad lv code %d in %s" k what
-  in
+  let col = { pc_classes = n; pc_entries = Arr entries; pc_arena = Arr arena } in
+  validate_column col;
+  col
+
+(* ---- the table image ------------------------------------------------
+
+   A whole table of columns as one position-independent byte payload,
+   laid out so the word area can be served in place from a memory-mapped
+   snapshot file: every value is a 64-bit little-endian word holding an
+   OCaml immediate int, every reference is an offset relative to the
+   word area, and the word area itself starts 8-byte-aligned in the
+   file (the writer pads for the file offset it is told).
+
+   Payload layout:
+
+     u32  names_len          byte length of the names blob
+     names blob              u32 count, then count length-prefixed names
+     u32  pad_len            0..7 zero bytes
+     pad                     aligns the word area to 8 in the file
+     word area               little-endian 64-bit words:
+       w[0]                  probe constant (magic + endian/word check)
+       w[1]                  m, the column (member) count
+       w[2]                  n, the class count (shared by all columns)
+       w[3 .. 3+m]           arena directory: arena_off[0..m], words,
+                             nondecreasing, arena_off[0] = 0 and
+                             arena_off[m] = total arena words
+       entries               column i at word (m+4) + i*n, n words each
+       arena                 column i's slice at arena_base + arena_off[i]
+
+   The probe word is the first defense: a file written on (or read as)
+   the wrong word size or endianness cannot reproduce it, and the reader
+   falls back to the byte-at-a-time codec instead of mis-mapping. *)
+
+let image_probe = 0x314C42544C5843 (* "CXLTBL1\x00", little-endian *)
+
+let image_all_heap cols =
+  (* the image shares one [n] across all columns; enforce the snapshot
+     invariant rather than silently truncate *)
+  match cols with
+  | [] -> 0
+  | (_, c0) :: rest ->
+    List.iter
+      (fun (m, c) ->
+        if c.pc_classes <> c0.pc_classes then
+          invalid_arg
+            (Printf.sprintf
+               "Packed.write_image: column %S has %d classes, expected %d" m
+               c.pc_classes c0.pc_classes))
+      rest;
+    c0.pc_classes
+
+let names_blob cols =
+  let w = B.Writer.create () in
+  B.Writer.u32 w (List.length cols);
+  List.iter (fun (m, _) -> B.Writer.string w m) cols;
+  B.Writer.contents w
+
+let write_image w ~file_offset cols =
+  let n = image_all_heap cols in
+  let names = names_blob cols in
+  let header_len = String.length names in
+  let word_start = file_offset + 4 + header_len + 4 in
+  let pad = (8 - (word_start mod 8)) mod 8 in
+  B.Writer.u32 w header_len;
+  B.Writer.raw w names;
+  B.Writer.u32 w pad;
+  B.Writer.raw w (String.make pad '\000');
+  let m = List.length cols in
+  B.Writer.i64 w image_probe;
+  B.Writer.i64 w m;
+  B.Writer.i64 w n;
+  let off = ref 0 in
+  List.iter
+    (fun (_, c) ->
+      B.Writer.i64 w !off;
+      off := !off + vlen c.pc_arena)
+    cols;
+  B.Writer.i64 w !off;
+  List.iter
+    (fun (_, c) ->
+      for i = 0 to n - 1 do
+        B.Writer.i64 w (vget c.pc_entries i)
+      done)
+    cols;
+  List.iter
+    (fun (_, c) ->
+      for i = 0 to vlen c.pc_arena - 1 do
+        B.Writer.i64 w (vget c.pc_arena i)
+      done)
+    cols
+
+(* Parse the byte-addressed prefix of an image payload: the member
+   names and the byte offset of the word area within the payload. *)
+let image_header r =
+  let header_len = B.Reader.u32 r in
+  let names_r = B.Reader.of_string (B.Reader.raw r header_len) in
+  let count = B.Reader.u32 names_r in
+  if count > header_len then corrupt "table image: %d names in %d bytes" count header_len;
+  let names = Array.init count (fun _ -> B.Reader.string names_r) in
+  let pad = B.Reader.u32 r in
+  if pad > 7 then corrupt "table image: pad of %d bytes" pad;
+  let z = B.Reader.raw r pad in
+  String.iter (fun c -> if c <> '\000' then corrupt "table image: non-zero pad") z;
+  (names, 4 + header_len + 4 + pad)
+
+(* The byte-at-a-time fallback: decode the image payload into heap
+   columns, fully validated — the path taken when the file cannot be
+   mapped (legacy reader, unaligned section, no-mmap filesystem). *)
+let read_image r =
+  let names, _ = image_header r in
+  if B.Reader.remaining r mod 8 <> 0 then
+    corrupt "table image: word area is %d bytes, not 8-aligned"
+      (B.Reader.remaining r);
+  let words = B.Reader.remaining r / 8 in
+  if words < 3 then corrupt "table image: word area too small (%d words)" words;
+  if B.Reader.i64 r <> image_probe then
+    corrupt "table image: bad probe word";
+  let m = B.Reader.i64 r in
+  let n = B.Reader.i64 r in
+  if m <> Array.length names then
+    corrupt "table image: %d columns for %d names" m (Array.length names);
+  if n < 0 || m < 0 || n >= 1 lsl 30 then
+    corrupt "table image: bad dimensions (%d columns, %d classes)" m n;
+  if words < m + 4 then corrupt "table image: truncated directory";
+  let dir = Array.init (m + 1) (fun _ -> B.Reader.i64 r) in
   Array.iteri
-    (fun c e ->
-      match e land 3 with
-      | 0 -> if e <> 0 then corrupt "packed column: bad absent entry at %d" c
-      | 1 ->
-        let v = e lsr 2 in
-        if v >= (n + 1) * (n + 1) then
-          corrupt "packed column: red immediate out of range at %d" c;
-        check_lv "red" (v mod (n + 1))
-      | tag ->
-        let off = e lsr 2 in
-        let header = if tag = tag_red_group then 2 else 1 in
-        if off + header > alen then
-          corrupt "packed column: arena offset %d out of range at %d" off c;
-        let len = arena.(off + header - 1) in
-        if len < 0 || off + header + len > alen then
-          corrupt "packed column: arena slice [%d..+%d] out of range at %d"
-            off len c;
-        if tag = tag_red_group && arena.(off) >= n then
-          corrupt "packed column: group ldc %d out of range at %d" arena.(off)
-            c;
-        for i = 0 to len - 1 do
-          check_lv "arena slice" arena.(off + header + i)
-        done)
-    entries;
-  { pc_classes = n; pc_entries = entries; pc_arena = arena }
+    (fun i o ->
+      if o < 0 || (i > 0 && o < dir.(i - 1)) then
+        corrupt "table image: arena directory not nondecreasing")
+    dir;
+  if dir.(0) <> 0 then corrupt "table image: arena directory must start at 0";
+  if words <> m + 4 + (m * n) + dir.(m) then
+    corrupt "table image: %d words, expected %d" words (m + 4 + (m * n) + dir.(m));
+  let entries = Array.init m (fun _ -> Array.init n (fun _ -> B.Reader.i64 r)) in
+  let arena = Array.init dir.(m) (fun _ -> B.Reader.i64 r) in
+  List.init m (fun i ->
+      let col =
+        { pc_classes = n;
+          pc_entries = Arr entries.(i);
+          pc_arena = Arr (Array.sub arena dir.(i) (dir.(i + 1) - dir.(i))) }
+      in
+      validate_column ~what:(Printf.sprintf "table image column %S" names.(i)) col;
+      (names.(i), col))
+
+(* Zero-copy: build column views straight over the mapped word area.
+   Validation here is O(m) — probe, dimensions, directory — not O(size):
+   per-word integrity is the CRC's job (when the caller verified it) and
+   the accessors' bounds checks keep even a corrupt fast-mode file from
+   reading outside the mapping.  Raises {!Chg.Binary.Corrupt}. *)
+let map_image buf ~names =
+  let dim = Bigarray.Array1.dim buf in
+  if dim < 3 then corrupt "table image: mapped area too small (%d words)" dim;
+  if Bigarray.Array1.get buf 0 <> image_probe then
+    corrupt "table image: bad probe word (endianness or word size mismatch)";
+  let m = Bigarray.Array1.get buf 1 in
+  let n = Bigarray.Array1.get buf 2 in
+  if m <> Array.length names then
+    corrupt "table image: %d columns for %d names" m (Array.length names);
+  if n < 0 || n >= 1 lsl 30 then corrupt "table image: bad class count %d" n;
+  if dim < m + 4 then corrupt "table image: truncated directory";
+  let dir_at i = Bigarray.Array1.get buf (3 + i) in
+  for i = 0 to m do
+    let o = dir_at i in
+    if o < 0 || (i > 0 && o < dir_at (i - 1)) then
+      corrupt "table image: arena directory not nondecreasing"
+  done;
+  if m > 0 && dir_at 0 <> 0 then
+    corrupt "table image: arena directory must start at 0";
+  let entries_base = m + 4 in
+  let arena_base = entries_base + (m * n) in
+  if dim <> arena_base + dir_at m then
+    corrupt "table image: %d words, expected %d" dim (arena_base + dir_at m);
+  List.init m (fun i ->
+      ( names.(i),
+        { pc_classes = n;
+          pc_entries = Big { vb = buf; vb_off = entries_base + (i * n); vb_len = n };
+          pc_arena =
+            Big
+              { vb = buf;
+                vb_off = arena_base + dir_at i;
+                vb_len = dir_at (i + 1) - dir_at i } } ))
 
 (* ---- whole tables --------------------------------------------------- *)
 
@@ -296,7 +538,7 @@ let default_jobs () =
     | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
-let empty_column = { pc_classes = 0; pc_entries = [||]; pc_arena = [||] }
+let empty_column = { pc_classes = 0; pc_entries = Arr [||]; pc_arena = Arr [||] }
 
 let build ?(static_rule = true) ?(jobs = 1) ?(metrics = Metrics.disabled) cl =
   if jobs < 1 then invalid_arg "Packed.build: jobs must be >= 1";

@@ -30,6 +30,20 @@
     Conversion to and from the boxed engine is lossless (modulo witness
     paths, which the boxed table only carries under [~witnesses:true]).
 
+    {2 Views and the table image}
+
+    A column's flat sequences live either on the OCaml heap or as a
+    zero-copy view over an external word buffer — a {!buf} Bigarray,
+    typically memory-mapped over a snapshot file's table-image section.
+    Views answer {!column_get}/{!column_color}/{!column_resolves_to}
+    through the same accessors as heap columns (with bounds checks so a
+    corrupt mapping cannot read outside the buffer); {!column_append}
+    materializes back to the heap.  {!write_image} lays a whole table
+    out position-independently (8-aligned little-endian words, offsets
+    not pointers) so {!map_image} can serve it in place — the O(1)
+    restore path — while {!read_image} decodes the same bytes into heap
+    columns when mapping is unavailable.
+
     {2 Parallel compilation}
 
     {!build} compiles member columns on [jobs] OCaml 5 domains.  Columns
@@ -63,6 +77,16 @@ val column_color : column -> Chg.Graph.class_id -> [ `Absent | `Red | `Blue ]
     lookup — the service fast path; no allocation. *)
 val column_resolves_to : column -> Chg.Graph.class_id -> Chg.Graph.class_id option
 
+(** [column_resolve_code col c] is the int-only classification the
+    binary hot path encodes from: [-1] absent, [-2] ambiguous (blue),
+    otherwise the declaring class id of an unambiguous lookup.  Zero
+    allocation. *)
+val column_resolve_code : column -> Chg.Graph.class_id -> int
+
+(** [column_is_view col] is [true] when the column serves from an
+    external buffer ({!map_image}) rather than the OCaml heap. *)
+val column_is_view : column -> bool
+
 (** [column_append col v] extends the column with one more class's
     verdict (the service's add_class path).  Lv/ldc codes are
     base-[n+1], so this re-encodes: O(n), same as the boxed
@@ -89,6 +113,50 @@ val column_equal : column -> column -> bool
 
 val write_column : Chg.Binary.Writer.t -> column -> unit
 val read_column : Chg.Binary.Reader.t -> column
+
+(** [validate_column col] proves [col] well-formed — every tag, arena
+    offset, slice bound and lv code — through the accessor layer, so it
+    applies to decoded, image-decoded and mapped columns alike.
+    @raise Chg.Binary.Corrupt on any violation. *)
+val validate_column : ?what:string -> column -> unit
+
+(** {2 The table image}
+
+    A whole table as one position-independent payload whose word area
+    can be served in place from a memory-mapped snapshot file.  Layout
+    (see the implementation header for the full diagram): a
+    byte-addressed prefix (u32-prefixed names blob, u32 pad length,
+    zero pad), then little-endian 64-bit words — probe constant, column
+    count [m], class count [n], an [m+1]-entry arena directory, [m*n]
+    entry words, and the concatenated arenas.  The writer pads so the
+    word area lands 8-aligned in the file; the probe word rejects
+    endianness/word-size mismatches before any structural read. *)
+
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** [write_image w ~file_offset cols] appends the image payload for
+    [cols] to [w], padding for a payload that will start at byte
+    [file_offset] of its file so the word area is 8-aligned.
+    @raise Invalid_argument when columns disagree on class count. *)
+val write_image :
+  Chg.Binary.Writer.t -> file_offset:int -> (string * column) list -> unit
+
+(** [read_image r] decodes an image payload into fully validated heap
+    columns — the fallback when the file cannot be mapped.
+    @raise Chg.Binary.Corrupt on malformed input. *)
+val read_image : Chg.Binary.Reader.t -> (string * column) list
+
+(** [image_header r] reads just the byte-addressed prefix: the member
+    names and the byte offset of the word area within the payload.
+    @raise Chg.Binary.Corrupt on malformed input. *)
+val image_header : Chg.Binary.Reader.t -> string array * int
+
+(** [map_image buf ~names] builds zero-copy column views over a mapped
+    word area.  Validation is O(m) — probe, dimensions, directory —
+    with per-access bounds checks guarding the rest; byte integrity is
+    the snapshot CRC's job.
+    @raise Chg.Binary.Corrupt when the area is not a valid image. *)
+val map_image : buf -> names:string array -> (string * column) list
 
 (** {1 Tables} *)
 

@@ -97,6 +97,54 @@ let request_admitted ?(retries = 0) ?(backoff_ms = 50) t line =
   in
   go 0
 
+(* ---- binary (cxxlookup-rpc/1b) framing ------------------------------
+
+   Frames share the socket with JSON lines — negotiation is per
+   message, so a client may fetch [symbols] over JSON and then switch
+   to frames on the same connection (or interleave both). *)
+
+let send_frame t f =
+  output_string t.oc f;
+  flush t.oc
+
+(* Read one complete response frame.  The header declares the payload
+   length, so the read never scans; [None] on a closed connection or a
+   byte stream that is not a response frame (after which the stream
+   position is unrecoverable — callers should close). *)
+let recv_frame t =
+  match really_input_string t.ic Service.Frame.header_len with
+  | exception End_of_file -> None
+  | hdr ->
+    if Char.code hdr.[0] <> Service.Frame.response_magic then None
+    else
+      let len =
+        Chg.Binary.Reader.u32 (Chg.Binary.Reader.of_string ~pos:2 hdr)
+      in
+      (match really_input_string t.ic len with
+      | exception End_of_file -> None
+      | body -> Some (hdr ^ body))
+
+let request_frame t f =
+  send_frame t f;
+  recv_frame t
+
+(* The binary twin of {!overloaded}: error frames decode independently
+   of the op, so probing with any op is sound. *)
+let frame_overloaded f =
+  match Service.Frame.decode_response ~op:Service.Frame.op_lookup f with
+  | Ok (_, Service.Frame.Err (Service.Protocol.Overloaded, _)) -> true
+  | _ -> false
+
+let request_frame_admitted ?(retries = 0) ?(backoff_ms = 50) t f =
+  let rec go attempt =
+    match request_frame t f with
+    | Some resp when attempt < retries && frame_overloaded resp ->
+      Thread.delay (backoff_delay ~attempt ~backoff_ms);
+      go (attempt + 1)
+    | r -> r
+  in
+  go 0
+
 let close t =
   try Unix.shutdown_connection t.ic; close_in t.ic
   with Unix.Unix_error _ | Sys_error _ -> ()

@@ -39,4 +39,31 @@ val request : t -> string -> string option
 val request_admitted : ?retries:int -> ?backoff_ms:int -> t -> string ->
   string option
 
+(** {1 Binary ([cxxlookup-rpc/1b]) framing}
+
+    Frames share the socket with JSON lines (negotiation is per
+    message): fetch [symbols] over JSON, then switch to frames on the
+    same connection, or interleave both. *)
+
+(** [send_frame t f] writes one encoded request frame, flushed. *)
+val send_frame : t -> string -> unit
+
+(** [recv_frame t] reads one complete response frame (header +
+    payload).  [None] on server-side close or a non-frame byte stream
+    (after which the connection should be closed — the position is
+    unrecoverable). *)
+val recv_frame : t -> string option
+
+(** One synchronous binary round trip. *)
+val request_frame : t -> string -> string option
+
+(** [frame_overloaded f] — the response frame is an in-band
+    [overloaded] error. *)
+val frame_overloaded : string -> bool
+
+(** Like {!request_frame}, but an [overloaded] response is resent (same
+    connection) up to [retries] times with the jittered backoff. *)
+val request_frame_admitted :
+  ?retries:int -> ?backoff_ms:int -> t -> string -> string option
+
 val close : t -> unit

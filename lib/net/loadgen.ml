@@ -26,6 +26,12 @@ type config = {
   duration : float;  (* seconds *)
   mix : (string * int) list;  (* verb -> weight; verbs of {!verbs} *)
   batch_size : int;  (* queries per batch_lookup request *)
+  binary : bool;
+      (* drive lookup / batch_lookup / mutate over the cxxlookup-rpc/1b
+         binary framing with interned ids (one symbols round trip per
+         connection); verbs without a binary form (stats, lint) stay
+         JSON lines on the same connection — negotiation is per
+         message *)
 }
 
 let verbs = [ "lookup"; "batch_lookup"; "stats"; "lint"; "mutate" ]
@@ -35,7 +41,8 @@ let default_config =
     qps = 0.;
     duration = 2.;
     mix = [ ("lookup", 9); ("batch_lookup", 1) ];
-    batch_size = 8 }
+    batch_size = 8;
+    binary = false }
 
 type report = {
   sent : int;
@@ -124,6 +131,76 @@ let is_error line =
   | Ok j -> (match J.member "ok" j with Ok (J.Bool true) -> false | _ -> true)
   | Error _ -> true
 
+(* ---- the binary stream ----------------------------------------------
+
+   The id maps come from one [symbols] frame per connection; queries
+   are then (class id, member id) pairs and the request stream is pure
+   frames for the verbs that have a binary form.  Mix verbs without one
+   (stats, lint) drop to JSON lines on the same socket — the listener
+   negotiates per message. *)
+
+type ids = {
+  class_ids : (string, int) Hashtbl.t;
+  member_ids : (string, int) Hashtbl.t;
+}
+
+let fetch_ids cl ~session =
+  let req =
+    Service.Frame.encode_request
+      { Service.Frame.fr_id = 0; fr_session = session;
+        fr_op = Service.Frame.Symbols }
+  in
+  match Client.request_frame cl req with
+  | None -> None
+  | Some resp ->
+    (match
+       Service.Frame.decode_response ~op:Service.Frame.op_symbols resp
+     with
+    | Ok (_, Service.Frame.Ok_symbols { os_classes; os_members; _ }) ->
+      let class_ids = Hashtbl.create (Array.length os_classes) in
+      let member_ids = Hashtbl.create (Array.length os_members) in
+      Array.iteri (fun i n -> Hashtbl.replace class_ids n i) os_classes;
+      Array.iteri (fun i n -> Hashtbl.replace member_ids n i) os_members;
+      Some { class_ids; member_ids }
+    | _ -> None)
+
+(* The frame for verb [k] of the stream, or [None] when the verb has no
+   binary form (caller falls back to the JSON line).  Returns the
+   request op too — the client needs it to type the response. *)
+let request_frame ids ~session ~queries ~batch_size ~verb ~id ~k ~conn =
+  let idq i =
+    let c, m = queries.(i mod Array.length queries) in
+    match
+      (Hashtbl.find_opt ids.class_ids c, Hashtbl.find_opt ids.member_ids m)
+    with
+    | Some ci, Some mi -> Some (ci, mi)
+    | _ -> None
+  in
+  let frame op = Some (Service.Frame.encode_request
+    { Service.Frame.fr_id = id; fr_session = session; fr_op = op })
+  in
+  match verb with
+  | "lookup" ->
+    Option.bind (idq k) (fun (ci, mi) ->
+        frame (Service.Frame.Lookup { lk_class = ci; lk_member = mi }))
+  | "batch_lookup" ->
+    let qs = Array.init batch_size (fun i -> idq (k + i)) in
+    if Array.for_all Option.is_some qs then
+      frame (Service.Frame.Batch_lookup (Array.map Option.get qs))
+    else None
+  | "mutate" ->
+    let c, _ = queries.(k mod Array.length queries) in
+    Option.bind (Hashtbl.find_opt ids.class_ids c) (fun ci ->
+        frame
+          (Service.Frame.Add_member
+             { am_class = ci;
+               am_member =
+                 Chg.Graph.member (Printf.sprintf "lg_c%d_%d" conn id) }))
+  | _ -> None
+
+let frame_is_error resp =
+  String.length resp > 1 && Char.code resp.[1] <> 0
+
 let run_conn addr cfg ~session ~queries ~schedule ~conn_idx ~start =
   let cl = Client.connect addr in
   let hist = Telemetry.Histogram.create () in
@@ -131,6 +208,38 @@ let run_conn addr cfg ~session ~queries ~schedule ~conn_idx ~start =
   let stride = 1 + (conn_idx mod max 1 (Array.length schedule - 1)) in
   let verb_of k = schedule.((k * stride) mod Array.length schedule) in
   let deadline = start +. cfg.duration in
+  let ids =
+    if cfg.binary then begin
+      match fetch_ids cl ~session with
+      | Some _ as ids -> ids
+      | None ->
+        prerr_endline
+          "loadgen: warning: symbols fetch failed; falling back to JSON";
+        None
+    end
+    else None
+  in
+  (* one request, framing chosen per verb: a binary form when ids are
+     loaded and the verb has one, the JSON line otherwise.  [None] =
+     connection gone; [Some err] = answered, [err] in band. *)
+  let exchange ~verb ~id ~k =
+    let over_json () =
+      let line =
+        request_line ~session ~queries ~batch_size:cfg.batch_size ~verb ~id
+          ~k ~conn:conn_idx
+      in
+      Option.map is_error (Client.request cl line)
+    in
+    match ids with
+    | None -> over_json ()
+    | Some ids ->
+      (match
+         request_frame ids ~session ~queries ~batch_size:cfg.batch_size
+           ~verb ~id ~k ~conn:conn_idx
+       with
+      | Some f -> Option.map frame_is_error (Client.request_frame cl f)
+      | None -> over_json ())
+  in
   (try
      if cfg.qps > 0. then begin
        (* open loop: per-connection interval, phase-shifted so the
@@ -144,16 +253,12 @@ let run_conn addr cfg ~session ~queries ~schedule ~conn_idx ~start =
          let now = Unix.gettimeofday () in
          if now < scheduled then
            Thread.delay (scheduled -. now);
-         let line =
-           request_line ~session ~queries ~batch_size:cfg.batch_size
-             ~verb:(verb_of !k) ~id:!k ~k:(!k * 17) ~conn:conn_idx
-         in
          incr sent;
-         (match Client.request cl line with
+         (match exchange ~verb:(verb_of !k) ~id:!k ~k:(!k * 17) with
          | None -> raise Exit
-         | Some resp ->
+         | Some err ->
            incr answered;
-           if is_error resp then incr errors;
+           if err then incr errors;
            let lat_s = Unix.gettimeofday () -. scheduled in
            Telemetry.Histogram.record hist
              (int_of_float (lat_s *. 1e9)));
@@ -164,17 +269,13 @@ let run_conn addr cfg ~session ~queries ~schedule ~conn_idx ~start =
        (* closed loop: as fast as the server answers *)
        let k = ref 0 in
        while Unix.gettimeofday () < deadline do
-         let line =
-           request_line ~session ~queries ~batch_size:cfg.batch_size
-             ~verb:(verb_of !k) ~id:!k ~k:(!k * 17) ~conn:conn_idx
-         in
          let t0 = Telemetry.Clock.now_ns () in
          incr sent;
-         (match Client.request cl line with
+         (match exchange ~verb:(verb_of !k) ~id:!k ~k:(!k * 17) with
          | None -> raise Exit
-         | Some resp ->
+         | Some err ->
            incr answered;
-           if is_error resp then incr errors;
+           if err then incr errors;
            Telemetry.Histogram.record hist
              (Telemetry.Clock.elapsed_ns ~since:t0));
          incr k

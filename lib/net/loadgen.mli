@@ -19,6 +19,11 @@ type config = {
   duration : float;  (** seconds *)
   mix : (string * int) list;  (** verb -> weight, over {!verbs} *)
   batch_size : int;  (** queries per [batch_lookup] request *)
+  binary : bool;
+      (** drive [lookup] / [batch_lookup] / [mutate] over the
+          [cxxlookup-rpc/1b] binary framing with interned ids (one
+          [symbols] round trip per connection); [stats] and [lint] stay
+          JSON lines on the same socket — negotiation is per message *)
 }
 
 (** The verbs a mix may weight: the concurrent read set ([lookup],
@@ -27,7 +32,7 @@ type config = {
     collision-free and still deterministic. *)
 val verbs : string list
 
-(** 4 connections, closed loop, 2 s, 9:1 lookup:batch. *)
+(** 4 connections, closed loop, 2 s, 9:1 lookup:batch, JSON framing. *)
 val default_config : config
 
 type report = {

@@ -145,6 +145,8 @@ let addr_string = function
 type job =
   | Line of string  (* one complete framed request line *)
   | Oversized of int  (* a discarded line and its observed length *)
+  | Frame of string  (* one complete binary (1b) frame, header included *)
+  | Oversized_frame of int  (* a discarded frame and its declared length *)
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -154,26 +156,43 @@ let write_all fd s =
     off := !off + Unix.write fd b !off (n - !off)
   done
 
-(* Reader: line framing directly over the socket, with three guards.
-   Max-line: once a line exceeds the bound it is discarded up to its
-   newline and reported as one [Oversized] job — the connection
-   survives, and the error answers in arrival order because it travels
-   through the same job queue.  Idle / slowloris: the deadline arms at
-   connection start and re-arms only on each *complete* line, so a
-   client dribbling bytes of a never-finished line times out exactly
-   like a silent one.  Backpressure: a full job queue blocks here,
-   which stops socket reads and lets TCP push back. *)
+(* Reader: dual framing directly over the socket.  At each message
+   boundary the first byte chooses: 0xB1 starts a binary (1b) frame —
+   6-byte header, then exactly the declared payload — anything else is
+   a JSON line up to its newline.  Negotiation is per message, so one
+   connection may interleave framings freely.
+
+   Guards, shared across framings.  Max-line: a line over the bound is
+   discarded to its newline and reported as one [Oversized] job; a
+   frame declaring a payload over the same bound is discarded by its
+   known length ([Oversized_frame]) — the connection survives both, and
+   the error answers in arrival order through the same job queue.
+   Idle / slowloris: the deadline arms at connection start and re-arms
+   only on each *complete* message, so a client dribbling bytes of a
+   never-finished line or frame times out exactly like a silent one.
+   Backpressure: a full job queue blocks here, which stops socket reads
+   and lets TCP push back. *)
 let reader t fd req_q timed_out () =
   let buf = Bytes.create 4096 in
   let acc = Buffer.create 256 in
   let discarding = ref false in
   let discarded = ref 0 in
+  (* binary-frame state: [in_frame] accumulates into [fbuf];
+     [frame_total] is the full frame length once the header is in
+     (-1 before); [frame_skip] counts payload bytes of an oversized
+     frame still to discard ([frame_over] its declared length) *)
+  let fbuf = Buffer.create 256 in
+  let in_frame = ref false in
+  let frame_total = ref (-1) in
+  let frame_skip = ref 0 in
+  let frame_over = ref 0 in
   let deadline = ref (Unix.gettimeofday () +. t.cfg.idle_timeout) in
   let alive = ref true in
+  let rearm () = deadline := Unix.gettimeofday () +. t.cfg.idle_timeout in
   let emit_line () =
     let line = Buffer.contents acc in
     Buffer.clear acc;
-    deadline := Unix.gettimeofday () +. t.cfg.idle_timeout;
+    rearm ();
     if !discarding then begin
       let n = !discarded + String.length line in
       discarding := false;
@@ -190,6 +209,36 @@ let reader t fd req_q timed_out () =
       if String.trim line = "" then ()  (* blank lines skipped, as stdin *)
       else if not (Bqueue.push req_q (Line line)) then alive := false
     end
+  in
+  let emit_frame () =
+    let f = Buffer.contents fbuf in
+    Buffer.clear fbuf;
+    in_frame := false;
+    frame_total := -1;
+    rearm ();
+    if not (Bqueue.push req_q (Frame f)) then alive := false
+  in
+  let frame_byte c =
+    Buffer.add_char fbuf c;
+    if !frame_total < 0 && Buffer.length fbuf = Service.Frame.header_len
+    then begin
+      match Service.Frame.parse_header (Buffer.contents fbuf) with
+      | Error _ ->
+        (* unreachable: the magic matched and the header is complete *)
+        Buffer.clear fbuf;
+        in_frame := false
+      | Ok (_op, len) ->
+        if len > t.cfg.max_line then begin
+          (* discard the declared payload without buffering it *)
+          Buffer.clear fbuf;
+          in_frame := false;
+          frame_over := len;
+          frame_skip := len  (* > 0: len exceeds a positive bound *)
+        end
+        else frame_total := Service.Frame.header_len + len
+    end;
+    if !frame_total >= 0 && Buffer.length fbuf = !frame_total then
+      emit_frame ()
   in
   (try
      while !alive do
@@ -209,25 +258,46 @@ let reader t fd req_q timed_out () =
            if n = 0 then alive := false
            else
              for i = 0 to n - 1 do
-               match Bytes.get buf i with
-               | '\n' -> emit_line ()
-               | c ->
-                 if !discarding then incr discarded
-                 else begin
-                   Buffer.add_char acc c;
-                   if Buffer.length acc > t.cfg.max_line then begin
-                     (* switch to discard mode: the line is already
-                        over budget, stop accumulating its bytes *)
-                     discarding := true;
-                     discarded := Buffer.length acc;
-                     Buffer.clear acc
-                   end
+               let c = Bytes.get buf i in
+               if !frame_skip > 0 then begin
+                 decr frame_skip;
+                 if !frame_skip = 0 then begin
+                   rearm ();
+                   if not (Bqueue.push req_q (Oversized_frame !frame_over))
+                   then alive := false
                  end
+               end
+               else if !in_frame then frame_byte c
+               else if
+                 Buffer.length acc = 0 && (not !discarding)
+                 && Char.code c = Service.Frame.request_magic
+               then begin
+                 (* message boundary + 0xB1: binary framing this message *)
+                 in_frame := true;
+                 frame_total := -1;
+                 Buffer.clear fbuf;
+                 Buffer.add_char fbuf c
+               end
+               else
+                 match c with
+                 | '\n' -> emit_line ()
+                 | c ->
+                   if !discarding then incr discarded
+                   else begin
+                     Buffer.add_char acc c;
+                     if Buffer.length acc > t.cfg.max_line then begin
+                       (* switch to discard mode: the line is already
+                          over budget, stop accumulating its bytes *)
+                       discarding := true;
+                       discarded := Buffer.length acc;
+                       Buffer.clear acc
+                     end
+                   end
              done
        end
      done
    with Unix.Unix_error _ -> ());
-  (* a torn partial line at close is dropped, never executed *)
+  (* a torn partial line or frame at close is dropped, never executed *)
   Bqueue.close req_q
 
 (* Executor: per-connection serial request execution — the property
@@ -237,9 +307,43 @@ let reader t fd req_q timed_out () =
    requests the verb is answered [overloaded] through the server's
    reject path (so the rejection is counted, logged and
    flight-recorded), and the executor moves on. *)
+(* The lock class and metric verb of a frame, from its op byte alone —
+   no payload decode needed before admission. *)
+let frame_read_only op =
+  op = Service.Frame.op_lookup
+  || op = Service.Frame.op_batch_lookup
+  || op = Service.Frame.op_symbols
+
+let frame_verb op =
+  if op = Service.Frame.op_lookup then "lookup"
+  else if op = Service.Frame.op_batch_lookup then "batch_lookup"
+  else if op = Service.Frame.op_add_member then "mutate"
+  else if op = Service.Frame.op_add_class then "mutate"
+  else if op = Service.Frame.op_symbols then "symbols"
+  else "invalid"
+
 let executor t ~conn req_q out_q () =
   let net = Service.Server.net t.srv in
-  let respond j = ignore (Bqueue.push out_q (J.to_string j ^ "\n")) in
+  let respond_raw s = ignore (Bqueue.push out_q s) in
+  let respond j = respond_raw (J.to_string j ^ "\n") in
+  let admit ~rejected run =
+    let admitted =
+      Atomic.fetch_and_add net.Service.Server.net_admitted 1
+      < t.cfg.queue_depth
+    in
+    if not admitted then begin
+      Atomic.decr net.Service.Server.net_admitted;
+      rejected ()
+    end
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr net.Service.Server.net_admitted)
+        run
+  in
+  let overload_msg =
+    Printf.sprintf "server at admission capacity (%d in flight); retry"
+      t.cfg.queue_depth
+  in
   let rec loop () =
     match Bqueue.pop req_q with
     | None -> ()
@@ -249,32 +353,53 @@ let executor t ~conn req_q out_q () =
            P.Bad_request
            (Printf.sprintf "line exceeds %d bytes (%d read)" t.cfg.max_line n));
       loop ()
+    | Some (Oversized_frame n) ->
+      respond_raw
+        (Service.Server.reject_frame ~conn t.srv ~verb:"invalid" ~id:0
+           P.Bad_request
+           (Printf.sprintf "frame payload exceeds %d bytes (%d declared)"
+              t.cfg.max_line n));
+      loop ()
     | Some (Line line) ->
       (match P.parse_request line with
       | Error (id, code, msg) ->
         respond (Service.Server.reject ~conn t.srv ~verb:"invalid" ~id code msg)
       | Ok rq ->
-        let verb_admitted =
-          Atomic.fetch_and_add net.Service.Server.net_admitted 1
-          < t.cfg.queue_depth
-        in
-        if not verb_admitted then begin
-          Atomic.decr net.Service.Server.net_admitted;
-          respond
-            (Service.Server.reject ~conn t.srv
-               ~verb:(P.op_string rq.P.rq_op) ~id:rq.P.rq_id P.Overloaded
-               (Printf.sprintf
-                  "server at admission capacity (%d in flight); retry"
-                  t.cfg.queue_depth))
-        end
-        else
-          Fun.protect
-            ~finally:(fun () -> Atomic.decr net.Service.Server.net_admitted)
-            (fun () ->
-              let run () = Service.Server.handle_request ~conn t.srv rq in
-              respond
-                (if P.read_only rq.P.rq_op then Rwlock.with_read t.lock run
-                 else Rwlock.with_write t.lock run)));
+        admit
+          ~rejected:(fun () ->
+            respond
+              (Service.Server.reject ~conn t.srv
+                 ~verb:(P.op_string rq.P.rq_op) ~id:rq.P.rq_id P.Overloaded
+                 overload_msg))
+          (fun () ->
+            let run () = Service.Server.handle_request ~conn t.srv rq in
+            respond
+              (if P.read_only rq.P.rq_op then Rwlock.with_read t.lock run
+               else Rwlock.with_write t.lock run)));
+      loop ()
+    | Some (Frame f) ->
+      let op = Char.code f.[1] in
+      admit
+        ~rejected:(fun () ->
+          (* echo the id when the prefix survives — all the decode the
+             rejection path affords *)
+          let id =
+            match
+              Service.Frame.session_of_request
+                (String.sub f Service.Frame.header_len
+                   (String.length f - Service.Frame.header_len))
+            with
+            | Ok (id, _) -> id
+            | Error _ -> 0
+          in
+          respond_raw
+            (Service.Server.reject_frame ~conn t.srv ~verb:(frame_verb op)
+               ~id P.Overloaded overload_msg))
+        (fun () ->
+          let run () = Service.Server.handle_frame ~conn t.srv f in
+          respond_raw
+            (if frame_read_only op then Rwlock.with_read t.lock run
+             else Rwlock.with_write t.lock run));
       loop ()
   in
   loop ();

@@ -35,6 +35,39 @@ let code_string = function
   | Backend_unavailable -> "backend_unavailable"
   | Internal -> "internal"
 
+(* Stable u8 codes for the binary framing (cxxlookup-rpc/1b); the JSON
+   strings above stay canonical.  Never renumber. *)
+let code_byte = function
+  | Parse_error -> 1
+  | Bad_request -> 2
+  | Bad_version -> 3
+  | Unknown_op -> 4
+  | Unknown_session -> 5
+  | Duplicate_session -> 6
+  | Unknown_class -> 7
+  | Bad_hierarchy -> 8
+  | Store_error -> 9
+  | Overloaded -> 10
+  | Not_leader -> 11
+  | Backend_unavailable -> 12
+  | Internal -> 13
+
+let code_of_byte = function
+  | 1 -> Some Parse_error
+  | 2 -> Some Bad_request
+  | 3 -> Some Bad_version
+  | 4 -> Some Unknown_op
+  | 5 -> Some Unknown_session
+  | 6 -> Some Duplicate_session
+  | 7 -> Some Unknown_class
+  | 8 -> Some Bad_hierarchy
+  | 9 -> Some Store_error
+  | 10 -> Some Overloaded
+  | 11 -> Some Not_leader
+  | 12 -> Some Backend_unavailable
+  | 13 -> Some Internal
+  | _ -> None
+
 type query = { q_class : string; q_member : string }
 
 type hierarchy =
@@ -55,6 +88,7 @@ type op =
   | Batch_lookup of { bl_queries : query list; bl_semantics : Mro.semantics }
   | Mutate of mutation
   | Lint of { l_rules : string list option; l_semantics : Mro.semantics }
+  | Symbols
   | Snapshot
   | Restore
   | Stats
@@ -73,6 +107,7 @@ let op_string = function
   | Batch_lookup _ -> "batch_lookup"
   | Mutate _ -> "mutate"
   | Lint _ -> "lint"
+  | Symbols -> "symbols"
   | Snapshot -> "snapshot"
   | Restore -> "restore"
   | Stats -> "stats"
@@ -80,7 +115,7 @@ let op_string = function
   | Close -> "close"
 
 let read_only = function
-  | Lookup _ | Batch_lookup _ | Lint _ | Stats | Metrics -> true
+  | Lookup _ | Batch_lookup _ | Lint _ | Symbols | Stats | Metrics -> true
   | Open _ | Mutate _ | Snapshot | Restore | Close -> false
 
 (* ---- request parsing (lenient field access with defaults) ---------- *)
@@ -273,6 +308,7 @@ let op_of_json op j =
           l
       in
       Ok (Lint { l_rules = Some rules; l_semantics = sem }))
+  | "symbols" -> Ok Symbols
   | "snapshot" -> Ok Snapshot
   | "restore" -> Ok Restore
   | "stats" -> Ok Stats

@@ -33,6 +33,12 @@
       a store ([cxxlookup serve --store DIR]); [store_error] otherwise.
     - [restore] — ["session"]: reopen a session from the store (newest
       valid snapshot + WAL-tail replay).  The name must not be open.
+    - [symbols] — ["session"]: the session's intern tables — class
+      names in class-id order and member names in member-id order, plus
+      the epoch they describe.  Ids are dense, assigned append-only
+      within a server lifetime (mutations extend, never renumber), and
+      are what the binary framing ([cxxlookup-rpc/1b], see
+      {!Frame}) carries instead of names.
     - [stats] — service-level counters, or one session's with
       ["session"].
     - [metrics] — the full Prometheus text-format 0.0.4 exposition of
@@ -72,6 +78,13 @@ type error_code =
 
 val code_string : error_code -> string
 
+(** Stable u8 encodings of {!error_code} for the binary framing
+    ([cxxlookup-rpc/1b]); never renumbered.  [code_of_byte] is [None]
+    for unassigned bytes. *)
+val code_byte : error_code -> int
+
+val code_of_byte : int -> error_code option
+
 type query = { q_class : string; q_member : string }
 
 type hierarchy =
@@ -94,6 +107,7 @@ type op =
   | Lint of { l_rules : string list option; l_semantics : Mro.semantics }
       (** rule-id strings, validated by the server; [None] = the
           default rule set *)
+  | Symbols
   | Snapshot
   | Restore
   | Stats

@@ -47,6 +47,10 @@ type t = {
   slow_ns : int option;  (* latency threshold; None = nothing is slow *)
   slow_requests : Telemetry.Counter.t;
   flight : Request_log.recorder;
+  frame_decode_ns : Telemetry.Histogram.t;
+      (* time to parse + type one binary (1b) frame, recorded for every
+         frame whether or not it decodes — the framing-overhead series
+         the JSON path's parse cost is compared against *)
   net : net_stats;
   inflight : (string * int Atomic.t) list;  (* per-verb, fixed at create *)
   obs_mutex : Mutex.t;
@@ -58,7 +62,7 @@ type t = {
 
 let verbs =
   [ "open"; "lookup"; "batch_lookup"; "mutate"; "lint"; "snapshot";
-    "restore"; "stats"; "metrics"; "close" ]
+    "restore"; "stats"; "metrics"; "symbols"; "close" ]
 
 let create ?(role = Leader) ?(config = Session.default_config)
     ?(trace = false) ?store ?request_log ?slow_ms () =
@@ -67,6 +71,13 @@ let create ?(role = Leader) ?(config = Session.default_config)
   in
   let registry = Telemetry.Registry.create () in
   let slow_requests = Telemetry.Counter.make "slow_requests" in
+  (* registered eagerly so the series exists (empty) before the first
+     binary frame arrives — metrics goldens rely on it *)
+  let frame_decode_ns =
+    Telemetry.Registry.histogram registry
+      ~help:"Binary (cxxlookup-rpc/1b) frame decode time, nanoseconds."
+      "cxxlookup_server_frame_decode_ns"
+  in
   let net =
     { net_active = Atomic.make 0;
       net_admitted = Atomic.make 0;
@@ -100,6 +111,7 @@ let create ?(role = Leader) ?(config = Session.default_config)
       slow_ns = Option.map (fun ms -> ms * 1_000_000) slow_ms;
       slow_requests;
       flight = Telemetry.Ring.create Request_log.default_flight_capacity;
+      frame_decode_ns;
       net;
       inflight = List.map (fun v -> (v, Atomic.make 0)) verbs;
       obs_mutex = Mutex.create () }
@@ -484,6 +496,17 @@ let handle_restore t ~session:requested =
         ("replayed", J.Int (List.length rv.Store.rv_replayed));
         ("torn_tail", J.Bool rv.Store.rv_torn) ])
 
+(* The interned-id tables for the binary hot path: class ids are graph
+   ids, member ids the session's dense intern order.  Served over JSON
+   too, so a client can bootstrap ids before switching framing. *)
+let handle_symbols s =
+  let epoch, classes, members = Session.symbols s in
+  let strings a = J.List (Array.to_list (Array.map (fun n -> J.String n) a)) in
+  [ ("session", J.String (Session.name s));
+    ("epoch", J.Int epoch);
+    ("classes", strings classes);
+    ("members", strings members) ]
+
 let handle_metrics t =
   (* render under the observation mutex: a scrape never sees a request
      whose histogram bump landed but whose counter bump has not *)
@@ -581,7 +604,10 @@ let op_name = P.op_string
    Registry lookups are find-or-create — one hash probe each on the
    steady path.  The response line's byte count is measured only when
    the log is on: measuring means re-serializing the response. *)
-let observe ?conn t ~verb ~session ~id ~t0 ~outcome resp =
+(* [frame_bytes]/[via] are the binary path's overrides: a frame response
+   is not a JSON document, so its byte count and serving layer arrive
+   precomputed instead of being re-derived from [resp]. *)
+let observe ?conn ?frame_bytes ?via t ~verb ~session ~id ~t0 ~outcome resp =
   let latency = Telemetry.Clock.elapsed_ns ~since:t0 in
   Mutex.protect t.obs_mutex @@ fun () ->
   Telemetry.Histogram.record
@@ -605,14 +631,18 @@ let observe ?conn t ~verb ~session ~id ~t0 ~outcome resp =
   if slow then Telemetry.Counter.incr t.slow_requests;
   t.next_seq <- t.next_seq + 1;
   let bytes =
-    match t.request_log with
-    | Some _ -> String.length (J.to_string resp)
-    | None -> 0
+    match (frame_bytes, t.request_log) with
+    | Some n, _ -> n
+    | None, Some _ -> String.length (J.to_string resp)
+    | None, None -> 0
   in
   let via =
-    match J.member "via" resp with
-    | Ok (J.String v) -> Some v
-    | _ -> None
+    match via with
+    | Some _ as v -> v
+    | None ->
+      (match J.member "via" resp with
+      | Ok (J.String v) -> Some v
+      | _ -> None)
   in
   let entry =
     { Request_log.e_seq = t.next_seq; e_conn = conn; e_verb = verb;
@@ -649,6 +679,7 @@ let handle_request ?conn t (rq : P.request) =
     | P.Restore -> handle_restore t ~session:rq.P.rq_session
     | P.Stats -> handle_stats t rq.P.rq_session
     | P.Metrics -> handle_metrics t
+    | P.Symbols -> handle_symbols (session t rq.P.rq_session)
     | P.Close -> handle_close t (session t rq.P.rq_session)
   in
   let run () =
@@ -721,6 +752,195 @@ let handle_line ?conn t line =
     let resp = P.error_response ~id code msg in
     observe_rejected ?conn t ~verb:"invalid" ~id ~code resp;
     resp
+
+(* [reject]'s binary twin: refuse a frame without executing it (the
+   networked server's admission control and oversized-frame guard),
+   with identical accounting, answering a binary error frame. *)
+let reject_frame ?conn t ~verb ~id code msg =
+  Telemetry.Counter.incr t.requests;
+  Telemetry.Counter.incr t.errors;
+  if code = P.Overloaded then Telemetry.Counter.incr t.net.net_overloaded;
+  let out = Frame.encode_response ~id (Frame.Err (code, msg)) in
+  observe ?conn ~frame_bytes:(String.length out) t ~verb ~session:None
+    ~id:(J.Int id)
+    ~t0:(Telemetry.Clock.now_ns ())
+    ~outcome:(P.code_string code) (J.Obj []);
+  out
+
+(* ---- the binary (cxxlookup-rpc/1b) hot path ------------------------
+
+   Frames answer through the same accounting as the JSON verbs — the
+   shared per-verb histograms/counters, flight recorder and request log
+   — with classes and members addressed by interned ids (lib/service/
+   frame.ml has the wire format; session.mli the id assignment).  A
+   lookup whose member column is cached in the session symtab runs
+   int-only end to end: no JSON, no hashing, no allocation. *)
+
+let frame_lookup t s ~cls ~member via =
+  Telemetry.Counter.incr t.lookups;
+  match Session.lookup_code s ~cls ~member with
+  | Ok (code, served) ->
+    via := Some (Session.served_string served);
+    Frame.Ok_lookup code
+  | Error `Bad_class -> fail P.Unknown_class "unknown class id %d" cls
+  | Error `Bad_member -> fail P.Bad_request "unknown member id %d" member
+
+(* Unlike the JSON batch (which embeds per-query error objects), a bad
+   id fails the whole binary batch: ids come from the server's own
+   symbols/delta stream, so an out-of-range id is a client bug, not
+   data-dependent drift worth per-query reporting. *)
+let frame_batch t s pairs =
+  Telemetry.Counter.incr t.batch_requests;
+  Telemetry.Counter.add t.batch_queries (Array.length pairs);
+  let resolved = ref 0 and ambiguous = ref 0 and not_found = ref 0 in
+  let codes =
+    Array.map
+      (fun (cls, member) ->
+        match Session.lookup_code s ~cls ~member with
+        | Ok (code, _) ->
+          if code >= 0 then incr resolved
+          else if code = -2 then incr ambiguous
+          else incr not_found;
+          code
+        | Error `Bad_class -> fail P.Unknown_class "unknown class id %d" cls
+        | Error `Bad_member ->
+          fail P.Bad_request "unknown member id %d" member)
+      pairs
+  in
+  Frame.Ok_batch
+    { ob_codes = codes; ob_resolved = !resolved; ob_ambiguous = !ambiguous;
+      ob_not_found = !not_found }
+
+let frame_add_member t s ~cls:cid member =
+  Telemetry.Counter.incr t.mutations;
+  let g = Session.graph s in
+  if cid < 0 || cid >= G.num_classes g then
+    fail P.Unknown_class "unknown class id %d" cid;
+  let cls = G.name g cid in
+  let before = Session.num_member_symbols s in
+  try
+    let rows, invalidated = Session.add_member s ~cls member in
+    log_mutation t s (P.Add_member { mm_class = cls; mm_member = member });
+    let oam_member =
+      match Session.member_symbol s member.G.m_name with
+      | Some id -> id
+      | None -> fail P.Internal "member %S not interned" member.G.m_name
+    in
+    Frame.Ok_add_member
+      { oam_member; oam_rows = rows; oam_invalidated = invalidated;
+        oam_epoch = Session.epoch s;
+        oam_new_symbols = Session.member_symbols_from s before }
+  with G.Error e ->
+    let code =
+      match e with G.Unknown_class _ -> P.Unknown_class | _ -> P.Bad_hierarchy
+    in
+    fail code "%s" (G.error_to_string e)
+
+let frame_add_class t s ~name ~bases ~members =
+  Telemetry.Counter.incr t.mutations;
+  let before = Session.num_member_symbols s in
+  try
+    let cid = Session.add_class s ~cls:name ~bases ~members in
+    log_mutation t s
+      (P.Add_class { mc_name = name; mc_bases = bases; mc_members = members });
+    Frame.Ok_add_class
+      { oac_class = cid;
+        oac_classes = G.num_classes (Session.graph s);
+        oac_epoch = Session.epoch s;
+        oac_new_symbols = Session.member_symbols_from s before }
+  with G.Error e ->
+    let code =
+      match e with
+      | G.Unknown_class _ | G.Unknown_base _ -> P.Unknown_class
+      | _ -> P.Bad_hierarchy
+    in
+    fail code "%s" (G.error_to_string e)
+
+let frame_symbols s =
+  let epoch, classes, members = Session.symbols s in
+  Frame.Ok_symbols
+    { os_epoch = epoch; os_classes = classes; os_members = members }
+
+(* [handle_frame t frame] answers one complete binary request frame
+   (header + payload, exactly as read off the wire) with a complete
+   response frame.  Decode failures answer [bad_request] — echoing the
+   request id when the [i64 id | string session] prefix survived —
+   never an exception; the length prefix already bounded the read, so a
+   bad payload cannot desynchronize the connection. *)
+let handle_frame ?conn t frame =
+  let t_decode = Telemetry.Clock.now_ns () in
+  let decoded =
+    match Frame.parse_header frame with
+    | Error msg -> Error (0, P.Parse_error, msg)
+    | Ok (op, len) ->
+      if String.length frame <> Frame.header_len + len then
+        Error (0, P.Parse_error, "frame length disagrees with header")
+      else
+        let body = String.sub frame Frame.header_len len in
+        (match Frame.decode_request ~op body with
+        | Ok rq -> Ok rq
+        | Error msg ->
+          let id =
+            match Frame.session_of_request body with
+            | Ok (id, _) -> id
+            | Error _ -> 0
+          in
+          Error (id, P.Bad_request, msg))
+  in
+  Telemetry.Histogram.record t.frame_decode_ns
+    (Telemetry.Clock.elapsed_ns ~since:t_decode);
+  match decoded with
+  | Error (id, code, msg) ->
+    Telemetry.Counter.incr t.requests;
+    Telemetry.Counter.incr t.errors;
+    let out = Frame.encode_response ~id (Frame.Err (code, msg)) in
+    observe ?conn ~frame_bytes:(String.length out) t ~verb:"invalid"
+      ~session:None ~id:(J.Int id)
+      ~t0:(Telemetry.Clock.now_ns ())
+      ~outcome:(P.code_string code) (J.Obj []);
+    out
+  | Ok rq ->
+    Telemetry.Counter.incr t.requests;
+    let verb = Frame.op_string rq.Frame.fr_op in
+    let inflight = List.assoc_opt verb t.inflight in
+    Option.iter Atomic.incr inflight;
+    let t0 = Telemetry.Clock.now_ns () in
+    let via = ref None in
+    let run () =
+      if t.role = Follower && not (Frame.read_only rq.Frame.fr_op) then
+        fail P.Not_leader
+          "this node is a read-only replica; send %S to the leader" verb;
+      let s = session t (Some rq.Frame.fr_session) in
+      match rq.Frame.fr_op with
+      | Frame.Lookup { lk_class; lk_member } ->
+        frame_lookup t s ~cls:lk_class ~member:lk_member via
+      | Frame.Batch_lookup pairs -> frame_batch t s pairs
+      | Frame.Add_member { am_class; am_member } ->
+        frame_add_member t s ~cls:am_class am_member
+      | Frame.Add_class { ac_name; ac_bases; ac_members } ->
+        frame_add_class t s ~name:ac_name ~bases:ac_bases
+          ~members:ac_members
+      | Frame.Symbols -> frame_symbols s
+    in
+    let outcome, internal, resp =
+      match run () with
+      | r -> ("ok", false, r)
+      | exception Reply_error (code, msg) ->
+        Telemetry.Counter.incr t.errors;
+        (P.code_string code, false, Frame.Err (code, msg))
+      | exception exn ->
+        Telemetry.Counter.incr t.errors;
+        ( P.code_string P.Internal,
+          true,
+          Frame.Err (P.Internal, Printexc.to_string exn) )
+    in
+    Option.iter Atomic.decr inflight;
+    let out = Frame.encode_response ~id:rq.Frame.fr_id resp in
+    observe ?conn ~frame_bytes:(String.length out) ?via:!via t ~verb
+      ~session:(Some rq.Frame.fr_session) ~id:(J.Int rq.Frame.fr_id) ~t0
+      ~outcome (J.Obj []);
+    if internal then dump_flight t stderr;
+    out
 
 (* ---- replication entry points --------------------------------------
 

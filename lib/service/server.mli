@@ -139,6 +139,15 @@ val handle_json : ?conn:int -> t -> Chg.Json.t -> Chg.Json.t
 
 val handle_line : ?conn:int -> t -> string -> Chg.Json.t
 
+(** [handle_frame t frame] — one complete binary ([cxxlookup-rpc/1b])
+    request frame (header + payload, as read off the wire) in, one
+    complete response frame out.  Shares the JSON path's per-verb
+    accounting (histograms, counters, flight recorder, request log) and
+    records the decode time in [cxxlookup_server_frame_decode_ns].
+    Malformed frames answer [bad_request] (a header the reader could
+    not even frame, [parse_error]); never raises. *)
+val handle_frame : ?conn:int -> t -> string -> string
+
 (** [reject t ~verb ~id code msg] — refuse a request without executing
     it: counts as a request and an error, bumps the overload rejection
     counter when [code] is [Overloaded], passes through the flight
@@ -148,6 +157,13 @@ val handle_line : ?conn:int -> t -> string -> Chg.Json.t
 val reject :
   ?conn:int -> t -> verb:string -> id:Chg.Json.t -> Protocol.error_code ->
   string -> Chg.Json.t
+
+(** [reject_frame t ~verb ~id code msg] — {!reject}'s binary twin:
+    refuse a frame without executing it, with identical accounting,
+    returning the encoded error response frame. *)
+val reject_frame :
+  ?conn:int -> t -> verb:string -> id:int -> Protocol.error_code ->
+  string -> string
 
 (** [serve ?after_response t ic oc] — the JSON-lines loop: read a
     request per line from [ic], write its response line to [oc]

@@ -23,6 +23,19 @@ type served = Compiled | Memoised
 
 let served_string = function Compiled -> "table" | Memoised -> "memo"
 
+(* The per-epoch symbol snapshot the binary hot path reads lock-free:
+   class names frozen in graph-id order, plus a member-id-indexed cache
+   of compiled columns (filled lazily from the table cache; entries are
+   immutable columns, so racy fills across reader domains are benign —
+   a stale [None] just re-probes).  Member names live on the session
+   itself: ids are assigned append-only across mutations, never
+   renumbered, so a client's intern table stays valid under deltas. *)
+type symtab = {
+  st_epoch : int;
+  st_classes : string array;
+  st_cols : Packed.column option array;
+}
+
 type t = {
   name : string;
   config : config;
@@ -42,6 +55,14 @@ type t = {
          variant, keyed by the epoch they were computed at; mutations
          invalidate by epoch mismatch (stale entries are dropped on the
          next fill) *)
+  member_syms : (string, int) Hashtbl.t;
+      (* member name -> dense id; append-only, written only under the
+         mutation path's exclusivity *)
+  mutable member_names_arr : string array;  (* id -> name, doubling *)
+  mutable member_count : int;
+  symtab : symtab Atomic.t;
+      (* published per-epoch snapshot; rebuilt under [lock] on epoch
+         mismatch, read lock-free everywhere else *)
   lookups : Telemetry.Counter.t;
   resolved : Telemetry.Counter.t;
   ambiguous : Telemetry.Counter.t;
@@ -75,25 +96,57 @@ let replay_into_incremental g =
            ~members:(G.members g c)));
   inc
 
+let intern t name =
+  match Hashtbl.find_opt t.member_syms name with
+  | Some id -> id
+  | None ->
+    let id = t.member_count in
+    if id >= Array.length t.member_names_arr then begin
+      let fresh = Array.make (max 16 (2 * (id + 1))) "" in
+      Array.blit t.member_names_arr 0 fresh 0 id;
+      t.member_names_arr <- fresh
+    end;
+    t.member_names_arr.(id) <- name;
+    Hashtbl.add t.member_syms name id;
+    t.member_count <- id + 1;
+    id
+
+(* seed the intern table in first-declaration order — the same order
+   {!Lookup_core.Packed.build} and the eager engine use *)
+let intern_graph t g =
+  G.iter_classes g (fun c ->
+      List.iter
+        (fun (m : G.member) -> ignore (intern t m.G.m_name))
+        (G.members g c))
+
 let make ?(config = default_config) ~name ~epoch g =
   let closure = Chg.Closure.compute g in
-  { name;
-    config;
-    inc = lazy (replay_into_incremental g);
-    cache =
-      Table_cache.create ~max_entries:config.table_max_entries
-        ?max_bytes:config.table_max_bytes ();
-    graph = g;
-    closure;
-    memo = Memo.create ?max_entries:config.memo_max_entries closure;
-    epoch;
-    mro = [];
-    lookups = Telemetry.Counter.make "lookups";
-    resolved = Telemetry.Counter.make "resolved";
-    ambiguous = Telemetry.Counter.make "ambiguous";
-    not_found = Telemetry.Counter.make "not_found";
-    mutations = Telemetry.Counter.make "mutations";
-    lock = Mutex.create () }
+  let t =
+    { name;
+      config;
+      inc = lazy (replay_into_incremental g);
+      cache =
+        Table_cache.create ~max_entries:config.table_max_entries
+          ?max_bytes:config.table_max_bytes ();
+      graph = g;
+      closure;
+      memo = Memo.create ?max_entries:config.memo_max_entries closure;
+      epoch;
+      mro = [];
+      member_syms = Hashtbl.create 64;
+      member_names_arr = [||];
+      member_count = 0;
+      symtab =
+        Atomic.make { st_epoch = -1; st_classes = [||]; st_cols = [||] };
+      lookups = Telemetry.Counter.make "lookups";
+      resolved = Telemetry.Counter.make "resolved";
+      ambiguous = Telemetry.Counter.make "ambiguous";
+      not_found = Telemetry.Counter.make "not_found";
+      mutations = Telemetry.Counter.make "mutations";
+      lock = Mutex.create () }
+  in
+  intern_graph t g;
+  t
 
 let create ?config ~name g = make ?config ~name ~epoch:0 g
 
@@ -150,6 +203,90 @@ let lookup t cls member =
         count_verdict t v;
         Ok (v, Memoised)))
 
+(* ---- the interned-id path ------------------------------------------
+
+   Classes are addressed by graph id (declaration order, append-only by
+   construction); members by the session's dense intern ids.  Both are
+   what the binary framing carries, so the resolved hot path below is
+   int-only: bounds checks, one array read into the published symtab,
+   one packed probe, no allocation. *)
+
+let symtab t =
+  let st = Atomic.get t.symtab in
+  if st.st_epoch = t.epoch then st
+  else
+    Mutex.protect t.lock @@ fun () ->
+    let st = Atomic.get t.symtab in
+    if st.st_epoch = t.epoch then st
+    else begin
+      let st =
+        { st_epoch = t.epoch;
+          st_classes =
+            Array.init (G.num_classes t.graph) (fun c -> G.name t.graph c);
+          st_cols = Array.make t.member_count None }
+      in
+      Atomic.set t.symtab st;
+      st
+    end
+
+let num_member_symbols t = t.member_count
+let member_symbol_name t id = t.member_names_arr.(id)
+
+let member_symbols_from t k =
+  List.init (t.member_count - k) (fun i -> (k + i, t.member_names_arr.(k + i)))
+
+let member_symbol t name = Hashtbl.find_opt t.member_syms name
+
+(* (epoch, class names, member names) — the symbols verb's payload.
+   Both arrays are copies: the response must not alias the growable
+   member store or the published symtab. *)
+let symbols t =
+  let st = symtab t in
+  (st.st_epoch, Array.copy st.st_classes, Array.sub t.member_names_arr 0 t.member_count)
+
+let code_of_verdict = function
+  | Some (Engine.Red { Lookup_core.Abstraction.r_ldc; _ }) -> r_ldc
+  | Some (Engine.Blue _) -> -2
+  | None -> -1
+
+let count_code t code =
+  if code >= 0 then Telemetry.Counter.incr t.resolved
+  else if code = -2 then Telemetry.Counter.incr t.ambiguous
+  else Telemetry.Counter.incr t.not_found
+
+(* [lookup_code t ~cls ~member] — verdict as a resolve code ([-1]
+   absent, [-2] ambiguous, else the declaring class id), by interned
+   ids.  Counter accounting is identical to {!lookup} for the same
+   query.  On the path where the member's compiled column is cached in
+   the symtab, this performs zero allocation. *)
+let lookup_code t ~cls ~member =
+  if cls < 0 || cls >= G.num_classes t.graph then Error `Bad_class
+  else if member < 0 || member >= t.member_count then Error `Bad_member
+  else begin
+    let st = symtab t in
+    match if member < Array.length st.st_cols then st.st_cols.(member) else None with
+    | Some col ->
+      Telemetry.Counter.incr t.lookups;
+      (* the table cache's hit accounting must match the by-name path *)
+      Table_cache.note_fast_hit t.cache;
+      let code = Packed.column_resolve_code col cls in
+      count_code t code;
+      Ok (code, Compiled)
+    | None ->
+      let name = t.member_names_arr.(member) in
+      (match lookup t (st.st_classes.(cls)) name with
+      | Error _ -> Error `Bad_class
+      | Ok (v, served) ->
+        (* promote into the symtab so the next id-lookup is int-only *)
+        (match Table_cache.peek t.cache name with
+        | Some col
+          when Packed.column_classes col = G.num_classes t.graph
+               && member < Array.length st.st_cols ->
+          st.st_cols.(member) <- Some col
+        | _ -> ());
+        Ok (code_of_verdict v, served))
+  end
+
 (* The opt-in linearized-semantics path: one {!Mro.t} per requested
    variant, computed from the current frozen graph and cached until the
    next mutation (epoch mismatch).  Serialized by the session lock —
@@ -187,6 +324,7 @@ let mro_lookup t v cls member =
 let add_class t ~cls ~bases ~members =
   let inc = Lazy.force t.inc in
   let id = Incremental.add_class inc cls ~bases ~members in
+  List.iter (fun (m : G.member) -> ignore (intern t m.G.m_name)) members;
   t.epoch <- t.epoch + 1;
   Telemetry.Counter.incr t.mutations;
   refresh t;
@@ -199,6 +337,7 @@ let add_class t ~cls ~bases ~members =
 
 let add_member t ~cls member =
   let rows = Incremental.add_member (Lazy.force t.inc) cls member in
+  ignore (intern t member.G.m_name);
   t.epoch <- t.epoch + 1;
   Telemetry.Counter.incr t.mutations;
   refresh t;

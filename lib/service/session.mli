@@ -82,6 +82,37 @@ val lookup :
   t -> string -> string ->
   (Lookup_core.Engine.verdict option * served, string) result
 
+(** {2 Interned ids — the binary hot path}
+
+    Classes are addressed by graph id (declaration order, append-only);
+    members by the session's dense intern ids, assigned in
+    first-declaration order at open and append-only across mutations —
+    never renumbered within a server lifetime, so a client's table plus
+    mutation deltas stays valid.  (Ids are {e not} stable across server
+    restarts; clients re-fetch [symbols] per session open.) *)
+
+(** [symbols t] — (epoch, class names by class id, member names by
+    member id): the [symbols] verb's payload.  Fresh arrays. *)
+val symbols : t -> int * string array * string array
+
+val num_member_symbols : t -> int
+val member_symbol_name : t -> int -> string
+val member_symbol : t -> string -> int option
+
+(** [member_symbols_from t k] — the intern delta: every [(id, name)]
+    with [id >= k], for mutation responses ([k] = the count before the
+    mutation). *)
+val member_symbols_from : t -> int -> (int * string) list
+
+(** [lookup_code t ~cls ~member] answers by interned ids with a resolve
+    code: [-1] absent, [-2] ambiguous, else the declaring class id.
+    Counter accounting matches {!lookup}; when the member's compiled
+    column is cached in the session's symbol table the path allocates
+    nothing. *)
+val lookup_code :
+  t -> cls:int -> member:int ->
+  (int * served, [ `Bad_class | `Bad_member ]) result
+
 (** [mro_lookup t v cls member] serves one query under the linearized
     semantics [v] (the protocol's opt-in ["semantics"] field): the
     session keeps one {!Mro.t} per requested variant, computed from the

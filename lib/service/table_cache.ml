@@ -74,6 +74,20 @@ let find_fast t m =
     Some e.column
   | None -> None
 
+(* [peek] serves the interned-id path's column promotion: a lock-free
+   probe of the published snapshot with no counter or LRU effect — the
+   caller already attributed the query through {!find}/{!find_fast}. *)
+let peek t m =
+  match Smap.find_opt m (Atomic.get t.published) with
+  | Some e -> Some e.column
+  | None -> None
+
+(* [note_fast_hit] counts a hit served from outside the cache — the
+   session's symtab column cache, which holds columns this cache
+   published — so both framings' hit ratios stay comparable.  No LRU
+   touch: the id path never restructures recency. *)
+let note_fast_hit t = Telemetry.Counter.incr t.hits
+
 let find t m =
   match Hashtbl.find_opt t.table m with
   | Some e ->

@@ -45,6 +45,16 @@ val find : t -> string -> column option
     fall back to {!find} under the owner's lock to attribute it. *)
 val find_fast : t -> string -> column option
 
+(** [peek t m] probes the published snapshot lock-free with no counter
+    or LRU effect — for callers that already attributed the query and
+    only want the column (the session's interned-id promotion). *)
+val peek : t -> string -> column option
+
+(** [note_fast_hit t] counts one hit served from a column this cache
+    published but that the caller held outside it (the session symtab's
+    id-indexed cache), keeping hit ratios comparable across framings. *)
+val note_fast_hit : t -> unit
+
 (** [promote t m col] installs (or refreshes) [m]'s column and enforces
     the budget, evicting least-recently-used columns as needed. *)
 val promote : t -> string -> column -> unit

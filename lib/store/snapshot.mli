@@ -9,12 +9,13 @@
     v}
 
     Sections: [1] meta (session name, epoch, protocol version),
-    [2] graph (the {!Chg.Binary} graph codec), [4] compiled columns in
-    the packed representation (member name + {!Lookup_core.Packed}
-    column each — the same flat arrays that serve queries, dumped with
-    no re-encode).  Tag [3], the legacy boxed
-    {!Lookup_core.Verdict_io} column codec, is still decoded (packed on
-    load) so pre-packing snapshots restore.  Unknown tags are
+    [2] graph (the {!Chg.Binary} graph codec), [5] the whole compiled
+    table as a position-independent image ({!Lookup_core.Packed}) whose
+    64-bit word area the writer pads to an 8-aligned file offset —
+    what {!open_mapped} serves zero-copy from a [Bigarray] mapping and
+    {!decode} reads byte-at-a-time.  Legacy column sections are still
+    decoded: tag [4] (per-column packed codec) and tag [3] (boxed
+    {!Lookup_core.Verdict_io}, packed on load).  Unknown tags are
     CRC-checked and skipped, so later format minors can add sections
     without breaking this reader; a major layout change bumps
     [format_version] and is rejected.
@@ -46,3 +47,21 @@ val decode : string -> (t, string) result
 val write_file : string -> t -> int
 
 val read_file : string -> (t, string) result
+
+(** [open_mapped ?verify path] restores with the table columns served
+    {e in place} from a memory-mapped view of the snapshot file: only
+    the small meta and graph sections are decoded; the table image's
+    word area is mapped read-only, so restore cost is O(1) page-in
+    regardless of table size.  [verify] (default [true]) additionally
+    streams the image payload once to check its section CRC; [false]
+    trusts the probe word, the O(m) structural validation, and the
+    views' per-access bounds checks.
+
+    Returns [Error] — and the caller should fall back to
+    {!read_file} — when the snapshot predates the image section (tags
+    3/4), the word area is misaligned, the filesystem refuses the
+    mapping, or any validation fails.  The mapping stays valid after
+    this call returns (the fd is closed; the pages are not).  The
+    returned columns are immutable views: mutations materialize to the
+    heap, never write through. *)
+val open_mapped : ?verify:bool -> string -> (t, string) result

@@ -4,14 +4,20 @@ module Mutation = Mutation
 module Snapshot = Snapshot
 module Wal = Wal
 
+type mmap_mode = [ `Off | `Verify | `Fast ]
+
 type config = {
   fsync : Wal.fsync_policy;
   compact_bytes : int;
   keep_snapshots : int;
+  mmap_restore : mmap_mode;
 }
 
 let default_config =
-  { fsync = Wal.Every 8; compact_bytes = 1 lsl 20; keep_snapshots = 2 }
+  { fsync = Wal.Every 8;
+    compact_bytes = 1 lsl 20;
+    keep_snapshots = 2;
+    mmap_restore = `Verify }
 
 type t = {
   dir : string;
@@ -26,11 +32,13 @@ type t = {
   replayed_records : Telemetry.Counter.t;
   torn_records_skipped : Telemetry.Counter.t;
   compactions : Telemetry.Counter.t;
+  mmap_restores : Telemetry.Counter.t;
   (* latency distributions, shared by every session WAL under this store *)
   wal_append_ns : Telemetry.Histogram.t;
   wal_fsync_ns : Telemetry.Histogram.t;
   snapshot_write_ns : Telemetry.Histogram.t;
   snapshot_restore_ns : Telemetry.Histogram.t;
+  mmap_restore_ns : Telemetry.Histogram.t;
 }
 
 let mkdir_p path =
@@ -60,10 +68,12 @@ let open_dir ?(config = default_config) dir =
     replayed_records = Telemetry.Counter.make "store_replayed_records";
     torn_records_skipped = Telemetry.Counter.make "store_torn_records_skipped";
     compactions = Telemetry.Counter.make "store_compactions";
+    mmap_restores = Telemetry.Counter.make "store_mmap_restores";
     wal_append_ns = Telemetry.Histogram.create ();
     wal_fsync_ns = Telemetry.Histogram.create ();
     snapshot_write_ns = Telemetry.Histogram.create ();
-    snapshot_restore_ns = Telemetry.Histogram.create () }
+    snapshot_restore_ns = Telemetry.Histogram.create ();
+    mmap_restore_ns = Telemetry.Histogram.create () }
 
 let dir t = t.dir
 let config t = t.config
@@ -178,12 +188,28 @@ let recover t name =
              (List.length files))
       | (_, path) :: rest ->
         let t0 = Telemetry.Clock.now_ns () in
-        (match Snapshot.read_file path with
+        (* mmap first when configured: O(1) page-in, with the decode
+           path as fallback for legacy snapshots or unmappable files *)
+        let mapped =
+          match t.config.mmap_restore with
+          | `Off -> Error "mmap restore disabled"
+          | `Verify -> Snapshot.open_mapped ~verify:true path
+          | `Fast -> Snapshot.open_mapped ~verify:false path
+        in
+        (match mapped with
         | Ok s ->
-          Telemetry.Histogram.record t.snapshot_restore_ns
-            (Telemetry.Clock.elapsed_ns ~since:t0);
+          let dt = Telemetry.Clock.elapsed_ns ~since:t0 in
+          Telemetry.Histogram.record t.mmap_restore_ns dt;
+          Telemetry.Histogram.record t.snapshot_restore_ns dt;
+          Telemetry.Counter.incr t.mmap_restores;
           Ok (s, skipped)
-        | Error _ -> pick (skipped + 1) rest)
+        | Error _ ->
+          (match Snapshot.read_file path with
+          | Ok s ->
+            Telemetry.Histogram.record t.snapshot_restore_ns
+              (Telemetry.Clock.elapsed_ns ~since:t0);
+            Ok (s, skipped)
+          | Error _ -> pick (skipped + 1) rest))
     in
     (match pick 0 files with
     | Error e -> Error e
@@ -279,13 +305,14 @@ let counters t =
     (fun c -> (Telemetry.Counter.name c, Telemetry.Counter.value c))
     [ t.snapshots_written; t.snapshot_bytes; t.wal_appends;
       t.wal_append_bytes; t.wal_fsyncs; t.recoveries; t.replayed_records;
-      t.torn_records_skipped; t.compactions ]
+      t.torn_records_skipped; t.compactions; t.mmap_restores ]
 
 let histograms t =
   [ ("wal_append_ns", t.wal_append_ns);
     ("wal_fsync_ns", t.wal_fsync_ns);
     ("snapshot_write_ns", t.snapshot_write_ns);
-    ("snapshot_restore_ns", t.snapshot_restore_ns) ]
+    ("snapshot_restore_ns", t.snapshot_restore_ns);
+    ("mmap_restore_ns", t.mmap_restore_ns) ]
 
 (* Exposition names: store_<counter> already carries its subsystem, the
    renderer adds the cxxlookup_ prefix and _total suffix for counters. *)
@@ -300,7 +327,7 @@ let register t registry =
         c)
     [ t.snapshots_written; t.snapshot_bytes; t.wal_appends;
       t.wal_append_bytes; t.wal_fsyncs; t.recoveries; t.replayed_records;
-      t.torn_records_skipped; t.compactions ];
+      t.torn_records_skipped; t.compactions; t.mmap_restores ];
   List.iter
     (fun (name, h) ->
       Telemetry.Registry.attach_histogram registry

@@ -30,13 +30,23 @@ module Mutation = Mutation
 module Snapshot = Snapshot
 module Wal = Wal
 
+(** How {!recover} restores snapshots: [`Verify] (default) maps the
+    table image zero-copy after one streaming CRC pass over it;
+    [`Fast] maps without the CRC pass (probe word + structural checks
+    + per-access bounds checks only); [`Off] always decodes.  Every
+    mode falls back to {!Snapshot.read_file} when mapping fails —
+    legacy snapshots, unmappable filesystems, corrupt image sections. *)
+type mmap_mode = [ `Off | `Verify | `Fast ]
+
 type config = {
   fsync : Wal.fsync_policy;  (** applied to every session WAL *)
   compact_bytes : int;  (** WAL size that makes {!needs_compaction} true *)
   keep_snapshots : int;  (** snapshot files retained per session *)
+  mmap_restore : mmap_mode;  (** restore path for snapshot files *)
 }
 
-(** fsync every 8th append, compact past 1 MiB, keep 2 snapshots *)
+(** fsync every 8th append, compact past 1 MiB, keep 2 snapshots,
+    mmap restore with CRC verification *)
 val default_config : config
 
 type t
@@ -106,13 +116,15 @@ val close : t -> unit
 (** [store_snapshots_written], [store_snapshot_bytes],
     [store_wal_appends], [store_wal_append_bytes], [store_wal_fsyncs],
     [store_recoveries], [store_replayed_records],
-    [store_torn_records_skipped], [store_compactions]. *)
+    [store_torn_records_skipped], [store_compactions],
+    [store_mmap_restores]. *)
 val counters : t -> (string * int) list
 
 (** Latency distributions, all in nanoseconds and shared across every
     session WAL under this store: [wal_append_ns] (frame + write, not
     the policy fsync), [wal_fsync_ns], [snapshot_write_ns],
-    [snapshot_restore_ns] (successful decodes only). *)
+    [snapshot_restore_ns] (successful restores by either path),
+    [mmap_restore_ns] (successful zero-copy restores only). *)
 val histograms : t -> (string * Telemetry.Histogram.t) list
 
 (** [register t registry] attaches every counter (as

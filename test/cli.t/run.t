@@ -340,7 +340,7 @@ log into a fresh snapshot on demand.
   > EOF
   {"id":1,"ok":true,"protocol":"cxxlookup-rpc/1","session":"f","classes":2,"edges":1,"members":1}
   {"id":2,"ok":true,"session":"f","added":"B","classes":3,"epoch":1}
-  {"id":3,"ok":true,"session":"f","epoch":1,"bytes":152}
+  {"id":3,"ok":true,"session":"f","epoch":1,"bytes":192}
   {"id":4,"ok":true,"session":"f","class":"S","member":"n","rows_recomputed":3,"table_invalidated":false,"epoch":2}
 
 A restarted server over the same directory recovers the session —
@@ -368,7 +368,7 @@ replay).
   $ cxxlookup restore store.d
   {"id":"f","ok":true,"protocol":"cxxlookup-rpc/1","session":"f","epoch":2,"classes":3,"replayed":1,"torn_tail":false}
   $ cxxlookup snapshot store.d 2>/dev/null
-  {"id":"f","ok":true,"session":"f","epoch":2,"bytes":161}
+  {"id":"f","ok":true,"session":"f","epoch":2,"bytes":208}
   $ cxxlookup restore store.d
   {"id":"f","ok":true,"protocol":"cxxlookup-rpc/1","session":"f","epoch":2,"classes":3,"replayed":0,"torn_tail":false}
   $ cxxlookup restore store.d ghost

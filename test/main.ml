@@ -27,4 +27,5 @@ let () =
       ("net", Test_net.suite);
       ("cluster", Test_cluster.suite);
       ("packed", Test_packed.suite);
+      ("raw", Test_raw.suite);
       ("properties", Test_props.suite) ]

@@ -72,6 +72,21 @@ session label rides on every per-session metric).
   $ sed -n '3p' transcript.jsonl | grep -c 'cxxlookup_session_lookups_total{session=\\"s\\"} 1'
   1
 
+The raw-path histograms are part of the same stable-name contract, and
+both are registered eagerly — present (empty) from the first scrape, so
+dashboards can key on them before any 1b frame arrives or any mmap
+restore runs.  Frame decode time lives on the server registry; the mmap
+restore time joins it when the server fronts a store.
+
+  $ sed -n '3p' transcript.jsonl | grep -c 'cxxlookup_server_frame_decode_ns_count'
+  1
+  $ cxxlookup serve --store st <<'EOF' > stored.jsonl
+  > {"id":0,"op":"open","session":"s","source":"struct A { int m; };"}
+  > {"id":1,"op":"metrics"}
+  > EOF
+  $ sed -n '2p' stored.jsonl | grep -c 'cxxlookup_store_mmap_restore_ns_count'
+  1
+
 --metrics-file mirrors the registry to a textfile-collector file,
 rewritten atomically and once more at EOF; the scrape validates.
 

@@ -1,0 +1,628 @@
+(* The raw speed floor, held to the spec oracle and fuzzed: the
+   cxxlookup-rpc/1b binary framing must answer verdict-for-verdict like
+   the JSON protocol's spec-backed oracle on arbitrary hierarchies, and
+   malformed input on either fast path — truncated or bit-flipped
+   frames, corrupt mmap sections — must come back as in-band errors
+   ([bad_request] / store errors), never as an exception or a wrong
+   verdict. *)
+
+module G = Chg.Graph
+module B = Chg.Binary
+module J = Chg.Json
+module Path = Subobject.Path
+module Spec = Subobject.Spec
+module Engine = Lookup_core.Engine
+module Vio = Lookup_core.Verdict_io
+module Packed = Lookup_core.Packed
+module Session = Service.Session
+module Server = Service.Server
+module Frame = Service.Frame
+module P = Service.Protocol
+
+(* ---- scratch helpers ----------------------------------------------- *)
+
+let temp_dir () =
+  let f = Filename.temp_file "cxxraw" "" in
+  Sys.remove f;
+  Unix.mkdir f 0o700;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let corrupt_byte path off mask =
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor mask));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b)
+
+let response_ok j = J.member "ok" j = Ok (J.Bool true)
+
+(* A server with [g] opened as session [s]; class ids in frames are the
+   graph's own ids (the session interns classes in graph order). *)
+let server_with g ~session =
+  let srv = Server.create () in
+  let resp =
+    Server.handle_line srv
+      (J.to_string
+         (J.Obj
+            [ ("id", J.Int 0); ("op", J.String "open");
+              ("session", J.String session);
+              ("chg", Chg.Serialize.to_json g) ]))
+  in
+  if not (response_ok resp) then
+    Alcotest.failf "open failed: %s" (J.to_string resp);
+  srv
+
+let frame_request srv rq = Server.handle_frame srv (Frame.encode_request rq)
+
+let decode_ok ~op resp =
+  match Frame.decode_response ~op resp with
+  | Ok (_, r) -> r
+  | Error msg -> Alcotest.failf "bad response frame: %s" msg
+
+let member_ids srv ~session =
+  match
+    decode_ok ~op:Frame.op_symbols
+      (frame_request srv
+         { Frame.fr_id = 0; fr_session = session; fr_op = Frame.Symbols })
+  with
+  | Frame.Ok_symbols { os_members; _ } ->
+    let h = Hashtbl.create (Array.length os_members) in
+    Array.iteri (fun i n -> Hashtbl.replace h n i) os_members;
+    h
+  | _ -> Alcotest.fail "symbols did not answer Ok_symbols"
+
+(* The spec oracle's verdict as a {!Frame.verdict_code}. *)
+let oracle_code g c m =
+  match Spec.lookup_static g c m with
+  | Spec.Resolved p -> Path.ldc p
+  | Spec.Ambiguous _ -> -2
+  | Spec.Undeclared -> -1
+
+(* ---- generators (mirroring the store recovery property) ------------ *)
+
+let qc_members = [ "m"; "n"; "p" ]
+
+let instance_gen =
+  QCheck.Gen.(
+    map
+      (fun (n, max_bases, vp, dp, seed) ->
+        Hiergen.Families.random_dag ~n ~max_bases
+          ~virtual_prob:(float_of_int vp /. 10.)
+          ~declare_prob:(float_of_int dp /. 10.)
+          ~members:qc_members ~seed)
+      (tup5 (int_range 2 12) (int_range 1 3) (int_range 0 10)
+         (int_range 1 6) (int_range 0 10000)))
+
+let instance_arb =
+  QCheck.make instance_gen ~print:(fun i ->
+      Printf.sprintf "%s\n%s" i.Hiergen.Families.description
+        (Format.asprintf "%a" G.pp i.Hiergen.Families.graph))
+
+(* ---- binary frames = spec oracle ------------------------------------ *)
+
+let prop_frames_match_oracle =
+  QCheck.Test.make ~count:50
+    ~name:"1b lookup and batch_lookup = spec oracle on arbitrary DAGs"
+    instance_arb (fun inst ->
+      let g = inst.Hiergen.Families.graph in
+      let session = "q" in
+      let srv = server_with g ~session in
+      let mids = member_ids srv ~session in
+      let pairs =
+        List.concat_map
+          (fun m ->
+            let mid =
+              match Hashtbl.find_opt mids m with
+              | Some i -> i
+              | None -> Alcotest.failf "member %S not interned" m
+            in
+            List.init (G.num_classes g) (fun c -> (c, m, mid)))
+          (G.member_names g)
+      in
+      let codes =
+        List.map
+          (fun (c, m, mid) ->
+            match
+              decode_ok ~op:Frame.op_lookup
+                (frame_request srv
+                   { Frame.fr_id = 1; fr_session = session;
+                     fr_op = Frame.Lookup { lk_class = c; lk_member = mid } })
+            with
+            | Frame.Ok_lookup code ->
+              if code <> oracle_code g c m then
+                QCheck.Test.fail_reportf
+                  "lookup(%s, %s): frame code %d, oracle %d" (G.name g c) m
+                  code (oracle_code g c m);
+              code
+            | _ -> Alcotest.fail "lookup did not answer Ok_lookup")
+          pairs
+      in
+      (match
+         decode_ok ~op:Frame.op_batch_lookup
+           (frame_request srv
+              { Frame.fr_id = 2; fr_session = session;
+                fr_op =
+                  Frame.Batch_lookup
+                    (Array.of_list
+                       (List.map (fun (c, _, mid) -> (c, mid)) pairs)) })
+       with
+      | Frame.Ok_batch { ob_codes; ob_resolved; ob_ambiguous; ob_not_found }
+        ->
+        if Array.to_list ob_codes <> codes then
+          QCheck.Test.fail_report "batch codes differ from single lookups";
+        let count p = List.length (List.filter p codes) in
+        if
+          ob_resolved <> count (fun c -> c >= 0)
+          || ob_ambiguous <> count (( = ) (-2))
+          || ob_not_found <> count (( = ) (-1))
+        then QCheck.Test.fail_report "batch counts disagree with codes"
+      | _ -> Alcotest.fail "batch did not answer Ok_batch");
+      true)
+
+(* Mutations over frames: add_class/add_member answered with intern
+   deltas, and the mutated hierarchy answers like a fresh oracle. *)
+let test_frame_mutations () =
+  let g = Hiergen.Figures.fig3 () in
+  let session = "s" in
+  let srv = server_with g ~session in
+  let n0 = G.num_classes g in
+  let resp =
+    decode_ok ~op:Frame.op_add_class
+      (frame_request srv
+         { Frame.fr_id = 1; fr_session = session;
+           fr_op =
+             Frame.Add_class
+               { ac_name = "Z";
+                 ac_bases = [ (G.name g 0, G.Non_virtual, G.Public) ];
+                 ac_members = [ G.member "zonly" ] } })
+  in
+  let zid =
+    match resp with
+    | Frame.Ok_add_class { oac_class; oac_classes; oac_new_symbols; _ } ->
+      Alcotest.(check int) "class count after add_class" (n0 + 1) oac_classes;
+      Alcotest.(check bool) "delta carries the new member" true
+        (List.exists (fun (_, n) -> n = "zonly") oac_new_symbols);
+      oac_class
+    | _ -> Alcotest.fail "add_class did not answer Ok_add_class"
+  in
+  let mids = member_ids srv ~session in
+  let zonly = Hashtbl.find mids "zonly" in
+  (match
+     decode_ok ~op:Frame.op_lookup
+       (frame_request srv
+          { Frame.fr_id = 2; fr_session = session;
+            fr_op = Frame.Lookup { lk_class = zid; lk_member = zonly } })
+   with
+  | Frame.Ok_lookup code ->
+    Alcotest.(check int) "Z::zonly resolves to Z" zid code
+  | _ -> Alcotest.fail "lookup did not answer Ok_lookup");
+  match
+    decode_ok ~op:Frame.op_add_member
+      (frame_request srv
+         { Frame.fr_id = 3; fr_session = session;
+           fr_op =
+             Frame.Add_member
+               { am_class = zid; am_member = G.member "znext" } })
+  with
+  | Frame.Ok_add_member { oam_member; oam_new_symbols; _ } ->
+    Alcotest.(check (list (pair int string)))
+      "delta is exactly the new symbol"
+      [ (oam_member, "znext") ]
+      oam_new_symbols
+  | _ -> Alcotest.fail "add_member did not answer Ok_add_member"
+
+(* ---- fuzz: mangled frames are errors, never exceptions -------------- *)
+
+(* Every fuzz case mangles one of these valid frames. *)
+let seed_frames session =
+  [ Frame.encode_request
+      { Frame.fr_id = 7; fr_session = session;
+        fr_op = Frame.Lookup { lk_class = 1; lk_member = 0 } };
+    Frame.encode_request
+      { Frame.fr_id = 8; fr_session = session;
+        fr_op = Frame.Batch_lookup [| (0, 0); (1, 1); (2, 0) |] };
+    Frame.encode_request
+      { Frame.fr_id = 9; fr_session = session;
+        fr_op =
+          Frame.Add_member { am_class = 0; am_member = G.member "fz" } };
+    Frame.encode_request
+      { Frame.fr_id = 10; fr_session = session; fr_op = Frame.Symbols } ]
+
+type mangle = Truncate of int | Flip of int * int
+
+let mangle_gen nframes =
+  QCheck.Gen.(
+    tup2 (int_range 0 (nframes - 1))
+      (oneof
+         [ map (fun k -> Truncate k) (int_range 0 1000);
+           map (fun (p, m) -> Flip (p, m))
+             (tup2 (int_range 0 1000) (int_range 1 255)) ]))
+
+let mangle_arb nframes =
+  QCheck.make (mangle_gen nframes) ~print:(fun (i, m) ->
+      match m with
+      | Truncate k -> Printf.sprintf "frame %d truncated at %d/1000" i k
+      | Flip (p, m) -> Printf.sprintf "frame %d flip %d/1000 mask %#x" i p m)
+
+(* The fuzzed server is shared across cases: a mangled frame that
+   happens to decode as a valid mutation is allowed to mutate — the
+   property is about crashes and response well-formedness, and the
+   goodness probe below re-checks a known verdict after every case. *)
+let prop_mangled_frames =
+  let g = Hiergen.Figures.fig3 () in
+  let session = "f" in
+  let srv = server_with g ~session in
+  let frames = seed_frames session in
+  let good_frame =
+    Frame.encode_request
+      { Frame.fr_id = 99; fr_session = session;
+        fr_op = Frame.Lookup { lk_class = 0; lk_member = 0 } }
+  in
+  let good_code =
+    match decode_ok ~op:Frame.op_lookup (Server.handle_frame srv good_frame)
+    with
+    | Frame.Ok_lookup code -> code
+    | _ -> Alcotest.fail "probe lookup failed"
+  in
+  QCheck.Test.make ~count:300
+    ~name:"truncated/bit-flipped 1b frames: in-band errors, never a crash"
+    (mangle_arb (List.length frames))
+    (fun (which, m) ->
+      let f = List.nth frames which in
+      let len = String.length f in
+      let mangled =
+        match m with
+        | Truncate k -> String.sub f 0 (k * len / 1000)
+        | Flip (p, mask) ->
+          let b = Bytes.of_string f in
+          let p = p * (len - 1) / 1000 in
+          Bytes.set b p (Char.chr (Char.code (Bytes.get b p) lxor mask));
+          Bytes.to_string b
+      in
+      let resp = Server.handle_frame srv mangled in
+      (* the response is always a well-formed frame both decoders
+         accept: header magic, and a typed decode for whichever op the
+         mangled header claims *)
+      if String.length resp < Frame.header_len then
+        QCheck.Test.fail_reportf "short response (%d bytes)"
+          (String.length resp);
+      if Char.code resp.[0] <> Frame.response_magic then
+        QCheck.Test.fail_report "response lacks the 0xB2 magic";
+      let claimed_op =
+        if String.length mangled > 1 then Char.code mangled.[1] else 0
+      in
+      (match Frame.decode_response ~op:claimed_op resp with
+      | Ok _ -> ()
+      | Error msg ->
+        QCheck.Test.fail_reportf "response frame undecodable: %s" msg);
+      (* and the server still serves the known-good verdict *)
+      (match
+         Frame.decode_response ~op:Frame.op_lookup
+           (Server.handle_frame srv good_frame)
+       with
+      | Ok (_, Frame.Ok_lookup code) when code = good_code -> ()
+      | _ -> QCheck.Test.fail_report "probe verdict changed after fuzz");
+      true)
+
+(* Truncating a frame below the declared payload length is the net
+   layer's concern (it only delivers complete frames); at the handler
+   boundary a length mismatch must still answer parse_error. *)
+let test_frame_length_mismatch () =
+  let g = Hiergen.Figures.fig3 () in
+  let session = "s" in
+  let srv = server_with g ~session in
+  let f =
+    Frame.encode_request
+      { Frame.fr_id = 1; fr_session = session;
+        fr_op = Frame.Lookup { lk_class = 0; lk_member = 0 } }
+  in
+  let truncated = String.sub f 0 (String.length f - 2) in
+  match Frame.decode_response ~op:Frame.op_lookup
+          (Server.handle_frame srv truncated)
+  with
+  | Ok (_, Frame.Err (P.Parse_error, _)) -> ()
+  | Ok (_, _) -> Alcotest.fail "expected a parse_error frame"
+  | Error msg -> Alcotest.failf "undecodable response: %s" msg
+
+(* Client-side decoder fuzz: mangled *response* frames must come back
+   as [Error], never raise — the client trusts the server no more than
+   the server trusts the client. *)
+let prop_mangled_responses =
+  let resps =
+    [ (Frame.op_lookup, Frame.encode_response ~id:3 (Frame.Ok_lookup 5));
+      ( Frame.op_batch_lookup,
+        Frame.encode_response ~id:4
+          (Frame.Ok_batch
+             { ob_codes = [| 1; -2; -1 |]; ob_resolved = 1; ob_ambiguous = 1;
+               ob_not_found = 1 }) );
+      ( Frame.op_symbols,
+        Frame.encode_response ~id:5
+          (Frame.Ok_symbols
+             { os_epoch = 0; os_classes = [| "A"; "B" |];
+               os_members = [| "m" |] }) );
+      ( Frame.op_lookup,
+        Frame.encode_response ~id:6 (Frame.Err (P.Bad_request, "nope")) ) ]
+  in
+  QCheck.Test.make ~count:300
+    ~name:"mangled 1b responses: client decoder returns Error, never raises"
+    (mangle_arb (List.length resps))
+    (fun (which, m) ->
+      let op, f = List.nth resps which in
+      let len = String.length f in
+      let mangled =
+        match m with
+        | Truncate k -> String.sub f 0 (k * len / 1000)
+        | Flip (p, mask) ->
+          let b = Bytes.of_string f in
+          let p = p * (len - 1) / 1000 in
+          Bytes.set b p (Char.chr (Char.code (Bytes.get b p) lxor mask));
+          Bytes.to_string b
+      in
+      (* any result is fine; any exception is the bug *)
+      (match Frame.decode_response ~op mangled with
+      | Ok _ | Error _ -> ());
+      true)
+
+(* ---- mmap restore = decode restore = spec oracle -------------------- *)
+
+let boxed_columns g =
+  let cl = Chg.Closure.compute g in
+  let e = Engine.build cl in
+  List.map
+    (fun m ->
+      (m, Array.init (G.num_classes g) (fun c -> Engine.lookup e c m)))
+    (G.member_names g)
+
+let compiled_columns g =
+  List.map (fun (m, col) -> (m, Packed.pack_column col)) (boxed_columns g)
+
+let write_store_snapshot dir g =
+  let st = Store.open_dir dir in
+  ignore
+    (Store.write_snapshot st
+       { Store.Snapshot.s_session = "q";
+         s_epoch = 0;
+         s_protocol = P.version;
+         s_graph = g;
+         s_columns = compiled_columns g });
+  Store.close st
+
+let recover_with dir mode =
+  let st =
+    Store.open_dir ~config:{ Store.default_config with mmap_restore = mode }
+      dir
+  in
+  let r = Store.recover st "q" in
+  let engaged =
+    match List.assoc_opt "store_mmap_restores" (Store.counters st) with
+    | Some n -> n > 0
+    | None -> false
+  in
+  Store.close st;
+  (r, engaged)
+
+let prop_mmap_matches_oracle =
+  QCheck.Test.make ~count:40
+    ~name:"mmap restore (verify/fast) = decode restore = spec oracle"
+    instance_arb (fun inst ->
+      let g = inst.Hiergen.Families.graph in
+      with_temp_dir (fun dir ->
+          write_store_snapshot dir g;
+          let restored mode =
+            match recover_with dir mode with
+            | (Ok (Some rv), _) -> rv.Store.rv_snapshot
+            | (Ok None, _) -> Alcotest.fail "store lost its snapshot"
+            | (Error e, _) -> Alcotest.failf "recover failed: %s" e
+          in
+          let check_columns what (s : Store.Snapshot.t) =
+            List.iter
+              (fun m ->
+                let col =
+                  match List.assoc_opt m s.Store.Snapshot.s_columns with
+                  | Some c -> c
+                  | None -> Alcotest.failf "%s: column %S missing" what m
+                in
+                for c = 0 to G.num_classes g - 1 do
+                  let code = Packed.column_resolve_code col c in
+                  if code <> oracle_code g c m then
+                    QCheck.Test.fail_reportf
+                      "%s: column %S class %s: code %d, oracle %d" what m
+                      (G.name g c) code (oracle_code g c m)
+                done)
+              (G.member_names g)
+          in
+          check_columns "decode" (restored `Off);
+          check_columns "mmap-verify" (restored `Verify);
+          check_columns "mmap-fast" (restored `Fast);
+          true))
+
+(* Legacy snapshots (pre-image boxed tag-3 columns) predate the
+   mappable section, so the zero-copy opener must decline and the store
+   must restore them through the decode path — silently, with correct
+   verdicts and no mmap engagement. *)
+let test_legacy_snapshot_falls_back_to_decode () =
+  let g = Hiergen.Figures.fig3 () in
+  with_temp_dir (fun dir ->
+      let section f =
+        let w = B.Writer.create () in
+        f w;
+        B.Writer.contents w
+      in
+      let crc_int s = Int32.to_int (B.crc32_string s) land 0xffffffff in
+      let w = B.Writer.create () in
+      B.Writer.raw w "CXLSNAP0";
+      B.Writer.u32 w 1;
+      let sections =
+        [ ( 1,
+            section (fun w ->
+                B.Writer.string w "q";
+                B.Writer.i64 w 0;
+                B.Writer.string w P.version) );
+          (2, section (fun w -> B.write_graph w g));
+          ( 3,
+            section (fun w ->
+                let cols = boxed_columns g in
+                B.Writer.u32 w (List.length cols);
+                List.iter
+                  (fun (m, col) ->
+                    B.Writer.string w m;
+                    Vio.write_column w col)
+                  cols) ) ]
+      in
+      B.Writer.u32 w (List.length sections);
+      List.iter
+        (fun (tag, payload) ->
+          B.Writer.u8 w tag;
+          B.Writer.u32 w (String.length payload);
+          B.Writer.u32 w (crc_int payload);
+          B.Writer.raw w payload)
+        sections;
+      Unix.mkdir (Filename.concat dir "q") 0o700;
+      Out_channel.with_open_bin
+        (Filename.concat dir (Filename.concat "q" "snap-0000000000.snap"))
+        (fun oc -> Out_channel.output_string oc (B.Writer.contents w));
+      match recover_with dir `Verify with
+      | (Ok (Some rv), engaged) ->
+        Alcotest.(check bool) "mmap did not engage on a legacy file" false
+          engaged;
+        List.iter
+          (fun m ->
+            match
+              List.assoc_opt m rv.Store.rv_snapshot.Store.Snapshot.s_columns
+            with
+            | None -> Alcotest.failf "legacy column %S missing" m
+            | Some col ->
+              for c = 0 to G.num_classes g - 1 do
+                Alcotest.(check int)
+                  (Printf.sprintf "legacy verdict (%s, %s)" (G.name g c) m)
+                  (oracle_code g c m)
+                  (Packed.column_resolve_code col c)
+              done)
+          (G.member_names g)
+      | (Ok None, _) -> Alcotest.fail "legacy snapshot invisible to recovery"
+      | (Error e, _) -> Alcotest.failf "legacy recovery failed: %s" e)
+
+(* A flipped bit anywhere in the snapshot must never crash recovery or
+   change a verdict under the default (verifying) mode: either an older
+   snapshot/decode path serves the right answers, or recovery reports
+   the store unusable.  With a single corrupt snapshot on disk, that
+   means [Error] — which the service layer answers as a store error. *)
+let prop_corrupt_snapshot =
+  let case_gen = QCheck.Gen.(tup2 instance_gen (int_range 0 1000)) in
+  let case_arb =
+    QCheck.make case_gen ~print:(fun (i, p) ->
+        Printf.sprintf "flip at %d/1000 of\n%s" p
+          i.Hiergen.Families.description)
+  in
+  QCheck.Test.make ~count:60
+    ~name:"corrupt snapshot under verify: error or right verdicts, no crash"
+    case_arb (fun (inst, pos) ->
+      let g = inst.Hiergen.Families.graph in
+      with_temp_dir (fun dir ->
+          write_store_snapshot dir g;
+          let snap_path =
+            match
+              let st = Store.open_dir dir in
+              let p = Store.newest_snapshot st "q" in
+              Store.close st;
+              p
+            with
+            | Some (_, p) -> p
+            | None -> Alcotest.fail "no snapshot written"
+          in
+          let size = (Unix.stat snap_path).Unix.st_size in
+          corrupt_byte snap_path (pos * (size - 1) / 1000) 0x10;
+          (match recover_with dir `Verify with
+          | (Ok (Some rv), _) ->
+            (* recovery may succeed on a damaged file — the flip landed
+               in padding, or turned a section tag into an unknown one
+               the reader skips for forward compatibility, dropping
+               that section (a missing column is safe degradation: the
+               session recompiles it).  What must never happen is a
+               column that is present answering wrong. *)
+            List.iter
+              (fun m ->
+                match
+                  List.assoc_opt m rv.Store.rv_snapshot.Store.Snapshot.s_columns
+                with
+                | None -> ()
+                | Some col ->
+                  for c = 0 to G.num_classes g - 1 do
+                    if Packed.column_resolve_code col c <> oracle_code g c m
+                    then
+                      QCheck.Test.fail_reportf
+                        "corrupt snapshot served a wrong verdict for (%s, %s)"
+                        (G.name g c) m
+                  done)
+              (G.member_names g)
+          | (Ok None, _) | (Error _, _) -> ());
+          true))
+
+(* Fast mode skips the CRC pass by contract, so a corrupt image may
+   serve — but the structural checks and per-access bounds checks must
+   keep every probe inside the mapping: probing all columns never
+   escapes with anything but [Corrupt]. *)
+let prop_corrupt_fast_no_crash =
+  let case_gen = QCheck.Gen.(tup2 instance_gen (int_range 0 1000)) in
+  let case_arb =
+    QCheck.make case_gen ~print:(fun (i, p) ->
+        Printf.sprintf "flip at %d/1000 of\n%s" p
+          i.Hiergen.Families.description)
+  in
+  QCheck.Test.make ~count:60
+    ~name:"corrupt snapshot under fast: probes stay bounds-checked"
+    case_arb (fun (inst, pos) ->
+      let g = inst.Hiergen.Families.graph in
+      with_temp_dir (fun dir ->
+          write_store_snapshot dir g;
+          let snap_path =
+            match
+              let st = Store.open_dir dir in
+              let p = Store.newest_snapshot st "q" in
+              Store.close st;
+              p
+            with
+            | Some (_, p) -> p
+            | None -> Alcotest.fail "no snapshot written"
+          in
+          let size = (Unix.stat snap_path).Unix.st_size in
+          corrupt_byte snap_path (pos * (size - 1) / 1000) 0x10;
+          (match recover_with dir `Fast with
+          | (Ok (Some rv), _) ->
+            List.iter
+              (fun (_, col) ->
+                for c = 0 to Packed.column_classes col - 1 do
+                  match Packed.column_resolve_code col c with
+                  | _ -> ()
+                  | exception B.Corrupt _ -> ()
+                done)
+              rv.Store.rv_snapshot.Store.Snapshot.s_columns
+          | (Ok None, _) | (Error _, _) -> ());
+          true))
+
+(* ---- suite ---------------------------------------------------------- *)
+
+let suite =
+  [ Alcotest.test_case "frame mutations carry intern deltas" `Quick
+      test_frame_mutations;
+    Alcotest.test_case "under-length frame answers parse_error" `Quick
+      test_frame_length_mismatch;
+    Alcotest.test_case "legacy snapshot falls back to decode" `Quick
+      test_legacy_snapshot_falls_back_to_decode ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_frames_match_oracle;
+        prop_mangled_frames;
+        prop_mangled_responses;
+        prop_mmap_matches_oracle;
+        prop_corrupt_snapshot;
+        prop_corrupt_fast_no_crash ]
